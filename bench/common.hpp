@@ -1,0 +1,133 @@
+// Shared bench configuration.
+//
+// Every bench binary regenerates one paper table/figure. Defaults run on a
+// scaled-down Theta (12 groups, 1152 nodes — same group count and bisection
+// ratio as ALCF Theta, smaller groups) so the full suite finishes in
+// minutes; pass --full for the 4392-node full-scale system, --samples=N for
+// more statistical power, --scale=X to change message/compute scaling.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "core/experiment.hpp"
+#include "stats/csv.hpp"
+#include "topo/config.hpp"
+
+namespace dfsim::bench {
+
+struct Options {
+  int samples = 6;      ///< runs per (app, mode) cell
+  int iterations = 3;   ///< app iterations per run
+  double scale = 0.15;  ///< message & compute scaling
+  bool full = false;    ///< full-size Theta/Cori
+  double bg = 0.7;      ///< background utilization for production runs
+  std::uint64_t seed = 2021;
+  std::string csv_dir;  ///< when set (--csv=DIR), also write raw CSV series
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      auto val = [&](const char* prefix) -> const char* {
+        const std::size_t n = std::strlen(prefix);
+        return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
+      };
+      if (const char* v = val("--samples=")) o.samples = std::atoi(v);
+      else if (const char* v2 = val("--iterations=")) o.iterations = std::atoi(v2);
+      else if (const char* v3 = val("--scale=")) o.scale = std::atof(v3);
+      else if (const char* v4 = val("--bg=")) o.bg = std::atof(v4);
+      else if (const char* v5 = val("--seed=")) o.seed = std::strtoull(v5, nullptr, 10);
+      else if (const char* v6 = val("--csv=")) o.csv_dir = v6;
+      else if (a == "--full") o.full = true;
+      else if (a == "--help" || a == "-h") {
+        std::printf(
+            "options: --samples=N --iterations=N --scale=X --bg=U --seed=S "
+            "--full --csv=DIR\n");
+        std::exit(0);
+      }
+    }
+    return o;
+  }
+
+  [[nodiscard]] topo::Config theta() const {
+    return tune(full ? topo::Config::theta() : topo::Config::theta_scaled());
+  }
+  [[nodiscard]] topo::Config cori() const {
+    return tune(full ? topo::Config::cori() : topo::Config::cori_scaled());
+  }
+  /// Bench runs use coarser 4KB simulation packets (4x fewer events) with
+  /// Aries-like buffer depth (8 packets per port per VC).
+  static topo::Config tune(topo::Config c) {
+    c.packet_payload_bytes = 4096;
+    c.buffer_flits = 2048;
+    return c;
+  }
+  [[nodiscard]] apps::AppParams params() const {
+    apps::AppParams p;
+    p.iterations = iterations;
+    p.msg_scale = scale;
+    p.compute_scale = scale;
+    p.seed = seed;
+    return p;
+  }
+  /// Per-app parameters: the volume-heavy apps (HACC's multi-MB transposes,
+  /// Rayleigh's 23MB alltoallv) get fewer iterations per run so a full bench
+  /// sweep stays fast; their per-iteration behaviour is what matters.
+  [[nodiscard]] apps::AppParams params_for(const std::string& app) const {
+    apps::AppParams p = params();
+    if (app == "RAYLEIGH") p.iterations = std::max(1, iterations / 3);
+    if (app == "HACC") p.iterations = std::max(1, iterations / 2 + 1);
+    return p;
+  }
+  [[nodiscard]] core::ProductionConfig production(const std::string& app,
+                                                  int nnodes,
+                                                  routing::Mode mode) const {
+    core::ProductionConfig cfg;
+    cfg.system = theta();
+    cfg.app = app;
+    cfg.nnodes = nnodes;
+    cfg.mode = mode;
+    cfg.params = params_for(app);
+    cfg.bg_utilization = bg;
+    cfg.seed = seed;
+    return cfg;
+  }
+};
+
+/// Optional CSV artifact: returns a writer only when --csv=DIR was given.
+inline std::unique_ptr<stats::CsvWriter> csv(const Options& o,
+                                             const std::string& name,
+                                             std::vector<std::string> cols) {
+  if (o.csv_dir.empty()) return nullptr;
+  auto w = std::make_unique<stats::CsvWriter>(o.csv_dir + "/" + name + ".csv",
+                                              std::move(cols));
+  if (!w->ok()) {
+    std::fprintf(stderr, "warning: cannot write CSV into %s\n",
+                 o.csv_dir.c_str());
+    return nullptr;
+  }
+  return w;
+}
+
+inline void header(const char* id, const char* what) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id, what);
+  std::printf("================================================================\n");
+}
+
+inline void footnote(const Options& o, const topo::Config& sys) {
+  std::printf(
+      "\n[system %s: %d groups, %d nodes | samples=%d iters=%d scale=%.2f "
+      "bg=%.2f seed=%llu]\n",
+      sys.name.c_str(), sys.groups, sys.num_nodes(), o.samples, o.iterations,
+      o.scale, o.bg, static_cast<unsigned long long>(o.seed));
+}
+
+}  // namespace dfsim::bench

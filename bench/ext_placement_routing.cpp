@@ -1,0 +1,60 @@
+// Extension — placement x routing interaction study.
+//
+// Paper Section II-C: compact placement reduces exposure to other jobs but
+// limits rank-3 bandwidth; dispersed placement gains global bandwidth but
+// invites interference; medium jobs are the most congestion-prone under
+// either. (The simulation studies the paper cites — Yang et al.'s "bully"
+// SC'16 paper, Jain et al. SC'14 — explore the same matrix.) This bench
+// fills the placement x mode grid for MILC under production background.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::header("Extension", "Placement x routing grid (MILC, 128 nodes)");
+
+  struct Pl {
+    const char* name;
+    sched::Placement placement;
+    int target_groups;
+  };
+  const Pl placements[] = {
+      {"compact", sched::Placement::kCompact, 0},
+      {"2 groups", sched::Placement::kGroups, 2},
+      {"6 groups", sched::Placement::kGroups, 6},
+      {"random", sched::Placement::kRandom, 0},
+  };
+
+  stats::Table t({"Placement", "AD0 mean (ms)", "AD0 sigma", "AD3 mean (ms)",
+                  "AD3 sigma", "AD3 gain"});
+  for (const auto& pl : placements) {
+    stats::Summary s[2];
+    for (const routing::Mode mode : {routing::Mode::kAd0, routing::Mode::kAd3}) {
+      auto cfg = opt.production("MILC", 128, mode);
+      cfg.placement = pl.placement;
+      cfg.target_groups = pl.target_groups;
+      const auto rs = core::run_production_batch(cfg, opt.samples);
+      std::vector<double> xs;
+      for (const auto& r : rs) xs.push_back(r.runtime_ms);
+      s[mode == routing::Mode::kAd0 ? 0 : 1] =
+          stats::summarize(stats::remove_outliers(xs));
+    }
+    t.add_row({pl.name, stats::fmt(s[0].mean, 3), stats::fmt(s[0].stddev, 3),
+               stats::fmt(s[1].mean, 3), stats::fmt(s[1].stddev, 3),
+               stats::fmt_signed(stats::improvement_pct(s[0].mean, s[1].mean), 1) +
+                   "%"});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nPaper Section II-F: the routing-bias preference is largely "
+      "independent of the number of\ngroups spanned — the AD3 gain column "
+      "should keep its sign across the placement rows.\n");
+  bench::footnote(opt, opt.theta());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig. 9 — Controlled experiments: all applications at 256 nodes under each
+// of the four adaptive routing modes (full-system reservation; every job in
+// the ensemble uses the same mode; compact and random placements mixed).
+//
+// Paper result: AD3 has the lowest mean normalized runtime and the smallest
+// spread; AD2 next (with a few extreme outliers); AD1 slightly better than
+// AD0.
+#include <cstdio>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::header("Fig. 9",
+                "Controlled ensembles, all apps x all four routing modes");
+
+  // Collect per-app runtimes per mode; normalize per app; pool.
+  std::vector<double> pooled[4];
+  for (const auto& app : apps::paper_app_names()) {
+    std::vector<double> per_mode[4];
+    for (int m = 0; m < 4; ++m) {
+      for (const auto placement :
+           {sched::Placement::kCompact, sched::Placement::kRandom}) {
+        core::EnsembleConfig cfg;
+        cfg.system = opt.theta();
+        cfg.app = app;
+        // The paper's controlled runs reserve the whole system and fill it
+        // with same-app jobs; do the same.
+        cfg.nnodes = 256;
+        cfg.njobs = std::max(2, cfg.system.num_nodes() / cfg.nnodes);
+        cfg.mode = static_cast<routing::Mode>(m);
+        cfg.params = opt.params_for(app);
+        // Reservation-level pressure: one simulated rank stands for a whole
+        // node (64 KNL ranks on the real system), so per-node volumes are
+        // aggregated up for the full-machine ensembles.
+        cfg.params.msg_scale = opt.scale * 6;
+        cfg.placement = placement;
+        cfg.seed = opt.seed;  // same placements for every mode: paired
+        const auto r = core::run_controlled(cfg);
+        if (!r.ok) continue;
+        for (const double t : r.runtimes_ms)
+          per_mode[static_cast<std::size_t>(m)].push_back(t);
+      }
+    }
+    // z-normalize across this app's runs (paper's per-app normalization).
+    std::vector<double> all;
+    for (const auto& v : per_mode) all.insert(all.end(), v.begin(), v.end());
+    const auto s = stats::summarize(all);
+    const double sd = s.stddev > 1e-12 ? s.stddev : 1e-12;
+    for (int m = 0; m < 4; ++m)
+      for (const double t : per_mode[static_cast<std::size_t>(m)])
+        pooled[static_cast<std::size_t>(m)].push_back((t - s.mean) / sd);
+  }
+  std::printf("\n  mode | z-mean | z-min | z-max | n\n");
+  for (int m = 0; m < 4; ++m) {
+    const auto s = stats::summarize(pooled[static_cast<std::size_t>(m)]);
+    std::printf("  AD%d  | %6.3f | %5.2f | %5.2f | %zu\n", m, s.mean, s.min,
+                s.max, s.n);
+  }
+  std::printf(
+      "\nPaper: AD3 lowest mean and tightest range; AD2 next; AD1 slightly "
+      "better than AD0.\n");
+  bench::footnote(opt, opt.theta());
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Fig. 10 — Controlled ensemble of eight 512-node MILC jobs filling the
+// system: cumulative stalls, flits, and stall-to-flit ratio for every router
+// tile, by tile class, AD0 vs AD3.
+//
+// Paper result: AD3 clearly reduces absolute stalls on rank-1/rank-2/proc
+// tiles, cuts the stall-to-flit ratio ~2x, and lowers total flits on all
+// network classes (fewer hops under minimal paths).
+#include <array>
+#include <cstdio>
+#include <iostream>
+
+#include "common.hpp"
+#include "core/report.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::header("Fig. 10",
+                "Eight 512-node MILC jobs filling the machine, AD0 vs AD3");
+
+  struct ModeResult {
+    net::CounterSnapshot total;
+    double flit_time = 1.0;
+    double mean_rt = 0.0;
+  } res[2];
+  for (const routing::Mode mode : {routing::Mode::kAd0, routing::Mode::kAd3}) {
+    const int mi = mode == routing::Mode::kAd0 ? 0 : 1;
+    core::EnsembleConfig cfg;
+    cfg.system = opt.theta();
+    cfg.app = "MILC";
+    // Eight 512-node jobs fill 4096 of Theta's nodes; scale the job count to
+    // the configured system so the machine is equally full.
+    cfg.nnodes = 512;
+    cfg.njobs = std::max(1, cfg.system.num_nodes() * 8 / 4608);
+    cfg.mode = mode;
+    cfg.params = opt.params();
+    // Reservation-level pressure: one simulated rank stands for a whole
+        // node (64 KNL ranks on the real system), so per-node volumes are
+        // aggregated up for the full-machine ensembles.
+        cfg.params.msg_scale = opt.scale * 6;
+    cfg.placement = sched::Placement::kRandom;
+    cfg.seed = opt.seed;
+    const auto r = core::run_controlled(cfg);
+    if (!r.ok) {
+      std::fprintf(stderr, "ensemble failed\n");
+      return 1;
+    }
+    res[mi].total = r.total;
+    res[mi].flit_time = r.flit_time_ns;
+    if (auto csv = bench::csv(opt, std::string("fig10_tiles_") +
+                                       std::string(routing::mode_name(mode)),
+                              {"router", "port", "class", "flits", "stall_ns"}))
+      for (const auto& tc : r.tiles)
+        csv->row({std::to_string(tc.router), std::to_string(tc.port),
+                  topo::tile_class_name(tc.cls), std::to_string(tc.flits),
+                  std::to_string(tc.stall_ns)});
+    double sum = 0;
+    for (const double t : r.runtimes_ms) sum += t;
+    res[mi].mean_rt = sum / static_cast<double>(r.runtimes_ms.size());
+  }
+
+  stats::Table t({"Class", "flits AD0", "flits AD3", "stall-ns AD0",
+                  "stall-ns AD3", "ratio AD0", "ratio AD3"});
+  auto row = [&](const char* name, const net::ClassCounters& a,
+                 const net::ClassCounters& b) {
+    t.add_row({name, std::to_string(a.flits), std::to_string(b.flits),
+               std::to_string(a.stall_ns), std::to_string(b.stall_ns),
+               stats::fmt(net::CounterSnapshot::stall_flit_ratio(
+                              a, res[0].flit_time), 3),
+               stats::fmt(net::CounterSnapshot::stall_flit_ratio(
+                              b, res[1].flit_time), 3)});
+  };
+  row("Rank3", res[0].total.rank3, res[1].total.rank3);
+  row("Rank2", res[0].total.rank2, res[1].total.rank2);
+  row("Rank1", res[0].total.rank1, res[1].total.rank1);
+  row("Proc_req", res[0].total.proc_req, res[1].total.proc_req);
+  row("Proc_rsp", res[0].total.proc_rsp, res[1].total.proc_rsp);
+  t.print(std::cout);
+  std::printf(
+      "  mean job runtime: AD0 %.3f ms vs AD3 %.3f ms\n"
+      "\nPaper: under full-system MILC load AD3 cuts stalls and the "
+      "stall-to-flit ratio (~2x) and reduces total network flits; the same "
+      "512-node MILC preferred AD0 only on a lightly loaded production "
+      "system.\n",
+      res[0].mean_rt, res[1].mean_rt);
+  bench::footnote(opt, opt.theta());
+  return 0;
+}

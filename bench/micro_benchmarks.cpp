@@ -1,0 +1,96 @@
+// Micro-benchmarks (google-benchmark): engine event throughput, topology
+// construction, route planning, and end-to-end packet cost. These track the
+// simulator's own performance, which bounds how much paper-scale evaluation
+// a given wall-clock budget buys.
+#include <benchmark/benchmark.h>
+
+#include "net/network.hpp"
+#include "routing/adaptive.hpp"
+#include "sim/engine.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace {
+
+using namespace dfsim;
+
+void BM_EngineScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine e;
+    const int n = static_cast<int>(state.range(0));
+    for (int i = 0; i < n; ++i) e.schedule(i % 997, [] {});
+    e.run();
+    benchmark::DoNotOptimize(e.events_executed());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_TopologyConstruct(benchmark::State& state) {
+  const topo::Config cfg =
+      state.range(0) == 0 ? topo::Config::theta_scaled() : topo::Config::theta();
+  for (auto _ : state) {
+    topo::Dragonfly d(cfg);
+    benchmark::DoNotOptimize(d.num_ports(0));
+  }
+}
+BENCHMARK(BM_TopologyConstruct)->Arg(0)->Arg(1);
+
+void BM_MinimalHops(benchmark::State& state) {
+  const topo::Dragonfly d(topo::Config::theta());
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    const auto a =
+        static_cast<topo::RouterId>(rng.uniform_u64(d.config().num_routers()));
+    const auto b =
+        static_cast<topo::RouterId>(rng.uniform_u64(d.config().num_routers()));
+    benchmark::DoNotOptimize(d.minimal_hops(a, b));
+  }
+}
+BENCHMARK(BM_MinimalHops);
+
+class ZeroLoad final : public routing::LoadOracle {
+ public:
+  [[nodiscard]] std::int64_t load_units(topo::RouterId,
+                                        topo::PortId) const override {
+    return 0;
+  }
+};
+
+void BM_RoutePlanInjection(benchmark::State& state) {
+  const topo::Dragonfly d(topo::Config::theta());
+  ZeroLoad oracle;
+  routing::RoutePlanner pl(d, oracle, sim::Rng(2));
+  sim::Rng rng(3);
+  for (auto _ : state) {
+    const auto src =
+        static_cast<topo::NodeId>(rng.uniform_u64(d.config().num_nodes()));
+    const auto dst =
+        static_cast<topo::NodeId>(rng.uniform_u64(d.config().num_nodes()));
+    routing::RouteState st;
+    st.mode = routing::Mode::kAd0;
+    pl.decide_injection(d.router_of_node(src), dst, st);
+    benchmark::DoNotOptimize(st.nonminimal);
+  }
+}
+BENCHMARK(BM_RoutePlanInjection);
+
+void BM_EndToEndMessage(benchmark::State& state) {
+  // Cost of one cross-group 64KB message including responses, on a scaled
+  // Theta. Reported as items = packets.
+  const topo::Dragonfly d(topo::Config::theta_scaled());
+  std::int64_t packets = 0;
+  for (auto _ : state) {
+    sim::Engine e;
+    net::Network net(e, d, 7);
+    net.send_message(0, d.config().num_nodes() - 1, 64 * 1024,
+                     routing::Mode::kAd0, {});
+    e.run();
+    packets += net.stats().packets_delivered;
+  }
+  state.SetItemsProcessed(packets);
+}
+BENCHMARK(BM_EndToEndMessage);
+
+}  // namespace
+
+BENCHMARK_MAIN();

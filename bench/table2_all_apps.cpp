@@ -1,0 +1,61 @@
+// Table II — Mean ± σ runtimes for every application at 256 nodes under
+// production conditions, AD0 vs AD3, with % improvement in total time and
+// in MPI time.
+//
+// Paper result: AD3 improves MILC +11%, MILCREORDER +11.9%, Nek5000 +2.2%,
+// Qbox +4.8%, Rayleigh +0.2%; HACC regresses -2.7%. MPI-time improvements
+// up to 18.8%.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "common.hpp"
+#include "core/report.hpp"
+#include "stats/summary.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  const auto opt = bench::Options::parse(argc, argv);
+  bench::header("Table II", "All applications, 256 nodes, AD0 vs AD3");
+
+  auto csv = bench::csv(opt, "table2_runs",
+                        {"app", "mode", "runtime_ms", "mpi_ms", "groups"});
+  std::vector<core::ComparisonRow> rows;
+  for (const auto& app : apps::paper_app_names()) {
+    std::vector<double> rt[2], mpi[2];
+    for (const routing::Mode mode : {routing::Mode::kAd0, routing::Mode::kAd3}) {
+      const int mi = mode == routing::Mode::kAd0 ? 0 : 1;
+      auto cfg = opt.production(app, 256, mode);
+      const auto rs = core::run_production_batch(cfg, opt.samples);
+      for (const auto& r : rs) {
+        const double mpims =
+            sim::to_ms(r.autoperf.profile.total_mpi_ns()) / r.autoperf.nranks;
+        rt[mi].push_back(r.runtime_ms);
+        mpi[mi].push_back(mpims);
+        if (csv)
+          csv->row({app, std::string(routing::mode_name(mode)),
+                    stats::CsvWriter::num(r.runtime_ms),
+                    stats::CsvWriter::num(mpims),
+                    std::to_string(r.groups_spanned)});
+      }
+      rt[mi] = stats::remove_outliers(rt[mi]);
+    }
+    core::ComparisonRow row;
+    row.app = app;
+    row.ad0 = stats::summarize(rt[0]);
+    row.ad3 = stats::summarize(rt[1]);
+    row.time_improvement_pct =
+        stats::improvement_pct(row.ad0.mean, row.ad3.mean);
+    row.mpi_improvement_pct = stats::improvement_pct(
+        stats::summarize(mpi[0]).mean, stats::summarize(mpi[1]).mean);
+    row.runs = static_cast<int>(rt[0].size() + rt[1].size());
+    rows.push_back(row);
+  }
+  core::print_table2(std::cout, rows);
+  std::printf(
+      "\nPaper Table II: MILC +11%%, MILCREORDER +11.9%%, Nek5000 +2.2%%, "
+      "HACC -2.7%%, Qbox +4.8%%, Rayleigh +0.2%%.\n");
+  bench::footnote(opt, opt.theta());
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Example: quantify noisy-neighbor interference (paper Section II-C).
+//
+// Runs the same MILC-like job (a) isolated, (b) compact-placed next to an
+// aggressive bisection-streaming neighbor, and (c) dispersed across groups
+// next to the same neighbor — under AD0 and AD3. Shows how placement and
+// routing bias together determine how much background traffic hurts.
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "monitor/autoperf.hpp"
+#include "sched/scheduler.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+double run_case(dfsim::routing::Mode mode, bool with_neighbor,
+                dfsim::sched::Placement placement) {
+  using namespace dfsim;
+  topo::Config sys = topo::Config::theta_scaled();
+  sys.groups = 6;
+  sys.packet_payload_bytes = 4096;
+  sys.buffer_flits = 1024;
+  sched::Scheduler sched(sys, 99);
+
+  // The victim job.
+  apps::AppParams p;
+  p.iterations = 3;
+  p.msg_scale = 0.2;
+  p.compute_scale = 0.2;
+  const mpi::JobId victim =
+      sched.submit_app("MILC", 64, placement, mode, p);
+  if (victim < 0) return -1.0;
+
+  // The aggressor: a bisection-bandwidth stream on half the machine.
+  if (with_neighbor) {
+    auto nodes = sched.allocator().allocate(sys.num_nodes() / 2,
+                                            sched::Placement::kRandom,
+                                            sched.rng());
+    apps::SyntheticParams sp;
+    sp.msg_bytes = 64 * 1024;
+    sp.compute_ns = 20 * sim::kMicrosecond;
+    sp.iterations = 0;
+    mpi::JobSpec spec;
+    spec.name = "aggressor";
+    spec.nodes = std::move(nodes);
+    spec.app = [sp](mpi::RankCtx& c) { return apps::bisection_traffic(c, sp); };
+    sched.machine().submit(std::move(spec));
+  }
+
+  const dfsim::mpi::JobId w[] = {victim};
+  if (!sched.machine().run_to_completion(w)) return -1.0;
+  return sim::to_ms(sched.machine().job(victim).runtime());
+}
+
+}  // namespace
+
+int main() {
+  using namespace dfsim;
+  std::printf("Noisy-neighbor interference study (MILC, 64 nodes)\n\n");
+  stats::Table t({"Scenario", "AD0 (ms)", "AD3 (ms)", "AD3 gain"});
+  struct Case {
+    const char* name;
+    bool neighbor;
+    sched::Placement placement;
+  };
+  const Case cases[] = {
+      {"isolated, compact", false, sched::Placement::kCompact},
+      {"neighbor, compact", true, sched::Placement::kCompact},
+      {"neighbor, dispersed", true, sched::Placement::kRandom},
+  };
+  for (const auto& c : cases) {
+    const double a0 = run_case(routing::Mode::kAd0, c.neighbor, c.placement);
+    const double a3 = run_case(routing::Mode::kAd3, c.neighbor, c.placement);
+    t.add_row({c.name, stats::fmt(a0, 3), stats::fmt(a3, 3),
+               stats::fmt_signed(a0 > 0 ? 100.0 * (a0 - a3) / a0 : 0.0, 1) +
+                   "%"});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nReading the result (paper Sections II-C, IV): compact placement "
+      "shields the victim\n(few shared links), and minimal bias keeps its "
+      "latency-bound traffic on short paths.\nWhen the victim is dispersed "
+      "*and* the aggressor saturates the direct rank-3 cables,\nthe regime "
+      "flips HACC-like: equal bias (AD0) detours around the aggressor while "
+      "strong\nminimal bias queues behind it. Which bias wins depends on "
+      "where the congestion lives\n— exactly the paper's point about "
+      "knowing your workload before picking a default.\n");
+  return 0;
+}

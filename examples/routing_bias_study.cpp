@@ -1,0 +1,80 @@
+// Example: per-application routing-bias study.
+//
+// Reproduces the paper's core methodology on one app of your choice: run it
+// repeatedly under production-like background noise with each adaptive
+// routing mode, then report mean runtime, variability, and the local
+// stall-to-flit ratios — the evidence a facility would use to pick a
+// per-application routing default.
+//
+// Usage: routing_bias_study [APP] [NNODES] [SAMPLES]
+//   APP in {MILC, MILCREORDER, NEK5000, HACC, QBOX, RAYLEIGH}
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/registry.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  const std::string app = argc > 1 ? argv[1] : "MILC";
+  const int nnodes = argc > 2 ? std::atoi(argv[2]) : 128;
+  const int samples = argc > 3 ? std::atoi(argv[3]) : 6;
+  if (!apps::has_app(app)) {
+    std::fprintf(stderr, "unknown app '%s'\n", app.c_str());
+    return 1;
+  }
+
+  topo::Config sys = topo::Config::theta_scaled();
+  sys.groups = 8;
+  sys.packet_payload_bytes = 4096;
+  sys.buffer_flits = 1024;
+
+  std::printf("Routing-bias study: %s on %d nodes (%s, %d nodes total)\n\n",
+              app.c_str(), nnodes, sys.name.c_str(), sys.num_nodes());
+
+  stats::Table t({"Mode", "mean (ms)", "sigma", "p95 (ms)", "nonmin %",
+                  "rank3 stall/flit"});
+  for (int m = 0; m < routing::kNumModes; ++m) {
+    const auto mode = static_cast<routing::Mode>(m);
+    core::ProductionConfig cfg;
+    cfg.system = sys;
+    cfg.app = app;
+    cfg.nnodes = nnodes;
+    cfg.mode = mode;
+    cfg.params.iterations = 3;
+    cfg.params.msg_scale = 0.15;
+    cfg.params.compute_scale = 0.15;
+    cfg.bg_utilization = 0.7;
+    cfg.seed = 7;
+    const auto rs = core::run_production_batch(cfg, samples);
+    if (rs.empty()) continue;
+    std::vector<double> xs;
+    double nonmin = 0.0, ratio = 0.0;
+    for (const auto& r : rs) {
+      xs.push_back(r.runtime_ms);
+      const auto& st = r.netstats;
+      const auto total = st.minimal_decisions + st.nonminimal_decisions;
+      nonmin += total > 0 ? 100.0 * static_cast<double>(st.nonminimal_decisions) /
+                                static_cast<double>(total)
+                          : 0.0;
+      ratio += r.local_stall_ratios()[0];
+    }
+    const auto s = stats::summarize(xs);
+    t.add_row({std::string(routing::mode_name(mode)), stats::fmt(s.mean, 3),
+               stats::fmt(s.stddev, 3), stats::fmt(s.p95, 3),
+               stats::fmt(nonmin / rs.size(), 1),
+               stats::fmt(ratio / rs.size(), 3)});
+  }
+  t.print(std::cout);
+  std::printf(
+      "\nInterpretation (paper Sections IV-V): latency-bound apps want a "
+      "strong minimal bias (AD3);\nbisection-bound apps (HACC-like) prefer "
+      "equal bias (AD0).\n");
+  return 0;
+}

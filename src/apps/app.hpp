@@ -1,0 +1,69 @@
+// Application proxy framework.
+//
+// Each paper application (Table I) is reproduced as a communication
+// skeleton: the real code's message sizes, MPI-call mix, process-grid
+// decomposition, and compute/communication ratio, without the numerics.
+// The paper's analysis (Sections II-E, IV) argues that the routing-bias
+// preference of an application is determined by exactly these properties.
+//
+// An app is a per-rank coroutine; factories bind AppParams into a
+// JobSpec::AppFn. `msg_scale` shrinks message volumes (and compute
+// proportionally via `compute_scale`) so benches can sweep many runs
+// quickly while preserving the communication-to-compute balance.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "mpi/rank.hpp"
+#include "mpi/task.hpp"
+
+namespace dfsim::apps {
+
+struct AppParams {
+  int iterations = 10;
+  double msg_scale = 1.0;      ///< multiplies message sizes
+  double compute_scale = 1.0;  ///< multiplies compute blocks
+  std::uint64_t seed = 1;      ///< app-level randomness (fixed neighbor sets)
+
+  [[nodiscard]] std::int64_t scaled(std::int64_t bytes) const {
+    const auto v = static_cast<std::int64_t>(static_cast<double>(bytes) * msg_scale);
+    return v > 0 ? v : 1;
+  }
+  [[nodiscard]] sim::Tick scaled_compute(sim::Tick ns) const {
+    const auto v = static_cast<sim::Tick>(static_cast<double>(ns) * compute_scale);
+    return v > 0 ? v : 0;
+  }
+};
+
+/// Factor `n` into `d` near-equal dimensions (largest first).
+std::vector<int> balanced_dims(int n, int d);
+
+/// Map a rank to coordinates in the given dims (row-major) and back.
+std::vector<int> rank_to_coords(int rank, const std::vector<int>& dims);
+int coords_to_rank(const std::vector<int>& coords, const std::vector<int>& dims);
+
+// --- Application skeletons (one per paper app) ---
+mpi::CoTask milc(mpi::RankCtx& ctx, AppParams p);
+mpi::CoTask milc_reorder(mpi::RankCtx& ctx, AppParams p);
+mpi::CoTask nek5000(mpi::RankCtx& ctx, AppParams p);
+mpi::CoTask hacc(mpi::RankCtx& ctx, AppParams p);
+mpi::CoTask qbox(mpi::RankCtx& ctx, AppParams p);
+mpi::CoTask rayleigh(mpi::RankCtx& ctx, AppParams p);
+
+// --- Synthetic patterns (background noise / controlled congestors) ---
+struct SyntheticParams {
+  std::int64_t msg_bytes = 64 * 1024;
+  sim::Tick compute_ns = 50 * sim::kMicrosecond;
+  int iterations = 0;  ///< 0 = run until RankCtx::stop_requested()
+  std::uint64_t seed = 1;
+};
+mpi::CoTask uniform_traffic(mpi::RankCtx& ctx, SyntheticParams p);
+mpi::CoTask stencil3d_traffic(mpi::RankCtx& ctx, SyntheticParams p);
+mpi::CoTask incast_traffic(mpi::RankCtx& ctx, SyntheticParams p);
+mpi::CoTask bisection_traffic(mpi::RankCtx& ctx, SyntheticParams p);
+mpi::CoTask compute_only(mpi::RankCtx& ctx, SyntheticParams p);
+
+}  // namespace dfsim::apps

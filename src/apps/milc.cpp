@@ -1,0 +1,156 @@
+// MILC (Lattice QCD) proxy.
+//
+// Paper characterization (Table I, Section IV-A): 4D stencil with heavy
+// KB-range nonblocking neighbor exchange overlapped with compute, followed
+// by frequent latency-bound 8-byte MPI_Allreduce operations (CG solver dot
+// products). ~52% of runtime in MPI; dominant calls MPI_Allreduce, MPI_Wait,
+// MPI_Isend. MILCREORDER is the same code with a locality-optimized
+// rank-to-grid mapping (2^4 blocking), which shifts time from Allreduce
+// toward Wait (Table I row 2).
+#include <array>
+#include <numeric>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "mpi/collectives.hpp"
+
+namespace dfsim::apps {
+
+std::vector<int> balanced_dims(int n, int d) {
+  // Prime-factorize, then assign factors largest-first onto the currently
+  // smallest dimension (largest-first keeps the result balanced: 12 in 2D
+  // becomes 4x3, not 6x2).
+  std::vector<int> factors;
+  int rest = n;
+  for (int f = 2; rest > 1;) {
+    if (rest % f == 0) {
+      factors.push_back(f);
+      rest /= f;
+    } else {
+      ++f;
+      if (f * f > rest) f = rest;
+    }
+  }
+  std::sort(factors.begin(), factors.end(), std::greater<>());
+  std::vector<int> dims(static_cast<std::size_t>(d), 1);
+  for (const int f : factors)
+    *std::min_element(dims.begin(), dims.end()) *= f;
+  std::sort(dims.begin(), dims.end(), std::greater<>());
+  return dims;
+}
+
+std::vector<int> rank_to_coords(int rank, const std::vector<int>& dims) {
+  std::vector<int> c(dims.size());
+  for (std::size_t i = dims.size(); i-- > 0;) {
+    c[i] = rank % dims[i];
+    rank /= dims[i];
+  }
+  return c;
+}
+
+int coords_to_rank(const std::vector<int>& coords, const std::vector<int>& dims) {
+  int r = 0;
+  for (std::size_t i = 0; i < dims.size(); ++i) r = r * dims[i] + coords[i];
+  return r;
+}
+
+namespace {
+
+/// Logical grid position of world rank `w`. Identity for MILC; 2-per-dim
+/// blocked (locality-optimized) for MILCREORDER.
+std::vector<int> grid_coords(int w, const std::vector<int>& dims, bool blocked) {
+  if (!blocked) return rank_to_coords(w, dims);
+  // Decode w as (block index, intra-block offset) with block edge 2 in every
+  // dimension that is even-sized.
+  std::vector<int> bdims(dims.size()), edge(dims.size());
+  int cells = 1;
+  for (std::size_t i = 0; i < dims.size(); ++i) {
+    edge[i] = (dims[i] % 2 == 0) ? 2 : 1;
+    bdims[i] = dims[i] / edge[i];
+    cells *= edge[i];
+  }
+  const int block = w / cells;
+  int off = w % cells;
+  auto bc = rank_to_coords(block, bdims);
+  std::vector<int> c(dims.size());
+  for (std::size_t i = dims.size(); i-- > 0;) {
+    c[i] = bc[i] * edge[i] + off % edge[i];
+    off /= edge[i];
+  }
+  return c;
+}
+
+mpi::CoTask milc_impl(mpi::RankCtx& ctx, AppParams p, bool reorder) {
+  const int n = ctx.nranks();
+  const int me = ctx.rank();
+  const auto dims = balanced_dims(n, 4);
+
+  // position (row-major logical index) -> world rank.
+  std::vector<int> pos_to_world(static_cast<std::size_t>(n));
+  for (int w = 0; w < n; ++w)
+    pos_to_world[static_cast<std::size_t>(
+        coords_to_rank(grid_coords(w, dims, reorder), dims))] = w;
+  const auto my_coords = grid_coords(me, dims, reorder);
+
+  // Periodic neighbors in the 8 stencil directions.
+  std::array<int, 8> nbr{};
+  std::array<int, 8> tag{};
+  int k = 0;
+  for (std::size_t d = 0; d < dims.size(); ++d) {
+    for (int s : {+1, -1}) {
+      auto c = my_coords;
+      c[d] = (c[d] + s + dims[d]) % dims[d];
+      nbr[static_cast<std::size_t>(k)] =
+          pos_to_world[static_cast<std::size_t>(coords_to_rank(c, dims))];
+      // Tag identifies (dim, direction as seen by the receiver).
+      tag[static_cast<std::size_t>(k)] = static_cast<int>(2 * d) + (s > 0 ? 0 : 1);
+      ++k;
+    }
+  }
+
+  const std::int64_t halo = p.scaled(8 * 1024);  // KB-range stencil faces
+  const sim::Tick overlap = p.scaled_compute(220 * sim::kMicrosecond);
+  const sim::Tick solver = p.scaled_compute(180 * sim::kMicrosecond);
+
+  for (int it = 0; it < p.iterations; ++it) {
+    // Halo exchange, overlapped with local stencil compute.
+    std::vector<mpi::Request> reqs;
+    reqs.reserve(16);
+    k = 0;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+      for (int s : {+1, -1}) {
+        (void)s;
+        // Receive from the opposite direction the neighbor sends toward us.
+        const int kk = k;
+        const int opp = (kk % 2 == 0) ? kk + 1 : kk - 1;
+        reqs.push_back(ctx.irecv(nbr[static_cast<std::size_t>(opp)], halo,
+                                 tag[static_cast<std::size_t>(kk)]));
+        ++k;
+      }
+    }
+    for (int i = 0; i < 8; ++i)
+      reqs.push_back(ctx.isend(nbr[static_cast<std::size_t>(i)], halo,
+                               tag[static_cast<std::size_t>(i)]));
+    co_await ctx.compute_jitter(overlap, 0.03);
+    co_await ctx.waitall(std::move(reqs));
+
+    // CG-style solver segment: a chain of latency-bound 8-byte allreduces
+    // (two dot products per CG iteration).
+    for (int a = 0; a < 8; ++a) {
+      co_await ctx.compute_jitter(solver / 8, 0.03);
+      co_await mpi::coll::allreduce(ctx, mpi::Comm::world(n, me), 8);
+    }
+  }
+}
+
+}  // namespace
+
+mpi::CoTask milc(mpi::RankCtx& ctx, AppParams p) {
+  return milc_impl(ctx, p, /*reorder=*/false);
+}
+
+mpi::CoTask milc_reorder(mpi::RankCtx& ctx, AppParams p) {
+  return milc_impl(ctx, p, /*reorder=*/true);
+}
+
+}  // namespace dfsim::apps

@@ -1,0 +1,77 @@
+// Nek5000 (spectral-element CFD) proxy.
+//
+// Paper characterization (Table I): medium KB-range point-to-point
+// (gather-scatter across an irregular element graph), light 16-byte
+// allreduces, ~48% MPI; dominant calls MPI_Allreduce, MPI_Waitall, MPI_Recv.
+// The gather-scatter neighborhood is irregular but fixed: each rank talks to
+// a fixed pseudo-random set of ~12 peers, half nonblocking (waitall) and
+// half through blocking receives (the crystal-router stage Nek uses).
+#include <algorithm>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "mpi/collectives.hpp"
+
+namespace dfsim::apps {
+
+namespace {
+
+/// Fixed pseudo-random symmetric neighbor sets: rank i and j are neighbors
+/// iff hash(i, j) selects the pair; every rank gets ~`degree` peers.
+std::vector<int> gs_neighbors(int me, int n, int degree, std::uint64_t seed) {
+  std::vector<int> nbrs;
+  if (n <= 1) return nbrs;
+  // Symmetric ring-offset construction: offsets derived from the seed so the
+  // graph is irregular but identical on both endpoints of each edge.
+  sim::Rng rng(seed);
+  std::vector<int> offsets;
+  // Only floor(n/2) distinct +/- offset pairs exist; cap the target so small
+  // communicators terminate.
+  const int want = std::min((degree + 1) / 2, n / 2);
+  while (static_cast<int>(offsets.size()) < want) {
+    const int off = static_cast<int>(rng.uniform_int(1, n - 1));
+    if (std::find(offsets.begin(), offsets.end(), off) == offsets.end() &&
+        std::find(offsets.begin(), offsets.end(), n - off) == offsets.end())
+      offsets.push_back(off);
+  }
+  for (const int off : offsets) {
+    nbrs.push_back((me + off) % n);
+    if ((me + off) % n != (me - off + n) % n) nbrs.push_back((me - off + n) % n);
+  }
+  return nbrs;
+}
+
+}  // namespace
+
+mpi::CoTask nek5000(mpi::RankCtx& ctx, AppParams p) {
+  const int n = ctx.nranks();
+  const int me = ctx.rank();
+  const auto nbrs = gs_neighbors(me, n, 12, p.seed);
+  const std::int64_t gs_bytes = p.scaled(4 * 1024);
+  const sim::Tick element_work = p.scaled_compute(250 * sim::kMicrosecond);
+  const auto world = mpi::Comm::world(n, me);
+
+  for (int it = 0; it < p.iterations; ++it) {
+    // Gather-scatter: post all receives, send, wait.
+    std::vector<mpi::Request> reqs;
+    for (const int nb : nbrs) reqs.push_back(ctx.irecv(nb, gs_bytes, /*tag=*/1));
+    for (const int nb : nbrs) reqs.push_back(ctx.isend(nb, gs_bytes, /*tag=*/1));
+    co_await ctx.compute_jitter(element_work / 2, 0.03);
+    co_await ctx.waitall(std::move(reqs));
+
+    // Crystal-router stage: blocking ring exchange (MPI_Recv in Table I).
+    const int right = (me + 1) % n;
+    const int left = (me - 1 + n) % n;
+    {
+      mpi::Request s = ctx.isend(right, gs_bytes, /*tag=*/2);
+      co_await ctx.recv(left, gs_bytes, /*tag=*/2);
+      co_await ctx.wait(std::move(s));
+    }
+    co_await ctx.compute_jitter(element_work / 2, 0.03);
+
+    // Pressure-solve dot products: small latency-bound allreduces.
+    for (int a = 0; a < 3; ++a) co_await mpi::coll::allreduce(ctx, world, 16);
+  }
+}
+
+}  // namespace dfsim::apps

@@ -1,0 +1,65 @@
+// Rayleigh (spherical convection / pseudo-spectral) proxy.
+//
+// Paper characterization (Table I): no plain point-to-point; heavy ~23MB
+// MPI_Alltoallv transposes, plus MPI_Send (packing pipeline) and
+// MPI_Barrier. Only ~28% MPI and large messages, so Rayleigh is
+// injection-bandwidth / message-rate bound and largely insensitive to the
+// routing bias (paper Table II: 0.2%).
+#include <vector>
+
+#include "apps/app.hpp"
+#include "mpi/collectives.hpp"
+
+namespace dfsim::apps {
+
+mpi::CoTask rayleigh(mpi::RankCtx& ctx, AppParams p) {
+  const int n = ctx.nranks();
+  const int me = ctx.rank();
+  const auto dims = balanced_dims(n, 2);
+  const int rows = dims[0], cols = dims[1];
+  const int my_row = me / cols, my_col = me % cols;
+
+  auto row_comm = [&] {
+    std::vector<int> m;
+    for (int j = 0; j < cols; ++j) m.push_back(my_row * cols + j);
+    return mpi::Comm::sub(std::move(m), me);
+  }();
+  auto col_comm = [&] {
+    std::vector<int> m;
+    for (int i = 0; i < rows; ++i) m.push_back(i * cols + my_col);
+    return mpi::Comm::sub(std::move(m), me);
+  }();
+  const auto world = mpi::Comm::world(n, me);
+
+  const std::int64_t transpose_total = p.scaled(23'000'000);  // ~23MB
+  const sim::Tick work = p.scaled_compute(23'000 * sim::kMicrosecond);
+  const std::int64_t pack_bytes = p.scaled(512 * 1024);
+
+  for (int it = 0; it < p.iterations; ++it) {
+    // Legendre transform compute block.
+    co_await ctx.compute_jitter(work / 2, 0.02);
+
+    // Spectral transposes: heavy alltoallv along rows then columns.
+    std::vector<std::int64_t> per_row(
+        static_cast<std::size_t>(row_comm.size()),
+        transpose_total / std::max(1, row_comm.size() - 1));
+    co_await mpi::coll::alltoallv(ctx, row_comm, std::move(per_row));
+    std::vector<std::int64_t> per_col(
+        static_cast<std::size_t>(col_comm.size()),
+        transpose_total / std::max(1, col_comm.size() - 1));
+    co_await mpi::coll::alltoallv(ctx, col_comm, std::move(per_col));
+
+    co_await ctx.compute_jitter(work / 2, 0.02);
+
+    // Output/packing pipeline: blocking sends toward the row root.
+    if (row_comm.my_index != 0) {
+      co_await ctx.send(row_comm.world(0), pack_bytes, 7);
+    } else {
+      for (int j = 1; j < row_comm.size(); ++j)
+        co_await ctx.recv(mpi::kAnySource, pack_bytes, 7);
+    }
+    co_await mpi::coll::barrier(ctx, world);
+  }
+}
+
+}  // namespace dfsim::apps

@@ -1,0 +1,47 @@
+#include "apps/registry.hpp"
+
+#include <stdexcept>
+
+namespace dfsim::apps {
+
+namespace {
+
+struct Entry {
+  const char* name;
+  mpi::CoTask (*fn)(mpi::RankCtx&, AppParams);
+};
+
+constexpr Entry kApps[] = {
+    {"MILC", &milc},
+    {"MILCREORDER", &milc_reorder},
+    {"NEK5000", &nek5000},
+    {"HACC", &hacc},
+    {"QBOX", &qbox},
+    {"RAYLEIGH", &rayleigh},
+};
+
+}  // namespace
+
+mpi::JobSpec::AppFn make_app(std::string_view name, AppParams params) {
+  for (const auto& e : kApps) {
+    if (name == e.name) {
+      auto* fn = e.fn;
+      return [fn, params](mpi::RankCtx& ctx) { return fn(ctx, params); };
+    }
+  }
+  throw std::invalid_argument("make_app: unknown app '" + std::string(name) + "'");
+}
+
+const std::vector<std::string>& paper_app_names() {
+  static const std::vector<std::string> names = {
+      "MILC", "MILCREORDER", "NEK5000", "HACC", "QBOX", "RAYLEIGH"};
+  return names;
+}
+
+bool has_app(std::string_view name) {
+  for (const auto& e : kApps)
+    if (name == e.name) return true;
+  return false;
+}
+
+}  // namespace dfsim::apps

@@ -1,0 +1,24 @@
+// Name-based app registry: benches and examples look proxies up by the
+// paper's application names.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "mpi/machine.hpp"
+
+namespace dfsim::apps {
+
+/// Factory: binds AppParams into a JobSpec-ready per-rank program.
+mpi::JobSpec::AppFn make_app(std::string_view name, AppParams params);
+
+/// Names of the six paper applications, in Table I order.
+const std::vector<std::string>& paper_app_names();
+
+/// True if `name` resolves.
+bool has_app(std::string_view name);
+
+}  // namespace dfsim::apps

@@ -1,0 +1,105 @@
+// Synthetic traffic patterns.
+//
+// Used as (a) the background "other users' jobs" in the production-condition
+// experiments (paper Section III-A: all background jobs run AD0), and
+// (b) controlled congestors. Open-ended variants run until the machine
+// requests a cooperative stop.
+#include <vector>
+
+#include "apps/app.hpp"
+#include "mpi/collectives.hpp"
+
+namespace dfsim::apps {
+
+namespace {
+
+bool keep_going(const mpi::RankCtx& ctx, const SyntheticParams& p, int it) {
+  if (p.iterations > 0) return it < p.iterations;
+  return !ctx.stop_requested();
+}
+
+}  // namespace
+
+mpi::CoTask uniform_traffic(mpi::RankCtx& ctx, SyntheticParams p) {
+  const int n = ctx.nranks();
+  const int me = ctx.rank();
+  if (n <= 1) co_return;
+  for (int it = 0; keep_going(ctx, p, it); ++it) {
+    // Random shift permutation per iteration (same on every rank, derived
+    // from the shared seed) so each rank sends and receives exactly once —
+    // uniform-random-looking traffic with no unmatched receives.
+    sim::Rng round_rng(p.seed * 1000003ULL + static_cast<std::uint64_t>(it));
+    const int off =
+        1 + static_cast<int>(round_rng.uniform_u64(static_cast<std::uint64_t>(n - 1)));
+    const int dst = (me + off) % n;
+    const int src = (me - off + n) % n;
+    mpi::Request r = ctx.irecv(src, p.msg_bytes, 3);
+    mpi::Request s = ctx.isend(dst, p.msg_bytes, 3);
+    co_await ctx.compute_jitter(p.compute_ns, 0.1);
+    co_await ctx.wait(std::move(s));
+    co_await ctx.wait(std::move(r));
+  }
+}
+
+mpi::CoTask stencil3d_traffic(mpi::RankCtx& ctx, SyntheticParams p) {
+  const int n = ctx.nranks();
+  const int me = ctx.rank();
+  if (n <= 1) co_return;
+  const auto dims = balanced_dims(n, 3);
+  const auto c = rank_to_coords(me, dims);
+  std::vector<int> nbrs;
+  for (std::size_t d = 0; d < 3; ++d)
+    for (int s : {+1, -1}) {
+      auto cc = c;
+      cc[d] = (cc[d] + s + dims[d]) % dims[d];
+      nbrs.push_back(coords_to_rank(cc, dims));
+    }
+  for (int it = 0; keep_going(ctx, p, it); ++it) {
+    std::vector<mpi::Request> reqs;
+    for (const int nb : nbrs) reqs.push_back(ctx.irecv(nb, p.msg_bytes, 4));
+    for (const int nb : nbrs) reqs.push_back(ctx.isend(nb, p.msg_bytes, 4));
+    co_await ctx.compute_jitter(p.compute_ns, 0.1);
+    co_await ctx.waitall(std::move(reqs));
+  }
+}
+
+mpi::CoTask incast_traffic(mpi::RankCtx& ctx, SyntheticParams p) {
+  // Everyone hammers rank 0 (paper Section III-A's "extreme congestion
+  // events such as incast"); rank 0 sinks with wildcard receives.
+  const int n = ctx.nranks();
+  const int me = ctx.rank();
+  if (n <= 1) co_return;
+  for (int it = 0; keep_going(ctx, p, it); ++it) {
+    if (me == 0) {
+      for (int k = 0; k < n - 1; ++k)
+        co_await ctx.recv(mpi::kAnySource, p.msg_bytes, 6);
+    } else {
+      co_await ctx.send(0, p.msg_bytes, 6);
+      co_await ctx.compute_jitter(p.compute_ns, 0.1);
+    }
+  }
+}
+
+mpi::CoTask bisection_traffic(mpi::RankCtx& ctx, SyntheticParams p) {
+  // Pair rank i with rank i + n/2: a stream crossing the machine bisection.
+  const int n = ctx.nranks();
+  const int me = ctx.rank();
+  const int half = n / 2;
+  if (half == 0) co_return;
+  const int partner = me < half ? me + half : me - half;
+  if (partner == me || partner >= n) co_return;
+  for (int it = 0; keep_going(ctx, p, it); ++it) {
+    mpi::Request r = ctx.irecv(partner, p.msg_bytes, 8);
+    mpi::Request s = ctx.isend(partner, p.msg_bytes, 8);
+    co_await ctx.wait(std::move(s));
+    co_await ctx.wait(std::move(r));
+    co_await ctx.compute_jitter(p.compute_ns, 0.1);
+  }
+}
+
+mpi::CoTask compute_only(mpi::RankCtx& ctx, SyntheticParams p) {
+  for (int it = 0; keep_going(ctx, p, it); ++it)
+    co_await ctx.compute_jitter(p.compute_ns, 0.05);
+}
+
+}  // namespace dfsim::apps

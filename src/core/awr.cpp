@@ -1,0 +1,67 @@
+#include "core/awr.hpp"
+
+namespace dfsim::core {
+
+AwrController::AwrController(mpi::Machine& machine, mpi::JobId job,
+                             Params params)
+    : machine_(machine), job_(job), params_(params), mode_(params.initial) {
+  machine_.set_job_modes(job_, mode_, mode_ == routing::Mode::kAd0
+                                          ? routing::Mode::kAd1
+                                          : mode_);
+}
+
+void AwrController::start() {
+  if (running_) return;
+  running_ = true;
+  // Seed the counter window.
+  (void)sample_latency();
+  machine_.engine().schedule(params_.poll_period, [this] { poll(); });
+}
+
+double AwrController::sample_latency() {
+  std::int64_t sum = 0, count = 0;
+  const auto& net = machine_.network();
+  for (const topo::NodeId n : machine_.job(job_).spec.nodes) {
+    const auto& ctr = net.nic(n).ctr;
+    sum += ctr.rsp_time_sum_ns;
+    count += ctr.rsp_track_count;
+  }
+  const std::int64_t dsum = sum - last_sum_;
+  const std::int64_t dcount = count - last_count_;
+  last_sum_ = sum;
+  last_count_ = count;
+  return dcount > 0 ? static_cast<double>(dsum) / static_cast<double>(dcount)
+                    : -1.0;
+}
+
+void AwrController::poll() {
+  if (!running_ || machine_.job(job_).complete()) return;
+  ++polls_;
+  const double lat = sample_latency();
+  if (lat >= 0.0) {
+    if (baseline_ <= 0.0) baseline_ = lat;
+    const double ratio = lat / baseline_;
+    auto m = static_cast<int>(mode_);
+    if (ratio > params_.degrade_threshold &&
+        m < static_cast<int>(params_.ceiling)) {
+      ++m;
+      ++escalations_;
+    } else if (ratio < params_.improve_threshold &&
+               m > static_cast<int>(params_.floor)) {
+      --m;
+      ++relaxations_;
+    }
+    const auto next = static_cast<routing::Mode>(m);
+    if (next != mode_) {
+      mode_ = next;
+      machine_.set_job_modes(job_, mode_, mode_ == routing::Mode::kAd0
+                                              ? routing::Mode::kAd1
+                                              : mode_);
+      decisions_.push_back(Decision{machine_.engine().now(), mode_, lat});
+    }
+    baseline_ = params_.ewma_alpha * lat + (1.0 - params_.ewma_alpha) * baseline_;
+  }
+  machine_.engine().schedule(params_.poll_period, [this] { poll(); });
+}
+
+}  // namespace dfsim::core

@@ -1,0 +1,87 @@
+// Application-aware routing (AWR) runtime — the De Sensi et al. [SC'19]
+// baseline the paper compares against (Sections I, VI).
+//
+// AWR polls the NIC latency counters of a running job and adjusts the
+// job's routing bias at runtime: when observed request-response latency
+// degrades against its running baseline, the bias steps toward minimal;
+// when it recovers, the bias relaxes back. The paper found (a) the polling
+// overhead too high on many-core CPUs, and (b) that a well-chosen *static*
+// bias often beats the adaptive runtime — this controller lets both
+// findings be reproduced in simulation (see bench/ext_awr_vs_static).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "routing/bias.hpp"
+#include "sim/time.hpp"
+
+namespace dfsim::core {
+
+class AwrController {
+ public:
+  struct Params {
+    sim::Tick poll_period = 100 * sim::kMicrosecond;
+    /// Latency ratio vs. the EWMA baseline above which the bias escalates
+    /// one step toward minimal.
+    double degrade_threshold = 1.15;
+    /// Ratio below which the bias relaxes one step back.
+    double improve_threshold = 0.95;
+    double ewma_alpha = 0.3;
+    routing::Mode initial = routing::Mode::kAd0;
+    routing::Mode floor = routing::Mode::kAd0;
+    routing::Mode ceiling = routing::Mode::kAd3;
+    /// Modeled per-poll CPU cost charged to every rank of the job (the
+    /// overhead that made AWR impractical on KNL — paper Section I). Set to
+    /// 0 for an idealized zero-cost runtime.
+    sim::Tick poll_overhead = 0;
+  };
+
+  struct Decision {
+    sim::Tick t;
+    routing::Mode mode;
+    double latency_ns;
+  };
+
+  AwrController(mpi::Machine& machine, mpi::JobId job, Params params);
+
+  /// Begin polling (first poll one period after start()).
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] routing::Mode current_mode() const { return mode_; }
+  [[nodiscard]] const std::vector<Decision>& decisions() const {
+    return decisions_;
+  }
+  [[nodiscard]] int escalations() const { return escalations_; }
+  [[nodiscard]] int relaxations() const { return relaxations_; }
+  [[nodiscard]] int polls() const { return polls_; }
+  /// Modeled total CPU cost of the runtime (polls x poll_overhead): the
+  /// paper found this cost prohibitive on KNL; add it to the job runtime
+  /// when comparing against static modes.
+  [[nodiscard]] sim::Tick overhead_ns() const {
+    return static_cast<sim::Tick>(polls_) * params_.poll_overhead;
+  }
+
+ private:
+  void poll();
+  /// Mean request-response latency of the job's NICs since the last poll.
+  [[nodiscard]] double sample_latency();
+
+  mpi::Machine& machine_;
+  mpi::JobId job_;
+  Params params_;
+  routing::Mode mode_;
+  bool running_ = false;
+  double baseline_ = 0.0;  ///< EWMA of observed latency
+  std::int64_t last_sum_ = 0;
+  std::int64_t last_count_ = 0;
+  std::vector<Decision> decisions_;
+  int escalations_ = 0;
+  int relaxations_ = 0;
+  int polls_ = 0;
+};
+
+}  // namespace dfsim::core

@@ -1,0 +1,103 @@
+#include "core/experiment.hpp"
+
+#include "sched/scheduler.hpp"
+
+namespace dfsim::core {
+
+const char* const kTileRatioLabels[5] = {"Rank3", "Rank2", "Rank1", "Proc_req",
+                                         "Proc_rsp"};
+
+std::array<double, 5> stall_ratios(const net::CounterSnapshot& s,
+                                   double flit_time_ns) {
+  using CS = net::CounterSnapshot;
+  return {CS::stall_flit_ratio(s.rank3, flit_time_ns),
+          CS::stall_flit_ratio(s.rank2, flit_time_ns),
+          CS::stall_flit_ratio(s.rank1, flit_time_ns),
+          CS::stall_flit_ratio(s.proc_req, flit_time_ns),
+          CS::stall_flit_ratio(s.proc_rsp, flit_time_ns)};
+}
+
+std::array<double, 5> RunResult::local_stall_ratios() const {
+  return stall_ratios(autoperf.local, flit_time_ns);
+}
+
+RunResult run_production(const ProductionConfig& cfg) {
+  RunResult res;
+  sched::Scheduler sched(cfg.system, cfg.seed);
+  auto& machine = sched.machine();
+  machine.engine().set_event_budget(kEventBudget);
+
+  // Foreground allocation first (so requested placement is honored), then
+  // fill with background load.
+  auto nodes = sched.allocator().allocate(
+      cfg.nnodes, cfg.placement, sched.rng(), cfg.target_groups);
+  if (nodes.empty()) return res;
+  res.groups_spanned = machine.topology().groups_spanned(nodes);
+
+  sched::BackgroundSet bg;
+  if (cfg.bg_utilization > 0.0)
+    bg = sched.add_background(cfg.bg_utilization, cfg.bg_mode);
+
+  // Let the background ramp up, then start the app under test.
+  machine.run_for(cfg.warmup);
+  const auto global_base = machine.network().snapshot_all();
+  const mpi::JobId id =
+      sched.submit_app_on(cfg.app, std::move(nodes), cfg.mode, cfg.params);
+  const auto local_base = monitor::local_baseline(machine, id);
+
+  const mpi::JobId watch[] = {id};
+  if (!machine.run_to_completion(watch)) return res;
+
+  res.ok = true;
+  res.autoperf = monitor::collect(machine, id, local_base);
+  res.runtime_ms = res.autoperf.runtime_ms;
+  res.global = machine.network().snapshot_all().delta_since(global_base);
+  res.netstats = machine.network().stats();
+  res.flit_time_ns = machine.network().flit_time_ns();
+  return res;
+}
+
+std::vector<RunResult> run_production_batch(ProductionConfig cfg, int samples) {
+  std::vector<RunResult> out;
+  sim::Rng seeder(cfg.seed);
+  for (int i = 0; i < samples; ++i) {
+    cfg.seed = seeder.next();
+    RunResult r = run_production(cfg);
+    if (r.ok) out.push_back(std::move(r));
+  }
+  return out;
+}
+
+EnsembleResult run_controlled(const EnsembleConfig& cfg) {
+  EnsembleResult res;
+  sched::Scheduler sched(cfg.system, cfg.seed);
+  auto& machine = sched.machine();
+  machine.engine().set_event_budget(kEventBudget);
+
+  std::vector<mpi::JobId> ids;
+  for (int j = 0; j < cfg.njobs; ++j) {
+    const mpi::JobId id = sched.submit_app(cfg.app, cfg.nnodes, cfg.placement,
+                                           cfg.mode, cfg.params,
+                                           cfg.target_groups);
+    if (id < 0) break;  // machine full: run with what fits
+    ids.push_back(id);
+  }
+  if (ids.empty()) return res;
+
+  monitor::LdmsSampler ldms(machine.network(), cfg.ldms_period);
+  ldms.start();
+
+  if (!machine.run_to_completion(ids)) return res;
+
+  res.ok = true;
+  for (const mpi::JobId id : ids)
+    res.runtimes_ms.push_back(sim::to_ms(machine.job(id).runtime()));
+  res.total = machine.network().snapshot_all();
+  res.ldms = ldms.samples();
+  res.tiles = monitor::per_tile_counters(machine.network());
+  res.netstats = machine.network().stats();
+  res.flit_time_ns = machine.network().flit_time_ns();
+  return res;
+}
+
+}  // namespace dfsim::core

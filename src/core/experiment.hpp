@@ -1,0 +1,93 @@
+// Experiment harness reproducing the paper's three measurement conditions
+// (Section V-A.1):
+//  * production — the app under test runs alongside a synthetic background
+//    workload sampled from the Fig. 1 job mix, all background jobs on the
+//    system-default routing mode;
+//  * isolated   — the app alone on the machine;
+//  * controlled — an ensemble of identical jobs filling the system (the
+//    paper's full-system reservation experiments), with LDMS sampling.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "monitor/autoperf.hpp"
+#include "monitor/ldms.hpp"
+#include "net/network.hpp"
+#include "routing/bias.hpp"
+#include "sched/placement.hpp"
+#include "topo/config.hpp"
+
+namespace dfsim::core {
+
+struct ProductionConfig {
+  topo::Config system = topo::Config::theta();
+  std::string app = "MILC";
+  int nnodes = 256;
+  routing::Mode mode = routing::Mode::kAd0;  ///< mode of the app under test
+  apps::AppParams params;
+  sched::Placement placement = sched::Placement::kRandom;
+  int target_groups = 0;  ///< for Placement::kGroups
+  double bg_utilization = 0.75;  ///< 0 => isolated run
+  routing::Mode bg_mode = routing::Mode::kAd0;  ///< system default mode
+  sim::Tick warmup = 300 * sim::kMicrosecond;   ///< background ramp-up
+  std::uint64_t seed = 1;
+};
+
+struct RunResult {
+  bool ok = false;
+  double runtime_ms = 0.0;
+  int groups_spanned = 0;
+  monitor::AutoPerfReport autoperf;
+  net::CounterSnapshot global;  ///< whole-system delta over the run window
+  net::NetworkStats netstats;
+  double flit_time_ns = 1.0;
+
+  /// Stall-to-flit ratios in Fig. 6 order:
+  /// {Rank3, Rank2, Rank1, Proc_req, Proc_rsp} from the local (AutoPerf)
+  /// counters.
+  [[nodiscard]] std::array<double, 5> local_stall_ratios() const;
+};
+
+/// Fig. 6 / Fig. 10 row labels matching local_stall_ratios() order.
+extern const char* const kTileRatioLabels[5];
+std::array<double, 5> stall_ratios(const net::CounterSnapshot& s,
+                                   double flit_time_ns);
+
+RunResult run_production(const ProductionConfig& cfg);
+
+/// `samples` runs with derived seeds; failed runs are skipped.
+std::vector<RunResult> run_production_batch(ProductionConfig cfg, int samples);
+
+struct EnsembleConfig {
+  topo::Config system = topo::Config::theta();
+  std::string app = "MILC";
+  int njobs = 8;
+  int nnodes = 256;
+  routing::Mode mode = routing::Mode::kAd0;
+  apps::AppParams params;
+  sched::Placement placement = sched::Placement::kCompact;
+  int target_groups = 0;
+  sim::Tick ldms_period = 200 * sim::kMicrosecond;
+  std::uint64_t seed = 1;
+};
+
+struct EnsembleResult {
+  bool ok = false;
+  std::vector<double> runtimes_ms;
+  net::CounterSnapshot total;
+  std::vector<monitor::LdmsSample> ldms;
+  std::vector<monitor::TileCounters> tiles;
+  net::NetworkStats netstats;
+  double flit_time_ns = 1.0;
+};
+
+EnsembleResult run_controlled(const EnsembleConfig& cfg);
+
+/// Default per-run event budget (guards runaway configurations).
+inline constexpr std::uint64_t kEventBudget = 600'000'000ULL;
+
+}  // namespace dfsim::core

@@ -1,0 +1,108 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+
+#include "stats/table.hpp"
+
+namespace dfsim::core {
+
+void print_ratio_comparison(std::ostream& os, const std::string& label_a,
+                            const std::array<double, 5>& a,
+                            const std::string& label_b,
+                            const std::array<double, 5>& b) {
+  stats::Table t({"Tile class", label_a, label_b, "change"});
+  for (int i = 0; i < 5; ++i) {
+    const double chg = a[static_cast<std::size_t>(i)] > 1e-12
+                           ? 100.0 * (b[static_cast<std::size_t>(i)] -
+                                      a[static_cast<std::size_t>(i)]) /
+                                 a[static_cast<std::size_t>(i)]
+                           : 0.0;
+    t.add_row({kTileRatioLabels[i], stats::fmt(a[static_cast<std::size_t>(i)], 3),
+               stats::fmt(b[static_cast<std::size_t>(i)], 3),
+               stats::fmt_signed(chg, 1) + "%"});
+  }
+  t.print(os);
+}
+
+void print_breakdown(std::ostream& os, const monitor::AutoPerfReport& rep,
+                     std::span<const mpi::Op> ops) {
+  const double total_rank_ms =
+      rep.runtime_ms;  // per-rank wallclock == job runtime
+  const double mpi_ms = sim::to_ms(rep.profile.total_mpi_ns()) /
+                        std::max(1, rep.nranks);
+  double shown = 0.0;
+  os << "    run " << rep.app << ": runtime " << stats::fmt(total_rank_ms, 2)
+     << " ms | Compute " << stats::fmt(total_rank_ms - mpi_ms, 2) << " ms";
+  for (const mpi::Op op : ops) {
+    const double ms =
+        sim::to_ms(rep.profile.stats(op).time_ns) / std::max(1, rep.nranks);
+    shown += ms;
+    os << " | " << mpi::op_name(op) << " " << stats::fmt(ms, 2) << " ms";
+  }
+  os << " | Other_MPI " << stats::fmt(std::max(0.0, mpi_ms - shown), 2)
+     << " ms\n";
+}
+
+CharacterizationRow characterize(const monitor::AutoPerfReport& rep) {
+  CharacterizationRow row;
+  row.app = rep.app;
+  row.mpi_pct = 100.0 * rep.mpi_fraction;
+  const auto top = rep.top_ops(3);
+  if (top.size() > 0) row.call1 = std::string(mpi::op_name(top[0]));
+  if (top.size() > 1) row.call2 = std::string(mpi::op_name(top[1]));
+  if (top.size() > 2) row.call3 = std::string(mpi::op_name(top[2]));
+  // Average bytes over point-to-point vs collective interfaces.
+  auto avg_over = [&](std::initializer_list<mpi::Op> ops) {
+    std::int64_t calls = 0, bytes = 0;
+    for (const mpi::Op op : ops) {
+      calls += rep.profile.stats(op).calls;
+      bytes += rep.profile.stats(op).bytes;
+    }
+    return calls > 0 ? static_cast<double>(bytes) / static_cast<double>(calls)
+                     : 0.0;
+  };
+  row.p2p_avg_bytes = avg_over({mpi::Op::kIsend, mpi::Op::kSend});
+  row.coll_avg_bytes = avg_over({mpi::Op::kAllreduce, mpi::Op::kAlltoall,
+                                 mpi::Op::kAlltoallv, mpi::Op::kBcast,
+                                 mpi::Op::kReduce});
+  return row;
+}
+
+void print_table2(std::ostream& os, std::span<const ComparisonRow> rows) {
+  stats::Table t({"App", "AD0 mean±σ (ms)", "AD3 mean±σ (ms)",
+                  "% improvement (time)", "% improvement (MPI)", "runs"});
+  for (const auto& r : rows) {
+    t.add_row({r.app,
+               stats::fmt(r.ad0.mean, 2) + " ± " + stats::fmt(r.ad0.stddev, 2),
+               stats::fmt(r.ad3.mean, 2) + " ± " + stats::fmt(r.ad3.stddev, 2),
+               stats::fmt(r.time_improvement_pct, 1),
+               stats::fmt(r.mpi_improvement_pct, 1), std::to_string(r.runs)});
+  }
+  t.print(os);
+}
+
+void print_normalized_split(std::ostream& os, const std::string& title,
+                            std::span<const double> ad0,
+                            std::span<const double> ad3) {
+  // Normalize jointly (as the paper does per job size / app).
+  std::vector<double> all(ad0.begin(), ad0.end());
+  all.insert(all.end(), ad3.begin(), ad3.end());
+  const auto s = stats::summarize(all);
+  const double sd = s.stddev > 1e-12 ? s.stddev : 1e-12;
+  auto norm = [&](std::span<const double> xs) {
+    std::vector<double> out;
+    for (const double x : xs) out.push_back((x - s.mean) / sd);
+    return out;
+  };
+  const auto z0 = norm(ad0), z3 = norm(ad3);
+  const auto s0 = stats::summarize(z0), s3 = stats::summarize(z3);
+  os << "  " << title << "\n";
+  os << "    AD0: mean z " << stats::fmt(s0.mean, 3) << "  [min "
+     << stats::fmt(s0.min, 2) << ", max " << stats::fmt(s0.max, 2) << "]  n="
+     << s0.n << "\n";
+  os << "    AD3: mean z " << stats::fmt(s3.mean, 3) << "  [min "
+     << stats::fmt(s3.min, 2) << ", max " << stats::fmt(s3.max, 2) << "]  n="
+     << s3.n << "\n";
+}
+
+}  // namespace dfsim::core

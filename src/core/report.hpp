@@ -1,0 +1,50 @@
+// Paper-style report rendering shared by the benches.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "mpi/profile.hpp"
+#include "stats/summary.hpp"
+
+namespace dfsim::core {
+
+/// Fig. 6 / Fig. 10 style: stall-to-flit ratio per tile class, two modes
+/// side by side.
+void print_ratio_comparison(std::ostream& os, const std::string& label_a,
+                            const std::array<double, 5>& a,
+                            const std::string& label_b,
+                            const std::array<double, 5>& b);
+
+/// Fig. 5 / Fig. 8 style: per-run breakdown into Compute + top MPI ops.
+void print_breakdown(std::ostream& os, const monitor::AutoPerfReport& rep,
+                     std::span<const mpi::Op> ops);
+
+/// Table I row fields for one app.
+struct CharacterizationRow {
+  std::string app;
+  double mpi_pct = 0.0;
+  std::string call1, call2, call3;
+  double p2p_avg_bytes = 0.0;
+  double coll_avg_bytes = 0.0;
+};
+CharacterizationRow characterize(const monitor::AutoPerfReport& rep);
+
+/// Mean/σ plus improvement row (Table II).
+struct ComparisonRow {
+  std::string app;
+  stats::Summary ad0, ad3;
+  double time_improvement_pct = 0.0;
+  double mpi_improvement_pct = 0.0;
+  int runs = 0;
+};
+void print_table2(std::ostream& os, std::span<const ComparisonRow> rows);
+
+/// Z-score normalized runtimes per mode (Figs. 3, 7, 9 text form).
+void print_normalized_split(std::ostream& os, const std::string& title,
+                            std::span<const double> ad0,
+                            std::span<const double> ad3);
+
+}  // namespace dfsim::core

@@ -1,0 +1,41 @@
+#include "monitor/autoperf.hpp"
+
+namespace dfsim::monitor {
+
+std::vector<mpi::Op> AutoPerfReport::top_ops(int k) const {
+  auto order = profile.ops_by_time();
+  if (static_cast<int>(order.size()) > k)
+    order.resize(static_cast<std::size_t>(k));
+  return order;
+}
+
+double AutoPerfReport::avg_bytes(mpi::Op op) const {
+  const auto& s = profile.stats(op);
+  return s.calls > 0
+             ? static_cast<double>(s.bytes) / static_cast<double>(s.calls)
+             : 0.0;
+}
+
+net::CounterSnapshot local_baseline(const mpi::Machine& m, mpi::JobId id) {
+  const auto routers = m.job_routers(id);
+  return m.network().snapshot_routers(routers);
+}
+
+AutoPerfReport collect(const mpi::Machine& m, mpi::JobId id,
+                       const net::CounterSnapshot& baseline) {
+  AutoPerfReport r;
+  const auto& job = m.job(id);
+  r.app = job.spec.name;
+  r.nranks = static_cast<int>(job.spec.nodes.size());
+  r.runtime_ms = job.complete() ? sim::to_ms(job.runtime()) : -1.0;
+  r.profile = m.job_profile(id);
+  const auto routers = m.job_routers(id);
+  r.local = m.network().snapshot_routers(routers).delta_since(baseline);
+  if (job.complete() && job.runtime() > 0)
+    r.mpi_fraction = static_cast<double>(r.profile.total_mpi_ns()) /
+                     (static_cast<double>(r.nranks) *
+                      static_cast<double>(job.runtime()));
+  return r;
+}
+
+}  // namespace dfsim::monitor

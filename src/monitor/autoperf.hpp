@@ -1,0 +1,41 @@
+// AutoPerf: per-application profiling (paper Section III-B).
+//
+// The real AutoPerf is a PMPI intercept library that reports per-interface
+// MPI usage and reads the Aries router tiles local to the job's nodes.
+// Here it snapshots the same data from the simulated machine: the merged
+// MPI profile of a job plus counter deltas over the routers the job's NICs
+// attach to (the paper's "local view").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mpi/machine.hpp"
+#include "net/network.hpp"
+
+namespace dfsim::monitor {
+
+struct AutoPerfReport {
+  std::string app;
+  int nranks = 0;
+  double runtime_ms = 0.0;
+  mpi::Profile profile;
+  net::CounterSnapshot local;  ///< counter delta over the job's routers
+  double mpi_fraction = 0.0;   ///< total MPI time / (nranks * runtime)
+
+  /// Top `k` MPI interfaces by time.
+  [[nodiscard]] std::vector<mpi::Op> top_ops(int k = 3) const;
+  /// Average bytes per call for an op (0 if never called).
+  [[nodiscard]] double avg_bytes(mpi::Op op) const;
+};
+
+/// Snapshot the job-local counters before the job runs.
+net::CounterSnapshot local_baseline(const mpi::Machine& m, mpi::JobId id);
+
+/// Collect the report after the job completed. `baseline` is the snapshot
+/// taken at submission (so concurrent-jobs contamination matches what real
+/// AutoPerf sees on shared routers).
+AutoPerfReport collect(const mpi::Machine& m, mpi::JobId id,
+                       const net::CounterSnapshot& baseline);
+
+}  // namespace dfsim::monitor

@@ -1,0 +1,68 @@
+#include "monitor/ldms.hpp"
+
+namespace dfsim::monitor {
+
+LdmsSampler::LdmsSampler(net::Network& net, sim::Tick period, int max_samples)
+    : net_(net), period_(period), max_samples_(max_samples) {}
+
+void LdmsSampler::start() {
+  if (running_) return;
+  running_ = true;
+  samples_.push_back(LdmsSample{net_.engine().now(), net_.snapshot_all()});
+  net_.engine().schedule(period_, [this] { tick(); });
+}
+
+void LdmsSampler::tick() {
+  if (!running_) return;
+  samples_.push_back(LdmsSample{net_.engine().now(), net_.snapshot_all()});
+  if (static_cast<int>(samples_.size()) >= max_samples_) {
+    running_ = false;
+    return;
+  }
+  net_.engine().schedule(period_, [this] { tick(); });
+}
+
+std::vector<LdmsSample> LdmsSampler::interval_deltas() const {
+  std::vector<LdmsSample> out;
+  for (std::size_t i = 1; i < samples_.size(); ++i) {
+    LdmsSample d;
+    d.t = samples_[i].t;
+    d.cumulative = samples_[i].cumulative.delta_since(samples_[i - 1].cumulative);
+    out.push_back(d);
+  }
+  return out;
+}
+
+std::vector<TileCounters> per_tile_counters(const net::Network& net) {
+  std::vector<TileCounters> out;
+  const auto& topo = net.topology();
+  for (topo::RouterId r = 0; r < topo.config().num_routers(); ++r) {
+    const auto& rt = net.router(r);
+    for (topo::PortId p = 0; p < static_cast<topo::PortId>(rt.ports.size());
+         ++p) {
+      const auto& port = rt.ports[static_cast<std::size_t>(p)];
+      TileCounters t;
+      t.router = r;
+      t.port = p;
+      t.cls = topo.port(r, p).cls;
+      for (int vc = 0; vc < net::kNumVcs; ++vc) {
+        t.flits += port.ctr.flits[vc];
+        t.stall_ns += port.ctr.stall_ns[vc];
+      }
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+std::vector<double> nic_mean_latencies(const net::Network& net) {
+  std::vector<double> out;
+  const int n = net.topology().config().num_nodes();
+  for (topo::NodeId i = 0; i < n; ++i) {
+    const auto& nic = net.nic(i);
+    if (nic.ctr.rsp_track_count > 0) out.push_back(nic.ctr.mean_latency_ns());
+  }
+  return out;
+}
+
+}  // namespace dfsim::monitor

@@ -1,0 +1,63 @@
+// LDMS: system-wide periodic counter sampling (paper Section III-B).
+//
+// The real LDMS daemon samples the Aries counters of every router at a
+// configurable period (1 minute on Theta) giving the global view used for
+// Figs. 10-14. LdmsSampler does the same on the simulated network, and also
+// exposes the per-tile counter dump the paper's scatter plots (Figs. 10, 12)
+// are drawn from, plus the NIC ORB latency sampling of Fig. 14.
+#pragma once
+
+#include <vector>
+
+#include "net/network.hpp"
+#include "sim/time.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::monitor {
+
+struct LdmsSample {
+  sim::Tick t = 0;
+  net::CounterSnapshot cumulative;
+};
+
+class LdmsSampler {
+ public:
+  /// Samples every `period` ns once started. Stops sampling after
+  /// `max_samples` (safety bound) or when stop() is called.
+  LdmsSampler(net::Network& net, sim::Tick period, int max_samples = 100000);
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const std::vector<LdmsSample>& samples() const {
+    return samples_;
+  }
+  /// Per-interval deltas between consecutive samples.
+  [[nodiscard]] std::vector<LdmsSample> interval_deltas() const;
+
+ private:
+  void tick();
+
+  net::Network& net_;
+  sim::Tick period_;
+  int max_samples_;
+  bool running_ = false;
+  std::vector<LdmsSample> samples_;
+};
+
+/// One row per router tile (network port or processor port), the unit of
+/// the paper's 49152-tile scatter plots.
+struct TileCounters {
+  topo::RouterId router = -1;
+  topo::PortId port = -1;
+  topo::TileClass cls = topo::TileClass::kRank1;
+  std::int64_t flits = 0;
+  std::int64_t stall_ns = 0;
+};
+std::vector<TileCounters> per_tile_counters(const net::Network& net);
+
+/// Mean request-response packet latency per NIC (Fig. 14's sampling unit),
+/// in nanoseconds; NICs that tracked no packet pairs are skipped.
+std::vector<double> nic_mean_latencies(const net::Network& net);
+
+}  // namespace dfsim::monitor

@@ -1,0 +1,81 @@
+#include "monitor/trace.hpp"
+
+#include <algorithm>
+
+namespace dfsim::monitor {
+
+const char* trace_event_name(TraceEvent e) {
+  switch (e) {
+    case TraceEvent::kInject: return "inject";
+    case TraceEvent::kHop: return "hop";
+    case TraceEvent::kDeliver: return "deliver";
+  }
+  return "?";
+}
+
+PacketTracer::PacketTracer(std::size_t capacity) {
+  ring_.reserve(capacity);
+  ring_.resize(capacity);
+  clear();
+}
+
+void PacketTracer::clear() {
+  head_ = 0;
+  full_ = false;
+  total_ = 0;
+}
+
+void PacketTracer::record(const TraceRecord& r) {
+  ring_[head_] = r;
+  head_ = (head_ + 1) % ring_.size();
+  if (head_ == 0) full_ = true;
+  ++total_;
+}
+
+std::vector<TraceRecord> PacketTracer::chronological() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size());
+  if (full_)
+    for (std::size_t i = head_; i < ring_.size(); ++i) out.push_back(ring_[i]);
+  for (std::size_t i = 0; i < head_; ++i) out.push_back(ring_[i]);
+  return out;
+}
+
+void PacketTracer::dump(std::ostream& os, std::size_t max_rows) const {
+  const auto recs = chronological();
+  const std::size_t start = recs.size() > max_rows ? recs.size() - max_rows : 0;
+  for (std::size_t i = start; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    os << r.t << " ns  " << trace_event_name(r.event) << " pkt=" << r.packet
+       << " " << r.src << "->" << r.dst
+       << (r.plane != 0 ? " rsp" : " req") << " lvl="
+       << static_cast<int>(r.level) << (r.nonminimal ? " valiant" : " minimal");
+    if (r.router >= 0) os << " @router " << r.router;
+    os << "\n";
+  }
+}
+
+void PacketTracer::write_chrome_json(std::ostream& os) const {
+  os << "[\n";
+  const auto recs = chronological();
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const auto& r = recs[i];
+    // Instant event; pid 0, tid = router id (or dst node for endpoint
+    // events offset out of the router id space).
+    const std::int64_t tid =
+        r.router >= 0 ? r.router : 1'000'000 + (r.event == TraceEvent::kInject
+                                                    ? r.src
+                                                    : r.dst);
+    os << "  {\"name\": \"" << trace_event_name(r.event) << " pkt "
+       << r.packet << "\", \"ph\": \"i\", \"ts\": "
+       << static_cast<double>(r.t) / 1000.0 << ", \"pid\": 0, \"tid\": " << tid
+       << ", \"s\": \"t\", \"args\": {\"src\": " << r.src << ", \"dst\": "
+       << r.dst << ", \"plane\": " << static_cast<int>(r.plane)
+       << ", \"level\": " << static_cast<int>(r.level) << ", \"valiant\": "
+       << (r.nonminimal ? "true" : "false") << "}}"
+       << (i + 1 < recs.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+}  // namespace dfsim::monitor

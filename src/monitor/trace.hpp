@@ -1,0 +1,70 @@
+// Packet-event tracing.
+//
+// Optional observability hook: when attached to a Network, records a
+// bounded ring of packet lifecycle events (inject, hop, deliver) that can
+// be dumped as text or as a chrome://tracing / Perfetto JSON file. Tracing
+// is off unless a tracer is attached; the hot path pays one pointer test.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::monitor {
+
+enum class TraceEvent : std::uint8_t {
+  kInject = 0,  ///< packet left its source NIC
+  kHop,         ///< packet traversed a router-to-router link
+  kDeliver,     ///< packet processed by the destination NIC
+};
+
+const char* trace_event_name(TraceEvent e);
+
+struct TraceRecord {
+  sim::Tick t = 0;
+  TraceEvent event = TraceEvent::kInject;
+  std::int32_t packet = -1;
+  topo::NodeId src = -1;
+  topo::NodeId dst = -1;
+  topo::RouterId router = -1;  ///< router reached (kHop) / -1 otherwise
+  std::uint8_t plane = 0;      ///< request (0) / response (1)
+  std::uint8_t level = 0;      ///< VC ladder level
+  bool nonminimal = false;
+};
+
+class PacketTracer {
+ public:
+  /// Keeps the most recent `capacity` records (ring buffer).
+  explicit PacketTracer(std::size_t capacity = 1 << 16);
+
+  void record(const TraceRecord& r);
+
+  [[nodiscard]] std::size_t size() const {
+    return full_ ? ring_.size() : head_;
+  }
+  [[nodiscard]] std::uint64_t total_recorded() const { return total_; }
+
+  /// Records in chronological order (oldest first).
+  [[nodiscard]] std::vector<TraceRecord> chronological() const;
+
+  /// Human-readable dump.
+  void dump(std::ostream& os, std::size_t max_rows = 100) const;
+
+  /// chrome://tracing "Trace Event Format" JSON: one instant event per
+  /// record, one track per router/NIC. Load in chrome://tracing or Perfetto.
+  void write_chrome_json(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;
+  bool full_ = false;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace dfsim::monitor

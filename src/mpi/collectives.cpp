@@ -1,0 +1,356 @@
+#include "mpi/collectives.hpp"
+
+#include <algorithm>
+
+namespace dfsim::mpi::coll {
+
+namespace {
+
+/// Simultaneous internal send+recv (both world ranks), waiting for both.
+CoTask sendrecv(RankCtx& ctx, int to_world, int from_world,
+                std::int64_t send_bytes, std::int64_t recv_bytes, int tag,
+                routing::Mode mode) {
+  Request rs = ctx.isend_mode(to_world, send_bytes, tag, mode);
+  Request rr = ctx.irecv(from_world, recv_bytes, tag);
+  co_await await_req(rr);
+  co_await await_req(rs);
+}
+
+/// Largest power of two <= n (n >= 1).
+int pow2_floor(int n) {
+  int p = 1;
+  while (p * 2 <= n) p *= 2;
+  return p;
+}
+
+}  // namespace
+
+CoTask barrier(RankCtx& ctx, Comm comm) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  const int n = comm.size();
+  if (n > 1) {
+    RankCtx::InternalGuard g(ctx);
+    const int me = comm.my_index;
+    int round = 0;
+    for (int k = 1; k < n; k <<= 1, ++round) {
+      const int to = comm.world((me + k) % n);
+      const int from = comm.world((me - k + n) % n);
+      co_await sendrecv(ctx, to, from, 0, 0, tag + round, ctx.mode_p2p());
+    }
+  }
+  ctx.record(Op::kBarrier, ctx.now() - t0, 0);
+}
+
+namespace {
+
+CoTask allreduce_recdbl(RankCtx& ctx, const Comm& comm, std::int64_t bytes,
+                        int tag) {
+  const int n = comm.size();
+  const int me = comm.my_index;
+  const int p2 = pow2_floor(n);
+  const int rem = n - p2;
+  // Fold the surplus ranks into the power-of-two core.
+  if (me >= p2) {
+    {
+      const Request q_ = ctx.isend_mode(comm.world(me - p2), bytes, tag, ctx.mode_p2p());
+      co_await await_req(q_);
+    }
+    {
+      const Request q_ = ctx.irecv(comm.world(me - p2), bytes, tag + 1);
+      co_await await_req(q_);
+    }
+    co_return;
+  }
+  if (me < rem)
+    {
+      const Request q_ = ctx.irecv(comm.world(me + p2), bytes, tag);
+      co_await await_req(q_);
+    }
+  int round = 2;
+  for (int mask = 1; mask < p2; mask <<= 1, ++round) {
+    const int partner = comm.world(me ^ mask);
+    co_await sendrecv(ctx, partner, partner, bytes, bytes, tag + round,
+                      ctx.mode_p2p());
+  }
+  if (me < rem)
+    {
+      const Request q_ = ctx.isend_mode(comm.world(me + p2), bytes, tag + 1, ctx.mode_p2p());
+      co_await await_req(q_);
+    }
+}
+
+CoTask allreduce_ring(RankCtx& ctx, const Comm& comm, std::int64_t bytes,
+                      int tag) {
+  // Reduce-scatter followed by allgather: 2(n-1) rounds of bytes/n chunks.
+  const int n = comm.size();
+  const int me = comm.my_index;
+  const std::int64_t chunk = std::max<std::int64_t>(1, bytes / n);
+  const int to = comm.world((me + 1) % n);
+  const int from = comm.world((me - 1 + n) % n);
+  for (int r = 0; r < 2 * (n - 1); ++r)
+    co_await sendrecv(ctx, to, from, chunk, chunk, tag + r, ctx.mode_p2p());
+}
+
+}  // namespace
+
+CoTask allreduce(RankCtx& ctx, Comm comm, std::int64_t bytes) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  if (comm.size() > 1) {
+    RankCtx::InternalGuard g(ctx);
+    if (bytes >= kRingThresholdBytes && comm.size() > 2)
+      co_await allreduce_ring(ctx, comm, bytes, tag);
+    else
+      co_await allreduce_recdbl(ctx, comm, bytes, tag);
+  }
+  ctx.record(Op::kAllreduce, ctx.now() - t0, bytes);
+}
+
+namespace {
+
+CoTask alltoall_impl(RankCtx& ctx, const Comm& comm,
+                     const std::vector<std::int64_t>& bytes_per_peer,
+                     int tag) {
+  // Pairwise exchange: round r exchanges with rank +/- r; uses the
+  // Alltoall routing mode (AD1 by default).
+  const int n = comm.size();
+  const int me = comm.my_index;
+  for (int r = 1; r < n; ++r) {
+    const int to_idx = (me + r) % n;
+    const int from_idx = (me - r + n) % n;
+    co_await sendrecv(ctx, comm.world(to_idx), comm.world(from_idx),
+                      bytes_per_peer[static_cast<std::size_t>(to_idx)],
+                      bytes_per_peer[static_cast<std::size_t>(from_idx)],
+                      tag + r, ctx.mode_a2a());
+  }
+}
+
+}  // namespace
+
+CoTask alltoall(RankCtx& ctx, Comm comm, std::int64_t bytes_per_pair) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  const std::int64_t total = bytes_per_pair * (comm.size() - 1);
+  if (comm.size() > 1) {
+    RankCtx::InternalGuard g(ctx);
+    const std::vector<std::int64_t> per(
+        static_cast<std::size_t>(comm.size()), bytes_per_pair);
+    co_await alltoall_impl(ctx, comm, per, tag);
+  }
+  ctx.record(Op::kAlltoall, ctx.now() - t0, total);
+}
+
+CoTask alltoallv(RankCtx& ctx, Comm comm,
+                 std::vector<std::int64_t> bytes_per_peer) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  std::int64_t total = 0;
+  for (int i = 0; i < comm.size(); ++i)
+    if (i != comm.my_index) total += bytes_per_peer[static_cast<std::size_t>(i)];
+  if (comm.size() > 1) {
+    RankCtx::InternalGuard g(ctx);
+    co_await alltoall_impl(ctx, comm, bytes_per_peer, tag);
+  }
+  ctx.record(Op::kAlltoallv, ctx.now() - t0, total);
+}
+
+CoTask bcast(RankCtx& ctx, Comm comm, std::int64_t bytes, int root) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  const int n = comm.size();
+  if (n > 1) {
+    RankCtx::InternalGuard g(ctx);
+    const int vrank = (comm.my_index - root + n) % n;
+    int mask = 1;
+    while (mask < n) {
+      if ((vrank & mask) != 0) {
+        const int src = comm.world((vrank - mask + root) % n);
+        {
+      const Request q_ = ctx.irecv(src, bytes, tag);
+      co_await await_req(q_);
+    }
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < n) {
+        const int dst = comm.world((vrank + mask + root) % n);
+        {
+      const Request q_ = ctx.isend_mode(dst, bytes, tag, ctx.mode_p2p());
+      co_await await_req(q_);
+    }
+      }
+      mask >>= 1;
+    }
+  }
+  ctx.record(Op::kBcast, ctx.now() - t0, bytes);
+}
+
+CoTask reduce(RankCtx& ctx, Comm comm, std::int64_t bytes, int root) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  const int n = comm.size();
+  if (n > 1) {
+    RankCtx::InternalGuard g(ctx);
+    const int vrank = (comm.my_index - root + n) % n;
+    int mask = 1;
+    while (mask < n) {
+      if ((vrank & mask) != 0) {
+        const int dst = comm.world((vrank - mask + root) % n);
+        {
+      const Request q_ = ctx.isend_mode(dst, bytes, tag, ctx.mode_p2p());
+      co_await await_req(q_);
+    }
+        break;
+      }
+      if (vrank + mask < n) {
+        const int src = comm.world((vrank + mask + root) % n);
+        {
+      const Request q_ = ctx.irecv(src, bytes, tag);
+      co_await await_req(q_);
+    }
+      }
+      mask <<= 1;
+    }
+  }
+  ctx.record(Op::kReduce, ctx.now() - t0, bytes);
+}
+
+}  // namespace dfsim::mpi::coll
+
+namespace dfsim::mpi::coll {
+
+CoTask allgather(RankCtx& ctx, Comm comm, std::int64_t bytes_per_rank) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  const int n = comm.size();
+  if (n > 1) {
+    RankCtx::InternalGuard g(ctx);
+    // Ring: round r forwards the block received in round r-1.
+    const int me = comm.my_index;
+    const int to = comm.world((me + 1) % n);
+    const int from = comm.world((me - 1 + n) % n);
+    for (int r = 0; r < n - 1; ++r)
+      co_await sendrecv(ctx, to, from, bytes_per_rank, bytes_per_rank, tag + r,
+                        ctx.mode_p2p());
+  }
+  ctx.record(Op::kAllgather, ctx.now() - t0, bytes_per_rank * (n - 1));
+}
+
+CoTask reduce_scatter(RankCtx& ctx, Comm comm, std::int64_t total_bytes) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  const int n = comm.size();
+  if (n > 1) {
+    RankCtx::InternalGuard g(ctx);
+    const std::int64_t chunk = std::max<std::int64_t>(1, total_bytes / n);
+    const int me = comm.my_index;
+    const int to = comm.world((me + 1) % n);
+    const int from = comm.world((me - 1 + n) % n);
+    for (int r = 0; r < n - 1; ++r)
+      co_await sendrecv(ctx, to, from, chunk, chunk, tag + r, ctx.mode_p2p());
+  }
+  ctx.record(Op::kReduceScatter, ctx.now() - t0, total_bytes);
+}
+
+namespace {
+
+/// Binomial tree data movement: leaves->root when `up`, root->leaves when
+/// not. Data volume per link doubles toward the root (gather semantics).
+CoTask binomial_move(RankCtx& ctx, const Comm& comm,
+                     std::int64_t bytes_per_rank, int root, int tag, bool up) {
+  const int n = comm.size();
+  const int vrank = (comm.my_index - root + n) % n;
+  // Subtree size owned by vrank at each mask step bounds the payload.
+  if (up) {
+    int mask = 1;
+    while (mask < n) {
+      if ((vrank & mask) != 0) {
+        const int dst = comm.world((vrank - mask + root) % n);
+        // Send this rank's accumulated subtree.
+        const std::int64_t subtree =
+            std::min<std::int64_t>(mask, n - vrank) * bytes_per_rank;
+        {
+          const Request q_ = ctx.isend_mode(dst, subtree, tag, ctx.mode_p2p());
+          co_await await_req(q_);
+        }
+        break;
+      }
+      if (vrank + mask < n) {
+        const int src = comm.world((vrank + mask + root) % n);
+        const std::int64_t subtree =
+            std::min<std::int64_t>(mask, n - (vrank + mask)) * bytes_per_rank;
+        {
+          const Request q_ = ctx.irecv(src, subtree, tag);
+          co_await await_req(q_);
+        }
+      }
+      mask <<= 1;
+    }
+  } else {
+    int mask = 1;
+    while (mask < n) {
+      if ((vrank & mask) != 0) {
+        const int src = comm.world((vrank - mask + root) % n);
+        const std::int64_t subtree =
+            std::min<std::int64_t>(mask, n - vrank) * bytes_per_rank;
+        {
+          const Request q_ = ctx.irecv(src, subtree, tag);
+          co_await await_req(q_);
+        }
+        break;
+      }
+      mask <<= 1;
+    }
+    mask >>= 1;
+    while (mask > 0) {
+      if (vrank + mask < n) {
+        const int dst = comm.world((vrank + mask + root) % n);
+        const std::int64_t subtree =
+            std::min<std::int64_t>(mask, n - (vrank + mask)) * bytes_per_rank;
+        {
+          const Request q_ = ctx.isend_mode(dst, subtree, tag, ctx.mode_p2p());
+          co_await await_req(q_);
+        }
+      }
+      mask >>= 1;
+    }
+  }
+}
+
+}  // namespace
+
+CoTask gather(RankCtx& ctx, Comm comm, std::int64_t bytes_per_rank, int root) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  if (comm.size() > 1) {
+    RankCtx::InternalGuard g(ctx);
+    co_await binomial_move(ctx, comm, bytes_per_rank, root, tag, /*up=*/true);
+  }
+  ctx.record(Op::kGather, ctx.now() - t0, bytes_per_rank);
+}
+
+CoTask scatter(RankCtx& ctx, Comm comm, std::int64_t bytes_per_rank, int root) {
+  const sim::Tick t0 = ctx.now();
+  const int tag = ctx.next_coll_tag();
+  co_await ctx.compute(kSwOverheadNs);
+  if (comm.size() > 1) {
+    RankCtx::InternalGuard g(ctx);
+    co_await binomial_move(ctx, comm, bytes_per_rank, root, tag, /*up=*/false);
+  }
+  ctx.record(Op::kScatter, ctx.now() - t0, bytes_per_rank);
+}
+
+}  // namespace dfsim::mpi::coll

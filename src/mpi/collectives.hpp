@@ -1,0 +1,46 @@
+// Collective algorithms over simulated point-to-point.
+//
+// Real algorithms (not latency formulas) so collective performance responds
+// to routing mode, placement, and congestion exactly the way the paper's
+// applications experience it:
+//  * Barrier    — dissemination.
+//  * Allreduce  — recursive doubling (small), ring reduce-scatter+allgather
+//                 (large): latency-bound vs bandwidth-bound behaviour.
+//  * Alltoall/v — pairwise exchange; uses the job's A2A routing mode
+//                 (Cray MPI routes MPI_Alltoall[v] with AD1 by default,
+//                 paper Section II-D).
+//  * Bcast/Reduce — binomial trees.
+//
+// All collectives must be called by every rank of the communicator in the
+// same order (standard MPI semantics); internal messages use a reserved tag
+// space so they never collide with application traffic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpi/comm.hpp"
+#include "mpi/rank.hpp"
+#include "mpi/task.hpp"
+
+namespace dfsim::mpi::coll {
+
+/// Message size at/above which Allreduce switches to the ring algorithm.
+inline constexpr std::int64_t kRingThresholdBytes = 64 * 1024;
+
+CoTask barrier(RankCtx& ctx, Comm comm);
+CoTask allreduce(RankCtx& ctx, Comm comm, std::int64_t bytes);
+CoTask alltoall(RankCtx& ctx, Comm comm, std::int64_t bytes_per_pair);
+CoTask alltoallv(RankCtx& ctx, Comm comm, std::vector<std::int64_t> bytes_per_peer);
+CoTask bcast(RankCtx& ctx, Comm comm, std::int64_t bytes, int root = 0);
+CoTask reduce(RankCtx& ctx, Comm comm, std::int64_t bytes, int root = 0);
+/// Ring allgather: each rank contributes `bytes_per_rank`; n-1 rounds of
+/// neighbor forwarding (bandwidth-optimal).
+CoTask allgather(RankCtx& ctx, Comm comm, std::int64_t bytes_per_rank);
+/// Ring reduce-scatter: the first half of the ring allreduce.
+CoTask reduce_scatter(RankCtx& ctx, Comm comm, std::int64_t total_bytes);
+/// Binomial-tree gather/scatter of `bytes_per_rank` per leaf.
+CoTask gather(RankCtx& ctx, Comm comm, std::int64_t bytes_per_rank, int root = 0);
+CoTask scatter(RankCtx& ctx, Comm comm, std::int64_t bytes_per_rank, int root = 0);
+
+}  // namespace dfsim::mpi::coll

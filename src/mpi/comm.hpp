@@ -1,0 +1,48 @@
+// Communicators: ordered rank groups for collectives.
+//
+// A Comm maps communicator ranks (positions) to job (world) ranks. Each rank
+// holds its own Comm value with `my_index` set to its position; apps build
+// row/column/pencil subcommunicators from their logical process grids.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+namespace dfsim::mpi {
+
+struct Comm {
+  std::vector<int> ranks;  ///< position -> world rank
+  int my_index = 0;        ///< this rank's position in `ranks`
+
+  [[nodiscard]] int size() const { return static_cast<int>(ranks.size()); }
+  [[nodiscard]] int world(int i) const {
+    return ranks[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] int my_world() const { return world(my_index); }
+
+  /// World communicator of `n` ranks for world rank `me`.
+  static Comm world(int n, int me) {
+    Comm c;
+    c.ranks.resize(static_cast<std::size_t>(n));
+    std::iota(c.ranks.begin(), c.ranks.end(), 0);
+    c.my_index = me;
+    return c;
+  }
+
+  /// Subcommunicator from an explicit world-rank list; `me_world` must be in
+  /// the list.
+  static Comm sub(std::vector<int> world_ranks, int me_world) {
+    Comm c;
+    c.ranks = std::move(world_ranks);
+    c.my_index = 0;
+    for (int i = 0; i < c.size(); ++i)
+      if (c.world(i) == me_world) {
+        c.my_index = i;
+        break;
+      }
+    return c;
+  }
+};
+
+}  // namespace dfsim::mpi

@@ -1,0 +1,142 @@
+#include "mpi/machine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dfsim::mpi {
+
+Machine::Machine(topo::Config cfg, std::uint64_t seed)
+    : topo_(std::move(cfg)),
+      engine_(),
+      net_(engine_, topo_, seed ^ 0xA5A5A5A5ULL),
+      rng_(seed) {}
+
+JobId Machine::submit(JobSpec spec, sim::Tick start_at) {
+  if (spec.nodes.empty())
+    throw std::invalid_argument("Machine::submit: job has no nodes");
+  if (!spec.app) throw std::invalid_argument("Machine::submit: no app");
+  for (const topo::NodeId n : spec.nodes)
+    if (n < 0 || n >= topo_.config().num_nodes())
+      throw std::invalid_argument("Machine::submit: node out of range");
+
+  const JobId id = static_cast<JobId>(jobs_.size());
+  jobs_.emplace_back();
+  JobState& job = jobs_.back();
+  job.id = id;
+  job.spec = std::move(spec);
+  watched_.push_back(0);
+
+  const int nranks = static_cast<int>(job.spec.nodes.size());
+  for (int r = 0; r < nranks; ++r) {
+    job.ranks.emplace_back();
+    RankState& rs = job.ranks.back();
+    rs.ctx = std::make_unique<RankCtx>(*this, job, r, job.spec.nodes[static_cast<std::size_t>(r)],
+                                       rng_.fork());
+    rs.task = job.spec.app(*rs.ctx);
+  }
+  engine_.schedule_at(std::max(start_at, engine_.now()), [this, id] {
+    JobState& j = jobs_[static_cast<std::size_t>(id)];
+    j.start_time = engine_.now();
+    for (auto& rs : j.ranks) rs.task.start([this, id] { on_rank_done(id); });
+  });
+  return id;
+}
+
+void Machine::request_stop(JobId id) {
+  jobs_[static_cast<std::size_t>(id)].stop_requested = true;
+}
+
+void Machine::on_rank_done(JobId id) {
+  JobState& j = jobs_[static_cast<std::size_t>(id)];
+  if (++j.ranks_done == static_cast<int>(j.ranks.size())) {
+    j.end_time = engine_.now();
+    if (watched_[static_cast<std::size_t>(id)] != 0) {
+      watched_[static_cast<std::size_t>(id)] = 0;
+      if (--watch_remaining_ == 0) engine_.stop();
+    }
+  }
+}
+
+bool Machine::run_to_completion(std::span<const JobId> watch) {
+  watch_remaining_ = 0;
+  for (const JobId id : watch) {
+    if (jobs_[static_cast<std::size_t>(id)].complete()) continue;
+    watched_[static_cast<std::size_t>(id)] = 1;
+    ++watch_remaining_;
+  }
+  if (watch_remaining_ == 0) return true;
+  engine_.clear_stop();
+  engine_.run();
+  const bool ok = watch_remaining_ == 0;
+  engine_.clear_stop();
+  return ok;
+}
+
+void Machine::run_for(sim::Tick duration) {
+  engine_.clear_stop();
+  engine_.run_until(engine_.now() + duration);
+}
+
+Profile Machine::job_profile(JobId id) const {
+  Profile p;
+  for (const auto& rs : jobs_[static_cast<std::size_t>(id)].ranks)
+    p += rs.ctx->profile();
+  return p;
+}
+
+std::vector<topo::RouterId> Machine::job_routers(JobId id) const {
+  std::vector<topo::RouterId> rs;
+  for (const topo::NodeId n : jobs_[static_cast<std::size_t>(id)].spec.nodes)
+    rs.push_back(topo_.router_of_node(n));
+  std::sort(rs.begin(), rs.end());
+  rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
+  return rs;
+}
+
+void Machine::post_send(JobState& job, int src_rank, int dst_rank, int tag,
+                        std::int64_t bytes, routing::Mode mode,
+                        Request send_req) {
+  const auto src_node = job.spec.nodes[static_cast<std::size_t>(src_rank)];
+  const auto dst_node = job.spec.nodes[static_cast<std::size_t>(dst_rank)];
+  const JobId id = job.id;
+  net_.send_message(src_node, dst_node, bytes, mode,
+                    [this, id, src_rank, dst_rank, tag, bytes, send_req] {
+                      on_delivered(id, src_rank, dst_rank, tag, bytes,
+                                   send_req);
+                    });
+}
+
+void Machine::post_recv(JobState& job, int dst_rank, int src, int tag,
+                        std::int64_t bytes, Request recv_req) {
+  RankState& rs = job.ranks[static_cast<std::size_t>(dst_rank)];
+  // Try the unexpected queue first (FIFO order).
+  for (auto it = rs.unexpected.begin(); it != rs.unexpected.end(); ++it) {
+    if ((src == kAnySource || it->src == src) &&
+        (tag == kAnyTag || it->tag == tag)) {
+      rs.unexpected.erase(it);
+      recv_req->complete(engine_.now());
+      return;
+    }
+  }
+  rs.posted.push_back(PostedRecv{src, tag, std::move(recv_req)});
+  (void)bytes;
+}
+
+void Machine::on_delivered(JobId id, int src_rank, int dst_rank, int tag,
+                           std::int64_t bytes, const Request& send_req) {
+  send_req->complete(engine_.now());
+  JobState& job = jobs_[static_cast<std::size_t>(id)];
+  RankState& rs = job.ranks[static_cast<std::size_t>(dst_rank)];
+  for (auto it = rs.posted.begin(); it != rs.posted.end(); ++it) {
+    if ((it->src == kAnySource || it->src == src_rank) &&
+        (it->tag == kAnyTag || it->tag == tag)) {
+      Request req = std::move(it->req);
+      rs.posted.erase(it);
+      req->complete(engine_.now());
+      return;
+    }
+  }
+  rs.unexpected.push_back(ArrivedMsg{src_rank, tag, bytes});
+}
+
+}  // namespace dfsim::mpi

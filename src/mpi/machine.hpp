@@ -1,0 +1,135 @@
+// Machine: a whole simulated system (topology + network + jobs).
+//
+// The Machine owns the engine, topology, and network, runs any number of
+// concurrent jobs (the paper's production condition: a foreground job plus
+// background jobs from other "users"), performs MPI message matching between
+// ranks, and reports per-job runtimes and profiles. One MPI rank per compute
+// node, matching the paper's node-level reporting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mpi/profile.hpp"
+#include "mpi/rank.hpp"
+#include "mpi/task.hpp"
+#include "net/network.hpp"
+#include "routing/bias.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::mpi {
+
+using JobId = int;
+
+struct JobSpec {
+  std::string name;                 ///< app name, for reports
+  std::vector<topo::NodeId> nodes;  ///< placement; one rank per node
+  routing::Mode mode_p2p = routing::Mode::kAd0;  ///< MPICH_GNI_ROUTING_MODE
+  routing::Mode mode_a2a = routing::Mode::kAd1;  ///< MPICH_GNI_A2A_ROUTING_MODE
+  /// The per-rank program. Called once per rank with that rank's context.
+  using AppFn = std::function<CoTask(RankCtx&)>;
+  AppFn app;
+};
+
+struct PostedRecv {
+  int src = kAnySource;
+  int tag = kAnyTag;
+  Request req;
+};
+struct ArrivedMsg {
+  int src = 0;
+  int tag = 0;
+  std::int64_t bytes = 0;
+};
+
+struct RankState {
+  std::unique_ptr<RankCtx> ctx;
+  CoTask task;
+  std::vector<PostedRecv> posted;
+  std::vector<ArrivedMsg> unexpected;
+};
+
+struct JobState {
+  JobId id = -1;
+  JobSpec spec;
+  sim::Tick start_time = -1;
+  sim::Tick end_time = -1;
+  int ranks_done = 0;
+  bool stop_requested = false;
+  std::deque<RankState> ranks;
+
+  [[nodiscard]] bool complete() const { return end_time >= 0; }
+  [[nodiscard]] sim::Tick runtime() const {
+    return complete() ? end_time - start_time : -1;
+  }
+};
+
+class Machine {
+ public:
+  Machine(topo::Config cfg, std::uint64_t seed);
+
+  Machine(const Machine&) = delete;
+  Machine& operator=(const Machine&) = delete;
+
+  /// Submit a job; its ranks start at simulated time `start_at`.
+  JobId submit(JobSpec spec, sim::Tick start_at = 0);
+
+  /// Cooperative stop for open-ended (background) jobs: their app loops poll
+  /// RankCtx::stop_requested().
+  void request_stop(JobId id);
+
+  /// Change a running job's routing modes (takes effect on the next message;
+  /// Aries allows per-message mode selection). Used by the AWR runtime.
+  void set_job_modes(JobId id, routing::Mode p2p, routing::Mode a2a) {
+    auto& spec = jobs_[static_cast<std::size_t>(id)].spec;
+    spec.mode_p2p = p2p;
+    spec.mode_a2a = a2a;
+  }
+
+  /// Run until every job in `watch` completes. Returns false if the engine's
+  /// event budget was exhausted first.
+  bool run_to_completion(std::span<const JobId> watch);
+  /// Run for a fixed window of simulated time.
+  void run_for(sim::Tick duration);
+
+  [[nodiscard]] const JobState& job(JobId id) const {
+    return jobs_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::size_t num_jobs() const { return jobs_.size(); }
+  /// Merged profile over all ranks of a job.
+  [[nodiscard]] Profile job_profile(JobId id) const;
+  /// Routers touched by a job's nodes (AutoPerf's local counter view).
+  [[nodiscard]] std::vector<topo::RouterId> job_routers(JobId id) const;
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const topo::Dragonfly& topology() const { return topo_; }
+  [[nodiscard]] net::Network& network() { return net_; }
+  [[nodiscard]] const net::Network& network() const { return net_; }
+
+  // --- RankCtx plumbing ---
+  void post_send(JobState& job, int src_rank, int dst_rank, int tag,
+                 std::int64_t bytes, routing::Mode mode, Request send_req);
+  void post_recv(JobState& job, int dst_rank, int src, int tag,
+                 std::int64_t bytes, Request recv_req);
+
+ private:
+  void on_delivered(JobId job, int src_rank, int dst_rank, int tag,
+                    std::int64_t bytes, const Request& send_req);
+  void on_rank_done(JobId job);
+
+  topo::Dragonfly topo_;
+  sim::Engine engine_;
+  net::Network net_;
+  sim::Rng rng_;
+  std::deque<JobState> jobs_;
+  std::vector<char> watched_;
+  int watch_remaining_ = 0;
+};
+
+}  // namespace dfsim::mpi

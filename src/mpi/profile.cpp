@@ -1,0 +1,51 @@
+#include "mpi/profile.hpp"
+
+#include <algorithm>
+
+namespace dfsim::mpi {
+
+std::string_view op_name(Op op) {
+  switch (op) {
+    case Op::kIsend: return "MPI_Isend";
+    case Op::kIrecv: return "MPI_Irecv";
+    case Op::kSend: return "MPI_Send";
+    case Op::kRecv: return "MPI_Recv";
+    case Op::kWait: return "MPI_Wait";
+    case Op::kWaitall: return "MPI_Waitall";
+    case Op::kAllreduce: return "MPI_Allreduce";
+    case Op::kAlltoall: return "MPI_Alltoall";
+    case Op::kAlltoallv: return "MPI_Alltoallv";
+    case Op::kBarrier: return "MPI_Barrier";
+    case Op::kBcast: return "MPI_Bcast";
+    case Op::kReduce: return "MPI_Reduce";
+    case Op::kAllgather: return "MPI_Allgather";
+    case Op::kReduceScatter: return "MPI_Reduce_scatter";
+    case Op::kGather: return "MPI_Gather";
+    case Op::kScatter: return "MPI_Scatter";
+    case Op::kCount: break;
+  }
+  return "?";
+}
+
+sim::Tick Profile::total_mpi_ns() const {
+  sim::Tick t = 0;
+  for (const auto& s : ops_) t += s.time_ns;
+  return t;
+}
+
+std::vector<Op> Profile::ops_by_time() const {
+  std::vector<Op> order;
+  for (int i = 0; i < kNumOps; ++i) order.push_back(static_cast<Op>(i));
+  std::stable_sort(order.begin(), order.end(), [this](Op a, Op b) {
+    return stats(a).time_ns > stats(b).time_ns;
+  });
+  return order;
+}
+
+Profile& Profile::operator+=(const Profile& o) {
+  for (int i = 0; i < kNumOps; ++i)
+    ops_[static_cast<std::size_t>(i)] += o.ops_[static_cast<std::size_t>(i)];
+  return *this;
+}
+
+}  // namespace dfsim::mpi

@@ -1,0 +1,78 @@
+// AutoPerf-style MPI profiling (paper Section III-B).
+//
+// AutoPerf intercepts MPI calls via PMPI wrapping and reports, per MPI
+// interface: call count, average bytes, and total wallclock time. RankCtx
+// feeds the same numbers here for every operation a rank performs; profiles
+// merge across ranks to produce Table I rows and the Fig. 5 / Fig. 8
+// runtime breakdowns.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dfsim::mpi {
+
+enum class Op : std::uint8_t {
+  kIsend = 0,
+  kIrecv,
+  kSend,
+  kRecv,
+  kWait,
+  kWaitall,
+  kAllreduce,
+  kAlltoall,
+  kAlltoallv,
+  kBarrier,
+  kBcast,
+  kReduce,
+  kAllgather,
+  kReduceScatter,
+  kGather,
+  kScatter,
+  kCount
+};
+inline constexpr int kNumOps = static_cast<int>(Op::kCount);
+
+std::string_view op_name(Op op);
+
+struct OpStats {
+  std::int64_t calls = 0;
+  std::int64_t bytes = 0;
+  sim::Tick time_ns = 0;
+
+  OpStats& operator+=(const OpStats& o) {
+    calls += o.calls;
+    bytes += o.bytes;
+    time_ns += o.time_ns;
+    return *this;
+  }
+};
+
+class Profile {
+ public:
+  void record(Op op, sim::Tick elapsed, std::int64_t bytes) {
+    auto& s = ops_[static_cast<std::size_t>(op)];
+    ++s.calls;
+    s.bytes += bytes;
+    s.time_ns += elapsed;
+  }
+
+  [[nodiscard]] const OpStats& stats(Op op) const {
+    return ops_[static_cast<std::size_t>(op)];
+  }
+  [[nodiscard]] sim::Tick total_mpi_ns() const;
+
+  /// Ops sorted by descending time (for "MPI Call1/2/3" in Table I).
+  [[nodiscard]] std::vector<Op> ops_by_time() const;
+
+  Profile& operator+=(const Profile& o);
+
+ private:
+  std::array<OpStats, kNumOps> ops_{};
+};
+
+}  // namespace dfsim::mpi

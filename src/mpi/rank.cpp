@@ -1,0 +1,78 @@
+#include "mpi/rank.hpp"
+
+#include "mpi/machine.hpp"
+
+namespace dfsim::mpi {
+
+int RankCtx::nranks() const {
+  return static_cast<int>(job_->spec.nodes.size());
+}
+
+sim::Engine& RankCtx::engine() const { return m_->engine(); }
+
+sim::Tick RankCtx::now() const { return m_->engine().now(); }
+
+bool RankCtx::stop_requested() const { return job_->stop_requested; }
+
+routing::Mode RankCtx::mode_p2p() const { return job_->spec.mode_p2p; }
+
+routing::Mode RankCtx::mode_a2a() const { return job_->spec.mode_a2a; }
+
+Request RankCtx::isend(int dst, std::int64_t bytes, int tag) {
+  return isend_mode(dst, bytes, tag, mode_p2p());
+}
+
+Request RankCtx::isend_mode(int dst, std::int64_t bytes, int tag,
+                            routing::Mode mode) {
+  auto req = std::make_shared<ReqState>();
+  record(Op::kIsend, kSwOverheadNs, bytes);
+  m_->post_send(*job_, rank_, dst, tag, bytes, mode, req);
+  return req;
+}
+
+Request RankCtx::irecv(int src, std::int64_t bytes, int tag) {
+  auto req = std::make_shared<ReqState>();
+  record(Op::kIrecv, kSwOverheadNs, bytes);
+  m_->post_recv(*job_, rank_, src, tag, bytes, req);
+  return req;
+}
+
+CoTask RankCtx::wait(Request r) {
+  const sim::Tick t0 = now();
+  co_await compute(kSwOverheadNs);
+  co_await await_req(r);
+  record(Op::kWait, now() - t0, 0);
+}
+
+CoTask RankCtx::waitall(std::vector<Request> rs) {
+  const sim::Tick t0 = now();
+  co_await compute(kSwOverheadNs);
+  for (const auto& r : rs) co_await await_req(r);
+  record(Op::kWaitall, now() - t0, 0);
+}
+
+CoTask RankCtx::send(int dst, std::int64_t bytes, int tag) {
+  const sim::Tick t0 = now();
+  co_await compute(kSwOverheadNs);
+  Request r;
+  {
+    InternalGuard g(*this);
+    r = isend(dst, bytes, tag);
+  }
+  co_await await_req(r);
+  record(Op::kSend, now() - t0, bytes);
+}
+
+CoTask RankCtx::recv(int src, std::int64_t bytes, int tag) {
+  const sim::Tick t0 = now();
+  co_await compute(kSwOverheadNs);
+  Request r;
+  {
+    InternalGuard g(*this);
+    r = irecv(src, bytes, tag);
+  }
+  co_await await_req(r);
+  record(Op::kRecv, now() - t0, bytes);
+}
+
+}  // namespace dfsim::mpi

@@ -1,0 +1,170 @@
+// Simulated-MPI rank context.
+#include <cstdlib>
+//
+// One RankCtx per (job, rank). Exposes the MPI-ish operation set the paper's
+// applications exercise (Table I): nonblocking point-to-point with tag
+// matching and wildcard receives, blocking send/recv, and the collectives in
+// mpi/collectives.hpp. Every operation records AutoPerf-style profile data.
+//
+// Routing-mode control mirrors Cray MPI's environment knobs: `mode_p2p`
+// (MPICH_GNI_ROUTING_MODE, default AD0) applies to point-to-point and
+// non-alltoall collectives; `mode_a2a` (MPICH_GNI_A2A_ROUTING_MODE, default
+// AD1) applies to MPI_Alltoall[v].
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "mpi/profile.hpp"
+#include "mpi/task.hpp"
+#include "routing/bias.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::mpi {
+
+class Machine;
+struct JobState;
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+/// Tags at or above this value are reserved for collective internals.
+inline constexpr int kCollTagBase = 1 << 20;
+/// Simulated software overhead per MPI call.
+inline constexpr sim::Tick kSwOverheadNs = 150;
+
+struct ReqState {
+  bool done = false;
+  sim::Tick completed_at = 0;
+  std::vector<std::function<void()>> on_complete;
+
+  void complete(sim::Tick now) {
+    if (done) std::abort();  // double completion is a protocol bug
+    done = true;
+    completed_at = now;
+    auto cbs = std::move(on_complete);
+    on_complete.clear();
+    for (auto& cb : cbs) cb();
+  }
+};
+using Request = std::shared_ptr<ReqState>;
+
+/// Awaitable: resume when the request completes.
+///
+/// Deliberately non-owning (trivially destructible): the caller must keep
+/// the Request alive in its coroutine frame across the co_await. Owning
+/// awaiter temporaries tickled a GCC 12 double-destruction of co_await
+/// operand temporaries; a raw pointer sidesteps the issue and is cheaper.
+struct ReqAwaiter {
+  ReqState* req;
+  [[nodiscard]] bool await_ready() const noexcept { return req->done; }
+  void await_suspend(std::coroutine_handle<> h) {
+    req->on_complete.push_back([h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Build a ReqAwaiter from a Request the caller keeps alive.
+inline ReqAwaiter await_req(const Request& r) { return ReqAwaiter{r.get()}; }
+
+/// Awaitable: resume after `delay` ns of simulated time.
+struct DelayAwaiter {
+  sim::Engine& engine;
+  sim::Tick delay;
+  [[nodiscard]] bool await_ready() const noexcept { return delay <= 0; }
+  void await_suspend(std::coroutine_handle<> h) const {
+    engine.schedule(delay, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+class RankCtx {
+ public:
+  RankCtx(Machine& m, JobState& job, int rank, topo::NodeId node,
+          sim::Rng rng)
+      : m_(&m), job_(&job), rank_(rank), node_(node), rng_(std::move(rng)) {}
+
+  RankCtx(const RankCtx&) = delete;
+  RankCtx& operator=(const RankCtx&) = delete;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int nranks() const;
+  [[nodiscard]] topo::NodeId node() const { return node_; }
+  [[nodiscard]] sim::Engine& engine() const;
+  [[nodiscard]] sim::Tick now() const;
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+  [[nodiscard]] Profile& profile() { return prof_; }
+  [[nodiscard]] const Profile& profile() const { return prof_; }
+  /// Cooperative stop flag (used by open-ended background jobs).
+  [[nodiscard]] bool stop_requested() const;
+  [[nodiscard]] routing::Mode mode_p2p() const;
+  [[nodiscard]] routing::Mode mode_a2a() const;
+
+  /// Pure computation for `ns` nanoseconds.
+  [[nodiscard]] DelayAwaiter compute(sim::Tick ns) const {
+    return DelayAwaiter{engine(), ns};
+  }
+  /// Computation with multiplicative jitter: ns * N(1, sigma), floored at 0.
+  [[nodiscard]] DelayAwaiter compute_jitter(sim::Tick ns, double sigma) {
+    const double f = rng_.normal(1.0, sigma);
+    return compute(static_cast<sim::Tick>(static_cast<double>(ns) *
+                                          (f > 0.0 ? f : 0.0)));
+  }
+
+  // --- Point-to-point ---
+  Request isend(int dst, std::int64_t bytes, int tag);
+  Request irecv(int src, std::int64_t bytes, int tag);
+  /// isend with explicit routing mode (collective internals).
+  Request isend_mode(int dst, std::int64_t bytes, int tag, routing::Mode mode);
+
+  [[nodiscard]] CoTask wait(Request r);
+  /// Await completion without recording a profile entry (collective
+  /// internals). The caller must keep `r` alive across the co_await.
+  [[nodiscard]] static ReqAwaiter wait_internal(const Request& r) {
+    return await_req(r);
+  }
+  [[nodiscard]] CoTask waitall(std::vector<Request> rs);
+  [[nodiscard]] CoTask send(int dst, std::int64_t bytes, int tag);
+  [[nodiscard]] CoTask recv(int src, std::int64_t bytes, int tag);
+
+  // --- Collective plumbing ---
+  /// Next collective tag (all ranks call collectives in the same order, so
+  /// sequence numbers align across a communicator).
+  /// (Stride 4096 leaves room for per-round tags of ring algorithms on
+  /// communicators of up to 2047 ranks.)
+  [[nodiscard]] int next_coll_tag() { return kCollTagBase + 4096 * coll_seq_++; }
+
+  /// While an InternalGuard is alive, p2p ops are not recorded in the
+  /// profile (the enclosing collective records itself instead).
+  struct InternalGuard {
+    explicit InternalGuard(RankCtx& c) : ctx(c) { ++ctx.internal_depth_; }
+    ~InternalGuard() { --ctx.internal_depth_; }
+    InternalGuard(const InternalGuard&) = delete;
+    InternalGuard& operator=(const InternalGuard&) = delete;
+    RankCtx& ctx;
+  };
+  [[nodiscard]] bool internal() const { return internal_depth_ > 0; }
+  void record(Op op, sim::Tick elapsed, std::int64_t bytes) {
+    if (!internal()) prof_.record(op, elapsed, bytes);
+  }
+  void record_always(Op op, sim::Tick elapsed, std::int64_t bytes) {
+    prof_.record(op, elapsed, bytes);
+  }
+
+ private:
+  Machine* m_;
+  JobState* job_;
+  int rank_;
+  topo::NodeId node_;
+  sim::Rng rng_;
+  Profile prof_;
+  int coll_seq_ = 0;
+  int internal_depth_ = 0;
+};
+
+}  // namespace dfsim::mpi

@@ -1,0 +1,85 @@
+// Coroutine task type for simulated MPI ranks.
+//
+// Every rank program (and every collective algorithm) is a CoTask coroutine.
+// Blocking MPI semantics map onto suspension: an operation's awaitable
+// suspends the rank and the network's completion callback resumes it, so a
+// whole job is just a set of coroutines multiplexed on the discrete-event
+// engine. CoTask is lazy (started explicitly or by co_await) and resumes its
+// awaiter via symmetric transfer on completion.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <functional>
+#include <utility>
+
+namespace dfsim::mpi {
+
+class [[nodiscard]] CoTask {
+ public:
+  struct promise_type {
+    std::coroutine_handle<> continuation = std::noop_coroutine();
+    std::function<void()> on_done;  ///< top-level completion hook
+
+    CoTask get_return_object() {
+      return CoTask{std::coroutine_handle<promise_type>::from_promise(*this)};
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> h) noexcept {
+        auto& p = h.promise();
+        if (p.on_done) p.on_done();
+        return p.continuation;
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    void unhandled_exception() { std::terminate(); }
+  };
+
+  CoTask() = default;
+  explicit CoTask(std::coroutine_handle<promise_type> h) : h_(h) {}
+  CoTask(CoTask&& o) noexcept : h_(std::exchange(o.h_, nullptr)) {}
+  CoTask& operator=(CoTask&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      h_ = std::exchange(o.h_, nullptr);
+    }
+    return *this;
+  }
+  CoTask(const CoTask&) = delete;
+  CoTask& operator=(const CoTask&) = delete;
+  ~CoTask() { destroy(); }
+
+  [[nodiscard]] bool valid() const { return h_ != nullptr; }
+  [[nodiscard]] bool done() const { return !h_ || h_.done(); }
+
+  /// Start a top-level task; `on_done` fires when the coroutine completes.
+  void start(std::function<void()> on_done = {}) {
+    h_.promise().on_done = std::move(on_done);
+    h_.resume();
+  }
+
+  // Awaitable: `co_await subtask` starts it and resumes the awaiter when it
+  // finishes.
+  [[nodiscard]] bool await_ready() const noexcept { return done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) noexcept {
+    h_.promise().continuation = cont;
+    return h_;
+  }
+  void await_resume() const noexcept {}
+
+ private:
+  void destroy() {
+    if (h_) {
+      h_.destroy();
+      h_ = nullptr;
+    }
+  }
+  std::coroutine_handle<promise_type> h_;
+};
+
+}  // namespace dfsim::mpi

@@ -1,0 +1,519 @@
+#include "net/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace dfsim::net {
+
+using sim::Tick;
+using topo::TileClass;
+
+CounterSnapshot& CounterSnapshot::operator-=(const CounterSnapshot& o) {
+  auto sub = [](ClassCounters& a, const ClassCounters& b) {
+    a.flits -= b.flits;
+    a.stall_ns -= b.stall_ns;
+  };
+  sub(rank1, o.rank1);
+  sub(rank2, o.rank2);
+  sub(rank3, o.rank3);
+  sub(proc_req, o.proc_req);
+  sub(proc_rsp, o.proc_rsp);
+  nic_rsp_time_sum_ns -= o.nic_rsp_time_sum_ns;
+  nic_rsp_track_count -= o.nic_rsp_track_count;
+  return *this;
+}
+
+CounterSnapshot CounterSnapshot::delta_since(const CounterSnapshot& base) const {
+  CounterSnapshot d = *this;
+  d -= base;
+  return d;
+}
+
+double CounterSnapshot::stall_flit_ratio(const ClassCounters& c,
+                                         double flit_time_ns) {
+  if (c.flits <= 0) return 0.0;
+  const double stall_flits = static_cast<double>(c.stall_ns) / flit_time_ns;
+  return stall_flits / static_cast<double>(c.flits);
+}
+
+Network::Network(sim::Engine& engine, const topo::Dragonfly& topo,
+                 std::uint64_t seed)
+    : engine_(engine), topo_(topo), planner_(topo, *this, sim::Rng(seed)) {
+  routers_.resize(static_cast<std::size_t>(topo_.config().num_routers()));
+  for (topo::RouterId r = 0; r < topo_.config().num_routers(); ++r)
+    routers_[static_cast<std::size_t>(r)].ports.resize(
+        static_cast<std::size_t>(topo_.num_ports(r)));
+  nics_.resize(static_cast<std::size_t>(topo_.config().num_nodes()));
+  for (topo::NodeId n = 0; n < topo_.config().num_nodes(); ++n)
+    nics_[static_cast<std::size_t>(n)].node = n;
+  if (topo_.config().throttle_enabled)
+    engine_.schedule(topo_.config().throttle_window, [this] { throttle_tick(); });
+}
+
+void Network::throttle_tick() {
+  const auto& cfg = topo_.config();
+  const CounterSnapshot now_snap = snapshot_all();
+  const CounterSnapshot d = now_snap.delta_since(throttle_base_);
+  throttle_base_ = now_snap;
+  const ClassCounters net_total{
+      d.rank1.flits + d.rank2.flits + d.rank3.flits,
+      d.rank1.stall_ns + d.rank2.stall_ns + d.rank3.stall_ns};
+  const double ratio = CounterSnapshot::stall_flit_ratio(net_total, flit_time_ns());
+  if (ratio > cfg.throttle_hi_ratio) {
+    throttle_factor_ =
+        std::min(cfg.throttle_max_factor, throttle_factor_ * cfg.throttle_step);
+    ++stats_.throttle_activations;
+  } else if (ratio < cfg.throttle_lo_ratio && throttle_factor_ > 1.0) {
+    throttle_factor_ = std::max(1.0, throttle_factor_ / cfg.throttle_step);
+  }
+  engine_.schedule(cfg.throttle_window, [this] { throttle_tick(); });
+}
+
+PacketId Network::alloc_packet() {
+  if (!free_list_.empty()) {
+    const PacketId id = free_list_.back();
+    free_list_.pop_back();
+    pool_[static_cast<std::size_t>(id)] = Packet{};
+    pool_[static_cast<std::size_t>(id)].in_use = true;
+    return id;
+  }
+  pool_.emplace_back();
+  pool_.back().in_use = true;
+  return static_cast<PacketId>(pool_.size() - 1);
+}
+
+void Network::free_packet(PacketId id) {
+  pkt(id).in_use = false;
+  free_list_.push_back(id);
+}
+
+MsgId Network::send_message(topo::NodeId src, topo::NodeId dst,
+                            std::int64_t bytes, routing::Mode mode,
+                            DeliveryCallback on_delivered) {
+  if (src < 0 || src >= topo_.config().num_nodes() || dst < 0 ||
+      dst >= topo_.config().num_nodes())
+    throw std::invalid_argument("Network::send_message: bad endpoint");
+  if (bytes <= 0) bytes = 1;
+  const MsgId id = next_msg_++;
+  if (src == dst) {
+    // Loopback through host memory: no network traversal.
+    engine_.schedule(2 * topo_.config().nic_latency,
+                     [cb = std::move(on_delivered)] {
+                       if (cb) cb();
+                     });
+    return id;
+  }
+  msgs_.emplace(id, MsgRec{bytes, std::move(on_delivered)});
+  const std::int64_t payload = topo_.config().packet_payload_bytes;
+  const int fb = topo_.config().flit_bytes;
+  for (std::int64_t off = 0; off < bytes; off += payload) {
+    const auto chunk = static_cast<std::int32_t>(std::min(payload, bytes - off));
+    const PacketId pid = alloc_packet();
+    Packet& p = pkt(pid);  // NOTE: reference valid only until the next alloc
+    p.src = src;
+    p.dst = dst;
+    p.bytes = chunk + header_bytes_;
+    p.flits = (p.bytes + fb - 1) / fb;
+    p.vc = kVcRequest;
+    p.want_response = topo_.config().generate_responses;
+    p.route.mode = mode;
+    p.msg = id;
+    nics_[static_cast<std::size_t>(src)].inject_queue.push_back(pid);
+  }
+  nic_try_inject(src);
+  return id;
+}
+
+std::int64_t Network::load_units(topo::RouterId r, topo::PortId p) const {
+  const auto& port =
+      routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
+  std::int64_t occ = 0;
+  for (const auto& vq : port.vc) occ += vq.occupancy_flits;
+  return occ * routing::kLoadScale / topo_.config().buffer_flits;
+}
+
+void Network::add_waiter(router::VcQueue& vq, router::WaiterRef w) {
+  for (const auto& x : vq.waiters)
+    if (x.router == w.router && x.port == w.port) return;
+  vq.waiters.push_back(w);
+}
+
+void Network::notify_waiters(router::VcQueue& vq) {
+  if (vq.waiters.empty()) return;
+  std::vector<router::WaiterRef> ws;
+  ws.swap(vq.waiters);
+  for (const auto& w : ws) {
+    if (w.router < 0)
+      nic_try_inject(static_cast<topo::NodeId>(w.port));
+    else
+      try_start_port(w.router, w.port);
+  }
+}
+
+void Network::nic_try_inject(topo::NodeId node) {
+  Nic& nic = nics_[static_cast<std::size_t>(node)];
+  if (nic.tx_busy || nic.inject_queue.empty()) return;
+  const auto& cfg = topo_.config();
+  const Tick now = engine_.now();
+  const PacketId pid = nic.inject_queue.front();
+  Packet& p = pkt(pid);
+  const topo::RouterId r0 = topo_.router_of_node(node);
+
+  // Fresh adaptive decision each attempt (load view may have changed).
+  routing::RouteState rs{};
+  rs.mode = p.route.mode;
+  if (p.vc == kVcRequest) planner_.decide_injection(r0, p.dst, rs);
+  const topo::PortId q0 = planner_.next_port(r0, p.dst, rs);
+  const int q0_vc = vc_queue_index(p.vc, rs.level);
+  auto& vq = routers_[static_cast<std::size_t>(r0)]
+                 .ports[static_cast<std::size_t>(q0)]
+                 .vc[static_cast<std::size_t>(q0_vc)];
+
+  const bool escape_due =
+      nic.stall_since >= 0 && now - nic.stall_since >= cfg.escape_timeout;
+  if (!has_space(vq, p.flits)) {
+    if (!escape_due) {
+      if (nic.stall_since < 0) nic.stall_since = now;
+      add_waiter(vq, router::WaiterRef{-1, static_cast<topo::PortId>(node)});
+      if (!nic.escape_scheduled) {
+        nic.escape_scheduled = true;
+        engine_.schedule(cfg.escape_timeout, [this, node] {
+          nics_[static_cast<std::size_t>(node)].escape_scheduled = false;
+          nic_try_inject(node);
+        });
+      }
+      return;
+    }
+    ++stats_.escapes;
+  }
+  if (nic.stall_since >= 0) {
+    nic.ctr.inj_stall_ns[p.vc] += now - nic.stall_since;
+    nic.stall_since = -1;
+  }
+
+  // Commit the route decision and the transmission.
+  p.route = rs;
+  if (p.vc == kVcRequest) {
+    p.inject_time = now;
+    const auto mi = static_cast<std::size_t>(rs.mode);
+    if (rs.nonminimal) {
+      ++stats_.nonminimal_decisions;
+      ++stats_.decisions_by_mode[mi][1];
+    } else {
+      ++stats_.minimal_decisions;
+      ++stats_.decisions_by_mode[mi][0];
+    }
+  }
+  vq.occupancy_flits += p.flits;
+  nic.inject_queue.pop_front();
+  nic.tx_busy = true;
+  nic.ctr.inj_flits[p.vc] += p.flits;
+  ++stats_.packets_injected;
+  if (tracer_ != nullptr)
+    tracer_->record({now, monitor::TraceEvent::kInject, pid, p.src, p.dst, -1,
+                     p.vc, rs.level, rs.nonminimal});
+
+  const Tick ser = sim::serialization_ns(p.bytes, cfg.inject_bw_gbps);
+  const Tick gap =
+      static_cast<Tick>(1000.0 / cfg.nic_msg_rate_mps * throttle_factor_);
+  const Tick busy = std::max(ser, gap);
+  engine_.schedule(busy, [this, node] {
+    nics_[static_cast<std::size_t>(node)].tx_busy = false;
+    nic_try_inject(node);
+  });
+  engine_.schedule(ser + cfg.nic_latency + cfg.router_latency,
+                   [this, pid, r0, q0, q0_vc] {
+                     routers_[static_cast<std::size_t>(r0)]
+                         .ports[static_cast<std::size_t>(q0)]
+                         .vc[static_cast<std::size_t>(q0_vc)]
+                         .queue.push_back(pid);
+                     try_start_port(r0, q0);
+                   });
+}
+
+void Network::try_start_port(topo::RouterId r, topo::PortId p) {
+  auto& port =
+      routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
+  if (port.busy) return;
+  for (int pass = 0; pass < kNumVcs; ++pass) {
+    const int vc = (port.last_served + 1 + pass) % kNumVcs;
+    if (port.vc[vc].queue.empty()) continue;
+    if (try_transmit(r, p, vc)) return;
+  }
+}
+
+bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
+  auto& port =
+      routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
+  auto& vq = port.vc[vc];
+  const PacketId pid = vq.queue.front();
+  Packet& pk = pkt(pid);
+  const topo::PortInfo& pi = topo_.port(r, p);
+  const auto& cfg = topo_.config();
+  const Tick now = engine_.now();
+
+  if (pi.cls == TileClass::kProc) {
+    // Ejection. Serialization overlaps the NIC rx unit processing the
+    // previous packet; if rx is still busy when serialization finishes, the
+    // ejected packet sits in a 1-slot skid buffer and the port stalls
+    // (counted on the processor tile) until the rx unit frees.
+    if (port.stall_since[vc] >= 0) {
+      port.ctr.stall_ns[vc] += now - port.stall_since[vc];
+      port.stall_since[vc] = -1;
+    }
+    port.last_served = static_cast<std::uint8_t>(vc);
+    vq.queue.pop_front();
+    port.busy = true;
+    port.ctr.flits[vc] += pk.flits;
+    const Tick ser = sim::serialization_ns(pk.bytes, pi.bw_gbps);
+    const auto flits = pk.flits;
+    engine_.schedule(ser, [this, r, p, vc, flits, pid, node = pi.eject_node] {
+      auto& prt = routers_[static_cast<std::size_t>(r)]
+                      .ports[static_cast<std::size_t>(p)];
+      prt.vc[vc].occupancy_flits -= flits;
+      notify_waiters(prt.vc[vc]);
+      Nic& nic = nics_[static_cast<std::size_t>(node)];
+      if (!nic.rx_busy) {
+        nic.rx_busy = true;
+        prt.busy = false;
+        try_start_port(r, p);
+        engine_.schedule(rx_overhead_,
+                         [this, node, pid] { nic_rx_complete(node, pid); });
+      } else {
+        // rx unit is the bottleneck: hold the port (stall accrues on the
+        // processor tile for this packet's VC) until the rx unit frees.
+        nic.rx_pending = pid;
+        nic.rx_pending_vc = static_cast<std::uint8_t>(vc);
+        nic.rx_pending_since = engine_.now();
+      }
+    });
+    return true;
+  }
+
+  // Network hop: compute the next output queue at the peer and check space.
+  // Crossing a rank-3 link enters a new group: the packet moves one level up
+  // the deadlock-avoidance VC ladder (next_port() handles the intra-group
+  // Valiant bump itself).
+  const topo::RouterId rb = pi.peer_router;
+  routing::RouteState rs = pk.route;
+  if (pi.cls == TileClass::kRank3 && rs.level + 1 < kNumVcLevels) ++rs.level;
+  const topo::PortId qn = planner_.next_port(rb, pk.dst, rs);
+  const int qn_vc = vc_queue_index(vc_plane(vc), rs.level);
+  auto& vqn = routers_[static_cast<std::size_t>(rb)]
+                  .ports[static_cast<std::size_t>(qn)]
+                  .vc[static_cast<std::size_t>(qn_vc)];
+  const bool escape_due = port.stall_since[vc] >= 0 &&
+                          now - port.stall_since[vc] >= cfg.escape_timeout;
+  if (!has_space(vqn, pk.flits)) {
+    if (!escape_due) {
+      if (port.stall_since[vc] < 0) port.stall_since[vc] = now;
+      add_waiter(vqn, router::WaiterRef{r, p});
+      if (!port.escape_scheduled[vc]) {
+        port.escape_scheduled[vc] = true;
+        engine_.schedule(cfg.escape_timeout, [this, r, p, vc] {
+          routers_[static_cast<std::size_t>(r)]
+              .ports[static_cast<std::size_t>(p)]
+              .escape_scheduled[vc] = false;
+          try_start_port(r, p);
+        });
+      }
+      return false;
+    }
+    ++stats_.escapes;
+  }
+  if (port.stall_since[vc] >= 0) {
+    port.ctr.stall_ns[vc] += now - port.stall_since[vc];
+    port.stall_since[vc] = -1;
+  }
+  port.last_served = static_cast<std::uint8_t>(vc);
+  vq.queue.pop_front();
+  port.busy = true;
+  port.ctr.flits[vc] += pk.flits;
+  pk.route = rs;  // commit the next-hop decision made above
+  vqn.occupancy_flits += pk.flits;
+  const Tick ser = sim::serialization_ns(pk.bytes, pi.bw_gbps);
+  const auto flits = pk.flits;
+  engine_.schedule(ser, [this, r, p, vc, flits] {
+    auto& prt =
+        routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
+    prt.busy = false;
+    prt.vc[vc].occupancy_flits -= flits;
+    notify_waiters(prt.vc[vc]);
+    try_start_port(r, p);
+  });
+  engine_.schedule(ser + pi.latency + cfg.router_latency,
+                   [this, pid, rb, qn, qn_vc] {
+                     Packet& pp = pkt(pid);
+                     ++pp.hops;
+                     ++stats_.total_hops;
+                     if (tracer_ != nullptr)
+                       tracer_->record({engine_.now(),
+                                        monitor::TraceEvent::kHop, pid, pp.src,
+                                        pp.dst, rb, pp.vc, pp.route.level,
+                                        pp.route.nonminimal});
+                     routers_[static_cast<std::size_t>(rb)]
+                         .ports[static_cast<std::size_t>(qn)]
+                         .vc[static_cast<std::size_t>(qn_vc)]
+                         .queue.push_back(pid);
+                     try_start_port(rb, qn);
+                   });
+  return true;
+}
+
+void Network::nic_rx_complete(topo::NodeId node, PacketId id) {
+  Nic& nic = nics_[static_cast<std::size_t>(node)];
+  const topo::RouterId r = topo_.router_of_node(node);
+  const topo::PortId ep = topo_.eject_port(r, node);
+  if (nic.rx_pending >= 0) {
+    // Hand the skid-buffered packet to the rx unit, charge the port stall,
+    // and release the ejection port.
+    const PacketId next = nic.rx_pending;
+    auto& prt =
+        routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(ep)];
+    prt.ctr.stall_ns[nic.rx_pending_vc] += engine_.now() - nic.rx_pending_since;
+    nic.rx_pending = -1;
+    nic.rx_pending_since = -1;
+    prt.busy = false;
+    engine_.schedule(rx_overhead_,
+                     [this, node, next] { nic_rx_complete(node, next); });
+  } else {
+    nic.rx_busy = false;
+  }
+  deliver(id);
+  try_start_port(r, ep);
+}
+
+void Network::deliver(PacketId id) {
+  ++stats_.packets_delivered;
+  if (tracer_ != nullptr) {
+    const Packet& p0 = pkt(id);
+    tracer_->record({engine_.now(), monitor::TraceEvent::kDeliver, id, p0.src,
+                     p0.dst, -1, p0.vc, p0.route.level, p0.route.nonminimal});
+  }
+  // Snapshot: the completion callback below may inject new messages, growing
+  // the packet pool and invalidating references into it.
+  const Packet snap = pkt(id);
+  if (snap.vc == kVcResponse) {
+    // Response arrives back at the original requester: ORB tracking.
+    Nic& nic = nics_[static_cast<std::size_t>(snap.dst)];
+    nic.ctr.rsp_time_sum_ns += engine_.now() - snap.inject_time;
+    ++nic.ctr.rsp_track_count;
+    free_packet(id);
+    return;
+  }
+  DeliveryCallback cb;
+  const auto it = msgs_.find(snap.msg);
+  if (it != msgs_.end()) {
+    it->second.remaining_bytes -= snap.bytes - header_bytes_;
+    if (it->second.remaining_bytes <= 0) {
+      cb = std::move(it->second.on_delivered);
+      msgs_.erase(it);
+    }
+  }
+  if (snap.want_response) {
+    // Reuse the packet as its own 1-flit response. Responses always route
+    // minimally (the paper notes routing mode does not affect response
+    // traffic) on the response VC.
+    Packet& p = pkt(id);
+    p.src = snap.dst;
+    p.dst = snap.src;
+    p.bytes = header_bytes_;
+    p.flits = 1;
+    p.vc = kVcResponse;
+    p.want_response = false;
+    p.route = routing::RouteState{};
+    p.route.mode = snap.route.mode;
+    p.hops = 0;
+    p.msg = -1;
+    nics_[static_cast<std::size_t>(snap.dst)].inject_queue.push_back(id);
+    nic_try_inject(snap.dst);
+  } else {
+    free_packet(id);
+  }
+  // Run the message-completion callback last, with no packet references
+  // held: it typically resumes rank coroutines that post further traffic.
+  if (cb) cb();
+}
+
+CounterSnapshot Network::snapshot_all() const {
+  CounterSnapshot s;
+  for (topo::RouterId r = 0; r < topo_.config().num_routers(); ++r) {
+    const auto& rt = routers_[static_cast<std::size_t>(r)];
+    for (topo::PortId p = 0; p < static_cast<topo::PortId>(rt.ports.size());
+         ++p) {
+      const auto& port = rt.ports[static_cast<std::size_t>(p)];
+      const TileClass cls = topo_.port(r, p).cls;
+      auto add = [&](ClassCounters& c, int vc) {
+        c.flits += port.ctr.flits[vc];
+        c.stall_ns += port.ctr.stall_ns[vc];
+      };
+      for (int vc = 0; vc < kNumVcs; ++vc) {
+        switch (cls) {
+          case TileClass::kRank1: add(s.rank1, vc); break;
+          case TileClass::kRank2: add(s.rank2, vc); break;
+          case TileClass::kRank3: add(s.rank3, vc); break;
+          case TileClass::kProc:
+            add(vc_plane(vc) == kVcRequest ? s.proc_req : s.proc_rsp, vc);
+            break;
+        }
+      }
+    }
+  }
+  for (const auto& nic : nics_) {
+    s.proc_req.flits += nic.ctr.inj_flits[0];
+    s.proc_req.stall_ns += nic.ctr.inj_stall_ns[0];
+    s.proc_rsp.flits += nic.ctr.inj_flits[1];
+    s.proc_rsp.stall_ns += nic.ctr.inj_stall_ns[1];
+    s.nic_rsp_time_sum_ns += nic.ctr.rsp_time_sum_ns;
+    s.nic_rsp_track_count += nic.ctr.rsp_track_count;
+  }
+  return s;
+}
+
+CounterSnapshot Network::snapshot_routers(
+    std::span<const topo::RouterId> rs) const {
+  CounterSnapshot s;
+  for (const topo::RouterId r : rs) {
+    const auto& rt = routers_[static_cast<std::size_t>(r)];
+    for (topo::PortId p = 0; p < static_cast<topo::PortId>(rt.ports.size());
+         ++p) {
+      const auto& port = rt.ports[static_cast<std::size_t>(p)];
+      const TileClass cls = topo_.port(r, p).cls;
+      auto add = [&](ClassCounters& c, int vc) {
+        c.flits += port.ctr.flits[vc];
+        c.stall_ns += port.ctr.stall_ns[vc];
+      };
+      for (int vc = 0; vc < kNumVcs; ++vc) {
+        switch (cls) {
+          case TileClass::kRank1: add(s.rank1, vc); break;
+          case TileClass::kRank2: add(s.rank2, vc); break;
+          case TileClass::kRank3: add(s.rank3, vc); break;
+          case TileClass::kProc:
+            add(vc_plane(vc) == kVcRequest ? s.proc_req : s.proc_rsp, vc);
+            break;
+        }
+      }
+    }
+    for (int k = 0; k < topo_.config().nodes_per_router; ++k) {
+      const auto n = static_cast<std::size_t>(
+          r * topo_.config().nodes_per_router + k);
+      const auto& nic = nics_[n];
+      s.proc_req.flits += nic.ctr.inj_flits[0];
+      s.proc_req.stall_ns += nic.ctr.inj_stall_ns[0];
+      s.proc_rsp.flits += nic.ctr.inj_flits[1];
+      s.proc_rsp.stall_ns += nic.ctr.inj_stall_ns[1];
+      s.nic_rsp_time_sum_ns += nic.ctr.rsp_time_sum_ns;
+      s.nic_rsp_track_count += nic.ctr.rsp_track_count;
+    }
+  }
+  return s;
+}
+
+double Network::flit_time_ns() const {
+  return static_cast<double>(topo_.config().flit_bytes) /
+         topo_.config().rank1_bw_gbps;
+}
+
+}  // namespace dfsim::net

@@ -1,0 +1,188 @@
+// The assembled interconnect: routers + links + NICs + adaptive routing.
+//
+// Network is the discrete-event forwarding engine. It owns the packet pool,
+// performs per-packet adaptive routing decisions (via routing::RoutePlanner,
+// with itself as the load oracle), models credit backpressure between
+// finite per-port per-VC buffers, and maintains the flit/stall counters the
+// paper reads through AutoPerf and LDMS.
+//
+// Flow control: a sender (router output port or NIC injector) may start
+// transmitting a packet only if the destination VC queue at the next router
+// has buffer space; otherwise it stalls, accumulating stall time on its
+// tile counter, and is woken when space frees. Deadlock freedom comes from
+// the dragonfly VC ladder (see net/packet.hpp): row-first local routing is
+// acyclic within a level and every group crossing moves up a level. The
+// escape timeout remains as a belt-and-braces safety net (a port stalled
+// longer than `escape_timeout` forwards anyway, overflowing the downstream
+// buffer); with the ladder in place it never fires in practice, and the
+// NetworkStats::escapes counter is asserted zero by the test suite's
+// stress tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "monitor/trace.hpp"
+#include "net/nic.hpp"
+#include "net/packet.hpp"
+#include "router/router.hpp"
+#include "routing/adaptive.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::net {
+
+/// Aggregated counters per paper tile class; processor tiles split by VC
+/// (request vs response), matching Fig. 6's five categories.
+struct ClassCounters {
+  std::int64_t flits = 0;
+  std::int64_t stall_ns = 0;
+};
+
+struct CounterSnapshot {
+  ClassCounters rank1, rank2, rank3, proc_req, proc_rsp;
+  std::int64_t nic_rsp_time_sum_ns = 0;
+  std::int64_t nic_rsp_track_count = 0;
+
+  CounterSnapshot& operator-=(const CounterSnapshot& o);
+  [[nodiscard]] CounterSnapshot delta_since(const CounterSnapshot& base) const;
+
+  /// stall-to-flit ratio for one class, with stall time converted to
+  /// flit-times at the given flit serialization time.
+  static double stall_flit_ratio(const ClassCounters& c, double flit_time_ns);
+};
+
+struct NetworkStats {
+  std::int64_t packets_injected = 0;
+  std::int64_t packets_delivered = 0;
+  std::int64_t minimal_decisions = 0;
+  std::int64_t nonminimal_decisions = 0;
+  std::int64_t total_hops = 0;
+  std::int64_t escapes = 0;  ///< forced overflows (escape-timeout firings)
+  std::int64_t throttle_activations = 0;  ///< windows that tightened injection
+  /// Injection decisions split by the packet's bias mode: [mode][0]=minimal,
+  /// [mode][1]=non-minimal. Lets a mixed-mode system (e.g. an AD3 job on an
+  /// AD0 machine) be analyzed per policy.
+  std::int64_t decisions_by_mode[routing::kNumModes][2] = {};
+
+  [[nodiscard]] double nonminimal_fraction(routing::Mode m) const {
+    const auto i = static_cast<std::size_t>(m);
+    const std::int64_t total = decisions_by_mode[i][0] + decisions_by_mode[i][1];
+    return total > 0 ? static_cast<double>(decisions_by_mode[i][1]) /
+                           static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class Network final : public routing::LoadOracle {
+ public:
+  Network(sim::Engine& engine, const topo::Dragonfly& topo, std::uint64_t seed);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  using DeliveryCallback = std::function<void()>;
+
+  /// Inject a message of `bytes` from node `src` to node `dst`; the callback
+  /// fires (once) when the last packet has been delivered and processed by
+  /// the destination NIC. `mode` is the adaptive routing bias used for every
+  /// packet of this message.
+  MsgId send_message(topo::NodeId src, topo::NodeId dst, std::int64_t bytes,
+                     routing::Mode mode, DeliveryCallback on_delivered);
+
+  // --- LoadOracle ---
+  [[nodiscard]] std::int64_t load_units(topo::RouterId r,
+                                        topo::PortId p) const override;
+
+  // --- Introspection / monitoring ---
+  [[nodiscard]] const topo::Dragonfly& topology() const { return topo_; }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const router::Router& router(topo::RouterId r) const {
+    return routers_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] const Nic& nic(topo::NodeId n) const {
+    return nics_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+
+  /// Counters summed over the whole system (NIC injection counters fold into
+  /// the processor classes, as on Aries where processor tiles carry both
+  /// directions).
+  [[nodiscard]] CounterSnapshot snapshot_all() const;
+  /// Counters summed over a subset of routers (AutoPerf's local view) and
+  /// the NICs attached to them.
+  [[nodiscard]] CounterSnapshot snapshot_routers(
+      std::span<const topo::RouterId> routers) const;
+
+  /// Flit serialization time at the reference (rank-1) bandwidth; used to
+  /// convert stall-ns to Aries-like stall counts.
+  [[nodiscard]] double flit_time_ns() const;
+
+  /// Number of in-flight (allocated) packets; 0 when fully drained.
+  [[nodiscard]] std::int64_t packets_in_flight() const {
+    return stats_.packets_injected - stats_.packets_delivered;
+  }
+
+  /// Current injection-gap multiplier applied by congestion throttling
+  /// (1.0 = unthrottled). Only changes when Config::throttle_enabled.
+  [[nodiscard]] double throttle_factor() const { return throttle_factor_; }
+
+  /// Attach (or detach with nullptr) a packet tracer; the caller keeps
+  /// ownership and must outlive the network or detach first.
+  void set_tracer(monitor::PacketTracer* tracer) { tracer_ = tracer; }
+
+ private:
+  struct MsgRec {
+    std::int64_t remaining_bytes = 0;
+    DeliveryCallback on_delivered;
+  };
+
+  // Packet pool.
+  PacketId alloc_packet();
+  void free_packet(PacketId id);
+  Packet& pkt(PacketId id) { return pool_[static_cast<std::size_t>(id)]; }
+
+  // NIC side.
+  void nic_try_inject(topo::NodeId node);
+  void nic_rx_complete(topo::NodeId node, PacketId id);
+  void deliver(PacketId id);
+
+  // Router side.
+  void try_start_port(topo::RouterId r, topo::PortId p);
+  /// Attempt to transmit the head of (r, p, vc). Returns true on transmit.
+  bool try_transmit(topo::RouterId r, topo::PortId p, int vc);
+  void notify_waiters(router::VcQueue& vq);
+  void add_waiter(router::VcQueue& vq, router::WaiterRef w);
+
+  [[nodiscard]] std::int64_t capacity_flits() const {
+    return topo_.config().buffer_flits;
+  }
+  [[nodiscard]] bool has_space(const router::VcQueue& vq,
+                               std::int32_t flits) const {
+    return vq.occupancy_flits + flits <= capacity_flits();
+  }
+
+  sim::Engine& engine_;
+  const topo::Dragonfly& topo_;
+  routing::RoutePlanner planner_;
+  std::vector<router::Router> routers_;
+  std::vector<Nic> nics_;
+  std::vector<Packet> pool_;
+  std::vector<PacketId> free_list_;
+  std::unordered_map<MsgId, MsgRec> msgs_;
+  MsgId next_msg_ = 0;
+  NetworkStats stats_;
+  void throttle_tick();
+
+  std::int32_t header_bytes_ = 16;
+  sim::Tick rx_overhead_ = 100;  ///< ns per packet of NIC rx processing
+  double throttle_factor_ = 1.0;
+  CounterSnapshot throttle_base_;
+  monitor::PacketTracer* tracer_ = nullptr;
+};
+
+}  // namespace dfsim::net

@@ -1,0 +1,2 @@
+// NIC is passive state; the injection/rx engine lives in net/network.cpp.
+#include "net/nic.hpp"

@@ -1,0 +1,47 @@
+// NIC model: injection queue, message segmentation/reassembly hooks, and the
+// ORB (outstanding request buffer) latency counters the paper samples for
+// Fig. 14 (AR_NIC_ORB_PRF_NET_RSP_TRACK / ..._EVENT_CNTR_RSP_NET_TRACK).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::net {
+
+struct NicCounters {
+  std::int64_t inj_flits[kNumPlanes] = {0, 0};
+  std::int64_t inj_stall_ns[kNumPlanes] = {0, 0};
+  /// ORB packet-pair latency accumulators (paper Section V-D): the first
+  /// counter accumulates observed request->response latency, the second the
+  /// number of tracked pairs. Their quotient is the NIC's mean latency.
+  std::int64_t rsp_time_sum_ns = 0;
+  std::int64_t rsp_track_count = 0;
+
+  [[nodiscard]] double mean_latency_ns() const {
+    return rsp_track_count > 0
+               ? static_cast<double>(rsp_time_sum_ns) /
+                     static_cast<double>(rsp_track_count)
+               : 0.0;
+  }
+};
+
+struct Nic {
+  topo::NodeId node = -1;
+  std::deque<PacketId> inject_queue;  ///< unbounded: backed by host memory
+  bool tx_busy = false;
+  bool rx_busy = false;  ///< finite rx processing -> proc-tile stalls
+  /// Packet fully ejected but waiting for the rx unit (1-slot skid buffer);
+  /// while set, the ejection port is held busy and accrues stall time.
+  PacketId rx_pending = -1;
+  std::uint8_t rx_pending_vc = 0;
+  sim::Tick rx_pending_since = -1;
+  sim::Tick stall_since = -1;
+  bool escape_scheduled = false;
+  NicCounters ctr;
+};
+
+}  // namespace dfsim::net

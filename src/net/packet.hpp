@@ -1,0 +1,55 @@
+// Simulation packets.
+//
+// Messages are segmented into fixed-granularity simulation packets; each
+// packet carries its own adaptive routing state (Aries routes every packet
+// independently — paper abstract). Request packets travel on VC 0 and
+// optionally trigger a 1-flit response on VC 1, which the source NIC's ORB
+// uses for packet-pair latency tracking (paper Section V-D).
+#pragma once
+
+#include <cstdint>
+
+#include "routing/adaptive.hpp"
+#include "sim/time.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::net {
+
+using PacketId = std::int32_t;
+using MsgId = std::int64_t;
+
+// Two traffic planes (request / response) x three VC levels. The level
+// increments on every group crossing (and when an intra-group Valiant
+// packet passes its intermediate router), the standard dragonfly
+// deadlock-avoidance ladder: within a level, local routing is row-first
+// (rank-1 then rank-2) and therefore acyclic; crossings only move to higher
+// levels, so no cyclic buffer-wait can form.
+inline constexpr int kVcRequest = 0;   ///< plane index
+inline constexpr int kVcResponse = 1;  ///< plane index
+inline constexpr int kNumPlanes = 2;
+inline constexpr int kNumVcLevels = routing::kVcLadderLevels;
+inline constexpr int kNumVcs = kNumPlanes * kNumVcLevels;  ///< buffer queues
+
+/// Buffer-queue index for a plane (kVcRequest/kVcResponse) and ladder level.
+constexpr int vc_queue_index(int plane, int level) {
+  const int l = level < kNumVcLevels ? level : kNumVcLevels - 1;
+  return plane * kNumVcLevels + l;
+}
+/// Plane of a buffer-queue index (for counter classification).
+constexpr int vc_plane(int queue_index) { return queue_index / kNumVcLevels; }
+
+struct Packet {
+  topo::NodeId src = -1;
+  topo::NodeId dst = -1;
+  std::int32_t bytes = 0;  ///< wire bytes incl. header
+  std::int32_t flits = 0;
+  std::uint8_t vc = kVcRequest;
+  bool want_response = false;
+  routing::RouteState route;
+  std::int16_t hops = 0;
+  sim::Tick inject_time = 0;  ///< request injection time (carried into rsp)
+  MsgId msg = -1;             ///< owning message; -1 for responses
+  bool in_use = false;
+};
+
+}  // namespace dfsim::net

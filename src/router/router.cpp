@@ -1,0 +1,2 @@
+// Router is passive state (see net/network.cpp for the forwarding engine).
+#include "router/router.hpp"

@@ -1,0 +1,53 @@
+// Router port state: per-VC queues, occupancy, stall bookkeeping, counters.
+//
+// Routers are passive state; the forwarding algorithm lives in net::Network
+// (it needs the global view for adaptive decisions). Each output port models
+// one Aries router tile; TileClass tells which counter row (Fig. 6/10/12) it
+// belongs to. STALL counters accumulate the time the head packet of a VC was
+// blocked on downstream buffer space, in nanoseconds; reports convert to
+// flit-times.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::router {
+
+/// Reference to a blocked sender waiting for space in a VC queue: either an
+/// upstream router port or a NIC injection port.
+struct WaiterRef {
+  topo::RouterId router = -1;  ///< -1 => NIC injector, `port` holds the node
+  topo::PortId port = -1;
+};
+
+struct VcQueue {
+  std::deque<net::PacketId> queue;
+  /// Flits resident or reserved (in flight toward this queue).
+  std::int64_t occupancy_flits = 0;
+  std::vector<WaiterRef> waiters;
+};
+
+struct PortCounters {
+  std::int64_t flits[net::kNumVcs] = {};
+  std::int64_t stall_ns[net::kNumVcs] = {};
+};
+
+struct Port {
+  VcQueue vc[net::kNumVcs];
+  bool busy = false;
+  sim::Tick stall_since[net::kNumVcs] = {-1, -1, -1, -1, -1, -1};
+  bool escape_scheduled[net::kNumVcs] = {};
+  std::uint8_t last_served = net::kNumVcs - 1;  // so queue 0 is served first
+  PortCounters ctr;
+};
+
+struct Router {
+  std::vector<Port> ports;
+};
+
+}  // namespace dfsim::router

@@ -1,0 +1,191 @@
+#include "routing/adaptive.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace dfsim::routing {
+
+topo::PortId RoutePlanner::local_first_port(topo::RouterId r,
+                                            topo::RouterId t) const {
+  // Row-first (rank-1 then rank-2) dimension order. Deterministic order
+  // keeps the within-level channel dependency graph acyclic, which the VC
+  // ladder's deadlock-freedom argument relies on.
+  const topo::PortId direct = topo_.local_port_to(r, t);
+  if (direct >= 0) return direct;
+  const topo::GroupId g = topo_.group_of_router(r);
+  const topo::RouterId via_r1 =
+      topo_.router_at(g, topo_.chassis_of(r), topo_.slot_of(t));
+  return topo_.local_port_to(r, via_r1);
+}
+
+std::int64_t RoutePlanner::local_first_load(topo::RouterId r,
+                                            topo::RouterId t) const {
+  return loads_.load_units(r, local_first_port(r, t));
+}
+
+topo::PortId RoutePlanner::best_global_port(topo::RouterId r,
+                                            topo::GroupId tg) const {
+  const auto ports = topo_.global_ports_to(r, tg);
+  topo::PortId best = ports.front();
+  std::int64_t best_load = loads_.load_units(r, best);
+  for (std::size_t i = 1; i < ports.size(); ++i) {
+    const std::int64_t l = loads_.load_units(r, ports[i]);
+    if (l < best_load) {
+      best_load = l;
+      best = ports[i];
+    }
+  }
+  return best;
+}
+
+topo::RouterId RoutePlanner::pick_gateway(topo::RouterId r, topo::GroupId tg,
+                                          std::int64_t* score_out) {
+  const topo::GroupId g = topo_.group_of_router(r);
+  const auto gws = topo_.gateways(g, tg);
+  // If this router owns a cable, it is always a candidate (score = its best
+  // global port load; no local hop needed).
+  topo::RouterId best_router = -1;
+  std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
+  if (!topo_.global_ports_to(r, tg).empty()) {
+    best_router = r;
+    best_score = loads_.load_units(r, best_global_port(r, tg));
+  }
+  const int samples =
+      std::min<int>(kGatewaySample, static_cast<int>(gws.size()));
+  for (int i = 0; i < samples; ++i) {
+    const auto& gw = gws[rng_.uniform_u64(gws.size())];
+    if (gw.router == r) continue;
+    const std::int64_t score = local_first_load(r, gw.router) +
+                               loads_.load_units(gw.router, gw.port);
+    if (score < best_score) {
+      best_score = score;
+      best_router = gw.router;
+    }
+  }
+  if (best_router < 0) {
+    // Sampling can repeat the same gateway; fall back to the first one.
+    best_router = gws.front().router;
+    best_score = local_first_load(r, best_router) +
+                 loads_.load_units(gws.front().router, gws.front().port);
+  }
+  if (score_out != nullptr) *score_out = best_score;
+  return best_router;
+}
+
+std::int64_t RoutePlanner::gateway_score(topo::RouterId r, topo::GroupId tg) {
+  std::int64_t score = 0;
+  (void)pick_gateway(r, tg, &score);
+  return score;
+}
+
+void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
+                                    RouteState& state) {
+  const BiasParams params = params_for(state.mode);
+  const topo::RouterId dst_router = topo_.router_of_node(dst);
+  if (src_router == dst_router) return;  // NIC-to-NIC on one router: minimal
+  const topo::GroupId gs = topo_.group_of_router(src_router);
+  const topo::GroupId gd = topo_.group_of_router(dst_router);
+
+  if (gs == gd) {
+    // Intra-group: non-minimal = Valiant via a random intermediate router.
+    const std::int64_t load_min = local_first_load(src_router, dst_router);
+    const int rpg = topo_.config().routers_per_group();
+    topo::RouterId via = -1;
+    for (int attempt = 0; attempt < 4 && via < 0; ++attempt) {
+      const auto cand = static_cast<topo::RouterId>(
+          gs * rpg + static_cast<int>(rng_.uniform_u64(rpg)));
+      if (cand != src_router && cand != dst_router) via = cand;
+    }
+    if (via < 0) return;  // tiny group, no intermediate available
+    const std::int64_t load_nonmin = local_first_load(src_router, via);
+    if (!choose_minimal(load_min, load_nonmin, 0, params)) {
+      state.nonminimal = true;
+      state.via_router = via;
+    }
+    return;
+  }
+
+  // Inter-group: non-minimal = Valiant via a random intermediate group.
+  std::int64_t load_min = 0;
+  (void)pick_gateway(src_router, gd, &load_min);
+  topo::GroupId best_via = -1;
+  std::int64_t load_nonmin = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < kViaGroupSample; ++i) {
+    const auto cand = static_cast<topo::GroupId>(
+        rng_.uniform_u64(static_cast<std::uint64_t>(topo_.config().groups)));
+    if (cand == gs || cand == gd) continue;
+    std::int64_t score = 0;
+    (void)pick_gateway(src_router, cand, &score);
+    if (score < load_nonmin) {
+      load_nonmin = score;
+      best_via = cand;
+    }
+  }
+  if (best_via < 0) return;  // two-group system: minimal only
+  if (!choose_minimal(load_min, load_nonmin, 0, params)) {
+    state.nonminimal = true;
+    state.via_group = best_via;
+  }
+}
+
+topo::PortId RoutePlanner::next_port(topo::RouterId r, topo::NodeId dst,
+                                     RouteState& state) {
+  const topo::RouterId dst_router = topo_.router_of_node(dst);
+  // Intra-group Valiant: reach the intermediate router first, even if the
+  // detour happens to pass through the destination router.
+  if (state.nonminimal && state.via_router >= 0 && !state.via_done) {
+    if (r == state.via_router) {
+      state.via_done = true;
+      // Leaving the Valiant intermediate: bump the VC ladder level so the
+      // second (via -> destination) local leg cannot form a cycle with the
+      // first.
+      if (state.level + 1 < kVcLadderLevels) ++state.level;
+    } else {
+      return local_first_port(r, state.via_router);
+    }
+  }
+  if (r == dst_router) {
+    state.gateway = -1;
+    return topo_.eject_port(r, dst);
+  }
+  const topo::GroupId g = topo_.group_of_router(r);
+  const topo::GroupId gd = topo_.group_of_router(dst_router);
+  // Inter-group Valiant: first reach the intermediate group.
+  topo::GroupId target_group = gd;
+  if (state.nonminimal && state.via_group >= 0 && !state.via_done) {
+    if (g == state.via_group) {
+      state.via_done = true;
+    } else {
+      target_group = state.via_group;
+    }
+  }
+
+  if (g == target_group || (g == gd && (state.via_done || !state.nonminimal))) {
+    if (g == gd) return local_first_port(r, dst_router);
+  }
+  if (g == target_group && g != gd) {
+    // We are inside the via group but have not recognized it yet: cannot
+    // happen (via_done was set above). Defensive: head to dst group.
+    target_group = gd;
+  }
+
+  // Need a global hop toward target_group.
+  if (state.gateway >= 0 && topo_.group_of_router(state.gateway) != g)
+    state.gateway = -1;  // stale: left the group where it was chosen
+  if (state.gateway < 0) {
+    if (!topo_.global_ports_to(r, target_group).empty()) {
+      state.gateway = r;
+    } else {
+      state.gateway = pick_gateway(r, target_group, nullptr);
+    }
+  }
+  if (state.gateway == r) {
+    const topo::PortId p = best_global_port(r, target_group);
+    state.gateway = -1;  // crossing into a new group resets the choice
+    return p;
+  }
+  return local_first_port(r, state.gateway);
+}
+
+}  // namespace dfsim::routing

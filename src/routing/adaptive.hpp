@@ -1,0 +1,95 @@
+// Per-packet adaptive route planning on the dragonfly.
+//
+// Implements UGAL-style source-adaptive routing with Aries bias semantics:
+// at injection the planner compares the load of the best sampled minimal
+// first hop against the best sampled non-minimal (Valiant) first hop using
+// the packet's bias mode, then commits the packet to a minimal route or to a
+// route via an intermediate group (inter-group) / intermediate router
+// (intra-group). Within a group, two-hop local routes adaptively pick
+// rank-1-first or rank-2-first by load. Gateway selection toward a target
+// group samples a handful of gateways and is sticky per group visit so the
+// packet always makes forward progress.
+#pragma once
+
+#include <cstdint>
+
+#include "routing/bias.hpp"
+#include "sim/rng.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::routing {
+
+/// Load oracle: occupancy of a router output queue in [0, kLoadScale]
+/// credit-like units (possibly above kLoadScale when overflowed).
+class LoadOracle {
+ public:
+  virtual ~LoadOracle() = default;
+  [[nodiscard]] virtual std::int64_t load_units(topo::RouterId r,
+                                                topo::PortId p) const = 0;
+};
+
+/// Depth of the deadlock-avoidance VC ladder (source group, one Valiant
+/// intermediate, destination group).
+inline constexpr int kVcLadderLevels = 3;
+
+/// Mutable routing state carried by each packet.
+struct RouteState {
+  Mode mode = Mode::kAd0;
+  bool nonminimal = false;
+  topo::GroupId via_group = -1;    ///< Valiant intermediate group (-1: none)
+  topo::RouterId via_router = -1;  ///< intra-group Valiant intermediate
+  bool via_done = false;
+  topo::RouterId gateway = -1;  ///< sticky gateway within the current group
+  std::int16_t hops = 0;
+  /// Deadlock-avoidance VC ladder level: 0 in the source group, +1 per
+  /// group crossing (bumped by the network on rank-3 traversal) and +1 when
+  /// an intra-group Valiant detour passes its intermediate router (bumped
+  /// by next_port()).
+  std::uint8_t level = 0;
+};
+
+class RoutePlanner {
+ public:
+  RoutePlanner(const topo::Dragonfly& topo, const LoadOracle& loads,
+               sim::Rng rng)
+      : topo_(topo), loads_(loads), rng_(std::move(rng)) {}
+
+  /// Number of gateway / via-group candidates sampled per decision.
+  static constexpr int kGatewaySample = 3;
+  static constexpr int kViaGroupSample = 2;
+
+  /// Decide minimal vs non-minimal for a fresh packet at its source router.
+  /// Fills state.nonminimal / via_group / via_router.
+  void decide_injection(topo::RouterId src_router, topo::NodeId dst,
+                        RouteState& state);
+
+  /// Next output port for a packet currently at `r`, updating `state`
+  /// (via_done transitions, sticky gateway, hop count is NOT advanced here —
+  /// the network advances it when the hop commits).
+  /// Returns the port id; if the packet is at its destination router this is
+  /// the ejection port.
+  [[nodiscard]] topo::PortId next_port(topo::RouterId r, topo::NodeId dst,
+                                       RouteState& state);
+
+  /// Exposed for tests: load score of the best sampled gateway from
+  /// `r` toward group `tg` (first-hop load + global-port load).
+  [[nodiscard]] std::int64_t gateway_score(topo::RouterId r, topo::GroupId tg);
+
+ private:
+  /// First-hop port from `r` toward local router `t` (adaptive 2-hop choice).
+  [[nodiscard]] topo::PortId local_first_port(topo::RouterId r, topo::RouterId t) const;
+  /// Load of the first hop from `r` toward local router `t`.
+  [[nodiscard]] std::int64_t local_first_load(topo::RouterId r, topo::RouterId t) const;
+  /// Pick a gateway router in group(r) toward `tg`, minimizing
+  /// local-first-hop + global-port load over a sample.
+  [[nodiscard]] topo::RouterId pick_gateway(topo::RouterId r, topo::GroupId tg,
+                                            std::int64_t* score_out);
+  /// Least-loaded rank-3 port on `r` toward `tg` (must exist).
+  [[nodiscard]] topo::PortId best_global_port(topo::RouterId r, topo::GroupId tg) const;
+
+  const topo::Dragonfly& topo_;
+  const LoadOracle& loads_;
+  sim::Rng rng_;
+};
+
+}  // namespace dfsim::routing

@@ -1,0 +1,99 @@
+// Adaptive routing bias modes (paper Section II-D).
+//
+// Cray Aries defines four adaptive routing modes selectable per message
+// (MPICH_GNI_ROUTING_MODE / MPICH_GNI_A2A_ROUTING_MODE). A mode is a bias in
+// the per-packet comparison between the load on a minimal and a non-minimal
+// candidate path, expressed as a shift and an add (each 0..15):
+//
+//     take the minimal path  iff  (load_min >> shift) <= load_nonmin + add
+//
+//  * AD0 (default): shift=0 add=0 — equal bias, pure load comparison.
+//  * AD1: "increasingly minimal" — bias toward minimal grows as the packet
+//    takes more hops. Our decision point is packet injection (hops taken =
+//    0), so we use the expectation of the progressive schedule there:
+//    shift=1 (non-minimal only when minimal load exceeds 2x), and grow the
+//    bias by `progressive_add_per_hop` at any later re-evaluation.
+//  * AD2: shift=0 add=4 — weak additive bias toward minimal.
+//  * AD3: shift=2 add=0 — strong bias: minimal until its load exceeds 4x
+//    the non-minimal load.
+//
+// Loads are normalized to 0..kLoadScale (credit-like units) so the additive
+// bias has the same relative meaning at every buffer size.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace dfsim::routing {
+
+enum class Mode : std::uint8_t { kAd0 = 0, kAd1 = 1, kAd2 = 2, kAd3 = 3 };
+inline constexpr int kNumModes = 4;
+
+/// Load values handed to the bias comparison are scaled to [0, kLoadScale].
+inline constexpr std::int64_t kLoadScale = 64;
+
+/// UGAL hop weighting: a Valiant path is ~2x the hops of a minimal path, so
+/// its load counts double in the comparison (Kim et al. [1]).
+inline constexpr std::int64_t kNonminHopWeight = 2;
+/// Fixed preference for minimal routes (in load units): transient single-
+/// packet queues on the minimal path should not trigger detours.
+inline constexpr std::int64_t kUgalThreshold = 2;
+
+struct BiasParams {
+  int shift = 0;
+  int add = 0;
+  bool progressive = false;      ///< AD1: bias grows with hops taken
+  int progressive_add_per_hop = 2;
+};
+
+constexpr BiasParams params_for(Mode m) {
+  switch (m) {
+    case Mode::kAd0: return {0, 0, false, 0};
+    case Mode::kAd1: return {1, 0, true, 2};
+    case Mode::kAd2: return {0, 4, false, 0};
+    case Mode::kAd3: return {2, 0, false, 0};
+  }
+  return {};
+}
+
+/// The biased UGAL comparison. The candidate loads enter as credit-like
+/// occupancy estimates; the non-minimal load is weighted by its ~2x hop
+/// count and a fixed threshold keeps packets minimal through transient
+/// single-packet queues. The mode's shift/add then bias the minimal side
+/// exactly as Section II-D describes (AD3: minimal until its weighted load
+/// exceeds 4x the non-minimal one). Ties go minimal, so an idle network
+/// routes minimally under every mode.
+constexpr bool choose_minimal(std::int64_t load_min, std::int64_t load_nonmin,
+                              int hops_taken, const BiasParams& p) {
+  std::int64_t add = p.add;
+  if (p.progressive) add += static_cast<std::int64_t>(p.progressive_add_per_hop) * hops_taken;
+  return (load_min >> p.shift) <=
+         kNonminHopWeight * load_nonmin + add + kUgalThreshold;
+}
+
+constexpr bool choose_minimal(std::int64_t load_min, std::int64_t load_nonmin,
+                              int hops_taken, Mode m) {
+  return choose_minimal(load_min, load_nonmin, hops_taken, params_for(m));
+}
+
+constexpr std::string_view mode_name(Mode m) {
+  switch (m) {
+    case Mode::kAd0: return "AD0";
+    case Mode::kAd1: return "AD1";
+    case Mode::kAd2: return "AD2";
+    case Mode::kAd3: return "AD3";
+  }
+  return "?";
+}
+
+/// Parse "AD0".."AD3" (case-sensitive prefix "AD" optional). Returns true on
+/// success.
+constexpr bool parse_mode(std::string_view s, Mode& out) {
+  if (s.size() >= 2 && (s.substr(0, 2) == "AD" || s.substr(0, 2) == "ad"))
+    s.remove_prefix(2);
+  if (s.size() != 1 || s[0] < '0' || s[0] > '3') return false;
+  out = static_cast<Mode>(s[0] - '0');
+  return true;
+}
+
+}  // namespace dfsim::routing

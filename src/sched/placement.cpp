@@ -1,0 +1,126 @@
+#include "sched/placement.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dfsim::sched {
+
+const char* placement_name(Placement p) {
+  switch (p) {
+    case Placement::kCompact: return "compact";
+    case Placement::kRandom: return "random";
+    case Placement::kGroups: return "groups";
+  }
+  return "?";
+}
+
+NodeAllocator::NodeAllocator(const topo::Dragonfly& topo) : topo_(topo) {
+  busy_.assign(static_cast<std::size_t>(topo.config().num_nodes()), 0);
+  free_ = topo.config().num_nodes();
+}
+
+void NodeAllocator::mark(std::span<const topo::NodeId> nodes) {
+  for (const topo::NodeId n : nodes) {
+    busy_[static_cast<std::size_t>(n)] = 1;
+    --free_;
+  }
+}
+
+void NodeAllocator::release(std::span<const topo::NodeId> nodes) {
+  for (const topo::NodeId n : nodes) {
+    if (busy_[static_cast<std::size_t>(n)] != 0) {
+      busy_[static_cast<std::size_t>(n)] = 0;
+      ++free_;
+    }
+  }
+}
+
+std::vector<topo::NodeId> NodeAllocator::allocate(int n, Placement policy,
+                                                  sim::Rng& rng,
+                                                  int target_groups) {
+  if (n <= 0 || n > free_) return {};
+  std::vector<topo::NodeId> out;
+  switch (policy) {
+    case Placement::kCompact: out = allocate_compact(n); break;
+    case Placement::kRandom: out = allocate_random(n, rng); break;
+    case Placement::kGroups: out = allocate_groups(n, target_groups, rng); break;
+  }
+  if (!out.empty()) mark(out);
+  return out;
+}
+
+std::vector<topo::NodeId> NodeAllocator::allocate_compact(int n) {
+  // First-fit in node-id order: node ids follow router/chassis/group order,
+  // so low ids pack into as few groups as possible.
+  std::vector<topo::NodeId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (topo::NodeId i = 0;
+       i < static_cast<topo::NodeId>(busy_.size()) &&
+       static_cast<int>(out.size()) < n;
+       ++i)
+    if (busy_[static_cast<std::size_t>(i)] == 0) out.push_back(i);
+  if (static_cast<int>(out.size()) < n) out.clear();
+  return out;
+}
+
+std::vector<topo::NodeId> NodeAllocator::allocate_random(int n, sim::Rng& rng) {
+  std::vector<topo::NodeId> frees;
+  frees.reserve(static_cast<std::size_t>(free_));
+  for (topo::NodeId i = 0; i < static_cast<topo::NodeId>(busy_.size()); ++i)
+    if (busy_[static_cast<std::size_t>(i)] == 0) frees.push_back(i);
+  const auto pick = rng.sample_without_replacement(frees.size(),
+                                                   static_cast<std::size_t>(n));
+  std::vector<topo::NodeId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (const std::size_t i : pick) out.push_back(frees[i]);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<topo::NodeId> NodeAllocator::allocate_groups(int n,
+                                                         int target_groups,
+                                                         sim::Rng& rng) {
+  const int groups = topo_.config().groups;
+  const int npg = topo_.config().nodes_per_group();
+  if (target_groups <= 0) target_groups = 1;
+  target_groups = std::min(target_groups, groups);
+  // Free nodes per group.
+  std::vector<std::vector<topo::NodeId>> free_by_group(
+      static_cast<std::size_t>(groups));
+  for (topo::NodeId i = 0; i < static_cast<topo::NodeId>(busy_.size()); ++i)
+    if (busy_[static_cast<std::size_t>(i)] == 0)
+      free_by_group[static_cast<std::size_t>(i / npg)].push_back(i);
+  // Candidate groups with any capacity, shuffled.
+  std::vector<int> cand;
+  for (int g = 0; g < groups; ++g)
+    if (!free_by_group[static_cast<std::size_t>(g)].empty()) cand.push_back(g);
+  rng.shuffle(cand);
+  // Grow the group count if the target can't hold n nodes.
+  while (target_groups < static_cast<int>(cand.size())) {
+    int cap = 0;
+    for (int i = 0; i < target_groups; ++i)
+      cap += static_cast<int>(free_by_group[static_cast<std::size_t>(cand[static_cast<std::size_t>(i)])].size());
+    if (cap >= n) break;
+    ++target_groups;
+  }
+  if (target_groups > static_cast<int>(cand.size())) return {};
+  // Round-robin across the chosen groups.
+  std::vector<topo::NodeId> out;
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(target_groups), 0);
+  while (static_cast<int>(out.size()) < n) {
+    bool progress = false;
+    for (int i = 0; i < target_groups && static_cast<int>(out.size()) < n; ++i) {
+      auto& fg = free_by_group[static_cast<std::size_t>(cand[static_cast<std::size_t>(i)])];
+      auto& cur = cursor[static_cast<std::size_t>(i)];
+      if (cur < fg.size()) {
+        out.push_back(fg[cur++]);
+        progress = true;
+      }
+    }
+    if (!progress) return {};  // not enough capacity in the chosen groups
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace dfsim::sched

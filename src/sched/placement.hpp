@@ -1,0 +1,59 @@
+// Job placement policies (paper Section II-C).
+//
+// The paper contrasts compact placement (contiguous nodes, few groups, less
+// rank-3 exposure) with dispersed/random placement (nodes from many groups,
+// more rank-3 bandwidth but more interference). NodeAllocator tracks which
+// nodes are busy so concurrent jobs (foreground + background) never share
+// nodes, like a real scheduler.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::sched {
+
+enum class Placement {
+  kCompact,  ///< first-fit contiguous node ids (fills routers/chassis/groups)
+  kRandom,   ///< uniformly random free nodes across the system
+  kGroups,   ///< spread evenly over a chosen number of groups
+};
+
+const char* placement_name(Placement p);
+
+class NodeAllocator {
+ public:
+  explicit NodeAllocator(const topo::Dragonfly& topo);
+
+  /// Allocate `n` nodes with the given policy. For kGroups, `target_groups`
+  /// picks how many distinct groups to span (clamped to what fits).
+  /// Returns an empty vector if the request cannot be satisfied.
+  std::vector<topo::NodeId> allocate(int n, Placement policy, sim::Rng& rng,
+                                     int target_groups = 0);
+
+  void release(std::span<const topo::NodeId> nodes);
+
+  [[nodiscard]] int free_count() const { return free_; }
+  [[nodiscard]] int total_count() const { return static_cast<int>(busy_.size()); }
+  [[nodiscard]] bool is_busy(topo::NodeId n) const {
+    return busy_[static_cast<std::size_t>(n)] != 0;
+  }
+  [[nodiscard]] double utilization() const {
+    return 1.0 - static_cast<double>(free_) / static_cast<double>(busy_.size());
+  }
+
+ private:
+  std::vector<topo::NodeId> allocate_compact(int n);
+  std::vector<topo::NodeId> allocate_random(int n, sim::Rng& rng);
+  std::vector<topo::NodeId> allocate_groups(int n, int target_groups,
+                                            sim::Rng& rng);
+  void mark(std::span<const topo::NodeId> nodes);
+
+  const topo::Dragonfly& topo_;
+  std::vector<char> busy_;
+  int free_ = 0;
+};
+
+}  // namespace dfsim::sched

@@ -1,0 +1,56 @@
+#include "sched/scheduler.hpp"
+
+namespace dfsim::sched {
+
+ModePair modes_for(routing::Mode requested) {
+  if (requested == routing::Mode::kAd0)
+    return {routing::Mode::kAd0, routing::Mode::kAd1};  // Cray MPI defaults
+  return {requested, requested};
+}
+
+Scheduler::Scheduler(topo::Config cfg, std::uint64_t seed)
+    : machine_(cfg, seed),
+      alloc_(machine_.topology()),
+      model_(static_cast<double>(machine_.topology().config().num_nodes()) /
+             static_cast<double>(topo::Config::theta().num_nodes())),
+      rng_(seed ^ 0x5EED5EEDULL) {}
+
+mpi::JobId Scheduler::submit_app(std::string_view app, int nnodes,
+                                 Placement placement, routing::Mode mode,
+                                 const apps::AppParams& params,
+                                 int target_groups) {
+  auto nodes = alloc_.allocate(nnodes, placement, rng_, target_groups);
+  if (nodes.empty()) return -1;
+  return submit_app_on(app, std::move(nodes), mode, params);
+}
+
+mpi::JobId Scheduler::submit_app_on(std::string_view app,
+                                    std::vector<topo::NodeId> nodes,
+                                    routing::Mode mode,
+                                    const apps::AppParams& params) {
+  const ModePair mp = modes_for(mode);
+  mpi::JobSpec spec;
+  spec.name = std::string(app);
+  spec.nodes = std::move(nodes);
+  spec.mode_p2p = mp.p2p;
+  spec.mode_a2a = mp.a2a;
+  spec.app = apps::make_app(app, params);
+  return machine_.submit(std::move(spec));
+}
+
+int Scheduler::job_groups_spanned(mpi::JobId id) const {
+  const auto& nodes = machine_.job(id).spec.nodes;
+  return machine_.topology().groups_spanned(nodes);
+}
+
+BackgroundSet Scheduler::add_background(double utilization,
+                                        routing::Mode default_mode) {
+  return populate_background(machine_, alloc_, model_, utilization,
+                             default_mode, rng_);
+}
+
+void Scheduler::stop_background(const BackgroundSet& set) {
+  sched::stop_background(machine_, set);
+}
+
+}  // namespace dfsim::sched

@@ -1,0 +1,64 @@
+// Scheduler facade: a Machine plus a NodeAllocator plus the submission
+// conventions the paper's experiments use (routing-mode environment
+// variables, placement policies, background workloads).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "apps/registry.hpp"
+#include "mpi/machine.hpp"
+#include "routing/bias.hpp"
+#include "sched/placement.hpp"
+#include "sched/workload.hpp"
+
+namespace dfsim::sched {
+
+class Scheduler {
+ public:
+  Scheduler(topo::Config cfg, std::uint64_t seed);
+
+  [[nodiscard]] mpi::Machine& machine() { return machine_; }
+  [[nodiscard]] NodeAllocator& allocator() { return alloc_; }
+  [[nodiscard]] sim::Rng& rng() { return rng_; }
+
+  /// Submit one of the paper applications. `mode` maps to the two Cray MPI
+  /// environment knobs the way the paper's experiments set them: AD0 keeps
+  /// the stock defaults (p2p AD0, alltoall AD1); any other mode sets both.
+  /// Returns -1 if the allocation fails.
+  mpi::JobId submit_app(std::string_view app, int nnodes, Placement placement,
+                        routing::Mode mode, const apps::AppParams& params,
+                        int target_groups = 0);
+
+  /// Submit on an explicit node list (caller already owns the allocation).
+  mpi::JobId submit_app_on(std::string_view app,
+                           std::vector<topo::NodeId> nodes,
+                           routing::Mode mode, const apps::AppParams& params);
+
+  /// Nodes of a previously submitted job.
+  [[nodiscard]] const std::vector<topo::NodeId>& job_nodes(mpi::JobId id) const {
+    return machine_.job(id).spec.nodes;
+  }
+  /// Groups spanned by a job's allocation.
+  [[nodiscard]] int job_groups_spanned(mpi::JobId id) const;
+
+  /// Populate background noise at `utilization` using the workload model.
+  BackgroundSet add_background(double utilization, routing::Mode default_mode);
+  void stop_background(const BackgroundSet& set);
+
+ private:
+  mpi::Machine machine_;
+  NodeAllocator alloc_;
+  WorkloadModel model_;
+  sim::Rng rng_;
+};
+
+/// Mode pair the paper's methodology implies for a requested mode.
+struct ModePair {
+  routing::Mode p2p;
+  routing::Mode a2a;
+};
+ModePair modes_for(routing::Mode requested);
+
+}  // namespace dfsim::sched

@@ -1,0 +1,111 @@
+#include "sched/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfsim::sched {
+
+std::vector<JobSizeBucket> theta_jobsize_mix() {
+  // Calibrated to Fig. 1's CCDF: ~40% of core-hours from 128-512 node jobs,
+  // a long tail up to full-machine (4392) runs.
+  return {
+      {64, 0.04},  {128, 0.16}, {256, 0.14}, {384, 0.05}, {512, 0.09},
+      {640, 0.05}, {896, 0.07}, {1024, 0.10}, {1408, 0.05}, {2048, 0.11},
+      {3072, 0.06}, {4392, 0.08},
+  };
+}
+
+WorkloadModel::WorkloadModel(double size_scale)
+    : buckets_(theta_jobsize_mix()), size_scale_(size_scale) {
+  double cum = 0.0;
+  for (const auto& b : buckets_) {
+    // Sampling by job count: weight = core-hours / size.
+    cum += b.corehours / static_cast<double>(b.nodes);
+    job_count_weights_.push_back(cum);
+  }
+}
+
+int WorkloadModel::sample_job_size(sim::Rng& rng) const {
+  const double u = rng.uniform() * job_count_weights_.back();
+  const auto it = std::lower_bound(job_count_weights_.begin(),
+                                   job_count_weights_.end(), u);
+  const auto idx = static_cast<std::size_t>(
+      std::distance(job_count_weights_.begin(), it));
+  const int raw = buckets_[std::min(idx, buckets_.size() - 1)].nodes;
+  const int scaled = std::max(2, static_cast<int>(std::lround(
+                                     static_cast<double>(raw) * size_scale_)));
+  return scaled;
+}
+
+std::string WorkloadModel::sample_pattern(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  if (u < 0.35) return "stencil3d";
+  if (u < 0.60) return "uniform";
+  if (u < 0.75) return "bisection";
+  return "compute";
+}
+
+apps::SyntheticParams WorkloadModel::sample_traffic(sim::Rng& rng) const {
+  apps::SyntheticParams p;
+  // Message sizes log-uniform in [8KB, 256KB]; compute blocks 40-280us.
+  // Average per-node demand of a few hundred MB/s: a busy production
+  // network whose stall-to-flit ratios land in the paper's 0-10 range.
+  const double lg = rng.uniform();
+  p.msg_bytes = static_cast<std::int64_t>(8192.0 * std::pow(32.0, lg));
+  p.compute_ns = static_cast<sim::Tick>(
+      (40.0 + 240.0 * rng.uniform()) * static_cast<double>(sim::kMicrosecond));
+  p.iterations = 0;  // run until stopped
+  p.seed = rng.next();
+  return p;
+}
+
+Placement WorkloadModel::sample_placement(sim::Rng& rng) const {
+  return rng.uniform() < 0.7 ? Placement::kRandom : Placement::kCompact;
+}
+
+BackgroundSet populate_background(mpi::Machine& machine, NodeAllocator& alloc,
+                                  const WorkloadModel& model,
+                                  double target_utilization,
+                                  routing::Mode default_mode, sim::Rng& rng) {
+  BackgroundSet set;
+  int failures = 0;
+  // Cap individual background jobs at 1/6 of the machine: the production
+  // mix is many jobs, and a single near-machine-size streamer would make
+  // run-to-run variability depend on one coin flip.
+  const int cap = std::max(4, alloc.total_count() / 6);
+  while (alloc.utilization() < target_utilization && failures < 8) {
+    int size = std::min(model.sample_job_size(rng), cap);
+    size = std::min(size, alloc.free_count());
+    if (size < 2) break;
+    auto nodes = alloc.allocate(size, model.sample_placement(rng), rng);
+    if (nodes.empty()) {
+      ++failures;
+      continue;
+    }
+    const auto pattern = model.sample_pattern(rng);
+    const auto traffic = model.sample_traffic(rng);
+    mpi::JobSpec spec;
+    spec.name = "bg:" + pattern;
+    spec.nodes = nodes;
+    spec.mode_p2p = default_mode;
+    spec.mode_a2a = routing::Mode::kAd1;
+    if (pattern == "stencil3d")
+      spec.app = [traffic](mpi::RankCtx& c) { return apps::stencil3d_traffic(c, traffic); };
+    else if (pattern == "uniform")
+      spec.app = [traffic](mpi::RankCtx& c) { return apps::uniform_traffic(c, traffic); };
+    else if (pattern == "bisection")
+      spec.app = [traffic](mpi::RankCtx& c) { return apps::bisection_traffic(c, traffic); };
+    else
+      spec.app = [traffic](mpi::RankCtx& c) { return apps::compute_only(c, traffic); };
+    set.jobs.push_back(machine.submit(std::move(spec)));
+    set.total_nodes += size;
+    set.nodes.push_back(std::move(nodes));
+  }
+  return set;
+}
+
+void stop_background(mpi::Machine& machine, const BackgroundSet& set) {
+  for (const mpi::JobId id : set.jobs) machine.request_stop(id);
+}
+
+}  // namespace dfsim::sched

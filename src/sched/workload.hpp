@@ -1,0 +1,79 @@
+// Production workload model (paper Sections II-F, III-A).
+//
+// The paper's "production" condition is other users' jobs sharing the
+// network: a job-size mix whose core-hour CCDF is Fig. 1 (~40% of core-hours
+// in 128-512 node jobs, medium jobs spanning 5+ groups), random or compact
+// placement, and the system-default routing mode. This module samples
+// synthetic background jobs from that distribution and populates a Machine
+// up to a target utilization.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "apps/app.hpp"
+#include "mpi/machine.hpp"
+#include "routing/bias.hpp"
+#include "sched/placement.hpp"
+#include "sim/rng.hpp"
+
+namespace dfsim::sched {
+
+struct JobSizeBucket {
+  int nodes;          ///< job size in nodes (at Theta scale)
+  double corehours;   ///< relative core-hour weight (Fig. 1 calibration)
+};
+
+/// The Fig. 1 job-size mix. Weights are core-hour fractions.
+std::vector<JobSizeBucket> theta_jobsize_mix();
+
+class WorkloadModel {
+ public:
+  /// `size_scale` rescales job sizes to smaller systems (1.0 = Theta scale).
+  explicit WorkloadModel(double size_scale = 1.0);
+
+  /// Sample a job size in nodes (by job count: core-hour weight / size).
+  [[nodiscard]] int sample_job_size(sim::Rng& rng) const;
+  /// Sample a traffic pattern name for a background job.
+  [[nodiscard]] std::string sample_pattern(sim::Rng& rng) const;
+  /// Sample traffic intensity parameters.
+  [[nodiscard]] apps::SyntheticParams sample_traffic(sim::Rng& rng) const;
+  /// Sample a placement policy (the real scheduler mostly yields scattered
+  /// allocations; some jobs land compactly).
+  [[nodiscard]] Placement sample_placement(sim::Rng& rng) const;
+
+  [[nodiscard]] const std::vector<JobSizeBucket>& buckets() const {
+    return buckets_;
+  }
+
+ private:
+  std::vector<JobSizeBucket> buckets_;
+  std::vector<double> job_count_weights_;  // corehours / nodes, cumulative
+  double size_scale_;
+};
+
+/// Background jobs running on a machine (owns their node allocations).
+struct BackgroundSet {
+  std::vector<mpi::JobId> jobs;
+  std::vector<std::vector<topo::NodeId>> nodes;
+  int total_nodes = 0;
+};
+
+/// Fill `machine` with background jobs until allocator utilization reaches
+/// `target_utilization` (or no further job fits). All background jobs use
+/// `default_mode` for p2p (and AD1 for alltoall), like the paper's
+/// production test period where everyone ran the system default.
+BackgroundSet populate_background(mpi::Machine& machine, NodeAllocator& alloc,
+                                  const WorkloadModel& model,
+                                  double target_utilization,
+                                  routing::Mode default_mode, sim::Rng& rng);
+
+/// Request cooperative stop of every job in the set. Best-effort: ranks
+/// check the flag at their next iteration boundary, so a rank whose peer
+/// already exited may stay blocked in a receive forever. In-flight traffic
+/// always drains; callers should not run_to_completion() on stopped
+/// background jobs (foreground-driven runs never need to).
+void stop_background(mpi::Machine& machine, const BackgroundSet& set);
+
+}  // namespace dfsim::sched

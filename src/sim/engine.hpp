@@ -1,0 +1,58 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded, deterministic. All model components schedule callbacks on
+// one Engine; time only advances between events. The engine never invents
+// wall-clock entropy: runs are exactly reproducible from the model's seeds.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace dfsim::sim {
+
+class Engine {
+ public:
+  using Callback = EventQueue::Callback;
+
+  /// Current simulation time.
+  [[nodiscard]] Tick now() const { return now_; }
+
+  /// Schedule at absolute time `t` (must be >= now()).
+  void schedule_at(Tick t, Callback fn);
+
+  /// Schedule `delay` ns from now (delay >= 0).
+  void schedule(Tick delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+
+  /// Run until the queue drains, stop() is called, or the event budget is
+  /// exhausted. Returns the number of events executed in this call.
+  std::uint64_t run();
+
+  /// Run events with time <= `t`, then set now() = t (if not stopped early).
+  /// Returns the number of events executed in this call.
+  std::uint64_t run_until(Tick t);
+
+  /// Request that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+  [[nodiscard]] bool stopped() const { return stopped_; }
+  void clear_stop() { stopped_ = false; }
+
+  [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Hard safety budget on total events executed (guards runaway models).
+  void set_event_budget(std::uint64_t budget) { budget_ = budget; }
+  [[nodiscard]] bool budget_exhausted() const { return executed_ >= budget_; }
+
+ private:
+  EventQueue queue_;
+  Tick now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+  std::uint64_t budget_ = std::numeric_limits<std::uint64_t>::max();
+};
+
+}  // namespace dfsim::sim

@@ -1,0 +1,24 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+namespace dfsim::sim {
+
+void EventQueue::push(Tick t, Callback fn) {
+  heap_.push_back(Entry{t, next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+EventQueue::Callback EventQueue::pop_and_take() {
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  Callback fn = std::move(heap_.back().fn);
+  heap_.pop_back();
+  return fn;
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  next_seq_ = 0;
+}
+
+}  // namespace dfsim::sim

@@ -1,0 +1,52 @@
+// Priority event queue for the discrete-event engine.
+//
+// Events fire in (time, insertion-sequence) order so simultaneous events are
+// processed deterministically in schedule order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dfsim::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedule `fn` at absolute time `t`.
+  void push(Tick t, Callback fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  /// Time of the earliest pending event. Precondition: !empty().
+  [[nodiscard]] Tick next_time() const { return heap_.front().time; }
+
+  /// Remove and return the earliest event's callback.
+  /// Precondition: !empty().
+  Callback pop_and_take();
+
+  void clear();
+
+ private:
+  struct Entry {
+    Tick time;
+    std::uint64_t seq;
+    Callback fn;
+  };
+  // Min-heap ordering: std::push_heap keeps the *largest* at front, so the
+  // comparator inverts (later time / later seq compares "less").
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  std::vector<Entry> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dfsim::sim

@@ -1,0 +1,120 @@
+// Deterministic random number generation for dfsim.
+//
+// xoshiro256** seeded via splitmix64. We intentionally avoid <random>'s
+// distributions for cross-platform reproducibility of experiment streams: a
+// given seed must yield the same placements, workloads, and traffic on every
+// build. `fork()` derives statistically independent child streams so that
+// subsystems (placement, per-rank jitter, background workload) cannot perturb
+// each other's sequences.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace dfsim::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) {
+    // splitmix64 expansion of the seed into the xoshiro state.
+    std::uint64_t x = seed + 0x9E3779B97F4A7C15ULL;
+    for (auto& word : state_) {
+      std::uint64_t z = (x += 0x9E3779B97F4A7C15ULL);
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value (xoshiro256**).
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t uniform_u64(std::uint64_t bound) {
+    // Lemire's nearly-divisionless bounded generation.
+    __uint128_t m = static_cast<__uint128_t>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    uniform_u64(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Gaussian via Box-Muller (no cached spare: keeps the stream stateless
+  /// with respect to call interleavings).
+  double normal(double mu, double sigma) {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mu + sigma * mag * std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Exponential with the given rate (1/mean).
+  double exponential(double rate) {
+    double u = uniform();
+    while (u <= 0.0) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Log-normal with the given underlying normal parameters.
+  double lognormal(double mu, double sigma) { return std::exp(normal(mu, sigma)); }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = uniform_u64(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample `k` distinct elements from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n, std::size_t k) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      const std::size_t j = i + uniform_u64(n - i);
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+
+  /// Derive an independent child stream.
+  Rng fork() { return Rng(next() ^ 0xD6E8FEB86659FD93ULL); }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace dfsim::sim

@@ -1,0 +1,36 @@
+// Simulation time base for dfsim.
+//
+// All simulation time is kept in integer nanoseconds (`Tick`). Integer time
+// keeps event ordering exact and reproducible across platforms; helpers below
+// convert to/from human units.
+#pragma once
+
+#include <cstdint>
+
+namespace dfsim::sim {
+
+/// Simulation time in nanoseconds. Signed so durations/differences are safe.
+using Tick = std::int64_t;
+
+inline constexpr Tick kNanosecond = 1;
+inline constexpr Tick kMicrosecond = 1'000;
+inline constexpr Tick kMillisecond = 1'000'000;
+inline constexpr Tick kSecond = 1'000'000'000;
+
+/// Convert a tick count to floating-point microseconds.
+constexpr double to_us(Tick t) { return static_cast<double>(t) / 1e3; }
+/// Convert a tick count to floating-point milliseconds.
+constexpr double to_ms(Tick t) { return static_cast<double>(t) / 1e6; }
+/// Convert a tick count to floating-point seconds.
+constexpr double to_s(Tick t) { return static_cast<double>(t) / 1e9; }
+
+/// Serialization time in ns for `bytes` at `gbytes_per_s` (GB/s, base-10).
+/// Rounds up so zero-cost transmission is impossible for non-empty payloads.
+constexpr Tick serialization_ns(std::int64_t bytes, double gbytes_per_s) {
+  if (bytes <= 0) return 0;
+  const double ns = static_cast<double>(bytes) / gbytes_per_s;
+  const Tick t = static_cast<Tick>(ns);
+  return t > 0 ? t : 1;
+}
+
+}  // namespace dfsim::sim

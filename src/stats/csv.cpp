@@ -1,0 +1,40 @@
+#include "stats/csv.hpp"
+
+#include <cstdio>
+
+namespace dfsim::stats {
+
+CsvWriter::CsvWriter(const std::string& path, std::vector<std::string> header)
+    : out_(path), columns_(header.size()) {
+  if (out_) write_row(header);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  if (!out_) return;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << quote(cells[i]);
+  }
+  // Pad short rows so every row has the header's column count.
+  for (std::size_t i = cells.size(); i < columns_; ++i) out_ << ',';
+  out_ << '\n';
+}
+
+std::string CsvWriter::num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+std::string CsvWriter::quote(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string q = "\"";
+  for (const char c : s) {
+    if (c == '"') q += '"';
+    q += c;
+  }
+  q += '"';
+  return q;
+}
+
+}  // namespace dfsim::stats

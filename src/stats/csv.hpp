@@ -1,0 +1,38 @@
+// Minimal CSV writer for bench artifacts.
+//
+// Every bench prints its paper figure as text; with --csv=DIR it also
+// writes the raw series here so plots can be regenerated offline. Handles
+// RFC-4180-style quoting for the few cases (names with commas) that need
+// it.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace dfsim::stats {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header row.
+  /// `ok()` reports whether the file opened.
+  CsvWriter(const std::string& path, std::vector<std::string> header);
+
+  [[nodiscard]] bool ok() const { return static_cast<bool>(out_); }
+
+  void row(std::initializer_list<std::string> cells) {
+    write_row(std::vector<std::string>(cells));
+  }
+  void write_row(const std::vector<std::string>& cells);
+
+  /// Number formatting helper (full double precision, no locale).
+  static std::string num(double v);
+
+ private:
+  static std::string quote(const std::string& s);
+  std::ofstream out_;
+  std::size_t columns_ = 0;
+};
+
+}  // namespace dfsim::stats

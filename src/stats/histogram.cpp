@@ -1,0 +1,72 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "stats/summary.hpp"
+
+namespace dfsim::stats {
+
+Histogram::Histogram(double lo, double hi, int bins) : lo_(lo), hi_(hi) {
+  if (bins <= 0 || !(hi > lo))
+    throw std::invalid_argument("Histogram: bad range or bin count");
+  counts_.assign(static_cast<std::size_t>(bins), 0);
+  width_ = (hi - lo) / bins;
+}
+
+void Histogram::add(double x) {
+  auto bin = static_cast<std::int64_t>((x - lo_) / width_);
+  bin = std::clamp<std::int64_t>(bin, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) {
+  for (const double x : xs) add(x);
+}
+
+double Histogram::bin_center(int bin) const {
+  return lo_ + (static_cast<double>(bin) + 0.5) * width_;
+}
+
+double Histogram::density(int bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[static_cast<std::size_t>(bin)]) /
+         (static_cast<double>(total_) * width_);
+}
+
+double kde(std::span<const double> xs, double at, double bandwidth) {
+  if (xs.empty()) return 0.0;
+  double h = bandwidth;
+  if (h <= 0.0) {
+    const Summary s = summarize(xs);
+    const double sd = s.stddev > 1e-12 ? s.stddev : 1e-12;
+    h = 1.06 * sd * std::pow(static_cast<double>(xs.size()), -0.2);
+  }
+  const double norm =
+      1.0 / (static_cast<double>(xs.size()) * h * std::sqrt(2.0 * std::numbers::pi));
+  double sum = 0.0;
+  for (const double x : xs) {
+    const double u = (at - x) / h;
+    sum += std::exp(-0.5 * u * u);
+  }
+  return norm * sum;
+}
+
+std::vector<std::pair<double, double>> kde_curve(std::span<const double> xs,
+                                                 double lo, double hi,
+                                                 int points, double bandwidth) {
+  std::vector<std::pair<double, double>> out;
+  if (points < 2 || !(hi > lo)) return out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double x = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(points - 1);
+    out.emplace_back(x, kde(xs, x, bandwidth));
+  }
+  return out;
+}
+
+}  // namespace dfsim::stats

@@ -1,0 +1,47 @@
+// Histograms, empirical PDFs, and Gaussian kernel density estimates
+// (the paper draws runtime PDFs in Fig. 2 and stall-ratio PDFs in Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dfsim::stats {
+
+class Histogram {
+ public:
+  /// Fixed-width bins over [lo, hi); samples outside are clamped to the
+  /// first/last bin.
+  Histogram(double lo, double hi, int bins);
+
+  void add(double x);
+  void add_all(std::span<const double> xs);
+
+  [[nodiscard]] int bins() const { return static_cast<int>(counts_.size()); }
+  [[nodiscard]] std::int64_t count(int bin) const {
+    return counts_[static_cast<std::size_t>(bin)];
+  }
+  [[nodiscard]] std::int64_t total() const { return total_; }
+  [[nodiscard]] double bin_center(int bin) const;
+  [[nodiscard]] double bin_width() const { return width_; }
+  /// Probability density of a bin (integrates to 1 over the range).
+  [[nodiscard]] double density(int bin) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+/// Gaussian KDE evaluated at `at`, with Silverman's rule-of-thumb bandwidth
+/// when `bandwidth` <= 0.
+double kde(std::span<const double> xs, double at, double bandwidth = 0.0);
+
+/// KDE evaluated on an evenly spaced grid of `points` over [lo, hi].
+std::vector<std::pair<double, double>> kde_curve(std::span<const double> xs,
+                                                 double lo, double hi,
+                                                 int points,
+                                                 double bandwidth = 0.0);
+
+}  // namespace dfsim::stats

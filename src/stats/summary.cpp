@@ -1,0 +1,92 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dfsim::stats {
+
+Summary summarize(std::span<const double> xs) {
+  Summary s;
+  s.n = xs.size();
+  if (xs.empty()) return s;
+  double sum = 0.0;
+  s.min = xs[0];
+  s.max = xs[0];
+  for (const double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double ss = 0.0;
+    for (const double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  s.median = percentile(xs, 0.5);
+  s.p95 = percentile(xs, 0.95);
+  return s;
+}
+
+double percentile(std::span<const double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  q = std::clamp(q, 0.0, 1.0);
+  const double pos = q * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+std::vector<double> zscores(std::span<const double> xs) {
+  const Summary s = summarize(xs);
+  const double sd = s.stddev > 1e-12 ? s.stddev : 1e-12;
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs) out.push_back((x - s.mean) / sd);
+  return out;
+}
+
+std::vector<double> remove_outliers(std::span<const double> xs, double k) {
+  const Summary s = summarize(xs);
+  std::vector<double> out;
+  out.reserve(xs.size());
+  for (const double x : xs)
+    if (std::abs(x - s.mean) <= k * s.stddev || s.stddev <= 1e-12)
+      out.push_back(x);
+  return out;
+}
+
+std::vector<std::pair<double, double>> weighted_ccdf(
+    std::span<const double> xs, std::span<const double> weights) {
+  std::vector<std::pair<double, double>> pts;
+  if (xs.empty() || xs.size() != weights.size()) return pts;
+  std::vector<std::size_t> idx(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(),
+            [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) return pts;
+  double tail = total;  // weight of {X >= current x}
+  for (std::size_t i = 0; i < idx.size();) {
+    const double x = xs[idx[i]];
+    pts.emplace_back(x, tail / total);
+    double at_x = 0.0;
+    while (i < idx.size() && xs[idx[i]] == x) {
+      at_x += weights[idx[i]];
+      ++i;
+    }
+    tail -= at_x;
+  }
+  return pts;
+}
+
+double improvement_pct(double a, double b) {
+  if (a == 0.0) return 0.0;
+  return 100.0 * (a - b) / a;
+}
+
+}  // namespace dfsim::stats

@@ -1,0 +1,44 @@
+// Summary statistics used throughout the paper's evaluation:
+// mean/σ (Table II), Z-score normalization (Figs. 3, 4, 7, 9), percentiles
+// (Figs. 2, 14), the ±3σ outlier filter (Section III-A), and CCDFs (Fig. 1).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace dfsim::stats {
+
+struct Summary {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// q in [0,1]; linear interpolation between order statistics.
+double percentile(std::span<const double> xs, double q);
+
+/// Z-score normalization: (x - mean) / stddev (stddev clamped away from 0).
+std::vector<double> zscores(std::span<const double> xs);
+
+/// The paper's outlier filter: drop samples beyond ±k standard deviations
+/// of the mean (k = 3 in Section III-A). Returns the kept samples.
+std::vector<double> remove_outliers(std::span<const double> xs, double k = 3.0);
+
+/// Complementary CDF of a weighted distribution: returns (x, P[X >= x])
+/// pairs at each distinct x, where P is weighted by `weights` (e.g.
+/// core-hours for Fig. 1).
+std::vector<std::pair<double, double>> weighted_ccdf(
+    std::span<const double> xs, std::span<const double> weights);
+
+/// Relative improvement of b over a in percent: 100 * (a - b) / a.
+double improvement_pct(double a, double b);
+
+}  // namespace dfsim::stats

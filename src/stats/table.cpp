@@ -1,0 +1,80 @@
+#include "stats/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <iomanip>
+
+namespace dfsim::stats {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    w[c] = headers_[c].size();
+    for (const auto& row : rows_) w[c] = std::max(w[c], row[c].size());
+  }
+  auto line = [&](char fill) {
+    for (std::size_t c = 0; c < w.size(); ++c) {
+      os << '+' << std::string(w[c] + 2, fill);
+    }
+    os << "+\n";
+  };
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < w.size(); ++c)
+      os << "| " << std::left << std::setw(static_cast<int>(w[c])) << cells[c]
+         << ' ';
+    os << "|\n";
+  };
+  line('-');
+  print_row(headers_);
+  line('=');
+  for (const auto& row : rows_) print_row(row);
+  line('-');
+}
+
+std::string fmt(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+std::string fmt_signed(double v, int prec) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%+.*f", prec, v);
+  return buf;
+}
+
+void print_bar(std::ostream& os, const std::string& label, double value,
+               double vmax, int width) {
+  const int n = vmax > 0.0
+                    ? std::clamp(static_cast<int>(value / vmax * width), 0, width)
+                    : 0;
+  os << "  " << std::left << std::setw(22) << label << " |"
+     << std::string(static_cast<std::size_t>(n), '#')
+     << std::string(static_cast<std::size_t>(width - n), ' ') << "| "
+     << fmt(value, 3) << "\n";
+}
+
+void print_series(std::ostream& os,
+                  std::span<const std::pair<double, double>> pts,
+                  const std::string& xlabel, const std::string& ylabel,
+                  int width) {
+  double ymax = 0.0;
+  for (const auto& [x, y] : pts) ymax = std::max(ymax, y);
+  os << "  " << xlabel << " vs " << ylabel << " (max " << fmt(ymax, 4) << ")\n";
+  for (const auto& [x, y] : pts) {
+    const int n = ymax > 0.0
+                      ? std::clamp(static_cast<int>(y / ymax * width), 0, width)
+                      : 0;
+    os << "  " << std::right << std::setw(10) << fmt(x, 2) << " |"
+       << std::string(static_cast<std::size_t>(n), '*') << "\n";
+  }
+}
+
+}  // namespace dfsim::stats

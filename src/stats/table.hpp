@@ -1,0 +1,38 @@
+// ASCII rendering for bench output: aligned tables, horizontal bars, and
+// simple series plots, so every bench prints its paper table/figure as text.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dfsim::stats {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with `prec` decimals.
+std::string fmt(double v, int prec = 2);
+/// Format with a sign, e.g. "+11.3".
+std::string fmt_signed(double v, int prec = 1);
+
+/// One horizontal bar: "label | #####        value".
+void print_bar(std::ostream& os, const std::string& label, double value,
+               double vmax, int width = 48);
+
+/// A y(x) series as rows of "x  y  bar".
+void print_series(std::ostream& os,
+                  std::span<const std::pair<double, double>> pts,
+                  const std::string& xlabel, const std::string& ylabel,
+                  int width = 48);
+
+}  // namespace dfsim::stats

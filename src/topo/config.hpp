@@ -1,0 +1,105 @@
+// Dragonfly system configuration.
+//
+// Parameterizes a Cray XC-40-style three-level dragonfly: groups of routers
+// arranged in a chassis x slot grid, rank-1 (intra-chassis all-to-all) and
+// rank-2 (intra-column, 3 parallel links) copper levels, and a rank-3 optical
+// all-to-all between groups with a configurable number of cables per group
+// pair. Presets model ALCF Theta and NERSC Cori, plus scaled-down variants
+// for tests.
+#pragma once
+
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace dfsim::topo {
+
+struct Config {
+  std::string name = "custom";
+
+  // --- Shape ---
+  int groups = 12;
+  int chassis_per_group = 6;   ///< rank-2 dimension (columns connect chassis)
+  int slots_per_chassis = 16;  ///< rank-1 dimension (routers per chassis)
+  int nodes_per_router = 4;    ///< Aries: 4 NICs per router
+  int cables_per_group_pair = 12;  ///< rank-3 optical cables between each group pair
+
+  // --- Link properties (paper Section II-A) ---
+  double rank1_bw_gbps = 10.5;  ///< per-link bidirectional copper, GB/s
+  double rank2_bw_gbps = 10.5;  ///< per physical link; see rank2_parallel
+  double rank3_bw_gbps = 9.38;  ///< per optical cable, GB/s
+  double inject_bw_gbps = 10.0; ///< NIC injection/ejection bandwidth
+  int rank2_parallel = 3;       ///< parallel rank-2 links per chassis pair
+
+  // --- Latencies ---
+  sim::Tick link_latency_local = 40;    ///< ns, copper rank-1/rank-2
+  sim::Tick link_latency_global = 500;  ///< ns, optical rank-3
+  sim::Tick router_latency = 100;       ///< ns per-hop pipeline latency
+  sim::Tick nic_latency = 200;          ///< ns NIC processing per packet
+
+  // --- Buffers / flow control ---
+  int flit_bytes = 16;          ///< counter granularity (phit-equivalent)
+  int packet_payload_bytes = 1024;  ///< simulation packet granularity
+  int buffer_flits = 512;       ///< per-port per-VC buffer (credit pool)
+  sim::Tick escape_timeout = sim::kMillisecond;
+  ///< Safety net: after stalling this long a blocked port forwards anyway
+  ///< (overflowing the downstream buffer; stall time is still charged).
+  ///< Deadlock freedom comes from the VC ladder, so this should never fire;
+  ///< legitimate head-of-line waits under extreme incast stay well below it.
+
+  // --- NIC ---
+  double nic_msg_rate_mps = 20.0;  ///< message-rate limit, millions msgs/s
+  bool generate_responses = true;  ///< per-packet Put responses (ORB tracking)
+
+  // --- Congestion throttling (paper Section II-B: Aries' second congestion
+  // mechanism; "only occurs under extreme persistent congestion") ---
+  bool throttle_enabled = false;
+  sim::Tick throttle_window = 50 * sim::kMicrosecond;  ///< evaluation period
+  double throttle_hi_ratio = 6.0;   ///< stall/flit ratio that triggers throttling
+  double throttle_lo_ratio = 2.0;   ///< ratio below which throttling relaxes
+  double throttle_step = 1.5;       ///< multiplicative injection-gap factor step
+  double throttle_max_factor = 16.0;
+
+  // --- Derived ---
+  [[nodiscard]] int routers_per_group() const {
+    return chassis_per_group * slots_per_chassis;
+  }
+  [[nodiscard]] int nodes_per_group() const {
+    return routers_per_group() * nodes_per_router;
+  }
+  [[nodiscard]] int num_routers() const { return groups * routers_per_group(); }
+  [[nodiscard]] int num_nodes() const { return num_routers() * nodes_per_router; }
+
+  /// Total rank-3 cables terminating in one group.
+  [[nodiscard]] int global_cables_per_group() const {
+    return cables_per_group_pair * (groups - 1);
+  }
+
+  /// Validate invariants; throws std::invalid_argument on violation.
+  void validate() const;
+
+  // --- Presets ---
+  /// ALCF Theta: 12 groups, 96 routers/group, 12 cables per group pair.
+  static Config theta();
+  /// NERSC Cori (KNL partition): more groups, only 4 cables per group pair
+  /// (reduced bisection-to-injection ratio, paper Section II-F).
+  static Config cori();
+  /// Small topology for unit tests: `groups` groups of 2x4 routers.
+  static Config mini(int groups = 4);
+  /// Mid-size topology for fast benchmarking sweeps: shaped like Theta with
+  /// each dimension scaled down and bisection ratio preserved.
+  static Config theta_scaled(int scale_div = 4);
+  /// Cori at the same per-group scale as theta_scaled(): more groups, and
+  /// proportionally thinner group-to-group cabling (the paper's
+  /// "reduced bisection-to-injection ratio").
+  static Config cori_scaled(int scale_div = 4);
+  /// A Slingshot-flavoured dragonfly (the paper's intro: Perlmutter, Aurora,
+  /// Frontier, El Capitan): 200 Gb/s links everywhere, flat all-to-all
+  /// groups (no chassis/slot distinction is modeled: one chassis of many
+  /// slots), fewer but fatter global links. The paper argues its
+  /// minimal-vs-non-minimal insights carry over; this preset lets that be
+  /// tested.
+  static Config slingshot_like(int groups = 8);
+};
+
+}  // namespace dfsim::topo

@@ -1,0 +1,200 @@
+// Tests: application proxies — completion on assorted rank counts and the
+// Table I communication signatures (dominant MPI calls, message scales).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/registry.hpp"
+#include "mpi/machine.hpp"
+
+namespace dfsim::apps {
+namespace {
+
+mpi::Profile run(const std::string& app, int n, AppParams p,
+                 sim::Tick* runtime = nullptr) {
+  mpi::Machine m(topo::Config::mini(4), 55);
+  mpi::JobSpec s;
+  s.name = app;
+  for (int i = 0; i < n; ++i) s.nodes.push_back(i);
+  s.app = make_app(app, p);
+  const mpi::JobId id = m.submit(std::move(s));
+  const mpi::JobId w[] = {id};
+  EXPECT_TRUE(m.run_to_completion(w)) << app << " n=" << n;
+  if (runtime != nullptr) *runtime = m.job(id).runtime();
+  return m.job_profile(id);
+}
+
+AppParams tiny() {
+  AppParams p;
+  p.iterations = 2;
+  p.msg_scale = 0.05;
+  p.compute_scale = 0.05;
+  return p;
+}
+
+TEST(Registry, KnowsPaperApps) {
+  EXPECT_EQ(paper_app_names().size(), 6u);
+  for (const auto& name : paper_app_names()) EXPECT_TRUE(has_app(name));
+  EXPECT_FALSE(has_app("NOTANAPP"));
+  EXPECT_THROW(make_app("NOTANAPP", {}), std::invalid_argument);
+}
+
+class AllApps : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(PaperApps, AllApps,
+                         ::testing::ValuesIn(paper_app_names()),
+                         [](const auto& inf) { return inf.param; });
+
+TEST_P(AllApps, CompletesOnPowerOfTwoRanks) {
+  const mpi::Profile p = run(GetParam(), 16, tiny());
+  EXPECT_GT(p.total_mpi_ns(), 0);
+}
+
+TEST_P(AllApps, CompletesOnAwkwardRankCounts) {
+  for (const int n : {3, 6, 12, 24}) {
+    const mpi::Profile p = run(GetParam(), n, tiny());
+    EXPECT_GT(p.total_mpi_ns(), 0) << GetParam() << " n=" << n;
+  }
+}
+
+TEST_P(AllApps, SingleRankDegenerates) {
+  sim::Tick rt = 0;
+  run(GetParam(), 1, tiny(), &rt);
+  EXPECT_GT(rt, 0);
+}
+
+TEST_P(AllApps, IterationsScaleRuntime) {
+  AppParams p2 = tiny();
+  AppParams p6 = tiny();
+  p6.iterations = 6;
+  sim::Tick r2 = 0, r6 = 0;
+  run(GetParam(), 8, p2, &r2);
+  run(GetParam(), 8, p6, &r6);
+  EXPECT_GT(r6, 2 * r2);
+}
+
+TEST(Milc, SignatureMatchesTableI) {
+  AppParams p = tiny();
+  p.iterations = 3;
+  const mpi::Profile prof = run("MILC", 16, p);
+  // 4D stencil: 16 halo msgs per iter per rank; 4 allreduces of 8B.
+  EXPECT_EQ(prof.stats(mpi::Op::kIsend).calls, 16 * 8 * 3);
+  EXPECT_EQ(prof.stats(mpi::Op::kAllreduce).calls, 16 * 8 * 3);
+  // Allreduce payload is 8 bytes (latency-bound CG dot products).
+  EXPECT_EQ(prof.stats(mpi::Op::kAllreduce).bytes /
+                prof.stats(mpi::Op::kAllreduce).calls,
+            8);
+  // Dominant calls drawn from {Allreduce, Wait(all), Isend} (Table I row 1).
+  const auto top = prof.ops_by_time();
+  const std::vector<mpi::Op> expect_pool{mpi::Op::kAllreduce, mpi::Op::kWaitall,
+                                         mpi::Op::kWait, mpi::Op::kIsend};
+  EXPECT_NE(std::find(expect_pool.begin(), expect_pool.end(), top[0]),
+            expect_pool.end());
+}
+
+TEST(Milc, ReorderChangesMappingNotVolume) {
+  AppParams p = tiny();
+  const mpi::Profile a = run("MILC", 16, p);
+  const mpi::Profile b = run("MILCREORDER", 16, p);
+  EXPECT_EQ(a.stats(mpi::Op::kIsend).calls, b.stats(mpi::Op::kIsend).calls);
+  EXPECT_EQ(a.stats(mpi::Op::kIsend).bytes, b.stats(mpi::Op::kIsend).bytes);
+}
+
+TEST(Hacc, LargeMessagesLowMpiShare) {
+  AppParams p = tiny();
+  const mpi::Profile prof = run("HACC", 16, p);
+  // FFT pencils: large point-to-point (>= 100KB at scale 1; here scaled).
+  const auto& isend = prof.stats(mpi::Op::kIsend);
+  ASSERT_GT(isend.calls, 0);
+  // Per-message size must dwarf MILC's KB-range halos at equal scale.
+  const mpi::Profile milc = run("MILC", 16, p);
+  EXPECT_GT(isend.bytes / isend.calls,
+            4 * milc.stats(mpi::Op::kIsend).bytes /
+                milc.stats(mpi::Op::kIsend).calls);
+  // Wait-dominated (Table I row 4).
+  const auto top = prof.ops_by_time();
+  EXPECT_TRUE(top[0] == mpi::Op::kWait || top[0] == mpi::Op::kWaitall);
+}
+
+TEST(Qbox, AlltoallvDominates) {
+  const mpi::Profile prof = run("QBOX", 16, tiny());
+  EXPECT_GT(prof.stats(mpi::Op::kAlltoallv).calls, 0);
+  const auto top = prof.ops_by_time();
+  EXPECT_EQ(top[0], mpi::Op::kAlltoallv);
+}
+
+TEST(Rayleigh, HeavyAlltoallvWithBarrier) {
+  const mpi::Profile prof = run("RAYLEIGH", 16, tiny());
+  EXPECT_GT(prof.stats(mpi::Op::kAlltoallv).calls, 0);
+  EXPECT_GT(prof.stats(mpi::Op::kBarrier).calls, 0);
+  // No nonblocking point-to-point in the app itself (Table I: "none";
+  // the packing pipeline uses blocking Send/Recv).
+  EXPECT_EQ(prof.stats(mpi::Op::kIsend).calls, 0);
+  EXPECT_GT(prof.stats(mpi::Op::kSend).calls, 0);
+}
+
+TEST(Nek5000, UsesBlockingRecvAndAllreduce) {
+  const mpi::Profile prof = run("NEK5000", 16, tiny());
+  EXPECT_GT(prof.stats(mpi::Op::kRecv).calls, 0);
+  EXPECT_GT(prof.stats(mpi::Op::kAllreduce).calls, 0);
+  EXPECT_EQ(prof.stats(mpi::Op::kAllreduce).bytes /
+                prof.stats(mpi::Op::kAllreduce).calls,
+            16);
+}
+
+TEST(Synthetic, PatternsCompleteWithFixedIterations) {
+  mpi::Machine m(topo::Config::mini(4), 66);
+  SyntheticParams sp;
+  sp.iterations = 3;
+  sp.msg_bytes = 4096;
+  sp.compute_ns = 1000;
+  int jid = 0;
+  std::vector<mpi::JobId> ids;
+  for (auto fn : {&uniform_traffic, &stencil3d_traffic, &incast_traffic,
+                  &bisection_traffic, &compute_only}) {
+    mpi::JobSpec s;
+    s.name = "syn" + std::to_string(jid);
+    for (int i = 0; i < 8; ++i) s.nodes.push_back(jid * 8 + i);
+    s.app = [fn, sp](mpi::RankCtx& c) { return fn(c, sp); };
+    ids.push_back(m.submit(std::move(s)));
+    ++jid;
+  }
+  EXPECT_TRUE(m.run_to_completion(ids));
+}
+
+TEST(Synthetic, OpenEndedStopsOnRequest) {
+  mpi::Machine m(topo::Config::mini(2), 67);
+  SyntheticParams sp;
+  sp.iterations = 0;
+  sp.msg_bytes = 2048;
+  sp.compute_ns = 5000;
+  mpi::JobSpec s;
+  s.name = "bg";
+  for (int i = 0; i < 8; ++i) s.nodes.push_back(i);
+  s.app = [sp](mpi::RankCtx& c) { return uniform_traffic(c, sp); };
+  const mpi::JobId id = m.submit(std::move(s));
+  m.run_for(300 * sim::kMicrosecond);
+  EXPECT_FALSE(m.job(id).complete());
+  EXPECT_GT(m.network().stats().packets_injected, 0);
+  m.request_stop(id);
+  m.run_for(5 * sim::kMillisecond);
+  // Best-effort stop: all in-flight traffic drains even if some ranks stay
+  // blocked on receives from already-stopped peers.
+  EXPECT_EQ(m.network().packets_in_flight(), 0);
+}
+
+TEST(Helpers, BalancedDims) {
+  EXPECT_EQ(balanced_dims(256, 4), (std::vector<int>{4, 4, 4, 4}));
+  EXPECT_EQ(balanced_dims(128, 4), (std::vector<int>{4, 4, 4, 2}));
+  EXPECT_EQ(balanced_dims(12, 2), (std::vector<int>{4, 3}));
+  EXPECT_EQ(balanced_dims(7, 3), (std::vector<int>{7, 1, 1}));
+  EXPECT_EQ(balanced_dims(1, 3), (std::vector<int>{1, 1, 1}));
+}
+
+TEST(Helpers, CoordRoundTrip) {
+  const std::vector<int> dims{4, 3, 2};
+  for (int r = 0; r < 24; ++r)
+    EXPECT_EQ(coords_to_rank(rank_to_coords(r, dims), dims), r);
+}
+
+}  // namespace
+}  // namespace dfsim::apps

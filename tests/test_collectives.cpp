@@ -1,0 +1,206 @@
+// Unit tests: collective algorithms across communicator sizes.
+#include <gtest/gtest.h>
+
+#include "mpi/collectives.hpp"
+#include "mpi/machine.hpp"
+
+namespace dfsim::mpi {
+namespace {
+
+/// Run `app` on the first `n` nodes of a mini machine; returns merged profile.
+Profile run_app(int n, JobSpec::AppFn app, sim::Tick* runtime = nullptr) {
+  Machine m(topo::Config::mini(4), 77);
+  JobSpec s;
+  s.name = "coll";
+  for (int i = 0; i < n; ++i) s.nodes.push_back(i);
+  s.app = std::move(app);
+  const JobId id = m.submit(std::move(s));
+  const JobId w[] = {id};
+  EXPECT_TRUE(m.run_to_completion(w));
+  if (runtime != nullptr) *runtime = m.job(id).runtime();
+  return m.job_profile(id);
+}
+
+class CollSizes : public ::testing::TestWithParam<int> {};
+INSTANTIATE_TEST_SUITE_P(Sizes, CollSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 23, 32),
+                         [](const auto& inf) {
+                           return "n" + std::to_string(inf.param);
+                         });
+
+TEST_P(CollSizes, BarrierCompletes) {
+  const int n = GetParam();
+  const Profile p = run_app(n, [](RankCtx& ctx) -> CoTask {
+    for (int i = 0; i < 3; ++i)
+      co_await coll::barrier(ctx, Comm::world(ctx.nranks(), ctx.rank()));
+  });
+  EXPECT_EQ(p.stats(Op::kBarrier).calls, 3 * n);
+}
+
+TEST_P(CollSizes, AllreduceSmallCompletes) {
+  const int n = GetParam();
+  const Profile p = run_app(n, [](RankCtx& ctx) -> CoTask {
+    co_await coll::allreduce(ctx, Comm::world(ctx.nranks(), ctx.rank()), 8);
+  });
+  EXPECT_EQ(p.stats(Op::kAllreduce).calls, n);
+  EXPECT_EQ(p.stats(Op::kAllreduce).bytes, 8 * n);
+  // Internal sends must not pollute the p2p profile rows.
+  EXPECT_EQ(p.stats(Op::kIsend).calls, 0);
+  EXPECT_EQ(p.stats(Op::kWait).calls, 0);
+}
+
+TEST_P(CollSizes, AllreduceLargeUsesRingAndCompletes) {
+  const int n = GetParam();
+  const Profile p = run_app(n, [](RankCtx& ctx) -> CoTask {
+    co_await coll::allreduce(ctx, Comm::world(ctx.nranks(), ctx.rank()),
+                             coll::kRingThresholdBytes * 2);
+  });
+  EXPECT_EQ(p.stats(Op::kAllreduce).calls, n);
+}
+
+TEST_P(CollSizes, AlltoallCompletes) {
+  const int n = GetParam();
+  const Profile p = run_app(n, [](RankCtx& ctx) -> CoTask {
+    co_await coll::alltoall(ctx, Comm::world(ctx.nranks(), ctx.rank()), 2048);
+  });
+  EXPECT_EQ(p.stats(Op::kAlltoall).calls, n);
+}
+
+TEST_P(CollSizes, BcastAndReduceComplete) {
+  const int n = GetParam();
+  const Profile p = run_app(n, [](RankCtx& ctx) -> CoTask {
+    const Comm w = Comm::world(ctx.nranks(), ctx.rank());
+    co_await coll::bcast(ctx, w, 4096, 0);
+    co_await coll::reduce(ctx, w, 4096, 0);
+    // Non-zero roots too.
+    co_await coll::bcast(ctx, w, 128, ctx.nranks() - 1);
+    co_await coll::reduce(ctx, w, 128, ctx.nranks() / 2);
+  });
+  EXPECT_EQ(p.stats(Op::kBcast).calls, 2 * n);
+  EXPECT_EQ(p.stats(Op::kReduce).calls, 2 * n);
+}
+
+TEST_P(CollSizes, AllgatherCompletes) {
+  const int n = GetParam();
+  const Profile p = run_app(n, [](RankCtx& ctx) -> CoTask {
+    co_await coll::allgather(ctx, Comm::world(ctx.nranks(), ctx.rank()), 4096);
+  });
+  EXPECT_EQ(p.stats(Op::kAllgather).calls, n);
+  if (n > 1)
+    EXPECT_EQ(p.stats(Op::kAllgather).bytes, 4096LL * (n - 1) * n);
+}
+
+TEST_P(CollSizes, ReduceScatterCompletes) {
+  const int n = GetParam();
+  const Profile p = run_app(n, [](RankCtx& ctx) -> CoTask {
+    co_await coll::reduce_scatter(ctx, Comm::world(ctx.nranks(), ctx.rank()),
+                                  64 * 1024);
+  });
+  EXPECT_EQ(p.stats(Op::kReduceScatter).calls, n);
+}
+
+TEST_P(CollSizes, GatherScatterComplete) {
+  const int n = GetParam();
+  const Profile p = run_app(n, [](RankCtx& ctx) -> CoTask {
+    const Comm w = Comm::world(ctx.nranks(), ctx.rank());
+    co_await coll::gather(ctx, w, 2048, 0);
+    co_await coll::scatter(ctx, w, 2048, 0);
+    // Non-zero root as well.
+    co_await coll::gather(ctx, w, 512, ctx.nranks() - 1);
+    co_await coll::scatter(ctx, w, 512, ctx.nranks() / 2);
+  });
+  EXPECT_EQ(p.stats(Op::kGather).calls, 2 * n);
+  EXPECT_EQ(p.stats(Op::kScatter).calls, 2 * n);
+}
+
+TEST(Collectives, AllgatherLatencyScalesWithVolume) {
+  sim::Tick small = 0, big = 0;
+  run_app(8, [](RankCtx& ctx) -> CoTask {
+    co_await coll::allgather(ctx, Comm::world(ctx.nranks(), ctx.rank()), 1024);
+  }, &small);
+  run_app(8, [](RankCtx& ctx) -> CoTask {
+    co_await coll::allgather(ctx, Comm::world(ctx.nranks(), ctx.rank()),
+                             256 * 1024);
+  }, &big);
+  EXPECT_GT(big, small);
+}
+
+TEST(Collectives, AlltoallvPerPeerBytes) {
+  const int n = 6;
+  const Profile p = run_app(n, [](RankCtx& ctx) -> CoTask {
+    const Comm w = Comm::world(ctx.nranks(), ctx.rank());
+    std::vector<std::int64_t> per(static_cast<std::size_t>(w.size()));
+    for (int i = 0; i < w.size(); ++i)
+      per[static_cast<std::size_t>(i)] = 100 * (i + 1);
+    co_await coll::alltoallv(ctx, w, std::move(per));
+  });
+  EXPECT_EQ(p.stats(Op::kAlltoallv).calls, n);
+  // Each rank sends sum(per) minus its own slot.
+  std::int64_t expect_total = 0;
+  for (int me = 0; me < n; ++me)
+    for (int i = 0; i < n; ++i)
+      if (i != me) expect_total += 100 * (i + 1);
+  EXPECT_EQ(p.stats(Op::kAlltoallv).bytes, expect_total);
+}
+
+TEST(Collectives, SubCommunicatorsRunConcurrently) {
+  // Two disjoint row comms doing alltoall at once: no cross-talk.
+  const Profile p = run_app(8, [](RankCtx& ctx) -> CoTask {
+    const int me = ctx.rank();
+    std::vector<int> members;
+    const int base = (me / 4) * 4;
+    for (int i = 0; i < 4; ++i) members.push_back(base + i);
+    const Comm row = Comm::sub(std::move(members), me);
+    for (int rep = 0; rep < 3; ++rep)
+      co_await coll::alltoall(ctx, row, 4096);
+  });
+  EXPECT_EQ(p.stats(Op::kAlltoall).calls, 3 * 8);
+}
+
+TEST(Collectives, BarrierSynchronizes) {
+  // Rank 0 is slow; everyone's barrier must take at least rank 0's delay.
+  sim::Tick runtime = 0;
+  run_app(4, [](RankCtx& ctx) -> CoTask {
+    if (ctx.rank() == 0) co_await ctx.compute(500 * sim::kMicrosecond);
+    co_await coll::barrier(ctx, Comm::world(ctx.nranks(), ctx.rank()));
+  }, &runtime);
+  EXPECT_GE(runtime, 500 * sim::kMicrosecond);
+}
+
+TEST(Collectives, AllreduceLatencyGrowsWithRanks) {
+  auto time_for = [](int n) {
+    sim::Tick rt = 0;
+    run_app(n, [](RankCtx& ctx) -> CoTask {
+      for (int i = 0; i < 5; ++i)
+        co_await coll::allreduce(ctx, Comm::world(ctx.nranks(), ctx.rank()), 8);
+    }, &rt);
+    return rt;
+  };
+  EXPECT_LT(time_for(2), time_for(16));
+}
+
+TEST(Collectives, A2aModeUsedForAlltoall) {
+  // With mode_a2a == mode_p2p == AD0 vs alltoall forced elsewhere: here we
+  // just assert alltoall internals don't appear as Isend/Recv in profiles
+  // and the collective time is attributed to Alltoall.
+  const Profile p = run_app(4, [](RankCtx& ctx) -> CoTask {
+    co_await coll::alltoall(ctx, Comm::world(ctx.nranks(), ctx.rank()), 8192);
+  });
+  EXPECT_EQ(p.stats(Op::kIsend).calls, 0);
+  EXPECT_EQ(p.stats(Op::kIrecv).calls, 0);
+  EXPECT_GT(p.stats(Op::kAlltoall).time_ns, 0);
+}
+
+TEST(Comm, WorldAndSub) {
+  const Comm w = Comm::world(8, 3);
+  EXPECT_EQ(w.size(), 8);
+  EXPECT_EQ(w.my_index, 3);
+  EXPECT_EQ(w.my_world(), 3);
+  const Comm s = Comm::sub({5, 9, 2}, 9);
+  EXPECT_EQ(s.size(), 3);
+  EXPECT_EQ(s.my_index, 1);
+  EXPECT_EQ(s.world(2), 2);
+}
+
+}  // namespace
+}  // namespace dfsim::mpi

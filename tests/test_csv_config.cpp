@@ -1,0 +1,93 @@
+// Tests: CSV writer and the additional topology presets.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "stats/csv.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(Csv, WritesHeaderAndRows) {
+  const std::string path = "/tmp/dfsim_csv_test1.csv";
+  {
+    stats::CsvWriter w(path, {"app", "mode", "runtime_ms"});
+    ASSERT_TRUE(w.ok());
+    w.row({"MILC", "AD0", stats::CsvWriter::num(1.25)});
+    w.row({"MILC", "AD3"});  // short row padded
+  }
+  const std::string s = slurp(path);
+  EXPECT_EQ(s, "app,mode,runtime_ms\nMILC,AD0,1.25\nMILC,AD3,\n");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, QuotesSpecialCharacters) {
+  const std::string path = "/tmp/dfsim_csv_test2.csv";
+  {
+    stats::CsvWriter w(path, {"name", "note"});
+    w.row({"a,b", "say \"hi\"\nthere"});
+  }
+  const std::string s = slurp(path);
+  EXPECT_NE(s.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(s.find("\"say \"\"hi\"\"\nthere\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, BadPathReportsNotOk) {
+  stats::CsvWriter w("/nonexistent_dir_xyz/file.csv", {"a"});
+  EXPECT_FALSE(w.ok());
+  w.row({"x"});  // must not crash
+}
+
+TEST(Csv, NumFormatting) {
+  EXPECT_EQ(stats::CsvWriter::num(1.5), "1.5");
+  EXPECT_EQ(stats::CsvWriter::num(0.0), "0");
+  EXPECT_EQ(stats::CsvWriter::num(1e9), "1e+09");
+}
+
+TEST(SlingshotPreset, ConstructsAndRoutes) {
+  const topo::Config cfg = topo::Config::slingshot_like(6);
+  EXPECT_NO_THROW(cfg.validate());
+  EXPECT_EQ(cfg.chassis_per_group, 1);  // flat group
+  const topo::Dragonfly d(cfg);
+  // Flat group: every intra-group pair is one rank-1 hop.
+  for (int s = 1; s < cfg.slots_per_chassis; ++s)
+    EXPECT_GE(d.local_port_to(0, static_cast<topo::RouterId>(s)), 0);
+  // No rank-2 ports at all.
+  EXPECT_EQ(d.rank2_ports(), 0);
+  // End-to-end traffic works.
+  sim::Engine eng;
+  net::Network net(eng, d, 3);
+  bool done = false;
+  net.send_message(0, cfg.num_nodes() - 1, 64 * 1024, routing::Mode::kAd0,
+                   [&] { done = true; });
+  eng.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(net.stats().escapes, 0);
+}
+
+TEST(SlingshotPreset, MinimalPathsAreShorter) {
+  // Flat groups: intra-group minimal is always 1 hop (vs up to 2 on XC).
+  const topo::Dragonfly d(topo::Config::slingshot_like(4));
+  const int rpg = d.config().routers_per_group();
+  for (int a = 0; a < rpg; ++a)
+    for (int b = a + 1; b < rpg; ++b)
+      EXPECT_EQ(d.minimal_hops(static_cast<topo::RouterId>(a),
+                               static_cast<topo::RouterId>(b)),
+                1);
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -1,0 +1,177 @@
+// Tests: extension features — AWR runtime (De Sensi baseline) and Aries
+// congestion throttling — plus deadlock-freedom stress properties of the
+// VC ladder.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "core/awr.hpp"
+#include "core/experiment.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dfsim {
+namespace {
+
+TEST(Awr, EscalatesUnderRisingCongestion) {
+  // Start a MILC job quietly, then unleash a congestor; AWR should step the
+  // job's bias toward minimal.
+  sched::Scheduler sched(topo::Config::mini(6), 5);
+  apps::AppParams p;
+  p.iterations = 30;
+  p.msg_scale = 0.2;
+  p.compute_scale = 0.2;
+  const mpi::JobId job = sched.submit_app("MILC", 24, sched::Placement::kRandom,
+                                          routing::Mode::kAd0, p);
+  ASSERT_GE(job, 0);
+
+  core::AwrController::Params ap;
+  ap.poll_period = 50 * sim::kMicrosecond;
+  ap.degrade_threshold = 1.10;
+  core::AwrController awr(sched.machine(), job, ap);
+  awr.start();
+  EXPECT_EQ(awr.current_mode(), routing::Mode::kAd0);
+
+  // Quiet phase.
+  sched.machine().run_for(300 * sim::kMicrosecond);
+  // Storm phase.
+  const auto bg = sched.add_background(0.9, routing::Mode::kAd0);
+  (void)bg;
+  const mpi::JobId w[] = {job};
+  ASSERT_TRUE(sched.machine().run_to_completion(w));
+  EXPECT_GT(awr.escalations(), 0);
+  EXPECT_GE(static_cast<int>(awr.current_mode()),
+            static_cast<int>(routing::Mode::kAd0));
+  // Decisions recorded with timestamps and observed latency.
+  for (const auto& d : awr.decisions()) {
+    EXPECT_GT(d.t, 0);
+    EXPECT_GT(d.latency_ns, 0.0);
+  }
+}
+
+TEST(Awr, RespectsFloorAndCeiling) {
+  sched::Scheduler sched(topo::Config::mini(4), 7);
+  apps::AppParams p;
+  p.iterations = 10;
+  p.msg_scale = 0.1;
+  p.compute_scale = 0.1;
+  const mpi::JobId job = sched.submit_app("MILC", 16, sched::Placement::kCompact,
+                                          routing::Mode::kAd0, p);
+  core::AwrController::Params ap;
+  ap.poll_period = 20 * sim::kMicrosecond;
+  ap.initial = routing::Mode::kAd1;
+  ap.floor = routing::Mode::kAd1;
+  ap.ceiling = routing::Mode::kAd2;
+  core::AwrController awr(sched.machine(), job, ap);
+  awr.start();
+  const mpi::JobId w[] = {job};
+  ASSERT_TRUE(sched.machine().run_to_completion(w));
+  EXPECT_GE(static_cast<int>(awr.current_mode()),
+            static_cast<int>(routing::Mode::kAd1));
+  EXPECT_LE(static_cast<int>(awr.current_mode()),
+            static_cast<int>(routing::Mode::kAd2));
+}
+
+TEST(Awr, ModeChangeReachesSubsequentMessages) {
+  mpi::Machine m(topo::Config::mini(2), 9);
+  mpi::JobSpec s;
+  s.name = "probe";
+  s.nodes = {0, 1};
+  s.mode_p2p = routing::Mode::kAd0;
+  routing::Mode seen_late = routing::Mode::kAd0;
+  s.app = [&seen_late](mpi::RankCtx& ctx) -> mpi::CoTask {
+    co_await ctx.compute(200 * sim::kMicrosecond);
+    seen_late = ctx.mode_p2p();
+  };
+  const mpi::JobId id = m.submit(std::move(s));
+  m.engine().schedule(50 * sim::kMicrosecond, [&] {
+    m.set_job_modes(id, routing::Mode::kAd3, routing::Mode::kAd3);
+  });
+  const mpi::JobId w[] = {id};
+  ASSERT_TRUE(m.run_to_completion(w));
+  EXPECT_EQ(seen_late, routing::Mode::kAd3);
+}
+
+TEST(Throttle, EngagesUnderSustainedIncastAndRelaxes) {
+  topo::Config cfg = topo::Config::mini(4);
+  cfg.throttle_enabled = true;
+  cfg.throttle_window = 20 * sim::kMicrosecond;
+  cfg.throttle_hi_ratio = 1.0;  // low threshold: engage quickly in the test
+  sim::Engine eng;
+  topo::Dragonfly topo(cfg);
+  net::Network net(eng, topo, 11);
+  // Persistent incast: many senders to one node.
+  for (topo::NodeId src = 1; src < 48; ++src)
+    net.send_message(src, 0, 512 * 1024, routing::Mode::kAd0, {});
+  eng.run_until(2 * sim::kMillisecond);
+  EXPECT_GT(net.stats().throttle_activations, 0);
+  EXPECT_GT(net.throttle_factor(), 1.0);
+  // Quiet period: factor relaxes back toward 1.
+  eng.run_until(eng.now() + 10 * sim::kMillisecond);
+  EXPECT_DOUBLE_EQ(net.throttle_factor(), 1.0);
+}
+
+TEST(Throttle, DisabledByDefault) {
+  topo::Config cfg = topo::Config::mini(2);
+  sim::Engine eng;
+  topo::Dragonfly topo(cfg);
+  net::Network net(eng, topo, 13);
+  for (topo::NodeId src = 1; src < 16; ++src)
+    net.send_message(src, 0, 256 * 1024, routing::Mode::kAd0, {});
+  eng.run();
+  EXPECT_EQ(net.stats().throttle_activations, 0);
+  EXPECT_DOUBLE_EQ(net.throttle_factor(), 1.0);
+}
+
+// --- VC-ladder deadlock-freedom stress properties ---
+
+class LadderStress : public ::testing::TestWithParam<routing::Mode> {};
+INSTANTIATE_TEST_SUITE_P(Modes, LadderStress,
+                         ::testing::Values(routing::Mode::kAd0,
+                                           routing::Mode::kAd3),
+                         [](const auto& inf) {
+                           return std::string(routing::mode_name(inf.param));
+                         });
+
+TEST_P(LadderStress, NoEscapesUnderHeavyAdversarialLoad) {
+  // Saturating group-pair permutation traffic from every node: the classic
+  // cyclic-dependency workload. With the VC ladder the escape safety net
+  // must never fire, and everything must drain.
+  topo::Config cfg = topo::Config::mini(6);
+  sim::Engine eng;
+  topo::Dragonfly topo(cfg);
+  net::Network net(eng, topo, 17);
+  const int n = cfg.num_nodes();
+  int done = 0;
+  for (int rep = 0; rep < 3; ++rep)
+    for (topo::NodeId s = 0; s < n; ++s)
+      net.send_message(s, (s + n / 2) % n, 128 * 1024, GetParam(),
+                       [&] { ++done; });
+  eng.set_event_budget(200'000'000ULL);
+  eng.run();
+  EXPECT_EQ(done, 3 * n);
+  EXPECT_EQ(net.stats().escapes, 0);
+  EXPECT_EQ(net.packets_in_flight(), 0);
+}
+
+TEST(Ladder, MixedWorkloadDrainsWithoutEscapes) {
+  // Whole-machine mixed app ensemble: the integration-level no-deadlock
+  // check.
+  sched::Scheduler sched(topo::Config::mini(6), 23);
+  apps::AppParams p;
+  p.iterations = 2;
+  p.msg_scale = 0.3;
+  p.compute_scale = 0.05;
+  std::vector<mpi::JobId> jobs;
+  for (const auto& app : apps::paper_app_names()) {
+    const mpi::JobId id = sched.submit_app(app, 12, sched::Placement::kRandom,
+                                           routing::Mode::kAd0, p);
+    if (id >= 0) jobs.push_back(id);
+  }
+  ASSERT_TRUE(sched.machine().run_to_completion(jobs));
+  EXPECT_EQ(sched.machine().network().stats().escapes, 0);
+  // Trailing fire-and-forget responses drain after job completion.
+  sched.machine().run_for(5 * sim::kMillisecond);
+  EXPECT_EQ(sched.machine().network().packets_in_flight(), 0);
+}
+
+}  // namespace
+}  // namespace dfsim

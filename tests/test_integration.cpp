@@ -1,0 +1,180 @@
+// Integration: paper-shape properties on a scaled-down system.
+//
+// These check the *directions* the paper reports (Sections IV-V), not
+// magnitudes: strong minimal bias helps latency-bound apps under congestion,
+// concentrates load for bisection-bound apps, and reduces total hop work.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/experiment.hpp"
+#include "stats/summary.hpp"
+
+namespace dfsim::core {
+namespace {
+
+double mean_runtime(const std::string& app, routing::Mode mode, int samples,
+                    double bg, std::uint64_t seed) {
+  ProductionConfig cfg;
+  cfg.system = topo::Config::mini(6);
+  cfg.app = app;
+  cfg.nnodes = 24;
+  cfg.mode = mode;
+  cfg.params.iterations = 3;
+  cfg.params.msg_scale = 0.15;
+  cfg.params.compute_scale = 0.15;
+  cfg.bg_utilization = bg;
+  cfg.warmup = 100 * sim::kMicrosecond;
+  cfg.seed = seed;
+  const auto rs = run_production_batch(cfg, samples);
+  EXPECT_EQ(static_cast<int>(rs.size()), samples);
+  double sum = 0.0;
+  for (const auto& r : rs) sum += r.runtime_ms;
+  return sum / static_cast<double>(rs.size());
+}
+
+TEST(PaperShape, MilcPrefersAd3UnderCongestion) {
+  const double ad0 = mean_runtime("MILC", routing::Mode::kAd0, 5, 0.7, 101);
+  const double ad3 = mean_runtime("MILC", routing::Mode::kAd3, 5, 0.7, 101);
+  EXPECT_LT(ad3, ad0);
+}
+
+TEST(PaperShape, IsolatedRunsLessSensitiveToMode) {
+  // On an idle machine every mode routes (almost) minimally: the gap
+  // between AD0 and AD3 should be small relative to the congested gap.
+  const double ad0 = mean_runtime("MILC", routing::Mode::kAd0, 3, 0.0, 77);
+  const double ad3 = mean_runtime("MILC", routing::Mode::kAd3, 3, 0.0, 77);
+  EXPECT_NEAR(ad0, ad3, 0.25 * ad0);
+}
+
+TEST(PaperShape, Ad3ReducesNonminimalFractionAndHops) {
+  auto stats_for = [](routing::Mode mode) {
+    ProductionConfig cfg;
+    cfg.system = topo::Config::mini(6);
+    cfg.app = "MILC";
+    cfg.nnodes = 24;
+    cfg.mode = mode;
+    cfg.params.iterations = 3;
+    cfg.params.msg_scale = 0.15;
+    cfg.params.compute_scale = 0.15;
+    cfg.bg_utilization = 0.0;  // only the app's own traffic
+    cfg.seed = 33;
+    const RunResult r = run_production(cfg);
+    EXPECT_TRUE(r.ok);
+    return r.netstats;
+  };
+  const auto s0 = stats_for(routing::Mode::kAd0);
+  const auto s3 = stats_for(routing::Mode::kAd3);
+  EXPECT_LE(s3.nonminimal_decisions, s0.nonminimal_decisions);
+  // Fewer detours -> less total hop work for the same traffic.
+  EXPECT_LE(s3.total_hops, s0.total_hops);
+}
+
+TEST(PaperShape, HaccDoesNotBenefitFromAd3) {
+  // Bisection-bound: strong minimal bias concentrates rank-3 load
+  // (paper Table II: HACC is the one app that regresses, Fig. 12).
+  // Compact placement + heavy transposes saturate the few direct cables.
+  auto mean_rt = [](routing::Mode mode) {
+    ProductionConfig cfg;
+    cfg.system = topo::Config::mini(6);
+    cfg.app = "HACC";
+    cfg.nnodes = 48;  // half the machine, compact: ~1.5 groups
+    cfg.mode = mode;
+    cfg.params.iterations = 2;
+    cfg.params.msg_scale = 0.4;
+    cfg.params.compute_scale = 0.05;
+    cfg.placement = sched::Placement::kCompact;
+    cfg.bg_utilization = 0.0;
+    cfg.seed = 55;
+    const auto rs = run_production_batch(cfg, 4);
+    EXPECT_EQ(rs.size(), 4u);
+    double sum = 0;
+    for (const auto& r : rs) sum += r.runtime_ms;
+    return sum / static_cast<double>(rs.size());
+  };
+  const double ad0 = mean_rt(routing::Mode::kAd0);
+  const double ad3 = mean_rt(routing::Mode::kAd3);
+  EXPECT_GE(ad3, 0.97 * ad0);  // at minimum: no meaningful AD3 win
+}
+
+TEST(PaperShape, Ad3ConcentratesRank3StallsForHacc) {
+  auto peak_ratio = [](routing::Mode mode) {
+    EnsembleConfig cfg;
+    cfg.system = topo::Config::mini(6);
+    cfg.app = "HACC";
+    cfg.njobs = 4;
+    cfg.nnodes = 24;
+    cfg.mode = mode;
+    cfg.params.iterations = 2;
+    cfg.params.msg_scale = 0.15;
+    cfg.params.compute_scale = 0.15;
+    cfg.seed = 66;
+    const EnsembleResult r = run_controlled(cfg);
+    EXPECT_TRUE(r.ok);
+    // Peak-to-mean stall concentration over rank-3 tiles (Fig. 12's
+    // "localized peaks on the rank-3 tiles").
+    std::int64_t peak = 0, sum = 0, n = 0;
+    for (const auto& t : r.tiles) {
+      if (t.cls != topo::TileClass::kRank3) continue;
+      peak = std::max(peak, t.stall_ns);
+      sum += t.stall_ns;
+      ++n;
+    }
+    return n > 0 && sum > 0
+               ? static_cast<double>(peak) * static_cast<double>(n) /
+                     static_cast<double>(sum)
+               : 0.0;
+  };
+  EXPECT_GT(peak_ratio(routing::Mode::kAd3),
+            0.9 * peak_ratio(routing::Mode::kAd0));
+}
+
+TEST(PaperShape, ControlledEnsembleModesAreOrderedForMilc) {
+  // Fig. 9: AD3 best mean; AD0 worst among the four, on a loaded system.
+  std::array<double, 4> means{};
+  for (int m = 0; m < 4; ++m) {
+    EnsembleConfig cfg;
+    cfg.system = topo::Config::mini(6);
+    cfg.app = "MILC";
+    cfg.njobs = 6;
+    cfg.nnodes = 24;
+    cfg.mode = static_cast<routing::Mode>(m);
+    cfg.params.iterations = 2;
+    cfg.params.msg_scale = 0.2;
+    cfg.params.compute_scale = 0.2;
+    cfg.seed = 88;
+    const EnsembleResult r = run_controlled(cfg);
+    ASSERT_TRUE(r.ok);
+    means[static_cast<std::size_t>(m)] =
+        std::accumulate(r.runtimes_ms.begin(), r.runtimes_ms.end(), 0.0) /
+        static_cast<double>(r.runtimes_ms.size());
+  }
+  EXPECT_LT(means[3], means[0]);  // AD3 beats AD0 (the headline claim)
+}
+
+TEST(PaperShape, OrbLatencyLowerUnderAd3OnLoadedSystem) {
+  // Fig. 14 direction: system under AD3 shows lower mean packet-pair
+  // latency than under AD0 for the same workload.
+  auto mean_lat = [](routing::Mode mode) {
+    EnsembleConfig cfg;
+    cfg.system = topo::Config::mini(6);
+    cfg.app = "MILC";
+    cfg.njobs = 6;
+    cfg.nnodes = 24;
+    cfg.mode = mode;
+    cfg.params.iterations = 2;
+    cfg.params.msg_scale = 0.2;
+    cfg.params.compute_scale = 0.2;
+    cfg.seed = 99;
+    const EnsembleResult r = run_controlled(cfg);
+    EXPECT_TRUE(r.ok);
+    return r.total.nic_rsp_track_count > 0
+               ? static_cast<double>(r.total.nic_rsp_time_sum_ns) /
+                     static_cast<double>(r.total.nic_rsp_track_count)
+               : 0.0;
+  };
+  EXPECT_LT(mean_lat(routing::Mode::kAd3), mean_lat(routing::Mode::kAd0));
+}
+
+}  // namespace
+}  // namespace dfsim::core

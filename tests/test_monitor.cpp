@@ -1,0 +1,139 @@
+// Tests: AutoPerf reports and LDMS sampling.
+#include <gtest/gtest.h>
+
+#include "apps/registry.hpp"
+#include "monitor/autoperf.hpp"
+#include "monitor/ldms.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dfsim::monitor {
+namespace {
+
+struct Ran {
+  Ran() : sched(topo::Config::mini(4), 21) {
+    apps::AppParams p;
+    p.iterations = 3;
+    p.msg_scale = 0.1;
+    p.compute_scale = 0.1;
+    id = sched.submit_app("MILC", 16, sched::Placement::kCompact,
+                          routing::Mode::kAd0, p);
+    baseline = local_baseline(sched.machine(), id);
+  }
+  void run() {
+    const mpi::JobId w[] = {id};
+    ASSERT_TRUE(sched.machine().run_to_completion(w));
+  }
+  sched::Scheduler sched;
+  mpi::JobId id = -1;
+  net::CounterSnapshot baseline;
+};
+
+TEST(AutoPerf, ReportHasProfileAndCounters) {
+  Ran r;
+  r.run();
+  const AutoPerfReport rep = collect(r.sched.machine(), r.id, r.baseline);
+  EXPECT_EQ(rep.app, "MILC");
+  EXPECT_EQ(rep.nranks, 16);
+  EXPECT_GT(rep.runtime_ms, 0.0);
+  EXPECT_GT(rep.mpi_fraction, 0.0);
+  EXPECT_LT(rep.mpi_fraction, 1.0);
+  EXPECT_GT(rep.local.rank1.flits + rep.local.rank2.flits +
+                rep.local.rank3.flits,
+            0);
+  EXPECT_GT(rep.local.proc_req.flits, 0);
+  const auto top = rep.top_ops(3);
+  EXPECT_EQ(top.size(), 3u);
+  EXPECT_GT(rep.avg_bytes(mpi::Op::kIsend), 0.0);
+  EXPECT_EQ(rep.avg_bytes(mpi::Op::kBcast), 0.0);
+}
+
+TEST(AutoPerf, LocalViewSubsetOfGlobal) {
+  Ran r;
+  r.run();
+  const AutoPerfReport rep = collect(r.sched.machine(), r.id, r.baseline);
+  const auto global = r.sched.machine().network().snapshot_all();
+  EXPECT_LE(rep.local.rank3.flits, global.rank3.flits);
+  EXPECT_LE(rep.local.proc_req.flits, global.proc_req.flits);
+}
+
+TEST(Ldms, SamplesAtPeriod) {
+  Ran r;
+  LdmsSampler ldms(r.sched.machine().network(), 50 * sim::kMicrosecond);
+  ldms.start();
+  r.run();
+  const auto& samples = ldms.samples();
+  ASSERT_GE(samples.size(), 2u);
+  for (std::size_t i = 1; i < samples.size(); ++i)
+    EXPECT_EQ(samples[i].t - samples[i - 1].t, 50 * sim::kMicrosecond);
+}
+
+TEST(Ldms, DeltasAreNonNegativeAndSumToTotal) {
+  Ran r;
+  LdmsSampler ldms(r.sched.machine().network(), 20 * sim::kMicrosecond);
+  ldms.start();
+  r.run();
+  const auto deltas = ldms.interval_deltas();
+  ASSERT_FALSE(deltas.empty());
+  std::int64_t sum = 0;
+  for (const auto& d : deltas) {
+    EXPECT_GE(d.cumulative.rank1.flits, 0);
+    EXPECT_GE(d.cumulative.rank3.stall_ns, 0);
+    sum += d.cumulative.rank1.flits;
+  }
+  const auto& first = ldms.samples().front().cumulative;
+  const auto& last = ldms.samples().back().cumulative;
+  EXPECT_EQ(sum, last.rank1.flits - first.rank1.flits);
+}
+
+TEST(Ldms, MaxSamplesBounds) {
+  sched::Scheduler sched(topo::Config::mini(2), 23);
+  LdmsSampler ldms(sched.machine().network(), 10 * sim::kMicrosecond, 5);
+  ldms.start();
+  sched.machine().run_for(sim::kMillisecond);
+  EXPECT_EQ(ldms.samples().size(), 5u);
+}
+
+TEST(Ldms, StopHaltsSampling) {
+  sched::Scheduler sched(topo::Config::mini(2), 23);
+  LdmsSampler ldms(sched.machine().network(), 10 * sim::kMicrosecond);
+  ldms.start();
+  sched.machine().run_for(55 * sim::kMicrosecond);
+  ldms.stop();
+  const auto count = ldms.samples().size();
+  sched.machine().run_for(sim::kMillisecond);
+  EXPECT_EQ(ldms.samples().size(), count);
+}
+
+TEST(Ldms, PerTileCountersMatchSnapshotTotals) {
+  Ran r;
+  r.run();
+  const auto& net = r.sched.machine().network();
+  const auto tiles = per_tile_counters(net);
+  // One row per port of every router.
+  std::size_t expect = 0;
+  const auto& topo = net.topology();
+  for (topo::RouterId rr = 0; rr < topo.config().num_routers(); ++rr)
+    expect += static_cast<std::size_t>(topo.num_ports(rr));
+  EXPECT_EQ(tiles.size(), expect);
+  // Per-class flit totals must match the snapshot (router-side counters;
+  // proc classes also include NIC injection in the snapshot).
+  std::int64_t rank1 = 0, rank3 = 0;
+  for (const auto& t : tiles) {
+    if (t.cls == topo::TileClass::kRank1) rank1 += t.flits;
+    if (t.cls == topo::TileClass::kRank3) rank3 += t.flits;
+  }
+  const auto snap = net.snapshot_all();
+  EXPECT_EQ(rank1, snap.rank1.flits);
+  EXPECT_EQ(rank3, snap.rank3.flits);
+}
+
+TEST(Ldms, NicLatenciesPopulated) {
+  Ran r;
+  r.run();
+  const auto lats = nic_mean_latencies(r.sched.machine().network());
+  EXPECT_GE(lats.size(), 16u);  // at least the job's nodes tracked pairs
+  for (const double l : lats) EXPECT_GT(l, 0.0);
+}
+
+}  // namespace
+}  // namespace dfsim::monitor

@@ -1,0 +1,222 @@
+// Unit tests: simulated MPI — matching, wildcards, waits, profiles, jobs.
+#include <gtest/gtest.h>
+
+#include "mpi/machine.hpp"
+
+namespace dfsim::mpi {
+namespace {
+
+JobSpec spec_with(std::vector<topo::NodeId> nodes, JobSpec::AppFn app,
+                  routing::Mode p2p = routing::Mode::kAd0) {
+  JobSpec s;
+  s.name = "test";
+  s.nodes = std::move(nodes);
+  s.app = std::move(app);
+  s.mode_p2p = p2p;
+  return s;
+}
+
+TEST(Machine, RejectsInvalidJobs) {
+  Machine m(topo::Config::mini(2), 1);
+  EXPECT_THROW(m.submit(spec_with({}, [](RankCtx&) { return CoTask{}; })),
+               std::invalid_argument);
+  JobSpec s;
+  s.nodes = {0};
+  EXPECT_THROW(m.submit(std::move(s)), std::invalid_argument);
+  EXPECT_THROW(m.submit(spec_with({99999}, [](RankCtx& c) -> CoTask {
+                 co_await c.compute(1);
+               })),
+               std::invalid_argument);
+}
+
+TEST(Machine, PingPongCompletes) {
+  Machine m(topo::Config::mini(2), 1);
+  auto app = [](RankCtx& ctx) -> CoTask {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 1024, 7);
+      co_await ctx.recv(1, 1024, 8);
+    } else {
+      co_await ctx.recv(0, 1024, 7);
+      co_await ctx.send(0, 1024, 8);
+    }
+  };
+  const JobId id = m.submit(spec_with({0, 1}, app));
+  const JobId w[] = {id};
+  EXPECT_TRUE(m.run_to_completion(w));
+  EXPECT_TRUE(m.job(id).complete());
+  EXPECT_GT(m.job(id).runtime(), 0);
+}
+
+TEST(Machine, UnexpectedMessagesMatchLater) {
+  Machine m(topo::Config::mini(2), 1);
+  auto app = [](RankCtx& ctx) -> CoTask {
+    if (ctx.rank() == 0) {
+      // Send before the receiver posts.
+      co_await ctx.send(1, 256, 5);
+    } else {
+      co_await ctx.compute(50 * sim::kMicrosecond);
+      co_await ctx.recv(0, 256, 5);
+    }
+  };
+  const JobId id = m.submit(spec_with({0, 1}, app));
+  const JobId w[] = {id};
+  EXPECT_TRUE(m.run_to_completion(w));
+}
+
+TEST(Machine, TagSelectivity) {
+  Machine m(topo::Config::mini(2), 1);
+  std::vector<int> order;
+  auto app = [&order](RankCtx& ctx) -> CoTask {
+    if (ctx.rank() == 0) {
+      co_await ctx.send(1, 128, /*tag=*/1);
+      co_await ctx.send(1, 128, /*tag=*/2);
+    } else {
+      // Receive tag 2 first even though tag 1 arrives first.
+      co_await ctx.recv(0, 128, 2);
+      order.push_back(2);
+      co_await ctx.recv(0, 128, 1);
+      order.push_back(1);
+    }
+  };
+  const JobId id = m.submit(spec_with({0, 1}, app));
+  const JobId w[] = {id};
+  EXPECT_TRUE(m.run_to_completion(w));
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(Machine, WildcardSourceReceives) {
+  Machine m(topo::Config::mini(2), 1);
+  auto app = [](RankCtx& ctx) -> CoTask {
+    const int n = ctx.nranks();
+    if (ctx.rank() == 0) {
+      for (int i = 1; i < n; ++i) co_await ctx.recv(kAnySource, 64, 3);
+    } else {
+      co_await ctx.send(0, 64, 3);
+    }
+  };
+  const JobId id = m.submit(spec_with({0, 1, 2, 3}, app));
+  const JobId w[] = {id};
+  EXPECT_TRUE(m.run_to_completion(w));
+}
+
+TEST(Machine, WaitallGathersAll) {
+  Machine m(topo::Config::mini(2), 1);
+  auto app = [](RankCtx& ctx) -> CoTask {
+    const int n = ctx.nranks();
+    const int me = ctx.rank();
+    std::vector<Request> reqs;
+    for (int i = 0; i < n; ++i) {
+      if (i == me) continue;
+      reqs.push_back(ctx.irecv(i, 512, 9));
+      reqs.push_back(ctx.isend(i, 512, 9));
+    }
+    co_await ctx.waitall(std::move(reqs));
+  };
+  const JobId id = m.submit(spec_with({0, 1, 2, 3, 4, 5}, app));
+  const JobId w[] = {id};
+  EXPECT_TRUE(m.run_to_completion(w));
+}
+
+TEST(Machine, ProfileRecordsCallsAndBytes) {
+  Machine m(topo::Config::mini(2), 1);
+  auto app = [](RankCtx& ctx) -> CoTask {
+    if (ctx.rank() == 0) {
+      Request r = ctx.isend(1, 1000, 1);
+      co_await ctx.wait(std::move(r));
+    } else {
+      co_await ctx.recv(0, 1000, 1);
+    }
+  };
+  const JobId id = m.submit(spec_with({0, 1}, app));
+  const JobId w[] = {id};
+  ASSERT_TRUE(m.run_to_completion(w));
+  const Profile p = m.job_profile(id);
+  EXPECT_EQ(p.stats(Op::kIsend).calls, 1);
+  EXPECT_EQ(p.stats(Op::kIsend).bytes, 1000);
+  EXPECT_EQ(p.stats(Op::kWait).calls, 1);
+  EXPECT_EQ(p.stats(Op::kRecv).calls, 1);
+  EXPECT_GT(p.stats(Op::kWait).time_ns, 0);
+  EXPECT_GT(p.total_mpi_ns(), 0);
+  const auto order = p.ops_by_time();
+  EXPECT_FALSE(order.empty());
+}
+
+TEST(Machine, TwoConcurrentJobsAreIndependent) {
+  Machine m(topo::Config::mini(4), 1);
+  auto app = [](RankCtx& ctx) -> CoTask {
+    // Uses the same tags in both jobs: matching must stay per-job.
+    if (ctx.rank() == 0)
+      co_await ctx.send(1, 4096, 1);
+    else
+      co_await ctx.recv(0, 4096, 1);
+  };
+  const JobId a = m.submit(spec_with({0, 1}, app));
+  const JobId b = m.submit(spec_with({2, 3}, app));
+  const JobId w[] = {a, b};
+  EXPECT_TRUE(m.run_to_completion(w));
+  EXPECT_TRUE(m.job(a).complete());
+  EXPECT_TRUE(m.job(b).complete());
+}
+
+TEST(Machine, StaggeredStartTimes) {
+  Machine m(topo::Config::mini(2), 1);
+  auto app = [](RankCtx& ctx) -> CoTask { co_await ctx.compute(1000); };
+  const JobId id = m.submit(spec_with({0}, app), 5 * sim::kMicrosecond);
+  const JobId w[] = {id};
+  EXPECT_TRUE(m.run_to_completion(w));
+  EXPECT_EQ(m.job(id).start_time, 5 * sim::kMicrosecond);
+  EXPECT_EQ(m.job(id).runtime(), 1000);
+}
+
+TEST(Machine, StopRequestEndsOpenLoop) {
+  Machine m(topo::Config::mini(2), 1);
+  auto app = [](RankCtx& ctx) -> CoTask {
+    while (!ctx.stop_requested()) co_await ctx.compute(10 * sim::kMicrosecond);
+  };
+  const JobId bg = m.submit(spec_with({0, 1}, app));
+  m.run_for(sim::kMillisecond);
+  EXPECT_FALSE(m.job(bg).complete());
+  m.request_stop(bg);
+  const JobId w[] = {bg};
+  EXPECT_TRUE(m.run_to_completion(w));
+}
+
+TEST(Machine, JobRoutersDeduplicated) {
+  Machine m(topo::Config::mini(2), 1);
+  // Nodes 0,1 share router 0 (2 nodes/router in mini).
+  auto app = [](RankCtx& ctx) -> CoTask { co_await ctx.compute(1); };
+  const JobId id = m.submit(spec_with({0, 1, 2}, app));
+  const auto routers = m.job_routers(id);
+  EXPECT_EQ(routers.size(), 2u);
+}
+
+TEST(Machine, RoutingModeReachesNetwork) {
+  // AD3 job under a hot minimal path should take fewer non-minimal routes
+  // than the same job under AD0 (checked at network stats level elsewhere);
+  // here just check the mode plumbing through JobSpec.
+  Machine m(topo::Config::mini(2), 1);
+  auto app = [](RankCtx& ctx) -> CoTask {
+    EXPECT_EQ(ctx.mode_p2p(), routing::Mode::kAd3);
+    EXPECT_EQ(ctx.mode_a2a(), routing::Mode::kAd1);
+    co_await ctx.compute(1);
+  };
+  JobSpec s = spec_with({0}, app, routing::Mode::kAd3);
+  const JobId id = m.submit(std::move(s));
+  const JobId w[] = {id};
+  EXPECT_TRUE(m.run_to_completion(w));
+}
+
+TEST(Profile, MergeAccumulates) {
+  Profile a, b;
+  a.record(Op::kIsend, 100, 10);
+  b.record(Op::kIsend, 50, 5);
+  b.record(Op::kBarrier, 70, 0);
+  a += b;
+  EXPECT_EQ(a.stats(Op::kIsend).calls, 2);
+  EXPECT_EQ(a.stats(Op::kIsend).bytes, 15);
+  EXPECT_EQ(a.stats(Op::kBarrier).time_ns, 70);
+  EXPECT_EQ(op_name(Op::kAlltoallv), "MPI_Alltoallv");
+}
+
+}  // namespace
+}  // namespace dfsim::mpi

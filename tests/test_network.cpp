@@ -1,0 +1,248 @@
+// Unit/integration tests: packet forwarding, flow control, counters, ORB.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::net {
+namespace {
+
+struct Fixture {
+  explicit Fixture(topo::Config cfg = topo::Config::mini(4))
+      : topo(std::move(cfg)), net(engine, topo, 42) {}
+  sim::Engine engine;
+  topo::Dragonfly topo;
+  Network net;
+};
+
+TEST(Network, DeliversSingleMessage) {
+  Fixture f;
+  bool delivered = false;
+  f.net.send_message(0, f.topo.config().num_nodes() - 1, 4096,
+                     routing::Mode::kAd0, [&] { delivered = true; });
+  f.engine.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(f.net.stats().packets_injected, 0);
+}
+
+TEST(Network, LoopbackDelivers) {
+  Fixture f;
+  bool delivered = false;
+  f.net.send_message(5, 5, 1024, routing::Mode::kAd0, [&] { delivered = true; });
+  f.engine.run();
+  EXPECT_TRUE(delivered);
+  EXPECT_EQ(f.net.stats().packets_injected, 0);  // loopback skips the wire
+}
+
+TEST(Network, RejectsBadEndpoints) {
+  Fixture f;
+  EXPECT_THROW(f.net.send_message(-1, 0, 10, routing::Mode::kAd0, {}),
+               std::invalid_argument);
+  EXPECT_THROW(f.net.send_message(0, f.topo.config().num_nodes(), 10,
+                                  routing::Mode::kAd0, {}),
+               std::invalid_argument);
+}
+
+TEST(Network, SegmentsMessagesIntoPackets) {
+  Fixture f;
+  const auto payload = f.topo.config().packet_payload_bytes;
+  f.net.send_message(0, 8, payload * 7 + 1, routing::Mode::kAd0, {});
+  f.engine.run();
+  // 8 request packets (7 full + 1 runt) + 8 responses.
+  EXPECT_EQ(f.net.stats().packets_injected, 16);
+  EXPECT_EQ(f.net.stats().packets_delivered, 16);
+}
+
+TEST(Network, DrainsCompletely) {
+  Fixture f;
+  int done = 0;
+  sim::Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto a =
+        static_cast<topo::NodeId>(rng.uniform_u64(f.topo.config().num_nodes()));
+    const auto b =
+        static_cast<topo::NodeId>(rng.uniform_u64(f.topo.config().num_nodes()));
+    f.net.send_message(a, b, 2048 + static_cast<std::int64_t>(rng.uniform_u64(8192)),
+                       routing::Mode::kAd0, [&] { ++done; });
+  }
+  f.engine.run();
+  EXPECT_EQ(done, 200);
+  EXPECT_EQ(f.net.packets_in_flight(), 0);
+}
+
+TEST(Network, LatencyScalesWithDistance) {
+  // Same-router NIC pair vs cross-group pair.
+  Fixture f;
+  sim::Tick t_near = 0, t_far = 0;
+  f.net.send_message(0, 1, 64, routing::Mode::kAd0,
+                     [&] { t_near = f.engine.now(); });
+  f.engine.run();
+  const sim::Tick start2 = f.engine.now();
+  f.net.send_message(0, f.topo.config().num_nodes() - 1, 64,
+                     routing::Mode::kAd0, [&] { t_far = f.engine.now(); });
+  f.engine.run();
+  EXPECT_GT(t_far - start2, t_near);
+}
+
+TEST(Network, CountsFlitsByTileClass) {
+  Fixture f;
+  // Cross-group message must cross a rank-3 link and eject at a proc tile.
+  const topo::NodeId dst =
+      static_cast<topo::NodeId>(f.topo.config().nodes_per_group() + 3);
+  f.net.send_message(0, dst, 8192, routing::Mode::kAd0, {});
+  f.engine.run();
+  const CounterSnapshot s = f.net.snapshot_all();
+  EXPECT_GT(s.rank3.flits, 0);
+  EXPECT_GT(s.proc_req.flits, 0);
+  EXPECT_GT(s.proc_rsp.flits, 0);  // per-packet responses
+}
+
+TEST(Network, OrbTracksRequestResponseLatency) {
+  Fixture f;
+  f.net.send_message(0, 40, 4096, routing::Mode::kAd0, {});
+  f.engine.run();
+  const auto& nic = f.net.nic(0);
+  EXPECT_GT(nic.ctr.rsp_track_count, 0);
+  EXPECT_GT(nic.ctr.mean_latency_ns(), 0.0);
+  // Round trip must be at least twice the one-way serialization.
+  EXPECT_GT(nic.ctr.mean_latency_ns(), 200.0);
+}
+
+TEST(Network, ResponsesCanBeDisabled) {
+  topo::Config cfg = topo::Config::mini(4);
+  cfg.generate_responses = false;
+  Fixture f(cfg);
+  f.net.send_message(0, 40, 4096, routing::Mode::kAd0, {});
+  f.engine.run();
+  EXPECT_EQ(f.net.nic(0).ctr.rsp_track_count, 0);
+  EXPECT_EQ(f.net.snapshot_all().proc_rsp.flits, 0);
+}
+
+TEST(Network, IncastCausesEndpointStalls) {
+  Fixture f;
+  // Many senders to one node: the ejection port and rx unit saturate.
+  for (topo::NodeId src = 1; src < 32; ++src)
+    f.net.send_message(src, 0, 64 * 1024, routing::Mode::kAd0, {});
+  f.engine.run();
+  const CounterSnapshot s = f.net.snapshot_all();
+  EXPECT_GT(s.proc_req.stall_ns, 0);
+}
+
+TEST(Network, BackpressurePercolatesUnderOversubscription) {
+  Fixture f;
+  // Saturate the group 0 -> group 1 direct cables with many big flows.
+  const int npg = f.topo.config().nodes_per_group();
+  for (int i = 0; i < npg; ++i)
+    f.net.send_message(static_cast<topo::NodeId>(i),
+                       static_cast<topo::NodeId>(npg + i), 256 * 1024,
+                       routing::Mode::kAd3, {});
+  f.engine.run();
+  const CounterSnapshot s = f.net.snapshot_all();
+  // Strong minimal bias concentrates on the few rank-3 cables: stalls there
+  // and on the upstream local tiles (paper Fig. 12 mechanism).
+  EXPECT_GT(s.rank3.stall_ns, 0);
+  EXPECT_GT(s.rank1.stall_ns + s.rank2.stall_ns, 0);
+  EXPECT_EQ(f.net.packets_in_flight(), 0);
+}
+
+TEST(Network, Ad0SpreadsMoreThanAd3UnderHotspot) {
+  // Same oversubscribed pattern under both modes: AD0 must take more
+  // non-minimal routes and push more flits through rank-3 overall (extra
+  // hops), the paper's core mechanism.
+  auto run = [](routing::Mode mode) {
+    Fixture f;
+    const int npg = f.topo.config().nodes_per_group();
+    for (int rep = 0; rep < 4; ++rep)
+      for (int i = 0; i < npg; ++i)
+        f.net.send_message(static_cast<topo::NodeId>(i),
+                           static_cast<topo::NodeId>(npg + i), 64 * 1024, mode,
+                           {});
+    f.engine.run();
+    return f.net.stats();
+  };
+  const NetworkStats s0 = run(routing::Mode::kAd0);
+  const NetworkStats s3 = run(routing::Mode::kAd3);
+  EXPECT_GT(s0.nonminimal_decisions, s3.nonminimal_decisions);
+  EXPECT_GT(s0.total_hops, s3.total_hops);
+}
+
+TEST(Network, SnapshotDeltaIsMonotonic) {
+  Fixture f;
+  const topo::NodeId far = f.topo.config().num_nodes() - 2;
+  f.net.send_message(0, far, 32 * 1024, routing::Mode::kAd0, {});
+  f.engine.run();
+  const CounterSnapshot a = f.net.snapshot_all();
+  f.net.send_message(0, far, 32 * 1024, routing::Mode::kAd0, {});
+  f.engine.run();
+  const CounterSnapshot b = f.net.snapshot_all();
+  const CounterSnapshot d = b.delta_since(a);
+  EXPECT_GT(d.rank3.flits + d.rank1.flits + d.rank2.flits, 0);
+  EXPECT_GE(d.proc_req.flits, 0);
+  EXPECT_GE(d.rank1.stall_ns, 0);
+}
+
+TEST(Network, RouterSubsetSnapshotIsPartOfWhole) {
+  Fixture f;
+  sim::Rng rng(3);
+  for (int i = 0; i < 50; ++i)
+    f.net.send_message(
+        static_cast<topo::NodeId>(rng.uniform_u64(f.topo.config().num_nodes())),
+        static_cast<topo::NodeId>(rng.uniform_u64(f.topo.config().num_nodes())),
+        8192, routing::Mode::kAd0, {});
+  f.engine.run();
+  std::vector<topo::RouterId> some{0, 1, 2};
+  const CounterSnapshot part = f.net.snapshot_routers(some);
+  const CounterSnapshot all = f.net.snapshot_all();
+  EXPECT_LE(part.rank1.flits, all.rank1.flits);
+  EXPECT_LE(part.rank3.flits, all.rank3.flits);
+  EXPECT_LE(part.proc_req.flits, all.proc_req.flits);
+}
+
+TEST(Network, StallFlitRatioHelper) {
+  ClassCounters c;
+  c.flits = 100;
+  c.stall_ns = 1600;
+  // flit_time 1.6ns -> 1000 stall-flit-times / 100 flits = 10.
+  EXPECT_NEAR(CounterSnapshot::stall_flit_ratio(c, 1.6), 10.0, 1e-9);
+  ClassCounters zero;
+  EXPECT_EQ(CounterSnapshot::stall_flit_ratio(zero, 1.6), 0.0);
+}
+
+TEST(Network, PerModeDecisionAccounting) {
+  Fixture f;
+  const topo::NodeId far = f.topo.config().num_nodes() - 1;
+  for (int i = 0; i < 20; ++i) {
+    f.net.send_message(0, far, 8192, routing::Mode::kAd0, {});
+    f.net.send_message(1, far - 1, 8192, routing::Mode::kAd3, {});
+  }
+  f.engine.run();
+  const auto& st = f.net.stats();
+  const auto total_ad0 = st.decisions_by_mode[0][0] + st.decisions_by_mode[0][1];
+  const auto total_ad3 = st.decisions_by_mode[3][0] + st.decisions_by_mode[3][1];
+  EXPECT_GT(total_ad0, 0);
+  EXPECT_GT(total_ad3, 0);
+  EXPECT_EQ(total_ad0 + total_ad3,
+            st.minimal_decisions + st.nonminimal_decisions);
+  EXPECT_GE(f.net.stats().nonminimal_fraction(routing::Mode::kAd0), 0.0);
+  EXPECT_LE(f.net.stats().nonminimal_fraction(routing::Mode::kAd3), 1.0);
+  // Unused modes report zero cleanly.
+  EXPECT_EQ(f.net.stats().nonminimal_fraction(routing::Mode::kAd1), 0.0);
+}
+
+TEST(Network, MessageRateLimitPacesSmallMessages) {
+  topo::Config cfg = topo::Config::mini(4);
+  cfg.nic_msg_rate_mps = 1.0;  // 1 M msgs/s -> 1000 ns per packet
+  Fixture f(cfg);
+  sim::Tick done_at = 0;
+  // 10 tiny messages, one packet each: pacing dominates.
+  for (int i = 0; i < 10; ++i)
+    f.net.send_message(0, 1, 8, routing::Mode::kAd0,
+                       [&] { done_at = f.engine.now(); });
+  f.engine.run();
+  // 10 packets at >= 1000 ns spacing: the last cannot finish before 9 us.
+  EXPECT_GE(done_at, 9 * 1000);
+}
+
+}  // namespace
+}  // namespace dfsim::net

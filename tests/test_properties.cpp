@@ -1,0 +1,158 @@
+// Property-based tests: randomized traffic fuzzing against global
+// invariants (conservation, bounded paths, determinism, bias monotonicity).
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "routing/bias.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim {
+namespace {
+
+struct FuzzCase {
+  topo::Config cfg;
+  std::uint64_t seed;
+  int messages;
+  std::string label;
+};
+
+class TrafficFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TrafficFuzz,
+    ::testing::Values(FuzzCase{topo::Config::mini(2), 1, 300, "mini2"},
+                      FuzzCase{topo::Config::mini(5), 2, 300, "mini5"},
+                      FuzzCase{topo::Config::theta_scaled(), 3, 200, "scaled"},
+                      FuzzCase{topo::Config::slingshot_like(4), 4, 200,
+                               "slingshot"},
+                      FuzzCase{topo::Config::cori_scaled(), 5, 150, "cori"}),
+    [](const auto& inf) { return inf.param.label; });
+
+TEST_P(TrafficFuzz, ConservationAndBoundedPaths) {
+  const auto& fc = GetParam();
+  sim::Engine eng;
+  topo::Dragonfly topo(fc.cfg);
+  net::Network net(eng, topo, fc.seed);
+  sim::Rng rng(fc.seed * 7919);
+  int done = 0;
+  int expected = 0;
+  for (int i = 0; i < fc.messages; ++i) {
+    const auto a =
+        static_cast<topo::NodeId>(rng.uniform_u64(fc.cfg.num_nodes()));
+    const auto b =
+        static_cast<topo::NodeId>(rng.uniform_u64(fc.cfg.num_nodes()));
+    const auto bytes = static_cast<std::int64_t>(1 + rng.uniform_u64(96 * 1024));
+    const auto mode = static_cast<routing::Mode>(rng.uniform_u64(4));
+    net.send_message(a, b, bytes, mode, [&] { ++done; });
+    ++expected;
+  }
+  eng.set_event_budget(200'000'000ULL);
+  eng.run();
+  EXPECT_EQ(done, expected);
+  EXPECT_EQ(net.packets_in_flight(), 0);
+  EXPECT_EQ(net.stats().escapes, 0);
+
+  const auto s = net.snapshot_all();
+  // Conservation: every packet injected at a NIC ejects at exactly one
+  // processor tile with the same flit count (per plane). The snapshot's
+  // proc classes fold injection and ejection (as Aries processor tiles
+  // carry both directions), so proc == 2x the NIC-side injection total.
+  std::int64_t inj_req = 0, inj_rsp = 0;
+  for (topo::NodeId n = 0; n < fc.cfg.num_nodes(); ++n) {
+    inj_req += net.nic(n).ctr.inj_flits[net::kVcRequest];
+    inj_rsp += net.nic(n).ctr.inj_flits[net::kVcResponse];
+  }
+  EXPECT_EQ(s.proc_req.flits, 2 * inj_req);
+  EXPECT_EQ(s.proc_rsp.flits, 2 * inj_rsp);
+  // Mean hops per packet bounded by the Valiant worst case.
+  if (net.stats().packets_injected > 0) {
+    const double mean_hops =
+        static_cast<double>(net.stats().total_hops) /
+        static_cast<double>(net.stats().packets_injected);
+    EXPECT_GT(mean_hops, 0.0);
+    EXPECT_LE(mean_hops, 11.0);
+  }
+}
+
+TEST_P(TrafficFuzz, DeterministicReplay) {
+  const auto& fc = GetParam();
+  auto run = [&] {
+    sim::Engine eng;
+    topo::Dragonfly topo(fc.cfg);
+    net::Network net(eng, topo, fc.seed);
+    sim::Rng rng(fc.seed);
+    for (int i = 0; i < fc.messages / 2; ++i) {
+      const auto a =
+          static_cast<topo::NodeId>(rng.uniform_u64(fc.cfg.num_nodes()));
+      const auto b =
+          static_cast<topo::NodeId>(rng.uniform_u64(fc.cfg.num_nodes()));
+      net.send_message(a, b, 8192, routing::Mode::kAd0, {});
+    }
+    eng.run();
+    const auto s = net.snapshot_all();
+    return std::tuple{eng.now(), s.rank1.flits, s.rank3.stall_ns,
+                      net.stats().total_hops,
+                      net.stats().nonminimal_decisions};
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(BiasProperty, MonotoneInLoads) {
+  // For every mode: raising the minimal load can only push the decision
+  // toward non-minimal; raising the non-minimal load only toward minimal.
+  sim::Rng rng(99);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto mode = static_cast<routing::Mode>(rng.uniform_u64(4));
+    const auto lm = static_cast<std::int64_t>(rng.uniform_u64(200));
+    const auto ln = static_cast<std::int64_t>(rng.uniform_u64(200));
+    const int hops = static_cast<int>(rng.uniform_u64(8));
+    const bool base = routing::choose_minimal(lm, ln, hops, mode);
+    if (!base) {
+      // Already diverting: more minimal load must not flip back.
+      EXPECT_FALSE(routing::choose_minimal(lm + 1 + static_cast<std::int64_t>(
+                                                        rng.uniform_u64(50)),
+                                           ln, hops, mode));
+    } else {
+      // Minimal: more non-minimal load must keep it minimal.
+      EXPECT_TRUE(routing::choose_minimal(
+          lm, ln + 1 + static_cast<std::int64_t>(rng.uniform_u64(50)), hops,
+          mode));
+    }
+  }
+}
+
+TEST(BiasProperty, HopsOnlyStrengthenMinimalForAd1) {
+  sim::Rng rng(101);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto lm = static_cast<std::int64_t>(rng.uniform_u64(200));
+    const auto ln = static_cast<std::int64_t>(rng.uniform_u64(100));
+    const int h = static_cast<int>(rng.uniform_u64(6));
+    if (routing::choose_minimal(lm, ln, h, routing::Mode::kAd1)) {
+      EXPECT_TRUE(routing::choose_minimal(lm, ln, h + 1, routing::Mode::kAd1));
+    }
+  }
+}
+
+TEST(LoadOracleProperty, ReflectsOccupancyDuringTransfer) {
+  // While a large message is in flight, some port on the source router must
+  // report non-zero load; after drain, all loads return to zero.
+  const topo::Config cfg = topo::Config::mini(3);
+  sim::Engine eng;
+  topo::Dragonfly topo(cfg);
+  net::Network net(eng, topo, 21);
+  net.send_message(0, cfg.num_nodes() - 1, 512 * 1024, routing::Mode::kAd0, {});
+  eng.run_until(20 * sim::kMicrosecond);
+  std::int64_t during = 0;
+  for (topo::PortId p = 0; p < topo.num_ports(0); ++p)
+    during += net.load_units(0, p);
+  EXPECT_GT(during, 0);
+  eng.run();
+  for (topo::RouterId r = 0; r < cfg.num_routers(); ++r)
+    for (topo::PortId p = 0; p < topo.num_ports(r); ++p)
+      ASSERT_EQ(net.load_units(r, p), 0) << "r" << r << " p" << p;
+}
+
+}  // namespace
+}  // namespace dfsim

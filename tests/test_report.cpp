@@ -1,0 +1,109 @@
+// Tests: report helpers and multi-job monitoring interactions not covered
+// by the per-module suites.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/registry.hpp"
+#include "core/report.hpp"
+#include "monitor/autoperf.hpp"
+#include "monitor/ldms.hpp"
+#include "sched/scheduler.hpp"
+
+namespace dfsim {
+namespace {
+
+TEST(Report, RatioComparisonHandlesZeroBaseline) {
+  std::ostringstream os;
+  const std::array<double, 5> zeros{};
+  const std::array<double, 5> some{1, 2, 3, 4, 5};
+  core::print_ratio_comparison(os, "A", zeros, "B", some);
+  // Zero baseline -> 0% change printed, no division blowup.
+  EXPECT_NE(os.str().find("+0.0%"), std::string::npos);
+}
+
+TEST(Report, NormalizedSplitDegenerateInputs) {
+  std::ostringstream os;
+  const std::vector<double> same{2.0, 2.0};
+  core::print_normalized_split(os, "const", same, same);
+  EXPECT_NE(os.str().find("AD0"), std::string::npos);
+  std::ostringstream os2;
+  core::print_normalized_split(os2, "empty", {}, {});
+  EXPECT_NE(os2.str().find("AD3"), std::string::npos);
+}
+
+TEST(AutoPerf, SharedRouterCountersAreContaminatedButBounded) {
+  // Two jobs sharing routers: each job's local view includes the other's
+  // traffic on shared routers (as on the real system), but never exceeds
+  // the global totals.
+  sched::Scheduler sched(topo::Config::mini(4), 31);
+  apps::AppParams p;
+  p.iterations = 2;
+  p.msg_scale = 0.1;
+  p.compute_scale = 0.1;
+  const mpi::JobId a = sched.submit_app("MILC", 16, sched::Placement::kRandom,
+                                        routing::Mode::kAd0, p);
+  const mpi::JobId b = sched.submit_app("NEK5000", 16, sched::Placement::kRandom,
+                                        routing::Mode::kAd3, p);
+  ASSERT_GE(a, 0);
+  ASSERT_GE(b, 0);
+  const auto base_a = monitor::local_baseline(sched.machine(), a);
+  const auto base_b = monitor::local_baseline(sched.machine(), b);
+  const mpi::JobId w[] = {a, b};
+  ASSERT_TRUE(sched.machine().run_to_completion(w));
+  const auto ra = monitor::collect(sched.machine(), a, base_a);
+  const auto rb = monitor::collect(sched.machine(), b, base_b);
+  const auto all = sched.machine().network().snapshot_all();
+  EXPECT_LE(ra.local.rank1.flits, all.rank1.flits);
+  EXPECT_LE(rb.local.rank1.flits, all.rank1.flits);
+  EXPECT_GT(ra.profile.total_mpi_ns(), 0);
+  EXPECT_GT(rb.profile.total_mpi_ns(), 0);
+  // Distinct apps produce distinct dominant calls.
+  EXPECT_EQ(rb.app, "NEK5000");
+}
+
+TEST(Ldms, TracksConcurrentJobsGlobally) {
+  sched::Scheduler sched(topo::Config::mini(4), 33);
+  apps::AppParams p;
+  p.iterations = 3;
+  p.msg_scale = 0.15;
+  p.compute_scale = 0.1;
+  monitor::LdmsSampler ldms(sched.machine().network(), 20 * sim::kMicrosecond);
+  ldms.start();
+  std::vector<mpi::JobId> jobs;
+  for (const char* app : {"MILC", "QBOX"}) {
+    const auto id = sched.submit_app(app, 16, sched::Placement::kRandom,
+                                     routing::Mode::kAd0, p);
+    ASSERT_GE(id, 0);
+    jobs.push_back(id);
+  }
+  ASSERT_TRUE(sched.machine().run_to_completion(jobs));
+  const auto deltas = ldms.interval_deltas();
+  ASSERT_GT(deltas.size(), 1u);
+  // Traffic visible in at least one interval.
+  std::int64_t total = 0;
+  for (const auto& d : deltas)
+    total += d.cumulative.rank1.flits + d.cumulative.rank2.flits +
+             d.cumulative.rank3.flits;
+  EXPECT_GT(total, 0);
+}
+
+TEST(Characterize, DistinguishesCollectiveHeavyApps) {
+  core::ProductionConfig cfg;
+  cfg.system = topo::Config::mini(4);
+  cfg.app = "QBOX";
+  cfg.nnodes = 16;
+  cfg.params.iterations = 2;
+  cfg.params.msg_scale = 0.1;
+  cfg.params.compute_scale = 0.1;
+  cfg.bg_utilization = 0.0;
+  cfg.seed = 5;
+  const auto r = core::run_production(cfg);
+  ASSERT_TRUE(r.ok);
+  const auto row = core::characterize(r.autoperf);
+  EXPECT_EQ(row.call1, "MPI_Alltoallv");
+  EXPECT_GT(row.coll_avg_bytes, row.p2p_avg_bytes * 0.0);  // populated
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -1,0 +1,274 @@
+// Unit tests: bias semantics (paper Section II-D) and adaptive route
+// planning (forward progress, Valiant structure, load response).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "routing/adaptive.hpp"
+#include "routing/bias.hpp"
+#include "sim/rng.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::routing {
+namespace {
+
+TEST(Bias, ModeParams) {
+  EXPECT_EQ(params_for(Mode::kAd0).shift, 0);
+  EXPECT_EQ(params_for(Mode::kAd0).add, 0);
+  EXPECT_EQ(params_for(Mode::kAd2).add, 4);
+  EXPECT_EQ(params_for(Mode::kAd3).shift, 2);
+  EXPECT_TRUE(params_for(Mode::kAd1).progressive);
+}
+
+TEST(Bias, IdleNetworkAlwaysMinimal) {
+  for (int m = 0; m < kNumModes; ++m)
+    EXPECT_TRUE(choose_minimal(0, 0, 0, static_cast<Mode>(m)));
+}
+
+TEST(Bias, Ad3RequiresFourTimesLoad) {
+  // Paper: "with AD3, the load on minimal paths needs to be 4X of that on
+  // the non-minimal paths, before non-minimal paths will be used".
+  const std::int64_t nm = 16;
+  const std::int64_t ad0_break = kNonminHopWeight * nm + kUgalThreshold;
+  // AD0 diverts just past its weighted break-even; AD3 needs ~4x more.
+  EXPECT_TRUE(choose_minimal(ad0_break, nm, 0, Mode::kAd0));
+  EXPECT_FALSE(choose_minimal(ad0_break + 1, nm, 0, Mode::kAd0));
+  EXPECT_TRUE(choose_minimal(4 * ad0_break, nm, 0, Mode::kAd3));
+  EXPECT_FALSE(choose_minimal(4 * ad0_break + 4, nm, 0, Mode::kAd3));
+}
+
+TEST(Bias, OrderingOfModesByMinimalStickiness) {
+  // For any load pair, if a more-minimal-biased mode diverts, AD0 must too.
+  for (std::int64_t min_l = 0; min_l <= kLoadScale * 2; min_l += 3) {
+    for (std::int64_t nm = 0; nm <= kLoadScale; nm += 5) {
+      const bool m0 = choose_minimal(min_l, nm, 0, Mode::kAd0);
+      const bool m1 = choose_minimal(min_l, nm, 0, Mode::kAd1);
+      const bool m2 = choose_minimal(min_l, nm, 0, Mode::kAd2);
+      const bool m3 = choose_minimal(min_l, nm, 0, Mode::kAd3);
+      if (m0) {
+        EXPECT_TRUE(m1);
+        EXPECT_TRUE(m2);
+        EXPECT_TRUE(m3);
+      }
+      if (m1) {
+        EXPECT_TRUE(m3);  // AD3 at least as minimal as AD1
+      }
+    }
+  }
+}
+
+TEST(Bias, Ad1ProgressivelyMoreMinimal) {
+  const BiasParams p = params_for(Mode::kAd1);
+  // Some load pair where AD1 diverts at hop 0...
+  const std::int64_t min_l = 60, nm = 10;
+  ASSERT_FALSE(choose_minimal(min_l, nm, 0, p));
+  // ...must eventually stay minimal as hops accumulate.
+  bool became_minimal = false;
+  for (int h = 1; h <= 16; ++h) became_minimal |= choose_minimal(min_l, nm, h, p);
+  EXPECT_TRUE(became_minimal);
+}
+
+TEST(Bias, ParseModes) {
+  Mode m;
+  EXPECT_TRUE(parse_mode("AD0", m));
+  EXPECT_EQ(m, Mode::kAd0);
+  EXPECT_TRUE(parse_mode("ad3", m));
+  EXPECT_EQ(m, Mode::kAd3);
+  EXPECT_TRUE(parse_mode("2", m));
+  EXPECT_EQ(m, Mode::kAd2);
+  EXPECT_FALSE(parse_mode("AD4", m));
+  EXPECT_FALSE(parse_mode("", m));
+  EXPECT_EQ(mode_name(Mode::kAd1), "AD1");
+}
+
+// --- Route planning over a real topology ---
+
+class ZeroLoad final : public LoadOracle {
+ public:
+  [[nodiscard]] std::int64_t load_units(topo::RouterId,
+                                        topo::PortId) const override {
+    return 0;
+  }
+};
+
+/// Oracle with settable per-port loads.
+class MapLoad final : public LoadOracle {
+ public:
+  [[nodiscard]] std::int64_t load_units(topo::RouterId r,
+                                        topo::PortId p) const override {
+    const auto it = loads.find({r, p});
+    return it == loads.end() ? 0 : it->second;
+  }
+  std::map<std::pair<topo::RouterId, topo::PortId>, std::int64_t> loads;
+};
+
+class PlannerTest : public ::testing::TestWithParam<Mode> {};
+INSTANTIATE_TEST_SUITE_P(AllModes, PlannerTest,
+                         ::testing::Values(Mode::kAd0, Mode::kAd1, Mode::kAd2,
+                                           Mode::kAd3),
+                         [](const auto& inf) {
+                           return std::string(mode_name(inf.param));
+                         });
+
+/// Walk a packet through next_port() decisions until ejection; returns hops.
+int walk(const topo::Dragonfly& d, RoutePlanner& pl, topo::NodeId src,
+         topo::NodeId dst, RouteState& st) {
+  topo::RouterId r = d.router_of_node(src);
+  int hops = 0;
+  while (true) {
+    const topo::PortId p = pl.next_port(r, dst, st);
+    const auto& pi = d.port(r, p);
+    if (pi.cls == topo::TileClass::kProc) {
+      EXPECT_EQ(pi.eject_node, dst);
+      return hops;
+    }
+    r = pi.peer_router;
+    ++hops;
+    EXPECT_LT(hops, 16) << "routing loop";
+    if (hops >= 16) return hops;
+  }
+}
+
+TEST_P(PlannerTest, ReachesEveryDestinationIdle) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  RoutePlanner pl(d, zero, sim::Rng(3));
+  sim::Rng rng(4);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto src =
+        static_cast<topo::NodeId>(rng.uniform_u64(d.config().num_nodes()));
+    const auto dst =
+        static_cast<topo::NodeId>(rng.uniform_u64(d.config().num_nodes()));
+    if (src == dst) continue;
+    RouteState st;
+    st.mode = GetParam();
+    pl.decide_injection(d.router_of_node(src), dst, st);
+    // Idle network: every mode stays minimal.
+    EXPECT_FALSE(st.nonminimal);
+    const int hops = walk(d, pl, src, dst, st);
+    EXPECT_LE(hops, 5);
+  }
+}
+
+TEST_P(PlannerTest, NonminimalRoutesStillArrive) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  RoutePlanner pl(d, zero, sim::Rng(3));
+  sim::Rng rng(5);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto src =
+        static_cast<topo::NodeId>(rng.uniform_u64(d.config().num_nodes()));
+    const auto dst =
+        static_cast<topo::NodeId>(rng.uniform_u64(d.config().num_nodes()));
+    if (src == dst) continue;
+    RouteState st;
+    st.mode = GetParam();
+    // Force a Valiant detour.
+    st.nonminimal = true;
+    if (d.group_of_node(src) != d.group_of_node(dst)) {
+      topo::GroupId via = -1;
+      while (via < 0 || via == d.group_of_node(src) ||
+             via == d.group_of_node(dst))
+        via = static_cast<topo::GroupId>(rng.uniform_u64(d.config().groups));
+      st.via_group = via;
+    } else {
+      topo::RouterId via = -1;
+      const int rpg = d.config().routers_per_group();
+      const auto g = d.group_of_node(src);
+      while (via < 0 || via == d.router_of_node(src) ||
+             via == d.router_of_node(dst))
+        via = static_cast<topo::RouterId>(g * rpg + rng.uniform_u64(rpg));
+      st.via_router = via;
+    }
+    const int hops = walk(d, pl, src, dst, st);
+    EXPECT_TRUE(st.via_done || hops == 0);
+    EXPECT_LE(hops, 11);
+  }
+}
+
+TEST(Planner, LoadSteersAwayFromHotGateway) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  MapLoad oracle;
+  RoutePlanner pl(d, oracle, sim::Rng(9));
+  // Saturate every rank-3 port toward group 1 from group 0.
+  for (const auto& gw : d.gateways(0, 1))
+    oracle.loads[{gw.router, gw.port}] = kLoadScale;
+  // With AD0 and an idle alternative, injection should choose non-minimal
+  // for most packets from group 0 to group 1.
+  int nonmin = 0;
+  const int trials = 200;
+  sim::Rng rng(11);
+  for (int t = 0; t < trials; ++t) {
+    const auto src = static_cast<topo::NodeId>(
+        rng.uniform_u64(d.config().nodes_per_group()));
+    const auto dst = static_cast<topo::NodeId>(
+        d.config().nodes_per_group() + rng.uniform_u64(d.config().nodes_per_group()));
+    RouteState st;
+    st.mode = Mode::kAd0;
+    pl.decide_injection(d.router_of_node(src), dst, st);
+    nonmin += st.nonminimal ? 1 : 0;
+  }
+  EXPECT_GT(nonmin, trials / 2);
+}
+
+TEST(Planner, Ad3ToleratesMoreLoadThanAd0) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  MapLoad oracle;
+  // Moderate load on the minimal gateways: enough to trip AD0, not AD3.
+  for (const auto& gw : d.gateways(0, 1))
+    oracle.loads[{gw.router, gw.port}] = kUgalThreshold + 6;
+  int nonmin0 = 0, nonmin3 = 0;
+  const int trials = 300;
+  for (const Mode mode : {Mode::kAd0, Mode::kAd3}) {
+    RoutePlanner pl(d, oracle, sim::Rng(13));
+    sim::Rng rng(17);
+    for (int t = 0; t < trials; ++t) {
+      const auto src = static_cast<topo::NodeId>(
+          rng.uniform_u64(d.config().nodes_per_group()));
+      const auto dst = static_cast<topo::NodeId>(
+          d.config().nodes_per_group() +
+          rng.uniform_u64(d.config().nodes_per_group()));
+      RouteState st;
+      st.mode = mode;
+      pl.decide_injection(d.router_of_node(src), dst, st);
+      (mode == Mode::kAd0 ? nonmin0 : nonmin3) += st.nonminimal ? 1 : 0;
+    }
+  }
+  EXPECT_GT(nonmin0, nonmin3);
+  EXPECT_EQ(nonmin3, 0);
+}
+
+TEST(Planner, IntraGroupValiantUsesViaRouter) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  MapLoad oracle;
+  RoutePlanner pl(d, oracle, sim::Rng(23));
+  // Hot direct path: force intra-group detours under AD0.
+  const topo::NodeId src = 0;
+  const topo::NodeId dst =
+      static_cast<topo::NodeId>(3 * d.config().nodes_per_router);  // router 3
+  const topo::RouterId r0 = d.router_of_node(src);
+  for (topo::PortId p = 0; p < d.global_port_base(); ++p)
+    oracle.loads[{r0, p}] = kLoadScale;
+  // All local first hops equally hot -> non-minimal is no better; verify the
+  // decision is still well-formed and the packet arrives.
+  RouteState st;
+  st.mode = Mode::kAd0;
+  pl.decide_injection(r0, dst, st);
+  const int hops = walk(d, pl, src, dst, st);
+  EXPECT_GE(hops, 1);
+}
+
+TEST(Planner, GatewayScoreReflectsLoad) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  MapLoad oracle;
+  RoutePlanner pl(d, oracle, sim::Rng(31));
+  const topo::RouterId r = 0;
+  const std::int64_t idle = pl.gateway_score(r, 1);
+  for (const auto& gw : d.gateways(0, 1))
+    oracle.loads[{gw.router, gw.port}] = 20;
+  const std::int64_t loaded = pl.gateway_score(r, 1);
+  EXPECT_GT(loaded, idle);
+}
+
+}  // namespace
+}  // namespace dfsim::routing

@@ -1,0 +1,184 @@
+// Unit tests: placement policies, allocator, workload model, scheduler.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sched/placement.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+
+namespace dfsim::sched {
+namespace {
+
+TEST(NodeAllocator, CompactPacksLowIds) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  NodeAllocator a(d);
+  sim::Rng rng(1);
+  const auto nodes = a.allocate(8, Placement::kCompact, rng);
+  ASSERT_EQ(nodes.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(nodes[static_cast<std::size_t>(i)], i);
+  EXPECT_EQ(d.groups_spanned(nodes), 1);
+  EXPECT_EQ(a.free_count(), d.config().num_nodes() - 8);
+}
+
+TEST(NodeAllocator, AllocationsAreDisjoint) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  NodeAllocator a(d);
+  sim::Rng rng(2);
+  std::set<topo::NodeId> seen;
+  for (int j = 0; j < 6; ++j) {
+    const auto nodes = a.allocate(8, Placement::kRandom, rng);
+    ASSERT_EQ(nodes.size(), 8u);
+    for (const auto n : nodes) EXPECT_TRUE(seen.insert(n).second);
+  }
+  EXPECT_DOUBLE_EQ(a.utilization(), 48.0 / d.config().num_nodes());
+}
+
+TEST(NodeAllocator, ReleaseReturnsCapacity) {
+  const topo::Dragonfly d(topo::Config::mini(2));
+  NodeAllocator a(d);
+  sim::Rng rng(3);
+  const auto nodes = a.allocate(10, Placement::kRandom, rng);
+  a.release(nodes);
+  EXPECT_EQ(a.free_count(), d.config().num_nodes());
+  // Double release is harmless.
+  a.release(nodes);
+  EXPECT_EQ(a.free_count(), d.config().num_nodes());
+}
+
+TEST(NodeAllocator, FailsWhenFull) {
+  const topo::Dragonfly d(topo::Config::mini(2));
+  NodeAllocator a(d);
+  sim::Rng rng(4);
+  EXPECT_TRUE(a.allocate(d.config().num_nodes(), Placement::kCompact, rng)
+                  .size() > 0);
+  EXPECT_TRUE(a.allocate(1, Placement::kCompact, rng).empty());
+  EXPECT_TRUE(a.allocate(1, Placement::kRandom, rng).empty());
+  EXPECT_TRUE(a.allocate(0, Placement::kCompact, rng).empty());
+}
+
+TEST(NodeAllocator, GroupsPlacementSpansTarget) {
+  const topo::Dragonfly d(topo::Config::mini(8));
+  NodeAllocator a(d);
+  sim::Rng rng(5);
+  for (const int target : {1, 2, 4, 8}) {
+    const auto nodes = a.allocate(8, Placement::kGroups, rng, target);
+    ASSERT_EQ(nodes.size(), 8u) << target;
+    EXPECT_EQ(d.groups_spanned(nodes), target);
+    a.release(nodes);
+  }
+}
+
+TEST(NodeAllocator, GroupsPlacementGrowsWhenTooSmall) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  NodeAllocator a(d);
+  sim::Rng rng(6);
+  const int npg = d.config().nodes_per_group();
+  // Request more nodes than one group holds with target 1: must widen.
+  const auto nodes = a.allocate(npg + 4, Placement::kGroups, rng, 1);
+  ASSERT_FALSE(nodes.empty());
+  EXPECT_GE(d.groups_spanned(nodes), 2);
+}
+
+TEST(NodeAllocator, RandomScattersAcrossGroups) {
+  const topo::Dragonfly d(topo::Config::mini(8));
+  NodeAllocator a(d);
+  sim::Rng rng(7);
+  const auto nodes = a.allocate(32, Placement::kRandom, rng);
+  EXPECT_GE(d.groups_spanned(nodes), 4);  // 32 of 256 nodes over 8 groups
+}
+
+TEST(WorkloadModel, JobSizesFollowMix) {
+  const WorkloadModel m(1.0);
+  sim::Rng rng(8);
+  int small = 0, large = 0;
+  for (int i = 0; i < 2000; ++i) {
+    const int s = m.sample_job_size(rng);
+    EXPECT_GE(s, 2);
+    EXPECT_LE(s, 4392);
+    if (s <= 512) ++small;
+    if (s >= 2048) ++large;
+  }
+  // Sampling by job count: small jobs dominate counts.
+  EXPECT_GT(small, 1000);
+  EXPECT_LT(large, 400);
+}
+
+TEST(WorkloadModel, SizeScaleShrinksJobs) {
+  const WorkloadModel m(0.1);
+  sim::Rng rng(9);
+  for (int i = 0; i < 200; ++i) EXPECT_LE(m.sample_job_size(rng), 440);
+}
+
+TEST(WorkloadModel, MixCoversPatterns) {
+  const WorkloadModel m(1.0);
+  sim::Rng rng(10);
+  std::set<std::string> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(m.sample_pattern(rng));
+  EXPECT_GE(seen.size(), 3u);
+  const auto t = m.sample_traffic(rng);
+  EXPECT_GE(t.msg_bytes, 4096);
+  EXPECT_GT(t.compute_ns, 0);
+  EXPECT_EQ(t.iterations, 0);
+}
+
+TEST(WorkloadModel, ThetaMixWeightsSumToOne) {
+  double sum = 0.0;
+  for (const auto& b : theta_jobsize_mix()) sum += b.corehours;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Scheduler, SubmitAppAllocatesAndRuns) {
+  Scheduler s(topo::Config::mini(4), 11);
+  apps::AppParams p;
+  p.iterations = 2;
+  p.msg_scale = 0.1;
+  const mpi::JobId id =
+      s.submit_app("MILC", 16, Placement::kCompact, routing::Mode::kAd0, p);
+  ASSERT_GE(id, 0);
+  const mpi::JobId w[] = {id};
+  EXPECT_TRUE(s.machine().run_to_completion(w));
+  EXPECT_EQ(s.job_groups_spanned(id), 1);
+}
+
+TEST(Scheduler, ModePairConventions) {
+  // AD0 keeps the Cray defaults; other modes set both knobs (paper III-A).
+  EXPECT_EQ(modes_for(routing::Mode::kAd0).p2p, routing::Mode::kAd0);
+  EXPECT_EQ(modes_for(routing::Mode::kAd0).a2a, routing::Mode::kAd1);
+  EXPECT_EQ(modes_for(routing::Mode::kAd3).p2p, routing::Mode::kAd3);
+  EXPECT_EQ(modes_for(routing::Mode::kAd3).a2a, routing::Mode::kAd3);
+}
+
+TEST(Scheduler, BackgroundPopulationReachesUtilization) {
+  Scheduler s(topo::Config::mini(8), 13);
+  const auto bg = s.add_background(0.5, routing::Mode::kAd0);
+  EXPECT_GT(bg.jobs.size(), 0u);
+  EXPECT_GE(s.allocator().utilization(), 0.4);
+  // Background jobs run open-ended until stopped.
+  s.machine().run_for(200 * sim::kMicrosecond);
+  for (const auto id : bg.jobs) EXPECT_FALSE(s.machine().job(id).complete());
+  // Stop is best-effort: traffic winds down (ranks blocked on receives from
+  // already-stopped peers may never complete -- see workload.hpp), but the
+  // network fully drains.
+  s.stop_background(bg);
+  s.machine().run_for(5 * sim::kMillisecond);
+  EXPECT_EQ(s.machine().network().packets_in_flight(), 0);
+}
+
+TEST(Scheduler, AllocationFailureReturnsMinusOne) {
+  Scheduler s(topo::Config::mini(2), 15);
+  apps::AppParams p;
+  const auto total = s.allocator().total_count();
+  EXPECT_EQ(s.submit_app("MILC", total + 1, Placement::kCompact,
+                         routing::Mode::kAd0, p),
+            -1);
+}
+
+TEST(Placement, Names) {
+  EXPECT_STREQ(placement_name(Placement::kCompact), "compact");
+  EXPECT_STREQ(placement_name(Placement::kRandom), "random");
+  EXPECT_STREQ(placement_name(Placement::kGroups), "groups");
+}
+
+}  // namespace
+}  // namespace dfsim::sched

@@ -1,0 +1,220 @@
+// Unit tests: discrete-event engine, event queue, RNG.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+
+namespace dfsim::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> order;
+  q.push(30, [&] { order.push_back(3); });
+  q.push(10, [&] { order.push_back(1); });
+  q.push(20, [&] { order.push_back(2); });
+  while (!q.empty()) {
+    auto fn = q.pop_and_take();
+    fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, StableAtSameTime) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) q.push(5, [&order, i] { order.push_back(i); });
+  while (!q.empty()) q.pop_and_take()();
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ClearResets) {
+  EventQueue q;
+  q.push(1, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(Engine, AdvancesTimeMonotonically) {
+  Engine e;
+  Tick seen = -1;
+  for (Tick t : {50, 10, 30})
+    e.schedule_at(t, [&, t] {
+      EXPECT_EQ(e.now(), t);
+      EXPECT_GT(t, seen);
+      seen = t;
+    });
+  e.run();
+  EXPECT_EQ(seen, 50);
+}
+
+TEST(Engine, ScheduleRelative) {
+  Engine e;
+  Tick fired = -1;
+  e.schedule(100, [&] {
+    e.schedule(25, [&] { fired = e.now(); });
+  });
+  e.run();
+  EXPECT_EQ(fired, 125);
+}
+
+TEST(Engine, RejectsPastEvents) {
+  Engine e;
+  e.schedule(10, [] {});
+  e.run();
+  EXPECT_EQ(e.now(), 10);
+  EXPECT_THROW(e.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, RunUntilStopsAtBoundaryAndAdvancesClock) {
+  Engine e;
+  int count = 0;
+  for (Tick t = 10; t <= 100; t += 10) e.schedule_at(t, [&] { ++count; });
+  e.run_until(50);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(e.now(), 50);
+  e.run_until(200);
+  EXPECT_EQ(count, 10);
+  EXPECT_EQ(e.now(), 200);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine e;
+  int count = 0;
+  for (int i = 0; i < 10; ++i)
+    e.schedule(i + 1, [&] {
+      if (++count == 3) e.stop();
+    });
+  e.run();
+  EXPECT_EQ(count, 3);
+  e.clear_stop();
+  e.run();
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Engine, EventBudgetBounds) {
+  Engine e;
+  std::function<void()> self = [&] {
+    e.schedule(1, self);  // infinite chain
+  };
+  e.schedule(1, self);
+  e.set_event_budget(1000);
+  e.run();
+  EXPECT_TRUE(e.budget_exhausted());
+  EXPECT_EQ(e.events_executed(), 1000u);
+}
+
+TEST(Time, SerializationRoundsUp) {
+  EXPECT_EQ(serialization_ns(0, 10.0), 0);
+  EXPECT_EQ(serialization_ns(1, 10.0), 1);     // sub-ns rounds up to 1
+  EXPECT_EQ(serialization_ns(1000, 10.0), 100);
+  EXPECT_EQ(serialization_ns(1024, 10.5), 97);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_us(1500), 1.5);
+  EXPECT_DOUBLE_EQ(to_ms(2'500'000), 2.5);
+  EXPECT_DOUBLE_EQ(to_s(3 * kSecond), 3.0);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool diverged = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) diverged = true;
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, BoundedUniformCoversRange) {
+  Rng r(9);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i)
+    ++counts[static_cast<std::size_t>(r.uniform_u64(10))];
+  for (const int c : counts) EXPECT_GT(c, 800);  // ~1000 expected each
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(11);
+  bool lo = false, hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    lo |= (v == -3);
+    hi |= (v == 3);
+  }
+  EXPECT_TRUE(lo);
+  EXPECT_TRUE(hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(13);
+  double sum = 0.0, ss = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = r.normal(5.0, 2.0);
+    sum += x;
+    ss += x * x;
+  }
+  const double mean = sum / n;
+  const double var = ss / n - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng r(17);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(0.5);
+  EXPECT_NEAR(sum / n, 2.0, 0.1);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto w = v;
+  r.shuffle(w);
+  std::sort(w.begin(), w.end());
+  EXPECT_EQ(v, w);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng r(21);
+  const auto s = r.sample_without_replacement(100, 30);
+  EXPECT_EQ(s.size(), 30u);
+  auto t = s;
+  std::sort(t.begin(), t.end());
+  EXPECT_EQ(std::adjacent_find(t.begin(), t.end()), t.end());
+  for (const auto i : s) EXPECT_LT(i, 100u);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng a(33);
+  Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+}  // namespace
+}  // namespace dfsim::sim

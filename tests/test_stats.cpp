@@ -1,0 +1,169 @@
+// Unit tests: statistics (summary, percentiles, z-scores, outliers, CCDF,
+// histograms, KDE, table rendering).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/rng.hpp"
+#include "stats/histogram.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace dfsim::stats {
+namespace {
+
+TEST(Summary, BasicMoments) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Summary, EmptyAndSingle) {
+  EXPECT_EQ(summarize({}).n, 0u);
+  const Summary s = summarize(std::vector<double>{3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Percentile, InterpolatesOrderStatistics) {
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 20.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.625), 35.0);
+  // Unsorted input handled.
+  const std::vector<double> ys{50, 10, 40, 20, 30};
+  EXPECT_DOUBLE_EQ(percentile(ys, 0.5), 30.0);
+}
+
+TEST(Zscores, MeanZeroUnitVariance) {
+  sim::Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.normal(50, 7));
+  const auto z = zscores(xs);
+  const Summary s = summarize(z);
+  EXPECT_NEAR(s.mean, 0.0, 1e-9);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-9);
+}
+
+TEST(Outliers, ThreeSigmaFilter) {
+  std::vector<double> xs(100, 10.0);
+  for (int i = 0; i < 100; ++i) xs[static_cast<std::size_t>(i)] += (i % 7) * 0.1;
+  xs.push_back(1000.0);  // a '+3 sigma' incast-style outlier
+  const auto kept = remove_outliers(xs, 3.0);
+  EXPECT_EQ(kept.size(), xs.size() - 1);
+  for (const double x : kept) EXPECT_LT(x, 100.0);
+}
+
+TEST(Outliers, ConstantSeriesKept) {
+  const std::vector<double> xs(10, 5.0);
+  EXPECT_EQ(remove_outliers(xs).size(), 10u);
+}
+
+TEST(Ccdf, WeightedTailFractions) {
+  // Fig. 1 semantics: fraction of core-hours from jobs >= x nodes.
+  const std::vector<double> sizes{128, 256, 512};
+  const std::vector<double> hours{10, 30, 60};
+  const auto pts = weighted_ccdf(sizes, hours);
+  ASSERT_EQ(pts.size(), 3u);
+  EXPECT_DOUBLE_EQ(pts[0].first, 128);
+  EXPECT_DOUBLE_EQ(pts[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].second, 0.9);
+  EXPECT_DOUBLE_EQ(pts[2].second, 0.6);
+}
+
+TEST(Ccdf, HandlesDuplicatesAndEmpty) {
+  EXPECT_TRUE(weighted_ccdf({}, {}).empty());
+  const std::vector<double> xs{5, 5, 7};
+  const std::vector<double> w{1, 1, 2};
+  const auto pts = weighted_ccdf(xs, w);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_DOUBLE_EQ(pts[0].second, 1.0);
+  EXPECT_DOUBLE_EQ(pts[1].second, 0.5);
+}
+
+TEST(Improvement, MatchesPaperConvention) {
+  // Table II: AD0 542.6 -> AD3 482.5 is ~11%.
+  EXPECT_NEAR(improvement_pct(542.6, 482.5), 11.08, 0.01);
+  EXPECT_LT(improvement_pct(442.9, 454.9), 0.0);  // HACC regression
+  EXPECT_EQ(improvement_pct(0.0, 1.0), 0.0);
+}
+
+TEST(Histogram, CountsAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  for (int i = 0; i < 100; ++i) h.add(4.5);
+  h.add(-5.0);   // clamps to first bin
+  h.add(25.0);   // clamps to last bin
+  EXPECT_EQ(h.count(4), 100);
+  EXPECT_EQ(h.count(0), 1);
+  EXPECT_EQ(h.count(9), 1);
+  EXPECT_EQ(h.total(), 102);
+  EXPECT_DOUBLE_EQ(h.bin_center(4), 4.5);
+  // Density integrates to ~1.
+  double integral = 0.0;
+  for (int b = 0; b < h.bins(); ++b) integral += h.density(b) * h.bin_width();
+  EXPECT_NEAR(integral, 1.0, 1e-12);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0, 1, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(5, 5, 10), std::invalid_argument);
+}
+
+TEST(Kde, PeaksAtData) {
+  sim::Rng rng(4);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) xs.push_back(rng.normal(100, 5));
+  EXPECT_GT(kde(xs, 100.0), kde(xs, 130.0));
+  const auto curve = kde_curve(xs, 80, 120, 41);
+  ASSERT_EQ(curve.size(), 41u);
+  // Curve maximum near the true mean.
+  double best_x = 0, best_y = -1;
+  for (const auto& [x, y] : curve)
+    if (y > best_y) {
+      best_y = y;
+      best_x = x;
+    }
+  EXPECT_NEAR(best_x, 100.0, 4.0);
+}
+
+TEST(Kde, EmptyIsZero) { EXPECT_EQ(kde({}, 1.0), 0.0); }
+
+TEST(Table, RendersAlignedGrid) {
+  Table t({"App", "mean"});
+  t.add_row({"MILC", "542.6"});
+  t.add_row({"HACC", "442.9"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("MILC"), std::string::npos);
+  EXPECT_NE(s.find("| App"), std::string::npos);
+  // Header separator and 2 data rows.
+  EXPECT_NE(s.find("===="), std::string::npos);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_signed(11.9, 1), "+11.9");
+  EXPECT_EQ(fmt_signed(-2.7, 1), "-2.7");
+}
+
+TEST(Table, BarAndSeriesRender) {
+  std::ostringstream os;
+  print_bar(os, "Rank3", 5.0, 10.0, 20);
+  EXPECT_NE(os.str().find("##########"), std::string::npos);
+  std::ostringstream os2;
+  const std::vector<std::pair<double, double>> pts{{1, 0.5}, {2, 1.0}};
+  print_series(os2, pts, "x", "y", 10);
+  EXPECT_NE(os2.str().find("**********"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfsim::stats

@@ -1,0 +1,228 @@
+// Unit tests: dragonfly topology construction and path helpers.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/rng.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::topo {
+namespace {
+
+TEST(Config, Presets) {
+  const Config t = Config::theta();
+  EXPECT_EQ(t.groups, 12);
+  EXPECT_EQ(t.routers_per_group(), 96);
+  EXPECT_EQ(t.num_nodes(), 12 * 96 * 4);
+  EXPECT_EQ(t.cables_per_group_pair, 12);
+
+  const Config c = Config::cori();
+  EXPECT_EQ(c.cables_per_group_pair, 4);
+  EXPECT_GT(c.groups, t.groups);
+
+  // Cori's load-bearing property: lower bisection-to-injection ratio.
+  auto bisection_per_node = [](const Config& cfg) {
+    return static_cast<double>(cfg.cables_per_group_pair) * cfg.rank3_bw_gbps /
+           cfg.nodes_per_group();
+  };
+  EXPECT_LT(bisection_per_node(c), bisection_per_node(t));
+
+  EXPECT_NO_THROW(Config::mini().validate());
+  EXPECT_NO_THROW(Config::theta_scaled().validate());
+  EXPECT_NO_THROW(Config::cori_scaled().validate());
+}
+
+TEST(Config, ValidationRejectsBadShapes) {
+  Config c = Config::mini();
+  c.groups = 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config::mini();
+  c.rank1_bw_gbps = 0.0;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config::mini();
+  c.buffer_flits = 1;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+  c = Config::mini();
+  c.packet_payload_bytes = 4;
+  c.flit_bytes = 16;
+  EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+class TopoParam : public ::testing::TestWithParam<Config> {};
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TopoParam,
+                         ::testing::Values(Config::mini(2), Config::mini(4),
+                                           Config::mini(8),
+                                           Config::theta_scaled()),
+                         [](const auto& inf) {
+                           return inf.param.name + "_g" +
+                                  std::to_string(inf.param.groups);
+                         });
+
+TEST_P(TopoParam, CoordinateRoundTrip) {
+  const Dragonfly d(GetParam());
+  const auto& cfg = d.config();
+  for (RouterId r = 0; r < cfg.num_routers(); ++r) {
+    EXPECT_EQ(d.router_at(d.group_of_router(r), d.chassis_of(r), d.slot_of(r)),
+              r);
+  }
+  for (NodeId n = 0; n < cfg.num_nodes(); n += 3) {
+    EXPECT_EQ(d.group_of_node(n), d.group_of_router(d.router_of_node(n)));
+    EXPECT_LT(d.node_slot(n), cfg.nodes_per_router);
+  }
+}
+
+TEST_P(TopoParam, PortLayoutAndCounts) {
+  const Dragonfly d(GetParam());
+  const auto& cfg = d.config();
+  for (RouterId r = 0; r < cfg.num_routers(); ++r) {
+    const int nglobal = d.num_global_ports(r);
+    EXPECT_EQ(d.num_ports(r), d.rank1_ports() + d.rank2_ports() + nglobal +
+                                  cfg.nodes_per_router);
+    // Tile classes laid out in order.
+    for (PortId p = 0; p < d.num_ports(r); ++p) {
+      const auto& pi = d.port(r, p);
+      if (p < d.rank1_ports())
+        EXPECT_EQ(pi.cls, TileClass::kRank1);
+      else if (p < d.global_port_base())
+        EXPECT_EQ(pi.cls, TileClass::kRank2);
+      else if (p < d.proc_port_base(r))
+        EXPECT_EQ(pi.cls, TileClass::kRank3);
+      else
+        EXPECT_EQ(pi.cls, TileClass::kProc);
+    }
+  }
+}
+
+TEST_P(TopoParam, LinksAreSymmetric) {
+  const Dragonfly d(GetParam());
+  const auto& cfg = d.config();
+  for (RouterId r = 0; r < cfg.num_routers(); ++r) {
+    for (PortId p = 0; p < d.num_ports(r); ++p) {
+      const auto& pi = d.port(r, p);
+      if (pi.cls == TileClass::kProc) {
+        EXPECT_EQ(d.router_of_node(pi.eject_node), r);
+        continue;
+      }
+      ASSERT_GE(pi.peer_port, 0) << "r" << r << " p" << p;
+      const auto& back = d.port(pi.peer_router, pi.peer_port);
+      EXPECT_EQ(back.peer_router, r);
+      EXPECT_EQ(back.peer_port, p);
+      EXPECT_EQ(back.cls, pi.cls);
+      EXPECT_DOUBLE_EQ(back.bw_gbps, pi.bw_gbps);
+    }
+  }
+}
+
+TEST_P(TopoParam, GlobalCablesCompleteAndBalanced) {
+  const Dragonfly d(GetParam());
+  const auto& cfg = d.config();
+  for (GroupId a = 0; a < cfg.groups; ++a) {
+    int total_to_sum = 0;
+    for (GroupId b = 0; b < cfg.groups; ++b) {
+      if (a == b) continue;
+      const auto gws = d.gateways(a, b);
+      EXPECT_EQ(static_cast<int>(gws.size()), cfg.cables_per_group_pair);
+      total_to_sum += static_cast<int>(gws.size());
+      for (const auto& gw : gws) {
+        EXPECT_EQ(d.group_of_router(gw.router), a);
+        const auto& pi = d.port(gw.router, gw.port);
+        EXPECT_EQ(pi.cls, TileClass::kRank3);
+        EXPECT_EQ(pi.target_group, b);
+        EXPECT_EQ(d.group_of_router(pi.peer_router), b);
+      }
+    }
+    EXPECT_EQ(total_to_sum, cfg.global_cables_per_group());
+  }
+}
+
+TEST_P(TopoParam, LocalPortsConnectRowAndColumn) {
+  const Dragonfly d(GetParam());
+  const auto& cfg = d.config();
+  const RouterId r = d.router_at(0, 0, 0);
+  // Same chassis: direct rank-1.
+  for (int s = 1; s < cfg.slots_per_chassis; ++s) {
+    const PortId p = d.local_port_to(r, d.router_at(0, 0, s));
+    ASSERT_GE(p, 0);
+    EXPECT_EQ(d.port(r, p).cls, TileClass::kRank1);
+  }
+  // Same slot: direct rank-2.
+  for (int c = 1; c < cfg.chassis_per_group; ++c) {
+    const PortId p = d.local_port_to(r, d.router_at(0, c, 0));
+    ASSERT_GE(p, 0);
+    EXPECT_EQ(d.port(r, p).cls, TileClass::kRank2);
+  }
+  // Different chassis and slot: no direct link.
+  if (cfg.chassis_per_group > 1 && cfg.slots_per_chassis > 1) {
+    EXPECT_EQ(d.local_port_to(r, d.router_at(0, 1, 1)), -1);
+  }
+  // Different group: not local.
+  EXPECT_EQ(d.local_port_to(r, d.router_at(1, 0, 0)), -1);
+  // Self: not a link.
+  EXPECT_EQ(d.local_port_to(r, r), -1);
+}
+
+TEST_P(TopoParam, MinimalHopsWithinBounds) {
+  const Dragonfly d(GetParam());
+  const auto& cfg = d.config();
+  sim::Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto a = static_cast<RouterId>(rng.uniform_u64(cfg.num_routers()));
+    const auto b = static_cast<RouterId>(rng.uniform_u64(cfg.num_routers()));
+    const int h = d.minimal_hops(a, b);
+    if (a == b) {
+      EXPECT_EQ(h, 0);
+    } else if (d.group_of_router(a) == d.group_of_router(b)) {
+      EXPECT_GE(h, 1);
+      EXPECT_LE(h, 2);
+    } else {
+      EXPECT_GE(h, 1);
+      EXPECT_LE(h, 5);  // paper: <= 2 local + global + 2 local
+    }
+  }
+}
+
+TEST_P(TopoParam, EjectPortMapsNodes) {
+  const Dragonfly d(GetParam());
+  const auto& cfg = d.config();
+  for (NodeId n = 0; n < cfg.num_nodes(); n += 7) {
+    const RouterId r = d.router_of_node(n);
+    const PortId p = d.eject_port(r, n);
+    EXPECT_EQ(d.port(r, p).cls, TileClass::kProc);
+    EXPECT_EQ(d.port(r, p).eject_node, n);
+  }
+  EXPECT_THROW(static_cast<void>(d.eject_port(0, cfg.num_nodes() - 1)),
+               std::invalid_argument);
+}
+
+TEST(Dragonfly, GroupsSpanned) {
+  const Dragonfly d(Config::mini(4));
+  const int npg = d.config().nodes_per_group();
+  std::vector<NodeId> nodes{0, 1, 2};
+  EXPECT_EQ(d.groups_spanned(nodes), 1);
+  nodes.push_back(static_cast<NodeId>(npg));
+  nodes.push_back(static_cast<NodeId>(2 * npg));
+  EXPECT_EQ(d.groups_spanned(nodes), 3);
+  EXPECT_EQ(d.groups_spanned({}), 0);
+}
+
+TEST(Dragonfly, ThetaFullScaleConstructs) {
+  const Dragonfly d(Config::theta());
+  EXPECT_EQ(d.config().num_routers(), 1152);
+  EXPECT_EQ(d.config().num_nodes(), 4608);
+  // 40 network tiles per Aries router in the paper; our folded rank-2 ports
+  // represent 15 physical rank-2 links as 5 fat ports.
+  const RouterId r = 100;
+  EXPECT_EQ(d.rank1_ports(), 15);
+  EXPECT_EQ(d.rank2_ports(), 5);
+  EXPECT_GE(d.num_global_ports(r), 1);
+  // Total cables per group: 12 per pair x 11 peers = 132 spread over 96
+  // routers -> every router has 1 or 2.
+  for (RouterId rr = 0; rr < 96; ++rr) {
+    EXPECT_GE(d.num_global_ports(rr), 1);
+    EXPECT_LE(d.num_global_ports(rr), 2);
+  }
+}
+
+}  // namespace
+}  // namespace dfsim::topo

@@ -1,0 +1,144 @@
+// Tests: VC ladder level semantics — levels start at 0, bump exactly on
+// group crossings / Valiant-intermediate passage, and never exceed the
+// ladder depth; queue-index mapping keeps planes separate.
+#include <gtest/gtest.h>
+
+#include "net/packet.hpp"
+#include "routing/adaptive.hpp"
+#include "sim/rng.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim {
+namespace {
+
+class ZeroLoad final : public routing::LoadOracle {
+ public:
+  [[nodiscard]] std::int64_t load_units(topo::RouterId,
+                                        topo::PortId) const override {
+    return 0;
+  }
+};
+
+/// Walk next_port() like the network does (bumping on rank-3 hops) and
+/// record the level at every hop.
+std::vector<int> walk_levels(const topo::Dragonfly& d,
+                             routing::RoutePlanner& pl, topo::NodeId src,
+                             topo::NodeId dst, routing::RouteState& st) {
+  std::vector<int> levels;
+  topo::RouterId r = d.router_of_node(src);
+  for (int hop = 0; hop < 16; ++hop) {
+    const topo::PortId p = pl.next_port(r, dst, st);
+    levels.push_back(st.level);
+    const auto& pi = d.port(r, p);
+    if (pi.cls == topo::TileClass::kProc) return levels;
+    if (pi.cls == topo::TileClass::kRank3 &&
+        st.level + 1 < routing::kVcLadderLevels)
+      ++st.level;  // the network bumps on crossing
+    r = pi.peer_router;
+  }
+  ADD_FAILURE() << "routing loop";
+  return levels;
+}
+
+TEST(VcLadder, MinimalInterGroupUsesTwoLevels) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  routing::RoutePlanner pl(d, zero, sim::Rng(1));
+  const topo::NodeId src = 0;
+  const auto dst = static_cast<topo::NodeId>(d.config().nodes_per_group() + 5);
+  routing::RouteState st;  // minimal
+  const auto levels = walk_levels(d, pl, src, dst, st);
+  EXPECT_EQ(levels.front(), 0);
+  EXPECT_LE(st.level, 1);  // one crossing
+  for (std::size_t i = 1; i < levels.size(); ++i)
+    EXPECT_GE(levels[i], levels[i - 1]);  // monotone
+}
+
+TEST(VcLadder, ValiantInterGroupUsesThreeLevels) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  routing::RoutePlanner pl(d, zero, sim::Rng(2));
+  const topo::NodeId src = 0;
+  const auto dst = static_cast<topo::NodeId>(d.config().nodes_per_group() + 5);
+  routing::RouteState st;
+  st.nonminimal = true;
+  st.via_group = 2;
+  const auto levels = walk_levels(d, pl, src, dst, st);
+  EXPECT_EQ(levels.front(), 0);
+  EXPECT_EQ(st.level, 2);  // two crossings
+  EXPECT_TRUE(st.via_done);
+}
+
+TEST(VcLadder, IntraGroupValiantBumpsAtViaRouter) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  routing::RoutePlanner pl(d, zero, sim::Rng(3));
+  const topo::NodeId src = 0;
+  const auto dst =
+      static_cast<topo::NodeId>(5 * d.config().nodes_per_router);  // router 5
+  routing::RouteState st;
+  st.nonminimal = true;
+  st.via_router = 3;
+  const auto levels = walk_levels(d, pl, src, dst, st);
+  EXPECT_EQ(levels.front(), 0);
+  EXPECT_EQ(st.level, 1);  // exactly one bump, at the via router
+  EXPECT_TRUE(st.via_done);
+}
+
+TEST(VcLadder, LevelNeverExceedsDepth) {
+  const topo::Dragonfly d(topo::Config::mini(6));
+  ZeroLoad zero;
+  routing::RoutePlanner pl(d, zero, sim::Rng(4));
+  sim::Rng rng(5);
+  for (int t = 0; t < 200; ++t) {
+    const auto src =
+        static_cast<topo::NodeId>(rng.uniform_u64(d.config().num_nodes()));
+    const auto dst =
+        static_cast<topo::NodeId>(rng.uniform_u64(d.config().num_nodes()));
+    if (d.router_of_node(src) == d.router_of_node(dst)) continue;
+    routing::RouteState st;
+    st.mode = routing::Mode::kAd0;
+    pl.decide_injection(d.router_of_node(src), dst, st);
+    walk_levels(d, pl, src, dst, st);
+    EXPECT_LT(st.level, routing::kVcLadderLevels);
+  }
+}
+
+TEST(VcLadder, QueueIndexSeparatesPlanesAndClampsLevels) {
+  EXPECT_EQ(net::vc_queue_index(net::kVcRequest, 0), 0);
+  EXPECT_EQ(net::vc_queue_index(net::kVcRequest, 2), 2);
+  EXPECT_EQ(net::vc_queue_index(net::kVcRequest, 9), 2);  // clamped
+  EXPECT_EQ(net::vc_queue_index(net::kVcResponse, 0), 3);
+  EXPECT_EQ(net::vc_queue_index(net::kVcResponse, 2), 5);
+  for (int q = 0; q < net::kNumVcs; ++q)
+    EXPECT_EQ(net::vc_plane(q), q / net::kNumVcLevels);
+}
+
+TEST(VcLadder, RowFirstLocalRoutingIsAcyclic) {
+  // Within one group at one level, the channel dependency graph must be
+  // acyclic: rank-1 ports may feed rank-2 ports, but never the other way.
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  routing::RoutePlanner pl(d, zero, sim::Rng(6));
+  const topo::GroupId g = 0;
+  const int rpg = d.config().routers_per_group();
+  for (int a = 0; a < rpg; ++a) {
+    for (int b = 0; b < rpg; ++b) {
+      if (a == b) continue;
+      const auto ra = static_cast<topo::RouterId>(g * rpg + a);
+      const auto rb = static_cast<topo::RouterId>(g * rpg + b);
+      // First hop toward rb.
+      routing::RouteState st;
+      const topo::PortId p = pl.next_port(
+          ra, static_cast<topo::NodeId>(rb * d.config().nodes_per_router), st);
+      const auto& pi = d.port(ra, p);
+      if (pi.cls == topo::TileClass::kRank2) {
+        // A rank-2 first hop must be the final local hop (same slot).
+        EXPECT_EQ(d.slot_of(ra), d.slot_of(rb));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dfsim

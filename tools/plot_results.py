@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Plot the CSV artifacts the benches write with --csv=DIR.
+
+Usage:
+    for b in build/bench/*; do $b --csv=out; done
+    python3 tools/plot_results.py out/
+
+Produces PNGs next to each recognized CSV. Only needs matplotlib; any CSV
+it does not recognize is listed and skipped, so the script stays usable as
+new benches add artifacts.
+"""
+import csv
+import os
+import sys
+
+
+def read_csv(path):
+    with open(path, newline="") as f:
+        rows = list(csv.DictReader(f))
+    return rows
+
+
+def plot_table2(path, plt):
+    rows = read_csv(path)
+    apps = sorted({r["app"] for r in rows})
+    fig, ax = plt.subplots(figsize=(8, 4))
+    for i, app in enumerate(apps):
+        for j, mode in enumerate(("AD0", "AD3")):
+            ys = [float(r["runtime_ms"]) for r in rows
+                  if r["app"] == app and r["mode"] == mode]
+            xs = [i + (j - 0.5) * 0.3] * len(ys)
+            ax.plot(xs, ys, "o", color="C0" if mode == "AD0" else "C3",
+                    alpha=0.6, label=mode if i == 0 else None)
+    ax.set_xticks(range(len(apps)))
+    ax.set_xticklabels(apps, rotation=30, ha="right")
+    ax.set_ylabel("runtime (ms)")
+    ax.set_title("Table II — per-run runtimes, AD0 vs AD3")
+    ax.legend()
+    return fig
+
+
+def plot_fig14(path, plt):
+    rows = read_csv(path)
+    fig, ax = plt.subplots(figsize=(7, 4))
+    pct = [r["percentile"] for r in rows]
+    chg = [float(r["change_pct"]) for r in rows]
+    ax.bar(pct, chg, color=["C3" if c < 0 else "C0" for c in chg])
+    ax.axhline(0, color="k", lw=0.8)
+    ax.set_ylabel("% change in latency (AD3 vs AD0)")
+    ax.set_title("Fig. 14 — packet-pair latency percentiles")
+    return fig
+
+
+def plot_tiles(path, plt):
+    rows = read_csv(path)
+    fig, ax = plt.subplots(figsize=(8, 4))
+    colors = {"Rank1": "green", "Rank2": "grey", "Rank3": "blue",
+              "Proc": "red"}
+    for cls, color in colors.items():
+        pts = [(int(r["flits"]), int(r["stall_ns"])) for r in rows
+               if r["class"] == cls]
+        if not pts:
+            continue
+        ax.scatter([p[0] for p in pts], [p[1] for p in pts], s=4, c=color,
+                   label=cls, alpha=0.5)
+    ax.set_xlabel("flits")
+    ax.set_ylabel("stall time (ns)")
+    ax.set_xscale("symlog")
+    ax.set_yscale("symlog")
+    ax.set_title(os.path.basename(path).replace(".csv", "") +
+                 " — per-tile counters (paper Figs. 10/12 scatter)")
+    ax.legend()
+    return fig
+
+
+HANDLERS = {
+    "table2_runs.csv": plot_table2,
+    "fig14_latency.csv": plot_fig14,
+}
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+    outdir = sys.argv[1]
+    made = 0
+    for name in sorted(os.listdir(outdir)):
+        if not name.endswith(".csv"):
+            continue
+        path = os.path.join(outdir, name)
+        handler = HANDLERS.get(name)
+        if handler is None and name.startswith(("fig10_tiles", "fig12_tiles")):
+            handler = plot_tiles
+        if handler is None:
+            print(f"skip (no handler): {name}")
+            continue
+        fig = handler(path, plt)
+        png = path[:-4] + ".png"
+        fig.savefig(png, dpi=130, bbox_inches="tight")
+        print(f"wrote {png}")
+        made += 1
+    return 0 if made else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

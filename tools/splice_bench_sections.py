@@ -1,0 +1,43 @@
+#!/usr/bin/env python3
+"""Replace named '######## <bench> ########' sections of a bench output file
+with the sections found in another file, and append sections that are
+missing. Used to refresh individual bench results inside bench_output.txt
+without rerunning the whole sweep.
+
+Usage: splice_bench_sections.py TARGET SOURCE
+"""
+import re
+import sys
+
+
+def split_sections(text):
+    parts = re.split(r"^(######## \S+ ########)$", text, flags=re.M)
+    head = parts[0]
+    sections = {}
+    order = []
+    for i in range(1, len(parts), 2):
+        name = re.match(r"######## (\S+) ########", parts[i]).group(1)
+        sections[name] = parts[i] + parts[i + 1]
+        order.append(name)
+    return head, sections, order
+
+
+def main():
+    target, source = sys.argv[1], sys.argv[2]
+    head, tsec, torder = split_sections(open(target).read())
+    _, ssec, sorder = split_sections(open(source).read())
+    for name in sorder:
+        if name in tsec:
+            tsec[name] = ssec[name]
+        else:
+            torder.append(name)
+            tsec[name] = ssec[name]
+    with open(target, "w") as f:
+        f.write(head)
+        for name in torder:
+            f.write(tsec[name])
+    print(f"spliced {len(sorder)} sections into {target}")
+
+
+if __name__ == "__main__":
+    main()
