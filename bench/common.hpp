@@ -29,6 +29,7 @@ struct Options {
   bool full = false;    ///< full-size Theta/Cori
   double bg = 0.7;      ///< background utilization for production runs
   std::uint64_t seed = 2021;
+  int jobs = 0;         ///< trial worker threads; 0 = hardware concurrency
   std::string csv_dir;  ///< when set (--csv=DIR), also write raw CSV series
 
   static Options parse(int argc, char** argv) {
@@ -45,15 +46,23 @@ struct Options {
       else if (const char* v4 = val("--bg=")) o.bg = std::atof(v4);
       else if (const char* v5 = val("--seed=")) o.seed = std::strtoull(v5, nullptr, 10);
       else if (const char* v6 = val("--csv=")) o.csv_dir = v6;
+      else if (const char* v7 = val("--jobs=")) o.jobs = std::atoi(v7);
       else if (a == "--full") o.full = true;
       else if (a == "--help" || a == "-h") {
         std::printf(
             "options: --samples=N --iterations=N --scale=X --bg=U --seed=S "
-            "--full --csv=DIR\n");
+            "--jobs=N --full --csv=DIR\n"
+            "  --jobs=N  trial worker threads (default: hardware "
+            "concurrency; results are identical for any N)\n");
         std::exit(0);
       }
     }
     return o;
+  }
+
+  /// Batch controls for the core ensemble runners.
+  [[nodiscard]] core::BatchOptions batch() const {
+    return core::BatchOptions{jobs};
   }
 
   [[nodiscard]] topo::Config theta() const {
@@ -116,6 +125,20 @@ inline std::unique_ptr<stats::CsvWriter> csv(const Options& o,
   return w;
 }
 
+/// Report batch throughput and any failed trials (failed trials keep their
+/// result slot; they are excluded from the statistics by the callers).
+inline void report_batch(const char* what, const core::RunnerStats& s,
+                         int failures) {
+  std::printf("  [%s: %d trials on %d worker%s, %.0f ms — %.2f trials/sec]\n",
+              what, s.trials, s.jobs, s.jobs == 1 ? "" : "s", s.wall_ms,
+              s.trials_per_sec());
+  if (failures > 0)
+    std::fprintf(stderr,
+                 "  warning: %d/%d %s trials failed; statistics use the "
+                 "remaining samples\n",
+                 failures, s.trials, what);
+}
+
 inline void header(const char* id, const char* what) {
   std::printf("\n================================================================\n");
   std::printf("%s — %s\n", id, what);
@@ -125,9 +148,10 @@ inline void header(const char* id, const char* what) {
 inline void footnote(const Options& o, const topo::Config& sys) {
   std::printf(
       "\n[system %s: %d groups, %d nodes | samples=%d iters=%d scale=%.2f "
-      "bg=%.2f seed=%llu]\n",
+      "bg=%.2f seed=%llu jobs=%d]\n",
       sys.name.c_str(), sys.groups, sys.num_nodes(), o.samples, o.iterations,
-      o.scale, o.bg, static_cast<unsigned long long>(o.seed));
+      o.scale, o.bg, static_cast<unsigned long long>(o.seed),
+      core::resolve_jobs(o.jobs));
 }
 
 }  // namespace dfsim::bench

@@ -34,7 +34,8 @@ Cell run_pair(const bench::Options& opt, topo::Config sys,
     const auto rs = core::run_production_batch(cfg, std::max(3, opt.samples / 2));
     const auto s = stats::summarize([&] {
       std::vector<double> xs;
-      for (const auto& r : rs) xs.push_back(r.runtime_ms);
+      for (const auto& r : rs)
+        if (r.ok) xs.push_back(r.runtime_ms);
       return xs;
     }());
     (mode == routing::Mode::kAd0 ? c.ad0 : c.ad3) = s.mean;

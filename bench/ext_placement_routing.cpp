@@ -41,7 +41,8 @@ int main(int argc, char** argv) {
       cfg.target_groups = pl.target_groups;
       const auto rs = core::run_production_batch(cfg, opt.samples);
       std::vector<double> xs;
-      for (const auto& r : rs) xs.push_back(r.runtime_ms);
+      for (const auto& r : rs)
+        if (r.ok) xs.push_back(r.runtime_ms);
       s[mode == routing::Mode::kAd0 ? 0 : 1] =
           stats::summarize(stats::remove_outliers(xs));
     }

@@ -35,7 +35,8 @@ int main(int argc, char** argv) {
       cfg.seed = opt.seed;
       const auto rs = core::run_production_batch(cfg, opt.samples);
       std::vector<double> xs;
-      for (const auto& r : rs) xs.push_back(r.runtime_ms);
+      for (const auto& r : rs)
+        if (r.ok) xs.push_back(r.runtime_ms);
       mean[mode == routing::Mode::kAd0 ? 0 : 1] = stats::summarize(xs).mean;
     }
     t.add_row({app, stats::fmt(mean[0], 3), stats::fmt(mean[1], 3),

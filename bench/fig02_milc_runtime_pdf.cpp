@@ -22,9 +22,13 @@ int main(int argc, char** argv) {
     std::vector<std::vector<double>> by_mode;
     for (const routing::Mode mode : {routing::Mode::kAd0, routing::Mode::kAd3}) {
       auto cfg = opt.production(app, 256, mode);
-      const auto rs = core::run_production_batch(cfg, opt.samples);
+      const auto batch =
+          core::run_production_ensemble(cfg, opt.samples, opt.batch());
+      bench::report_batch(routing::mode_name(mode).data(), batch.stats,
+                          batch.failures());
       std::vector<double> xs;
-      for (const auto& r : rs) xs.push_back(r.runtime_ms);
+      for (const auto& r : batch.results)
+        if (r.ok) xs.push_back(r.runtime_ms);
       by_mode.push_back(stats::remove_outliers(xs));
     }
     double lo = 1e30, hi = 0;

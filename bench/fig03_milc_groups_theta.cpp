@@ -24,31 +24,46 @@ int main(int argc, char** argv) {
       std::printf("\n--- %s, %d nodes ---\n", app.c_str(), nnodes);
       std::vector<double> rt[2];
       std::map<int, std::pair<std::vector<double>, std::vector<double>>> by_groups;
+      // Spread placements over the full 1..max_groups range like the
+      // months of production sampling did. AD0 and AD3 share the seed of
+      // each sample (same placement, same background draw): a paired
+      // comparison, since the paper's per-group-count cells have 30+
+      // samples and ours have few. The per-sample draws happen up front so
+      // the paired trials can run in parallel without perturbing them.
+      struct Cell { routing::Mode mode; int tg; std::uint64_t seed; };
+      std::vector<Cell> cells;
       sim::Rng seeder(opt.seed + static_cast<std::uint64_t>(nnodes));
       for (int s = 0; s < opt.samples; ++s) {
-        // Spread placements over the full 1..max_groups range like the
-        // months of production sampling did. AD0 and AD3 share the seed of
-        // each sample (same placement, same background draw): a paired
-        // comparison, since the paper's per-group-count cells have 30+
-        // samples and ours have few.
         const int tg = 1 + static_cast<int>(seeder.uniform_u64(
                                static_cast<std::uint64_t>(max_groups)));
         const std::uint64_t sample_seed = seeder.next();
         for (const routing::Mode mode :
-             {routing::Mode::kAd0, routing::Mode::kAd3}) {
-          auto cfg = opt.production(app, nnodes, mode);
-          cfg.placement = sched::Placement::kGroups;
-          cfg.target_groups = tg;
-          cfg.seed = sample_seed;
-          const auto r = core::run_production(cfg);
-          if (!r.ok) continue;
-          const int g = r.groups_spanned;
-          rt[mode == routing::Mode::kAd0 ? 0 : 1].push_back(r.runtime_ms);
-          auto& cell = by_groups[g];
-          (mode == routing::Mode::kAd0 ? cell.first : cell.second)
-              .push_back(r.runtime_ms);
-        }
+             {routing::Mode::kAd0, routing::Mode::kAd3})
+          cells.push_back({mode, tg, sample_seed});
       }
+      core::TrialRunner runner(opt.jobs);
+      const auto results =
+          runner.map(static_cast<int>(cells.size()), [&](int i) {
+            const Cell& cell = cells[static_cast<std::size_t>(i)];
+            auto cfg = opt.production(app, nnodes, cell.mode);
+            cfg.placement = sched::Placement::kGroups;
+            cfg.target_groups = cell.tg;
+            cfg.seed = cell.seed;
+            return core::run_production(cfg);
+          });
+      int failures = 0;
+      for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto& r = results[i];
+        if (!r.ok) {
+          ++failures;
+          continue;
+        }
+        const bool ad0 = cells[i].mode == routing::Mode::kAd0;
+        rt[ad0 ? 0 : 1].push_back(r.runtime_ms);
+        auto& cell = by_groups[r.groups_spanned];
+        (ad0 ? cell.first : cell.second).push_back(r.runtime_ms);
+      }
+      bench::report_batch("paired production", runner.stats(), failures);
       // Joint z-normalization per job size (paper's per-size normalization).
       std::vector<double> all = rt[0];
       all.insert(all.end(), rt[1].begin(), rt[1].end());

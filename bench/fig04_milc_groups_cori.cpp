@@ -20,28 +20,45 @@ int main(int argc, char** argv) {
   const topo::Config cori = opt.cori();
   for (const int nnodes : {128, 256, 512}) {
     std::vector<double> rt[2];
+    // Draw the paired (placement, seed) cells up front, then run the
+    // trials in parallel (see fig03).
+    struct Cell { routing::Mode mode; int tg; std::uint64_t seed; };
+    std::vector<Cell> cells;
     sim::Rng seeder(opt.seed + static_cast<std::uint64_t>(nnodes) * 7);
     for (int s = 0; s < opt.samples; ++s) {
       const int tg = 1 + static_cast<int>(seeder.uniform_u64(
                              static_cast<std::uint64_t>(cori.groups)));
       const std::uint64_t sample_seed = seeder.next();  // paired comparison
       for (const routing::Mode mode :
-           {routing::Mode::kAd0, routing::Mode::kAd3}) {
-        core::ProductionConfig cfg;
-        cfg.system = cori;
-        cfg.app = "MILC";
-        cfg.nnodes = nnodes;
-        cfg.mode = mode;
-        cfg.params = opt.params();
-        cfg.bg_utilization = opt.bg;
-        cfg.placement = sched::Placement::kGroups;
-        cfg.target_groups = tg;
-        cfg.seed = sample_seed;
-        const auto r = core::run_production(cfg);
-        if (r.ok)
-          rt[mode == routing::Mode::kAd0 ? 0 : 1].push_back(r.runtime_ms);
-      }
+           {routing::Mode::kAd0, routing::Mode::kAd3})
+        cells.push_back({mode, tg, sample_seed});
     }
+    core::TrialRunner runner(opt.jobs);
+    const auto results =
+        runner.map(static_cast<int>(cells.size()), [&](int i) {
+          const Cell& cell = cells[static_cast<std::size_t>(i)];
+          core::ProductionConfig cfg;
+          cfg.system = cori;
+          cfg.app = "MILC";
+          cfg.nnodes = nnodes;
+          cfg.mode = cell.mode;
+          cfg.params = opt.params();
+          cfg.bg_utilization = opt.bg;
+          cfg.placement = sched::Placement::kGroups;
+          cfg.target_groups = cell.tg;
+          cfg.seed = cell.seed;
+          return core::run_production(cfg);
+        });
+    int failures = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      if (!r.ok) {
+        ++failures;
+        continue;
+      }
+      rt[cells[i].mode == routing::Mode::kAd0 ? 0 : 1].push_back(r.runtime_ms);
+    }
+    bench::report_batch("paired production", runner.stats(), failures);
     const auto s0 = stats::summarize(rt[0]);
     const auto s3 = stats::summarize(rt[1]);
     std::printf(

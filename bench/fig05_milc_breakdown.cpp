@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     auto cfg = opt.production("MILC", 256, mode);
     const auto rs = core::run_production_batch(cfg, opt.samples);
     for (const auto& r : rs) {
+      if (!r.ok) continue;
       core::print_breakdown(std::cout, r.autoperf, ops);
       const double mpi =
           sim::to_ms(r.autoperf.profile.total_mpi_ns()) / r.autoperf.nranks;

@@ -22,11 +22,14 @@ int main(int argc, char** argv) {
     const int mi = mode == routing::Mode::kAd0 ? 0 : 1;
     auto cfg = opt.production("MILC", 256, mode);
     const auto rs = core::run_production_batch(cfg, opt.samples);
+    std::size_t n = 0;
+    for (const auto& r : rs) n += r.ok ? 1 : 0;
     for (const auto& r : rs) {
+      if (!r.ok) continue;
       const auto ratios = r.local_stall_ratios();
       for (int i = 0; i < 5; ++i)
         mean[mi][static_cast<std::size_t>(i)] +=
-            ratios[static_cast<std::size_t>(i)] / rs.size();
+            ratios[static_cast<std::size_t>(i)] / static_cast<double>(n);
     }
   }
   core::print_ratio_comparison(std::cout, "AD0", mean[0], "AD3", mean[1]);

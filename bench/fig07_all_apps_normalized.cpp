@@ -20,8 +20,13 @@ int main(int argc, char** argv) {
     for (const routing::Mode mode : {routing::Mode::kAd0, routing::Mode::kAd3}) {
       const int mi = mode == routing::Mode::kAd0 ? 0 : 1;
       auto cfg = opt.production(app, 256, mode);
-      const auto rs = core::run_production_batch(cfg, opt.samples);
-      for (const auto& r : rs) rt[mi].push_back(r.runtime_ms);
+      const auto batch =
+          core::run_production_ensemble(cfg, opt.samples, opt.batch());
+      bench::report_batch((app + " " + std::string(routing::mode_name(mode)))
+                              .c_str(),
+                          batch.stats, batch.failures());
+      for (const auto& r : batch.results)
+        if (r.ok) rt[mi].push_back(r.runtime_ms);
     }
     core::print_normalized_split(std::cout, app, rt[0], rt[1]);
   }

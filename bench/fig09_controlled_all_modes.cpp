@@ -22,30 +22,47 @@ int main(int argc, char** argv) {
   std::vector<double> pooled[4];
   for (const auto& app : apps::paper_app_names()) {
     std::vector<double> per_mode[4];
-    for (int m = 0; m < 4; ++m) {
+    // One controlled full-system reservation per (mode, placement) cell;
+    // the cells are independent simulations, so run them in parallel.
+    struct Cell { int mode; sched::Placement placement; };
+    std::vector<Cell> cells;
+    for (int m = 0; m < 4; ++m)
       for (const auto placement :
-           {sched::Placement::kCompact, sched::Placement::kRandom}) {
-        core::EnsembleConfig cfg;
-        cfg.system = opt.theta();
-        cfg.app = app;
-        // The paper's controlled runs reserve the whole system and fill it
-        // with same-app jobs; do the same.
-        cfg.nnodes = 256;
-        cfg.njobs = std::max(2, cfg.system.num_nodes() / cfg.nnodes);
-        cfg.mode = static_cast<routing::Mode>(m);
-        cfg.params = opt.params_for(app);
-        // Reservation-level pressure: one simulated rank stands for a whole
-        // node (64 KNL ranks on the real system), so per-node volumes are
-        // aggregated up for the full-machine ensembles.
-        cfg.params.msg_scale = opt.scale * 6;
-        cfg.placement = placement;
-        cfg.seed = opt.seed;  // same placements for every mode: paired
-        const auto r = core::run_controlled(cfg);
-        if (!r.ok) continue;
-        for (const double t : r.runtimes_ms)
-          per_mode[static_cast<std::size_t>(m)].push_back(t);
+           {sched::Placement::kCompact, sched::Placement::kRandom})
+        cells.push_back({m, placement});
+    core::TrialRunner runner(opt.jobs);
+    const auto results =
+        runner.map(static_cast<int>(cells.size()), [&](int i) {
+          const Cell& cell = cells[static_cast<std::size_t>(i)];
+          core::EnsembleConfig cfg;
+          cfg.system = opt.theta();
+          cfg.app = app;
+          // The paper's controlled runs reserve the whole system and fill
+          // it with same-app jobs; do the same.
+          cfg.nnodes = 256;
+          cfg.njobs = std::max(2, cfg.system.num_nodes() / cfg.nnodes);
+          cfg.mode = static_cast<routing::Mode>(cell.mode);
+          cfg.params = opt.params_for(app);
+          // Reservation-level pressure: one simulated rank stands for a
+          // whole node (64 KNL ranks on the real system), so per-node
+          // volumes are aggregated up for the full-machine ensembles.
+          cfg.params.msg_scale = opt.scale * 6;
+          cfg.placement = cell.placement;
+          cfg.seed = opt.seed;  // same placements for every mode: paired
+          return core::run_controlled(cfg);
+        });
+    int failures = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const auto& r = results[i];
+      if (!r.ok) {
+        ++failures;
+        continue;
       }
+      for (const double t : r.runtimes_ms)
+        per_mode[static_cast<std::size_t>(cells[i].mode)].push_back(t);
     }
+    bench::report_batch((app + " controlled").c_str(), runner.stats(),
+                        failures);
     // z-normalize across this app's runs (paper's per-app normalization).
     std::vector<double> all;
     for (const auto& v : per_mode) all.insert(all.end(), v.begin(), v.end());

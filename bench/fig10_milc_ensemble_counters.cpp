@@ -21,11 +21,14 @@ int main(int argc, char** argv) {
 
   struct ModeResult {
     net::CounterSnapshot total;
-    double flit_time = 1.0;
+    net::FlitTimes ft;
     double mean_rt = 0.0;
   } res[2];
-  for (const routing::Mode mode : {routing::Mode::kAd0, routing::Mode::kAd3}) {
-    const int mi = mode == routing::Mode::kAd0 ? 0 : 1;
+  const routing::Mode modes[2] = {routing::Mode::kAd0, routing::Mode::kAd3};
+  // The two full-system ensembles are independent simulations: run them on
+  // parallel workers.
+  core::TrialRunner runner(opt.jobs);
+  const auto results = runner.map(2, [&](int mi) {
     core::EnsembleConfig cfg;
     cfg.system = opt.theta();
     cfg.app = "MILC";
@@ -33,23 +36,28 @@ int main(int argc, char** argv) {
     // the configured system so the machine is equally full.
     cfg.nnodes = 512;
     cfg.njobs = std::max(1, cfg.system.num_nodes() * 8 / 4608);
-    cfg.mode = mode;
+    cfg.mode = modes[mi];
     cfg.params = opt.params();
     // Reservation-level pressure: one simulated rank stands for a whole
-        // node (64 KNL ranks on the real system), so per-node volumes are
-        // aggregated up for the full-machine ensembles.
-        cfg.params.msg_scale = opt.scale * 6;
+    // node (64 KNL ranks on the real system), so per-node volumes are
+    // aggregated up for the full-machine ensembles.
+    cfg.params.msg_scale = opt.scale * 6;
     cfg.placement = sched::Placement::kRandom;
     cfg.seed = opt.seed;
-    const auto r = core::run_controlled(cfg);
+    return core::run_controlled(cfg);
+  });
+  bench::report_batch("controlled", runner.stats(),
+                      (results[0].ok ? 0 : 1) + (results[1].ok ? 0 : 1));
+  for (int mi = 0; mi < 2; ++mi) {
+    const auto& r = results[static_cast<std::size_t>(mi)];
     if (!r.ok) {
-      std::fprintf(stderr, "ensemble failed\n");
+      std::fprintf(stderr, "ensemble failed: %s\n", r.fail_reason.c_str());
       return 1;
     }
     res[mi].total = r.total;
-    res[mi].flit_time = r.flit_time_ns;
+    res[mi].ft = r.flit_times;
     if (auto csv = bench::csv(opt, std::string("fig10_tiles_") +
-                                       std::string(routing::mode_name(mode)),
+                                       std::string(routing::mode_name(modes[mi])),
                               {"router", "port", "class", "flits", "stall_ns"}))
       for (const auto& tc : r.tiles)
         csv->row({std::to_string(tc.router), std::to_string(tc.port),
@@ -62,20 +70,24 @@ int main(int argc, char** argv) {
 
   stats::Table t({"Class", "flits AD0", "flits AD3", "stall-ns AD0",
                   "stall-ns AD3", "ratio AD0", "ratio AD3"});
+  // Each class's ratio converts stall-ns at that class's own flit time.
   auto row = [&](const char* name, const net::ClassCounters& a,
-                 const net::ClassCounters& b) {
+                 const net::ClassCounters& b, double ft0, double ft1) {
     t.add_row({name, std::to_string(a.flits), std::to_string(b.flits),
                std::to_string(a.stall_ns), std::to_string(b.stall_ns),
-               stats::fmt(net::CounterSnapshot::stall_flit_ratio(
-                              a, res[0].flit_time), 3),
-               stats::fmt(net::CounterSnapshot::stall_flit_ratio(
-                              b, res[1].flit_time), 3)});
+               stats::fmt(net::CounterSnapshot::stall_flit_ratio(a, ft0), 3),
+               stats::fmt(net::CounterSnapshot::stall_flit_ratio(b, ft1), 3)});
   };
-  row("Rank3", res[0].total.rank3, res[1].total.rank3);
-  row("Rank2", res[0].total.rank2, res[1].total.rank2);
-  row("Rank1", res[0].total.rank1, res[1].total.rank1);
-  row("Proc_req", res[0].total.proc_req, res[1].total.proc_req);
-  row("Proc_rsp", res[0].total.proc_rsp, res[1].total.proc_rsp);
+  row("Rank3", res[0].total.rank3, res[1].total.rank3, res[0].ft.rank3,
+      res[1].ft.rank3);
+  row("Rank2", res[0].total.rank2, res[1].total.rank2, res[0].ft.rank2,
+      res[1].ft.rank2);
+  row("Rank1", res[0].total.rank1, res[1].total.rank1, res[0].ft.rank1,
+      res[1].ft.rank1);
+  row("Proc_req", res[0].total.proc_req, res[1].total.proc_req,
+      res[0].ft.proc, res[1].ft.proc);
+  row("Proc_rsp", res[0].total.proc_rsp, res[1].total.proc_rsp,
+      res[0].ft.proc, res[1].ft.proc);
   t.print(std::cout);
   std::printf(
       "  mean job runtime: AD0 %.3f ms vs AD3 %.3f ms\n"

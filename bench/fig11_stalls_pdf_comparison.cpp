@@ -49,14 +49,23 @@ int main(int argc, char** argv) {
     std::vector<double> production, isolated, compact, disperse;
     {
       auto cfg = opt.production("MILC", 256, mode);
-      for (const auto& r : core::run_production_batch(cfg, opt.samples))
-        collect(r, production);
+      auto batch = core::run_production_ensemble(cfg, opt.samples, opt.batch());
+      bench::report_batch("production", batch.stats, batch.failures());
+      for (const auto& r : batch.results)
+        if (r.ok) collect(r, production);
       cfg.bg_utilization = 0.0;
-      for (const auto& r : core::run_production_batch(cfg, opt.samples / 2 + 1))
-        collect(r, isolated);
+      batch = core::run_production_ensemble(cfg, opt.samples / 2 + 1,
+                                            opt.batch());
+      bench::report_batch("isolated", batch.stats, batch.failures());
+      for (const auto& r : batch.results)
+        if (r.ok) collect(r, isolated);
     }
-    for (const auto placement :
-         {sched::Placement::kCompact, sched::Placement::kRandom}) {
+    // The two controlled full-system reservations are independent
+    // simulations: run them on parallel workers.
+    const sched::Placement placements[2] = {sched::Placement::kCompact,
+                                            sched::Placement::kRandom};
+    core::TrialRunner runner(opt.jobs);
+    const auto controlled = runner.map(2, [&](int pi) {
       core::EnsembleConfig cfg;
       cfg.system = opt.theta();
       cfg.app = "MILC";
@@ -66,16 +75,22 @@ int main(int argc, char** argv) {
       cfg.mode = mode;
       cfg.params = opt.params();
       // Reservation-level pressure: one simulated rank stands for a whole
-        // node (64 KNL ranks on the real system), so per-node volumes are
-        // aggregated up for the full-machine ensembles.
-        cfg.params.msg_scale = opt.scale * 6;
-      cfg.placement = placement;
+      // node (64 KNL ranks on the real system), so per-node volumes are
+      // aggregated up for the full-machine ensembles.
+      cfg.params.msg_scale = opt.scale * 6;
+      cfg.placement = placements[pi];
       cfg.seed = opt.seed + 17;
-      const auto r = core::run_controlled(cfg);
+      return core::run_controlled(cfg);
+    });
+    bench::report_batch("controlled", runner.stats(),
+                        (controlled[0].ok ? 0 : 1) + (controlled[1].ok ? 0 : 1));
+    for (int pi = 0; pi < 2; ++pi) {
+      const auto& r = controlled[static_cast<std::size_t>(pi)];
       if (!r.ok) continue;
-      auto& out = placement == sched::Placement::kCompact ? compact : disperse;
+      auto& out =
+          placements[pi] == sched::Placement::kCompact ? compact : disperse;
       // Global network-tile ratios for the ensemble window.
-      const auto ratios = core::stall_ratios(r.total, r.flit_time_ns);
+      const auto ratios = core::stall_ratios(r.total, r.flit_times);
       for (int i = 0; i < 3; ++i)
         out.push_back(ratios[static_cast<std::size_t>(i)]);
     }

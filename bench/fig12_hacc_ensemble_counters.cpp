@@ -23,36 +23,44 @@ int main(int argc, char** argv) {
 
   struct ModeResult {
     net::CounterSnapshot total;
-    double flit_time = 1.0;
+    net::FlitTimes ft;
     double mean_rt = 0.0;
     double rank3_peak_to_mean = 0.0;
     std::int64_t proc_stall = 0;
   } res[2];
 
-  for (const routing::Mode mode : {routing::Mode::kAd0, routing::Mode::kAd3}) {
-    const int mi = mode == routing::Mode::kAd0 ? 0 : 1;
+  const routing::Mode modes[2] = {routing::Mode::kAd0, routing::Mode::kAd3};
+  // The two full-system ensembles are independent simulations: run them on
+  // parallel workers.
+  core::TrialRunner runner(opt.jobs);
+  const auto results = runner.map(2, [&](int mi) {
     core::EnsembleConfig cfg;
     cfg.system = opt.theta();
     cfg.app = "HACC";
     cfg.nnodes = 256;
     cfg.njobs = std::max(1, cfg.system.num_nodes() * 16 / 4608);
-    cfg.mode = mode;
+    cfg.mode = modes[mi];
     cfg.params = opt.params_for("HACC");
     // Reservation-level pressure: one simulated rank stands for a whole
-        // node (64 KNL ranks on the real system), so per-node volumes are
-        // aggregated up for the full-machine ensembles.
-        cfg.params.msg_scale = opt.scale * 6;
+    // node (64 KNL ranks on the real system), so per-node volumes are
+    // aggregated up for the full-machine ensembles.
+    cfg.params.msg_scale = opt.scale * 6;
     cfg.placement = sched::Placement::kRandom;
     cfg.seed = opt.seed;
-    const auto r = core::run_controlled(cfg);
+    return core::run_controlled(cfg);
+  });
+  bench::report_batch("controlled", runner.stats(),
+                      (results[0].ok ? 0 : 1) + (results[1].ok ? 0 : 1));
+  for (int mi = 0; mi < 2; ++mi) {
+    const auto& r = results[static_cast<std::size_t>(mi)];
     if (!r.ok) {
-      std::fprintf(stderr, "ensemble failed\n");
+      std::fprintf(stderr, "ensemble failed: %s\n", r.fail_reason.c_str());
       return 1;
     }
     res[mi].total = r.total;
-    res[mi].flit_time = r.flit_time_ns;
+    res[mi].ft = r.flit_times;
     if (auto csv = bench::csv(opt, std::string("fig12_tiles_") +
-                                       std::string(routing::mode_name(mode)),
+                                       std::string(routing::mode_name(modes[mi])),
                               {"router", "port", "class", "flits", "stall_ns"}))
       for (const auto& tc : r.tiles)
         csv->row({std::to_string(tc.router), std::to_string(tc.port),

@@ -37,15 +37,16 @@ int main(int argc, char** argv) {
     ldms.start();
     sched.machine().run_for(
         static_cast<sim::Tick>(2 + opt.samples / 2) * sim::kMillisecond);
-    const double ft = sched.machine().network().flit_time_ns();
+    const net::FlitTimes ft = sched.machine().network().flit_times();
     for (const auto& d : ldms.interval_deltas()) {
       const auto& c = d.cumulative;
       const double flits = static_cast<double>(
           c.rank1.flits + c.rank2.flits + c.rank3.flits);
+      // Each network class serializes flits at its own link bandwidth.
       const double stall_flits =
-          static_cast<double>(c.rank1.stall_ns + c.rank2.stall_ns +
-                              c.rank3.stall_ns) /
-          ft;
+          static_cast<double>(c.rank1.stall_ns) / ft.rank1 +
+          static_cast<double>(c.rank2.stall_ns) / ft.rank2 +
+          static_cast<double>(c.rank3.stall_ns) / ft.rank3;
       win[mi].flits.push_back(flits);
       win[mi].stall.push_back(stall_flits);
       win[mi].ratio.push_back(flits > 0 ? stall_flits / flits : 0.0);

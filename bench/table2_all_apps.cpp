@@ -27,8 +27,13 @@ int main(int argc, char** argv) {
     for (const routing::Mode mode : {routing::Mode::kAd0, routing::Mode::kAd3}) {
       const int mi = mode == routing::Mode::kAd0 ? 0 : 1;
       auto cfg = opt.production(app, 256, mode);
-      const auto rs = core::run_production_batch(cfg, opt.samples);
-      for (const auto& r : rs) {
+      const auto batch =
+          core::run_production_ensemble(cfg, opt.samples, opt.batch());
+      bench::report_batch((app + " " + std::string(routing::mode_name(mode)))
+                              .c_str(),
+                          batch.stats, batch.failures());
+      for (const auto& r : batch.results) {
+        if (!r.ok) continue;
         const double mpims =
             sim::to_ms(r.autoperf.profile.total_mpi_ns()) / r.autoperf.nranks;
         rt[mi].push_back(r.runtime_ms);

@@ -57,6 +57,7 @@ int main(int argc, char** argv) {
     std::vector<double> xs;
     double nonmin = 0.0, ratio = 0.0;
     for (const auto& r : rs) {
+      if (!r.ok) continue;
       xs.push_back(r.runtime_ms);
       const auto& st = r.netstats;
       const auto total = st.minimal_decisions + st.nonminimal_decisions;
@@ -65,11 +66,12 @@ int main(int argc, char** argv) {
                           : 0.0;
       ratio += r.local_stall_ratios()[0];
     }
+    if (xs.empty()) continue;
     const auto s = stats::summarize(xs);
+    const auto n = static_cast<double>(xs.size());
     t.add_row({std::string(routing::mode_name(mode)), stats::fmt(s.mean, 3),
                stats::fmt(s.stddev, 3), stats::fmt(s.p95, 3),
-               stats::fmt(nonmin / rs.size(), 1),
-               stats::fmt(ratio / rs.size(), 3)});
+               stats::fmt(nonmin / n, 1), stats::fmt(ratio / n, 3)});
   }
   t.print(std::cout);
   std::printf(

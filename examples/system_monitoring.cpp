@@ -37,17 +37,18 @@ int main(int argc, char** argv) {
   ldms.start();
   sched.machine().run_for(3 * sim::kMillisecond);
 
-  const double ft = sched.machine().network().flit_time_ns();
+  const net::FlitTimes ft = sched.machine().network().flit_times();
   std::printf("  t (ms) | Mflits | stall/flit ratio\n");
   for (const auto& d : ldms.interval_deltas()) {
     const auto& c = d.cumulative;
     const double flits = static_cast<double>(c.rank1.flits + c.rank2.flits +
                                              c.rank3.flits);
-    const double ratio =
-        flits > 0 ? static_cast<double>(c.rank1.stall_ns + c.rank2.stall_ns +
-                                        c.rank3.stall_ns) /
-                        ft / flits
-                  : 0.0;
+    // Convert each class's stall time at its own link bandwidth.
+    const double stall_flits =
+        static_cast<double>(c.rank1.stall_ns) / ft.rank1 +
+        static_cast<double>(c.rank2.stall_ns) / ft.rank2 +
+        static_cast<double>(c.rank3.stall_ns) / ft.rank3;
+    const double ratio = flits > 0 ? stall_flits / flits : 0.0;
     std::printf("  %6.2f | %6.2f | %.3f %s\n", sim::to_ms(d.t), flits / 1e6,
                 ratio,
                 std::string(std::min<std::size_t>(40,

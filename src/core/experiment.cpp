@@ -1,5 +1,8 @@
 #include "core/experiment.hpp"
 
+#include <chrono>
+#include <utility>
+
 #include "sched/scheduler.hpp"
 
 namespace dfsim::core {
@@ -8,30 +11,35 @@ const char* const kTileRatioLabels[5] = {"Rank3", "Rank2", "Rank1", "Proc_req",
                                          "Proc_rsp"};
 
 std::array<double, 5> stall_ratios(const net::CounterSnapshot& s,
-                                   double flit_time_ns) {
+                                   const net::FlitTimes& ft) {
   using CS = net::CounterSnapshot;
-  return {CS::stall_flit_ratio(s.rank3, flit_time_ns),
-          CS::stall_flit_ratio(s.rank2, flit_time_ns),
-          CS::stall_flit_ratio(s.rank1, flit_time_ns),
-          CS::stall_flit_ratio(s.proc_req, flit_time_ns),
-          CS::stall_flit_ratio(s.proc_rsp, flit_time_ns)};
+  return {CS::stall_flit_ratio(s.rank3, ft.rank3),
+          CS::stall_flit_ratio(s.rank2, ft.rank2),
+          CS::stall_flit_ratio(s.rank1, ft.rank1),
+          CS::stall_flit_ratio(s.proc_req, ft.proc),
+          CS::stall_flit_ratio(s.proc_rsp, ft.proc)};
 }
 
 std::array<double, 5> RunResult::local_stall_ratios() const {
-  return stall_ratios(autoperf.local, flit_time_ns);
+  return stall_ratios(autoperf.local, flit_times);
 }
 
 RunResult run_production(const ProductionConfig& cfg) {
   RunResult res;
   sched::Scheduler sched(cfg.system, cfg.seed);
   auto& machine = sched.machine();
-  machine.engine().set_event_budget(kEventBudget);
+  auto& engine = machine.engine();
+  engine.set_event_budget(cfg.event_budget);
 
   // Foreground allocation first (so requested placement is honored), then
   // fill with background load.
   auto nodes = sched.allocator().allocate(
       cfg.nnodes, cfg.placement, sched.rng(), cfg.target_groups);
-  if (nodes.empty()) return res;
+  if (nodes.empty()) {
+    res.fail_reason = "allocation failed: " + std::to_string(cfg.nnodes) +
+                      " nodes unavailable on " + cfg.system.name;
+    return res;
+  }
   res.groups_spanned = machine.topology().groups_spanned(nodes);
 
   sched::BackgroundSet bg;
@@ -46,33 +54,85 @@ RunResult run_production(const ProductionConfig& cfg) {
   const auto local_base = monitor::local_baseline(machine, id);
 
   const mpi::JobId watch[] = {id};
-  if (!machine.run_to_completion(watch)) return res;
+  const bool completed = machine.run_to_completion(watch);
+  res.events_executed = engine.events_executed();
+  res.budget_exhausted = engine.budget_exhausted();
+  if (!completed) {
+    res.fail_reason = res.budget_exhausted
+                          ? "event budget exhausted (" +
+                                std::to_string(cfg.event_budget) + " events)"
+                          : "run stopped before job completion";
+    return res;
+  }
 
   res.ok = true;
   res.autoperf = monitor::collect(machine, id, local_base);
   res.runtime_ms = res.autoperf.runtime_ms;
   res.global = machine.network().snapshot_all().delta_since(global_base);
   res.netstats = machine.network().stats();
-  res.flit_time_ns = machine.network().flit_time_ns();
+  res.flit_times = machine.network().flit_times();
   return res;
 }
 
-std::vector<RunResult> run_production_batch(ProductionConfig cfg, int samples) {
-  std::vector<RunResult> out;
-  sim::Rng seeder(cfg.seed);
-  for (int i = 0; i < samples; ++i) {
-    cfg.seed = seeder.next();
-    RunResult r = run_production(cfg);
-    if (r.ok) out.push_back(std::move(r));
+namespace {
+
+TrialReport report_for(int index, bool ok, const std::string& fail_reason,
+                       double wall_ms, std::uint64_t events,
+                       bool budget_exhausted) {
+  TrialReport t;
+  t.index = index;
+  t.ok = ok;
+  t.fail_reason = fail_reason;
+  t.wall_ms = wall_ms;
+  t.events = events;
+  t.budget_exhausted = budget_exhausted;
+  return t;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+BatchResult run_production_ensemble(const ProductionConfig& cfg, int samples,
+                                    const BatchOptions& opts) {
+  BatchResult b;
+  const auto seeds = derive_trial_seeds(cfg.seed, samples);
+  std::vector<double> wall(static_cast<std::size_t>(samples > 0 ? samples : 0));
+  TrialRunner runner(opts.jobs);
+  b.results = runner.map(samples, [&](int i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    ProductionConfig c = cfg;
+    c.seed = seeds[static_cast<std::size_t>(i)];
+    RunResult r = run_production(c);
+    wall[static_cast<std::size_t>(i)] = ms_since(t0);
+    return r;
+  });
+  b.stats = runner.stats();
+  b.trials.reserve(b.results.size());
+  for (std::size_t i = 0; i < b.results.size(); ++i) {
+    const auto& r = b.results[i];
+    b.trials.push_back(report_for(static_cast<int>(i), r.ok, r.fail_reason,
+                                  wall[i], r.events_executed,
+                                  r.budget_exhausted));
   }
-  return out;
+  return b;
+}
+
+std::vector<RunResult> run_production_batch(ProductionConfig cfg, int samples,
+                                            int jobs) {
+  return run_production_ensemble(cfg, samples, BatchOptions{jobs}).results;
 }
 
 EnsembleResult run_controlled(const EnsembleConfig& cfg) {
   EnsembleResult res;
   sched::Scheduler sched(cfg.system, cfg.seed);
   auto& machine = sched.machine();
-  machine.engine().set_event_budget(kEventBudget);
+  auto& engine = machine.engine();
+  engine.set_event_budget(cfg.event_budget);
 
   std::vector<mpi::JobId> ids;
   for (int j = 0; j < cfg.njobs; ++j) {
@@ -82,12 +142,26 @@ EnsembleResult run_controlled(const EnsembleConfig& cfg) {
     if (id < 0) break;  // machine full: run with what fits
     ids.push_back(id);
   }
-  if (ids.empty()) return res;
+  if (ids.empty()) {
+    res.fail_reason = "allocation failed: no " +
+                      std::to_string(cfg.nnodes) + "-node job fits on " +
+                      cfg.system.name;
+    return res;
+  }
 
   monitor::LdmsSampler ldms(machine.network(), cfg.ldms_period);
   ldms.start();
 
-  if (!machine.run_to_completion(ids)) return res;
+  const bool completed = machine.run_to_completion(ids);
+  res.events_executed = engine.events_executed();
+  res.budget_exhausted = engine.budget_exhausted();
+  if (!completed) {
+    res.fail_reason = res.budget_exhausted
+                          ? "event budget exhausted (" +
+                                std::to_string(cfg.event_budget) + " events)"
+                          : "run stopped before ensemble completion";
+    return res;
+  }
 
   res.ok = true;
   for (const mpi::JobId id : ids)
@@ -96,8 +170,34 @@ EnsembleResult run_controlled(const EnsembleConfig& cfg) {
   res.ldms = ldms.samples();
   res.tiles = monitor::per_tile_counters(machine.network());
   res.netstats = machine.network().stats();
-  res.flit_time_ns = machine.network().flit_time_ns();
+  res.flit_times = machine.network().flit_times();
   return res;
+}
+
+EnsembleBatchResult run_controlled_ensemble(const EnsembleConfig& cfg,
+                                            int samples,
+                                            const BatchOptions& opts) {
+  EnsembleBatchResult b;
+  const auto seeds = derive_trial_seeds(cfg.seed, samples);
+  std::vector<double> wall(static_cast<std::size_t>(samples > 0 ? samples : 0));
+  TrialRunner runner(opts.jobs);
+  b.results = runner.map(samples, [&](int i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    EnsembleConfig c = cfg;
+    c.seed = seeds[static_cast<std::size_t>(i)];
+    EnsembleResult r = run_controlled(c);
+    wall[static_cast<std::size_t>(i)] = ms_since(t0);
+    return r;
+  });
+  b.stats = runner.stats();
+  b.trials.reserve(b.results.size());
+  for (std::size_t i = 0; i < b.results.size(); ++i) {
+    const auto& r = b.results[i];
+    b.trials.push_back(report_for(static_cast<int>(i), r.ok, r.fail_reason,
+                                  wall[i], r.events_executed,
+                                  r.budget_exhausted));
+  }
+  return b;
 }
 
 }  // namespace dfsim::core

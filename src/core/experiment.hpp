@@ -6,6 +6,14 @@
 //  * isolated   — the app alone on the machine;
 //  * controlled — an ensemble of identical jobs filling the system (the
 //    paper's full-system reservation experiments), with LDMS sampling.
+//
+// Batch entry points (run_production_ensemble / run_controlled_ensemble)
+// fan the requested samples out across a core::TrialRunner thread pool.
+// Per-trial seeds are derived up front from the root seed, so batch output
+// is bit-identical for every worker count — and identical to the
+// historical serial loop. Failed trials are never dropped: every requested
+// sample appears in the results (with `ok == false` and a fail reason) and
+// in the per-trial reports.
 #pragma once
 
 #include <array>
@@ -14,6 +22,7 @@
 #include <vector>
 
 #include "apps/app.hpp"
+#include "core/runner.hpp"
 #include "monitor/autoperf.hpp"
 #include "monitor/ldms.hpp"
 #include "net/network.hpp"
@@ -22,6 +31,9 @@
 #include "topo/config.hpp"
 
 namespace dfsim::core {
+
+/// Default per-run event budget (guards runaway configurations).
+inline constexpr std::uint64_t kEventBudget = 600'000'000ULL;
 
 struct ProductionConfig {
   topo::Config system = topo::Config::theta();
@@ -35,32 +47,64 @@ struct ProductionConfig {
   routing::Mode bg_mode = routing::Mode::kAd0;  ///< system default mode
   sim::Tick warmup = 300 * sim::kMicrosecond;   ///< background ramp-up
   std::uint64_t seed = 1;
+  std::uint64_t event_budget = kEventBudget;  ///< per-run engine event cap
 };
 
 struct RunResult {
   bool ok = false;
+  std::string fail_reason;  ///< why the run failed (empty when ok)
   double runtime_ms = 0.0;
   int groups_spanned = 0;
   monitor::AutoPerfReport autoperf;
   net::CounterSnapshot global;  ///< whole-system delta over the run window
   net::NetworkStats netstats;
-  double flit_time_ns = 1.0;
+  net::FlitTimes flit_times;    ///< per-tile-class flit serialization times
+  std::uint64_t events_executed = 0;
+  bool budget_exhausted = false;
 
   /// Stall-to-flit ratios in Fig. 6 order:
   /// {Rank3, Rank2, Rank1, Proc_req, Proc_rsp} from the local (AutoPerf)
-  /// counters.
+  /// counters, each class converted at its own link bandwidth.
   [[nodiscard]] std::array<double, 5> local_stall_ratios() const;
 };
 
 /// Fig. 6 / Fig. 10 row labels matching local_stall_ratios() order.
 extern const char* const kTileRatioLabels[5];
 std::array<double, 5> stall_ratios(const net::CounterSnapshot& s,
-                                   double flit_time_ns);
+                                   const net::FlitTimes& ft);
 
 RunResult run_production(const ProductionConfig& cfg);
 
-/// `samples` runs with derived seeds; failed runs are skipped.
-std::vector<RunResult> run_production_batch(ProductionConfig cfg, int samples);
+/// Parallel batch controls.
+struct BatchOptions {
+  int jobs = 0;  ///< worker threads; <=0 means one per hardware thread
+};
+
+/// One batch of production runs: every requested sample is present in
+/// submission order (failed runs keep their slot with ok == false).
+struct BatchResult {
+  std::vector<RunResult> results;   ///< in submission order, size == samples
+  std::vector<TrialReport> trials;  ///< parallel to `results`
+  RunnerStats stats;
+
+  [[nodiscard]] int failures() const {
+    int n = 0;
+    for (const auto& r : results) n += r.ok ? 0 : 1;
+    return n;
+  }
+};
+
+/// `samples` production runs with seeds derived from cfg.seed, fanned out
+/// across opts.jobs worker threads. Bit-identical results for any jobs
+/// value (including 1).
+BatchResult run_production_ensemble(const ProductionConfig& cfg, int samples,
+                                    const BatchOptions& opts = {});
+
+/// Convenience wrapper around run_production_ensemble() returning just the
+/// per-sample results (still in submission order, still including failed
+/// runs — check RunResult::ok before using a sample's measurements).
+std::vector<RunResult> run_production_batch(ProductionConfig cfg, int samples,
+                                            int jobs = 0);
 
 struct EnsembleConfig {
   topo::Config system = topo::Config::theta();
@@ -73,21 +117,43 @@ struct EnsembleConfig {
   int target_groups = 0;
   sim::Tick ldms_period = 200 * sim::kMicrosecond;
   std::uint64_t seed = 1;
+  std::uint64_t event_budget = kEventBudget;  ///< per-run engine event cap
 };
 
 struct EnsembleResult {
   bool ok = false;
+  std::string fail_reason;  ///< why the run failed (empty when ok)
   std::vector<double> runtimes_ms;
   net::CounterSnapshot total;
   std::vector<monitor::LdmsSample> ldms;
   std::vector<monitor::TileCounters> tiles;
   net::NetworkStats netstats;
-  double flit_time_ns = 1.0;
+  net::FlitTimes flit_times;
+  std::uint64_t events_executed = 0;
+  bool budget_exhausted = false;
 };
 
 EnsembleResult run_controlled(const EnsembleConfig& cfg);
 
-/// Default per-run event budget (guards runaway configurations).
-inline constexpr std::uint64_t kEventBudget = 600'000'000ULL;
+/// One batch of controlled-ensemble runs (each sample is a full-system
+/// reservation simulation with its own derived seed).
+struct EnsembleBatchResult {
+  std::vector<EnsembleResult> results;  ///< submission order, size == samples
+  std::vector<TrialReport> trials;      ///< parallel to `results`
+  RunnerStats stats;
+
+  [[nodiscard]] int failures() const {
+    int n = 0;
+    for (const auto& r : results) n += r.ok ? 0 : 1;
+    return n;
+  }
+};
+
+/// `samples` controlled runs with seeds derived from cfg.seed, fanned out
+/// across opts.jobs worker threads; same determinism guarantee as
+/// run_production_ensemble().
+EnsembleBatchResult run_controlled_ensemble(const EnsembleConfig& cfg,
+                                            int samples,
+                                            const BatchOptions& opts = {});
 
 }  // namespace dfsim::core

@@ -1,0 +1,89 @@
+#include "core/runner.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "mpi/machine.hpp"
+#include "net/network.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+
+namespace dfsim::core {
+
+// Parallel trials are only sound because one trial's simulation stack is
+// fully self-contained: Engine/Network/Machine/Scheduler instances own all
+// of their state and the library keeps no global mutable state (the single
+// function-local static, the app-name list in apps/registry.cpp, is const
+// and initialized thread-safely). The stack types are deliberately
+// non-copyable so per-trial state cannot silently alias across trials;
+// guard that property at compile time here.
+static_assert(!std::is_copy_constructible_v<sim::Engine> &&
+                  !std::is_copy_assignable_v<sim::Engine>,
+              "sim::Engine must stay non-copyable: trials each own one");
+static_assert(!std::is_copy_constructible_v<net::Network> &&
+                  !std::is_copy_assignable_v<net::Network>,
+              "net::Network must stay non-copyable: trials each own one");
+static_assert(!std::is_copy_constructible_v<mpi::Machine> &&
+                  !std::is_copy_assignable_v<mpi::Machine>,
+              "mpi::Machine must stay non-copyable: trials each own one");
+static_assert(!std::is_copy_constructible_v<sched::Scheduler> &&
+                  !std::is_copy_assignable_v<sched::Scheduler>,
+              "sched::Scheduler must stay non-copyable: trials each own one");
+
+int resolve_jobs(int requested) {
+  if (requested >= 1) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+std::vector<std::uint64_t> derive_trial_seeds(std::uint64_t root_seed, int n) {
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(static_cast<std::size_t>(n > 0 ? n : 0));
+  sim::Rng seeder(root_seed);
+  for (int i = 0; i < n; ++i) seeds.push_back(seeder.next());
+  return seeds;
+}
+
+void TrialRunner::dispatch(int n, const std::function<void(int)>& body) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  stats_ = RunnerStats{};
+  stats_.trials = n > 0 ? n : 0;
+  const int workers = std::min(jobs_, stats_.trials);
+  stats_.jobs = workers > 0 ? workers : 1;
+
+  if (workers <= 1) {
+    for (int i = 0; i < n; ++i) body(i);
+  } else {
+    std::atomic<int> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    auto worker = [&] {
+      for (;;) {
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          body(i);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+          return;
+        }
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  stats_.wall_ms =
+      std::chrono::duration<double, std::milli>(clock::now() - t0).count();
+}
+
+}  // namespace dfsim::core

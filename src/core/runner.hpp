@@ -1,0 +1,92 @@
+// Deterministic parallel trial runner.
+//
+// Ensemble experiments (the paper's repeated-run campaigns behind Figs.
+// 2-14) are embarrassingly parallel: every trial owns a complete
+// Scheduler -> Machine -> Engine -> Network stack and shares no mutable
+// state with any other trial (see the static_asserts in runner.cpp).
+// TrialRunner fans independent trials out across std::thread workers.
+//
+// Determinism contract: per-trial seeds are derived *up front* from the
+// root seed (derive_trial_seeds(), the same sequence the historical serial
+// loop drew), each trial consumes only its own seed, and results are
+// written into a slot chosen by submission index. Output is therefore
+// bit-identical for every worker count and completion order.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace dfsim::core {
+
+/// Per-trial execution record: what happened to sample `index` of a batch,
+/// whether or not the simulation succeeded. Batches never silently drop
+/// failed trials — callers see every requested sample accounted for.
+struct TrialReport {
+  int index = -1;              ///< submission index within the batch
+  bool ok = false;
+  std::string fail_reason;     ///< empty when ok
+  double wall_ms = 0.0;        ///< host wall-clock spent on this trial
+  std::uint64_t events = 0;    ///< engine events executed by this trial
+  bool budget_exhausted = false;  ///< trial hit its event budget
+};
+
+/// Aggregate throughput of one batch run.
+struct RunnerStats {
+  int jobs = 1;       ///< worker threads used
+  int trials = 0;     ///< trials executed
+  double wall_ms = 0.0;  ///< batch wall-clock
+  [[nodiscard]] double trials_per_sec() const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(trials) / wall_ms
+                         : 0.0;
+  }
+};
+
+/// Resolve a --jobs style request: n >= 1 is taken as-is, anything else
+/// (0, negative) means "one worker per hardware thread".
+int resolve_jobs(int requested);
+
+/// Derive `n` per-trial seeds from `root_seed`. This is exactly the
+/// sequence the serial batch loop has always drawn (`sim::Rng(root).next()`
+/// per trial), so parallel batches reproduce historical serial results.
+std::vector<std::uint64_t> derive_trial_seeds(std::uint64_t root_seed, int n);
+
+class TrialRunner {
+ public:
+  /// `jobs` as for resolve_jobs(); the default uses every hardware thread.
+  explicit TrialRunner(int jobs = 0) : jobs_(resolve_jobs(jobs)) {}
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+  /// Stats of the most recent map() call.
+  [[nodiscard]] const RunnerStats& stats() const { return stats_; }
+
+  /// Run fn(i) for i in [0, n) across the workers and return the results
+  /// in submission (index) order, regardless of completion order. The
+  /// result type must be default-constructible and move-assignable. A
+  /// trial that throws aborts the batch with the first exception's message
+  /// (model-level failures should be encoded in the result instead).
+  template <class Fn>
+  auto map(int n, Fn&& fn) -> std::vector<std::invoke_result_t<Fn&, int>> {
+    using R = std::invoke_result_t<Fn&, int>;
+    static_assert(std::is_default_constructible_v<R> &&
+                  std::is_move_assignable_v<R>);
+    std::vector<R> out(static_cast<std::size_t>(n > 0 ? n : 0));
+    std::function<void(int)> body = [&out, &fn](int i) {
+      out[static_cast<std::size_t>(i)] = fn(i);
+    };
+    dispatch(n, body);
+    return out;
+  }
+
+ private:
+  /// Run body(i) for i in [0, n) on min(jobs, n) workers; rethrows the
+  /// first trial exception (if any) after all workers joined.
+  void dispatch(int n, const std::function<void(int)>& body);
+
+  int jobs_;
+  RunnerStats stats_;
+};
+
+}  // namespace dfsim::core

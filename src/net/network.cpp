@@ -38,6 +38,19 @@ double CounterSnapshot::stall_flit_ratio(const ClassCounters& c,
   return stall_flits / static_cast<double>(c.flits);
 }
 
+FlitTimes FlitTimes::from_config(const topo::Config& cfg) {
+  const auto fb = static_cast<double>(cfg.flit_bytes);
+  FlitTimes ft;
+  ft.rank1 = fb / cfg.rank1_bw_gbps;
+  // Rank-2 ports fold the parallel links into one port (topo::Dragonfly
+  // does the same for PortInfo::bw_gbps), so a flit serializes that much
+  // faster across the folded port.
+  ft.rank2 = fb / (cfg.rank2_bw_gbps * cfg.rank2_parallel);
+  ft.rank3 = fb / cfg.rank3_bw_gbps;
+  ft.proc = fb / cfg.inject_bw_gbps;
+  return ft;
+}
+
 Network::Network(sim::Engine& engine, const topo::Dragonfly& topo,
                  std::uint64_t seed)
     : engine_(engine), topo_(topo), planner_(topo, *this, sim::Rng(seed)) {
@@ -48,19 +61,36 @@ Network::Network(sim::Engine& engine, const topo::Dragonfly& topo,
   nics_.resize(static_cast<std::size_t>(topo_.config().num_nodes()));
   for (topo::NodeId n = 0; n < topo_.config().num_nodes(); ++n)
     nics_[static_cast<std::size_t>(n)].node = n;
-  if (topo_.config().throttle_enabled)
-    engine_.schedule(topo_.config().throttle_window, [this] { throttle_tick(); });
+  ensure_throttle_tick();
+}
+
+bool Network::network_idle() const {
+  if (packets_in_flight() > 0) return false;
+  for (const auto& nic : nics_)
+    if (!nic.inject_queue.empty()) return false;
+  return true;
+}
+
+void Network::ensure_throttle_tick() {
+  if (!topo_.config().throttle_enabled || throttle_scheduled_) return;
+  throttle_scheduled_ = true;
+  engine_.schedule(topo_.config().throttle_window, [this] { throttle_tick(); });
 }
 
 void Network::throttle_tick() {
+  throttle_scheduled_ = false;
   const auto& cfg = topo_.config();
   const CounterSnapshot now_snap = snapshot_all();
   const CounterSnapshot d = now_snap.delta_since(throttle_base_);
   throttle_base_ = now_snap;
-  const ClassCounters net_total{
-      d.rank1.flits + d.rank2.flits + d.rank3.flits,
-      d.rank1.stall_ns + d.rank2.stall_ns + d.rank3.stall_ns};
-  const double ratio = CounterSnapshot::stall_flit_ratio(net_total, flit_time_ns());
+  const FlitTimes ft = flit_times();
+  const auto flits = static_cast<double>(d.rank1.flits + d.rank2.flits +
+                                         d.rank3.flits);
+  const double stall_flits =
+      static_cast<double>(d.rank1.stall_ns) / ft.rank1 +
+      static_cast<double>(d.rank2.stall_ns) / ft.rank2 +
+      static_cast<double>(d.rank3.stall_ns) / ft.rank3;
+  const double ratio = flits > 0.0 ? stall_flits / flits : 0.0;
   if (ratio > cfg.throttle_hi_ratio) {
     throttle_factor_ =
         std::min(cfg.throttle_max_factor, throttle_factor_ * cfg.throttle_step);
@@ -68,7 +98,10 @@ void Network::throttle_tick() {
   } else if (ratio < cfg.throttle_lo_ratio && throttle_factor_ > 1.0) {
     throttle_factor_ = std::max(1.0, throttle_factor_ / cfg.throttle_step);
   }
-  engine_.schedule(cfg.throttle_window, [this] { throttle_tick(); });
+  // Keep ticking while there is traffic to govern or an elevated factor
+  // still decaying; otherwise stop so the event queue can drain (the next
+  // injection restarts the tick).
+  if (!network_idle() || throttle_factor_ > 1.0) ensure_throttle_tick();
 }
 
 PacketId Network::alloc_packet() {
@@ -106,6 +139,7 @@ MsgId Network::send_message(topo::NodeId src, topo::NodeId dst,
     return id;
   }
   msgs_.emplace(id, MsgRec{bytes, std::move(on_delivered)});
+  ensure_throttle_tick();
   const std::int64_t payload = topo_.config().packet_payload_bytes;
   const int fb = topo_.config().flit_bytes;
   for (std::int64_t off = 0; off < bytes; off += payload) {

@@ -43,6 +43,20 @@ struct ClassCounters {
   std::int64_t stall_ns = 0;
 };
 
+/// Per-tile-class flit serialization times (ns per flit). Converting a
+/// class's stall-ns into Aries-like stall counts must use the bandwidth of
+/// that class's own links: rank-3 optical cables (9.38 GB/s) serialize a
+/// flit ~12% slower than rank-1 copper (10.5 GB/s), and rank-2 ports fold
+/// `rank2_parallel` physical links into one port.
+struct FlitTimes {
+  double rank1 = 1.0;
+  double rank2 = 1.0;
+  double rank3 = 1.0;
+  double proc = 1.0;  ///< processor tiles / NIC injection
+
+  [[nodiscard]] static FlitTimes from_config(const topo::Config& cfg);
+};
+
 struct CounterSnapshot {
   ClassCounters rank1, rank2, rank3, proc_req, proc_rsp;
   std::int64_t nic_rsp_time_sum_ns = 0;
@@ -118,9 +132,15 @@ class Network final : public routing::LoadOracle {
   [[nodiscard]] CounterSnapshot snapshot_routers(
       std::span<const topo::RouterId> routers) const;
 
-  /// Flit serialization time at the reference (rank-1) bandwidth; used to
-  /// convert stall-ns to Aries-like stall counts.
+  /// Flit serialization time at the reference (rank-1) bandwidth. Only a
+  /// reference value: stall-to-flit conversions should use the per-class
+  /// times from flit_times().
   [[nodiscard]] double flit_time_ns() const;
+
+  /// Per-tile-class flit serialization times for this network's links.
+  [[nodiscard]] FlitTimes flit_times() const {
+    return FlitTimes::from_config(topo_.config());
+  }
 
   /// Number of in-flight (allocated) packets; 0 when fully drained.
   [[nodiscard]] std::int64_t packets_in_flight() const {
@@ -176,11 +196,19 @@ class Network final : public routing::LoadOracle {
   std::unordered_map<MsgId, MsgRec> msgs_;
   MsgId next_msg_ = 0;
   NetworkStats stats_;
+  /// Periodic congestion-throttle evaluation. Self-rescheduling only while
+  /// there is traffic to govern (or an elevated factor still decaying):
+  /// once the network is idle the tick stops, letting the event queue
+  /// drain; ensure_throttle_tick() restarts it on the next injection.
   void throttle_tick();
+  void ensure_throttle_tick();
+  /// True when no packet is in flight and no NIC has queued injections.
+  [[nodiscard]] bool network_idle() const;
 
   std::int32_t header_bytes_ = 16;
   sim::Tick rx_overhead_ = 100;  ///< ns per packet of NIC rx processing
   double throttle_factor_ = 1.0;
+  bool throttle_scheduled_ = false;
   CounterSnapshot throttle_base_;
   monitor::PacketTracer* tracer_ = nullptr;
 };

@@ -3,6 +3,14 @@
 // Single-threaded, deterministic. All model components schedule callbacks on
 // one Engine; time only advances between events. The engine never invents
 // wall-clock entropy: runs are exactly reproducible from the model's seeds.
+//
+// Thread confinement: an Engine (and the simulation stack built on it) is
+// self-contained — all state lives in the instance, none of it is shared or
+// global — so *distinct* Engine instances may run concurrently on different
+// threads (core::TrialRunner relies on this). A single instance must only
+// ever be driven from one thread at a time. Copying is deleted: queued
+// callbacks capture pointers into their owning model, so a copied engine
+// would alias live state.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +25,10 @@ namespace dfsim::sim {
 class Engine {
  public:
   using Callback = EventQueue::Callback;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   /// Current simulation time.
   [[nodiscard]] Tick now() const { return now_; }

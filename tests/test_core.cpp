@@ -129,7 +129,7 @@ TEST(StallRatios, OrderedLikeFig6) {
   s.rank1 = {100, 3000};
   s.proc_req = {100, 400};
   s.proc_rsp = {100, 500};
-  const auto r = stall_ratios(s, 1.0);
+  const auto r = stall_ratios(s, net::FlitTimes{1.0, 1.0, 1.0, 1.0});
   EXPECT_DOUBLE_EQ(r[0], 10.0);  // Rank3
   EXPECT_DOUBLE_EQ(r[1], 20.0);  // Rank2
   EXPECT_DOUBLE_EQ(r[2], 30.0);  // Rank1

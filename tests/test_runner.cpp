@@ -1,0 +1,336 @@
+// Tests: deterministic parallel trial runner and the batch entry points
+// built on it — seed derivation, submission-order results, bit-identical
+// output across worker counts, failed-trial reporting, per-class flit
+// times, and the throttle-tick drain regression.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+#include "core/experiment.hpp"
+#include "core/runner.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::core {
+namespace {
+
+ProductionConfig small_cfg() {
+  ProductionConfig cfg;
+  cfg.system = topo::Config::mini(4);
+  cfg.app = "MILC";
+  cfg.nnodes = 16;
+  cfg.params.iterations = 2;
+  cfg.params.msg_scale = 0.1;
+  cfg.params.compute_scale = 0.1;
+  cfg.placement = sched::Placement::kRandom;
+  cfg.bg_utilization = 0.3;  // some noise so seeds matter
+  cfg.warmup = 10 * sim::kMicrosecond;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// --- seed derivation & worker resolution ---
+
+TEST(Runner, DeriveTrialSeedsMatchesLegacySerialSequence) {
+  // The historical serial batch loop drew one sim::Rng::next() per trial
+  // from a seeder constructed on the root seed. The parallel runner must
+  // reproduce that exact sequence or old results become unreproducible.
+  const std::uint64_t root = 42;
+  const auto seeds = derive_trial_seeds(root, 8);
+  ASSERT_EQ(seeds.size(), 8u);
+  sim::Rng seeder(root);
+  for (const std::uint64_t s : seeds) EXPECT_EQ(s, seeder.next());
+  // Distinct per trial.
+  for (std::size_t i = 1; i < seeds.size(); ++i)
+    EXPECT_NE(seeds[i], seeds[0]);
+}
+
+TEST(Runner, ResolveJobs) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+  EXPECT_GE(resolve_jobs(0), 1);   // hardware concurrency, at least one
+  EXPECT_GE(resolve_jobs(-3), 1);
+}
+
+// --- TrialRunner mechanics ---
+
+TEST(Runner, MapReturnsResultsInSubmissionOrder) {
+  TrialRunner runner(4);
+  EXPECT_EQ(runner.jobs(), 4);
+  const auto out = runner.map(33, [](int i) { return i * i; });
+  ASSERT_EQ(out.size(), 33u);
+  for (int i = 0; i < 33; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  EXPECT_EQ(runner.stats().trials, 33);
+  EXPECT_EQ(runner.stats().jobs, 4);
+  EXPECT_GE(runner.stats().wall_ms, 0.0);
+}
+
+TEST(Runner, MapRunsEveryIndexExactlyOnce) {
+  TrialRunner runner(8);
+  std::vector<std::atomic<int>> hits(64);
+  runner.map(64, [&](int i) {
+    hits[static_cast<std::size_t>(i)].fetch_add(1);
+    return 0;
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runner, MapHandlesEmptyAndSerialFallback) {
+  TrialRunner runner(1);
+  EXPECT_TRUE(runner.map(0, [](int) { return 1; }).empty());
+  const auto out = runner.map(3, [](int i) { return i + 1; });
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Runner, MapRethrowsFirstTrialException) {
+  TrialRunner runner(4);
+  EXPECT_THROW(runner.map(16,
+                          [](int i) -> int {
+                            if (i == 5) throw std::runtime_error("trial 5");
+                            return i;
+                          }),
+               std::runtime_error);
+}
+
+TEST(Runner, StatsReportThroughput) {
+  RunnerStats s;
+  s.trials = 10;
+  s.wall_ms = 500.0;
+  EXPECT_DOUBLE_EQ(s.trials_per_sec(), 20.0);
+  s.wall_ms = 0.0;
+  EXPECT_DOUBLE_EQ(s.trials_per_sec(), 0.0);
+}
+
+// --- determinism across worker counts (the tentpole guarantee) ---
+
+TEST(Runner, ProductionBatchBitIdenticalAcrossJobCounts) {
+  const ProductionConfig cfg = small_cfg();
+  const auto serial = run_production_batch(cfg, 5, 1);
+  const auto parallel = run_production_batch(cfg, 5, 4);
+  ASSERT_EQ(serial.size(), 5u);
+  ASSERT_EQ(parallel.size(), 5u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].ok) << "sample " << i << ": " << serial[i].fail_reason;
+    ASSERT_TRUE(parallel[i].ok);
+    // Bit-identical simulation outcomes, not approximately equal.
+    EXPECT_EQ(serial[i].runtime_ms, parallel[i].runtime_ms) << "sample " << i;
+    EXPECT_EQ(serial[i].global.rank3.flits, parallel[i].global.rank3.flits);
+    EXPECT_EQ(serial[i].global.rank1.stall_ns, parallel[i].global.rank1.stall_ns);
+    EXPECT_EQ(serial[i].netstats.packets_injected,
+              parallel[i].netstats.packets_injected);
+    EXPECT_EQ(serial[i].events_executed, parallel[i].events_executed);
+  }
+}
+
+TEST(Runner, ProductionBatchMatchesLegacySerialLoop) {
+  // The pre-runner implementation: seed a sim::Rng on cfg.seed and run each
+  // sample with seeder.next(). The ensemble must reproduce it exactly.
+  const ProductionConfig cfg = small_cfg();
+  sim::Rng seeder(cfg.seed);
+  std::vector<RunResult> legacy;
+  for (int i = 0; i < 3; ++i) {
+    ProductionConfig c = cfg;
+    c.seed = seeder.next();
+    legacy.push_back(run_production(c));
+  }
+  const auto batch = run_production_ensemble(cfg, 3, BatchOptions{2});
+  ASSERT_EQ(batch.results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(legacy[i].ok && batch.results[i].ok);
+    EXPECT_EQ(legacy[i].runtime_ms, batch.results[i].runtime_ms);
+    EXPECT_EQ(legacy[i].netstats.packets_injected,
+              batch.results[i].netstats.packets_injected);
+  }
+}
+
+TEST(Runner, ControlledEnsembleBitIdenticalAcrossJobCounts) {
+  EnsembleConfig cfg;
+  cfg.system = topo::Config::mini(4);
+  cfg.app = "MILC";
+  cfg.njobs = 3;
+  cfg.nnodes = 16;
+  cfg.params.iterations = 2;
+  cfg.params.msg_scale = 0.1;
+  cfg.params.compute_scale = 0.1;
+  cfg.ldms_period = 20 * sim::kMicrosecond;
+  cfg.seed = 9;
+  const auto serial = run_controlled_ensemble(cfg, 3, BatchOptions{1});
+  const auto parallel = run_controlled_ensemble(cfg, 3, BatchOptions{3});
+  ASSERT_EQ(serial.results.size(), 3u);
+  ASSERT_EQ(parallel.results.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& a = serial.results[i];
+    const auto& b = parallel.results[i];
+    ASSERT_TRUE(a.ok) << a.fail_reason;
+    ASSERT_TRUE(b.ok);
+    EXPECT_EQ(a.runtimes_ms, b.runtimes_ms);
+    EXPECT_EQ(a.total.rank3.flits, b.total.rank3.flits);
+    EXPECT_EQ(a.total.proc_req.stall_ns, b.total.proc_req.stall_ns);
+    EXPECT_EQ(a.events_executed, b.events_executed);
+  }
+  EXPECT_EQ(serial.failures(), 0);
+  EXPECT_EQ(parallel.failures(), 0);
+}
+
+// --- failed-trial reporting (the silently-dropped-samples bugfix) ---
+
+TEST(Runner, TinyEventBudgetSurfacesAsFailedTrials) {
+  ProductionConfig cfg = small_cfg();
+  cfg.event_budget = 1000;  // far too small to finish any run
+  const auto batch = run_production_ensemble(cfg, 4, BatchOptions{2});
+  ASSERT_EQ(batch.results.size(), 4u);
+  ASSERT_EQ(batch.trials.size(), 4u);
+  EXPECT_EQ(batch.failures(), 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    const auto& r = batch.results[i];
+    const auto& t = batch.trials[i];
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.budget_exhausted);
+    EXPECT_NE(r.fail_reason.find("event budget exhausted"), std::string::npos)
+        << r.fail_reason;
+    EXPECT_EQ(t.index, static_cast<int>(i));
+    EXPECT_FALSE(t.ok);
+    EXPECT_TRUE(t.budget_exhausted);
+    EXPECT_EQ(t.fail_reason, r.fail_reason);
+    EXPECT_EQ(t.events, r.events_executed);
+    EXPECT_GE(t.wall_ms, 0.0);
+  }
+  EXPECT_EQ(batch.stats.trials, 4);
+}
+
+TEST(Runner, BatchKeepsAllocationFailuresInPlace) {
+  ProductionConfig cfg = small_cfg();
+  cfg.nnodes = 100000;  // impossible on the mini system
+  const auto rs = run_production_batch(cfg, 3);
+  ASSERT_EQ(rs.size(), 3u);  // previously failed runs were dropped
+  for (const auto& r : rs) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.fail_reason.find("allocation failed"), std::string::npos)
+        << r.fail_reason;
+  }
+}
+
+TEST(Runner, SuccessfulTrialsReportOkWithEventCounts) {
+  const auto batch = run_production_ensemble(small_cfg(), 2, BatchOptions{2});
+  ASSERT_EQ(batch.trials.size(), 2u);
+  EXPECT_EQ(batch.failures(), 0);
+  for (const auto& t : batch.trials) {
+    EXPECT_TRUE(t.ok);
+    EXPECT_TRUE(t.fail_reason.empty());
+    EXPECT_FALSE(t.budget_exhausted);
+    EXPECT_GT(t.events, 0u);
+  }
+  EXPECT_EQ(batch.stats.jobs, 2);
+  EXPECT_GT(batch.stats.wall_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace dfsim::core
+
+namespace dfsim::net {
+namespace {
+
+// --- per-tile-class flit serialization times (the stall-ratio bugfix) ---
+
+TEST(FlitTimes, PerClassBandwidthsFromConfig) {
+  topo::Config cfg = topo::Config::mini(4);
+  cfg.flit_bytes = 16;
+  cfg.rank1_bw_gbps = 10.5;
+  cfg.rank2_bw_gbps = 10.5;
+  cfg.rank2_parallel = 3;
+  cfg.rank3_bw_gbps = 9.38;
+  cfg.inject_bw_gbps = 10.0;
+  const FlitTimes ft = FlitTimes::from_config(cfg);
+  EXPECT_DOUBLE_EQ(ft.rank1, 16.0 / 10.5);
+  EXPECT_DOUBLE_EQ(ft.rank2, 16.0 / (10.5 * 3));
+  EXPECT_DOUBLE_EQ(ft.rank3, 16.0 / 9.38);
+  EXPECT_DOUBLE_EQ(ft.proc, 16.0 / 10.0);
+  // Optical rank-3 flits serialize slower than rank-1 copper; folded rank-2
+  // ports are the fastest.
+  EXPECT_GT(ft.rank3, ft.rank1);
+  EXPECT_LT(ft.rank2, ft.rank1);
+}
+
+TEST(FlitTimes, NetworkExposesThem) {
+  const topo::Config cfg = topo::Config::mini(2);
+  sim::Engine eng;
+  topo::Dragonfly topo(cfg);
+  Network net(eng, topo, 1);
+  const FlitTimes ft = net.flit_times();
+  EXPECT_DOUBLE_EQ(ft.rank1, net.flit_time_ns());  // rank-1 is the reference
+  EXPECT_DOUBLE_EQ(ft.rank3,
+                   static_cast<double>(cfg.flit_bytes) / cfg.rank3_bw_gbps);
+}
+
+TEST(FlitTimes, StallRatiosUseMatchingClassBandwidth) {
+  // Identical raw counters in every class: the per-class conversion must
+  // yield per-class ratios proportional to 1/flit_time, not a single
+  // rank-1-based value for all classes (the old bug).
+  CounterSnapshot s;
+  s.rank1 = {100, 1000};
+  s.rank2 = {100, 1000};
+  s.rank3 = {100, 1000};
+  s.proc_req = {100, 1000};
+  s.proc_rsp = {100, 1000};
+  const FlitTimes ft{2.0, 0.5, 4.0, 8.0};  // rank1, rank2, rank3, proc
+  const auto r = core::stall_ratios(s, ft);
+  EXPECT_DOUBLE_EQ(r[0], 1000.0 / 4.0 / 100.0);  // Rank3
+  EXPECT_DOUBLE_EQ(r[1], 1000.0 / 0.5 / 100.0);  // Rank2
+  EXPECT_DOUBLE_EQ(r[2], 1000.0 / 2.0 / 100.0);  // Rank1
+  EXPECT_DOUBLE_EQ(r[3], 1000.0 / 8.0 / 100.0);  // Proc_req
+  EXPECT_DOUBLE_EQ(r[4], 1000.0 / 8.0 / 100.0);  // Proc_rsp
+}
+
+// --- throttle tick must not keep the event queue alive forever ---
+
+TEST(ThrottleDrain, EventQueueDrainsWhenThrottledNetworkGoesIdle) {
+  topo::Config cfg = topo::Config::mini(2);
+  cfg.throttle_enabled = true;
+  cfg.throttle_window = 20 * sim::kMicrosecond;
+  sim::Engine eng;
+  topo::Dragonfly topo(cfg);
+  Network net(eng, topo, 7);
+  int done = 0;
+  for (topo::NodeId src = 1; src < 8; ++src)
+    net.send_message(src, 0, 64 * 1024, routing::Mode::kAd0, [&] { ++done; });
+  // Before the fix the periodic throttle tick rescheduled itself forever,
+  // so run() only returned by exhausting the event budget.
+  eng.set_event_budget(50'000'000ULL);
+  eng.run();
+  EXPECT_FALSE(eng.budget_exhausted());
+  EXPECT_EQ(done, 7);
+  EXPECT_EQ(net.packets_in_flight(), 0);
+}
+
+TEST(ThrottleDrain, TickRestartsForTrafficAfterIdle) {
+  topo::Config cfg = topo::Config::mini(2);
+  cfg.throttle_enabled = true;
+  cfg.throttle_window = 10 * sim::kMicrosecond;
+  cfg.throttle_hi_ratio = 1.0;  // engage easily
+  sim::Engine eng;
+  topo::Dragonfly topo(cfg);
+  Network net(eng, topo, 7);
+  for (topo::NodeId src = 1; src < 16; ++src)
+    net.send_message(src, 0, 256 * 1024, routing::Mode::kAd0, {});
+  eng.set_event_budget(100'000'000ULL);
+  eng.run();  // drains, tick stops
+  ASSERT_FALSE(eng.budget_exhausted());
+  const auto activations = net.stats().throttle_activations;
+  // A second burst after full idle must re-arm the throttle governor.
+  int done = 0;
+  for (topo::NodeId src = 1; src < 16; ++src)
+    net.send_message(src, 0, 256 * 1024, routing::Mode::kAd0, [&] { ++done; });
+  eng.run();
+  EXPECT_FALSE(eng.budget_exhausted());
+  EXPECT_EQ(done, 15);
+  EXPECT_EQ(net.packets_in_flight(), 0);
+  // The governor observed the second burst too (incast on the same sink).
+  EXPECT_GE(net.stats().throttle_activations, activations);
+}
+
+}  // namespace
+}  // namespace dfsim::net
