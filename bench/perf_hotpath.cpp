@@ -1,0 +1,318 @@
+// Hot-path performance harness: measures the discrete-event engine and the
+// full simulation stack, and emits BENCH_hotpath.json so every PR reports a
+// perf trajectory.
+//
+// Three measurements:
+//  * micro  — a self-rescheduling event-chain microbenchmark whose capture
+//    payloads match what net::Network actually schedules (this + a handful
+//    of node/packet/router/port ids). Isolates EventQueue push/pop/invoke.
+//  * sim    — one production trial on the scaled Theta system: end-to-end
+//    engine events/sec and delivered packets/sec.
+//  * allocs — heap allocations per event, via the counting operator new
+//    defined in this translation unit (instruments the whole binary).
+//
+// The JSON carries the pre-rework baseline (recorded on the dev machine at
+// the seed of this PR, commit 6be3374, Release -O2) so the current build's
+// speedup is computed and archived alongside the raw numbers.
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "sim/engine.hpp"
+#include "topo/config.hpp"
+
+// --- counting allocator (whole binary) -------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dfsim {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// --- micro: event-chain scheduling ----------------------------------------
+
+// Each chain event re-schedules itself with the capture shape of
+// Network::try_transmit's arrival closure (one pointer + five 32-bit ids,
+// 28 payload bytes — too big for libstdc++'s 16-byte std::function SBO, so
+// the pre-rework queue heap-allocated every single one).
+struct MicroCtx {
+  sim::Engine eng;
+  std::uint64_t remaining = 0;
+};
+
+void chain_hop(MicroCtx& ctx, std::int32_t r, std::int32_t p, std::int32_t vc,
+               std::int32_t flits, std::int32_t pid) {
+  if (ctx.remaining == 0) return;
+  --ctx.remaining;
+  ctx.eng.schedule(1, [&ctx, r, p, vc, flits, pid] {
+    chain_hop(ctx, r, p, vc, flits, pid);
+  });
+}
+
+struct MicroResult {
+  std::uint64_t events = 0;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  double allocs_per_event = 0.0;
+};
+
+MicroResult run_micro(std::uint64_t events) {
+  constexpr int kChains = 64;  // ~typical number of simultaneously busy ports
+  MicroResult out;
+  MicroCtx ctx;
+  // Warmup lap: populate pools and the heap's capacity.
+  ctx.remaining = events / 8;
+  for (int c = 0; c < kChains; ++c)
+    chain_hop(ctx, c, c + 1, c % 6, 9, 1000 + c);
+  ctx.eng.run();
+  // Measured lap.
+  ctx.remaining = events;
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t e0 = ctx.eng.events_executed();
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < kChains; ++c)
+    chain_hop(ctx, c, c + 1, c % 6, 9, 1000 + c);
+  ctx.eng.run();
+  out.wall_ms = ms_since(t0);
+  out.events = ctx.eng.events_executed() - e0;
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+  out.events_per_sec =
+      out.wall_ms > 0.0 ? 1000.0 * static_cast<double>(out.events) / out.wall_ms
+                        : 0.0;
+  out.allocs_per_event = out.events > 0 ? static_cast<double>(allocs) /
+                                              static_cast<double>(out.events)
+                                        : 0.0;
+  return out;
+}
+
+// --- sim: end-to-end production trial -------------------------------------
+
+struct SimResult {
+  std::uint64_t events = 0;
+  std::int64_t packets = 0;
+  double wall_ms = 0.0;
+  double events_per_sec = 0.0;
+  double packets_per_sec = 0.0;
+  double allocs_per_event = 0.0;
+  double runtime_ms = 0.0;  ///< simulated app runtime (sanity anchor)
+  bool ok = false;
+};
+
+SimResult run_sim(bool quick, std::uint64_t seed) {
+  core::ProductionConfig cfg;
+  cfg.system = topo::Config::theta_scaled();
+  cfg.system.packet_payload_bytes = 4096;  // bench-grade packets (see bench/common.hpp)
+  cfg.system.buffer_flits = 2048;
+  cfg.app = "MILC";
+  cfg.nnodes = quick ? 32 : 128;
+  cfg.params.iterations = quick ? 1 : 2;
+  cfg.params.msg_scale = 0.1;
+  cfg.params.compute_scale = 0.1;
+  cfg.params.seed = seed;
+  cfg.bg_utilization = quick ? 0.1 : 0.3;
+  cfg.seed = seed;
+
+  SimResult out;
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const auto t0 = std::chrono::steady_clock::now();
+  const core::RunResult r = core::run_production(cfg);
+  out.wall_ms = ms_since(t0);
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+  out.ok = r.ok;
+  if (!r.ok) {
+    std::fprintf(stderr, "perf_hotpath: sim trial failed: %s\n",
+                 r.fail_reason.c_str());
+    return out;
+  }
+  out.events = r.events_executed;
+  out.packets = r.netstats.packets_delivered;
+  out.runtime_ms = r.runtime_ms;
+  out.events_per_sec =
+      out.wall_ms > 0.0 ? 1000.0 * static_cast<double>(out.events) / out.wall_ms
+                        : 0.0;
+  out.packets_per_sec = out.wall_ms > 0.0
+                            ? 1000.0 * static_cast<double>(out.packets) /
+                                  out.wall_ms
+                            : 0.0;
+  out.allocs_per_event = out.events > 0 ? static_cast<double>(allocs) /
+                                              static_cast<double>(out.events)
+                                        : 0.0;
+  return out;
+}
+
+// --- baseline (pre-rework seed, commit 6be3374, Release -O2, dev machine) --
+
+struct Baseline {
+  double micro_events_per_sec;
+  double micro_allocs_per_event;
+  double sim_events_per_sec;
+  double sim_packets_per_sec;
+  double sim_allocs_per_event;
+};
+
+// Recorded by running this same harness against the seed tree before the
+// event-pool / routing-cache rework (std::function event queue, per-packet
+// topo lookups). Used to compute the archived speedup factors below.
+constexpr Baseline kBaseline{
+    11.3e6,  // micro events/sec
+    1.0,     // micro allocs/event (one heap closure per event)
+    2.8e6,   // sim events/sec
+    0.25e6,  // sim packets/sec
+    1.087,   // sim allocs/event
+};
+
+}  // namespace
+}  // namespace dfsim
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  bool quick = false;
+  std::uint64_t micro_events = 20'000'000;
+  std::uint64_t seed = 2021;
+  std::string out_path = "BENCH_hotpath.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--quick") {
+      quick = true;
+      micro_events = 2'000'000;
+    } else if (a.rfind("--micro-events=", 0) == 0) {
+      micro_events = std::strtoull(a.c_str() + 15, nullptr, 10);
+    } else if (a.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(a.c_str() + 7, nullptr, 10);
+    } else if (a.rfind("--out=", 0) == 0) {
+      out_path = a.substr(6);
+    } else if (a == "--help" || a == "-h") {
+      std::printf(
+          "usage: perf_hotpath [--quick] [--micro-events=N] [--seed=S] "
+          "[--out=FILE]\n");
+      return 0;
+    }
+  }
+
+  std::printf("perf_hotpath: event hot-path benchmark (%s)\n",
+              quick ? "quick" : "standard");
+
+  const MicroResult micro = run_micro(micro_events);
+  std::printf(
+      "  micro: %llu events in %.1f ms — %.2f M events/sec, %.3f allocs/event\n",
+      static_cast<unsigned long long>(micro.events), micro.wall_ms,
+      micro.events_per_sec / 1e6, micro.allocs_per_event);
+
+  const SimResult sim = run_sim(quick, seed);
+  if (!sim.ok) return 1;
+  std::printf(
+      "  sim:   %llu events, %lld packets in %.1f ms — %.2f M events/sec, "
+      "%.2f M packets/sec, %.3f allocs/event\n",
+      static_cast<unsigned long long>(sim.events),
+      static_cast<long long>(sim.packets), sim.wall_ms,
+      sim.events_per_sec / 1e6, sim.packets_per_sec / 1e6,
+      sim.allocs_per_event);
+
+  const double micro_speedup =
+      kBaseline.micro_events_per_sec > 0.0
+          ? micro.events_per_sec / kBaseline.micro_events_per_sec
+          : 0.0;
+  const double sim_speedup = kBaseline.sim_events_per_sec > 0.0
+                                 ? sim.events_per_sec /
+                                       kBaseline.sim_events_per_sec
+                                 : 0.0;
+  std::printf("  speedup vs pre-rework baseline: micro %.2fx, sim %.2fx\n",
+              micro_speedup, sim_speedup);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "perf_hotpath: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"perf_hotpath\",\n"
+               "  \"mode\": \"%s\",\n"
+               "  \"seed\": %llu,\n"
+               "  \"micro\": {\n"
+               "    \"events\": %llu,\n"
+               "    \"wall_ms\": %.3f,\n"
+               "    \"events_per_sec\": %.1f,\n"
+               "    \"allocs_per_event\": %.4f\n"
+               "  },\n"
+               "  \"sim\": {\n"
+               "    \"events\": %llu,\n"
+               "    \"packets\": %lld,\n"
+               "    \"wall_ms\": %.3f,\n"
+               "    \"events_per_sec\": %.1f,\n"
+               "    \"packets_per_sec\": %.1f,\n"
+               "    \"allocs_per_event\": %.4f,\n"
+               "    \"sim_runtime_ms\": %.6f\n"
+               "  },\n"
+               "  \"baseline\": {\n"
+               "    \"recorded\": \"pre-rework seed (std::function event queue, "
+               "per-packet topo lookups), Release -O2\",\n"
+               "    \"micro_events_per_sec\": %.1f,\n"
+               "    \"micro_allocs_per_event\": %.4f,\n"
+               "    \"sim_events_per_sec\": %.1f,\n"
+               "    \"sim_packets_per_sec\": %.1f,\n"
+               "    \"sim_allocs_per_event\": %.4f\n"
+               "  },\n"
+               "  \"speedup\": {\n"
+               "    \"micro_events_per_sec\": %.3f,\n"
+               "    \"sim_events_per_sec\": %.3f\n"
+               "  }\n"
+               "}\n",
+               quick ? "quick" : "standard",
+               static_cast<unsigned long long>(seed),
+               static_cast<unsigned long long>(micro.events), micro.wall_ms,
+               micro.events_per_sec, micro.allocs_per_event,
+               static_cast<unsigned long long>(sim.events),
+               static_cast<long long>(sim.packets), sim.wall_ms,
+               sim.events_per_sec, sim.packets_per_sec, sim.allocs_per_event,
+               sim.runtime_ms, kBaseline.micro_events_per_sec,
+               kBaseline.micro_allocs_per_event, kBaseline.sim_events_per_sec,
+               kBaseline.sim_packets_per_sec, kBaseline.sim_allocs_per_event,
+               micro_speedup, sim_speedup);
+  std::fclose(f);
+  std::printf("  wrote %s\n", out_path.c_str());
+  return 0;
+}

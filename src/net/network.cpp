@@ -545,9 +545,4 @@ CounterSnapshot Network::snapshot_routers(
   return s;
 }
 
-double Network::flit_time_ns() const {
-  return static_cast<double>(topo_.config().flit_bytes) /
-         topo_.config().rank1_bw_gbps;
-}
-
 }  // namespace dfsim::net

@@ -132,11 +132,6 @@ class Network final : public routing::LoadOracle {
   [[nodiscard]] CounterSnapshot snapshot_routers(
       std::span<const topo::RouterId> routers) const;
 
-  /// Flit serialization time at the reference (rank-1) bandwidth. Only a
-  /// reference value: stall-to-flit conversions should use the per-class
-  /// times from flit_times().
-  [[nodiscard]] double flit_time_ns() const;
-
   /// Per-tile-class flit serialization times for this network's links.
   [[nodiscard]] FlitTimes flit_times() const {
     return FlitTimes::from_config(topo_.config());

@@ -1,22 +1,75 @@
 #include "routing/adaptive.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <limits>
 #include <utility>
 
 namespace dfsim::routing {
 
-topo::PortId RoutePlanner::local_first_port(topo::RouterId r,
-                                            topo::RouterId t) const {
-  // Row-first (rank-1 then rank-2) dimension order. Deterministic order
-  // keeps the within-level channel dependency graph acyclic, which the VC
-  // ladder's deadlock-freedom argument relies on.
-  const topo::PortId direct = topo_.local_port_to(r, t);
-  if (direct >= 0) return direct;
-  const topo::GroupId g = topo_.group_of_router(r);
-  const topo::RouterId via_r1 =
-      topo_.router_at(g, topo_.chassis_of(r), topo_.slot_of(t));
-  return topo_.local_port_to(r, via_r1);
+RoutePlanner::RoutePlanner(const topo::Dragonfly& topo, const LoadOracle& loads,
+                           sim::Rng rng)
+    : topo_(topo), loads_(loads), rng_(std::move(rng)) {
+  build_tables();
+}
+
+void RoutePlanner::build_tables() {
+  const topo::Config& cfg = topo_.config();
+  rpg_ = cfg.routers_per_group();
+  groups_ = cfg.groups;
+  const int nr = groups_ * rpg_;
+
+  group_of_.resize(static_cast<std::size_t>(nr));
+  eject_base_.resize(static_cast<std::size_t>(nr));
+  for (topo::RouterId r = 0; r < nr; ++r) {
+    group_of_[static_cast<std::size_t>(r)] = topo_.group_of_router(r);
+    eject_base_[static_cast<std::size_t>(r)] =
+        static_cast<topo::PortId>(topo_.proc_port_base(r));
+  }
+
+  // First-hop port toward every router of the same group: row-first (rank-1
+  // then rank-2) dimension order. Deterministic order keeps the within-level
+  // channel dependency graph acyclic, which the VC ladder's deadlock-freedom
+  // argument relies on. -1 on the diagonal (t == r).
+  local_first_.resize(static_cast<std::size_t>(nr) *
+                      static_cast<std::size_t>(rpg_));
+  for (topo::RouterId r = 0; r < nr; ++r) {
+    const topo::GroupId g = group_of_[static_cast<std::size_t>(r)];
+    const topo::RouterId base = static_cast<topo::RouterId>(g * rpg_);
+    for (int s = 0; s < rpg_; ++s) {
+      const topo::RouterId t = base + s;
+      topo::PortId p = topo_.local_port_to(r, t);
+      if (p < 0 && t != r) {
+        const topo::RouterId via_r1 =
+            topo_.router_at(g, topo_.chassis_of(r), topo_.slot_of(t));
+        p = topo_.local_port_to(r, via_r1);
+      }
+      local_first_[static_cast<std::size_t>(r) * static_cast<std::size_t>(rpg_) +
+                   static_cast<std::size_t>(s)] = p;
+    }
+  }
+
+  // CSR copies of the topology's per-(router, target group) rank-3 port
+  // lists and per-(group, target group) gateway lists, in the topology's
+  // iteration order (gateway sampling order must not change).
+  gp_off_.assign(static_cast<std::size_t>(nr) * groups_ + 1, 0);
+  for (topo::RouterId r = 0; r < nr; ++r) {
+    for (topo::GroupId tg = 0; tg < groups_; ++tg) {
+      const auto ports = topo_.global_ports_to(r, tg);
+      gp_ports_.insert(gp_ports_.end(), ports.begin(), ports.end());
+      gp_off_[static_cast<std::size_t>(r) * groups_ + tg + 1] =
+          static_cast<std::uint32_t>(gp_ports_.size());
+    }
+  }
+  gw_off_.assign(static_cast<std::size_t>(groups_) * groups_ + 1, 0);
+  for (topo::GroupId g = 0; g < groups_; ++g) {
+    for (topo::GroupId tg = 0; tg < groups_; ++tg) {
+      const auto gws = topo_.gateways(g, tg);
+      gw_list_.insert(gw_list_.end(), gws.begin(), gws.end());
+      gw_off_[static_cast<std::size_t>(g) * groups_ + tg + 1] =
+          static_cast<std::uint32_t>(gw_list_.size());
+    }
+  }
 }
 
 std::int64_t RoutePlanner::local_first_load(topo::RouterId r,
@@ -26,7 +79,7 @@ std::int64_t RoutePlanner::local_first_load(topo::RouterId r,
 
 topo::PortId RoutePlanner::best_global_port(topo::RouterId r,
                                             topo::GroupId tg) const {
-  const auto ports = topo_.global_ports_to(r, tg);
+  const auto ports = global_ports(r, tg);
   topo::PortId best = ports.front();
   std::int64_t best_load = loads_.load_units(r, best);
   for (std::size_t i = 1; i < ports.size(); ++i) {
@@ -41,13 +94,13 @@ topo::PortId RoutePlanner::best_global_port(topo::RouterId r,
 
 topo::RouterId RoutePlanner::pick_gateway(topo::RouterId r, topo::GroupId tg,
                                           std::int64_t* score_out) {
-  const topo::GroupId g = topo_.group_of_router(r);
-  const auto gws = topo_.gateways(g, tg);
+  const topo::GroupId g = group_of(r);
+  const auto gws = gateways(g, tg);
   // If this router owns a cable, it is always a candidate (score = its best
   // global port load; no local hop needed).
   topo::RouterId best_router = -1;
   std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
-  if (!topo_.global_ports_to(r, tg).empty()) {
+  if (!global_ports(r, tg).empty()) {
     best_router = r;
     best_score = loads_.load_units(r, best_global_port(r, tg));
   }
@@ -84,17 +137,16 @@ void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
   const BiasParams params = params_for(state.mode);
   const topo::RouterId dst_router = topo_.router_of_node(dst);
   if (src_router == dst_router) return;  // NIC-to-NIC on one router: minimal
-  const topo::GroupId gs = topo_.group_of_router(src_router);
-  const topo::GroupId gd = topo_.group_of_router(dst_router);
+  const topo::GroupId gs = group_of(src_router);
+  const topo::GroupId gd = group_of(dst_router);
 
   if (gs == gd) {
     // Intra-group: non-minimal = Valiant via a random intermediate router.
     const std::int64_t load_min = local_first_load(src_router, dst_router);
-    const int rpg = topo_.config().routers_per_group();
     topo::RouterId via = -1;
     for (int attempt = 0; attempt < 4 && via < 0; ++attempt) {
       const auto cand = static_cast<topo::RouterId>(
-          gs * rpg + static_cast<int>(rng_.uniform_u64(rpg)));
+          gs * rpg_ + static_cast<int>(rng_.uniform_u64(rpg_)));
       if (cand != src_router && cand != dst_router) via = cand;
     }
     if (via < 0) return;  // tiny group, no intermediate available
@@ -113,7 +165,7 @@ void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
   std::int64_t load_nonmin = std::numeric_limits<std::int64_t>::max();
   for (int i = 0; i < kViaGroupSample; ++i) {
     const auto cand = static_cast<topo::GroupId>(
-        rng_.uniform_u64(static_cast<std::uint64_t>(topo_.config().groups)));
+        rng_.uniform_u64(static_cast<std::uint64_t>(groups_)));
     if (cand == gs || cand == gd) continue;
     std::int64_t score = 0;
     (void)pick_gateway(src_router, cand, &score);
@@ -147,10 +199,11 @@ topo::PortId RoutePlanner::next_port(topo::RouterId r, topo::NodeId dst,
   }
   if (r == dst_router) {
     state.gateway = -1;
-    return topo_.eject_port(r, dst);
+    return eject_base_[static_cast<std::size_t>(r)] +
+           static_cast<topo::PortId>(topo_.node_slot(dst));
   }
-  const topo::GroupId g = topo_.group_of_router(r);
-  const topo::GroupId gd = topo_.group_of_router(dst_router);
+  const topo::GroupId g = group_of(r);
+  const topo::GroupId gd = group_of(dst_router);
   // Inter-group Valiant: first reach the intermediate group.
   topo::GroupId target_group = gd;
   if (state.nonminimal && state.via_group >= 0 && !state.via_done) {
@@ -161,20 +214,19 @@ topo::PortId RoutePlanner::next_port(topo::RouterId r, topo::NodeId dst,
     }
   }
 
-  if (g == target_group || (g == gd && (state.via_done || !state.nonminimal))) {
-    if (g == gd) return local_first_port(r, dst_router);
-  }
-  if (g == target_group && g != gd) {
-    // We are inside the via group but have not recognized it yet: cannot
-    // happen (via_done was set above). Defensive: head to dst group.
-    target_group = gd;
-  }
+  // Local leg: in the destination group and not detouring elsewhere.
+  if (g == gd && target_group == gd) return local_first_port(r, dst_router);
+  // A packet may pass *through* its destination group while still heading to
+  // a Valiant intermediate group (the target_group != gd case above), but it
+  // can never already be *in* the intermediate group here: via_done is set
+  // the moment it arrives.
+  assert(g != target_group);
 
   // Need a global hop toward target_group.
-  if (state.gateway >= 0 && topo_.group_of_router(state.gateway) != g)
+  if (state.gateway >= 0 && group_of(state.gateway) != g)
     state.gateway = -1;  // stale: left the group where it was chosen
   if (state.gateway < 0) {
-    if (!topo_.global_ports_to(r, target_group).empty()) {
+    if (!global_ports(r, target_group).empty()) {
       state.gateway = r;
     } else {
       state.gateway = pick_gateway(r, target_group, nullptr);

@@ -9,9 +9,18 @@
 // rank-1-first or rank-2-first by load. Gateway selection toward a target
 // group samples a handful of gateways and is sticky per group visit so the
 // packet always makes forward progress.
+//
+// Hot-path lookups are precomputed once from the topology at construction:
+// the first-hop port toward every router of the same group, CSR tables of
+// the rank-3 ports per (router, target group) and of the gateways per
+// (group, target group), and per-router group/ejection bases. Per-packet
+// decisions are table lookups plus load reads — no topology traversal.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
+#include <span>
+#include <vector>
 
 #include "routing/bias.hpp"
 #include "sim/rng.hpp"
@@ -51,8 +60,7 @@ struct RouteState {
 class RoutePlanner {
  public:
   RoutePlanner(const topo::Dragonfly& topo, const LoadOracle& loads,
-               sim::Rng rng)
-      : topo_(topo), loads_(loads), rng_(std::move(rng)) {}
+               sim::Rng rng);
 
   /// Number of gateway / via-group candidates sampled per decision.
   static constexpr int kGatewaySample = 3;
@@ -75,9 +83,18 @@ class RoutePlanner {
   /// `r` toward group `tg` (first-hop load + global-port load).
   [[nodiscard]] std::int64_t gateway_score(topo::RouterId r, topo::GroupId tg);
 
+  /// First-hop port from `r` toward local router `t` (adaptive 2-hop choice;
+  /// cached table lookup). Exposed for tests. Precondition: same group.
+  [[nodiscard]] topo::PortId local_first_port(topo::RouterId r,
+                                              topo::RouterId t) const {
+    assert(group_of_[static_cast<std::size_t>(r)] ==
+           group_of_[static_cast<std::size_t>(t)]);
+    return local_first_[static_cast<std::size_t>(r) *
+                            static_cast<std::size_t>(rpg_) +
+                        static_cast<std::size_t>(t % rpg_)];
+  }
+
  private:
-  /// First-hop port from `r` toward local router `t` (adaptive 2-hop choice).
-  [[nodiscard]] topo::PortId local_first_port(topo::RouterId r, topo::RouterId t) const;
   /// Load of the first hop from `r` toward local router `t`.
   [[nodiscard]] std::int64_t local_first_load(topo::RouterId r, topo::RouterId t) const;
   /// Pick a gateway router in group(r) toward `tg`, minimizing
@@ -87,9 +104,43 @@ class RoutePlanner {
   /// Least-loaded rank-3 port on `r` toward `tg` (must exist).
   [[nodiscard]] topo::PortId best_global_port(topo::RouterId r, topo::GroupId tg) const;
 
+  /// Cached group of a router (avoids a per-call integer division).
+  [[nodiscard]] topo::GroupId group_of(topo::RouterId r) const {
+    return group_of_[static_cast<std::size_t>(r)];
+  }
+  /// Cached rank-3 ports on `r` toward `tg` (CSR slice of the topo table).
+  [[nodiscard]] std::span<const topo::PortId> global_ports(
+      topo::RouterId r, topo::GroupId tg) const {
+    const auto i = static_cast<std::size_t>(r) *
+                       static_cast<std::size_t>(groups_) +
+                   static_cast<std::size_t>(tg);
+    return {gp_ports_.data() + gp_off_[i], gp_off_[i + 1] - gp_off_[i]};
+  }
+  /// Cached gateways of group `g` toward `tg` (CSR slice).
+  [[nodiscard]] std::span<const topo::Dragonfly::Gateway> gateways(
+      topo::GroupId g, topo::GroupId tg) const {
+    const auto i = static_cast<std::size_t>(g) *
+                       static_cast<std::size_t>(groups_) +
+                   static_cast<std::size_t>(tg);
+    return {gw_list_.data() + gw_off_[i], gw_off_[i + 1] - gw_off_[i]};
+  }
+
+  void build_tables();
+
   const topo::Dragonfly& topo_;
   const LoadOracle& loads_;
   sim::Rng rng_;
+
+  // --- lookup tables, built once from topo_ ---
+  int rpg_ = 0;     ///< routers per group
+  int groups_ = 0;  ///< group count
+  std::vector<topo::GroupId> group_of_;     ///< [router]
+  std::vector<topo::PortId> eject_base_;    ///< [router] first processor port
+  std::vector<topo::PortId> local_first_;   ///< [router][slot-in-group]
+  std::vector<std::uint32_t> gp_off_;       ///< CSR offsets into gp_ports_
+  std::vector<topo::PortId> gp_ports_;      ///< rank-3 ports, (r, tg)-major
+  std::vector<std::uint32_t> gw_off_;       ///< CSR offsets into gw_list_
+  std::vector<topo::Dragonfly::Gateway> gw_list_;  ///< gateways, (g, tg)-major
 };
 
 }  // namespace dfsim::routing

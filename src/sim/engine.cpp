@@ -1,20 +1,12 @@
 #include "sim/engine.hpp"
 
-#include <stdexcept>
-
 namespace dfsim::sim {
-
-void Engine::schedule_at(Tick t, Callback fn) {
-  if (t < now_) throw std::invalid_argument("Engine::schedule_at: time in the past");
-  queue_.push(t, std::move(fn));
-}
 
 std::uint64_t Engine::run() {
   std::uint64_t n = 0;
   while (!queue_.empty() && !stopped_ && executed_ < budget_) {
     now_ = queue_.next_time();
-    auto fn = queue_.pop_and_take();
-    fn();
+    queue_.pop_and_run();
     ++executed_;
     ++n;
   }
@@ -26,8 +18,7 @@ std::uint64_t Engine::run_until(Tick t) {
   while (!queue_.empty() && !stopped_ && executed_ < budget_ &&
          queue_.next_time() <= t) {
     now_ = queue_.next_time();
-    auto fn = queue_.pop_and_take();
-    fn();
+    queue_.pop_and_run();
     ++executed_;
     ++n;
   }

@@ -4,6 +4,11 @@
 // one Engine; time only advances between events. The engine never invents
 // wall-clock entropy: runs are exactly reproducible from the model's seeds.
 //
+// schedule()/schedule_at() accept any callable; small closures (everything
+// the simulator's hot paths produce) are stored inline in recycled
+// EventQueue pool slots, so steady-state scheduling performs no heap
+// allocation — see sim/event_queue.hpp for the slot design.
+//
 // Thread confinement: an Engine (and the simulation stack built on it) is
 // self-contained — all state lives in the instance, none of it is shared or
 // global — so *distinct* Engine instances may run concurrently on different
@@ -14,8 +19,9 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
+#include <stdexcept>
+#include <utility>
 
 #include "sim/event_queue.hpp"
 #include "sim/time.hpp"
@@ -34,10 +40,18 @@ class Engine {
   [[nodiscard]] Tick now() const { return now_; }
 
   /// Schedule at absolute time `t` (must be >= now()).
-  void schedule_at(Tick t, Callback fn);
+  template <class F>
+  void schedule_at(Tick t, F&& fn) {
+    if (t < now_)
+      throw std::invalid_argument("Engine::schedule_at: time in the past");
+    queue_.push(t, std::forward<F>(fn));
+  }
 
   /// Schedule `delay` ns from now (delay >= 0).
-  void schedule(Tick delay, Callback fn) { schedule_at(now_ + delay, std::move(fn)); }
+  template <class F>
+  void schedule(Tick delay, F&& fn) {
+    schedule_at(now_ + delay, std::forward<F>(fn));
+  }
 
   /// Run until the queue drains, stop() is called, or the event budget is
   /// exhausted. Returns the number of events executed in this call.

@@ -1,24 +1,118 @@
 #include "sim/event_queue.hpp"
-
 #include <algorithm>
 
 namespace dfsim::sim {
 
-void EventQueue::push(Tick t, Callback fn) {
-  heap_.push_back(Entry{t, next_seq_++, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
+std::uint32_t EventQueue::acquire_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t idx = free_.back();
+    free_.pop_back();
+    return idx;
+  }
+  const auto idx =
+      static_cast<std::uint32_t>(chunks_.size() * kChunkSlots);
+  chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+  // Hand out the chunk's first slot; queue the rest for later.
+  free_.reserve(free_.size() + kChunkSlots - 1);
+  for (std::size_t k = kChunkSlots - 1; k > 0; --k)
+    free_.push_back(idx + static_cast<std::uint32_t>(k));
+  return idx;
 }
 
-EventQueue::Callback EventQueue::pop_and_take() {
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  Callback fn = std::move(heap_.back().fn);
-  heap_.pop_back();
-  return fn;
+void EventQueue::pop_and_run() {
+  const std::uint32_t idx = heap_.front().slot();
+  // Remove the root before running: the callback may push new events.
+  if (heap_.size() > 1) {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    sift_down_from_root();
+  } else {
+    heap_.pop_back();
+  }
+  Slot& s = slot(idx);
+  const std::uint64_t epoch = epoch_;
+  s.run(s);
+  // If the callback called clear(), the pool was rebuilt under us; this
+  // slot index must not be recycled into the new epoch's free list.
+  if (epoch == epoch_) release_slot(idx);
 }
 
 void EventQueue::clear() {
+  for (const Entry& e : heap_) {
+    Slot& s = slot(e.slot());
+    s.drop(s);
+  }
   heap_.clear();
+  chunks_.clear();
+  free_.clear();
   next_seq_ = 0;
+  ++epoch_;
+}
+
+void EventQueue::renumber_seqs() {
+  // Rank the pending entries by their current key and rewrite the seq half
+  // of each key with its rank: relative (time, key) order — and therefore
+  // the heap invariant — is preserved exactly.
+  std::vector<std::uint32_t> order(heap_.size());
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return heap_[a].key < heap_[b].key;
+  });
+  std::uint32_t rank = 0;
+  for (const std::uint32_t i : order)
+    heap_[i].key = (static_cast<std::uint64_t>(rank++) << 32) |
+                   (heap_[i].key & 0xFFFFFFFFull);
+  next_seq_ = rank;
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (!before(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
+
+void EventQueue::sift_down_from_root() {
+  const std::size_t n = heap_.size();
+  const Entry e = heap_[0];
+  std::size_t i = 0;
+  // Fast path while all four children exist: branchless min-of-4 select
+  // (data-dependent branches here mispredict ~50% and dominate sift cost;
+  // cmov chains do not). The children of one node share a cache line.
+  for (;;) {
+    const std::size_t first = kHeapArity * i + 1;
+    if (first + kHeapArity > n) break;
+    const std::size_t a = first + static_cast<std::size_t>(
+                                      before(heap_[first + 1], heap_[first]));
+    const std::size_t b =
+        first + 2 +
+        static_cast<std::size_t>(before(heap_[first + 3], heap_[first + 2]));
+    const std::size_t best =
+        before(heap_[b], heap_[a]) ? b : a;
+    if (!before(heap_[best], e)) {
+      heap_[i] = e;
+      return;
+    }
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  // Tail: node with a partial set of children.
+  const std::size_t first = kHeapArity * i + 1;
+  if (first < n) {
+    std::size_t best = first;
+    const std::size_t last = std::min(first + kHeapArity, n);
+    for (std::size_t c = first + 1; c < last; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (before(heap_[best], e)) {
+      heap_[i] = heap_[best];
+      i = best;
+    }
+  }
+  heap_[i] = e;
 }
 
 }  // namespace dfsim::sim

@@ -2,10 +2,25 @@
 //
 // Events fire in (time, insertion-sequence) order so simultaneous events are
 // processed deterministically in schedule order.
+//
+// Hot-path design: the queue is allocation-free in steady state. Callback
+// payloads live in fixed-size pool slots (kInlineBytes of inline storage —
+// enough for everything net::Network schedules: a `this` pointer plus a
+// handful of node/packet/router/port ids, or a whole std::function) that are
+// recycled through a free list; closures larger than a slot fall back to one
+// heap allocation each (rare — nothing in the simulator needs it). Pool
+// chunks have stable addresses, so a running callback may safely push new
+// events (growing the pool) while it executes from its own slot. The 4-ary
+// heap itself orders lightweight packed {time, seq|slot} entries, so heapify
+// moves 16-byte records instead of type-erased closures.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <new>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -15,10 +30,55 @@ namespace dfsim::sim {
 
 class EventQueue {
  public:
+  /// Legacy callback type; still schedulable (it fits a slot inline).
   using Callback = std::function<void()>;
 
+  /// Inline payload capacity of one pool slot. Covers every closure the
+  /// network/NIC/monitor hot paths schedule (max observed: a pointer plus
+  /// six 32-bit ids = 32 bytes) and a std::function (32 bytes on libstdc++).
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+  ~EventQueue() { clear(); }
+
   /// Schedule `fn` at absolute time `t`.
-  void push(Tick t, Callback fn);
+  template <class F>
+  void push(Tick t, F&& fn) {
+    using Fn = std::decay_t<F>;
+    const std::uint32_t idx = acquire_slot();
+    Slot& s = slot(idx);
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(s.buf)) Fn(std::forward<F>(fn));
+      s.run = [](Slot& sl) {
+        Fn* f = std::launder(reinterpret_cast<Fn*>(sl.buf));
+        // Invoked in place: pool chunks are address-stable, so the callback
+        // may push new events (growing the pool) while it runs. Calling
+        // EventQueue::clear() from inside a callback is not supported.
+        (*f)();
+        f->~Fn();
+      };
+      s.drop = [](Slot& sl) {
+        std::launder(reinterpret_cast<Fn*>(sl.buf))->~Fn();
+      };
+    } else {
+      // Type-erased fallback for rare oversized closures.
+      ::new (static_cast<void*>(s.buf)) Fn*(new Fn(std::forward<F>(fn)));
+      s.run = [](Slot& sl) {
+        Fn* f = *std::launder(reinterpret_cast<Fn**>(sl.buf));
+        (*f)();
+        delete f;
+      };
+      s.drop = [](Slot& sl) {
+        delete *std::launder(reinterpret_cast<Fn**>(sl.buf));
+      };
+    }
+    if (next_seq_ == kMaxSeq) renumber_seqs();
+    heap_.push_back(Entry{t, (static_cast<std::uint64_t>(next_seq_++) << 32) |
+                                 idx});
+    sift_up(heap_.size() - 1);
+  }
 
   [[nodiscard]] bool empty() const { return heap_.empty(); }
   [[nodiscard]] std::size_t size() const { return heap_.size(); }
@@ -26,27 +86,82 @@ class EventQueue {
   /// Time of the earliest pending event. Precondition: !empty().
   [[nodiscard]] Tick next_time() const { return heap_.front().time; }
 
-  /// Remove and return the earliest event's callback.
+  /// Remove the earliest event and run its callback, then recycle the slot.
   /// Precondition: !empty().
-  Callback pop_and_take();
+  void pop_and_run();
 
+  /// Drop all pending events (destroying their payloads) and reset.
   void clear();
 
- private:
-  struct Entry {
-    Tick time;
-    std::uint64_t seq;
-    Callback fn;
-  };
-  // Min-heap ordering: std::push_heap keeps the *largest* at front, so the
-  // comparator inverts (later time / later seq compares "less").
-  static bool later(const Entry& a, const Entry& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
+  /// Pool capacity in slots (allocated high-water mark; for tests/benches).
+  [[nodiscard]] std::size_t pool_slots() const {
+    return chunks_.size() * kChunkSlots;
   }
 
+ private:
+  static constexpr std::size_t kChunkSlots = 256;  // slots per stable chunk
+
+  /// One slot per cache line: 48 payload bytes + two thunk pointers.
+  struct alignas(64) Slot {
+    std::byte buf[kInlineBytes];
+    void (*run)(Slot&) = nullptr;   ///< invoke payload, then destroy it
+    void (*drop)(Slot&) = nullptr;  ///< destroy payload without invoking
+  };
+  static_assert(sizeof(Slot) == 64);
+
+  /// 16 bytes: absolute time + a packed {seq:32 | slot:32} key. Comparing
+  /// keys orders by sequence number (slot bits are tie-break-irrelevant:
+  /// seqs are unique), so (time, key) gives the FIFO-at-equal-time order
+  /// with one 64-bit compare. push() renumbers pending seqs before the
+  /// 32-bit space wraps, so the order survives arbitrarily long runs.
+  struct Entry {
+    Tick time;
+    std::uint64_t key;
+
+    [[nodiscard]] std::uint32_t slot() const {
+      return static_cast<std::uint32_t>(key);
+    }
+  };
+  static_assert(sizeof(Entry) == 16);
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t);
+  }
+
+  static bool before(const Entry& a, const Entry& b) {
+    // Bitwise (not short-circuit) form: compiles to flag ops + cmov instead
+    // of two data-dependent branches.
+    return (a.time < b.time) |
+           (static_cast<int>(a.time == b.time) & static_cast<int>(a.key < b.key));
+  }
+
+  Slot& slot(std::uint32_t idx) {
+    return chunks_[idx / kChunkSlots][idx % kChunkSlots];
+  }
+
+  std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t idx) { free_.push_back(idx); }
+
+  // Hand-rolled d-ary min-heap over heap_. A 4-ary heap halves the depth of
+  // a binary heap, and heap sift cost is dominated by data-dependent branch
+  // mispredictions per level, so fewer levels beat fewer compares; the four
+  // children of a node also share a cache line (4 x 24-byte entries).
+  static constexpr std::size_t kHeapArity = 4;
+  void sift_up(std::size_t i);
+  void sift_down_from_root();
+
+  /// Reassign pending entries' sequence numbers to 0..n-1, preserving their
+  /// relative order (heap invariant untouched). Called once per 2^32 pushes.
+  void renumber_seqs();
+  static constexpr std::uint32_t kMaxSeq = 0xFFFFFFFFu;
+
   std::vector<Entry> heap_;
-  std::uint64_t next_seq_ = 0;
+  std::vector<std::unique_ptr<Slot[]>> chunks_;  ///< stable slot storage
+  std::vector<std::uint32_t> free_;              ///< recycled slot indices
+  std::uint32_t next_seq_ = 0;
+  std::uint64_t epoch_ = 0;  ///< bumped by clear(); guards slot recycling
 };
 
 }  // namespace dfsim::sim

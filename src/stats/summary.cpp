@@ -23,8 +23,10 @@ Summary summarize(std::span<const double> xs) {
     for (const double x : xs) ss += (x - s.mean) * (x - s.mean);
     s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
   }
-  s.median = percentile(xs, 0.5);
-  s.p95 = percentile(xs, 0.95);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  s.median = percentile_sorted(sorted, 0.5);
+  s.p95 = percentile_sorted(sorted, 0.95);
   return s;
 }
 
@@ -32,12 +34,17 @@ double percentile(std::span<const double> xs, double q) {
   if (xs.empty()) return 0.0;
   std::vector<double> v(xs.begin(), xs.end());
   std::sort(v.begin(), v.end());
+  return percentile_sorted(v, q);
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  const double pos = q * static_cast<double>(v.size() - 1);
+  const double pos = q * static_cast<double>(sorted.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return v[lo] * (1.0 - frac) + v[hi] * frac;
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
 }
 
 std::vector<double> zscores(std::span<const double> xs) {

@@ -25,6 +25,10 @@ Summary summarize(std::span<const double> xs);
 /// q in [0,1]; linear interpolation between order statistics.
 double percentile(std::span<const double> xs, double q);
 
+/// Same, for data already sorted ascending — no copy, no re-sort. Use this
+/// when taking several percentiles of one dataset.
+double percentile_sorted(std::span<const double> sorted, double q);
+
 /// Z-score normalization: (x - mean) / stddev (stddev clamped away from 0).
 std::vector<double> zscores(std::span<const double> xs);
 

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <vector>
 
 #include "routing/adaptive.hpp"
 #include "routing/bias.hpp"
@@ -256,6 +257,133 @@ TEST(Planner, IntraGroupValiantUsesViaRouter) {
   pl.decide_injection(r0, dst, st);
   const int hops = walk(d, pl, src, dst, st);
   EXPECT_GE(hops, 1);
+}
+
+TEST(Planner, LocalFirstPortTableMatchesTopology) {
+  // The planner's cached first-hop table must reproduce the row-first
+  // (rank-1 then rank-2) dimension-order choice for every same-group pair.
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  RoutePlanner pl(d, zero, sim::Rng(1));
+  const int rpg = d.config().routers_per_group();
+  for (topo::RouterId r = 0; r < d.config().num_routers(); ++r) {
+    const topo::GroupId g = d.group_of_router(r);
+    for (int s = 0; s < rpg; ++s) {
+      const auto t = static_cast<topo::RouterId>(g * rpg + s);
+      const topo::PortId p = pl.local_first_port(r, t);
+      if (t == r) {
+        EXPECT_EQ(p, -1);
+        continue;
+      }
+      const topo::PortId direct = d.local_port_to(r, t);
+      if (direct >= 0) {
+        EXPECT_EQ(p, direct);
+      } else {
+        EXPECT_EQ(p, d.local_port_to(
+                         r, d.router_at(g, d.chassis_of(r), d.slot_of(t))));
+      }
+    }
+  }
+}
+
+TEST(Planner, IntraGroupValiantStepsThroughIntermediate) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  RoutePlanner pl(d, zero, sim::Rng(41));
+  // src router 0, dst router 3, Valiant intermediate router 5 — group 0.
+  const topo::NodeId src = 0;
+  const auto dst = static_cast<topo::NodeId>(3 * d.config().nodes_per_router);
+  RouteState st;
+  st.nonminimal = true;
+  st.via_router = 5;
+  topo::RouterId r = d.router_of_node(src);
+  bool seen_via = false;
+  int hops = 0;
+  while (true) {
+    const topo::PortId p = pl.next_port(r, dst, st);
+    if (r == 5) {
+      seen_via = true;
+      // via_done flips exactly on arrival at the intermediate, and the VC
+      // ladder level is bumped for the second local leg.
+      EXPECT_TRUE(st.via_done);
+      EXPECT_EQ(st.level, 1);
+    }
+    const auto& pi = d.port(r, p);
+    if (pi.cls == topo::TileClass::kProc) {
+      EXPECT_EQ(pi.eject_node, dst);
+      break;
+    }
+    r = pi.peer_router;
+    ASSERT_LT(++hops, 16) << "routing loop";
+  }
+  EXPECT_TRUE(seen_via);
+  EXPECT_TRUE(st.via_done);
+  EXPECT_EQ(r, d.router_of_node(dst));
+}
+
+TEST(Planner, InterGroupValiantTraversesIntermediateGroup) {
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  RoutePlanner pl(d, zero, sim::Rng(43));
+  const topo::NodeId src = 0;                  // group 0
+  const auto dst = static_cast<topo::NodeId>(  // first node of group 1
+      d.config().nodes_per_group());
+  RouteState st;
+  st.nonminimal = true;
+  st.via_group = 2;
+  topo::RouterId r = d.router_of_node(src);
+  std::vector<topo::GroupId> group_path{d.group_of_router(r)};
+  int hops = 0;
+  while (true) {
+    const topo::PortId p = pl.next_port(r, dst, st);
+    const auto& pi = d.port(r, p);
+    if (pi.cls == topo::TileClass::kProc) {
+      EXPECT_EQ(pi.eject_node, dst);
+      break;
+    }
+    r = pi.peer_router;
+    if (d.group_of_router(r) != group_path.back())
+      group_path.push_back(d.group_of_router(r));
+    ASSERT_LT(++hops, 16) << "routing loop";
+  }
+  EXPECT_TRUE(st.via_done);
+  EXPECT_EQ(group_path, (std::vector<topo::GroupId>{0, 2, 1}));
+}
+
+TEST(Planner, ValiantDetourThroughDestinationGroupKeepsGoing) {
+  // A packet can land in its *destination* group while still heading to its
+  // Valiant intermediate group (e.g. the via-group cable is owned by a
+  // gateway reached through gd). next_port must keep routing it toward the
+  // via group — not eject it or take the local leg early.
+  const topo::Dragonfly d(topo::Config::mini(4));
+  ZeroLoad zero;
+  RoutePlanner pl(d, zero, sim::Rng(47));
+  const auto dst = static_cast<topo::NodeId>(  // router 8, group 1
+      d.config().nodes_per_group());
+  RouteState st;
+  st.nonminimal = true;
+  st.via_group = 2;
+  // Currently at a non-destination router of group 1, detour not yet done.
+  auto r = static_cast<topo::RouterId>(d.config().routers_per_group() + 1);
+  bool seen_via = false;
+  int hops = 0;
+  while (true) {
+    const topo::PortId p = pl.next_port(r, dst, st);
+    const auto& pi = d.port(r, p);
+    if (pi.cls == topo::TileClass::kProc) {
+      EXPECT_EQ(pi.eject_node, dst);
+      break;
+    }
+    r = pi.peer_router;
+    seen_via |= d.group_of_router(r) == 2;
+    if (r == d.router_of_node(dst)) {
+      EXPECT_TRUE(seen_via) << "took the local leg before the via group";
+    }
+    ASSERT_LT(++hops, 16) << "routing loop";
+  }
+  EXPECT_TRUE(seen_via);
+  EXPECT_TRUE(st.via_done);
+  EXPECT_EQ(r, d.router_of_node(dst));
 }
 
 TEST(Planner, GatewayScoreReflectsLoad) {

@@ -2,7 +2,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <cstddef>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -19,10 +23,7 @@ TEST(EventQueue, OrdersByTime) {
   q.push(30, [&] { order.push_back(3); });
   q.push(10, [&] { order.push_back(1); });
   q.push(20, [&] { order.push_back(2); });
-  while (!q.empty()) {
-    auto fn = q.pop_and_take();
-    fn();
-  }
+  while (!q.empty()) q.pop_and_run();
   EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
 }
 
@@ -30,7 +31,7 @@ TEST(EventQueue, StableAtSameTime) {
   EventQueue q;
   std::vector<int> order;
   for (int i = 0; i < 50; ++i) q.push(5, [&order, i] { order.push_back(i); });
-  while (!q.empty()) q.pop_and_take()();
+  while (!q.empty()) q.pop_and_run();
   for (int i = 0; i < 50; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
 }
 
@@ -40,6 +41,64 @@ TEST(EventQueue, ClearResets) {
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ClearDestroysPendingPayloads) {
+  // Payload destructors must run on clear() even though the events never
+  // fire — both for inline-slot payloads and the oversized fallback.
+  auto counted = std::make_shared<int>(7);
+  struct Big {
+    std::shared_ptr<int> p;
+    std::byte pad[EventQueue::kInlineBytes];  // force the heap fallback
+    void operator()() const {}
+  };
+  {
+    EventQueue q;
+    q.push(1, [counted] {});
+    q.push(2, Big{counted, {}});
+    EXPECT_EQ(counted.use_count(), 3);
+    q.clear();
+    EXPECT_EQ(counted.use_count(), 1);
+  }
+}
+
+TEST(EventQueue, OversizedClosuresStillRun) {
+  EventQueue q;
+  std::array<std::int64_t, 16> big{};  // 128 bytes of capture, > kInlineBytes
+  big[15] = 42;
+  std::int64_t got = 0;
+  q.push(1, [big, &got] { got = big[15]; });
+  static_assert(sizeof(big) > EventQueue::kInlineBytes);
+  q.pop_and_run();
+  EXPECT_EQ(got, 42);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PoolSlotsAreRecycled) {
+  // Push/pop far more events than one chunk holds: the pool must reuse
+  // drained slots instead of growing (the allocation-free steady state).
+  EventQueue q;
+  std::uint64_t fired = 0;
+  for (int lap = 0; lap < 100; ++lap) {
+    for (int i = 0; i < 64; ++i) q.push(lap, [&fired] { ++fired; });
+    while (!q.empty()) q.pop_and_run();
+  }
+  EXPECT_EQ(fired, 6400u);
+  EXPECT_LE(q.pool_slots(), 256u);  // one chunk covers 64 in-flight events
+}
+
+TEST(EventQueue, CallbackMayPushWhileRunning) {
+  // A running callback scheduling new events must not invalidate its own
+  // storage, even when the pool grows by whole chunks underneath it.
+  EventQueue q;
+  int fired = 0;
+  q.push(0, [&q, &fired] {
+    for (int i = 0; i < 1000; ++i)  // forces several new chunks
+      q.push(1, [&fired] { ++fired; });
+    ++fired;
+  });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(fired, 1001);
 }
 
 TEST(Engine, AdvancesTimeMonotonically) {

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <span>
 #include <sstream>
+#include <vector>
 
 #include "sim/rng.hpp"
 #include "stats/histogram.hpp"
@@ -41,6 +43,17 @@ TEST(Percentile, InterpolatesOrderStatistics) {
   // Unsorted input handled.
   const std::vector<double> ys{50, 10, 40, 20, 30};
   EXPECT_DOUBLE_EQ(percentile(ys, 0.5), 30.0);
+}
+
+TEST(Percentile, SortedOverloadMatchesAndClamps) {
+  // percentile_sorted must agree bit-for-bit with percentile on presorted
+  // data (summarize relies on this for its sort-once path).
+  const std::vector<double> xs{10, 20, 30, 40, 50};
+  for (const double q : {0.0, 0.25, 0.5, 0.625, 0.95, 1.0})
+    EXPECT_DOUBLE_EQ(percentile_sorted(xs, q), percentile(xs, q));
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, -0.5), 10.0);  // clamped
+  EXPECT_DOUBLE_EQ(percentile_sorted(xs, 2.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_sorted(std::span<const double>{}, 0.5), 0.0);
 }
 
 TEST(Zscores, MeanZeroUnitVariance) {
