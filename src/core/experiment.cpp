@@ -30,6 +30,8 @@ RunResult run_production(const ProductionConfig& cfg) {
   auto& machine = sched.machine();
   auto& engine = machine.engine();
   engine.set_event_budget(cfg.event_budget);
+  machine.network().set_event_profile(cfg.event_profile);
+  machine.network().set_event_coalescing(cfg.coalesce_events);
 
   // Foreground allocation first (so requested placement is honored), then
   // fill with background load.
@@ -48,6 +50,7 @@ RunResult run_production(const ProductionConfig& cfg) {
 
   // Let the background ramp up, then start the app under test.
   machine.run_for(cfg.warmup);
+  if (cfg.on_measurement_start) cfg.on_measurement_start(engine);
   const auto global_base = machine.network().snapshot_all();
   const mpi::JobId id =
       sched.submit_app_on(cfg.app, std::move(nodes), cfg.mode, cfg.params);

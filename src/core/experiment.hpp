@@ -18,6 +18,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,17 @@ struct ProductionConfig {
   sim::Tick warmup = 300 * sim::kMicrosecond;   ///< background ramp-up
   std::uint64_t seed = 1;
   std::uint64_t event_budget = kEventBudget;  ///< per-run engine event cap
+  /// Optional: per-event-kind profile the network fills during the run
+  /// (caller keeps ownership; attaching adds two clock reads per event).
+  net::EventProfile* event_profile = nullptr;
+  /// Forwarding-plane event coalescing (fused per-hop event pairs). On by
+  /// default; a pure perf transform — tests pin that switching it off
+  /// yields byte-identical results.
+  bool coalesce_events = true;
+  /// Optional: fired once right after the warmup window, before the app
+  /// under test is submitted — marks the steady-state boundary (the
+  /// perf harness counts allocations from here).
+  std::function<void(const sim::Engine&)> on_measurement_start;
 };
 
 struct RunResult {

@@ -37,17 +37,16 @@ std::vector<TileCounters> per_tile_counters(const net::Network& net) {
   std::vector<TileCounters> out;
   const auto& topo = net.topology();
   for (topo::RouterId r = 0; r < topo.config().num_routers(); ++r) {
-    const auto& rt = net.router(r);
-    for (topo::PortId p = 0; p < static_cast<topo::PortId>(rt.ports.size());
-         ++p) {
-      const auto& port = rt.ports[static_cast<std::size_t>(p)];
+    const int nports = net.grid().ports_of_router(r);
+    for (topo::PortId p = 0; p < nports; ++p) {
+      const router::PortCounters ctr = net.port_counters(r, p);
       TileCounters t;
       t.router = r;
       t.port = p;
       t.cls = topo.port(r, p).cls;
       for (int vc = 0; vc < net::kNumVcs; ++vc) {
-        t.flits += port.ctr.flits[vc];
-        t.stall_ns += port.ctr.stall_ns[vc];
+        t.flits += ctr.flits[vc];
+        t.stall_ns += ctr.stall_ns[vc];
       }
       out.push_back(t);
     }

@@ -2,13 +2,55 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
 namespace dfsim::net {
 
+using router::PortGrid;
 using sim::Tick;
 using topo::TileClass;
+
+namespace {
+
+/// Counts one event firing and its wall time into an EventProfile (no-op,
+/// and no clock reads, when no profile is attached).
+class ProfScope {
+ public:
+  ProfScope(EventProfile* p, EventKind k) : p_(p), k_(k) {
+    if (p_ != nullptr) t0_ = std::chrono::steady_clock::now();
+  }
+  ProfScope(const ProfScope&) = delete;
+  ProfScope& operator=(const ProfScope&) = delete;
+  ~ProfScope() {
+    if (p_ != nullptr) {
+      ++p_->count[k_];
+      p_->wall_ns[k_] += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             std::chrono::steady_clock::now() - t0_)
+                             .count();
+    }
+  }
+
+ private:
+  EventProfile* p_;
+  EventKind k_;
+  std::chrono::steady_clock::time_point t0_;
+};
+
+}  // namespace
+
+const char* event_kind_name(int kind) {
+  switch (kind) {
+    case kEvInjection: return "injection";
+    case kEvHop: return "hop";
+    case kEvEjection: return "ejection";
+    case kEvThrottle: return "throttle";
+    case kEvEscape: return "escape";
+    case kEvLoopback: return "loopback";
+    default: return "unknown";
+  }
+}
 
 CounterSnapshot& CounterSnapshot::operator-=(const CounterSnapshot& o) {
   auto sub = [](ClassCounters& a, const ClassCounters& b) {
@@ -54,27 +96,50 @@ FlitTimes FlitTimes::from_config(const topo::Config& cfg) {
 Network::Network(sim::Engine& engine, const topo::Dragonfly& topo,
                  std::uint64_t seed)
     : engine_(engine), topo_(topo), planner_(topo, *this, sim::Rng(seed)) {
-  routers_.resize(static_cast<std::size_t>(topo_.config().num_routers()));
-  for (topo::RouterId r = 0; r < topo_.config().num_routers(); ++r)
-    routers_[static_cast<std::size_t>(r)].ports.resize(
-        static_cast<std::size_t>(topo_.num_ports(r)));
-  nics_.resize(static_cast<std::size_t>(topo_.config().num_nodes()));
-  for (topo::NodeId n = 0; n < topo_.config().num_nodes(); ++n)
-    nics_[static_cast<std::size_t>(n)].node = n;
+  grid_.build(topo_);
+  const auto& cfg = topo_.config();
+  capacity_flits_ = cfg.buffer_flits;
+  escape_timeout_ = cfg.escape_timeout;
+  port_hot_.resize(grid_.num_ports());
+  for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
+    for (topo::PortId p = 0; p < topo_.num_ports(r); ++p) {
+      const topo::PortInfo& pi = topo_.port(r, p);
+      PortHot& h = port_hot_[grid_.port_index(r, p)];
+      h.bw_gbps = pi.bw_gbps;
+      h.hop_delta = pi.latency + cfg.router_latency;
+      h.peer_router = pi.peer_router;
+      h.eject_node = pi.eject_node;
+    }
+  }
+  nics_.resize(static_cast<std::size_t>(cfg.num_nodes()));
+  for (topo::NodeId n = 0; n < cfg.num_nodes(); ++n) {
+    Nic& nic = nics_[static_cast<std::size_t>(n)];
+    nic.node = n;
+    nic.router = topo_.router_of_node(n);
+    nic.eject_pt = topo_.eject_port(nic.router, n);
+  }
+  // Hand the planner a direct view of the occupancy tables (they are sized
+  // once by grid_.build and never reallocate, so the pointers stay valid).
+  planner_.set_load_view(routing::LoadView{grid_.occupancy_flits.data(),
+                                           grid_.port_base_data(), kNumVcs,
+                                           capacity_flits_});
   ensure_throttle_tick();
 }
 
 bool Network::network_idle() const {
   if (packets_in_flight() > 0) return false;
   for (const auto& nic : nics_)
-    if (!nic.inject_queue.empty()) return false;
+    if (nic.inject_head >= 0) return false;
   return true;
 }
 
 void Network::ensure_throttle_tick() {
   if (!topo_.config().throttle_enabled || throttle_scheduled_) return;
   throttle_scheduled_ = true;
-  engine_.schedule(topo_.config().throttle_window, [this] { throttle_tick(); });
+  engine_.schedule(topo_.config().throttle_window, [this] {
+    ProfScope ps(profile_, kEvThrottle);
+    throttle_tick();
+  });
 }
 
 void Network::throttle_tick() {
@@ -105,9 +170,9 @@ void Network::throttle_tick() {
 }
 
 PacketId Network::alloc_packet() {
-  if (!free_list_.empty()) {
-    const PacketId id = free_list_.back();
-    free_list_.pop_back();
+  if (pkt_free_head_ >= 0) {
+    const PacketId id = pkt_free_head_;
+    pkt_free_head_ = pool_[static_cast<std::size_t>(id)].next;
     pool_[static_cast<std::size_t>(id)] = Packet{};
     pool_[static_cast<std::size_t>(id)].in_use = true;
     return id;
@@ -118,8 +183,47 @@ PacketId Network::alloc_packet() {
 }
 
 void Network::free_packet(PacketId id) {
-  pkt(id).in_use = false;
-  free_list_.push_back(id);
+  Packet& p = pkt(id);
+  p.in_use = false;
+  p.next = pkt_free_head_;
+  pkt_free_head_ = id;
+}
+
+void Network::fifo_push(PacketId& head, PacketId& tail, PacketId id) {
+  pkt(id).next = -1;
+  if (tail >= 0)
+    pkt(tail).next = id;
+  else
+    head = id;
+  tail = id;
+}
+
+PacketId Network::fifo_pop(PacketId& head, PacketId& tail) {
+  const PacketId id = head;
+  head = pkt(id).next;
+  if (head < 0) tail = -1;
+  pkt(id).next = -1;
+  return id;
+}
+
+std::int32_t Network::alloc_msg() {
+  if (msg_free_head_ >= 0) {
+    const std::int32_t s = msg_free_head_;
+    msg_free_head_ = msg_pool_[static_cast<std::size_t>(s)].next_free;
+    msg_pool_[static_cast<std::size_t>(s)].next_free = -1;
+    return s;
+  }
+  msg_pool_.emplace_back();
+  return static_cast<std::int32_t>(msg_pool_.size() - 1);
+}
+
+void Network::free_msg(std::int32_t slot) {
+  MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];
+  m.on_delivered = DeliveryCallback{};
+  m.remaining_bytes = 0;
+  ++m.gen;  // recycled slot yields fresh MsgIds
+  m.next_free = msg_free_head_;
+  msg_free_head_ = slot;
 }
 
 MsgId Network::send_message(topo::NodeId src, topo::NodeId dst,
@@ -129,19 +233,26 @@ MsgId Network::send_message(topo::NodeId src, topo::NodeId dst,
       dst >= topo_.config().num_nodes())
     throw std::invalid_argument("Network::send_message: bad endpoint");
   if (bytes <= 0) bytes = 1;
-  const MsgId id = next_msg_++;
+  const std::int32_t slot = alloc_msg();
+  MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];
+  m.on_delivered = std::move(on_delivered);
+  const MsgId id =
+      (static_cast<MsgId>(m.gen & 0x7fffffffu) << 32) | static_cast<MsgId>(slot);
   if (src == dst) {
-    // Loopback through host memory: no network traversal.
-    engine_.schedule(2 * topo_.config().nic_latency,
-                     [cb = std::move(on_delivered)] {
-                       if (cb) cb();
-                     });
+    // Loopback through host memory: no network traversal. The slab holds
+    // the callback so the scheduled closure stays pointer-sized.
+    m.remaining_bytes = 0;
+    engine_.schedule(2 * topo_.config().nic_latency, [this, slot] {
+      ProfScope ps(profile_, kEvLoopback);
+      loopback_deliver(slot);
+    });
     return id;
   }
-  msgs_.emplace(id, MsgRec{bytes, std::move(on_delivered)});
+  m.remaining_bytes = bytes;
   ensure_throttle_tick();
   const std::int64_t payload = topo_.config().packet_payload_bytes;
   const int fb = topo_.config().flit_bytes;
+  Nic& nic = nics_[static_cast<std::size_t>(src)];
   for (std::int64_t off = 0; off < bytes; off += payload) {
     const auto chunk = static_cast<std::int32_t>(std::min(payload, bytes - off));
     const PacketId pid = alloc_packet();
@@ -154,46 +265,62 @@ MsgId Network::send_message(topo::NodeId src, topo::NodeId dst,
     p.want_response = topo_.config().generate_responses;
     p.route.mode = mode;
     p.msg = id;
-    nics_[static_cast<std::size_t>(src)].inject_queue.push_back(pid);
+    fifo_push(nic.inject_head, nic.inject_tail, pid);
   }
   nic_try_inject(src);
   return id;
 }
 
+void Network::loopback_deliver(std::int32_t slot) {
+  DeliveryCallback cb =
+      std::move(msg_pool_[static_cast<std::size_t>(slot)].on_delivered);
+  free_msg(slot);
+  if (cb) cb();
+}
+
 std::int64_t Network::load_units(topo::RouterId r, topo::PortId p) const {
-  const auto& port =
-      routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
+  const std::size_t base = PortGrid::vq_index(grid_.port_index(r, p), 0);
   std::int64_t occ = 0;
-  for (const auto& vq : port.vc) occ += vq.occupancy_flits;
-  return occ * routing::kLoadScale / topo_.config().buffer_flits;
+  for (int vc = 0; vc < kNumVcs; ++vc)
+    occ += grid_.occupancy_flits[base + static_cast<std::size_t>(vc)];
+  return occ * routing::kLoadScale / capacity_flits_;
 }
 
-void Network::add_waiter(router::VcQueue& vq, router::WaiterRef w) {
-  for (const auto& x : vq.waiters)
-    if (x.router == w.router && x.port == w.port) return;
-  vq.waiters.push_back(w);
-}
-
-void Network::notify_waiters(router::VcQueue& vq) {
-  if (vq.waiters.empty()) return;
-  std::vector<router::WaiterRef> ws;
-  ws.swap(vq.waiters);
-  for (const auto& w : ws) {
-    if (w.router < 0)
-      nic_try_inject(static_cast<topo::NodeId>(w.port));
+void Network::notify_waiters(std::size_t vq) {
+  std::int32_t w = grid_.detach_waiters(vq);
+  while (w >= 0) {
+    // Copy before freeing: the woken sender may register new waiters,
+    // reusing this very node.
+    const router::WaiterNode node = grid_.waiter(w);
+    grid_.free_waiter(w);
+    if (node.ref.router < 0)
+      nic_try_inject(static_cast<topo::NodeId>(node.ref.port));
     else
-      try_start_port(w.router, w.port);
+      try_start_port(node.ref.router, node.ref.port);
+    w = node.next;
   }
+}
+
+void Network::inject_busy_done(topo::NodeId node) {
+  nics_[static_cast<std::size_t>(node)].tx_busy = false;
+  nic_try_inject(node);
+}
+
+void Network::inject_arrive(PacketId pid, topo::RouterId r0, topo::PortId q0,
+                            int q0_vc) {
+  const std::size_t vq = PortGrid::vq_index(grid_.port_index(r0, q0), q0_vc);
+  fifo_push(grid_.q[vq].head, grid_.q[vq].tail, pid);
+  try_start_port(r0, q0);
 }
 
 void Network::nic_try_inject(topo::NodeId node) {
   Nic& nic = nics_[static_cast<std::size_t>(node)];
-  if (nic.tx_busy || nic.inject_queue.empty()) return;
+  if (nic.tx_busy || nic.inject_head < 0) return;
   const auto& cfg = topo_.config();
   const Tick now = engine_.now();
-  const PacketId pid = nic.inject_queue.front();
+  const PacketId pid = nic.inject_head;
   Packet& p = pkt(pid);
-  const topo::RouterId r0 = topo_.router_of_node(node);
+  const topo::RouterId r0 = nic.router;
 
   // Fresh adaptive decision each attempt (load view may have changed).
   routing::RouteState rs{};
@@ -201,19 +328,19 @@ void Network::nic_try_inject(topo::NodeId node) {
   if (p.vc == kVcRequest) planner_.decide_injection(r0, p.dst, rs);
   const topo::PortId q0 = planner_.next_port(r0, p.dst, rs);
   const int q0_vc = vc_queue_index(p.vc, rs.level);
-  auto& vq = routers_[static_cast<std::size_t>(r0)]
-                 .ports[static_cast<std::size_t>(q0)]
-                 .vc[static_cast<std::size_t>(q0_vc)];
+  const std::size_t vq = PortGrid::vq_index(grid_.port_index(r0, q0), q0_vc);
 
   const bool escape_due =
-      nic.stall_since >= 0 && now - nic.stall_since >= cfg.escape_timeout;
+      nic.stall_since >= 0 && now - nic.stall_since >= escape_timeout_;
   if (!has_space(vq, p.flits)) {
     if (!escape_due) {
       if (nic.stall_since < 0) nic.stall_since = now;
-      add_waiter(vq, router::WaiterRef{-1, static_cast<topo::PortId>(node)});
+      grid_.add_waiter(vq,
+                       router::WaiterRef{-1, static_cast<topo::PortId>(node)});
       if (!nic.escape_scheduled) {
         nic.escape_scheduled = true;
-        engine_.schedule(cfg.escape_timeout, [this, node] {
+        engine_.schedule(escape_timeout_, [this, node] {
+          ProfScope ps(profile_, kEvEscape);
           nics_[static_cast<std::size_t>(node)].escape_scheduled = false;
           nic_try_inject(node);
         });
@@ -240,8 +367,8 @@ void Network::nic_try_inject(topo::NodeId node) {
       ++stats_.decisions_by_mode[mi][0];
     }
   }
-  vq.occupancy_flits += p.flits;
-  nic.inject_queue.pop_front();
+  grid_.occupancy_flits[vq] += p.flits;
+  fifo_pop(nic.inject_head, nic.inject_tail);
   nic.tx_busy = true;
   nic.ctr.inj_flits[p.vc] += p.flits;
   ++stats_.packets_injected;
@@ -253,75 +380,133 @@ void Network::nic_try_inject(topo::NodeId node) {
   const Tick gap =
       static_cast<Tick>(1000.0 / cfg.nic_msg_rate_mps * throttle_factor_);
   const Tick busy = std::max(ser, gap);
-  engine_.schedule(busy, [this, node] {
-    nics_[static_cast<std::size_t>(node)].tx_busy = false;
-    nic_try_inject(node);
-  });
-  engine_.schedule(ser + cfg.nic_latency + cfg.router_latency,
-                   [this, pid, r0, q0, q0_vc] {
-                     routers_[static_cast<std::size_t>(r0)]
-                         .ports[static_cast<std::size_t>(q0)]
-                         .vc[static_cast<std::size_t>(q0_vc)]
-                         .queue.push_back(pid);
-                     try_start_port(r0, q0);
-                   });
+  const Tick arr = ser + cfg.nic_latency + cfg.router_latency;
+  if (coalesce_) {
+    // One pooled event drives both phases; whichever time comes first fires
+    // first and the callback rearms itself (same slot, same insertion seq)
+    // for the other. At equal times the busy-release phase runs first —
+    // exactly the unfused push order.
+    const bool busy_first = busy <= arr;
+    const Tick dt = busy_first ? arr - busy : busy - arr;
+    auto ev = [this, dt, node, pid, r0, q0,
+               q0_vc8 = static_cast<std::int8_t>(q0_vc), busy_first,
+               phase = std::int8_t{0}]() mutable {
+      ProfScope ps(profile_, kEvInjection);
+      if (phase == 0) {
+        phase = 1;
+        if (busy_first)
+          inject_busy_done(node);
+        else
+          inject_arrive(pid, r0, q0, q0_vc8);
+        engine_.rearm(dt);
+      } else {
+        if (busy_first)
+          inject_arrive(pid, r0, q0, q0_vc8);
+        else
+          inject_busy_done(node);
+      }
+    };
+    static_assert(sizeof(ev) <= sim::EventQueue::kInlineBytes);
+    engine_.schedule(std::min(busy, arr), std::move(ev));
+  } else {
+    engine_.schedule(busy, [this, node] {
+      ProfScope ps(profile_, kEvInjection);
+      inject_busy_done(node);
+    });
+    engine_.schedule(arr, [this, pid, r0, q0, q0_vc] {
+      ProfScope ps(profile_, kEvInjection);
+      inject_arrive(pid, r0, q0, q0_vc);
+    });
+  }
 }
 
 void Network::try_start_port(topo::RouterId r, topo::PortId p) {
-  auto& port =
-      routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
-  if (port.busy) return;
+  const std::size_t pt = grid_.port_index(r, p);
+  if (grid_.busy[pt]) return;
+  const std::size_t base = PortGrid::vq_index(pt, 0);
+  const int last = grid_.last_served[pt];
   for (int pass = 0; pass < kNumVcs; ++pass) {
-    const int vc = (port.last_served + 1 + pass) % kNumVcs;
-    if (port.vc[vc].queue.empty()) continue;
+    const int vc = (last + 1 + pass) % kNumVcs;
+    if (grid_.q[base + static_cast<std::size_t>(vc)].head < 0) continue;
     if (try_transmit(r, p, vc)) return;
   }
 }
 
+void Network::hop_ser_done(topo::RouterId r, topo::PortId p, int vc,
+                           std::int32_t flits) {
+  const std::size_t pt = grid_.port_index(r, p);
+  const std::size_t vq = PortGrid::vq_index(pt, vc);
+  grid_.busy[pt] = 0;
+  grid_.occupancy_flits[vq] -= flits;
+  notify_waiters(vq);
+  try_start_port(r, p);
+}
+
+void Network::hop_arrive(PacketId pid, topo::RouterId rb, topo::PortId qn,
+                         int qn_vc) {
+  Packet& pp = pkt(pid);
+  ++pp.hops;
+  ++stats_.total_hops;
+  if (tracer_ != nullptr)
+    tracer_->record({engine_.now(), monitor::TraceEvent::kHop, pid, pp.src,
+                     pp.dst, rb, pp.vc, pp.route.level, pp.route.nonminimal});
+  const std::size_t vq = PortGrid::vq_index(grid_.port_index(rb, qn), qn_vc);
+  fifo_push(grid_.q[vq].head, grid_.q[vq].tail, pid);
+  try_start_port(rb, qn);
+}
+
+void Network::eject_ser_done(topo::RouterId r, topo::PortId p, int vc,
+                             std::int32_t flits, PacketId pid,
+                             topo::NodeId node) {
+  const std::size_t pt = grid_.port_index(r, p);
+  const std::size_t vq = PortGrid::vq_index(pt, vc);
+  grid_.occupancy_flits[vq] -= flits;
+  notify_waiters(vq);
+  Nic& nic = nics_[static_cast<std::size_t>(node)];
+  if (!nic.rx_busy) {
+    nic.rx_busy = true;
+    grid_.busy[pt] = 0;
+    try_start_port(r, p);
+    engine_.schedule(rx_overhead_, [this, node, pid] {
+      ProfScope ps(profile_, kEvEjection);
+      nic_rx_complete(node, pid);
+    });
+  } else {
+    // rx unit is the bottleneck: hold the port (stall accrues on the
+    // processor tile for this packet's VC) until the rx unit frees.
+    nic.rx_pending = pid;
+    nic.rx_pending_vc = static_cast<std::uint8_t>(vc);
+    nic.rx_pending_since = engine_.now();
+  }
+}
+
 bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
-  auto& port =
-      routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
-  auto& vq = port.vc[vc];
-  const PacketId pid = vq.queue.front();
+  const std::size_t pt = grid_.port_index(r, p);
+  const std::size_t vq = PortGrid::vq_index(pt, vc);
+  const PacketId pid = grid_.q[vq].head;
   Packet& pk = pkt(pid);
-  const topo::PortInfo& pi = topo_.port(r, p);
-  const auto& cfg = topo_.config();
+  const PortHot& ph = port_hot_[pt];
+  const auto cls = static_cast<TileClass>(grid_.tile_cls[pt]);
   const Tick now = engine_.now();
 
-  if (pi.cls == TileClass::kProc) {
+  if (cls == TileClass::kProc) {
     // Ejection. Serialization overlaps the NIC rx unit processing the
     // previous packet; if rx is still busy when serialization finishes, the
     // ejected packet sits in a 1-slot skid buffer and the port stalls
     // (counted on the processor tile) until the rx unit frees.
-    if (port.stall_since[vc] >= 0) {
-      port.ctr.stall_ns[vc] += now - port.stall_since[vc];
-      port.stall_since[vc] = -1;
+    if (grid_.stall_since[vq] >= 0) {
+      grid_.stall_ns_ctr[vq] += now - grid_.stall_since[vq];
+      grid_.stall_since[vq] = -1;
     }
-    port.last_served = static_cast<std::uint8_t>(vc);
-    vq.queue.pop_front();
-    port.busy = true;
-    port.ctr.flits[vc] += pk.flits;
-    const Tick ser = sim::serialization_ns(pk.bytes, pi.bw_gbps);
-    const auto flits = pk.flits;
-    engine_.schedule(ser, [this, r, p, vc, flits, pid, node = pi.eject_node] {
-      auto& prt = routers_[static_cast<std::size_t>(r)]
-                      .ports[static_cast<std::size_t>(p)];
-      prt.vc[vc].occupancy_flits -= flits;
-      notify_waiters(prt.vc[vc]);
-      Nic& nic = nics_[static_cast<std::size_t>(node)];
-      if (!nic.rx_busy) {
-        nic.rx_busy = true;
-        prt.busy = false;
-        try_start_port(r, p);
-        engine_.schedule(rx_overhead_,
-                         [this, node, pid] { nic_rx_complete(node, pid); });
-      } else {
-        // rx unit is the bottleneck: hold the port (stall accrues on the
-        // processor tile for this packet's VC) until the rx unit frees.
-        nic.rx_pending = pid;
-        nic.rx_pending_vc = static_cast<std::uint8_t>(vc);
-        nic.rx_pending_since = engine_.now();
-      }
+    grid_.last_served[pt] = static_cast<std::uint8_t>(vc);
+    fifo_pop(grid_.q[vq].head, grid_.q[vq].tail);
+    grid_.busy[pt] = 1;
+    grid_.flits_ctr[vq] += pk.flits;
+    const Tick ser = sim::serialization_ns(pk.bytes, ph.bw_gbps);
+    const std::int32_t flits = pk.flits;
+    engine_.schedule(ser, [this, r, p, vc, flits, pid, node = ph.eject_node] {
+      ProfScope ps(profile_, kEvEjection);
+      eject_ser_done(r, p, vc, flits, pid, node);
     });
     return true;
   }
@@ -330,26 +515,24 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
   // Crossing a rank-3 link enters a new group: the packet moves one level up
   // the deadlock-avoidance VC ladder (next_port() handles the intra-group
   // Valiant bump itself).
-  const topo::RouterId rb = pi.peer_router;
+  const topo::RouterId rb = ph.peer_router;
   routing::RouteState rs = pk.route;
-  if (pi.cls == TileClass::kRank3 && rs.level + 1 < kNumVcLevels) ++rs.level;
+  if (cls == TileClass::kRank3 && rs.level + 1 < kNumVcLevels) ++rs.level;
   const topo::PortId qn = planner_.next_port(rb, pk.dst, rs);
   const int qn_vc = vc_queue_index(vc_plane(vc), rs.level);
-  auto& vqn = routers_[static_cast<std::size_t>(rb)]
-                  .ports[static_cast<std::size_t>(qn)]
-                  .vc[static_cast<std::size_t>(qn_vc)];
-  const bool escape_due = port.stall_since[vc] >= 0 &&
-                          now - port.stall_since[vc] >= cfg.escape_timeout;
+  const std::size_t vqn = PortGrid::vq_index(grid_.port_index(rb, qn), qn_vc);
+  const bool escape_due = grid_.stall_since[vq] >= 0 &&
+                          now - grid_.stall_since[vq] >= escape_timeout_;
   if (!has_space(vqn, pk.flits)) {
     if (!escape_due) {
-      if (port.stall_since[vc] < 0) port.stall_since[vc] = now;
-      add_waiter(vqn, router::WaiterRef{r, p});
-      if (!port.escape_scheduled[vc]) {
-        port.escape_scheduled[vc] = true;
-        engine_.schedule(cfg.escape_timeout, [this, r, p, vc] {
-          routers_[static_cast<std::size_t>(r)]
-              .ports[static_cast<std::size_t>(p)]
-              .escape_scheduled[vc] = false;
+      if (grid_.stall_since[vq] < 0) grid_.stall_since[vq] = now;
+      grid_.add_waiter(vqn, router::WaiterRef{r, p});
+      if (!grid_.escape_scheduled[vq]) {
+        grid_.escape_scheduled[vq] = 1;
+        engine_.schedule(escape_timeout_, [this, r, p, vc] {
+          ProfScope ps(profile_, kEvEscape);
+          grid_.escape_scheduled[PortGrid::vq_index(grid_.port_index(r, p),
+                                                    vc)] = 0;
           try_start_port(r, p);
         });
       }
@@ -357,61 +540,69 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
     }
     ++stats_.escapes;
   }
-  if (port.stall_since[vc] >= 0) {
-    port.ctr.stall_ns[vc] += now - port.stall_since[vc];
-    port.stall_since[vc] = -1;
+  if (grid_.stall_since[vq] >= 0) {
+    grid_.stall_ns_ctr[vq] += now - grid_.stall_since[vq];
+    grid_.stall_since[vq] = -1;
   }
-  port.last_served = static_cast<std::uint8_t>(vc);
-  vq.queue.pop_front();
-  port.busy = true;
-  port.ctr.flits[vc] += pk.flits;
+  grid_.last_served[pt] = static_cast<std::uint8_t>(vc);
+  fifo_pop(grid_.q[vq].head, grid_.q[vq].tail);
+  grid_.busy[pt] = 1;
+  grid_.flits_ctr[vq] += pk.flits;
   pk.route = rs;  // commit the next-hop decision made above
-  vqn.occupancy_flits += pk.flits;
-  const Tick ser = sim::serialization_ns(pk.bytes, pi.bw_gbps);
-  const auto flits = pk.flits;
-  engine_.schedule(ser, [this, r, p, vc, flits] {
-    auto& prt =
-        routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(p)];
-    prt.busy = false;
-    prt.vc[vc].occupancy_flits -= flits;
-    notify_waiters(prt.vc[vc]);
-    try_start_port(r, p);
-  });
-  engine_.schedule(ser + pi.latency + cfg.router_latency,
-                   [this, pid, rb, qn, qn_vc] {
-                     Packet& pp = pkt(pid);
-                     ++pp.hops;
-                     ++stats_.total_hops;
-                     if (tracer_ != nullptr)
-                       tracer_->record({engine_.now(),
-                                        monitor::TraceEvent::kHop, pid, pp.src,
-                                        pp.dst, rb, pp.vc, pp.route.level,
-                                        pp.route.nonminimal});
-                     routers_[static_cast<std::size_t>(rb)]
-                         .ports[static_cast<std::size_t>(qn)]
-                         .vc[static_cast<std::size_t>(qn_vc)]
-                         .queue.push_back(pid);
-                     try_start_port(rb, qn);
-                   });
+  grid_.occupancy_flits[vqn] += pk.flits;
+  const Tick ser = sim::serialization_ns(pk.bytes, ph.bw_gbps);
+  const std::int32_t flits = pk.flits;
+  const Tick delta = ph.hop_delta;
+  if (coalesce_) {
+    // One pooled event per hop: phase 0 releases the port when serialization
+    // finishes, then rearms itself (same slot, same insertion seq) to land
+    // the packet at the peer after the link+router latency.
+    auto ev = [this, delta, r, rb, pid, flits, p, qn,
+               vc8 = static_cast<std::int8_t>(vc),
+               qn_vc8 = static_cast<std::int8_t>(qn_vc),
+               phase = std::int8_t{0}]() mutable {
+      ProfScope ps(profile_, kEvHop);
+      if (phase == 0) {
+        phase = 1;
+        hop_ser_done(r, p, vc8, flits);
+        engine_.rearm(delta);
+      } else {
+        hop_arrive(pid, rb, qn, qn_vc8);
+      }
+    };
+    static_assert(sizeof(ev) <= sim::EventQueue::kInlineBytes);
+    engine_.schedule(ser, std::move(ev));
+  } else {
+    engine_.schedule(ser, [this, r, p, vc, flits] {
+      ProfScope ps(profile_, kEvHop);
+      hop_ser_done(r, p, vc, flits);
+    });
+    engine_.schedule(ser + delta, [this, pid, rb, qn, qn_vc] {
+      ProfScope ps(profile_, kEvHop);
+      hop_arrive(pid, rb, qn, qn_vc);
+    });
+  }
   return true;
 }
 
 void Network::nic_rx_complete(topo::NodeId node, PacketId id) {
   Nic& nic = nics_[static_cast<std::size_t>(node)];
-  const topo::RouterId r = topo_.router_of_node(node);
-  const topo::PortId ep = topo_.eject_port(r, node);
+  const topo::RouterId r = nic.router;
+  const topo::PortId ep = nic.eject_pt;
   if (nic.rx_pending >= 0) {
     // Hand the skid-buffered packet to the rx unit, charge the port stall,
     // and release the ejection port.
     const PacketId next = nic.rx_pending;
-    auto& prt =
-        routers_[static_cast<std::size_t>(r)].ports[static_cast<std::size_t>(ep)];
-    prt.ctr.stall_ns[nic.rx_pending_vc] += engine_.now() - nic.rx_pending_since;
+    const std::size_t pt = grid_.port_index(r, ep);
+    grid_.stall_ns_ctr[PortGrid::vq_index(pt, nic.rx_pending_vc)] +=
+        engine_.now() - nic.rx_pending_since;
     nic.rx_pending = -1;
     nic.rx_pending_since = -1;
-    prt.busy = false;
-    engine_.schedule(rx_overhead_,
-                     [this, node, next] { nic_rx_complete(node, next); });
+    grid_.busy[pt] = 0;
+    engine_.schedule(rx_overhead_, [this, node, next] {
+      ProfScope ps(profile_, kEvEjection);
+      nic_rx_complete(node, next);
+    });
   } else {
     nic.rx_busy = false;
   }
@@ -438,12 +629,13 @@ void Network::deliver(PacketId id) {
     return;
   }
   DeliveryCallback cb;
-  const auto it = msgs_.find(snap.msg);
-  if (it != msgs_.end()) {
-    it->second.remaining_bytes -= snap.bytes - header_bytes_;
-    if (it->second.remaining_bytes <= 0) {
-      cb = std::move(it->second.on_delivered);
-      msgs_.erase(it);
+  if (snap.msg >= 0) {
+    const std::int32_t slot = msg_slot(snap.msg);
+    MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];
+    m.remaining_bytes -= snap.bytes - header_bytes_;
+    if (m.remaining_bytes <= 0) {
+      cb = std::move(m.on_delivered);
+      free_msg(slot);
     }
   }
   if (snap.want_response) {
@@ -461,7 +653,8 @@ void Network::deliver(PacketId id) {
     p.route.mode = snap.route.mode;
     p.hops = 0;
     p.msg = -1;
-    nics_[static_cast<std::size_t>(snap.dst)].inject_queue.push_back(id);
+    Nic& nic = nics_[static_cast<std::size_t>(snap.dst)];
+    fifo_push(nic.inject_head, nic.inject_tail, id);
     nic_try_inject(snap.dst);
   } else {
     free_packet(id);
@@ -473,26 +666,23 @@ void Network::deliver(PacketId id) {
 
 CounterSnapshot Network::snapshot_all() const {
   CounterSnapshot s;
-  for (topo::RouterId r = 0; r < topo_.config().num_routers(); ++r) {
-    const auto& rt = routers_[static_cast<std::size_t>(r)];
-    for (topo::PortId p = 0; p < static_cast<topo::PortId>(rt.ports.size());
-         ++p) {
-      const auto& port = rt.ports[static_cast<std::size_t>(p)];
-      const TileClass cls = topo_.port(r, p).cls;
-      auto add = [&](ClassCounters& c, int vc) {
-        c.flits += port.ctr.flits[vc];
-        c.stall_ns += port.ctr.stall_ns[vc];
-      };
-      for (int vc = 0; vc < kNumVcs; ++vc) {
-        switch (cls) {
-          case TileClass::kRank1: add(s.rank1, vc); break;
-          case TileClass::kRank2: add(s.rank2, vc); break;
-          case TileClass::kRank3: add(s.rank3, vc); break;
-          case TileClass::kProc:
-            add(vc_plane(vc) == kVcRequest ? s.proc_req : s.proc_rsp, vc);
-            break;
-        }
+  const std::size_t np = grid_.num_ports();
+  for (std::size_t pt = 0; pt < np; ++pt) {
+    const auto cls = static_cast<TileClass>(grid_.tile_cls[pt]);
+    const std::size_t base = PortGrid::vq_index(pt, 0);
+    for (int vc = 0; vc < kNumVcs; ++vc) {
+      const std::size_t q = base + static_cast<std::size_t>(vc);
+      ClassCounters* c = nullptr;
+      switch (cls) {
+        case TileClass::kRank1: c = &s.rank1; break;
+        case TileClass::kRank2: c = &s.rank2; break;
+        case TileClass::kRank3: c = &s.rank3; break;
+        case TileClass::kProc:
+          c = vc_plane(vc) == kVcRequest ? &s.proc_req : &s.proc_rsp;
+          break;
       }
+      c->flits += grid_.flits_ctr[q];
+      c->stall_ns += grid_.stall_ns_ctr[q];
     }
   }
   for (const auto& nic : nics_) {
@@ -510,24 +700,24 @@ CounterSnapshot Network::snapshot_routers(
     std::span<const topo::RouterId> rs) const {
   CounterSnapshot s;
   for (const topo::RouterId r : rs) {
-    const auto& rt = routers_[static_cast<std::size_t>(r)];
-    for (topo::PortId p = 0; p < static_cast<topo::PortId>(rt.ports.size());
-         ++p) {
-      const auto& port = rt.ports[static_cast<std::size_t>(p)];
-      const TileClass cls = topo_.port(r, p).cls;
-      auto add = [&](ClassCounters& c, int vc) {
-        c.flits += port.ctr.flits[vc];
-        c.stall_ns += port.ctr.stall_ns[vc];
-      };
+    const int nports = grid_.ports_of_router(r);
+    for (topo::PortId p = 0; p < nports; ++p) {
+      const std::size_t pt = grid_.port_index(r, p);
+      const auto cls = static_cast<TileClass>(grid_.tile_cls[pt]);
+      const std::size_t base = PortGrid::vq_index(pt, 0);
       for (int vc = 0; vc < kNumVcs; ++vc) {
+        const std::size_t q = base + static_cast<std::size_t>(vc);
+        ClassCounters* c = nullptr;
         switch (cls) {
-          case TileClass::kRank1: add(s.rank1, vc); break;
-          case TileClass::kRank2: add(s.rank2, vc); break;
-          case TileClass::kRank3: add(s.rank3, vc); break;
+          case TileClass::kRank1: c = &s.rank1; break;
+          case TileClass::kRank2: c = &s.rank2; break;
+          case TileClass::kRank3: c = &s.rank3; break;
           case TileClass::kProc:
-            add(vc_plane(vc) == kVcRequest ? s.proc_req : s.proc_rsp, vc);
+            c = vc_plane(vc) == kVcRequest ? &s.proc_req : &s.proc_rsp;
             break;
         }
+        c->flits += grid_.flits_ctr[q];
+        c->stall_ns += grid_.stall_ns_ctr[q];
       }
     }
     for (int k = 0; k < topo_.config().nodes_per_router; ++k) {

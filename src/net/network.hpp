@@ -17,12 +17,21 @@
 // buffer); with the ladder in place it never fires in practice, and the
 // NetworkStats::escapes counter is asserted zero by the test suite's
 // stress tests.
+//
+// Memory discipline (see docs/MODEL.md, "Forwarding-plane memory layout &
+// event coalescing"): the steady-state forwarding path performs no heap
+// allocation. Port/VC state lives in a structure-of-arrays PortGrid,
+// packet FIFOs and the packet free list are intrusive (Packet::next),
+// blocked senders are slab chains, and message completion state is a
+// generation-tagged slab addressed directly by MsgId bits — no hash map.
+// Each network hop and each NIC injection is driven by ONE pooled event
+// whose callback rearms itself for the second phase (Engine::rearm), which
+// preserves the original insertion sequence and therefore the exact event
+// order of the unfused two-event formulation.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "monitor/trace.hpp"
@@ -32,6 +41,7 @@
 #include "routing/adaptive.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "sim/small_fn.hpp"
 #include "topo/dragonfly.hpp"
 
 namespace dfsim::net {
@@ -92,6 +102,39 @@ struct NetworkStats {
   }
 };
 
+/// Hot-path event categories, for the bench's per-event-type breakdown.
+enum EventKind : int {
+  kEvInjection = 0,  ///< NIC injection (busy-release + first-router arrival)
+  kEvHop,            ///< router-to-router hop (serialization-done + arrival)
+  kEvEjection,       ///< ejection serialization + NIC rx processing
+  kEvThrottle,       ///< congestion-throttle window evaluation
+  kEvEscape,         ///< escape-timeout wakeups
+  kEvLoopback,       ///< src==dst host-memory loopback delivery
+  kNumEventKinds
+};
+
+[[nodiscard]] const char* event_kind_name(int kind);
+
+/// Per-event-kind counts and wall time, filled when a profile is attached
+/// via Network::set_event_profile. Wall times include the steady_clock
+/// sampling overhead, so profiled runs are NOT the runs to report
+/// events/sec from — use the breakdown for relative shares only.
+struct EventProfile {
+  std::int64_t count[kNumEventKinds] = {};
+  std::int64_t wall_ns[kNumEventKinds] = {};
+
+  [[nodiscard]] std::int64_t total_count() const {
+    std::int64_t t = 0;
+    for (const std::int64_t c : count) t += c;
+    return t;
+  }
+  [[nodiscard]] std::int64_t total_wall_ns() const {
+    std::int64_t t = 0;
+    for (const std::int64_t w : wall_ns) t += w;
+    return t;
+  }
+};
+
 class Network final : public routing::LoadOracle {
  public:
   Network(sim::Engine& engine, const topo::Dragonfly& topo, std::uint64_t seed);
@@ -99,7 +142,9 @@ class Network final : public routing::LoadOracle {
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
 
-  using DeliveryCallback = std::function<void()>;
+  /// Move-only callable with enough inline storage for the MPI machine's
+  /// completion closures; never heap-allocates for captures <= 48 bytes.
+  using DeliveryCallback = sim::SmallFn;
 
   /// Inject a message of `bytes` from node `src` to node `dst`; the callback
   /// fires (once) when the last packet has been delivered and processed by
@@ -115,8 +160,10 @@ class Network final : public routing::LoadOracle {
   // --- Introspection / monitoring ---
   [[nodiscard]] const topo::Dragonfly& topology() const { return topo_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
-  [[nodiscard]] const router::Router& router(topo::RouterId r) const {
-    return routers_[static_cast<std::size_t>(r)];
+  [[nodiscard]] const router::PortGrid& grid() const { return grid_; }
+  [[nodiscard]] router::PortCounters port_counters(topo::RouterId r,
+                                                   topo::PortId p) const {
+    return grid_.counters(r, p);
   }
   [[nodiscard]] const Nic& nic(topo::NodeId n) const {
     return nics_[static_cast<std::size_t>(n)];
@@ -150,46 +197,99 @@ class Network final : public routing::LoadOracle {
   /// ownership and must outlive the network or detach first.
   void set_tracer(monitor::PacketTracer* tracer) { tracer_ = tracer; }
 
+  /// Attach (or detach with nullptr) a per-event-kind profile; the caller
+  /// keeps ownership. Profiling adds two steady_clock reads per event.
+  void set_event_profile(EventProfile* profile) { profile_ = profile; }
+
+  /// Pre-size the packet pool, message slab, and blocked-sender slab for a
+  /// known workload bound, so the pools never grow mid-run (capacity only;
+  /// ids, results, and event order are unaffected). Used by the zero-
+  /// allocation stress harnesses to pin "steady state allocates nothing".
+  void reserve(std::size_t packets, std::size_t msgs, std::size_t waiters) {
+    pool_.reserve(packets);
+    msg_pool_.reserve(msgs);
+    grid_.reserve_waiters(waiters);
+  }
+
+  /// Toggle per-hop / per-injection event fusion (default on). The unfused
+  /// path schedules the historical two events per hop; results are
+  /// bit-identical either way (the determinism suite pins this).
+  void set_event_coalescing(bool on) { coalesce_ = on; }
+  [[nodiscard]] bool event_coalescing() const { return coalesce_; }
+
  private:
+  /// Message completion slab. MsgId = (generation << 32) | slot; the
+  /// generation tag keeps recycled slots producing fresh ids.
   struct MsgRec {
     std::int64_t remaining_bytes = 0;
     DeliveryCallback on_delivered;
+    std::uint32_t gen = 0;
+    std::int32_t next_free = -1;
   };
 
-  // Packet pool.
+  [[nodiscard]] std::int32_t alloc_msg();
+  void free_msg(std::int32_t slot);
+  [[nodiscard]] static std::int32_t msg_slot(MsgId id) {
+    return static_cast<std::int32_t>(id & 0x7fffffff);
+  }
+
+  // Packet pool (intrusive free list through Packet::next, LIFO).
   PacketId alloc_packet();
   void free_packet(PacketId id);
   Packet& pkt(PacketId id) { return pool_[static_cast<std::size_t>(id)]; }
 
+  // Intrusive FIFO helpers over {head, tail} PacketId pairs.
+  void fifo_push(PacketId& head, PacketId& tail, PacketId id);
+  PacketId fifo_pop(PacketId& head, PacketId& tail);
+
   // NIC side.
   void nic_try_inject(topo::NodeId node);
+  void inject_busy_done(topo::NodeId node);
+  void inject_arrive(PacketId pid, topo::RouterId r0, topo::PortId q0,
+                     int q0_vc);
   void nic_rx_complete(topo::NodeId node, PacketId id);
   void deliver(PacketId id);
+  void loopback_deliver(std::int32_t slot);
 
   // Router side.
   void try_start_port(topo::RouterId r, topo::PortId p);
   /// Attempt to transmit the head of (r, p, vc). Returns true on transmit.
   bool try_transmit(topo::RouterId r, topo::PortId p, int vc);
-  void notify_waiters(router::VcQueue& vq);
-  void add_waiter(router::VcQueue& vq, router::WaiterRef w);
+  void hop_ser_done(topo::RouterId r, topo::PortId p, int vc,
+                    std::int32_t flits);
+  void hop_arrive(PacketId pid, topo::RouterId rb, topo::PortId qn, int qn_vc);
+  void eject_ser_done(topo::RouterId r, topo::PortId p, int vc,
+                      std::int32_t flits, PacketId pid, topo::NodeId node);
+  void notify_waiters(std::size_t vq);
 
-  [[nodiscard]] std::int64_t capacity_flits() const {
-    return topo_.config().buffer_flits;
+  [[nodiscard]] std::int64_t capacity_flits() const { return capacity_flits_; }
+  [[nodiscard]] bool has_space(std::size_t vq, std::int32_t flits) const {
+    return grid_.occupancy_flits[vq] + flits <= capacity_flits_;
   }
-  [[nodiscard]] bool has_space(const router::VcQueue& vq,
-                               std::int32_t flits) const {
-    return vq.occupancy_flits + flits <= capacity_flits();
-  }
+
+  /// Per-port constants a forwarding step needs, flattened by global port
+  /// index (same indexing as PortGrid) so try_transmit reads one contiguous
+  /// record instead of chasing topo_'s router -> port vectors. The tile
+  /// class lives in PortGrid::tile_cls.
+  struct PortHot {
+    double bw_gbps = 0.0;
+    sim::Tick hop_delta = 0;  ///< link latency + downstream router latency
+    topo::RouterId peer_router = -1;
+    topo::NodeId eject_node = -1;  ///< for processor (ejection) ports
+  };
 
   sim::Engine& engine_;
   const topo::Dragonfly& topo_;
   routing::RoutePlanner planner_;
-  std::vector<router::Router> routers_;
+  router::PortGrid grid_;
+  std::vector<PortHot> port_hot_;  ///< [port_index]
+  std::int64_t capacity_flits_ = 1;   ///< cached config().buffer_flits
+  sim::Tick escape_timeout_ = 0;      ///< cached config().escape_timeout
   std::vector<Nic> nics_;
   std::vector<Packet> pool_;
-  std::vector<PacketId> free_list_;
-  std::unordered_map<MsgId, MsgRec> msgs_;
-  MsgId next_msg_ = 0;
+  PacketId pkt_free_head_ = -1;
+  std::vector<MsgRec> msg_pool_;
+  std::int32_t msg_free_head_ = -1;
   NetworkStats stats_;
   /// Periodic congestion-throttle evaluation. Self-rescheduling only while
   /// there is traffic to govern (or an elevated factor still decaying):
@@ -204,8 +304,10 @@ class Network final : public routing::LoadOracle {
   sim::Tick rx_overhead_ = 100;  ///< ns per packet of NIC rx processing
   double throttle_factor_ = 1.0;
   bool throttle_scheduled_ = false;
+  bool coalesce_ = true;
   CounterSnapshot throttle_base_;
   monitor::PacketTracer* tracer_ = nullptr;
+  EventProfile* profile_ = nullptr;
 };
 
 }  // namespace dfsim::net

@@ -4,7 +4,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
@@ -31,7 +30,12 @@ struct NicCounters {
 
 struct Nic {
   topo::NodeId node = -1;
-  std::deque<PacketId> inject_queue;  ///< unbounded: backed by host memory
+  topo::RouterId router = -1;   ///< router serving this node (constant)
+  topo::PortId eject_pt = -1;   ///< ejection port on that router (constant)
+  /// Injection FIFO, intrusive through Packet::next (unbounded: backed by
+  /// host memory). -1 when empty.
+  PacketId inject_head = -1;
+  PacketId inject_tail = -1;
   bool tx_busy = false;
   bool rx_busy = false;  ///< finite rx processing -> proc-tile stalls
   /// Packet fully ejected but waiting for the rx unit (1-slot skid buffer);

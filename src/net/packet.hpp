@@ -38,18 +38,27 @@ constexpr int vc_queue_index(int plane, int level) {
 /// Plane of a buffer-queue index (for counter classification).
 constexpr int vc_plane(int queue_index) { return queue_index / kNumVcLevels; }
 
+/// Field order packs a Packet into one 64-byte cache line: every packet is
+/// touched at random pool offsets by the forwarding hot path, so a fetch
+/// costs exactly one line instead of two.
 struct Packet {
   topo::NodeId src = -1;
   topo::NodeId dst = -1;
   std::int32_t bytes = 0;  ///< wire bytes incl. header
   std::int32_t flits = 0;
-  std::uint8_t vc = kVcRequest;
-  bool want_response = false;
   routing::RouteState route;
-  std::int16_t hops = 0;
+  /// Intrusive link: successor in whichever FIFO (VC queue, NIC injection
+  /// queue) or free list currently holds this packet. A packet is in at
+  /// most one list at a time, so one link suffices — queues are just
+  /// {head, tail} id pairs and never heap-allocate.
+  PacketId next = -1;
   sim::Tick inject_time = 0;  ///< request injection time (carried into rsp)
   MsgId msg = -1;             ///< owning message; -1 for responses
+  std::int16_t hops = 0;
+  std::uint8_t vc = kVcRequest;
+  bool want_response = false;
   bool in_use = false;
 };
+static_assert(sizeof(Packet) <= 64);
 
 }  // namespace dfsim::net

@@ -1,2 +1,78 @@
-// Router is passive state (see net/network.cpp for the forwarding engine).
+// SoA port-grid construction and the blocked-sender slab (see router.hpp;
+// the forwarding engine itself lives in net/network.cpp).
 #include "router/router.hpp"
+
+namespace dfsim::router {
+
+void PortGrid::build(const topo::Dragonfly& topo) {
+  const auto n_routers = static_cast<std::size_t>(topo.config().num_routers());
+  port_base_.assign(n_routers + 1, 0);
+  for (std::size_t r = 0; r < n_routers; ++r)
+    port_base_[r + 1] =
+        port_base_[r] +
+        static_cast<std::uint32_t>(topo.num_ports(static_cast<topo::RouterId>(r)));
+  n_ports_ = port_base_[n_routers];
+
+  const std::size_t n_vqs = n_ports_ * static_cast<std::size_t>(net::kNumVcs);
+  occupancy_flits.assign(n_vqs, 0);
+  q.assign(n_vqs, VcFifo{});
+  stall_since.assign(n_vqs, -1);
+  escape_scheduled.assign(n_vqs, 0);
+  waiter_head.assign(n_vqs, -1);
+  waiter_tail.assign(n_vqs, -1);
+  flits_ctr.assign(n_vqs, 0);
+  stall_ns_ctr.assign(n_vqs, 0);
+
+  busy.assign(n_ports_, 0);
+  // Round-robin state starts at the last VC so queue 0 is served first.
+  last_served.assign(n_ports_, static_cast<std::uint8_t>(net::kNumVcs - 1));
+  tile_cls.resize(n_ports_);
+  for (topo::RouterId r = 0; r < topo.config().num_routers(); ++r)
+    for (topo::PortId p = 0; p < topo.num_ports(r); ++p)
+      tile_cls[port_index(r, p)] =
+          static_cast<std::uint8_t>(topo.port(r, p).cls);
+
+  waiter_pool_.clear();
+  waiter_free_ = -1;
+}
+
+void PortGrid::add_waiter(std::size_t vq, WaiterRef w) {
+  for (std::int32_t i = waiter_head[vq]; i >= 0;
+       i = waiter_pool_[static_cast<std::size_t>(i)].next) {
+    const WaiterRef& x = waiter_pool_[static_cast<std::size_t>(i)].ref;
+    if (x.router == w.router && x.port == w.port) return;
+  }
+  std::int32_t node;
+  if (waiter_free_ >= 0) {
+    node = waiter_free_;
+    waiter_free_ = waiter_pool_[static_cast<std::size_t>(node)].next;
+  } else {
+    node = static_cast<std::int32_t>(waiter_pool_.size());
+    waiter_pool_.emplace_back();
+  }
+  waiter_pool_[static_cast<std::size_t>(node)] = WaiterNode{w, -1};
+  if (waiter_tail[vq] >= 0)
+    waiter_pool_[static_cast<std::size_t>(waiter_tail[vq])].next = node;
+  else
+    waiter_head[vq] = node;
+  waiter_tail[vq] = node;
+}
+
+std::int32_t PortGrid::detach_waiters(std::size_t vq) {
+  const std::int32_t head = waiter_head[vq];
+  waiter_head[vq] = -1;
+  waiter_tail[vq] = -1;
+  return head;
+}
+
+PortCounters PortGrid::counters(topo::RouterId r, topo::PortId p) const {
+  PortCounters c;
+  const std::size_t base = vq_index(port_index(r, p), 0);
+  for (int vc = 0; vc < net::kNumVcs; ++vc) {
+    c.flits[vc] = flits_ctr[base + static_cast<std::size_t>(vc)];
+    c.stall_ns[vc] = stall_ns_ctr[base + static_cast<std::size_t>(vc)];
+  }
+  return c;
+}
+
+}  // namespace dfsim::router

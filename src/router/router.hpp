@@ -1,15 +1,25 @@
-// Router port state: per-VC queues, occupancy, stall bookkeeping, counters.
+// Router port state in structure-of-arrays layout.
 //
 // Routers are passive state; the forwarding algorithm lives in net::Network
 // (it needs the global view for adaptive decisions). Each output port models
-// one Aries router tile; TileClass tells which counter row (Fig. 6/10/12) it
-// belongs to. STALL counters accumulate the time the head packet of a VC was
-// blocked on downstream buffer space, in nanoseconds; reports convert to
+// one Aries router tile; the tile class tells which counter row (Fig. 6/10/12)
+// it belongs to. STALL counters accumulate the time the head packet of a VC
+// was blocked on downstream buffer space, in nanoseconds; reports convert to
 // flit-times.
+//
+// Layout: one PortGrid holds the state of every (router, port, vc) in the
+// system as flat parallel arrays indexed by a global port index
+// (port_index(r, p)) and a global VC-queue index (vq_index(port, vc); the
+// kNumVcs queues of one port are contiguous). The hot fields a forwarding
+// step touches — occupancy for credit checks, queue heads, flit counters —
+// are each a dense array, so a credit check or counter bump touches one
+// cache line instead of walking router -> port -> queue object graphs.
+// Packet FIFOs are intrusive (Packet::next), and blocked-sender lists are
+// slab-allocated chains, so steady-state forwarding performs no heap
+// allocation.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "net/packet.hpp"
@@ -25,29 +35,95 @@ struct WaiterRef {
   topo::PortId port = -1;
 };
 
-struct VcQueue {
-  std::deque<net::PacketId> queue;
-  /// Flits resident or reserved (in flight toward this queue).
-  std::int64_t occupancy_flits = 0;
-  std::vector<WaiterRef> waiters;
+/// Slab node of a VC queue's blocked-sender chain.
+struct WaiterNode {
+  WaiterRef ref;
+  std::int32_t next = -1;
 };
 
+/// Per-port counter snapshot (monitoring view; assembled from the SoA
+/// arrays by PortGrid::counters / net::Network::port_counters).
 struct PortCounters {
   std::int64_t flits[net::kNumVcs] = {};
   std::int64_t stall_ns[net::kNumVcs] = {};
 };
 
-struct Port {
-  VcQueue vc[net::kNumVcs];
-  bool busy = false;
-  sim::Tick stall_since[net::kNumVcs] = {-1, -1, -1, -1, -1, -1};
-  bool escape_scheduled[net::kNumVcs] = {};
-  std::uint8_t last_served = net::kNumVcs - 1;  // so queue 0 is served first
-  PortCounters ctr;
-};
+class PortGrid {
+ public:
+  /// Size and initialize every array for `topo`'s routers and ports.
+  void build(const topo::Dragonfly& topo);
 
-struct Router {
-  std::vector<Port> ports;
+  // --- Indexing ---
+  [[nodiscard]] std::size_t num_ports() const { return n_ports_; }
+  [[nodiscard]] int ports_of_router(topo::RouterId r) const {
+    return static_cast<int>(port_base_[static_cast<std::size_t>(r) + 1] -
+                            port_base_[static_cast<std::size_t>(r)]);
+  }
+  [[nodiscard]] std::size_t port_index(topo::RouterId r, topo::PortId p) const {
+    return port_base_[static_cast<std::size_t>(r)] +
+           static_cast<std::size_t>(p);
+  }
+  /// Raw per-router prefix-sum table (stable after build); lets the routing
+  /// planner's LoadView index occupancy_flits without going through us.
+  [[nodiscard]] const std::uint32_t* port_base_data() const {
+    return port_base_.data();
+  }
+  [[nodiscard]] static std::size_t vq_index(std::size_t port, int vc) {
+    return port * static_cast<std::size_t>(net::kNumVcs) +
+           static_cast<std::size_t>(vc);
+  }
+
+  /// Intrusive packet FIFO of one VC queue ({head, tail} into the packet
+  /// pool, linked through Packet::next). Head and tail ride one 8-byte
+  /// record because push/pop always touch both.
+  struct VcFifo {
+    net::PacketId head = -1;
+    net::PacketId tail = -1;
+  };
+
+  // --- Hot per-VC-queue state (indexed by vq_index) ---
+  /// Flits resident or reserved (in flight toward this queue).
+  std::vector<std::int32_t> occupancy_flits;
+  std::vector<VcFifo> q;  ///< intrusive packet FIFOs
+  std::vector<sim::Tick> stall_since;         ///< -1 when not stalled
+  std::vector<std::uint8_t> escape_scheduled;
+  std::vector<std::int32_t> waiter_head, waiter_tail;  ///< slab chain
+
+  // --- Counters (indexed by vq_index) ---
+  std::vector<std::int64_t> flits_ctr;
+  std::vector<std::int64_t> stall_ns_ctr;
+
+  // --- Per-port state (indexed by port_index) ---
+  std::vector<std::uint8_t> busy;
+  std::vector<std::uint8_t> last_served;
+  std::vector<std::uint8_t> tile_cls;  ///< topo::TileClass per port
+
+  // --- Blocked-sender chains ---
+  /// Append `w` to the chain of `vq` unless an equal ref is already queued
+  /// (same dedup rule the per-queue vector had).
+  void add_waiter(std::size_t vq, WaiterRef w);
+  /// Detach the whole chain of `vq`, returning its head (-1 if empty). The
+  /// caller walks the chain and frees each node; new waiters registered
+  /// while the caller notifies go onto a fresh chain.
+  std::int32_t detach_waiters(std::size_t vq);
+  [[nodiscard]] const WaiterNode& waiter(std::int32_t i) const {
+    return waiter_pool_[static_cast<std::size_t>(i)];
+  }
+  void free_waiter(std::int32_t i) {
+    waiter_pool_[static_cast<std::size_t>(i)].next = waiter_free_;
+    waiter_free_ = i;
+  }
+  /// Pre-size the waiter slab (capacity only).
+  void reserve_waiters(std::size_t n) { waiter_pool_.reserve(n); }
+
+  /// Monitoring view of one port's counters.
+  [[nodiscard]] PortCounters counters(topo::RouterId r, topo::PortId p) const;
+
+ private:
+  std::vector<std::uint32_t> port_base_;  ///< per-router prefix sums, n+1
+  std::size_t n_ports_ = 0;
+  std::vector<WaiterNode> waiter_pool_;  ///< slab; freed nodes chain below
+  std::int32_t waiter_free_ = -1;
 };
 
 }  // namespace dfsim::router

@@ -74,16 +74,16 @@ void RoutePlanner::build_tables() {
 
 std::int64_t RoutePlanner::local_first_load(topo::RouterId r,
                                             topo::RouterId t) const {
-  return loads_.load_units(r, local_first_port(r, t));
+  return load_units(r, local_first_port(r, t));
 }
 
 topo::PortId RoutePlanner::best_global_port(topo::RouterId r,
                                             topo::GroupId tg) const {
   const auto ports = global_ports(r, tg);
   topo::PortId best = ports.front();
-  std::int64_t best_load = loads_.load_units(r, best);
+  std::int64_t best_load = load_units(r, best);
   for (std::size_t i = 1; i < ports.size(); ++i) {
-    const std::int64_t l = loads_.load_units(r, ports[i]);
+    const std::int64_t l = load_units(r, ports[i]);
     if (l < best_load) {
       best_load = l;
       best = ports[i];
@@ -102,7 +102,7 @@ topo::RouterId RoutePlanner::pick_gateway(topo::RouterId r, topo::GroupId tg,
   std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
   if (!global_ports(r, tg).empty()) {
     best_router = r;
-    best_score = loads_.load_units(r, best_global_port(r, tg));
+    best_score = load_units(r, best_global_port(r, tg));
   }
   const int samples =
       std::min<int>(kGatewaySample, static_cast<int>(gws.size()));
@@ -110,7 +110,7 @@ topo::RouterId RoutePlanner::pick_gateway(topo::RouterId r, topo::GroupId tg,
     const auto& gw = gws[rng_.uniform_u64(gws.size())];
     if (gw.router == r) continue;
     const std::int64_t score = local_first_load(r, gw.router) +
-                               loads_.load_units(gw.router, gw.port);
+                               load_units(gw.router, gw.port);
     if (score < best_score) {
       best_score = score;
       best_router = gw.router;
@@ -120,7 +120,7 @@ topo::RouterId RoutePlanner::pick_gateway(topo::RouterId r, topo::GroupId tg,
     // Sampling can repeat the same gateway; fall back to the first one.
     best_router = gws.front().router;
     best_score = local_first_load(r, best_router) +
-                 loads_.load_units(gws.front().router, gws.front().port);
+                 load_units(gws.front().router, gws.front().port);
   }
   if (score_out != nullptr) *score_out = best_score;
   return best_router;

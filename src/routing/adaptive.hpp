@@ -37,25 +37,43 @@ class LoadOracle {
                                                 topo::PortId p) const = 0;
 };
 
+/// Zero-indirection view of a table-backed load oracle: per-VC-queue
+/// occupancy as one flat array plus the per-router port-index prefix sums
+/// (the net::Network / router::PortGrid SoA layout). When an owner installs
+/// one via RoutePlanner::set_load_view, the planner reads loads straight
+/// from these arrays — same arithmetic as LoadOracle::load_units, minus the
+/// virtual dispatch — which matters because adaptive decisions sample loads
+/// several times per packet. The pointers must stay valid and stable for
+/// the planner's lifetime.
+struct LoadView {
+  const std::int32_t* occupancy = nullptr;   ///< [vq] occupancy in flits
+  const std::uint32_t* port_base = nullptr;  ///< [router] prefix sums
+  std::size_t vc_stride = 1;  ///< VC queues per port (vq = port * stride + vc)
+  std::int64_t capacity = 1;  ///< buffer capacity in flits (load divisor)
+};
+
 /// Depth of the deadlock-avoidance VC ladder (source group, one Valiant
 /// intermediate, destination group).
 inline constexpr int kVcLadderLevels = 3;
 
-/// Mutable routing state carried by each packet.
+/// Mutable routing state carried by each packet. Field order packs the
+/// struct into 20 bytes so the whole net::Packet stays within one cache
+/// line (see the static_assert in net/packet.hpp).
 struct RouteState {
-  Mode mode = Mode::kAd0;
-  bool nonminimal = false;
   topo::GroupId via_group = -1;    ///< Valiant intermediate group (-1: none)
   topo::RouterId via_router = -1;  ///< intra-group Valiant intermediate
-  bool via_done = false;
   topo::RouterId gateway = -1;  ///< sticky gateway within the current group
   std::int16_t hops = 0;
+  Mode mode = Mode::kAd0;
+  bool nonminimal = false;
+  bool via_done = false;
   /// Deadlock-avoidance VC ladder level: 0 in the source group, +1 per
   /// group crossing (bumped by the network on rank-3 traversal) and +1 when
   /// an intra-group Valiant detour passes its intermediate router (bumped
   /// by next_port()).
   std::uint8_t level = 0;
 };
+static_assert(sizeof(RouteState) <= 20);
 
 class RoutePlanner {
  public:
@@ -83,6 +101,10 @@ class RoutePlanner {
   /// `r` toward group `tg` (first-hop load + global-port load).
   [[nodiscard]] std::int64_t gateway_score(topo::RouterId r, topo::GroupId tg);
 
+  /// Install a direct view of the oracle's load tables (see LoadView).
+  /// Optional: without one, loads go through the LoadOracle virtual call.
+  void set_load_view(LoadView v) { view_ = v; }
+
   /// First-hop port from `r` toward local router `t` (adaptive 2-hop choice;
   /// cached table lookup). Exposed for tests. Precondition: same group.
   [[nodiscard]] topo::PortId local_first_port(topo::RouterId r,
@@ -95,6 +117,22 @@ class RoutePlanner {
   }
 
  private:
+  /// Load of `r`'s output port `p`, via the direct view when installed.
+  /// Identical arithmetic either way: summed VC occupancy, scaled to
+  /// [0, kLoadScale] credit units by the buffer capacity.
+  [[nodiscard]] std::int64_t load_units(topo::RouterId r,
+                                        topo::PortId p) const {
+    if (view_.occupancy == nullptr) return loads_.load_units(r, p);
+    const std::size_t base =
+        (static_cast<std::size_t>(view_.port_base[static_cast<std::size_t>(r)]) +
+         static_cast<std::size_t>(p)) *
+        view_.vc_stride;
+    std::int64_t occ = 0;
+    for (std::size_t vc = 0; vc < view_.vc_stride; ++vc)
+      occ += view_.occupancy[base + vc];
+    return occ * kLoadScale / view_.capacity;
+  }
+
   /// Load of the first hop from `r` toward local router `t`.
   [[nodiscard]] std::int64_t local_first_load(topo::RouterId r, topo::RouterId t) const;
   /// Pick a gateway router in group(r) toward `tg`, minimizing
@@ -129,6 +167,7 @@ class RoutePlanner {
 
   const topo::Dragonfly& topo_;
   const LoadOracle& loads_;
+  LoadView view_;  ///< optional direct load tables (empty: use loads_)
   sim::Rng rng_;
 
   // --- lookup tables, built once from topo_ ---

@@ -53,6 +53,16 @@ class Engine {
     schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
+  /// From inside a running event only: fire this event's callback again
+  /// `delay` ns from now, reusing its queue slot, payload (with any state
+  /// the callback mutated), and original insertion sequence. One push can
+  /// thus drive a multi-phase event — the forwarding plane fuses its
+  /// per-hop "serialization done" / "arrival" pair this way.
+  void rearm(Tick delay) {
+    if (delay < 0) throw std::invalid_argument("Engine::rearm: negative delay");
+    queue_.rearm_current(now_ + delay);
+  }
+
   /// Run until the queue drains, stop() is called, or the event budget is
   /// exhausted. Returns the number of events executed in this call.
   std::uint64_t run();
@@ -68,6 +78,10 @@ class Engine {
 
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
+
+  /// Pre-size the event queue for `n` simultaneously pending events
+  /// (capacity only; see EventQueue::reserve).
+  void reserve_events(std::size_t n) { queue_.reserve(n); }
 
   /// Hard safety budget on total events executed (guards runaway models).
   void set_event_budget(std::uint64_t budget) { budget_ = budget; }

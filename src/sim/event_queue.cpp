@@ -1,5 +1,6 @@
 #include "sim/event_queue.hpp"
 #include <algorithm>
+#include <stdexcept>
 
 namespace dfsim::sim {
 
@@ -20,7 +21,8 @@ std::uint32_t EventQueue::acquire_slot() {
 }
 
 void EventQueue::pop_and_run() {
-  const std::uint32_t idx = heap_.front().slot();
+  const Entry cur = heap_.front();
+  const std::uint32_t idx = cur.slot();
   // Remove the root before running: the callback may push new events.
   if (heap_.size() > 1) {
     heap_.front() = heap_.back();
@@ -31,10 +33,54 @@ void EventQueue::pop_and_run() {
   }
   Slot& s = slot(idx);
   const std::uint64_t epoch = epoch_;
-  s.run(s);
+  const std::uint64_t renum = renumber_gen_;
+  running_ = true;
+  rearm_pending_ = false;
+  s.run(*this, s);
+  running_ = false;
   // If the callback called clear(), the pool was rebuilt under us; this
   // slot index must not be recycled into the new epoch's free list.
-  if (epoch == epoch_) release_slot(idx);
+  if (epoch != epoch_) return;
+  if (rearm_pending_) {
+    rearm_pending_ = false;
+    // Keep the original sequence so same-tick ordering matches where the
+    // original push sat. If a renumber happened while the callback ran (one
+    // per 2^32 pushes; unreachable inside a single event in practice), the
+    // old sequence could collide with a renumbered one — take a fresh seq.
+    std::uint64_t key = cur.key;
+    if (renum != renumber_gen_) {
+      if (next_seq_ == kMaxSeq) renumber_seqs();
+      key = (static_cast<std::uint64_t>(next_seq_++) << 32) | idx;
+    }
+    heap_.push_back(Entry{rearm_time_, key});
+    sift_up(heap_.size() - 1);
+    return;
+  }
+  release_slot(idx);
+}
+
+void EventQueue::rearm_current(Tick t) {
+  if (!running_)
+    throw std::logic_error(
+        "EventQueue::rearm_current: no event is currently running");
+  rearm_pending_ = true;
+  rearm_time_ = t;
+}
+
+void EventQueue::reserve(std::size_t events) {
+  heap_.reserve(events);
+  const std::size_t target_chunks = (events + kChunkSlots - 1) / kChunkSlots;
+  if (target_chunks > chunks_.size()) {
+    chunks_.reserve(target_chunks);
+    free_.reserve(target_chunks * kChunkSlots);
+    while (chunks_.size() < target_chunks) {
+      const auto idx = static_cast<std::uint32_t>(chunks_.size() * kChunkSlots);
+      chunks_.push_back(std::make_unique<Slot[]>(kChunkSlots));
+      // Same hand-out order acquire_slot() produces: lowest index first.
+      for (std::size_t k = kChunkSlots; k > 0; --k)
+        free_.push_back(idx + static_cast<std::uint32_t>(k - 1));
+    }
+  }
 }
 
 void EventQueue::clear() {
@@ -46,6 +92,7 @@ void EventQueue::clear() {
   chunks_.clear();
   free_.clear();
   next_seq_ = 0;
+  rearm_pending_ = false;
   ++epoch_;
 }
 
@@ -63,6 +110,7 @@ void EventQueue::renumber_seqs() {
     heap_[i].key = (static_cast<std::uint64_t>(rank++) << 32) |
                    (heap_[i].key & 0xFFFFFFFFull);
   next_seq_ = rank;
+  ++renumber_gen_;
 }
 
 void EventQueue::sift_up(std::size_t i) {

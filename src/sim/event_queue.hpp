@@ -13,6 +13,17 @@
 // events (growing the pool) while it executes from its own slot. The 4-ary
 // heap itself orders lightweight packed {time, seq|slot} entries, so heapify
 // moves 16-byte records instead of type-erased closures.
+//
+// Event coalescing: a running callback may call rearm_current(t) to be
+// re-inserted at a later time with its slot, payload (including any state
+// the callback mutated), and — crucially — its original insertion sequence
+// intact. This lets one pushed event fire at several points in time, which
+// net::Network uses to fuse the per-hop "serialization done" + "arrival"
+// event pair into a single push. Keeping the original sequence number is
+// what makes the fusion bit-exact: two same-tick events still execute in
+// original push order, so coalesced and non-coalesced runs of the simulator
+// order every conflicting pair of events identically (see docs/MODEL.md,
+// "Forwarding-plane memory layout & event coalescing").
 #pragma once
 
 #include <cstddef>
@@ -51,13 +62,14 @@ class EventQueue {
     Slot& s = slot(idx);
     if constexpr (fits_inline<Fn>()) {
       ::new (static_cast<void*>(s.buf)) Fn(std::forward<F>(fn));
-      s.run = [](Slot& sl) {
+      s.run = [](EventQueue& q, Slot& sl) {
         Fn* f = std::launder(reinterpret_cast<Fn*>(sl.buf));
         // Invoked in place: pool chunks are address-stable, so the callback
         // may push new events (growing the pool) while it runs. Calling
         // EventQueue::clear() from inside a callback is not supported.
         (*f)();
-        f->~Fn();
+        // A rearmed payload survives (mutated state and all) to fire again.
+        if (!q.rearm_pending_) f->~Fn();
       };
       s.drop = [](Slot& sl) {
         std::launder(reinterpret_cast<Fn*>(sl.buf))->~Fn();
@@ -65,10 +77,10 @@ class EventQueue {
     } else {
       // Type-erased fallback for rare oversized closures.
       ::new (static_cast<void*>(s.buf)) Fn*(new Fn(std::forward<F>(fn)));
-      s.run = [](Slot& sl) {
+      s.run = [](EventQueue& q, Slot& sl) {
         Fn* f = *std::launder(reinterpret_cast<Fn**>(sl.buf));
         (*f)();
-        delete f;
+        if (!q.rearm_pending_) delete f;
       };
       s.drop = [](Slot& sl) {
         delete *std::launder(reinterpret_cast<Fn**>(sl.buf));
@@ -90,8 +102,21 @@ class EventQueue {
   /// Precondition: !empty().
   void pop_and_run();
 
+  /// From inside a running callback only: re-insert the current event at
+  /// absolute time `t` (>= its own fire time) instead of recycling it. The
+  /// payload is kept alive — including any state the callback mutated — and
+  /// the entry keeps its original insertion sequence, so at equal times the
+  /// rearmed firing still orders exactly where the original push would
+  /// have. At most one pending rearm per firing (the last call wins).
+  void rearm_current(Tick t);
+
   /// Drop all pending events (destroying their payloads) and reset.
   void clear();
+
+  /// Pre-size the slot pool and heap for at least `events` simultaneously
+  /// pending events, so reaching that population later allocates nothing.
+  /// Capacity only: pending events and their order are unaffected.
+  void reserve(std::size_t events);
 
   /// Pool capacity in slots (allocated high-water mark; for tests/benches).
   [[nodiscard]] std::size_t pool_slots() const {
@@ -104,7 +129,8 @@ class EventQueue {
   /// One slot per cache line: 48 payload bytes + two thunk pointers.
   struct alignas(64) Slot {
     std::byte buf[kInlineBytes];
-    void (*run)(Slot&) = nullptr;   ///< invoke payload, then destroy it
+    /// Invoke the payload; destroy it unless a rearm is pending.
+    void (*run)(EventQueue&, Slot&) = nullptr;
     void (*drop)(Slot&) = nullptr;  ///< destroy payload without invoking
   };
   static_assert(sizeof(Slot) == 64);
@@ -147,7 +173,7 @@ class EventQueue {
   // Hand-rolled d-ary min-heap over heap_. A 4-ary heap halves the depth of
   // a binary heap, and heap sift cost is dominated by data-dependent branch
   // mispredictions per level, so fewer levels beat fewer compares; the four
-  // children of a node also share a cache line (4 x 24-byte entries).
+  // children of a node also share a cache line (4 x 16-byte entries).
   static constexpr std::size_t kHeapArity = 4;
   void sift_up(std::size_t i);
   void sift_down_from_root();
@@ -162,6 +188,13 @@ class EventQueue {
   std::vector<std::uint32_t> free_;              ///< recycled slot indices
   std::uint32_t next_seq_ = 0;
   std::uint64_t epoch_ = 0;  ///< bumped by clear(); guards slot recycling
+  // rearm_current() handshake between a running callback and pop_and_run().
+  bool running_ = false;
+  bool rearm_pending_ = false;
+  Tick rearm_time_ = 0;
+  /// Bumped by renumber_seqs(); a rearm that straddles a renumber takes a
+  /// fresh sequence number instead of its (now stale) original one.
+  std::uint64_t renumber_gen_ = 0;
 };
 
 }  // namespace dfsim::sim

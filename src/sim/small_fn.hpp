@@ -1,0 +1,124 @@
+// Move-only `void()` callable with inline storage.
+//
+// std::function's 16-byte small-buffer optimization (libstdc++) is too small
+// for the capture lists the simulator's completion callbacks carry (the MPI
+// machine's delivery callback is ~48 bytes), so storing one per in-flight
+// message heap-allocates on the forwarding plane's hot path. SmallFn keeps
+// captures up to kInlineBytes in the object itself and falls back to one
+// heap allocation only for oversized or potentially-throwing-move callables
+// (nothing in the simulator needs the fallback). Unlike std::function it is
+// move-only, so reference-capturing and move-only captures are both fine.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dfsim::sim {
+
+class SmallFn {
+ public:
+  /// Inline capture capacity; covers every callback the simulator registers.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  SmallFn() = default;
+  SmallFn(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F,
+            class = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, SmallFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SmallFn(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (fits_inline<Fn>()) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      ops_ = &inline_ops<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      ops_ = &heap_ops<Fn>;
+    }
+  }
+
+  SmallFn(SmallFn&& o) noexcept : ops_(o.ops_) {
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, o.buf_);
+      o.ops_ = nullptr;
+    }
+  }
+
+  SmallFn& operator=(SmallFn&& o) noexcept {
+    if (this != &o) {
+      reset();
+      ops_ = o.ops_;
+      if (ops_ != nullptr) {
+        ops_->relocate(buf_, o.buf_);
+        o.ops_ = nullptr;
+      }
+    }
+    return *this;
+  }
+
+  SmallFn(const SmallFn&) = delete;
+  SmallFn& operator=(const SmallFn&) = delete;
+
+  ~SmallFn() { reset(); }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() const { ops_->call(const_cast<std::byte*>(buf_)); }
+
+ private:
+  struct Ops {
+    void (*call)(std::byte*);
+    /// Move-construct the payload into `dst` from `src`, destroying `src`.
+    void (*relocate)(std::byte* dst, std::byte* src);
+    void (*destroy)(std::byte*);
+  };
+
+  template <class Fn>
+  static constexpr bool fits_inline() {
+    // Inline relocation happens inside the noexcept move members, so the
+    // payload's move constructor must be noexcept; otherwise fall back to a
+    // heap payload whose relocation is a pointer copy.
+    return sizeof(Fn) <= kInlineBytes &&
+           alignof(Fn) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<Fn>;
+  }
+
+  template <class Fn>
+  static Fn* as(std::byte* p) {
+    return std::launder(reinterpret_cast<Fn*>(p));
+  }
+
+  template <class Fn>
+  static constexpr Ops inline_ops{
+      [](std::byte* p) { (*as<Fn>(p))(); },
+      [](std::byte* dst, std::byte* src) {
+        ::new (static_cast<void*>(dst)) Fn(std::move(*as<Fn>(src)));
+        as<Fn>(src)->~Fn();
+      },
+      [](std::byte* p) { as<Fn>(p)->~Fn(); },
+  };
+
+  template <class Fn>
+  static constexpr Ops heap_ops{
+      [](std::byte* p) { (**as<Fn*>(p))(); },
+      [](std::byte* dst, std::byte* src) {
+        ::new (static_cast<void*>(dst)) Fn*(*as<Fn*>(src));
+      },
+      [](std::byte* p) { delete *as<Fn*>(p); },
+  };
+
+  alignas(std::max_align_t) std::byte buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace dfsim::sim

@@ -19,6 +19,13 @@ const char* tile_class_name(TileClass c) {
 Dragonfly::Dragonfly(Config cfg) : cfg_(std::move(cfg)) {
   cfg_.validate();
   const auto nr = static_cast<std::size_t>(cfg_.num_routers());
+  // Coordinate tables first: the port builders below use group_of_router().
+  router_group_.resize(nr);
+  for (RouterId r = 0; r < cfg_.num_routers(); ++r)
+    router_group_[static_cast<std::size_t>(r)] = r / cfg_.routers_per_group();
+  node_router_.resize(static_cast<std::size_t>(cfg_.num_nodes()));
+  for (NodeId n = 0; n < cfg_.num_nodes(); ++n)
+    node_router_[static_cast<std::size_t>(n)] = n / cfg_.nodes_per_router;
   ports_.resize(nr);
   global_target_.resize(nr);
   global_ports_by_group_.resize(nr);

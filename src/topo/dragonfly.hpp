@@ -57,8 +57,12 @@ class Dragonfly {
   [[nodiscard]] const Config& config() const { return cfg_; }
 
   // --- Coordinates ---
+  // group_of_router / router_of_node / node_slot are forwarding hot-path
+  // lookups (every routing step divides ids into coordinates), so they read
+  // tables precomputed by the constructor instead of performing runtime
+  // integer divisions by the (runtime-valued) topology dimensions.
   [[nodiscard]] GroupId group_of_router(RouterId r) const {
-    return r / cfg_.routers_per_group();
+    return router_group_[static_cast<std::size_t>(r)];
   }
   [[nodiscard]] int chassis_of(RouterId r) const {
     return (r % cfg_.routers_per_group()) / cfg_.slots_per_chassis;
@@ -71,12 +75,14 @@ class Dragonfly {
                                  chassis * cfg_.slots_per_chassis + slot);
   }
   [[nodiscard]] RouterId router_of_node(NodeId n) const {
-    return n / cfg_.nodes_per_router;
+    return node_router_[static_cast<std::size_t>(n)];
   }
   [[nodiscard]] GroupId group_of_node(NodeId n) const {
     return group_of_router(router_of_node(n));
   }
-  [[nodiscard]] int node_slot(NodeId n) const { return n % cfg_.nodes_per_router; }
+  [[nodiscard]] int node_slot(NodeId n) const {
+    return n - node_router_[static_cast<std::size_t>(n)] * cfg_.nodes_per_router;
+  }
 
   // --- Ports ---
   [[nodiscard]] int num_ports(RouterId r) const {
@@ -132,6 +138,8 @@ class Dragonfly {
   void build_proc_ports();
 
   Config cfg_;
+  std::vector<GroupId> router_group_;  // [router] -> group (hot-path table)
+  std::vector<RouterId> node_router_;  // [node] -> router (hot-path table)
   std::vector<std::vector<PortInfo>> ports_;  // [router][port]
   // Per router: target group of each rank-3 port (parallel to port order).
   std::vector<std::vector<GroupId>> global_target_;

@@ -1,0 +1,199 @@
+// Forwarding-plane hot-path contracts.
+//
+// Two properties the allocation-free rework must keep holding:
+//
+//  1. Steady-state forwarding performs ZERO heap allocations. A counting
+//     operator new instruments this whole binary; a closed-loop workload
+//     (messages re-sent from their own delivery callbacks, no MPI/app
+//     layer) drives the full scaled-Theta network, and after a warmup
+//     window that reaches every pool's high-water mark, the measured
+//     window must not allocate at all. Release-gated: the pools behave
+//     identically in Debug, but the run is assert-heavy and slow there.
+//
+//  2. Event coalescing is a pure performance transform. The fused per-hop
+//     and per-injection event pairs keep their original insertion sequence
+//     (EventQueue::rearm_current), so a coalesced run and an unfused run
+//     must be byte-identical in every counter, decision split, event count,
+//     and simulated runtime (see docs/MODEL.md, "Forwarding-plane memory
+//     layout & event coalescing").
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "net/network.hpp"
+#include "routing/bias.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "sim/time.hpp"
+#include "topo/config.hpp"
+#include "topo/dragonfly.hpp"
+
+// --- counting allocator (whole binary) -------------------------------------
+
+namespace {
+std::atomic<std::uint64_t> g_allocs{0};
+}
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                                   (n + static_cast<std::size_t>(a) - 1) &
+                                       ~(static_cast<std::size_t>(a) - 1)))
+    return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) {
+  return ::operator new(n, a);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace dfsim {
+namespace {
+
+// --- 1. zero steady-state allocations --------------------------------------
+
+/// Closed-loop traffic source: each flow keeps exactly one message in
+/// flight, re-sent from its own delivery callback, so the network stays
+/// saturated without any app-layer (coroutine/shared_ptr) machinery.
+struct ClosedLoop {
+  net::Network& net;
+  std::vector<topo::NodeId> src, dst;
+
+  void kick(int i) {
+    net.send_message(src[static_cast<std::size_t>(i)],
+                     dst[static_cast<std::size_t>(i)], 64 * 1024,
+                     routing::Mode::kAd0, [this, i] { kick(i); });
+  }
+};
+
+TEST(ForwardingPlane, SteadyStateDoesNotAllocate) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "allocation budget is pinned on Release builds";
+#endif
+  topo::Config cfg = topo::Config::theta_scaled();
+  cfg.packet_payload_bytes = 4096;
+  cfg.buffer_flits = 2048;
+  const topo::Dragonfly topo(cfg);
+  sim::Engine eng;
+  net::Network net(eng, topo, 2021);
+
+  constexpr int kFlows = 128;
+  // Pre-size every pool past its workload bound so "zero allocations" is a
+  // deterministic property of the steady state, not a warmup race.
+  eng.reserve_events(1u << 16);
+  net.reserve(static_cast<std::size_t>(kFlows) * 64, 2 * kFlows, 1u << 14);
+
+  ClosedLoop loop{net, {}, {}};
+  sim::Rng rng(0x5757575757575757ULL);
+  const auto nodes = static_cast<std::uint64_t>(cfg.num_nodes());
+  for (int i = 0; i < kFlows; ++i) {
+    const auto s = static_cast<topo::NodeId>(rng.uniform_u64(nodes));
+    auto d = static_cast<topo::NodeId>(rng.uniform_u64(nodes));
+    if (d == s) d = static_cast<topo::NodeId>((d + 1) % cfg.num_nodes());
+    loop.src.push_back(s);
+    loop.dst.push_back(d);
+  }
+  for (int i = 0; i < kFlows; ++i) loop.kick(i);
+
+  // Warmup: grow every pool to its high-water mark.
+  eng.run_until(sim::kMillisecond);
+  const std::uint64_t a0 = g_allocs.load(std::memory_order_relaxed);
+  const std::uint64_t e0 = eng.events_executed();
+
+  eng.run_until(2 * sim::kMillisecond);
+
+  const std::uint64_t allocs = g_allocs.load(std::memory_order_relaxed) - a0;
+  const std::uint64_t events = eng.events_executed() - e0;
+  EXPECT_GT(events, 500'000u) << "workload too small to be meaningful";
+  EXPECT_GT(net.stats().packets_delivered, 0);
+  EXPECT_EQ(allocs, 0u)
+      << "forwarding plane allocated in steady state across " << events
+      << " events";
+}
+
+// --- 2. coalesced vs unfused event path ------------------------------------
+
+/// CounterSnapshot is an all-int64 aggregate: byte equality is exact
+/// equality, and the strongest statement of "same simulation".
+bool same_bytes(const net::CounterSnapshot& a, const net::CounterSnapshot& b) {
+  return std::memcmp(&a, &b, sizeof(net::CounterSnapshot)) == 0;
+}
+
+core::ProductionConfig small_theta(std::uint64_t seed) {
+  core::ProductionConfig cfg;
+  cfg.system = topo::Config::theta_scaled();
+  cfg.app = "MILC";
+  cfg.nnodes = 16;
+  cfg.params.iterations = 1;
+  cfg.params.msg_scale = 0.05;
+  cfg.params.compute_scale = 0.1;
+  cfg.params.seed = seed;
+  cfg.bg_utilization = 0.1;
+  cfg.seed = seed;
+  return cfg;
+}
+
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  ASSERT_TRUE(a.ok);
+  ASSERT_TRUE(b.ok);
+  EXPECT_TRUE(same_bytes(a.global, b.global));
+  EXPECT_EQ(a.netstats.total_hops, b.netstats.total_hops);
+  EXPECT_EQ(a.netstats.minimal_decisions, b.netstats.minimal_decisions);
+  EXPECT_EQ(a.netstats.nonminimal_decisions, b.netstats.nonminimal_decisions);
+  EXPECT_EQ(a.netstats.packets_injected, b.netstats.packets_injected);
+  EXPECT_EQ(a.netstats.packets_delivered, b.netstats.packets_delivered);
+  EXPECT_EQ(a.netstats.escapes, b.netstats.escapes);
+  // A fused pair still fires twice (schedule + rearm), so even the executed
+  // event count must match the unfused path exactly.
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.runtime_ms, b.runtime_ms);
+}
+
+TEST(ForwardingPlane, CoalescingIsByteIdentical) {
+  core::ProductionConfig fused = small_theta(2021);
+  core::ProductionConfig unfused = fused;
+  unfused.coalesce_events = false;
+
+  const core::RunResult a = core::run_production(fused);
+  const core::RunResult b = core::run_production(unfused);
+  expect_identical(a, b);
+  ASSERT_TRUE(a.ok);
+  EXPECT_GT(a.netstats.packets_delivered, 0);
+}
+
+TEST(ForwardingPlane, CoalescingIsByteIdenticalAcrossSeeds) {
+  for (const std::uint64_t seed : {7ULL, 1999ULL}) {
+    SCOPED_TRACE(seed);
+    core::ProductionConfig fused = small_theta(seed);
+    core::ProductionConfig unfused = fused;
+    unfused.coalesce_events = false;
+    expect_identical(core::run_production(fused),
+                     core::run_production(unfused));
+  }
+}
+
+}  // namespace
+}  // namespace dfsim
