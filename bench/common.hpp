@@ -30,6 +30,9 @@ struct Options {
   double bg = 0.7;      ///< background utilization for production runs
   std::uint64_t seed = 2021;
   int jobs = 0;         ///< trial worker threads; 0 = hardware concurrency
+  int shards = -1;      ///< intra-trial shards; -1 = DFSIM_TEST_SHARDS env,
+                        ///< 0 = serial engine, N>=1 = sharded (results are
+                        ///< byte-identical for every N >= 1)
   std::string csv_dir;  ///< when set (--csv=DIR), also write raw CSV series
 
   static Options parse(int argc, char** argv) {
@@ -47,13 +50,18 @@ struct Options {
       else if (const char* v5 = val("--seed=")) o.seed = std::strtoull(v5, nullptr, 10);
       else if (const char* v6 = val("--csv=")) o.csv_dir = v6;
       else if (const char* v7 = val("--jobs=")) o.jobs = std::atoi(v7);
+      else if (const char* v8 = val("--shards=")) o.shards = std::atoi(v8);
       else if (a == "--full") o.full = true;
       else if (a == "--help" || a == "-h") {
         std::printf(
             "options: --samples=N --iterations=N --scale=X --bg=U --seed=S "
-            "--jobs=N --full --csv=DIR\n"
-            "  --jobs=N  trial worker threads (default: hardware "
-            "concurrency; results are identical for any N)\n");
+            "--jobs=N --shards=N --full --csv=DIR\n"
+            "  --jobs=N    trial worker threads (default: hardware "
+            "concurrency; results are identical for any N)\n"
+            "  --shards=N  intra-trial event-execution shards (default: "
+            "DFSIM_TEST_SHARDS env, else 0 = serial engine; results are "
+            "byte-identical for every N >= 1). Combine with --jobs: total "
+            "threads ~= jobs * shards.\n");
         std::exit(0);
       }
     }
@@ -106,6 +114,7 @@ struct Options {
     cfg.params = params_for(app);
     cfg.bg_utilization = bg;
     cfg.seed = seed;
+    cfg.shards = shards;
     return cfg;
   }
 };

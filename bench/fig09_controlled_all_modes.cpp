@@ -49,6 +49,7 @@ int main(int argc, char** argv) {
           cfg.params.msg_scale = opt.scale * 6;
           cfg.placement = cell.placement;
           cfg.seed = opt.seed;  // same placements for every mode: paired
+          cfg.shards = opt.shards;
           return core::run_controlled(cfg);
         });
     int failures = 0;

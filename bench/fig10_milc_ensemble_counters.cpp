@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
     cfg.params.msg_scale = opt.scale * 6;
     cfg.placement = sched::Placement::kRandom;
     cfg.seed = opt.seed;
+    cfg.shards = opt.shards;
     return core::run_controlled(cfg);
   });
   bench::report_batch("controlled", runner.stats(),

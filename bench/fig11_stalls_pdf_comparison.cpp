@@ -80,6 +80,7 @@ int main(int argc, char** argv) {
       cfg.params.msg_scale = opt.scale * 6;
       cfg.placement = placements[pi];
       cfg.seed = opt.seed + 17;
+      cfg.shards = opt.shards;
       return core::run_controlled(cfg);
     });
     bench::report_batch("controlled", runner.stats(),

@@ -40,6 +40,7 @@
 #include <cstring>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -164,6 +165,7 @@ struct SimResult {
   /// forwarding plane itself is allocation-free — see --allocs-strict).
   double steady_allocs_per_event = 0.0;
   double runtime_ms = 0.0;  ///< simulated app runtime (sanity anchor)
+  core::ShardExecStats shard_exec;  ///< substrate stats (zeros if serial)
   bool ok = false;
 };
 
@@ -183,9 +185,10 @@ core::ProductionConfig sim_config(bool quick, std::uint64_t seed) {
   return cfg;
 }
 
-SimResult run_sim(bool quick, std::uint64_t seed,
+SimResult run_sim(bool quick, std::uint64_t seed, int shards = 0,
                   net::EventProfile* profile = nullptr) {
   core::ProductionConfig cfg = sim_config(quick, seed);
+  cfg.shards = shards;
   cfg.event_profile = profile;
   std::uint64_t steady_a0 = 0;
   std::uint64_t steady_e0 = 0;
@@ -209,6 +212,7 @@ SimResult run_sim(bool quick, std::uint64_t seed,
   out.events = r.events_executed;
   out.packets = r.netstats.packets_delivered;
   out.runtime_ms = r.runtime_ms;
+  out.shard_exec = r.shard_exec;
   out.events_per_sec =
       out.wall_ms > 0.0 ? 1000.0 * static_cast<double>(out.events) / out.wall_ms
                         : 0.0;
@@ -332,6 +336,8 @@ int main(int argc, char** argv) {
   using namespace dfsim;
   bool quick = false;
   bool allocs_strict = false;
+  bool shard_scaling = true;
+  int shards = 0;  // headline sim run substrate (0 = serial engine)
   std::uint64_t micro_events = 20'000'000;
   std::uint64_t seed = 2021;
   int repeats = 5;
@@ -343,6 +349,10 @@ int main(int argc, char** argv) {
       micro_events = 2'000'000;
     } else if (a == "--allocs-strict") {
       allocs_strict = true;
+    } else if (a == "--no-shard-scaling") {
+      shard_scaling = false;
+    } else if (a.rfind("--shards=", 0) == 0) {
+      shards = std::max(0, std::atoi(a.c_str() + 9));
     } else if (a.rfind("--micro-events=", 0) == 0) {
       micro_events = std::strtoull(a.c_str() + 15, nullptr, 10);
     } else if (a.rfind("--seed=", 0) == 0) {
@@ -353,8 +363,12 @@ int main(int argc, char** argv) {
       out_path = a.substr(6);
     } else if (a == "--help" || a == "-h") {
       std::printf(
-          "usage: perf_hotpath [--quick] [--allocs-strict] [--micro-events=N] "
-          "[--seed=S] [--repeats=N] [--out=FILE]\n");
+          "usage: perf_hotpath [--quick] [--allocs-strict] [--shards=N] "
+          "[--no-shard-scaling] [--micro-events=N] [--seed=S] [--repeats=N] "
+          "[--out=FILE]\n"
+          "  --shards=N  substrate for the headline sim trial (0 = serial "
+          "engine; N >= 1 = lookahead-windowed sharded execution, results "
+          "byte-identical for every N)\n");
       return 0;
     }
   }
@@ -384,7 +398,7 @@ int main(int argc, char** argv) {
   // deterministic, so the fastest repetition carries the least machine noise.
   SimResult sim;
   for (int rep = 0; rep < repeats; ++rep) {
-    const SimResult one = run_sim(quick, seed);
+    const SimResult one = run_sim(quick, seed, shards);
     if (!one.ok) return 1;
     if (rep > 0 && (one.events != sim.events || one.packets != sim.packets)) {
       std::fprintf(stderr,
@@ -407,9 +421,11 @@ int main(int argc, char** argv) {
       sim.allocs_per_event, sim.steady_allocs_per_event);
 
   // Per-event-kind breakdown: re-run the same trial with a profile attached.
-  // Clock overhead makes this run slower, so only shares are reported.
+  // Clock overhead makes this run slower, so only shares are reported. The
+  // profiled rerun is always serial: EventProfile attachment is unsupported
+  // under sharded execution (it would need cross-thread aggregation).
   net::EventProfile prof;
-  const SimResult profiled = run_sim(quick, seed, &prof);
+  const SimResult profiled = run_sim(quick, seed, 0, &prof);
   if (!profiled.ok) return 1;
   const auto total_wall = static_cast<double>(prof.total_wall_ns());
   std::printf("  breakdown (event kinds, profiled re-run):\n");
@@ -420,6 +436,74 @@ int main(int argc, char** argv) {
                 total_wall > 0.0
                     ? 100.0 * static_cast<double>(prof.wall_ns[k]) / total_wall
                     : 0.0);
+  }
+
+  // Shard-scaling sweep: the same trial on the serial engine (row 0) and on
+  // the sharded substrate at 1/2/4/8 shards. Rows 1..8 must agree with each
+  // other exactly (the sharded family's determinism contract); row 0 follows
+  // the serial schedule, a different but equally valid event order, so its
+  // event/packet totals may differ slightly. Wall-clock gains require as many
+  // hardware cores as shards — hw_threads is recorded so a 1-core CI runner's
+  // flat curve reads as what it is.
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  struct ScaleRow {
+    int shards = 0;
+    SimResult r;
+  };
+  std::vector<ScaleRow> scaling;
+  if (shard_scaling) {
+    const int scale_reps = quick ? 1 : 2;
+    std::printf("  shard scaling (%u hardware threads, best of %d):\n",
+                hw_threads, scale_reps);
+    for (const int s : {0, 1, 2, 4, 8}) {
+      SimResult best;
+      for (int rep = 0; rep < scale_reps; ++rep) {
+        const SimResult one = run_sim(quick, seed, s);
+        if (!one.ok) return 1;
+        if (rep == 0 || one.wall_ms < best.wall_ms) best = one;
+      }
+      scaling.push_back(ScaleRow{s, best});
+      const auto& se = best.shard_exec;
+      std::uint64_t ev_min = 0, ev_max = 0;
+      for (const std::uint64_t e : se.shard_events) {
+        ev_min = ev_min == 0 ? e : std::min(ev_min, e);
+        ev_max = std::max(ev_max, e);
+      }
+      if (s == 0) {
+        std::printf("    serial    %7.1f ms  %.2f M events/sec\n",
+                    best.wall_ms, best.events_per_sec / 1e6);
+      } else {
+        std::printf(
+            "    %d shard%s  %7.1f ms  %.2f M events/sec  (%.2fx vs serial, "
+            "%d worker%s, %llu windows, %llu mail, barrier %.1f ms, "
+            "shard events %llu..%llu)\n",
+            s, s == 1 ? " " : "s", best.wall_ms, best.events_per_sec / 1e6,
+            scaling.front().r.wall_ms > 0.0
+                ? scaling.front().r.wall_ms / best.wall_ms
+                : 0.0,
+            se.workers, se.workers == 1 ? "" : "s",
+            static_cast<unsigned long long>(se.windows),
+            static_cast<unsigned long long>(se.mail_records),
+            static_cast<double>(se.barrier_wait_ns) / 1e6,
+            static_cast<unsigned long long>(ev_min),
+            static_cast<unsigned long long>(ev_max));
+      }
+    }
+    // Cross-row determinism gate: every sharded row is the same simulation.
+    for (std::size_t i = 2; i < scaling.size(); ++i) {
+      if (scaling[i].r.events != scaling[1].r.events ||
+          scaling[i].r.packets != scaling[1].r.packets) {
+        std::fprintf(stderr,
+                     "perf_hotpath: shard-count nondeterminism (%d shards: "
+                     "%llu events, %lld packets vs %llu, %lld at 1 shard)\n",
+                     scaling[i].shards,
+                     static_cast<unsigned long long>(scaling[i].r.events),
+                     static_cast<long long>(scaling[i].r.packets),
+                     static_cast<unsigned long long>(scaling[1].r.events),
+                     static_cast<long long>(scaling[1].r.packets));
+        return 1;
+      }
+    }
   }
 
   const double micro_speedup =
@@ -488,6 +572,32 @@ int main(int argc, char** argv) {
     first = false;
   }
   std::fprintf(f, "\n  ],\n");
+  std::fprintf(f, "  \"hw_threads\": %u,\n", hw_threads);
+  std::fprintf(f, "  \"shard_scaling\": [\n");
+  for (std::size_t i = 0; i < scaling.size(); ++i) {
+    const auto& row = scaling[i];
+    const auto& se = row.r.shard_exec;
+    std::fprintf(
+        f,
+        "    {\"shards\": %d, \"workers\": %d, \"wall_ms\": %.3f, "
+        "\"events\": %llu, \"packets\": %lld, \"events_per_sec\": %.1f, "
+        "\"speedup_vs_serial\": %.3f, \"lookahead_ns\": %lld, "
+        "\"windows\": %llu, \"mail_records\": %llu, "
+        "\"barrier_wait_ms\": %.3f, \"shard_events\": [",
+        row.shards, se.workers, row.r.wall_ms,
+        static_cast<unsigned long long>(row.r.events),
+        static_cast<long long>(row.r.packets), row.r.events_per_sec,
+        row.r.wall_ms > 0.0 ? scaling.front().r.wall_ms / row.r.wall_ms : 0.0,
+        static_cast<long long>(se.lookahead),
+        static_cast<unsigned long long>(se.windows),
+        static_cast<unsigned long long>(se.mail_records),
+        static_cast<double>(se.barrier_wait_ns) / 1e6);
+    for (std::size_t s = 0; s < se.shard_events.size(); ++s)
+      std::fprintf(f, "%s%llu", s == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(se.shard_events[s]));
+    std::fprintf(f, "]}%s\n", i + 1 < scaling.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"baseline\": {\n"
                "    \"recorded\": \"pre-rework seed (std::function event queue, "

@@ -43,6 +43,10 @@ std::vector<int> balanced_dims(int n, int d);
 
 /// Map a rank to coordinates in the given dims (row-major) and back.
 std::vector<int> rank_to_coords(int rank, const std::vector<int>& dims);
+/// Allocation-free variant: writes into `c` (resized to dims.size()).
+/// Use in loops that decode many ranks (reuses `c`'s capacity).
+void rank_to_coords_into(int rank, const std::vector<int>& dims,
+                         std::vector<int>& c);
 int coords_to_rank(const std::vector<int>& coords, const std::vector<int>& dims);
 
 // --- Application skeletons (one per paper app) ---

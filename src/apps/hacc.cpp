@@ -24,8 +24,8 @@ mpi::CoTask pencil_transpose(mpi::RankCtx& ctx, const mpi::Comm& comm,
                              std::int64_t bytes_per_peer, int tag) {
   const int cn = comm.size();
   const int ci = comm.my_index;
-  std::vector<mpi::Request> sends;
-  std::vector<mpi::Request> recvs;
+  mpi::RequestList sends;
+  mpi::RequestList recvs;
   for (int r = 1; r < cn; ++r) {
     const int peer = comm.world((ci + r) % cn);
     const int from = comm.world((ci - r + cn) % cn);
@@ -83,7 +83,7 @@ mpi::CoTask hacc(mpi::RankCtx& ctx, AppParams p) {
     co_await ctx.compute_jitter(step_work / 2, 0.02);
 
     // Particle migration: nonblocking neighbor exchange.
-    std::vector<mpi::Request> reqs;
+    mpi::RequestList reqs;
     for (const int nb : nbrs) reqs.push_back(ctx.irecv(nb, particle_bytes, 20));
     for (const int nb : nbrs) reqs.push_back(ctx.isend(nb, particle_bytes, 20));
     co_await ctx.waitall(std::move(reqs));

@@ -19,32 +19,41 @@ namespace dfsim::apps {
 std::vector<int> balanced_dims(int n, int d) {
   // Prime-factorize, then assign factors largest-first onto the currently
   // smallest dimension (largest-first keeps the result balanced: 12 in 2D
-  // becomes 4x3, not 6x2).
-  std::vector<int> factors;
+  // becomes 4x3, not 6x2). An int has at most 31 prime factors, so the
+  // factor list fits a fixed array (every rank runs this at app start, so
+  // keep it off the heap).
+  std::array<int, 31> factors{};
+  int nf = 0;
   int rest = n;
   for (int f = 2; rest > 1;) {
     if (rest % f == 0) {
-      factors.push_back(f);
+      factors[static_cast<std::size_t>(nf++)] = f;
       rest /= f;
     } else {
       ++f;
       if (f * f > rest) f = rest;
     }
   }
-  std::sort(factors.begin(), factors.end(), std::greater<>());
+  std::sort(factors.begin(), factors.begin() + nf, std::greater<>());
   std::vector<int> dims(static_cast<std::size_t>(d), 1);
-  for (const int f : factors)
-    *std::min_element(dims.begin(), dims.end()) *= f;
+  for (int i = 0; i < nf; ++i)
+    *std::min_element(dims.begin(), dims.end()) *= factors[static_cast<std::size_t>(i)];
   std::sort(dims.begin(), dims.end(), std::greater<>());
   return dims;
 }
 
-std::vector<int> rank_to_coords(int rank, const std::vector<int>& dims) {
-  std::vector<int> c(dims.size());
+void rank_to_coords_into(int rank, const std::vector<int>& dims,
+                         std::vector<int>& c) {
+  c.resize(dims.size());
   for (std::size_t i = dims.size(); i-- > 0;) {
     c[i] = rank % dims[i];
     rank /= dims[i];
   }
+}
+
+std::vector<int> rank_to_coords(int rank, const std::vector<int>& dims) {
+  std::vector<int> c;
+  rank_to_coords_into(rank, dims, c);
   return c;
 }
 
@@ -56,28 +65,40 @@ int coords_to_rank(const std::vector<int>& coords, const std::vector<int>& dims)
 
 namespace {
 
-/// Logical grid position of world rank `w`. Identity for MILC; 2-per-dim
-/// blocked (locality-optimized) for MILCREORDER.
-std::vector<int> grid_coords(int w, const std::vector<int>& dims, bool blocked) {
-  if (!blocked) return rank_to_coords(w, dims);
+/// Reusable buffers for grid_coords_into: the rank-to-grid map is built by
+/// decoding every world rank, so per-call vectors would allocate O(nranks)
+/// times per rank at app start. With scratch reuse the whole map costs a
+/// handful of allocations total.
+struct CoordScratch {
+  std::vector<int> bdims, edge, bc;
+};
+
+/// Logical grid position of world rank `w`, written into `c`. Identity for
+/// MILC; 2-per-dim blocked (locality-optimized) for MILCREORDER.
+void grid_coords_into(int w, const std::vector<int>& dims, bool blocked,
+                      CoordScratch& s, std::vector<int>& c) {
+  if (!blocked) {
+    rank_to_coords_into(w, dims, c);
+    return;
+  }
   // Decode w as (block index, intra-block offset) with block edge 2 in every
   // dimension that is even-sized.
-  std::vector<int> bdims(dims.size()), edge(dims.size());
+  s.bdims.resize(dims.size());
+  s.edge.resize(dims.size());
   int cells = 1;
   for (std::size_t i = 0; i < dims.size(); ++i) {
-    edge[i] = (dims[i] % 2 == 0) ? 2 : 1;
-    bdims[i] = dims[i] / edge[i];
-    cells *= edge[i];
+    s.edge[i] = (dims[i] % 2 == 0) ? 2 : 1;
+    s.bdims[i] = dims[i] / s.edge[i];
+    cells *= s.edge[i];
   }
   const int block = w / cells;
   int off = w % cells;
-  auto bc = rank_to_coords(block, bdims);
-  std::vector<int> c(dims.size());
+  rank_to_coords_into(block, s.bdims, s.bc);
+  c.resize(dims.size());
   for (std::size_t i = dims.size(); i-- > 0;) {
-    c[i] = bc[i] * edge[i] + off % edge[i];
-    off /= edge[i];
+    c[i] = s.bc[i] * s.edge[i] + off % s.edge[i];
+    off /= s.edge[i];
   }
-  return c;
 }
 
 mpi::CoTask milc_impl(mpi::RankCtx& ctx, AppParams p, bool reorder) {
@@ -87,21 +108,28 @@ mpi::CoTask milc_impl(mpi::RankCtx& ctx, AppParams p, bool reorder) {
 
   // position (row-major logical index) -> world rank.
   std::vector<int> pos_to_world(static_cast<std::size_t>(n));
-  for (int w = 0; w < n; ++w)
-    pos_to_world[static_cast<std::size_t>(
-        coords_to_rank(grid_coords(w, dims, reorder), dims))] = w;
-  const auto my_coords = grid_coords(me, dims, reorder);
+  CoordScratch cs;
+  std::vector<int> gc;
+  for (int w = 0; w < n; ++w) {
+    grid_coords_into(w, dims, reorder, cs, gc);
+    pos_to_world[static_cast<std::size_t>(coords_to_rank(gc, dims))] = w;
+  }
+  std::vector<int> my_coords;
+  grid_coords_into(me, dims, reorder, cs, my_coords);
 
   // Periodic neighbors in the 8 stencil directions.
   std::array<int, 8> nbr{};
   std::array<int, 8> tag{};
   int k = 0;
+  std::vector<int> c = my_coords;
   for (std::size_t d = 0; d < dims.size(); ++d) {
     for (int s : {+1, -1}) {
-      auto c = my_coords;
-      c[d] = (c[d] + s + dims[d]) % dims[d];
+      // Perturb one coordinate in place (restore after) instead of copying.
+      const int keep = c[d];
+      c[d] = (keep + s + dims[d]) % dims[d];
       nbr[static_cast<std::size_t>(k)] =
           pos_to_world[static_cast<std::size_t>(coords_to_rank(c, dims))];
+      c[d] = keep;
       // Tag identifies (dim, direction as seen by the receiver).
       tag[static_cast<std::size_t>(k)] = static_cast<int>(2 * d) + (s > 0 ? 0 : 1);
       ++k;
@@ -114,7 +142,7 @@ mpi::CoTask milc_impl(mpi::RankCtx& ctx, AppParams p, bool reorder) {
 
   for (int it = 0; it < p.iterations; ++it) {
     // Halo exchange, overlapped with local stencil compute.
-    std::vector<mpi::Request> reqs;
+    mpi::RequestList reqs;
     reqs.reserve(16);
     k = 0;
     for (std::size_t d = 0; d < dims.size(); ++d) {

@@ -53,7 +53,7 @@ mpi::CoTask nek5000(mpi::RankCtx& ctx, AppParams p) {
 
   for (int it = 0; it < p.iterations; ++it) {
     // Gather-scatter: post all receives, send, wait.
-    std::vector<mpi::Request> reqs;
+    mpi::RequestList reqs;
     for (const int nb : nbrs) reqs.push_back(ctx.irecv(nb, gs_bytes, /*tag=*/1));
     for (const int nb : nbrs) reqs.push_back(ctx.isend(nb, gs_bytes, /*tag=*/1));
     co_await ctx.compute_jitter(element_work / 2, 0.03);

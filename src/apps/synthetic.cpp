@@ -55,7 +55,7 @@ mpi::CoTask stencil3d_traffic(mpi::RankCtx& ctx, SyntheticParams p) {
       nbrs.push_back(coords_to_rank(cc, dims));
     }
   for (int it = 0; keep_going(ctx, p, it); ++it) {
-    std::vector<mpi::Request> reqs;
+    mpi::RequestList reqs;
     for (const int nb : nbrs) reqs.push_back(ctx.irecv(nb, p.msg_bytes, 4));
     for (const int nb : nbrs) reqs.push_back(ctx.isend(nb, p.msg_bytes, 4));
     co_await ctx.compute_jitter(p.compute_ns, 0.1);

@@ -13,9 +13,11 @@ AwrController::AwrController(mpi::Machine& machine, mpi::JobId job,
 void AwrController::start() {
   if (running_) return;
   running_ = true;
-  // Seed the counter window.
+  // Seed the counter window. Polls read NIC counters across the whole job,
+  // so under sharded execution they must run at window barriers.
   (void)sample_latency();
-  machine_.engine().schedule(params_.poll_period, [this] { poll(); });
+  machine_.network().schedule_quiesced(params_.poll_period,
+                                       [this] { poll(); });
 }
 
 double AwrController::sample_latency() {
@@ -61,7 +63,8 @@ void AwrController::poll() {
     }
     baseline_ = params_.ewma_alpha * lat + (1.0 - params_.ewma_alpha) * baseline_;
   }
-  machine_.engine().schedule(params_.poll_period, [this] { poll(); });
+  machine_.network().schedule_quiesced(params_.poll_period,
+                                       [this] { poll(); });
 }
 
 }  // namespace dfsim::core

@@ -1,11 +1,27 @@
 #include "core/experiment.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <utility>
 
 #include "sched/scheduler.hpp"
 
 namespace dfsim::core {
+
+namespace {
+
+/// -1 = defer to the DFSIM_TEST_SHARDS environment variable (absent or
+/// invalid: 0 = legacy serial engine).
+int resolve_shards(int shards) {
+  if (shards >= 0) return shards;
+  if (const char* env = std::getenv("DFSIM_TEST_SHARDS")) {
+    const int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return 0;
+}
+
+}  // namespace
 
 const char* const kTileRatioLabels[5] = {"Rank3", "Rank2", "Rank1", "Proc_req",
                                          "Proc_rsp"};
@@ -26,10 +42,10 @@ std::array<double, 5> RunResult::local_stall_ratios() const {
 
 RunResult run_production(const ProductionConfig& cfg) {
   RunResult res;
-  sched::Scheduler sched(cfg.system, cfg.seed);
+  sched::Scheduler sched(cfg.system, cfg.seed, resolve_shards(cfg.shards));
   auto& machine = sched.machine();
   auto& engine = machine.engine();
-  engine.set_event_budget(cfg.event_budget);
+  machine.set_event_budget(cfg.event_budget);
   machine.network().set_event_profile(cfg.event_profile);
   machine.network().set_event_coalescing(cfg.coalesce_events);
 
@@ -58,8 +74,18 @@ RunResult run_production(const ProductionConfig& cfg) {
 
   const mpi::JobId watch[] = {id};
   const bool completed = machine.run_to_completion(watch);
-  res.events_executed = engine.events_executed();
-  res.budget_exhausted = engine.budget_exhausted();
+  res.events_executed = machine.events_executed();
+  res.budget_exhausted = machine.budget_exhausted();
+  if (auto* se = machine.sharded_engine()) {
+    res.shard_exec.shards = se->num_shards();
+    res.shard_exec.workers = se->num_workers();
+    res.shard_exec.lookahead = se->lookahead();
+    res.shard_exec.windows = se->stats().windows;
+    res.shard_exec.mail_records = se->stats().mail_records;
+    res.shard_exec.barrier_wait_ns = se->stats().barrier_wait_ns;
+    for (int s = 0; s < se->num_shards(); ++s)
+      res.shard_exec.shard_events.push_back(se->shard(s).events_executed());
+  }
   if (!completed) {
     res.fail_reason = res.budget_exhausted
                           ? "event budget exhausted (" +
@@ -132,10 +158,9 @@ std::vector<RunResult> run_production_batch(ProductionConfig cfg, int samples,
 
 EnsembleResult run_controlled(const EnsembleConfig& cfg) {
   EnsembleResult res;
-  sched::Scheduler sched(cfg.system, cfg.seed);
+  sched::Scheduler sched(cfg.system, cfg.seed, resolve_shards(cfg.shards));
   auto& machine = sched.machine();
-  auto& engine = machine.engine();
-  engine.set_event_budget(cfg.event_budget);
+  machine.set_event_budget(cfg.event_budget);
 
   std::vector<mpi::JobId> ids;
   for (int j = 0; j < cfg.njobs; ++j) {
@@ -156,8 +181,8 @@ EnsembleResult run_controlled(const EnsembleConfig& cfg) {
   ldms.start();
 
   const bool completed = machine.run_to_completion(ids);
-  res.events_executed = engine.events_executed();
-  res.budget_exhausted = engine.budget_exhausted();
+  res.events_executed = machine.events_executed();
+  res.budget_exhausted = machine.budget_exhausted();
   if (!completed) {
     res.fail_reason = res.budget_exhausted
                           ? "event budget exhausted (" +

@@ -49,6 +49,11 @@ struct ProductionConfig {
   sim::Tick warmup = 300 * sim::kMicrosecond;   ///< background ramp-up
   std::uint64_t seed = 1;
   std::uint64_t event_budget = kEventBudget;  ///< per-run engine event cap
+  /// Execution substrate: 0 = legacy serial engine, N >= 1 = sharded with N
+  /// shards (byte-identical for every N >= 1; see mpi::Machine). -1 reads
+  /// the DFSIM_TEST_SHARDS environment variable (else 0), which is how CI
+  /// runs the whole suite sharded without touching every harness.
+  int shards = -1;
   /// Optional: per-event-kind profile the network fills during the run
   /// (caller keeps ownership; attaching adds two clock reads per event).
   net::EventProfile* event_profile = nullptr;
@@ -62,6 +67,20 @@ struct ProductionConfig {
   std::function<void(const sim::Engine&)> on_measurement_start;
 };
 
+/// Execution-substrate observability for a sharded run (all zeros for a
+/// serial run). Everything here is about *how* the trial executed — wall
+/// time, barrier overhead, load balance — and none of it feeds back into
+/// results, which are byte-identical for every shard count.
+struct ShardExecStats {
+  int shards = 0;           ///< 0 = legacy serial engine ran the trial
+  int workers = 0;          ///< executor threads actually used
+  sim::Tick lookahead = 0;  ///< window width (min cross-shard latency)
+  std::uint64_t windows = 0;
+  std::uint64_t mail_records = 0;   ///< cross-shard records merged
+  std::int64_t barrier_wait_ns = 0; ///< coordinator wall time parked
+  std::vector<std::uint64_t> shard_events;  ///< events executed per shard
+};
+
 struct RunResult {
   bool ok = false;
   std::string fail_reason;  ///< why the run failed (empty when ok)
@@ -73,6 +92,7 @@ struct RunResult {
   net::FlitTimes flit_times;    ///< per-tile-class flit serialization times
   std::uint64_t events_executed = 0;
   bool budget_exhausted = false;
+  ShardExecStats shard_exec;  ///< substrate observability (zeros if serial)
 
   /// Stall-to-flit ratios in Fig. 6 order:
   /// {Rank3, Rank2, Rank1, Proc_req, Proc_rsp} from the local (AutoPerf)
@@ -130,6 +150,8 @@ struct EnsembleConfig {
   sim::Tick ldms_period = 200 * sim::kMicrosecond;
   std::uint64_t seed = 1;
   std::uint64_t event_budget = kEventBudget;  ///< per-run engine event cap
+  /// Execution substrate (same semantics as ProductionConfig::shards).
+  int shards = -1;
 };
 
 struct EnsembleResult {

@@ -9,7 +9,10 @@ void LdmsSampler::start() {
   if (running_) return;
   running_ = true;
   samples_.push_back(LdmsSample{net_.engine().now(), net_.snapshot_all()});
-  net_.engine().schedule(period_, [this] { tick(); });
+  // Quiesced scheduling: snapshot_all() reads every router's counters, so
+  // under sharded execution the tick must run at a window barrier (serial
+  // mode: an ordinary event at exactly +period).
+  net_.schedule_quiesced(period_, [this] { tick(); });
 }
 
 void LdmsSampler::tick() {
@@ -19,7 +22,7 @@ void LdmsSampler::tick() {
     running_ = false;
     return;
   }
-  net_.engine().schedule(period_, [this] { tick(); });
+  net_.schedule_quiesced(period_, [this] { tick(); });
 }
 
 std::vector<LdmsSample> LdmsSampler::interval_deltas() const {

@@ -1,0 +1,75 @@
+// Thread-local size-bucketed free lists for the MPI layer's per-operation
+// allocations: coroutine frames (every wait/send/recv/collective call) and
+// request blocks (every isend/irecv). These are the last steady-state heap
+// allocations in a production trial — the forwarding plane pools everything
+// already — and they recur at message rate, so recycling them makes the
+// whole sim report ~0 allocs/event once each bucket has reached its
+// high-water mark.
+//
+// Thread-locality is the correctness argument: a trial runs entirely on one
+// thread (TrialRunner gives each trial to one worker; under sharded
+// execution the MPI layer lives on the host shard, which always runs on the
+// coordinating thread), so every block is freed on the thread that
+// allocated it and the lists need no synchronization. Memory is retained
+// until thread exit, bounded by each thread's high-water mark per bucket.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace dfsim::mpi::arena {
+
+inline constexpr std::size_t kGranule = 64;  ///< bucket size step (bytes)
+inline constexpr std::size_t kBuckets = 64;  ///< covers blocks up to 4 KiB
+
+inline std::vector<void*>& bucket(std::size_t b) {
+  thread_local std::vector<void*> lists[kBuckets];
+  return lists[b];
+}
+
+[[nodiscard]] inline void* alloc(std::size_t n) {
+  const std::size_t b = (n + kGranule - 1) / kGranule;
+  if (b >= kBuckets) return ::operator new(n);  // oversized: plain heap
+  auto& list = bucket(b);
+  if (!list.empty()) {
+    void* p = list.back();
+    list.pop_back();
+    return p;
+  }
+  return ::operator new(b * kGranule);
+}
+
+inline void free(void* p, std::size_t n) noexcept {
+  const std::size_t b = (n + kGranule - 1) / kGranule;
+  if (b >= kBuckets) {
+    ::operator delete(p);
+    return;
+  }
+  // push_back may grow the list's storage; that amortizes to zero once the
+  // bucket has seen its high-water population.
+  bucket(b).push_back(p);
+}
+
+/// Standard allocator over the arena — lets std::allocate_shared place a
+/// request block (object + control block, one fixed size per type) on the
+/// free lists instead of the global heap.
+template <class T>
+struct Alloc {
+  using value_type = T;
+  Alloc() = default;
+  template <class U>
+  Alloc(const Alloc<U>&) noexcept {}  // NOLINT(google-explicit-constructor)
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena::alloc(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    arena::free(p, n * sizeof(T));
+  }
+  template <class U>
+  bool operator==(const Alloc<U>&) const noexcept {
+    return true;
+  }
+};
+
+}  // namespace dfsim::mpi::arena

@@ -5,11 +5,39 @@
 
 namespace dfsim::mpi {
 
-Machine::Machine(topo::Config cfg, std::uint64_t seed)
+Machine::Machine(topo::Config cfg, std::uint64_t seed, int shards)
     : topo_(std::move(cfg)),
-      engine_(),
-      net_(engine_, topo_, seed ^ 0xA5A5A5A5ULL),
+      plan_(shards >= 1 ? std::make_unique<topo::ShardPlan>(
+                              topo::ShardPlan::build(topo_, shards))
+                        : nullptr),
+      sharded_(plan_ != nullptr
+                   ? std::make_unique<sim::ShardedEngine>(plan_->shards,
+                                                          plan_->lookahead)
+                   : nullptr),
+      engine_(sharded_ != nullptr ? sharded_->host() : serial_engine_),
+      net_(sharded_ != nullptr
+               ? std::make_unique<net::Network>(*sharded_, topo_,
+                                                seed ^ 0xA5A5A5A5ULL, *plan_)
+               : std::make_unique<net::Network>(engine_, topo_,
+                                                seed ^ 0xA5A5A5A5ULL)),
       rng_(seed) {}
+
+void Machine::set_event_budget(std::uint64_t budget) {
+  if (sharded_ != nullptr)
+    sharded_->set_event_budget(budget);
+  else
+    engine_.set_event_budget(budget);
+}
+
+bool Machine::budget_exhausted() const {
+  return sharded_ != nullptr ? sharded_->budget_exhausted()
+                             : engine_.budget_exhausted();
+}
+
+std::uint64_t Machine::events_executed() const {
+  return sharded_ != nullptr ? sharded_->events_executed()
+                             : engine_.events_executed();
+}
 
 JobId Machine::submit(JobSpec spec, sim::Tick start_at) {
   if (spec.nodes.empty())
@@ -66,7 +94,12 @@ bool Machine::run_to_completion(std::span<const JobId> watch) {
   }
   if (watch_remaining_ == 0) return true;
   engine_.clear_stop();
-  engine_.run();
+  // Completion stops the host engine; the sharded driver observes the stop
+  // at the next window barrier.
+  if (sharded_ != nullptr)
+    sharded_->run();
+  else
+    engine_.run();
   const bool ok = watch_remaining_ == 0;
   engine_.clear_stop();
   return ok;
@@ -74,7 +107,10 @@ bool Machine::run_to_completion(std::span<const JobId> watch) {
 
 void Machine::run_for(sim::Tick duration) {
   engine_.clear_stop();
-  engine_.run_until(engine_.now() + duration);
+  if (sharded_ != nullptr)
+    sharded_->run_until(engine_.now() + duration);
+  else
+    engine_.run_until(engine_.now() + duration);
 }
 
 Profile Machine::job_profile(JobId id) const {
@@ -99,7 +135,7 @@ void Machine::post_send(JobState& job, int src_rank, int dst_rank, int tag,
   const auto src_node = job.spec.nodes[static_cast<std::size_t>(src_rank)];
   const auto dst_node = job.spec.nodes[static_cast<std::size_t>(dst_rank)];
   const JobId id = job.id;
-  net_.send_message(src_node, dst_node, bytes, mode,
+  net_->send_message(src_node, dst_node, bytes, mode,
                     [this, id, src_rank, dst_rank, tag, bytes, send_req] {
                       on_delivered(id, src_rank, dst_rank, tag, bytes,
                                    send_req);

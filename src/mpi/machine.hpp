@@ -21,7 +21,9 @@
 #include "routing/bias.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "sim/sharded.hpp"
 #include "topo/dragonfly.hpp"
+#include "topo/partition.hpp"
 
 namespace dfsim::mpi {
 
@@ -72,7 +74,11 @@ struct JobState {
 
 class Machine {
  public:
-  Machine(topo::Config cfg, std::uint64_t seed);
+  /// `shards` selects the execution substrate: 0 (default) is the exact
+  /// legacy serial engine; any N >= 1 runs the lookahead-windowed sharded
+  /// engine (results byte-identical for every N >= 1, but a different —
+  /// equally valid — schedule than serial; see docs/MODEL.md section 9).
+  explicit Machine(topo::Config cfg, std::uint64_t seed, int shards = 0);
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;
@@ -107,10 +113,22 @@ class Machine {
   /// Routers touched by a job's nodes (AutoPerf's local counter view).
   [[nodiscard]] std::vector<topo::RouterId> job_routers(JobId id) const;
 
+  /// Host engine: the single engine in serial mode, shard 0's in sharded
+  /// mode. Its clock is the machine clock either way.
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] const topo::Dragonfly& topology() const { return topo_; }
-  [[nodiscard]] net::Network& network() { return net_; }
-  [[nodiscard]] const net::Network& network() const { return net_; }
+  [[nodiscard]] net::Network& network() { return *net_; }
+  [[nodiscard]] const net::Network& network() const { return *net_; }
+  [[nodiscard]] bool sharded() const { return sharded_ != nullptr; }
+  /// The sharded substrate, or nullptr in serial mode.
+  [[nodiscard]] sim::ShardedEngine* sharded_engine() { return sharded_.get(); }
+
+  /// Event budget / accounting across the whole substrate (every shard in
+  /// sharded mode). Use these rather than engine()'s: the host engine only
+  /// sees shard 0's events.
+  void set_event_budget(std::uint64_t budget);
+  [[nodiscard]] bool budget_exhausted() const;
+  [[nodiscard]] std::uint64_t events_executed() const;
 
   // --- RankCtx plumbing ---
   void post_send(JobState& job, int src_rank, int dst_rank, int tag,
@@ -124,8 +142,11 @@ class Machine {
   void on_rank_done(JobId job);
 
   topo::Dragonfly topo_;
-  sim::Engine engine_;
-  net::Network net_;
+  std::unique_ptr<topo::ShardPlan> plan_;        ///< sharded mode only
+  std::unique_ptr<sim::ShardedEngine> sharded_;  ///< sharded mode only
+  sim::Engine serial_engine_;  ///< the engine when running serially
+  sim::Engine& engine_;        ///< host engine alias (serial or shard 0)
+  std::unique_ptr<net::Network> net_;
   sim::Rng rng_;
   std::deque<JobState> jobs_;
   std::vector<char> watched_;

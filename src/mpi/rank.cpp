@@ -24,14 +24,14 @@ Request RankCtx::isend(int dst, std::int64_t bytes, int tag) {
 
 Request RankCtx::isend_mode(int dst, std::int64_t bytes, int tag,
                             routing::Mode mode) {
-  auto req = std::make_shared<ReqState>();
+  auto req = make_request();
   record(Op::kIsend, kSwOverheadNs, bytes);
   m_->post_send(*job_, rank_, dst, tag, bytes, mode, req);
   return req;
 }
 
 Request RankCtx::irecv(int src, std::int64_t bytes, int tag) {
-  auto req = std::make_shared<ReqState>();
+  auto req = make_request();
   record(Op::kIrecv, kSwOverheadNs, bytes);
   m_->post_recv(*job_, rank_, src, tag, bytes, req);
   return req;
@@ -44,7 +44,7 @@ CoTask RankCtx::wait(Request r) {
   record(Op::kWait, now() - t0, 0);
 }
 
-CoTask RankCtx::waitall(std::vector<Request> rs) {
+CoTask RankCtx::waitall(RequestList rs) {
   const sim::Tick t0 = now();
   co_await compute(kSwOverheadNs);
   for (const auto& r : rs) co_await await_req(r);

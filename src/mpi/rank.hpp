@@ -18,8 +18,10 @@
 #include <memory>
 #include <vector>
 
+#include "mpi/arena.hpp"
 #include "mpi/profile.hpp"
 #include "mpi/task.hpp"
+#include "sim/small_fn.hpp"
 #include "routing/bias.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
@@ -40,19 +42,42 @@ inline constexpr sim::Tick kSwOverheadNs = 150;
 
 struct ReqState {
   bool done = false;
+  std::uint8_t n_waiters = 0;
   sim::Tick completed_at = 0;
-  std::vector<std::function<void()>> on_complete;
+  // Inline waiter slots: a request is awaited by at most one coroutine
+  // (wait/waitall each co_await it once); the second slot absorbs any
+  // future machine-level hook. Inline storage (vs. a vector) keeps request
+  // completion allocation-free; exceeding it is a protocol bug.
+  sim::SmallFn on_complete[2];
+
+  void add_waiter(sim::SmallFn fn) {
+    if (n_waiters >= 2) std::abort();  // see comment above
+    on_complete[n_waiters++] = std::move(fn);
+  }
 
   void complete(sim::Tick now) {
     if (done) std::abort();  // double completion is a protocol bug
     done = true;
     completed_at = now;
-    auto cbs = std::move(on_complete);
-    on_complete.clear();
-    for (auto& cb : cbs) cb();
+    const int n = n_waiters;
+    n_waiters = 0;
+    for (int i = 0; i < n; ++i) {
+      sim::SmallFn cb = std::move(on_complete[i]);
+      cb();
+    }
   }
 };
 using Request = std::shared_ptr<ReqState>;
+
+/// Request blocks recur at message rate; allocate_shared on the arena puts
+/// object + control block on the thread-local free lists.
+inline Request make_request() {
+  return std::allocate_shared<ReqState>(arena::Alloc<ReqState>{});
+}
+
+/// Request batch for waitall-style exchanges. Apps build one per iteration,
+/// so the buffer lives on the thread-local arena free lists too.
+using RequestList = std::vector<Request, arena::Alloc<Request>>;
 
 /// Awaitable: resume when the request completes.
 ///
@@ -64,7 +89,7 @@ struct ReqAwaiter {
   ReqState* req;
   [[nodiscard]] bool await_ready() const noexcept { return req->done; }
   void await_suspend(std::coroutine_handle<> h) {
-    req->on_complete.push_back([h] { h.resume(); });
+    req->add_waiter([h] { h.resume(); });
   }
   void await_resume() const noexcept {}
 };
@@ -128,7 +153,7 @@ class RankCtx {
   [[nodiscard]] static ReqAwaiter wait_internal(const Request& r) {
     return await_req(r);
   }
-  [[nodiscard]] CoTask waitall(std::vector<Request> rs);
+  [[nodiscard]] CoTask waitall(RequestList rs);
   [[nodiscard]] CoTask send(int dst, std::int64_t bytes, int tag);
   [[nodiscard]] CoTask recv(int src, std::int64_t bytes, int tag);
 

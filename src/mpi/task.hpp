@@ -9,9 +9,12 @@
 #pragma once
 
 #include <coroutine>
+#include <cstddef>
 #include <exception>
 #include <functional>
 #include <utility>
+
+#include "mpi/arena.hpp"
 
 namespace dfsim::mpi {
 
@@ -20,6 +23,13 @@ class [[nodiscard]] CoTask {
   struct promise_type {
     std::coroutine_handle<> continuation = std::noop_coroutine();
     std::function<void()> on_done;  ///< top-level completion hook
+
+    // Frames recur at MPI-operation rate; recycle them through the
+    // thread-local arena so steady-state trials don't touch the heap.
+    static void* operator new(std::size_t n) { return arena::alloc(n); }
+    static void operator delete(void* p, std::size_t n) noexcept {
+      arena::free(p, n);
+    }
 
     CoTask get_return_object() {
       return CoTask{std::coroutine_handle<promise_type>::from_promise(*this)};

@@ -95,7 +95,20 @@ FlitTimes FlitTimes::from_config(const topo::Config& cfg) {
 
 Network::Network(sim::Engine& engine, const topo::Dragonfly& topo,
                  std::uint64_t seed)
-    : engine_(engine), topo_(topo), planner_(topo, *this, sim::Rng(seed)) {
+    : Network(engine, topo, seed, nullptr, nullptr) {}
+
+Network::Network(sim::ShardedEngine& se, const topo::Dragonfly& topo,
+                 std::uint64_t seed, const topo::ShardPlan& plan)
+    : Network(se.host(), topo, seed, &se, &plan) {
+  if (se.num_shards() != plan.shards)
+    throw std::invalid_argument("Network: engine/plan shard count mismatch");
+}
+
+Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
+                 std::uint64_t seed, sim::ShardedEngine* se,
+                 const topo::ShardPlan* plan)
+    : engine_(host), topo_(topo), se_(se), plan_(plan),
+      planner_(topo, *this, sim::Rng(seed)) {
   grid_.build(topo_);
   const auto& cfg = topo_.config();
   capacity_flits_ = cfg.buffer_flits;
@@ -118,12 +131,98 @@ Network::Network(sim::Engine& engine, const topo::Dragonfly& topo,
     nic.router = topo_.router_of_node(n);
     nic.eject_pt = topo_.eject_port(nic.router, n);
   }
+
+  const int shards = plan_ != nullptr ? plan_->shards : 1;
+  pools_.resize(static_cast<std::size_t>(shards));
+  // A pool's chunk-pointer table must never relocate once shards run (other
+  // shards read packets through it); reserve its maximum once — the 24-bit
+  // index space is the hard per-shard packet limit.
+  for (PktPool& pool : pools_)
+    pool.chunks.reserve((kPktIdxMask + 1) >> kChunkShift);
+  stats_sh_.resize(static_cast<std::size_t>(shards));
+  shard_of_router_.assign(static_cast<std::size_t>(cfg.num_routers()), 0);
+  shard_of_node_.assign(static_cast<std::size_t>(cfg.num_nodes()), 0);
+  eng_by_router_.assign(static_cast<std::size_t>(cfg.num_routers()), &engine_);
+  eng_by_node_.assign(static_cast<std::size_t>(cfg.num_nodes()), &engine_);
+  if (se_ != nullptr) {
+    for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
+      const int sh = plan_->shard_of_router[static_cast<std::size_t>(r)];
+      shard_of_router_[static_cast<std::size_t>(r)] = sh;
+      eng_by_router_[static_cast<std::size_t>(r)] = &se_->shard(sh);
+    }
+    for (topo::NodeId n = 0; n < cfg.num_nodes(); ++n) {
+      const int sh = plan_->shard_of_node[static_cast<std::size_t>(n)];
+      shard_of_node_[static_cast<std::size_t>(n)] = sh;
+      eng_by_node_[static_cast<std::size_t>(n)] = &se_->shard(sh);
+    }
+    pt_router_.resize(grid_.num_ports());
+    pt_port_.resize(grid_.num_ports());
+    for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
+      for (topo::PortId p = 0; p < topo_.num_ports(r); ++p) {
+        pt_router_[grid_.port_index(r, p)] = r;
+        pt_port_[grid_.port_index(r, p)] = p;
+      }
+    }
+    r3_credits_.assign(grid_.num_ports(), capacity_flits_);
+    grid_.set_waiter_shards(shards);
+    planner_.enable_group_rngs(seed);
+    se_->set_mail_handler([this](int dst, std::span<sim::MailRecord> recs) {
+      apply_mail(dst, recs);
+    });
+  }
+
   // Hand the planner a direct view of the occupancy tables (they are sized
   // once by grid_.build and never reallocate, so the pointers stay valid).
   planner_.set_load_view(routing::LoadView{grid_.occupancy_flits.data(),
                                            grid_.port_base_data(), kNumVcs,
                                            capacity_flits_});
+  // Pre-size the hot slabs from the topology so a typical run's steady state
+  // performs no pool growth: a few packets per node in flight, one message
+  // slab entry per node burst, and a waiter bound of every port plus every
+  // NIC blocking at once (capacity only; behavior is unaffected).
+  const auto nn = static_cast<std::size_t>(cfg.num_nodes());
+  reserve(nn * 8 / static_cast<std::size_t>(shards) + kChunkPkts, nn * 8,
+          grid_.num_ports() + nn);
   ensure_throttle_tick();
+}
+
+void Network::set_tracer(monitor::PacketTracer* tracer) {
+  if (se_ != nullptr && tracer != nullptr)
+    throw std::logic_error("Network: packet tracing requires serial mode");
+  tracer_ = tracer;
+}
+
+void Network::set_event_profile(EventProfile* profile) {
+  if (se_ != nullptr && profile != nullptr)
+    throw std::logic_error("Network: event profiling requires serial mode");
+  profile_ = profile;
+}
+
+NetworkStats Network::stats() const {
+  NetworkStats total = stats_sh_.front();
+  for (std::size_t sh = 1; sh < stats_sh_.size(); ++sh) {
+    const NetworkStats& s = stats_sh_[sh];
+    total.packets_injected += s.packets_injected;
+    total.packets_delivered += s.packets_delivered;
+    total.minimal_decisions += s.minimal_decisions;
+    total.nonminimal_decisions += s.nonminimal_decisions;
+    total.total_hops += s.total_hops;
+    total.escapes += s.escapes;
+    total.throttle_activations += s.throttle_activations;
+    for (std::size_t m = 0; m < static_cast<std::size_t>(routing::kNumModes);
+         ++m) {
+      total.decisions_by_mode[m][0] += s.decisions_by_mode[m][0];
+      total.decisions_by_mode[m][1] += s.decisions_by_mode[m][1];
+    }
+  }
+  return total;
+}
+
+void Network::schedule_quiesced(sim::Tick delay, std::function<void()> fn) {
+  if (se_ != nullptr)
+    se_->schedule_global(engine_.now() + delay, std::move(fn));
+  else
+    engine_.schedule(delay, std::move(fn));
 }
 
 bool Network::network_idle() const {
@@ -136,7 +235,9 @@ bool Network::network_idle() const {
 void Network::ensure_throttle_tick() {
   if (!topo_.config().throttle_enabled || throttle_scheduled_) return;
   throttle_scheduled_ = true;
-  engine_.schedule(topo_.config().throttle_window, [this] {
+  // Sharded: the tick reads every shard's counters and publishes the factor
+  // all shards' injectors read, so it must run quiesced (at a barrier).
+  schedule_quiesced(topo_.config().throttle_window, [this] {
     ProfScope ps(profile_, kEvThrottle);
     throttle_tick();
   });
@@ -159,7 +260,7 @@ void Network::throttle_tick() {
   if (ratio > cfg.throttle_hi_ratio) {
     throttle_factor_ =
         std::min(cfg.throttle_max_factor, throttle_factor_ * cfg.throttle_step);
-    ++stats_.throttle_activations;
+    ++st(0).throttle_activations;
   } else if (ratio < cfg.throttle_lo_ratio && throttle_factor_ > 1.0) {
     throttle_factor_ = std::max(1.0, throttle_factor_ / cfg.throttle_step);
   }
@@ -169,24 +270,60 @@ void Network::throttle_tick() {
   if (!network_idle() || throttle_factor_ > 1.0) ensure_throttle_tick();
 }
 
-PacketId Network::alloc_packet() {
-  if (pkt_free_head_ >= 0) {
-    const PacketId id = pkt_free_head_;
-    pkt_free_head_ = pool_[static_cast<std::size_t>(id)].next;
-    pool_[static_cast<std::size_t>(id)] = Packet{};
-    pool_[static_cast<std::size_t>(id)].in_use = true;
+PacketId Network::alloc_packet(int sh) {
+  PktPool& pool = pools_[static_cast<std::size_t>(sh)];
+  if (pool.free_head >= 0) {
+    const PacketId id = pool.free_head;
+    Packet& p = pkt(id);
+    pool.free_head = p.next;
+    p = Packet{};
+    p.in_use = true;
+    ingress_of(id) = -1;
     return id;
   }
-  pool_.emplace_back();
-  pool_.back().in_use = true;
-  return static_cast<PacketId>(pool_.size() - 1);
+  const std::uint32_t ix = pool.count++;
+  if (ix > kPktIdxMask)
+    throw std::length_error("Network: per-shard packet pool exhausted");
+  if ((ix >> kChunkShift) == pool.chunks.size())
+    pool.chunks.push_back(std::make_unique<PktChunk>());
+  const auto id =
+      static_cast<PacketId>((static_cast<std::uint32_t>(sh)
+                             << kPktShardShift) |
+                            ix);
+  Packet& p = pkt(id);
+  p = Packet{};
+  p.in_use = true;
+  ingress_of(id) = -1;
+  return id;
 }
 
-void Network::free_packet(PacketId id) {
+void Network::free_local(PacketId id) {
+  PktPool& pool = pools_[static_cast<std::size_t>(id >> kPktShardShift)];
   Packet& p = pkt(id);
   p.in_use = false;
-  p.next = pkt_free_head_;
-  pkt_free_head_ = id;
+  p.next = pool.free_head;
+  pool.free_head = id;
+}
+
+void Network::free_packet_from(PacketId id, int sh) {
+  const int owner = id >> kPktShardShift;
+  if (owner == sh) {
+    free_local(id);
+    return;
+  }
+  // Foreign pool: the owner reclaims the slot at the next barrier, in
+  // canonical mail order, so its free-list (and hence future packet ids)
+  // stays partition-independent.
+  sim::MailRecord rec;
+  rec.due = se_->shard(sh).now();
+  rec.kind = kMailFree;
+  rec.key = id;
+  se_->post_mail(sh, owner, rec);
+}
+
+void Network::reserve_pool(PktPool& pool, std::size_t packets) {
+  while (pool.chunks.size() * kChunkPkts < packets)
+    pool.chunks.push_back(std::make_unique<PktChunk>());
 }
 
 void Network::fifo_push(PacketId& head, PacketId& tail, PacketId id) {
@@ -250,13 +387,38 @@ MsgId Network::send_message(topo::NodeId src, topo::NodeId dst,
   }
   m.remaining_bytes = bytes;
   ensure_throttle_tick();
+  if (se_ != nullptr) {
+    // Host-side call (an application event or a barrier-time completion
+    // callback); the source NIC lives on its own shard, so the injection is
+    // mailed there and materializes at the next barrier. The global send
+    // sequence number keeps equal-time sends in host call order, which is
+    // itself partition-independent.
+    sim::MailRecord rec;
+    rec.due = engine_.now();
+    rec.kind = kMailInject;
+    rec.key = static_cast<std::int64_t>(inject_seq_++);
+    rec.a = (static_cast<std::int64_t>(src) << 32) |
+            static_cast<std::uint32_t>(dst);
+    rec.b = bytes;
+    rec.c = id;
+    rec.d = static_cast<std::int64_t>(mode);
+    se_->post_mail(0, sh_n(src), rec);
+    return id;
+  }
+  apply_inject(src, dst, bytes, id, mode);
+  return id;
+}
+
+void Network::apply_inject(topo::NodeId src, topo::NodeId dst,
+                           std::int64_t bytes, MsgId id, routing::Mode mode) {
   const std::int64_t payload = topo_.config().packet_payload_bytes;
   const int fb = topo_.config().flit_bytes;
+  const int sh = sh_n(src);
   Nic& nic = nics_[static_cast<std::size_t>(src)];
   for (std::int64_t off = 0; off < bytes; off += payload) {
     const auto chunk = static_cast<std::int32_t>(std::min(payload, bytes - off));
-    const PacketId pid = alloc_packet();
-    Packet& p = pkt(pid);  // NOTE: reference valid only until the next alloc
+    const PacketId pid = alloc_packet(sh);
+    Packet& p = pkt(pid);
     p.src = src;
     p.dst = dst;
     p.bytes = chunk + header_bytes_;
@@ -268,7 +430,6 @@ MsgId Network::send_message(topo::NodeId src, topo::NodeId dst,
     fifo_push(nic.inject_head, nic.inject_tail, pid);
   }
   nic_try_inject(src);
-  return id;
 }
 
 void Network::loopback_deliver(std::int32_t slot) {
@@ -286,13 +447,13 @@ std::int64_t Network::load_units(topo::RouterId r, topo::PortId p) const {
   return occ * routing::kLoadScale / capacity_flits_;
 }
 
-void Network::notify_waiters(std::size_t vq) {
+void Network::notify_waiters(std::size_t vq, int sh) {
   std::int32_t w = grid_.detach_waiters(vq);
   while (w >= 0) {
     // Copy before freeing: the woken sender may register new waiters,
     // reusing this very node.
-    const router::WaiterNode node = grid_.waiter(w);
-    grid_.free_waiter(w);
+    const router::WaiterNode node = grid_.waiter(w, sh);
+    grid_.free_waiter(w, sh);
     if (node.ref.router < 0)
       nic_try_inject(static_cast<topo::NodeId>(node.ref.port));
     else
@@ -317,7 +478,9 @@ void Network::nic_try_inject(topo::NodeId node) {
   Nic& nic = nics_[static_cast<std::size_t>(node)];
   if (nic.tx_busy || nic.inject_head < 0) return;
   const auto& cfg = topo_.config();
-  const Tick now = engine_.now();
+  sim::Engine& eng = eng_n(node);
+  const int sh = sh_n(node);
+  const Tick now = eng.now();
   const PacketId pid = nic.inject_head;
   Packet& p = pkt(pid);
   const topo::RouterId r0 = nic.router;
@@ -335,11 +498,11 @@ void Network::nic_try_inject(topo::NodeId node) {
   if (!has_space(vq, p.flits)) {
     if (!escape_due) {
       if (nic.stall_since < 0) nic.stall_since = now;
-      grid_.add_waiter(vq,
-                       router::WaiterRef{-1, static_cast<topo::PortId>(node)});
+      grid_.add_waiter(
+          vq, router::WaiterRef{-1, static_cast<topo::PortId>(node)}, sh);
       if (!nic.escape_scheduled) {
         nic.escape_scheduled = true;
-        engine_.schedule(escape_timeout_, [this, node] {
+        eng.schedule(escape_timeout_, [this, node] {
           ProfScope ps(profile_, kEvEscape);
           nics_[static_cast<std::size_t>(node)].escape_scheduled = false;
           nic_try_inject(node);
@@ -347,7 +510,7 @@ void Network::nic_try_inject(topo::NodeId node) {
       }
       return;
     }
-    ++stats_.escapes;
+    ++st(sh).escapes;
   }
   if (nic.stall_since >= 0) {
     nic.ctr.inj_stall_ns[p.vc] += now - nic.stall_since;
@@ -360,18 +523,18 @@ void Network::nic_try_inject(topo::NodeId node) {
     p.inject_time = now;
     const auto mi = static_cast<std::size_t>(rs.mode);
     if (rs.nonminimal) {
-      ++stats_.nonminimal_decisions;
-      ++stats_.decisions_by_mode[mi][1];
+      ++st(sh).nonminimal_decisions;
+      ++st(sh).decisions_by_mode[mi][1];
     } else {
-      ++stats_.minimal_decisions;
-      ++stats_.decisions_by_mode[mi][0];
+      ++st(sh).minimal_decisions;
+      ++st(sh).decisions_by_mode[mi][0];
     }
   }
   grid_.occupancy_flits[vq] += p.flits;
   fifo_pop(nic.inject_head, nic.inject_tail);
   nic.tx_busy = true;
   nic.ctr.inj_flits[p.vc] += p.flits;
-  ++stats_.packets_injected;
+  ++st(sh).packets_injected;
   if (tracer_ != nullptr)
     tracer_->record({now, monitor::TraceEvent::kInject, pid, p.src, p.dst, -1,
                      p.vc, rs.level, rs.nonminimal});
@@ -398,7 +561,7 @@ void Network::nic_try_inject(topo::NodeId node) {
           inject_busy_done(node);
         else
           inject_arrive(pid, r0, q0, q0_vc8);
-        engine_.rearm(dt);
+        eng_n(node).rearm(dt);
       } else {
         if (busy_first)
           inject_arrive(pid, r0, q0, q0_vc8);
@@ -407,13 +570,13 @@ void Network::nic_try_inject(topo::NodeId node) {
       }
     };
     static_assert(sizeof(ev) <= sim::EventQueue::kInlineBytes);
-    engine_.schedule(std::min(busy, arr), std::move(ev));
+    eng.schedule(std::min(busy, arr), std::move(ev));
   } else {
-    engine_.schedule(busy, [this, node] {
+    eng.schedule(busy, [this, node] {
       ProfScope ps(profile_, kEvInjection);
       inject_busy_done(node);
     });
-    engine_.schedule(arr, [this, pid, r0, q0, q0_vc] {
+    eng.schedule(arr, [this, pid, r0, q0, q0_vc] {
       ProfScope ps(profile_, kEvInjection);
       inject_arrive(pid, r0, q0, q0_vc);
     });
@@ -432,13 +595,31 @@ void Network::try_start_port(topo::RouterId r, topo::PortId p) {
   }
 }
 
+void Network::post_ingress_credit(PacketId pid, std::int32_t flits, Tick now,
+                                  int sh) {
+  if (se_ == nullptr) return;
+  std::int32_t& ing = ingress_of(pid);
+  if (ing < 0) return;
+  // The flits this packet held just left the buffer its rank-3 sender
+  // reserved from; return them to that port's credit pool at the barrier.
+  sim::MailRecord rec;
+  rec.due = now;
+  rec.kind = kMailCredit;
+  rec.key = ing;
+  rec.a = flits;
+  se_->post_mail(sh, sh_r(pt_router_[static_cast<std::size_t>(ing)]), rec);
+  ing = -1;
+}
+
 void Network::hop_ser_done(topo::RouterId r, topo::PortId p, int vc,
-                           std::int32_t flits) {
+                           std::int32_t flits, PacketId pid) {
   const std::size_t pt = grid_.port_index(r, p);
   const std::size_t vq = PortGrid::vq_index(pt, vc);
+  const int sh = sh_r(r);
   grid_.busy[pt] = 0;
   grid_.occupancy_flits[vq] -= flits;
-  notify_waiters(vq);
+  post_ingress_credit(pid, flits, eng_r(r).now(), sh);
+  notify_waiters(vq, sh);
   try_start_port(r, p);
 }
 
@@ -446,7 +627,7 @@ void Network::hop_arrive(PacketId pid, topo::RouterId rb, topo::PortId qn,
                          int qn_vc) {
   Packet& pp = pkt(pid);
   ++pp.hops;
-  ++stats_.total_hops;
+  ++st(sh_r(rb)).total_hops;
   if (tracer_ != nullptr)
     tracer_->record({engine_.now(), monitor::TraceEvent::kHop, pid, pp.src,
                      pp.dst, rb, pp.vc, pp.route.level, pp.route.nonminimal});
@@ -460,14 +641,17 @@ void Network::eject_ser_done(topo::RouterId r, topo::PortId p, int vc,
                              topo::NodeId node) {
   const std::size_t pt = grid_.port_index(r, p);
   const std::size_t vq = PortGrid::vq_index(pt, vc);
+  const int sh = sh_r(r);
+  sim::Engine& eng = eng_r(r);
   grid_.occupancy_flits[vq] -= flits;
-  notify_waiters(vq);
+  post_ingress_credit(pid, flits, eng.now(), sh);
+  notify_waiters(vq, sh);
   Nic& nic = nics_[static_cast<std::size_t>(node)];
   if (!nic.rx_busy) {
     nic.rx_busy = true;
     grid_.busy[pt] = 0;
     try_start_port(r, p);
-    engine_.schedule(rx_overhead_, [this, node, pid] {
+    eng.schedule(rx_overhead_, [this, node, pid] {
       ProfScope ps(profile_, kEvEjection);
       nic_rx_complete(node, pid);
     });
@@ -476,7 +660,7 @@ void Network::eject_ser_done(topo::RouterId r, topo::PortId p, int vc,
     // processor tile for this packet's VC) until the rx unit frees.
     nic.rx_pending = pid;
     nic.rx_pending_vc = static_cast<std::uint8_t>(vc);
-    nic.rx_pending_since = engine_.now();
+    nic.rx_pending_since = eng.now();
   }
 }
 
@@ -487,7 +671,7 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
   Packet& pk = pkt(pid);
   const PortHot& ph = port_hot_[pt];
   const auto cls = static_cast<TileClass>(grid_.tile_cls[pt]);
-  const Tick now = engine_.now();
+  const Tick now = eng_r(r).now();
 
   if (cls == TileClass::kProc) {
     // Ejection. Serialization overlaps the NIC rx unit processing the
@@ -504,18 +688,64 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
     grid_.flits_ctr[vq] += pk.flits;
     const Tick ser = sim::serialization_ns(pk.bytes, ph.bw_gbps);
     const std::int32_t flits = pk.flits;
-    engine_.schedule(ser, [this, r, p, vc, flits, pid, node = ph.eject_node] {
+    eng_r(r).schedule(ser, [this, r, p, vc, flits, pid, node = ph.eject_node] {
       ProfScope ps(profile_, kEvEjection);
       eject_ser_done(r, p, vc, flits, pid, node);
     });
     return true;
   }
 
+  const topo::RouterId rb = ph.peer_router;
+
+  if (se_ != nullptr && cls == TileClass::kRank3) {
+    // Sharded rank-3 hop. The peer may be another shard mid-window, so no
+    // remote state is read or reserved here: transmission is gated on this
+    // port's own credit pool, and the next-queue decision happens at the
+    // peer when the packet arrives (mailed across the barrier). The VC
+    // ladder level also bumps at arrival.
+    const int sh = sh_r(r);
+    const bool escape_due = grid_.stall_since[vq] >= 0 &&
+                            now - grid_.stall_since[vq] >= escape_timeout_;
+    if (r3_credits_[pt] < pk.flits) {
+      if (!escape_due) {
+        if (grid_.stall_since[vq] < 0) grid_.stall_since[vq] = now;
+        if (!grid_.escape_scheduled[vq]) {
+          grid_.escape_scheduled[vq] = 1;
+          eng_r(r).schedule(escape_timeout_, [this, r, p, vc] {
+            grid_.escape_scheduled[PortGrid::vq_index(grid_.port_index(r, p),
+                                                      vc)] = 0;
+            try_start_port(r, p);
+          });
+        }
+        return false;
+      }
+      ++st(sh).escapes;  // forced overflow: credits go negative
+    }
+    if (grid_.stall_since[vq] >= 0) {
+      grid_.stall_ns_ctr[vq] += now - grid_.stall_since[vq];
+      grid_.stall_since[vq] = -1;
+    }
+    grid_.last_served[pt] = static_cast<std::uint8_t>(vc);
+    fifo_pop(grid_.q[vq].head, grid_.q[vq].tail);
+    grid_.busy[pt] = 1;
+    grid_.flits_ctr[vq] += pk.flits;
+    r3_credits_[pt] -= pk.flits;
+    const Tick ser = sim::serialization_ns(pk.bytes, ph.bw_gbps);
+    auto ev = [this, r, p, vc8 = static_cast<std::int8_t>(vc),
+               flits = pk.flits, pid, pt32 = static_cast<std::int32_t>(pt),
+               rb, delta = ph.hop_delta] {
+      r3_ser_done(r, p, vc8, flits, pid, pt32, rb, delta);
+    };
+    static_assert(sizeof(ev) <= sim::EventQueue::kInlineBytes);
+    eng_r(r).schedule(ser, std::move(ev));
+    return true;
+  }
+
   // Network hop: compute the next output queue at the peer and check space.
   // Crossing a rank-3 link enters a new group: the packet moves one level up
   // the deadlock-avoidance VC ladder (next_port() handles the intra-group
-  // Valiant bump itself).
-  const topo::RouterId rb = ph.peer_router;
+  // Valiant bump itself). In sharded mode this path only ever runs for
+  // rank-1/rank-2 links, whose peer is always on this shard.
   routing::RouteState rs = pk.route;
   if (cls == TileClass::kRank3 && rs.level + 1 < kNumVcLevels) ++rs.level;
   const topo::PortId qn = planner_.next_port(rb, pk.dst, rs);
@@ -526,10 +756,10 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
   if (!has_space(vqn, pk.flits)) {
     if (!escape_due) {
       if (grid_.stall_since[vq] < 0) grid_.stall_since[vq] = now;
-      grid_.add_waiter(vqn, router::WaiterRef{r, p});
+      grid_.add_waiter(vqn, router::WaiterRef{r, p}, sh_r(r));
       if (!grid_.escape_scheduled[vq]) {
         grid_.escape_scheduled[vq] = 1;
-        engine_.schedule(escape_timeout_, [this, r, p, vc] {
+        eng_r(r).schedule(escape_timeout_, [this, r, p, vc] {
           ProfScope ps(profile_, kEvEscape);
           grid_.escape_scheduled[PortGrid::vq_index(grid_.port_index(r, p),
                                                     vc)] = 0;
@@ -538,7 +768,7 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
       }
       return false;
     }
-    ++stats_.escapes;
+    ++st(sh_r(r)).escapes;
   }
   if (grid_.stall_since[vq] >= 0) {
     grid_.stall_ns_ctr[vq] += now - grid_.stall_since[vq];
@@ -564,20 +794,20 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
       ProfScope ps(profile_, kEvHop);
       if (phase == 0) {
         phase = 1;
-        hop_ser_done(r, p, vc8, flits);
-        engine_.rearm(delta);
+        hop_ser_done(r, p, vc8, flits, pid);
+        eng_r(r).rearm(delta);
       } else {
         hop_arrive(pid, rb, qn, qn_vc8);
       }
     };
     static_assert(sizeof(ev) <= sim::EventQueue::kInlineBytes);
-    engine_.schedule(ser, std::move(ev));
+    eng_r(r).schedule(ser, std::move(ev));
   } else {
-    engine_.schedule(ser, [this, r, p, vc, flits] {
+    eng_r(r).schedule(ser, [this, r, p, vc, flits, pid] {
       ProfScope ps(profile_, kEvHop);
-      hop_ser_done(r, p, vc, flits);
+      hop_ser_done(r, p, vc, flits, pid);
     });
-    engine_.schedule(ser + delta, [this, pid, rb, qn, qn_vc] {
+    eng_r(r).schedule(ser + delta, [this, pid, rb, qn, qn_vc] {
       ProfScope ps(profile_, kEvHop);
       hop_arrive(pid, rb, qn, qn_vc);
     });
@@ -585,21 +815,69 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
   return true;
 }
 
+void Network::r3_ser_done(topo::RouterId r, topo::PortId p, int vc,
+                          std::int32_t flits, PacketId pid, std::int32_t pt,
+                          topo::RouterId rb, Tick delta) {
+  const std::size_t pti = static_cast<std::size_t>(pt);
+  const std::size_t vq = PortGrid::vq_index(pti, vc);
+  const int sh = sh_r(r);
+  const Tick now = eng_r(r).now();
+  grid_.busy[pti] = 0;
+  grid_.occupancy_flits[vq] -= flits;
+  post_ingress_credit(pid, flits, now, sh);
+  notify_waiters(vq, sh);
+  try_start_port(r, p);
+  // The arrival lands strictly after the next barrier (delta >= lookahead by
+  // construction), so it is mailed as a future event on the peer's shard.
+  // The sender port index keys equal-time arrivals: one port's ser_done
+  // times are strictly increasing, so (due, port) is unique.
+  sim::MailRecord rec;
+  rec.due = now + delta;
+  rec.kind = kMailArrive;
+  rec.key = pt;
+  rec.a = pid;
+  rec.b = pt;
+  rec.c = rb;
+  se_->post_mail(sh, sh_r(rb), rec);
+}
+
+void Network::r3_arrive(PacketId pid, topo::RouterId rb,
+                        std::int32_t ingress_pt) {
+  Packet& pp = pkt(pid);
+  routing::RouteState rs = pp.route;
+  if (rs.level + 1 < kNumVcLevels) ++rs.level;  // crossed into a new group
+  const topo::PortId qn = planner_.next_port(rb, pp.dst, rs);
+  const int qn_vc = vc_queue_index(pp.vc, rs.level);
+  pp.route = rs;
+  const std::size_t vqn = PortGrid::vq_index(grid_.port_index(rb, qn), qn_vc);
+  // Occupancy is claimed at arrival (not at the remote sender's commit, as
+  // in serial mode): local senders into this queue see the flits from now
+  // until the packet's own ser_done frees them; the rank-3 link itself is
+  // governed by the sender-side credit pool instead.
+  grid_.occupancy_flits[vqn] += pp.flits;
+  ingress_of(pid) = ingress_pt;
+  ++pp.hops;
+  ++st(sh_r(rb)).total_hops;
+  fifo_push(grid_.q[vqn].head, grid_.q[vqn].tail, pid);
+  try_start_port(rb, qn);
+}
+
 void Network::nic_rx_complete(topo::NodeId node, PacketId id) {
   Nic& nic = nics_[static_cast<std::size_t>(node)];
   const topo::RouterId r = nic.router;
   const topo::PortId ep = nic.eject_pt;
+  sim::Engine& eng = eng_n(node);
   if (nic.rx_pending >= 0) {
     // Hand the skid-buffered packet to the rx unit, charge the port stall,
     // and release the ejection port.
     const PacketId next = nic.rx_pending;
     const std::size_t pt = grid_.port_index(r, ep);
     grid_.stall_ns_ctr[PortGrid::vq_index(pt, nic.rx_pending_vc)] +=
-        engine_.now() - nic.rx_pending_since;
+        eng.now() - nic.rx_pending_since;
     nic.rx_pending = -1;
     nic.rx_pending_since = -1;
     grid_.busy[pt] = 0;
-    engine_.schedule(rx_overhead_, [this, node, next] {
+    eng.schedule(rx_overhead_, [this, node, next] {
       ProfScope ps(profile_, kEvEjection);
       nic_rx_complete(node, next);
     });
@@ -611,31 +889,46 @@ void Network::nic_rx_complete(topo::NodeId node, PacketId id) {
 }
 
 void Network::deliver(PacketId id) {
-  ++stats_.packets_delivered;
-  if (tracer_ != nullptr) {
-    const Packet& p0 = pkt(id);
-    tracer_->record({engine_.now(), monitor::TraceEvent::kDeliver, id, p0.src,
-                     p0.dst, -1, p0.vc, p0.route.level, p0.route.nonminimal});
-  }
   // Snapshot: the completion callback below may inject new messages, growing
   // the packet pool and invalidating references into it.
   const Packet snap = pkt(id);
+  const int sh = sh_n(snap.dst);
+  sim::Engine& eng = eng_n(snap.dst);
+  ++st(sh).packets_delivered;
+  if (tracer_ != nullptr)
+    tracer_->record({eng.now(), monitor::TraceEvent::kDeliver, id, snap.src,
+                     snap.dst, -1, snap.vc, snap.route.level,
+                     snap.route.nonminimal});
   if (snap.vc == kVcResponse) {
     // Response arrives back at the original requester: ORB tracking.
     Nic& nic = nics_[static_cast<std::size_t>(snap.dst)];
-    nic.ctr.rsp_time_sum_ns += engine_.now() - snap.inject_time;
+    nic.ctr.rsp_time_sum_ns += eng.now() - snap.inject_time;
     ++nic.ctr.rsp_track_count;
-    free_packet(id);
+    free_packet_from(id, sh);
     return;
   }
   DeliveryCallback cb;
   if (snap.msg >= 0) {
-    const std::int32_t slot = msg_slot(snap.msg);
-    MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];
-    m.remaining_bytes -= snap.bytes - header_bytes_;
-    if (m.remaining_bytes <= 0) {
-      cb = std::move(m.on_delivered);
-      free_msg(slot);
+    if (se_ != nullptr) {
+      // The message slab is host-owned: progress travels as mail and is
+      // applied — running the completion callback at exhaustion — at the
+      // next barrier, in canonical order. remaining_bytes only crosses zero
+      // on the message's final payload record, so the slot is freed exactly
+      // once no matter how deliveries interleave across shards.
+      sim::MailRecord rec;
+      rec.due = eng.now();
+      rec.kind = kMailMsgProgress;
+      rec.key = msg_slot(snap.msg);
+      rec.a = snap.bytes - header_bytes_;
+      se_->post_mail(sh, 0, rec);
+    } else {
+      const std::int32_t slot = msg_slot(snap.msg);
+      MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];
+      m.remaining_bytes -= snap.bytes - header_bytes_;
+      if (m.remaining_bytes <= 0) {
+        cb = std::move(m.on_delivered);
+        free_msg(slot);
+      }
     }
   }
   if (snap.want_response) {
@@ -657,11 +950,61 @@ void Network::deliver(PacketId id) {
     fifo_push(nic.inject_head, nic.inject_tail, id);
     nic_try_inject(snap.dst);
   } else {
-    free_packet(id);
+    free_packet_from(id, sh);
   }
   // Run the message-completion callback last, with no packet references
   // held: it typically resumes rank coroutines that post further traffic.
   if (cb) cb();
+}
+
+void Network::apply_mail(int dst, std::span<sim::MailRecord> records) {
+  // Runs on the coordinator thread at a window barrier, records already in
+  // canonical (due, kind, key, seq) order. Every shard engine sits exactly
+  // at the barrier time, so direct state mutation here is equivalent to an
+  // event at the barrier instant.
+  for (const sim::MailRecord& rec : records) {
+    switch (rec.kind) {
+      case kMailCredit: {
+        const auto pt = static_cast<std::size_t>(rec.key);
+        r3_credits_[pt] += rec.a;
+        try_start_port(pt_router_[pt], pt_port_[pt]);
+        break;
+      }
+      case kMailFree:
+        free_local(static_cast<PacketId>(rec.key));
+        break;
+      case kMailMsgProgress: {
+        const auto slot = static_cast<std::int32_t>(rec.key);
+        MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];
+        m.remaining_bytes -= rec.a;
+        if (m.remaining_bytes <= 0) {
+          DeliveryCallback cb = std::move(m.on_delivered);
+          free_msg(slot);
+          if (cb) cb();
+        }
+        break;
+      }
+      case kMailInject:
+        apply_inject(static_cast<topo::NodeId>(rec.a >> 32),
+                     static_cast<topo::NodeId>(rec.a & 0xffffffff), rec.b,
+                     static_cast<MsgId>(rec.c),
+                     static_cast<routing::Mode>(rec.d));
+        break;
+      case kMailArrive: {
+        const auto pid = static_cast<PacketId>(rec.a);
+        const auto pt = static_cast<std::int32_t>(rec.b);
+        const auto rb = static_cast<topo::RouterId>(rec.c);
+        // Arrival is strictly in the future (link delta >= lookahead):
+        // becomes an ordinary event on the destination shard.
+        se_->shard(dst).schedule_at(rec.due, [this, pid, rb, pt] {
+          r3_arrive(pid, rb, pt);
+        });
+        break;
+      }
+      default:
+        break;
+    }
+  }
 }
 
 CounterSnapshot Network::snapshot_all() const {

@@ -34,6 +34,9 @@
 #include <span>
 #include <vector>
 
+#include <functional>
+#include <memory>
+
 #include "monitor/trace.hpp"
 #include "net/nic.hpp"
 #include "net/packet.hpp"
@@ -41,8 +44,10 @@
 #include "routing/adaptive.hpp"
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
+#include "sim/sharded.hpp"
 #include "sim/small_fn.hpp"
 #include "topo/dragonfly.hpp"
+#include "topo/partition.hpp"
 
 namespace dfsim::net {
 
@@ -137,7 +142,21 @@ struct EventProfile {
 
 class Network final : public routing::LoadOracle {
  public:
+  /// Serial mode: the forwarding plane runs on one engine, bit-identical to
+  /// the historical single-threaded formulation.
   Network(sim::Engine& engine, const topo::Dragonfly& topo, std::uint64_t seed);
+
+  /// Sharded mode: routers/NICs are partitioned per `plan` and every
+  /// component schedules on its owner shard's engine. Cross-shard effects
+  /// (rank-3 traversals, their credit returns, message progress, packet
+  /// frees, injections requested by the host) travel as ShardedEngine mail,
+  /// so results are byte-identical for every shard count >= 1 — but NOT to
+  /// serial mode: rank-3 links switch from same-tick remote reservation to
+  /// sender-side per-port credits with arrival-time occupancy (zero-lookahead
+  /// remote reads cannot be conservatively parallelized), and adaptive RNG
+  /// draws come from per-group streams (see docs/MODEL.md section 9).
+  Network(sim::ShardedEngine& se, const topo::Dragonfly& topo,
+          std::uint64_t seed, const topo::ShardPlan& plan);
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -168,7 +187,19 @@ class Network final : public routing::LoadOracle {
   [[nodiscard]] const Nic& nic(topo::NodeId n) const {
     return nics_[static_cast<std::size_t>(n)];
   }
-  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  /// System-wide counters, summed over the per-shard accumulators (one in
+  /// serial mode). Returns by value; call at a quiesced point in sharded
+  /// mode (between runs, or from a schedule_quiesced callback).
+  [[nodiscard]] NetworkStats stats() const;
+
+  [[nodiscard]] bool sharded() const { return se_ != nullptr; }
+  [[nodiscard]] const topo::ShardPlan* shard_plan() const { return plan_; }
+
+  /// Run `fn` after `delay` ns at a point where the whole network state is
+  /// consistent: a plain event in serial mode, a window barrier (the first
+  /// one at or after now+delay) in sharded mode. Monitors that read
+  /// system-wide counters (LDMS, AutoPerf) must sample through this.
+  void schedule_quiesced(sim::Tick delay, std::function<void()> fn);
 
   /// Counters summed over the whole system (NIC injection counters fold into
   /// the processor classes, as on Aries where processor tiles carry both
@@ -186,7 +217,10 @@ class Network final : public routing::LoadOracle {
 
   /// Number of in-flight (allocated) packets; 0 when fully drained.
   [[nodiscard]] std::int64_t packets_in_flight() const {
-    return stats_.packets_injected - stats_.packets_delivered;
+    std::int64_t n = 0;
+    for (const NetworkStats& s : stats_sh_)
+      n += s.packets_injected - s.packets_delivered;
+    return n;
   }
 
   /// Current injection-gap multiplier applied by congestion throttling
@@ -194,19 +228,23 @@ class Network final : public routing::LoadOracle {
   [[nodiscard]] double throttle_factor() const { return throttle_factor_; }
 
   /// Attach (or detach with nullptr) a packet tracer; the caller keeps
-  /// ownership and must outlive the network or detach first.
-  void set_tracer(monitor::PacketTracer* tracer) { tracer_ = tracer; }
+  /// ownership and must outlive the network or detach first. Tracing records
+  /// events in execution order from every shard, which is not meaningful
+  /// (or thread-safe) under sharded execution — unsupported there.
+  void set_tracer(monitor::PacketTracer* tracer);
 
   /// Attach (or detach with nullptr) a per-event-kind profile; the caller
   /// keeps ownership. Profiling adds two steady_clock reads per event.
-  void set_event_profile(EventProfile* profile) { profile_ = profile; }
+  /// Unsupported in sharded mode (events fire concurrently across shards).
+  void set_event_profile(EventProfile* profile);
 
-  /// Pre-size the packet pool, message slab, and blocked-sender slab for a
+  /// Pre-size the packet pools, message slab, and blocked-sender slabs for a
   /// known workload bound, so the pools never grow mid-run (capacity only;
   /// ids, results, and event order are unaffected). Used by the zero-
   /// allocation stress harnesses to pin "steady state allocates nothing".
+  /// `packets` is per shard in sharded mode.
   void reserve(std::size_t packets, std::size_t msgs, std::size_t waiters) {
-    pool_.reserve(packets);
+    for (PktPool& pool : pools_) reserve_pool(pool, packets);
     msg_pool_.reserve(msgs);
     grid_.reserve_waiters(waiters);
   }
@@ -219,7 +257,9 @@ class Network final : public routing::LoadOracle {
 
  private:
   /// Message completion slab. MsgId = (generation << 32) | slot; the
-  /// generation tag keeps recycled slots producing fresh ids.
+  /// generation tag keeps recycled slots producing fresh ids. Host-shard
+  /// owned in sharded mode (allocated by send_message, progressed by
+  /// barrier-applied kMailMsgProgress records).
   struct MsgRec {
     std::int64_t remaining_bytes = 0;
     DeliveryCallback on_delivered;
@@ -233,10 +273,51 @@ class Network final : public routing::LoadOracle {
     return static_cast<std::int32_t>(id & 0x7fffffff);
   }
 
-  // Packet pool (intrusive free list through Packet::next, LIFO).
-  PacketId alloc_packet();
-  void free_packet(PacketId id);
-  Packet& pkt(PacketId id) { return pool_[static_cast<std::size_t>(id)]; }
+  // --- Packet pools ---
+  // One pool per shard (one in serial mode); PacketId = (shard << 24) | idx.
+  // Storage is chunked so a pool can grow (owner shard only) without ever
+  // moving packets other shards may be reading — the chunk-pointer vector is
+  // reserved to its maximum up front, so pkt() never observes a relocation.
+  // Each chunk carries a parallel `ingress` sideband: the global port index
+  // of the rank-3 port the packet last arrived through (-1 otherwise), which
+  // is where the buffer-credit must return when the packet vacates its
+  // queue. Packet itself has no spare byte (see net/packet.hpp), hence the
+  // sideband. Serial mode uses pool 0 and yields the exact id sequence of
+  // the historical flat pool (same LIFO free list, same append order).
+  static constexpr int kPktShardShift = 24;
+  static constexpr std::uint32_t kPktIdxMask = (1u << kPktShardShift) - 1;
+  static constexpr int kChunkShift = 12;
+  static constexpr std::size_t kChunkPkts = std::size_t{1} << kChunkShift;
+  static constexpr std::uint32_t kChunkMask =
+      static_cast<std::uint32_t>(kChunkPkts) - 1;
+
+  struct PktChunk {
+    Packet p[kChunkPkts];
+    std::int32_t ingress[kChunkPkts];
+  };
+  struct PktPool {
+    std::vector<std::unique_ptr<PktChunk>> chunks;
+    std::uint32_t count = 0;  ///< high-water slot count
+    PacketId free_head = -1;  ///< intrusive LIFO through Packet::next
+  };
+
+  PacketId alloc_packet(int sh);
+  /// Return `id` to its owner pool. `sh` is the calling shard: a foreign
+  /// owner means the free must travel as mail (owner pools are single-writer
+  /// between barriers).
+  void free_packet_from(PacketId id, int sh);
+  void free_local(PacketId id);
+  static void reserve_pool(PktPool& pool, std::size_t packets);
+  Packet& pkt(PacketId id) {
+    PktPool& pool = pools_[static_cast<std::size_t>(id >> kPktShardShift)];
+    const auto ix = static_cast<std::uint32_t>(id) & kPktIdxMask;
+    return pool.chunks[ix >> kChunkShift]->p[ix & kChunkMask];
+  }
+  std::int32_t& ingress_of(PacketId id) {
+    PktPool& pool = pools_[static_cast<std::size_t>(id >> kPktShardShift)];
+    const auto ix = static_cast<std::uint32_t>(id) & kPktIdxMask;
+    return pool.chunks[ix >> kChunkShift]->ingress[ix & kChunkMask];
+  }
 
   // Intrusive FIFO helpers over {head, tail} PacketId pairs.
   void fifo_push(PacketId& head, PacketId& tail, PacketId id);
@@ -256,11 +337,54 @@ class Network final : public routing::LoadOracle {
   /// Attempt to transmit the head of (r, p, vc). Returns true on transmit.
   bool try_transmit(topo::RouterId r, topo::PortId p, int vc);
   void hop_ser_done(topo::RouterId r, topo::PortId p, int vc,
-                    std::int32_t flits);
+                    std::int32_t flits, PacketId pid);
   void hop_arrive(PacketId pid, topo::RouterId rb, topo::PortId qn, int qn_vc);
   void eject_ser_done(topo::RouterId r, topo::PortId p, int vc,
                       std::int32_t flits, PacketId pid, topo::NodeId node);
-  void notify_waiters(std::size_t vq);
+  void notify_waiters(std::size_t vq, int sh);
+
+  // --- Sharded-mode machinery (see docs/MODEL.md section 9) ---
+  /// Mail record kinds, in barrier-apply priority order at equal due time.
+  enum MailKind : std::uint32_t {
+    kMailCredit = 0,   ///< key = rank-3 sender port; a = flits returned
+    kMailFree,         ///< key = packet id to return to its owner pool
+    kMailMsgProgress,  ///< key = msg slot; a = payload bytes delivered
+    kMailInject,       ///< key = global send seq; a = src<<32|dst, b = bytes,
+                       ///<   c = MsgId, d = routing mode
+    kMailArrive,       ///< key = sender port; a = pid, b = sender port,
+                       ///<   c = dst router (becomes a dst-shard event)
+  };
+  void apply_mail(int dst, std::span<sim::MailRecord> records);
+  void apply_inject(topo::NodeId src, topo::NodeId dst, std::int64_t bytes,
+                    MsgId id, routing::Mode mode);
+  /// Rank-3 sender-side serialization finished: free the local queue,
+  /// return any ingress credit, and mail the arrival to the peer's shard.
+  void r3_ser_done(topo::RouterId r, topo::PortId p, int vc,
+                   std::int32_t flits, PacketId pid, std::int32_t pt,
+                   topo::RouterId rb, sim::Tick delta);
+  /// Rank-3 arrival at the destination shard: level bump, next-port
+  /// decision (dst-group RNG and loads), occupancy bump, ingress record.
+  void r3_arrive(PacketId pid, topo::RouterId rb, std::int32_t ingress_pt);
+  /// If `pid` entered its current router via rank-3, mail the freed buffer
+  /// space back to the sender port's credit pool. No-op in serial mode.
+  void post_ingress_credit(PacketId pid, std::int32_t flits, sim::Tick now,
+                           int sh);
+
+  [[nodiscard]] int sh_r(topo::RouterId r) const {
+    return shard_of_router_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int sh_n(topo::NodeId n) const {
+    return shard_of_node_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] sim::Engine& eng_r(topo::RouterId r) {
+    return *eng_by_router_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] sim::Engine& eng_n(topo::NodeId n) {
+    return *eng_by_node_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] NetworkStats& st(int sh) {
+    return stats_sh_[static_cast<std::size_t>(sh)];
+  }
 
   [[nodiscard]] std::int64_t capacity_flits() const { return capacity_flits_; }
   [[nodiscard]] bool has_space(std::size_t vq, std::int32_t flits) const {
@@ -278,19 +402,35 @@ class Network final : public routing::LoadOracle {
     topo::NodeId eject_node = -1;  ///< for processor (ejection) ports
   };
 
-  sim::Engine& engine_;
+  /// Master constructor; the public ones delegate (se/plan null in serial).
+  Network(sim::Engine& host, const topo::Dragonfly& topo, std::uint64_t seed,
+          sim::ShardedEngine* se, const topo::ShardPlan* plan);
+
+  sim::Engine& engine_;  ///< host engine (shard 0's in sharded mode)
   const topo::Dragonfly& topo_;
+  sim::ShardedEngine* se_ = nullptr;        ///< null in serial mode
+  const topo::ShardPlan* plan_ = nullptr;   ///< null in serial mode
   routing::RoutePlanner planner_;
   router::PortGrid grid_;
   std::vector<PortHot> port_hot_;  ///< [port_index]
   std::int64_t capacity_flits_ = 1;   ///< cached config().buffer_flits
   sim::Tick escape_timeout_ = 0;      ///< cached config().escape_timeout
   std::vector<Nic> nics_;
-  std::vector<Packet> pool_;
-  PacketId pkt_free_head_ = -1;
+  std::vector<PktPool> pools_;        ///< [shard] (single pool in serial)
   std::vector<MsgRec> msg_pool_;
   std::int32_t msg_free_head_ = -1;
-  NetworkStats stats_;
+  std::vector<NetworkStats> stats_sh_;  ///< [shard] counter accumulators
+  // Shard routing tables; in serial mode all-zero / all-&engine_, so the
+  // hot paths take the same loads in both modes.
+  std::vector<std::int32_t> shard_of_router_, shard_of_node_;
+  std::vector<sim::Engine*> eng_by_router_, eng_by_node_;
+  /// Sender-side credit pool per rank-3 port (sharded mode; flow control
+  /// for cross-shard links — each rank-3 ingress gets buffer_flits of
+  /// dedicated downstream buffering, replenished by kMailCredit records).
+  std::vector<std::int64_t> r3_credits_;
+  std::vector<std::int32_t> pt_router_;  ///< [port_index] owning router
+  std::vector<std::int32_t> pt_port_;    ///< [port_index] port within router
+  std::uint64_t inject_seq_ = 0;  ///< host-order tiebreak for kMailInject
   /// Periodic congestion-throttle evaluation. Self-rescheduling only while
   /// there is traffic to govern (or an elevated factor still decaying):
   /// once the network is idle the tick stops, letting the event queue

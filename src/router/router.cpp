@@ -2,6 +2,8 @@
 // the forwarding engine itself lives in net/network.cpp).
 #include "router/router.hpp"
 
+#include <algorithm>
+
 namespace dfsim::router {
 
 void PortGrid::build(const topo::Dragonfly& topo) {
@@ -32,27 +34,34 @@ void PortGrid::build(const topo::Dragonfly& topo) {
       tile_cls[port_index(r, p)] =
           static_cast<std::uint8_t>(topo.port(r, p).cls);
 
-  waiter_pool_.clear();
-  waiter_free_ = -1;
+  slabs_.assign(1, WaiterSlab{});
 }
 
-void PortGrid::add_waiter(std::size_t vq, WaiterRef w) {
+void PortGrid::set_waiter_shards(int shards) {
+  slabs_.assign(static_cast<std::size_t>(shards < 1 ? 1 : shards),
+                WaiterSlab{});
+  std::fill(waiter_head.begin(), waiter_head.end(), -1);
+  std::fill(waiter_tail.begin(), waiter_tail.end(), -1);
+}
+
+void PortGrid::add_waiter(std::size_t vq, WaiterRef w, int shard) {
+  WaiterSlab& sl = slabs_[static_cast<std::size_t>(shard)];
   for (std::int32_t i = waiter_head[vq]; i >= 0;
-       i = waiter_pool_[static_cast<std::size_t>(i)].next) {
-    const WaiterRef& x = waiter_pool_[static_cast<std::size_t>(i)].ref;
+       i = sl.pool[static_cast<std::size_t>(i)].next) {
+    const WaiterRef& x = sl.pool[static_cast<std::size_t>(i)].ref;
     if (x.router == w.router && x.port == w.port) return;
   }
   std::int32_t node;
-  if (waiter_free_ >= 0) {
-    node = waiter_free_;
-    waiter_free_ = waiter_pool_[static_cast<std::size_t>(node)].next;
+  if (sl.free_head >= 0) {
+    node = sl.free_head;
+    sl.free_head = sl.pool[static_cast<std::size_t>(node)].next;
   } else {
-    node = static_cast<std::int32_t>(waiter_pool_.size());
-    waiter_pool_.emplace_back();
+    node = static_cast<std::int32_t>(sl.pool.size());
+    sl.pool.emplace_back();
   }
-  waiter_pool_[static_cast<std::size_t>(node)] = WaiterNode{w, -1};
+  sl.pool[static_cast<std::size_t>(node)] = WaiterNode{w, -1};
   if (waiter_tail[vq] >= 0)
-    waiter_pool_[static_cast<std::size_t>(waiter_tail[vq])].next = node;
+    sl.pool[static_cast<std::size_t>(waiter_tail[vq])].next = node;
   else
     waiter_head[vq] = node;
   waiter_tail[vq] = node;

@@ -99,31 +99,48 @@ class PortGrid {
   std::vector<std::uint8_t> tile_cls;  ///< topo::TileClass per port
 
   // --- Blocked-sender chains ---
+  // Waiter nodes live in per-shard slabs so concurrent shards never contend
+  // on (or reallocate) a shared pool. Every chain is confined to one slab:
+  // a sender only ever blocks on a VC queue its own shard owns (rank-1/2
+  // links and injection are intra-group by construction, and the sharded
+  // rank-3 protocol uses sender-side credits instead of waiters), so the
+  // `shard` argument is simply the owner shard of `vq` — 0 in serial mode.
+  /// Partition the waiter slab into `shards` independent slabs (resets all
+  /// chains; call right after build()).
+  void set_waiter_shards(int shards);
   /// Append `w` to the chain of `vq` unless an equal ref is already queued
   /// (same dedup rule the per-queue vector had).
-  void add_waiter(std::size_t vq, WaiterRef w);
+  void add_waiter(std::size_t vq, WaiterRef w, int shard = 0);
   /// Detach the whole chain of `vq`, returning its head (-1 if empty). The
   /// caller walks the chain and frees each node; new waiters registered
   /// while the caller notifies go onto a fresh chain.
   std::int32_t detach_waiters(std::size_t vq);
-  [[nodiscard]] const WaiterNode& waiter(std::int32_t i) const {
-    return waiter_pool_[static_cast<std::size_t>(i)];
+  [[nodiscard]] const WaiterNode& waiter(std::int32_t i, int shard = 0) const {
+    return slabs_[static_cast<std::size_t>(shard)]
+        .pool[static_cast<std::size_t>(i)];
   }
-  void free_waiter(std::int32_t i) {
-    waiter_pool_[static_cast<std::size_t>(i)].next = waiter_free_;
-    waiter_free_ = i;
+  void free_waiter(std::int32_t i, int shard = 0) {
+    WaiterSlab& sl = slabs_[static_cast<std::size_t>(shard)];
+    sl.pool[static_cast<std::size_t>(i)].next = sl.free_head;
+    sl.free_head = i;
   }
-  /// Pre-size the waiter slab (capacity only).
-  void reserve_waiters(std::size_t n) { waiter_pool_.reserve(n); }
+  /// Pre-size every waiter slab (capacity only).
+  void reserve_waiters(std::size_t n) {
+    for (auto& sl : slabs_) sl.pool.reserve(n);
+  }
 
   /// Monitoring view of one port's counters.
   [[nodiscard]] PortCounters counters(topo::RouterId r, topo::PortId p) const;
 
  private:
+  struct WaiterSlab {
+    std::vector<WaiterNode> pool;  ///< freed nodes chain through free_head
+    std::int32_t free_head = -1;
+  };
+
   std::vector<std::uint32_t> port_base_;  ///< per-router prefix sums, n+1
   std::size_t n_ports_ = 0;
-  std::vector<WaiterNode> waiter_pool_;  ///< slab; freed nodes chain below
-  std::int32_t waiter_free_ = -1;
+  std::vector<WaiterSlab> slabs_;  ///< one per shard (one in serial mode)
 };
 
 }  // namespace dfsim::router

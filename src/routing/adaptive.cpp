@@ -13,6 +13,14 @@ RoutePlanner::RoutePlanner(const topo::Dragonfly& topo, const LoadOracle& loads,
   build_tables();
 }
 
+void RoutePlanner::enable_group_rngs(std::uint64_t seed) {
+  group_rngs_.clear();
+  group_rngs_.reserve(static_cast<std::size_t>(groups_));
+  for (int g = 0; g < groups_; ++g)
+    group_rngs_.emplace_back(
+        seed ^ (0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(g + 1)));
+}
+
 void RoutePlanner::build_tables() {
   const topo::Config& cfg = topo_.config();
   rpg_ = cfg.routers_per_group();
@@ -80,44 +88,76 @@ std::int64_t RoutePlanner::local_first_load(topo::RouterId r,
 topo::PortId RoutePlanner::best_global_port(topo::RouterId r,
                                             topo::GroupId tg) const {
   const auto ports = global_ports(r, tg);
-  topo::PortId best = ports.front();
-  std::int64_t best_load = load_units(r, best);
+  // Branchless strict-< first-wins argmin: the loads are independent array
+  // reads, so the loop body is straight-line selects the compiler can
+  // pipeline instead of a compare-and-branch per port.
+  std::size_t best = 0;
+  std::int64_t best_load = load_units(r, ports.front());
   for (std::size_t i = 1; i < ports.size(); ++i) {
     const std::int64_t l = load_units(r, ports[i]);
-    if (l < best_load) {
-      best_load = l;
-      best = ports[i];
-    }
+    const bool lt = l < best_load;
+    best = lt ? i : best;
+    best_load = lt ? l : best_load;
   }
-  return best;
+  return ports[best];
 }
 
 topo::RouterId RoutePlanner::pick_gateway(topo::RouterId r, topo::GroupId tg,
                                           std::int64_t* score_out) {
   const topo::GroupId g = group_of(r);
   const auto gws = gateways(g, tg);
-  // If this router owns a cable, it is always a candidate (score = its best
-  // global port load; no local hop needed).
-  topo::RouterId best_router = -1;
-  std::int64_t best_score = std::numeric_limits<std::int64_t>::max();
+  sim::Rng& rng = rng_for(g);
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+  // Hop-event hot path (half the wall in profile): gather candidates into a
+  // flat array, then score and select in straight-line passes instead of a
+  // branchy sample loop. Candidate 0 is the router itself when it owns a
+  // cable toward tg (no local hop needed; scored by its best global port);
+  // candidates after that are the random gateway samples, drawn in the exact
+  // order the scalar loop drew them so the RNG stream is unchanged.
+  topo::RouterId cand[1 + kGatewaySample];
+  topo::PortId gport[kGatewaySample];
+  std::int64_t score[1 + kGatewaySample];
+  int base = 0;
   if (!global_ports(r, tg).empty()) {
-    best_router = r;
-    best_score = load_units(r, best_global_port(r, tg));
+    cand[0] = r;
+    score[0] = load_units(r, best_global_port(r, tg));
+    base = 1;
   }
   const int samples =
       std::min<int>(kGatewaySample, static_cast<int>(gws.size()));
   for (int i = 0; i < samples; ++i) {
-    const auto& gw = gws[rng_.uniform_u64(gws.size())];
-    if (gw.router == r) continue;
-    const std::int64_t score = local_first_load(r, gw.router) +
-                               load_units(gw.router, gw.port);
-    if (score < best_score) {
-      best_score = score;
-      best_router = gw.router;
-    }
+    const auto& gw = gws[rng.uniform_u64(gws.size())];
+    cand[base + i] = gw.router;
+    gport[i] = gw.port;
   }
+  // Scoring pass, no data-dependent branches. A sample that drew the router
+  // itself has no local first hop (the table diagonal is -1): clamp the port
+  // to 0 — any in-bounds read, the value is discarded — and force the score
+  // to +inf. A self-sample implies r owns a cable, so candidate 0 exists and
+  // the +inf entry can never be selected.
+  for (int i = 0; i < samples; ++i) {
+    const topo::RouterId gr = cand[base + i];
+    const topo::PortId p0 = local_first_port(r, gr);
+    const std::int64_t s = load_units(r, p0 < 0 ? 0 : p0) +
+                           load_units(gr, gport[i]);
+    score[base + i] = gr == r ? kInf : s;
+  }
+  // Strict-< first-wins argmin — identical tie-breaking to the scalar loop
+  // (candidate 0 beats an equal-scored sample; earlier sample beats later).
+  const int n = base + samples;
+  int best = 0;
+  std::int64_t best_score = kInf;
+  for (int i = 0; i < n; ++i) {
+    const bool lt = score[i] < best_score;
+    best = lt ? i : best;
+    best_score = lt ? score[i] : best_score;
+  }
+  topo::RouterId best_router = best_score != kInf ? cand[best] : -1;
   if (best_router < 0) {
-    // Sampling can repeat the same gateway; fall back to the first one.
+    // No global ports here and every sample drew this router — impossible —
+    // or there were no candidates at all (n == 0 requires an empty gateway
+    // list). Preserve the scalar loop's fallback: take the first gateway.
     best_router = gws.front().router;
     best_score = local_first_load(r, best_router) +
                  load_units(gws.front().router, gws.front().port);
@@ -146,7 +186,7 @@ void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
     topo::RouterId via = -1;
     for (int attempt = 0; attempt < 4 && via < 0; ++attempt) {
       const auto cand = static_cast<topo::RouterId>(
-          gs * rpg_ + static_cast<int>(rng_.uniform_u64(rpg_)));
+          gs * rpg_ + static_cast<int>(rng_for(gs).uniform_u64(rpg_)));
       if (cand != src_router && cand != dst_router) via = cand;
     }
     if (via < 0) return;  // tiny group, no intermediate available
@@ -165,7 +205,7 @@ void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
   std::int64_t load_nonmin = std::numeric_limits<std::int64_t>::max();
   for (int i = 0; i < kViaGroupSample; ++i) {
     const auto cand = static_cast<topo::GroupId>(
-        rng_.uniform_u64(static_cast<std::uint64_t>(groups_)));
+        rng_for(gs).uniform_u64(static_cast<std::uint64_t>(groups_)));
     if (cand == gs || cand == gd) continue;
     std::int64_t score = 0;
     (void)pick_gateway(src_router, cand, &score);

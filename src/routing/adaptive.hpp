@@ -105,6 +105,14 @@ class RoutePlanner {
   /// Optional: without one, loads go through the LoadOracle virtual call.
   void set_load_view(LoadView v) { view_ = v; }
 
+  /// Switch from the single RNG stream to one independent stream per group,
+  /// derived from `seed`. Every adaptive draw for a decision at router `r`
+  /// then comes from group(r)'s stream, making the draw sequence a function
+  /// of that group's (partition-independent) decision order alone — the
+  /// property sharded execution needs, and why results change versus the
+  /// single-stream serial mode the moment this is enabled.
+  void enable_group_rngs(std::uint64_t seed);
+
   /// First-hop port from `r` toward local router `t` (adaptive 2-hop choice;
   /// cached table lookup). Exposed for tests. Precondition: same group.
   [[nodiscard]] topo::PortId local_first_port(topo::RouterId r,
@@ -146,6 +154,11 @@ class RoutePlanner {
   [[nodiscard]] topo::GroupId group_of(topo::RouterId r) const {
     return group_of_[static_cast<std::size_t>(r)];
   }
+  /// RNG stream for decisions taken at a router of group `g`.
+  [[nodiscard]] sim::Rng& rng_for(topo::GroupId g) {
+    return group_rngs_.empty() ? rng_
+                               : group_rngs_[static_cast<std::size_t>(g)];
+  }
   /// Cached rank-3 ports on `r` toward `tg` (CSR slice of the topo table).
   [[nodiscard]] std::span<const topo::PortId> global_ports(
       topo::RouterId r, topo::GroupId tg) const {
@@ -169,6 +182,7 @@ class RoutePlanner {
   const LoadOracle& loads_;
   LoadView view_;  ///< optional direct load tables (empty: use loads_)
   sim::Rng rng_;
+  std::vector<sim::Rng> group_rngs_;  ///< per-group streams (empty: use rng_)
 
   // --- lookup tables, built once from topo_ ---
   int rpg_ = 0;     ///< routers per group

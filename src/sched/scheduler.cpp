@@ -8,8 +8,8 @@ ModePair modes_for(routing::Mode requested) {
   return {requested, requested};
 }
 
-Scheduler::Scheduler(topo::Config cfg, std::uint64_t seed)
-    : machine_(cfg, seed),
+Scheduler::Scheduler(topo::Config cfg, std::uint64_t seed, int shards)
+    : machine_(cfg, seed, shards),
       alloc_(machine_.topology()),
       model_(static_cast<double>(machine_.topology().config().num_nodes()) /
              static_cast<double>(topo::Config::theta().num_nodes())),

@@ -17,7 +17,9 @@ namespace dfsim::sched {
 
 class Scheduler {
  public:
-  Scheduler(topo::Config cfg, std::uint64_t seed);
+  /// `shards` selects the machine's execution substrate (0 = legacy serial
+  /// engine; N >= 1 = sharded, see mpi::Machine).
+  Scheduler(topo::Config cfg, std::uint64_t seed, int shards = 0);
 
   [[nodiscard]] mpi::Machine& machine() { return machine_; }
   [[nodiscard]] NodeAllocator& allocator() { return alloc_; }

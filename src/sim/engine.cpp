@@ -13,6 +13,20 @@ std::uint64_t Engine::run() {
   return n;
 }
 
+std::uint64_t Engine::run_window(Tick end, bool inclusive) {
+  std::uint64_t n = 0;
+  while (!queue_.empty() && executed_ < budget_ &&
+         (queue_.next_time() < end ||
+          (inclusive && queue_.next_time() == end))) {
+    now_ = queue_.next_time();
+    queue_.pop_and_run();
+    ++executed_;
+    ++n;
+  }
+  if (now_ < end) now_ = end;
+  return n;
+}
+
 std::uint64_t Engine::run_until(Tick t) {
   std::uint64_t n = 0;
   while (!queue_.empty() && !stopped_ && executed_ < budget_ &&

@@ -71,6 +71,23 @@ class Engine {
   /// Returns the number of events executed in this call.
   std::uint64_t run_until(Tick t);
 
+  /// Sentinel returned by next_event_time() when the queue is empty.
+  static constexpr Tick kNoEvent = std::numeric_limits<Tick>::max();
+  /// Time of the earliest pending event, or kNoEvent when empty.
+  [[nodiscard]] Tick next_event_time() const {
+    return queue_.empty() ? kNoEvent : queue_.next_time();
+  }
+
+  /// Window execution primitive for the sharded engine: run events with
+  /// time < `end` (or <= `end` when `inclusive`, used for the final partial
+  /// window of a bounded run), then advance now() to `end`. Unlike run() /
+  /// run_until() this deliberately ignores stop(): a shard must always
+  /// reach the window barrier so that stop/budget decisions are taken at
+  /// partition-independent points only. The event budget still bounds the
+  /// loop (a runaway shard stops popping; the coordinator aborts at the
+  /// next barrier). Returns the number of events executed.
+  std::uint64_t run_window(Tick end, bool inclusive = false);
+
   /// Request that run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
   [[nodiscard]] bool stopped() const { return stopped_; }

@@ -1,0 +1,216 @@
+#include "sim/sharded.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+
+namespace dfsim::sim {
+
+namespace {
+
+int resolve_workers(int shards, int requested) {
+  if (requested <= 0) {
+    if (const char* env = std::getenv("DFSIM_SHARD_WORKERS")) {
+      const int v = std::atoi(env);
+      if (v > 0) requested = v;
+    }
+  }
+  if (requested <= 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    requested = hw > 0 ? static_cast<int>(hw) : 1;
+  }
+  return std::clamp(requested, 1, shards);
+}
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+bool mail_less(const MailRecord& x, const MailRecord& y) {
+  if (x.due != y.due) return x.due < y.due;
+  if (x.kind != y.kind) return x.kind < y.kind;
+  if (x.key != y.key) return x.key < y.key;
+  return x.seq < y.seq;
+}
+
+}  // namespace
+
+ShardedEngine::ShardedEngine(int shards, Tick lookahead, int workers)
+    : lookahead_(lookahead > 0 ? lookahead : 1) {
+  if (shards < 1) shards = 1;
+  engines_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s)
+    engines_.push_back(std::make_unique<Engine>());
+  mail_.resize(static_cast<std::size_t>(shards) *
+               static_cast<std::size_t>(shards));
+
+  workers_total_ = resolve_workers(shards, workers);
+  threads_.reserve(static_cast<std::size_t>(workers_total_ - 1));
+  for (int w = 1; w < workers_total_; ++w)
+    threads_.emplace_back([this, w] { worker_loop(w); });
+}
+
+ShardedEngine::~ShardedEngine() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    shutdown_ = true;
+  }
+  cv_go_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ShardedEngine::schedule_global(Tick t, std::function<void()> fn) {
+  GlobalEvent ev{t, global_seq_++, std::move(fn)};
+  auto it = std::upper_bound(
+      globals_.begin(), globals_.end(), ev,
+      [](const GlobalEvent& x, const GlobalEvent& y) {
+        return x.t != y.t ? x.t < y.t : x.seq < y.seq;
+      });
+  globals_.insert(it, std::move(ev));
+}
+
+void ShardedEngine::set_event_budget(std::uint64_t total) {
+  total_budget_ = total;
+  // Each shard also stops popping at the total, bounding how far a runaway
+  // window can run past the abort decision taken at the next barrier.
+  for (auto& e : engines_) e->set_event_budget(total);
+}
+
+void ShardedEngine::run_shards_of(int executor, Tick end, bool inclusive) {
+  for (int s = executor; s < num_shards(); s += workers_total_)
+    engines_[static_cast<std::size_t>(s)]->run_window(end, inclusive);
+}
+
+void ShardedEngine::worker_loop(int executor) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Tick end;
+    bool incl;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_go_.wait(lk, [&] { return shutdown_ || window_gen_ != seen; });
+      if (shutdown_) return;
+      seen = window_gen_;
+      end = win_end_;
+      incl = win_incl_;
+    }
+    run_shards_of(executor, end, incl);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--running_ == 0) cv_done_.notify_one();
+    }
+  }
+}
+
+void ShardedEngine::run_window_parallel(Tick end, bool inclusive) {
+  if (threads_.empty()) {
+    run_shards_of(0, end, inclusive);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    win_end_ = end;
+    win_incl_ = inclusive;
+    running_ = static_cast<int>(threads_.size());
+    ++window_gen_;
+  }
+  cv_go_.notify_all();
+  run_shards_of(0, end, inclusive);
+  const std::int64_t t0 = steady_ns();
+  {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_done_.wait(lk, [&] { return running_ == 0; });
+  }
+  stats_.barrier_wait_ns += steady_ns() - t0;
+}
+
+bool ShardedEngine::mail_pending() const {
+  for (const auto& box : mail_)
+    if (!box.empty()) return true;
+  return false;
+}
+
+void ShardedEngine::merge_and_apply(Tick barrier) {
+  const int S = num_shards();
+  if (staged_.size() != static_cast<std::size_t>(S))
+    staged_.resize(static_cast<std::size_t>(S));
+  // Phase 1: move EVERY outbox into per-destination staging before ANY
+  // handler runs. Mail the handlers themselves post (a completion callback
+  // injecting a fresh message, a credit return restarting a port that
+  // immediately transmits) then stays in the outboxes until the next
+  // barrier, so delivery timing never depends on which destination happens
+  // to be processed first.
+  for (int dst = 0; dst < S; ++dst) {
+    auto& stage = staged_[static_cast<std::size_t>(dst)];
+    stage.clear();
+    for (int src = 0; src < S; ++src) {
+      auto& box = mail_[static_cast<std::size_t>(src) *
+                            static_cast<std::size_t>(S) +
+                        static_cast<std::size_t>(dst)];
+      stage.insert(stage.end(), box.begin(), box.end());
+      box.clear();
+    }
+  }
+  // Phase 2: canonical order, then deliver. stable_sort, so records equal
+  // under (due, kind, key, seq) keep concatenation order; by the owner's
+  // contract such ties are either single-source (their relative order is
+  // that shard's serial event order, which is partition-independent) or
+  // fully commutative (per-message byte progress).
+  for (int dst = 0; dst < S; ++dst) {
+    auto& stage = staged_[static_cast<std::size_t>(dst)];
+    if (stage.empty()) continue;
+    std::stable_sort(stage.begin(), stage.end(), mail_less);
+    stats_.mail_records += stage.size();
+    if (handler_) handler_(dst, std::span<MailRecord>(stage));
+  }
+  // Then globals due at or before this barrier, in (t, seq) order. A global
+  // may register further globals; those run this barrier too if already due.
+  while (!globals_.empty() && globals_.front().t <= barrier) {
+    auto fn = std::move(globals_.front().fn);
+    globals_.erase(globals_.begin());
+    fn();
+  }
+}
+
+void ShardedEngine::drive(Tick limit, bool bounded) {
+  for (;;) {
+    if (budget_exhausted() || host().stopped()) return;
+
+    Tick nt = Engine::kNoEvent;
+    for (const auto& e : engines_) nt = std::min(nt, e->next_event_time());
+    if (!globals_.empty()) nt = std::min(nt, globals_.front().t);
+    // Undelivered outbox mail (posted during the last apply phase) keeps
+    // the system live even when every engine is idle: run one more window
+    // so the next barrier delivers it.
+    if (mail_pending()) nt = std::min(nt, host().now());
+
+    if (nt == Engine::kNoEvent || (bounded && nt > limit)) {
+      if (bounded)
+        for (auto& e : engines_)
+          e->run_window(limit, false);  // no events; just advance clocks
+      return;
+    }
+
+    // Next barrier on the lookahead grid strictly after nt; events exactly
+    // on a barrier belong to the *following* window (strict < in
+    // run_window), so the grid itself is partition-independent.
+    Tick end = (nt / lookahead_ + 1) * lookahead_;
+    bool inclusive = false;
+    if (bounded && end >= limit) {
+      end = limit;  // final partial window, closed at the limit itself
+      inclusive = true;
+    }
+
+    run_window_parallel(end, inclusive);
+    merge_and_apply(end);
+    ++stats_.windows;
+  }
+}
+
+void ShardedEngine::run() { drive(0, /*bounded=*/false); }
+
+void ShardedEngine::run_until(Tick t) { drive(t, /*bounded=*/true); }
+
+}  // namespace dfsim::sim

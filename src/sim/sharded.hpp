@@ -1,0 +1,161 @@
+// Conservatively synchronized sharded execution of cooperating Engines.
+//
+// One Engine per shard, driven in lock-step bounded time windows whose
+// width is the model's lookahead (the minimum latency of any cross-shard
+// interaction; for the dragonfly, the minimum rank-3 link + router latency,
+// see topo::ShardPlan). Within a window each shard executes its own events
+// serially and independently; all cross-shard effects are posted as
+// MailRecords into per-(src, dst) outboxes and merged at the window
+// barrier in a canonical (due, kind, key, seq) order that does not depend
+// on the physical interleaving of the workers — so the simulation result
+// is a pure function of the shard *plan*, never of thread timing, worker
+// count, or which shard happened to run first.
+//
+// Determinism contract: the schedule produced for a given model is
+// identical for every shard count S >= 1, because
+//  * the window grid is derived from the lookahead alone (ShardPlan makes
+//    the lookahead partition-independent),
+//  * each shard's window execution is a serial (time, seq) run over state
+//    only that shard touches,
+//  * mail is merged at every barrier under a total order computed from
+//    model quantities (due time, record kind, a model-assigned key),
+//  * stop requests and event budgets are only evaluated at barriers.
+// The owner (net::Network) must uphold its side: all cross-shard state
+// transfer goes through mail, and records that could collide at equal due
+// carry distinguishing keys.
+//
+// Threading: shards are distributed over min(S, workers) executor threads
+// (the calling thread is executor 0). The worker count affects wall-clock
+// only — results depend on the shard count, never on the worker count.
+// schedule_global() and post_mail() during the apply phase must only be
+// used from the coordinating thread; post_mail(src, ...) during a window
+// only from the thread executing shard `src`. Shard 0 (the "host" shard,
+// which owns the MPI/application layer) always runs on executor 0.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/time.hpp"
+
+namespace dfsim::sim {
+
+/// One cross-shard effect. Sorted at the barrier by (due, kind, key, seq);
+/// the owner defines kind/key/seq such that no two records that could
+/// interact compare equal. a..d are owner-defined payload.
+struct MailRecord {
+  Tick due = 0;
+  std::uint32_t kind = 0;
+  std::uint32_t seq = 0;
+  std::int64_t key = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  std::int64_t c = 0;
+  std::int64_t d = 0;
+};
+
+class ShardedEngine {
+ public:
+  /// `workers` = executor thread cap (0 = DFSIM_SHARD_WORKERS env, else
+  /// min(shards, hardware threads)). Never affects results.
+  ShardedEngine(int shards, Tick lookahead, int workers = 0);
+  ~ShardedEngine();
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] int num_shards() const { return static_cast<int>(engines_.size()); }
+  [[nodiscard]] int num_workers() const { return workers_total_; }
+  [[nodiscard]] Tick lookahead() const { return lookahead_; }
+  [[nodiscard]] Engine& shard(int s) { return *engines_[static_cast<std::size_t>(s)]; }
+  /// Shard 0: owns the MPI/application layer and the global clock queries.
+  [[nodiscard]] Engine& host() { return shard(0); }
+
+  /// Post a cross-shard effect; delivered to the mail handler at the next
+  /// window barrier. Single-writer per `src` (see file comment).
+  void post_mail(int src, int dst, const MailRecord& rec) {
+    mail_[static_cast<std::size_t>(src) * engines_.size() +
+          static_cast<std::size_t>(dst)]
+        .push_back(rec);
+  }
+
+  /// Barrier mail delivery: called once per destination shard with that
+  /// shard's records sorted canonically. Runs on the coordinating thread
+  /// with every shard parked at the barrier (now() == barrier time).
+  using MailHandler = std::function<void(int dst, std::span<MailRecord>)>;
+  void set_mail_handler(MailHandler h) { handler_ = std::move(h); }
+
+  /// Run `fn` at the first barrier with time >= t (ties in registration
+  /// order), with all shards quiesced. Host-thread only.
+  void schedule_global(Tick t, std::function<void()> fn);
+
+  /// Total event budget across all shards, evaluated at barriers.
+  void set_event_budget(std::uint64_t total);
+  [[nodiscard]] bool budget_exhausted() const {
+    return events_executed() >= total_budget_;
+  }
+  [[nodiscard]] std::uint64_t events_executed() const {
+    std::uint64_t n = 0;
+    for (const auto& e : engines_) n += e->events_executed();
+    return n;
+  }
+
+  /// Run windows until the host shard requests stop (observed at a
+  /// barrier), the whole system is idle, or the budget is exhausted.
+  void run();
+  /// Run windows covering events with time <= t; every shard's clock ends
+  /// at exactly t (the final partial window is barriered at t itself).
+  void run_until(Tick t);
+
+  struct Stats {
+    std::uint64_t windows = 0;          ///< barriers executed
+    std::uint64_t mail_records = 0;     ///< records merged over the run
+    std::int64_t barrier_wait_ns = 0;   ///< coordinator time parked waiting
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  void drive(Tick limit, bool bounded);
+  void run_window_parallel(Tick end, bool inclusive);
+  void run_shards_of(int executor, Tick end, bool inclusive);
+  void merge_and_apply(Tick barrier);
+  void worker_loop(int executor);
+  [[nodiscard]] bool mail_pending() const;
+
+  struct GlobalEvent {
+    Tick t = 0;
+    std::uint64_t seq = 0;
+    std::function<void()> fn;
+  };
+
+  std::vector<std::unique_ptr<Engine>> engines_;
+  Tick lookahead_ = 1;
+  std::vector<std::vector<MailRecord>> mail_;  ///< [src * S + dst] outboxes
+  std::vector<std::vector<MailRecord>> staged_;  ///< [dst] barrier staging
+  MailHandler handler_;
+  std::vector<GlobalEvent> globals_;  ///< kept sorted by (t, seq)
+  std::uint64_t global_seq_ = 0;
+  std::uint64_t total_budget_ = std::numeric_limits<std::uint64_t>::max();
+  Stats stats_;
+
+  // Window barrier (mutex + condvar; windows are coarse enough that the
+  // wakeup cost is noise next to the events they contain).
+  int workers_total_ = 1;  ///< executors incl. the coordinating thread
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_go_, cv_done_;
+  std::uint64_t window_gen_ = 0;
+  int running_ = 0;
+  Tick win_end_ = 0;
+  bool win_incl_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace dfsim::sim

@@ -1,0 +1,57 @@
+#include "topo/partition.hpp"
+
+#include <algorithm>
+
+namespace dfsim::topo {
+
+ShardPlan ShardPlan::build(const Dragonfly& topo, int requested) {
+  const Config& cfg = topo.config();
+  const int groups = cfg.groups;
+  ShardPlan plan;
+  plan.shards = std::clamp(requested, 1, groups);
+
+  // Contiguous group ranges: shard s owns [floor(s*G/S), floor((s+1)*G/S)).
+  plan.shard_of_group.resize(static_cast<std::size_t>(groups));
+  for (int s = 0; s < plan.shards; ++s) {
+    const int lo = static_cast<int>(
+        static_cast<long long>(s) * groups / plan.shards);
+    const int hi = static_cast<int>(
+        static_cast<long long>(s + 1) * groups / plan.shards);
+    for (int g = lo; g < hi; ++g)
+      plan.shard_of_group[static_cast<std::size_t>(g)] = s;
+  }
+
+  plan.shard_of_router.resize(static_cast<std::size_t>(cfg.num_routers()));
+  for (RouterId r = 0; r < cfg.num_routers(); ++r)
+    plan.shard_of_router[static_cast<std::size_t>(r)] =
+        plan.shard_of_group[static_cast<std::size_t>(topo.group_of_router(r))];
+
+  plan.shard_of_node.resize(static_cast<std::size_t>(cfg.num_nodes()));
+  for (NodeId n = 0; n < cfg.num_nodes(); ++n)
+    plan.shard_of_node[static_cast<std::size_t>(n)] =
+        plan.shard_of_router[static_cast<std::size_t>(topo.router_of_node(n))];
+
+  // Lookahead: the minimum time a rank-3 traversal spends in flight after
+  // leaving the sender (link propagation + downstream router pipeline). A
+  // packet committed at time t cannot arrive at another group before
+  // t + serialization + lookahead > t + lookahead, so windows of this width
+  // never let a cross-shard effect land inside its own window.
+  sim::Tick min_hop = 0;
+  for (RouterId r = 0; r < cfg.num_routers(); ++r) {
+    for (PortId p = 0; p < topo.num_ports(r); ++p) {
+      const PortInfo& pi = topo.port(r, p);
+      if (pi.cls != TileClass::kRank3) continue;
+      const sim::Tick hop = pi.latency + cfg.router_latency;
+      if (min_hop == 0 || hop < min_hop) min_hop = hop;
+    }
+  }
+  // Single-group systems have no rank-3 links (and clamp to one shard); any
+  // positive window width is valid there, so use the configured global-link
+  // latency for a sensible grid.
+  plan.lookahead =
+      min_hop > 0 ? min_hop : cfg.link_latency_global + cfg.router_latency;
+  if (plan.lookahead <= 0) plan.lookahead = 1;
+  return plan;
+}
+
+}  // namespace dfsim::topo

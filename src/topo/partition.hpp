@@ -1,0 +1,37 @@
+// Shard partitioning of a dragonfly for conservatively synchronized
+// parallel execution (sim::ShardedEngine).
+//
+// The partition is group-granular and contiguous: shard `s` owns groups
+// [floor(s*G/S), floor((s+1)*G/S)). Group granularity is what makes the
+// partition safe: every rank-1/rank-2 link, every ejection port, and every
+// load the adaptive planner reads during a decision at router `r` is
+// confined to group(r), so the only cross-shard interaction is a rank-3
+// (global-cable) traversal — and those have a guaranteed minimum latency,
+// the *lookahead*, that bounds how far one shard's present can reach into
+// another shard's future.
+//
+// The lookahead (and the partition itself) is a function of the topology
+// only — never of the shard count — so the window grid of the sharded
+// engine is identical for every S, which is what makes results byte-
+// identical across shard counts.
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::topo {
+
+struct ShardPlan {
+  int shards = 1;             ///< actual shard count (requested, clamped)
+  sim::Tick lookahead = 1;    ///< min rank-3 (link latency + router latency)
+  std::vector<int> shard_of_group;   ///< [group]
+  std::vector<int> shard_of_router;  ///< [router]
+  std::vector<int> shard_of_node;    ///< [node]
+
+  /// Build a plan for `requested` shards (clamped to [1, groups]).
+  [[nodiscard]] static ShardPlan build(const Dragonfly& topo, int requested);
+};
+
+}  // namespace dfsim::topo

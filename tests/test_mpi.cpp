@@ -104,7 +104,7 @@ TEST(Machine, WaitallGathersAll) {
   auto app = [](RankCtx& ctx) -> CoTask {
     const int n = ctx.nranks();
     const int me = ctx.rank();
-    std::vector<Request> reqs;
+    RequestList reqs;
     for (int i = 0; i < n; ++i) {
       if (i == me) continue;
       reqs.push_back(ctx.irecv(i, 512, 9));

@@ -1,0 +1,274 @@
+// Sharded execution contracts (docs/MODEL.md section 9).
+//
+// The tentpole property: for any shard count S >= 1, a sharded run is a
+// pure function of the model — never of the shard count, the worker count,
+// or thread timing. Shards {1, 2, 8} across multiple seeds and all four
+// routing modes must produce byte-identical results, because
+//  * the partition and lookahead depend only on the topology,
+//  * each shard's window execution is serial over state only it touches,
+//  * every cross-shard effect travels as mail merged in a canonical order.
+//
+// Also pinned here: the ShardPlan invariants (contiguity, coverage, the
+// lookahead derivation) and the window-grid edge case — an event exactly at
+// a barrier time belongs to the *following* window, which is what keeps the
+// grid partition-independent.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "routing/bias.hpp"
+#include "sim/engine.hpp"
+#include "sim/sharded.hpp"
+#include "sim/time.hpp"
+#include "topo/config.hpp"
+#include "topo/dragonfly.hpp"
+#include "topo/partition.hpp"
+
+namespace dfsim {
+namespace {
+
+// --- ShardPlan --------------------------------------------------------------
+
+TEST(ShardPlan, PartitionIsContiguousAndCovers) {
+  const topo::Dragonfly topo(topo::Config::theta_scaled());
+  const int groups = topo.config().groups;
+  for (const int req : {1, 2, 3, 8, groups, groups + 5}) {
+    SCOPED_TRACE(req);
+    const auto plan = topo::ShardPlan::build(topo, req);
+    EXPECT_GE(plan.shards, 1);
+    EXPECT_LE(plan.shards, groups);
+    // Group assignment is non-decreasing (contiguous ranges) and every
+    // shard owns at least one group.
+    std::vector<int> count(static_cast<std::size_t>(plan.shards), 0);
+    int prev = 0;
+    for (int g = 0; g < groups; ++g) {
+      const int s = plan.shard_of_group[static_cast<std::size_t>(g)];
+      EXPECT_GE(s, prev);
+      EXPECT_LT(s, plan.shards);
+      ++count[static_cast<std::size_t>(s)];
+      prev = s;
+    }
+    for (const int c : count) EXPECT_GE(c, 1);
+    // Routers and nodes inherit their group's shard.
+    for (topo::RouterId r = 0; r < topo.config().num_routers(); ++r)
+      EXPECT_EQ(plan.shard_of_router[static_cast<std::size_t>(r)],
+                plan.shard_of_group[static_cast<std::size_t>(
+                    topo.group_of_router(r))]);
+    for (topo::NodeId n = 0; n < topo.config().num_nodes(); ++n)
+      EXPECT_EQ(plan.shard_of_node[static_cast<std::size_t>(n)],
+                plan.shard_of_router[static_cast<std::size_t>(
+                    topo.router_of_node(n))]);
+  }
+}
+
+TEST(ShardPlan, LookaheadIsMinRank3HopAndShardCountIndependent) {
+  const topo::Dragonfly topo(topo::Config::theta());
+  const auto& cfg = topo.config();
+  const auto p1 = topo::ShardPlan::build(topo, 1);
+  const auto p8 = topo::ShardPlan::build(topo, 8);
+  // Theta: 500 ns optical link + 100 ns router pipeline.
+  EXPECT_EQ(p1.lookahead, cfg.link_latency_global + cfg.router_latency);
+  // The window grid must be identical for every shard count.
+  EXPECT_EQ(p1.lookahead, p8.lookahead);
+}
+
+// --- Window grid edge cases -------------------------------------------------
+
+TEST(ShardedEngine, EventExactlyAtBarrierRunsInFollowingWindow) {
+  sim::ShardedEngine se(2, /*lookahead=*/100);
+  // Per-shard logs: same-window events on different shards may execute on
+  // different worker threads concurrently, so each shard writes only its
+  // own vector (main reads them after run(), past the final barrier).
+  std::vector<sim::Tick> fired0, fired1;
+  // now() observed by an event tells us which window executed it: windows
+  // advance every shard's clock to the barrier, so an event at t == barrier
+  // executing in the *following* window still sees now() == its own time,
+  // but the barrier count proves where it ran.
+  se.shard(0).schedule_at(0, [&] { fired0.push_back(se.shard(0).now()); });
+  se.shard(0).schedule_at(100, [&] { fired0.push_back(se.shard(0).now()); });
+  se.shard(1).schedule_at(100, [&] { fired1.push_back(se.shard(1).now()); });
+  se.run();
+  ASSERT_EQ(fired0.size(), 2u);
+  ASSERT_EQ(fired1.size(), 1u);
+  EXPECT_EQ(fired0[0], 0);
+  EXPECT_EQ(fired0[1], 100);
+  EXPECT_EQ(fired1[0], 100);
+  // Window 1 covered [0, 100) — only the t=0 event; the t=100 events needed
+  // a second window [100, 200). Both shards' clocks end at the last barrier.
+  EXPECT_EQ(se.stats().windows, 2u);
+  EXPECT_EQ(se.shard(0).now(), 200);
+  EXPECT_EQ(se.shard(1).now(), 200);
+}
+
+TEST(ShardedEngine, BoundedRunClosesFinalWindowAtLimit) {
+  sim::ShardedEngine se(2, /*lookahead=*/100);
+  bool at_limit = false;
+  se.shard(1).schedule_at(250, [&] { at_limit = true; });
+  se.run_until(250);
+  // 250 is not on the lookahead grid: the final window is clamped to the
+  // limit and closed (inclusive), so the event runs and every clock ends
+  // exactly at the limit.
+  EXPECT_TRUE(at_limit);
+  EXPECT_EQ(se.shard(0).now(), 250);
+  EXPECT_EQ(se.shard(1).now(), 250);
+}
+
+TEST(ShardedEngine, MailDeliversInCanonicalOrderAtBarrier) {
+  sim::ShardedEngine se(2, /*lookahead=*/100);
+  std::vector<std::int64_t> keys;
+  se.set_mail_handler([&](int dst, std::span<sim::MailRecord> recs) {
+    EXPECT_EQ(dst, 1);
+    for (const auto& r : recs) keys.push_back(r.key);
+  });
+  se.shard(0).schedule_at(10, [&] {
+    // Posted out of key order, same due time: the barrier merge sorts them.
+    sim::MailRecord rec;
+    rec.due = 10;
+    rec.key = 7;
+    se.post_mail(0, 1, rec);
+    rec.key = 3;
+    se.post_mail(0, 1, rec);
+  });
+  se.run();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], 3);
+  EXPECT_EQ(keys[1], 7);
+}
+
+// --- Byte-identity across shard counts --------------------------------------
+
+bool same_bytes(const net::CounterSnapshot& a, const net::CounterSnapshot& b) {
+  return std::memcmp(&a, &b, sizeof(net::CounterSnapshot)) == 0;
+}
+
+core::ProductionConfig small_theta(std::uint64_t seed, routing::Mode mode,
+                                   int shards) {
+  core::ProductionConfig cfg;
+  cfg.system = topo::Config::theta_scaled();
+  cfg.app = "MILC";
+  cfg.nnodes = 16;
+  cfg.mode = mode;
+  cfg.params.iterations = 1;
+  cfg.params.msg_scale = 0.05;
+  cfg.params.compute_scale = 0.1;
+  cfg.params.seed = seed;
+  cfg.bg_utilization = 0.1;
+  cfg.seed = seed;
+  cfg.shards = shards;
+  return cfg;
+}
+
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  ASSERT_TRUE(a.ok) << a.fail_reason;
+  ASSERT_TRUE(b.ok) << b.fail_reason;
+  EXPECT_TRUE(same_bytes(a.global, b.global));
+  EXPECT_EQ(a.netstats.total_hops, b.netstats.total_hops);
+  EXPECT_EQ(a.netstats.minimal_decisions, b.netstats.minimal_decisions);
+  EXPECT_EQ(a.netstats.nonminimal_decisions, b.netstats.nonminimal_decisions);
+  EXPECT_EQ(a.netstats.packets_injected, b.netstats.packets_injected);
+  EXPECT_EQ(a.netstats.packets_delivered, b.netstats.packets_delivered);
+  EXPECT_EQ(a.netstats.escapes, b.netstats.escapes);
+  for (std::size_t m = 0; m < static_cast<std::size_t>(routing::kNumModes);
+       ++m) {
+    EXPECT_EQ(a.netstats.decisions_by_mode[m][0],
+              b.netstats.decisions_by_mode[m][0]);
+    EXPECT_EQ(a.netstats.decisions_by_mode[m][1],
+              b.netstats.decisions_by_mode[m][1]);
+  }
+  // Same events on the same (logical) engines: even the executed event
+  // count is partition-independent.
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.runtime_ms, b.runtime_ms);
+}
+
+TEST(ShardedDeterminism, ByteIdenticalAcrossShardCountsAllModes) {
+  for (const auto mode : {routing::Mode::kAd0, routing::Mode::kAd1,
+                          routing::Mode::kAd2, routing::Mode::kAd3}) {
+    SCOPED_TRACE(static_cast<int>(mode));
+    const core::RunResult base =
+        core::run_production(small_theta(2027, mode, 1));
+    ASSERT_TRUE(base.ok) << base.fail_reason;
+    EXPECT_GT(base.netstats.packets_delivered, 0);
+    for (const int shards : {2, 8}) {
+      SCOPED_TRACE(shards);
+      expect_identical(base,
+                       core::run_production(small_theta(2027, mode, shards)));
+    }
+  }
+}
+
+TEST(ShardedDeterminism, ByteIdenticalAcrossShardCountsAndSeeds) {
+  for (const std::uint64_t seed : {7ULL, 41ULL, 1999ULL}) {
+    SCOPED_TRACE(seed);
+    const core::RunResult base =
+        core::run_production(small_theta(seed, routing::Mode::kAd0, 1));
+    ASSERT_TRUE(base.ok) << base.fail_reason;
+    for (const int shards : {2, 8}) {
+      SCOPED_TRACE(shards);
+      expect_identical(base, core::run_production(small_theta(
+                                 seed, routing::Mode::kAd0, shards)));
+    }
+  }
+}
+
+TEST(ShardedDeterminism, WorkerCountNeverAffectsResults) {
+  // Same shard count, different executor counts: results must not change.
+  // (resolve via the env override the sharded engine reads at construction)
+  const core::RunResult two_workers =
+      core::run_production(small_theta(99, routing::Mode::kAd2, 4));
+  setenv("DFSIM_SHARD_WORKERS", "1", 1);
+  const core::RunResult one_worker =
+      core::run_production(small_theta(99, routing::Mode::kAd2, 4));
+  unsetenv("DFSIM_SHARD_WORKERS");
+  expect_identical(two_workers, one_worker);
+}
+
+TEST(ShardedDeterminism, ControlledEnsembleWithLdmsIsShardCountInvariant) {
+  core::EnsembleConfig cfg;
+  cfg.system = topo::Config::theta_scaled();
+  cfg.app = "MILC";
+  cfg.njobs = 2;
+  cfg.nnodes = 8;
+  cfg.params.iterations = 1;
+  cfg.params.msg_scale = 0.05;
+  cfg.params.compute_scale = 0.1;
+  cfg.params.seed = 5;
+  cfg.seed = 5;
+  cfg.ldms_period = 50 * sim::kMicrosecond;
+
+  cfg.shards = 1;
+  const core::EnsembleResult a = core::run_controlled(cfg);
+  cfg.shards = 2;
+  const core::EnsembleResult b = core::run_controlled(cfg);
+
+  ASSERT_TRUE(a.ok) << a.fail_reason;
+  ASSERT_TRUE(b.ok) << b.fail_reason;
+  EXPECT_EQ(a.runtimes_ms, b.runtimes_ms);
+  EXPECT_TRUE(same_bytes(a.total, b.total));
+  ASSERT_EQ(a.ldms.size(), b.ldms.size());
+  EXPECT_GT(a.ldms.size(), 1u) << "LDMS sampled nothing";
+  for (std::size_t i = 0; i < a.ldms.size(); ++i) {
+    EXPECT_EQ(a.ldms[i].t, b.ldms[i].t);
+    EXPECT_TRUE(same_bytes(a.ldms[i].cumulative, b.ldms[i].cumulative));
+  }
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(ShardedDeterminism, SerialModeIsDefaultAndDistinct) {
+  // shards = 0 is the untouched legacy serial engine; it is deterministic
+  // in itself (pinned by the existing determinism suite) but follows a
+  // different — equally valid — schedule than the sharded family, which
+  // uses per-group RNG streams and credit-based rank-3 flow control.
+  core::ProductionConfig serial = small_theta(11, routing::Mode::kAd0, 0);
+  const core::RunResult s1 = core::run_production(serial);
+  const core::RunResult s2 = core::run_production(serial);
+  expect_identical(s1, s2);
+}
+
+}  // namespace
+}  // namespace dfsim
