@@ -11,16 +11,112 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "apps/app.hpp"
 #include "core/experiment.hpp"
+#include "fault/fault.hpp"
 #include "stats/csv.hpp"
 #include "topo/config.hpp"
 
 namespace dfsim::bench {
+
+/// Registered-flag command-line parser shared by every bench binary.
+/// Valued flags are `--name=value`, switches are bare `--name`; `--help`
+/// prints usage generated from the registrations and exits. Benches with
+/// extra knobs construct a Cli, call Options::register_flags(), then add
+/// their own flags — one parser, one help text, no hand-rolled loops.
+class Cli {
+ public:
+  explicit Cli(std::string program) : program_(std::move(program)) {}
+
+  Cli& flag(const char* name, int* v, const char* help) {
+    return add(name, "N", help,
+               [v](const char* s) { *v = std::atoi(s); });
+  }
+  Cli& flag(const char* name, std::uint64_t* v, const char* help) {
+    return add(name, "N", help,
+               [v](const char* s) { *v = std::strtoull(s, nullptr, 10); });
+  }
+  Cli& flag(const char* name, double* v, const char* help) {
+    return add(name, "X", help, [v](const char* s) { *v = std::atof(s); });
+  }
+  Cli& flag(const char* name, std::string* v, const char* help) {
+    return add(name, "S", help, [v](const char* s) { *v = s; });
+  }
+  /// Presence switch: `--name` sets the bool, no value.
+  Cli& flag(const char* name, bool* v, const char* help) {
+    flags_.push_back({name, "", help, [v](const char*) { *v = true; }});
+    return *this;
+  }
+
+  void parse(int argc, char** argv) const {
+    for (int i = 1; i < argc; ++i) {
+      const std::string a = argv[i];
+      if (a == "--help" || a == "-h") {
+        usage();
+        std::exit(0);
+      }
+      bool matched = false;
+      for (const Flag& f : flags_) {
+        if (f.metavar.empty()) {
+          if (a == "--" + f.name) {
+            f.set("");
+            matched = true;
+            break;
+          }
+        } else {
+          const std::string prefix = "--" + f.name + "=";
+          if (a.compare(0, prefix.size(), prefix) == 0) {
+            f.set(a.c_str() + prefix.size());
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (!matched)
+        std::fprintf(stderr, "%s: ignoring unknown option %s (see --help)\n",
+                     program_.c_str(), a.c_str());
+    }
+  }
+
+  void usage() const {
+    std::printf("usage: %s", program_.c_str());
+    for (const Flag& f : flags_) {
+      if (f.metavar.empty())
+        std::printf(" [--%s]", f.name.c_str());
+      else
+        std::printf(" [--%s=%s]", f.name.c_str(), f.metavar.c_str());
+    }
+    std::printf("\n");
+    for (const Flag& f : flags_)
+      std::printf("  --%-18s %s\n",
+                  (f.metavar.empty() ? f.name : f.name + "=" + f.metavar)
+                      .c_str(),
+                  f.help.c_str());
+  }
+
+ private:
+  struct Flag {
+    std::string name;
+    std::string metavar;  ///< empty = presence switch
+    std::string help;
+    std::function<void(const char*)> set;
+  };
+
+  Cli& add(const char* name, const char* metavar, const char* help,
+           std::function<void(const char*)> set) {
+    flags_.push_back({name, metavar, help, std::move(set)});
+    return *this;
+  }
+
+  std::string program_;
+  std::vector<Flag> flags_;
+};
 
 struct Options {
   int samples = 6;      ///< runs per (app, mode) cell
@@ -35,37 +131,75 @@ struct Options {
                         ///< byte-identical for every N >= 1)
   std::string csv_dir;  ///< when set (--csv=DIR), also write raw CSV series
 
+  // Fault injection (all zero by default: pristine hardware, every fault
+  // path dormant). Fractions select seeded-random links via
+  // fault::FaultPlan::random on the bench's system config.
+  double fault_links = 0.0;     ///< fraction of links failed
+  double fault_degrade = 0.0;   ///< fraction of links lane-degraded
+  int fault_routers = 0;        ///< whole routers failed
+  double fault_at_us = 0.0;     ///< injection time, simulated microseconds
+  double fault_repair_us = 0.0; ///< repair delay after each fault (0 = never)
+  std::uint64_t fault_seed = 1; ///< placement seed (independent of --seed)
+
+  /// Register the shared bench flags (--samples/--jobs/--shards/--fault-*
+  /// et al.) on a Cli. Benches with extra knobs call this and then add
+  /// their own flags to the same Cli.
+  void register_flags(Cli& cli) {
+    cli.flag("samples", &samples, "runs per (app, mode) cell")
+        .flag("iterations", &iterations, "app iterations per run")
+        .flag("scale", &scale, "message & compute scaling")
+        .flag("bg", &bg, "background utilization for production runs")
+        .flag("seed", &seed, "root seed (per-trial seeds derive from it)")
+        .flag("jobs", &jobs,
+              "trial worker threads (default: hardware concurrency; results "
+              "are identical for any N)")
+        .flag("shards", &shards,
+              "intra-trial event-execution shards (default: DFSIM_TEST_SHARDS "
+              "env, else 0 = serial engine; results are byte-identical for "
+              "every N >= 1; total threads ~= jobs * shards)")
+        .flag("full", &full, "full-size Theta/Cori")
+        .flag("csv", &csv_dir, "also write raw CSV series into this directory")
+        .flag("fault-links", &fault_links,
+              "fraction of links failed at --fault-at-us (seeded-random)")
+        .flag("fault-degrade", &fault_degrade,
+              "fraction of links lane-degraded to 1/4..3/4 bandwidth")
+        .flag("fault-routers", &fault_routers,
+              "whole routers failed at --fault-at-us")
+        .flag("fault-at-us", &fault_at_us,
+              "fault injection time in simulated microseconds")
+        .flag("fault-repair-us", &fault_repair_us,
+              "repair each fault this long after it strikes (0 = never)")
+        .flag("fault-seed", &fault_seed,
+              "seed for random fault placement (independent of --seed)");
+  }
+
   static Options parse(int argc, char** argv) {
     Options o;
-    for (int i = 1; i < argc; ++i) {
-      const std::string a = argv[i];
-      auto val = [&](const char* prefix) -> const char* {
-        const std::size_t n = std::strlen(prefix);
-        return a.compare(0, n, prefix) == 0 ? a.c_str() + n : nullptr;
-      };
-      if (const char* v = val("--samples=")) o.samples = std::atoi(v);
-      else if (const char* v2 = val("--iterations=")) o.iterations = std::atoi(v2);
-      else if (const char* v3 = val("--scale=")) o.scale = std::atof(v3);
-      else if (const char* v4 = val("--bg=")) o.bg = std::atof(v4);
-      else if (const char* v5 = val("--seed=")) o.seed = std::strtoull(v5, nullptr, 10);
-      else if (const char* v6 = val("--csv=")) o.csv_dir = v6;
-      else if (const char* v7 = val("--jobs=")) o.jobs = std::atoi(v7);
-      else if (const char* v8 = val("--shards=")) o.shards = std::atoi(v8);
-      else if (a == "--full") o.full = true;
-      else if (a == "--help" || a == "-h") {
-        std::printf(
-            "options: --samples=N --iterations=N --scale=X --bg=U --seed=S "
-            "--jobs=N --shards=N --full --csv=DIR\n"
-            "  --jobs=N    trial worker threads (default: hardware "
-            "concurrency; results are identical for any N)\n"
-            "  --shards=N  intra-trial event-execution shards (default: "
-            "DFSIM_TEST_SHARDS env, else 0 = serial engine; results are "
-            "byte-identical for every N >= 1). Combine with --jobs: total "
-            "threads ~= jobs * shards.\n");
-        std::exit(0);
-      }
-    }
+    Cli cli(argc > 0 ? argv[0] : "bench");
+    o.register_flags(cli);
+    cli.parse(argc, argv);
     return o;
+  }
+
+  [[nodiscard]] bool have_faults() const {
+    return fault_links > 0.0 || fault_degrade > 0.0 || fault_routers > 0;
+  }
+
+  /// Seeded-random fault plan from the --fault-* flags for a given system
+  /// (empty plan — all fault machinery dormant — when no flag is set).
+  [[nodiscard]] fault::FaultPlan fault_plan(const topo::Config& sys) const {
+    if (!have_faults()) return {};
+    fault::RandomFaultSpec spec;
+    spec.seed = fault_seed;
+    spec.link_fail_fraction = fault_links;
+    spec.link_degrade_fraction = fault_degrade;
+    spec.router_failures = fault_routers;
+    spec.window_begin =
+        static_cast<sim::Tick>(fault_at_us * sim::kMicrosecond);
+    spec.window_end = spec.window_begin;
+    spec.repair_after =
+        static_cast<sim::Tick>(fault_repair_us * sim::kMicrosecond);
+    return fault::FaultPlan::random(sys, spec);
   }
 
   /// Batch controls for the core ensemble runners.
@@ -103,10 +237,13 @@ struct Options {
     if (app == "HACC") p.iterations = std::max(1, iterations / 2 + 1);
     return p;
   }
-  [[nodiscard]] core::ProductionConfig production(const std::string& app,
-                                                  int nnodes,
-                                                  routing::Mode mode) const {
-    core::ProductionConfig cfg;
+  /// Production scenario on the bench's Theta system; the --fault-* flags
+  /// (empty plan when unset) ride along, so every production bench can be
+  /// run against degraded hardware.
+  [[nodiscard]] core::ScenarioConfig production(const std::string& app,
+                                                int nnodes,
+                                                routing::Mode mode) const {
+    core::ScenarioConfig cfg = core::ScenarioConfig::production();
     cfg.system = theta();
     cfg.app = app;
     cfg.nnodes = nnodes;
@@ -115,6 +252,7 @@ struct Options {
     cfg.bg_utilization = bg;
     cfg.seed = seed;
     cfg.shards = shards;
+    cfg.faults = fault_plan(cfg.system);
     return cfg;
   }
 };

@@ -43,6 +43,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "core/experiment.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
@@ -336,42 +337,32 @@ int main(int argc, char** argv) {
   using namespace dfsim;
   bool quick = false;
   bool allocs_strict = false;
-  bool shard_scaling = true;
+  bool no_shard_scaling = false;
   int shards = 0;  // headline sim run substrate (0 = serial engine)
-  std::uint64_t micro_events = 20'000'000;
+  std::uint64_t micro_events = 0;  // 0 = pick from --quick below
   std::uint64_t seed = 2021;
   int repeats = 5;
   std::string out_path = "BENCH_hotpath.json";
-  for (int i = 1; i < argc; ++i) {
-    const std::string a = argv[i];
-    if (a == "--quick") {
-      quick = true;
-      micro_events = 2'000'000;
-    } else if (a == "--allocs-strict") {
-      allocs_strict = true;
-    } else if (a == "--no-shard-scaling") {
-      shard_scaling = false;
-    } else if (a.rfind("--shards=", 0) == 0) {
-      shards = std::max(0, std::atoi(a.c_str() + 9));
-    } else if (a.rfind("--micro-events=", 0) == 0) {
-      micro_events = std::strtoull(a.c_str() + 15, nullptr, 10);
-    } else if (a.rfind("--seed=", 0) == 0) {
-      seed = std::strtoull(a.c_str() + 7, nullptr, 10);
-    } else if (a.rfind("--repeats=", 0) == 0) {
-      repeats = std::max(1, std::atoi(a.c_str() + 10));
-    } else if (a.rfind("--out=", 0) == 0) {
-      out_path = a.substr(6);
-    } else if (a == "--help" || a == "-h") {
-      std::printf(
-          "usage: perf_hotpath [--quick] [--allocs-strict] [--shards=N] "
-          "[--no-shard-scaling] [--micro-events=N] [--seed=S] [--repeats=N] "
-          "[--out=FILE]\n"
-          "  --shards=N  substrate for the headline sim trial (0 = serial "
-          "engine; N >= 1 = lookahead-windowed sharded execution, results "
-          "byte-identical for every N)\n");
-      return 0;
-    }
-  }
+  bench::Cli cli("perf_hotpath");
+  cli.flag("quick", &quick, "short micro run (2M events instead of 20M)")
+      .flag("allocs-strict", &allocs_strict,
+            "closed-loop forwarding-plane run; FAIL on any steady-state "
+            "allocation")
+      .flag("no-shard-scaling", &no_shard_scaling,
+            "skip the shard-count scaling sweep")
+      .flag("shards", &shards,
+            "substrate for the headline sim trial (0 = serial engine; N >= 1 "
+            "= lookahead-windowed sharded execution, results byte-identical "
+            "for every N)")
+      .flag("micro-events", &micro_events, "micro-benchmark event count")
+      .flag("seed", &seed, "trial seed")
+      .flag("repeats", &repeats, "identical sim trials; fastest is reported")
+      .flag("out", &out_path, "JSON report path");
+  cli.parse(argc, argv);
+  const bool shard_scaling = !no_shard_scaling;
+  shards = std::max(0, shards);
+  repeats = std::max(1, repeats);
+  if (micro_events == 0) micro_events = quick ? 2'000'000 : 20'000'000;
 
   if (allocs_strict) {
     std::printf("perf_hotpath: allocs-strict (forwarding-plane closed loop)\n");

@@ -1,27 +1,37 @@
 #include "core/experiment.hpp"
 
+#include <charconv>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <utility>
 
 #include "sched/scheduler.hpp"
 
 namespace dfsim::core {
 
-namespace {
+ScenarioConfig ScenarioConfig::production() { return ScenarioConfig{}; }
 
-/// -1 = defer to the DFSIM_TEST_SHARDS environment variable (absent or
-/// invalid: 0 = legacy serial engine).
-int resolve_shards(int shards) {
-  if (shards >= 0) return shards;
-  if (const char* env = std::getenv("DFSIM_TEST_SHARDS")) {
-    const int v = std::atoi(env);
-    if (v >= 1) return v;
-  }
-  return 0;
+ScenarioConfig ScenarioConfig::controlled() {
+  ScenarioConfig c;
+  c.kind = ScenarioKind::kControlled;
+  c.placement = sched::Placement::kCompact;
+  c.bg_utilization = 0.0;  // no synthetic background in a reservation
+  return c;
 }
 
-}  // namespace
+ScenarioConfig ScenarioConfig::resolve() const {
+  ScenarioConfig c = *this;
+  if (c.shards < 0) {
+    c.shards = 0;
+    if (const char* env = std::getenv("DFSIM_TEST_SHARDS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) c.shards = v;
+    }
+  }
+  return c;
+}
 
 const char* const kTileRatioLabels[5] = {"Rank3", "Rank2", "Rank1", "Proc_req",
                                          "Proc_rsp"};
@@ -40,14 +50,16 @@ std::array<double, 5> RunResult::local_stall_ratios() const {
   return stall_ratios(autoperf.local, flit_times);
 }
 
-RunResult run_production(const ProductionConfig& cfg) {
+RunResult run_production(const ScenarioConfig& raw) {
+  const ScenarioConfig cfg = raw.resolve();
   RunResult res;
-  sched::Scheduler sched(cfg.system, cfg.seed, resolve_shards(cfg.shards));
+  sched::Scheduler sched(cfg.system, cfg.seed, cfg.shards);
   auto& machine = sched.machine();
   auto& engine = machine.engine();
   machine.set_event_budget(cfg.event_budget);
   machine.network().set_event_profile(cfg.event_profile);
   machine.network().set_event_coalescing(cfg.coalesce_events);
+  machine.network().apply_fault_plan(cfg.faults);  // empty plan: no-op
 
   // Foreground allocation first (so requested placement is honored), then
   // fill with background load.
@@ -76,6 +88,7 @@ RunResult run_production(const ProductionConfig& cfg) {
   const bool completed = machine.run_to_completion(watch);
   res.events_executed = machine.events_executed();
   res.budget_exhausted = machine.budget_exhausted();
+  res.faults = machine.network().fault_stats();
   if (auto* se = machine.sharded_engine()) {
     res.shard_exec.shards = se->num_shards();
     res.shard_exec.workers = se->num_workers();
@@ -126,7 +139,7 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
-BatchResult run_production_ensemble(const ProductionConfig& cfg, int samples,
+BatchResult run_production_ensemble(const ScenarioConfig& cfg, int samples,
                                     const BatchOptions& opts) {
   BatchResult b;
   const auto seeds = derive_trial_seeds(cfg.seed, samples);
@@ -134,7 +147,7 @@ BatchResult run_production_ensemble(const ProductionConfig& cfg, int samples,
   TrialRunner runner(opts.jobs);
   b.results = runner.map(samples, [&](int i) {
     const auto t0 = std::chrono::steady_clock::now();
-    ProductionConfig c = cfg;
+    ScenarioConfig c = cfg;
     c.seed = seeds[static_cast<std::size_t>(i)];
     RunResult r = run_production(c);
     wall[static_cast<std::size_t>(i)] = ms_since(t0);
@@ -151,16 +164,18 @@ BatchResult run_production_ensemble(const ProductionConfig& cfg, int samples,
   return b;
 }
 
-std::vector<RunResult> run_production_batch(ProductionConfig cfg, int samples,
-                                            int jobs) {
+std::vector<RunResult> run_production_batch(const ScenarioConfig& cfg,
+                                            int samples, int jobs) {
   return run_production_ensemble(cfg, samples, BatchOptions{jobs}).results;
 }
 
-EnsembleResult run_controlled(const EnsembleConfig& cfg) {
+EnsembleResult run_controlled(const ScenarioConfig& raw) {
+  const ScenarioConfig cfg = raw.resolve();
   EnsembleResult res;
-  sched::Scheduler sched(cfg.system, cfg.seed, resolve_shards(cfg.shards));
+  sched::Scheduler sched(cfg.system, cfg.seed, cfg.shards);
   auto& machine = sched.machine();
   machine.set_event_budget(cfg.event_budget);
+  machine.network().apply_fault_plan(cfg.faults);  // empty plan: no-op
 
   std::vector<mpi::JobId> ids;
   for (int j = 0; j < cfg.njobs; ++j) {
@@ -183,6 +198,7 @@ EnsembleResult run_controlled(const EnsembleConfig& cfg) {
   const bool completed = machine.run_to_completion(ids);
   res.events_executed = machine.events_executed();
   res.budget_exhausted = machine.budget_exhausted();
+  res.faults = machine.network().fault_stats();
   if (!completed) {
     res.fail_reason = res.budget_exhausted
                           ? "event budget exhausted (" +
@@ -202,7 +218,7 @@ EnsembleResult run_controlled(const EnsembleConfig& cfg) {
   return res;
 }
 
-EnsembleBatchResult run_controlled_ensemble(const EnsembleConfig& cfg,
+EnsembleBatchResult run_controlled_ensemble(const ScenarioConfig& cfg,
                                             int samples,
                                             const BatchOptions& opts) {
   EnsembleBatchResult b;
@@ -211,7 +227,7 @@ EnsembleBatchResult run_controlled_ensemble(const EnsembleConfig& cfg,
   TrialRunner runner(opts.jobs);
   b.results = runner.map(samples, [&](int i) {
     const auto t0 = std::chrono::steady_clock::now();
-    EnsembleConfig c = cfg;
+    ScenarioConfig c = cfg;
     c.seed = seeds[static_cast<std::size_t>(i)];
     EnsembleResult r = run_controlled(c);
     wall[static_cast<std::size_t>(i)] = ms_since(t0);
@@ -226,6 +242,139 @@ EnsembleBatchResult run_controlled_ensemble(const EnsembleConfig& cfg,
                                   r.budget_exhausted));
   }
   return b;
+}
+
+namespace {
+
+std::string fault_plan_encode(const fault::FaultPlan& plan) {
+  std::string s;
+  char buf[128];
+  for (const fault::FaultEvent& ev : plan.events()) {
+    if (!s.empty()) s += '|';
+    std::snprintf(buf, sizeof buf, "%lld:%d:%d:%d:%.17g",
+                  static_cast<long long>(ev.at), static_cast<int>(ev.kind),
+                  ev.router, ev.port, ev.factor);
+    s += buf;
+  }
+  return s;
+}
+
+fault::FaultPlan fault_plan_decode(const std::string& s) {
+  fault::FaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    std::size_t end = s.find('|', pos);
+    if (end == std::string::npos) end = s.size();
+    long long at = 0;
+    int kind = 0, router = 0, port = 0;
+    double factor = 1.0;
+    if (std::sscanf(s.c_str() + pos, "%lld:%d:%d:%d:%lg", &at, &kind, &router,
+                    &port, &factor) != 5)
+      throw std::invalid_argument("scenario_from_csv: bad fault event \"" +
+                                  s.substr(pos, end - pos) + "\"");
+    fault::FaultEvent ev;
+    ev.at = at;
+    ev.kind = static_cast<fault::FaultKind>(kind);
+    ev.router = router;
+    ev.port = port;
+    ev.factor = factor;
+    plan.add(ev);
+    pos = end + 1;
+  }
+  return plan;
+}
+
+topo::Config system_by_name(const std::string& name) {
+  if (name == "theta") return topo::Config::theta();
+  if (name == "cori") return topo::Config::cori();
+  if (name == "mini") return topo::Config::mini();
+  if (name == "theta_scaled") return topo::Config::theta_scaled();
+  if (name == "cori_scaled") return topo::Config::cori_scaled();
+  if (name == "slingshot_like") return topo::Config::slingshot_like();
+  throw std::invalid_argument("scenario_from_csv: unknown system preset \"" +
+                              name + "\"");
+}
+
+std::int64_t cell_i64(const std::string& c, const char* field) {
+  std::int64_t v = 0;
+  const auto [p, ec] = std::from_chars(c.data(), c.data() + c.size(), v);
+  if (ec != std::errc{} || p != c.data() + c.size())
+    throw std::invalid_argument(std::string("scenario_from_csv: bad ") +
+                                field + " \"" + c + "\"");
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::string> scenario_csv_columns() {
+  return {"kind",       "system",      "app",       "nnodes",
+          "njobs",      "mode",        "placement", "target_groups",
+          "bg_util",    "bg_mode",     "warmup_ns", "ldms_period_ns",
+          "seed",       "event_budget", "shards",   "faults"};
+}
+
+std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg) {
+  char buf[64];
+  auto num = [&buf](double v) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    return std::string(buf);
+  };
+  return {cfg.kind == ScenarioKind::kControlled ? "controlled" : "production",
+          cfg.system.name,
+          cfg.app,
+          std::to_string(cfg.nnodes),
+          std::to_string(cfg.njobs),
+          std::string(routing::mode_name(cfg.mode)),
+          sched::placement_name(cfg.placement),
+          std::to_string(cfg.target_groups),
+          num(cfg.bg_utilization),
+          std::string(routing::mode_name(cfg.bg_mode)),
+          std::to_string(cfg.warmup),
+          std::to_string(cfg.ldms_period),
+          std::to_string(cfg.seed),
+          std::to_string(cfg.event_budget),
+          std::to_string(cfg.shards),
+          fault_plan_encode(cfg.faults)};
+}
+
+ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells) {
+  if (cells.size() != scenario_csv_columns().size())
+    throw std::invalid_argument("scenario_from_csv: expected " +
+                                std::to_string(scenario_csv_columns().size()) +
+                                " cells, got " + std::to_string(cells.size()));
+  ScenarioConfig cfg = cells[0] == "controlled" ? ScenarioConfig::controlled()
+                                                : ScenarioConfig::production();
+  cfg.system = system_by_name(cells[1]);
+  cfg.app = cells[2];
+  cfg.nnodes = static_cast<int>(cell_i64(cells[3], "nnodes"));
+  cfg.njobs = static_cast<int>(cell_i64(cells[4], "njobs"));
+  if (!routing::parse_mode(cells[5], cfg.mode))
+    throw std::invalid_argument("scenario_from_csv: bad mode \"" + cells[5] +
+                                "\"");
+  bool placed = false;
+  for (const auto p : {sched::Placement::kCompact, sched::Placement::kRandom,
+                       sched::Placement::kGroups}) {
+    if (cells[6] == sched::placement_name(p)) {
+      cfg.placement = p;
+      placed = true;
+    }
+  }
+  if (!placed)
+    throw std::invalid_argument("scenario_from_csv: bad placement \"" +
+                                cells[6] + "\"");
+  cfg.target_groups = static_cast<int>(cell_i64(cells[7], "target_groups"));
+  cfg.bg_utilization = std::atof(cells[8].c_str());
+  if (!routing::parse_mode(cells[9], cfg.bg_mode))
+    throw std::invalid_argument("scenario_from_csv: bad bg_mode \"" +
+                                cells[9] + "\"");
+  cfg.warmup = cell_i64(cells[10], "warmup_ns");
+  cfg.ldms_period = cell_i64(cells[11], "ldms_period_ns");
+  cfg.seed = static_cast<std::uint64_t>(cell_i64(cells[12], "seed"));
+  cfg.event_budget =
+      static_cast<std::uint64_t>(cell_i64(cells[13], "event_budget"));
+  cfg.shards = static_cast<int>(cell_i64(cells[14], "shards"));
+  cfg.faults = fault_plan_decode(cells[15]);
+  return cfg;
 }
 
 }  // namespace dfsim::core

@@ -24,6 +24,7 @@
 
 #include "apps/app.hpp"
 #include "core/runner.hpp"
+#include "fault/fault.hpp"
 #include "monitor/autoperf.hpp"
 #include "monitor/ldms.hpp"
 #include "net/network.hpp"
@@ -36,24 +37,45 @@ namespace dfsim::core {
 /// Default per-run event budget (guards runaway configurations).
 inline constexpr std::uint64_t kEventBudget = 600'000'000ULL;
 
-struct ProductionConfig {
+/// Which measurement condition a ScenarioConfig describes.
+enum class ScenarioKind {
+  kProduction,  ///< app under test + synthetic background (bg 0 => isolated)
+  kControlled,  ///< full-system reservation: njobs identical jobs + LDMS
+};
+
+/// One unified run description for every measurement condition. Construct
+/// via the factories (ScenarioConfig::production() / ::controlled()), the
+/// fluent Scenario builder, or the legacy ProductionConfig/EnsembleConfig
+/// aliases — all of them produce this struct; run_production() and
+/// run_controlled() consume it directly. Fields a condition does not use
+/// are simply ignored (njobs/ldms_period in production runs; background
+/// and warmup fields in controlled runs).
+struct ScenarioConfig {
+  ScenarioKind kind = ScenarioKind::kProduction;
   topo::Config system = topo::Config::theta();
   std::string app = "MILC";
   int nnodes = 256;
+  int njobs = 8;  ///< controlled only: identical jobs filling the system
   routing::Mode mode = routing::Mode::kAd0;  ///< mode of the app under test
   apps::AppParams params;
   sched::Placement placement = sched::Placement::kRandom;
   int target_groups = 0;  ///< for Placement::kGroups
-  double bg_utilization = 0.75;  ///< 0 => isolated run
+  double bg_utilization = 0.75;  ///< production only; 0 => isolated run
   routing::Mode bg_mode = routing::Mode::kAd0;  ///< system default mode
   sim::Tick warmup = 300 * sim::kMicrosecond;   ///< background ramp-up
+  sim::Tick ldms_period = 200 * sim::kMicrosecond;  ///< controlled only
   std::uint64_t seed = 1;
   std::uint64_t event_budget = kEventBudget;  ///< per-run engine event cap
   /// Execution substrate: 0 = legacy serial engine, N >= 1 = sharded with N
   /// shards (byte-identical for every N >= 1; see mpi::Machine). -1 reads
   /// the DFSIM_TEST_SHARDS environment variable (else 0), which is how CI
-  /// runs the whole suite sharded without touching every harness.
+  /// runs the whole suite sharded without touching every harness; the
+  /// sniffing happens exactly once, in resolve().
   int shards = -1;
+  /// Scripted fault injection (failures / degradations / repairs applied at
+  /// simulated times). Empty (the default) leaves every fault path dormant
+  /// and the run byte-identical to a fault-free build.
+  fault::FaultPlan faults;
   /// Optional: per-event-kind profile the network fills during the run
   /// (caller keeps ownership; attaching adds two clock reads per event).
   net::EventProfile* event_profile = nullptr;
@@ -65,6 +87,74 @@ struct ProductionConfig {
   /// under test is submitted — marks the steady-state boundary (the
   /// perf harness counts allocations from here).
   std::function<void(const sim::Engine&)> on_measurement_start;
+
+  /// Production-condition defaults (random placement, 75% background).
+  [[nodiscard]] static ScenarioConfig production();
+  /// Controlled-reservation defaults (compact placement, no background).
+  [[nodiscard]] static ScenarioConfig controlled();
+
+  /// Returns a copy with every deferred field made concrete — currently
+  /// `shards == -1`, resolved through DFSIM_TEST_SHARDS (absent or invalid:
+  /// 0 = serial). The run entry points call this once; nothing downstream
+  /// ever re-sniffs the environment.
+  [[nodiscard]] ScenarioConfig resolve() const;
+};
+
+/// Fluent builder over ScenarioConfig:
+///   run_production(Scenario::production().app("MILC").mode(kAd3).faults(p));
+/// Every setter returns *this; the builder converts implicitly to the
+/// underlying config.
+class Scenario {
+ public:
+  [[nodiscard]] static Scenario production() {
+    return Scenario(ScenarioConfig::production());
+  }
+  [[nodiscard]] static Scenario controlled() {
+    return Scenario(ScenarioConfig::controlled());
+  }
+
+  Scenario& system(topo::Config s) { cfg_.system = std::move(s); return *this; }
+  Scenario& app(std::string name) { cfg_.app = std::move(name); return *this; }
+  Scenario& nnodes(int n) { cfg_.nnodes = n; return *this; }
+  Scenario& njobs(int n) { cfg_.njobs = n; return *this; }
+  Scenario& mode(routing::Mode m) { cfg_.mode = m; return *this; }
+  Scenario& params(apps::AppParams p) { cfg_.params = std::move(p); return *this; }
+  Scenario& placement(sched::Placement p, int target_groups = 0) {
+    cfg_.placement = p;
+    cfg_.target_groups = target_groups;
+    return *this;
+  }
+  Scenario& background(double utilization,
+                       routing::Mode m = routing::Mode::kAd0) {
+    cfg_.bg_utilization = utilization;
+    cfg_.bg_mode = m;
+    return *this;
+  }
+  Scenario& warmup(sim::Tick t) { cfg_.warmup = t; return *this; }
+  Scenario& ldms_period(sim::Tick t) { cfg_.ldms_period = t; return *this; }
+  Scenario& seed(std::uint64_t s) { cfg_.seed = s; return *this; }
+  Scenario& event_budget(std::uint64_t n) { cfg_.event_budget = n; return *this; }
+  Scenario& shards(int n) { cfg_.shards = n; return *this; }
+  Scenario& faults(fault::FaultPlan plan) {
+    cfg_.faults = std::move(plan);
+    return *this;
+  }
+  Scenario& coalesce_events(bool on) { cfg_.coalesce_events = on; return *this; }
+
+  [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
+  operator const ScenarioConfig&() const { return cfg_; }  // NOLINT(google-explicit-constructor)
+
+ private:
+  explicit Scenario(ScenarioConfig cfg) : cfg_(std::move(cfg)) {}
+  ScenarioConfig cfg_;
+};
+
+/// Deprecated alias for ScenarioConfig with production-condition defaults;
+/// kept so existing call sites compile unchanged. New code should use
+/// ScenarioConfig / Scenario directly.
+struct ProductionConfig : ScenarioConfig {
+  ProductionConfig() : ScenarioConfig(ScenarioConfig::production()) {}
+  ProductionConfig(const ScenarioConfig& c) : ScenarioConfig(c) {}  // NOLINT(google-explicit-constructor)
 };
 
 /// Execution-substrate observability for a sharded run (all zeros for a
@@ -93,6 +183,7 @@ struct RunResult {
   std::uint64_t events_executed = 0;
   bool budget_exhausted = false;
   ShardExecStats shard_exec;  ///< substrate observability (zeros if serial)
+  fault::FaultStats faults;   ///< all-zero unless the scenario had a plan
 
   /// Stall-to-flit ratios in Fig. 6 order:
   /// {Rank3, Rank2, Rank1, Proc_req, Proc_rsp} from the local (AutoPerf)
@@ -105,7 +196,7 @@ extern const char* const kTileRatioLabels[5];
 std::array<double, 5> stall_ratios(const net::CounterSnapshot& s,
                                    const net::FlitTimes& ft);
 
-RunResult run_production(const ProductionConfig& cfg);
+RunResult run_production(const ScenarioConfig& cfg);
 
 /// Parallel batch controls.
 struct BatchOptions {
@@ -129,29 +220,20 @@ struct BatchResult {
 /// `samples` production runs with seeds derived from cfg.seed, fanned out
 /// across opts.jobs worker threads. Bit-identical results for any jobs
 /// value (including 1).
-BatchResult run_production_ensemble(const ProductionConfig& cfg, int samples,
+BatchResult run_production_ensemble(const ScenarioConfig& cfg, int samples,
                                     const BatchOptions& opts = {});
 
 /// Convenience wrapper around run_production_ensemble() returning just the
 /// per-sample results (still in submission order, still including failed
 /// runs — check RunResult::ok before using a sample's measurements).
-std::vector<RunResult> run_production_batch(ProductionConfig cfg, int samples,
-                                            int jobs = 0);
+std::vector<RunResult> run_production_batch(const ScenarioConfig& cfg,
+                                            int samples, int jobs = 0);
 
-struct EnsembleConfig {
-  topo::Config system = topo::Config::theta();
-  std::string app = "MILC";
-  int njobs = 8;
-  int nnodes = 256;
-  routing::Mode mode = routing::Mode::kAd0;
-  apps::AppParams params;
-  sched::Placement placement = sched::Placement::kCompact;
-  int target_groups = 0;
-  sim::Tick ldms_period = 200 * sim::kMicrosecond;
-  std::uint64_t seed = 1;
-  std::uint64_t event_budget = kEventBudget;  ///< per-run engine event cap
-  /// Execution substrate (same semantics as ProductionConfig::shards).
-  int shards = -1;
+/// Deprecated alias for ScenarioConfig with controlled-reservation defaults;
+/// kept so existing call sites compile unchanged.
+struct EnsembleConfig : ScenarioConfig {
+  EnsembleConfig() : ScenarioConfig(ScenarioConfig::controlled()) {}
+  EnsembleConfig(const ScenarioConfig& c) : ScenarioConfig(c) {}  // NOLINT(google-explicit-constructor)
 };
 
 struct EnsembleResult {
@@ -165,9 +247,10 @@ struct EnsembleResult {
   net::FlitTimes flit_times;
   std::uint64_t events_executed = 0;
   bool budget_exhausted = false;
+  fault::FaultStats faults;  ///< all-zero unless the scenario had a plan
 };
 
-EnsembleResult run_controlled(const EnsembleConfig& cfg);
+EnsembleResult run_controlled(const ScenarioConfig& cfg);
 
 /// One batch of controlled-ensemble runs (each sample is a full-system
 /// reservation simulation with its own derived seed).
@@ -186,8 +269,17 @@ struct EnsembleBatchResult {
 /// `samples` controlled runs with seeds derived from cfg.seed, fanned out
 /// across opts.jobs worker threads; same determinism guarantee as
 /// run_production_ensemble().
-EnsembleBatchResult run_controlled_ensemble(const EnsembleConfig& cfg,
+EnsembleBatchResult run_controlled_ensemble(const ScenarioConfig& cfg,
                                             int samples,
                                             const BatchOptions& opts = {});
+
+/// CSV persistence for ScenarioConfig. Round-trips every scalar field plus
+/// the fault plan (encoded "at:kind:router:port:factor|..." in one cell).
+/// The system is restored by preset name (theta, cori, mini, theta_scaled,
+/// cori_scaled, slingshot_like); non-preset shapes come back as the nearest
+/// preset by name, so persist those separately if you customize topology.
+std::vector<std::string> scenario_csv_columns();
+std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg);
+ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells);
 
 }  // namespace dfsim::core

@@ -105,4 +105,21 @@ void print_normalized_split(std::ostream& os, const std::string& title,
      << s3.n << "\n";
 }
 
+void print_fault_summary(std::ostream& os, const fault::FaultStats& st) {
+  if (st.faults_applied == 0 && st.repairs_applied == 0) return;
+  os << "  faults: " << st.faults_applied << " applied, "
+     << st.repairs_applied << " repaired, " << st.recomputes
+     << " route recomputes\n";
+  os << "  recovery: " << st.packets_rerouted << " packets rerouted, "
+     << st.packets_dropped << " dropped, " << st.messages_retried
+     << " messages retried, " << st.messages_abandoned << " abandoned ("
+     << st.bytes_abandoned << " bytes written off)\n";
+  os << "  degraded bandwidth integral: "
+     << stats::fmt(st.degraded_bw_gbs, 4) << " GB/s*s";
+  if (st.dead_link_transmissions != 0)
+    os << "  [INVARIANT VIOLATION: " << st.dead_link_transmissions
+       << " dead-link transmissions]";
+  os << "\n";
+}
+
 }  // namespace dfsim::core

@@ -47,4 +47,8 @@ void print_normalized_split(std::ostream& os, const std::string& title,
                             std::span<const double> ad0,
                             std::span<const double> ad3);
 
+/// One-paragraph fault/recovery summary for a run (prints nothing when the
+/// run had no fault plan — every counter zero).
+void print_fault_summary(std::ostream& os, const fault::FaultStats& st);
+
 }  // namespace dfsim::core

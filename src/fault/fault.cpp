@@ -1,0 +1,109 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/rng.hpp"
+
+namespace dfsim::fault {
+
+const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::kLinkFail: return "link_fail";
+    case FaultKind::kLinkDegrade: return "link_degrade";
+    case FaultKind::kRouterFail: return "router_fail";
+    case FaultKind::kRepair: return "repair";
+  }
+  return "?";
+}
+
+std::vector<FaultEvent> FaultPlan::canonical() const {
+  std::vector<FaultEvent> evs = events_;
+  std::stable_sort(evs.begin(), evs.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     if (a.at != b.at) return a.at < b.at;
+                     if (a.kind != b.kind) return a.kind < b.kind;
+                     if (a.router != b.router) return a.router < b.router;
+                     return a.port < b.port;
+                   });
+  return evs;
+}
+
+namespace {
+
+sim::Tick draw_time(sim::Rng& rng, const RandomFaultSpec& spec) {
+  if (spec.window_end <= spec.window_begin) return spec.window_begin;
+  const auto span =
+      static_cast<std::uint64_t>(spec.window_end - spec.window_begin) + 1;
+  return spec.window_begin + static_cast<sim::Tick>(rng.uniform_u64(span));
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::random(const topo::Config& system,
+                            const RandomFaultSpec& spec) {
+  FaultPlan plan;
+  const topo::Dragonfly topo(system);
+  sim::Rng rng(spec.seed);
+
+  // Canonical link list: each bidirectional link once, from its lower-id
+  // endpoint, in (router, port) order. Deterministic for a given topology.
+  struct Link {
+    topo::RouterId r;
+    topo::PortId p;
+  };
+  std::vector<Link> links;
+  const int nrouters = system.num_routers();
+  for (topo::RouterId r = 0; r < nrouters; ++r) {
+    for (topo::PortId p = 0; p < topo.num_ports(r); ++p) {
+      const topo::PortInfo& pi = topo.port(r, p);
+      if (pi.peer_router < 0 || pi.peer_router < r) continue;  // proc or dup
+      const bool want = (pi.cls == topo::TileClass::kRank1 && spec.rank1) ||
+                        (pi.cls == topo::TileClass::kRank2 && spec.rank2) ||
+                        (pi.cls == topo::TileClass::kRank3 && spec.rank3);
+      if (want) links.push_back({r, p});
+    }
+  }
+
+  const auto count = [&](double frac) {
+    const auto n = static_cast<std::size_t>(
+        std::llround(frac * static_cast<double>(links.size())));
+    return std::min(n, links.size());
+  };
+  const std::size_t nfail = count(spec.link_fail_fraction);
+  const std::size_t ndegr =
+      std::min(count(spec.link_degrade_fraction), links.size() - nfail);
+
+  // One draw picks both the failed and the degraded sets, disjointly.
+  const auto picks =
+      rng.sample_without_replacement(links.size(), nfail + ndegr);
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    const Link& ln = links[picks[i]];
+    const sim::Tick at = draw_time(rng, spec);
+    if (i < nfail) {
+      plan.fail_link(at, ln.r, ln.p);
+    } else {
+      const double f = spec.degrade_min +
+                       rng.uniform() * (spec.degrade_max - spec.degrade_min);
+      plan.degrade_link(at, ln.r, ln.p, f);
+    }
+    if (spec.repair_after > 0) plan.repair(at + spec.repair_after, ln.r, ln.p);
+  }
+
+  if (spec.router_failures > 0) {
+    const auto n = std::min<std::size_t>(
+        static_cast<std::size_t>(spec.router_failures),
+        static_cast<std::size_t>(nrouters));
+    const auto routers = rng.sample_without_replacement(
+        static_cast<std::size_t>(nrouters), n);
+    for (const std::size_t ri : routers) {
+      const auto r = static_cast<topo::RouterId>(ri);
+      const sim::Tick at = draw_time(rng, spec);
+      plan.fail_router(at, r);
+      if (spec.repair_after > 0) plan.repair(at + spec.repair_after, r);
+    }
+  }
+  return plan;
+}
+
+}  // namespace dfsim::fault

@@ -1,0 +1,128 @@
+// Fault injection and graceful degradation (paper context: production Aries
+// systems route around failed links, lane degradations, and dead routers;
+// Jha et al. show these are a first-order source of credit-stall congestion).
+//
+// A FaultPlan is a scripted schedule of fault and repair events, either built
+// explicitly or drawn seeded-random from the topology (FaultPlan::random).
+// The plan itself is pure data: net::Network::apply_fault_plan schedules the
+// events at their simulated times and owns all state mutation. Determinism:
+// plans are canonically ordered, random generation depends only on
+// (topology config, spec), and the network applies cross-shard fault events
+// at window barriers, so results are byte-identical for any --jobs and
+// --shards count under any plan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "topo/config.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim::fault {
+
+enum class FaultKind : std::uint8_t {
+  kLinkFail = 0,   ///< link (both directions) goes dead
+  kLinkDegrade,    ///< lane failure: bandwidth cut to `factor` of pristine
+  kRouterFail,     ///< router and every attached link (incl. NICs) go dead
+  kRepair,         ///< target restored to pristine
+};
+
+[[nodiscard]] const char* fault_kind_name(FaultKind k);
+
+struct FaultEvent {
+  sim::Tick at = 0;
+  FaultKind kind = FaultKind::kLinkFail;
+  topo::RouterId router = -1;
+  topo::PortId port = -1;  ///< -1: whole-router scope (kRouterFail / kRepair)
+  double factor = 1.0;     ///< kLinkDegrade: remaining bandwidth fraction
+};
+
+/// Spec for FaultPlan::random. Fractions are of the *links* in the enabled
+/// classes (a link = one bidirectional router pair connection); failed and
+/// degraded links are drawn disjointly from one seeded shuffle.
+struct RandomFaultSpec {
+  std::uint64_t seed = 1;
+  double link_fail_fraction = 0.0;     ///< fraction of links failed outright
+  double link_degrade_fraction = 0.0;  ///< fraction of links lane-degraded
+  double degrade_min = 0.25;           ///< degraded bandwidth factor range
+  double degrade_max = 0.75;
+  int router_failures = 0;             ///< whole routers killed
+  bool rank1 = true;                   ///< link classes eligible for faults
+  bool rank2 = true;
+  bool rank3 = true;
+  sim::Tick window_begin = 0;          ///< fault times drawn uniformly here
+  sim::Tick window_end = 0;            ///< <= begin: all faults at begin
+  sim::Tick repair_after = 0;          ///< > 0: schedule repair this much later
+};
+
+class FaultPlan {
+ public:
+  FaultPlan& add(const FaultEvent& ev) {
+    events_.push_back(ev);
+    return *this;
+  }
+  FaultPlan& fail_link(sim::Tick at, topo::RouterId r, topo::PortId p) {
+    return add({at, FaultKind::kLinkFail, r, p, 0.0});
+  }
+  FaultPlan& degrade_link(sim::Tick at, topo::RouterId r, topo::PortId p,
+                          double factor) {
+    return add({at, FaultKind::kLinkDegrade, r, p, factor});
+  }
+  FaultPlan& fail_router(sim::Tick at, topo::RouterId r) {
+    return add({at, FaultKind::kRouterFail, r, -1, 0.0});
+  }
+  FaultPlan& repair(sim::Tick at, topo::RouterId r, topo::PortId p = -1) {
+    return add({at, FaultKind::kRepair, r, p, 1.0});
+  }
+
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+  [[nodiscard]] std::span<const FaultEvent> events() const { return events_; }
+  /// Events sorted by (at, kind, router, port) — the order the network
+  /// applies them in, independent of insertion order.
+  [[nodiscard]] std::vector<FaultEvent> canonical() const;
+
+  /// Seeded-random plan over the links of `system`. Deterministic: same
+  /// (system, spec) always yields the same plan.
+  static FaultPlan random(const topo::Config& system,
+                          const RandomFaultSpec& spec);
+
+ private:
+  std::vector<FaultEvent> events_;
+};
+
+/// Per-run fault/degradation statistics (surfaced via RunResult/LDMS).
+struct FaultStats {
+  std::int64_t faults_applied = 0;   ///< fault events that took effect
+  std::int64_t repairs_applied = 0;
+  std::int64_t recomputes = 0;       ///< routing-table recompute passes
+  std::int64_t packets_dropped = 0;  ///< discarded on dead ports/routers
+  std::int64_t packets_rerouted = 0; ///< decisions diverted by fault state
+  std::int64_t messages_retried = 0; ///< retry re-injections of lost payload
+  std::int64_t messages_abandoned = 0;  ///< gave up after max retries
+  std::int64_t bytes_abandoned = 0;     ///< payload written off by abandons
+  /// Invariant counter: commits of a packet onto a dead link. Always 0 —
+  /// asserted by tests; nonzero means the reroute machinery has a hole.
+  std::int64_t dead_link_transmissions = 0;
+  /// Integral of out-of-service bandwidth over time (GB/s x seconds), both
+  /// directions, lane degradations only (dead links are counted via drops).
+  double degraded_bw_gbs = 0.0;
+};
+
+/// Fixed q8 scale for degraded-link load penalties: 256 = pristine.
+inline constexpr std::uint16_t kPenaltyUnit = 256;
+
+/// Live health state, owned by net::Network; the RoutePlanner reads it
+/// through raw pointers (routing/ stays independent of fault/). Arrays are
+/// sized once at activation and never reallocated, so the pointers stay
+/// valid and shard threads can read them between barriers (writes happen
+/// only at barriers / in serial event context).
+struct LinkHealth {
+  std::vector<std::uint8_t> port_dead;    ///< [port_index] 1 = dead
+  std::vector<std::uint8_t> router_dead;  ///< [router] 1 = dead
+  std::vector<std::uint16_t> penalty_q8;  ///< [port_index] load multiplier
+};
+
+}  // namespace dfsim::fault

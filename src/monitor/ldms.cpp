@@ -8,7 +8,8 @@ LdmsSampler::LdmsSampler(net::Network& net, sim::Tick period, int max_samples)
 void LdmsSampler::start() {
   if (running_) return;
   running_ = true;
-  samples_.push_back(LdmsSample{net_.engine().now(), net_.snapshot_all()});
+  samples_.push_back(LdmsSample{net_.engine().now(), net_.snapshot_all(),
+                                net_.fault_stats()});
   // Quiesced scheduling: snapshot_all() reads every router's counters, so
   // under sharded execution the tick must run at a window barrier (serial
   // mode: an ordinary event at exactly +period).
@@ -17,7 +18,8 @@ void LdmsSampler::start() {
 
 void LdmsSampler::tick() {
   if (!running_) return;
-  samples_.push_back(LdmsSample{net_.engine().now(), net_.snapshot_all()});
+  samples_.push_back(LdmsSample{net_.engine().now(), net_.snapshot_all(),
+                                net_.fault_stats()});
   if (static_cast<int>(samples_.size()) >= max_samples_) {
     running_ = false;
     return;

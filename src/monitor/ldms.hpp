@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "sim/time.hpp"
 #include "topo/dragonfly.hpp"
@@ -18,6 +19,9 @@ namespace dfsim::monitor {
 struct LdmsSample {
   sim::Tick t = 0;
   net::CounterSnapshot cumulative;
+  /// Cumulative fault/recovery state at sample time (all-zero on a healthy
+  /// run) — the degraded-system view a production LDMS feed would carry.
+  fault::FaultStats faults;
 };
 
 class LdmsSampler {

@@ -113,6 +113,8 @@ Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
   const auto& cfg = topo_.config();
   capacity_flits_ = cfg.buffer_flits;
   escape_timeout_ = cfg.escape_timeout;
+  retry_timeout_ = cfg.msg_retry_timeout;
+  max_retries_ = cfg.msg_max_retries;
   port_hot_.resize(grid_.num_ports());
   for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
     for (topo::PortId p = 0; p < topo_.num_ports(r); ++p) {
@@ -358,6 +360,9 @@ void Network::free_msg(std::int32_t slot) {
   MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];
   m.on_delivered = DeliveryCallback{};
   m.remaining_bytes = 0;
+  m.lost_bytes = 0;
+  m.retries = 0;
+  m.retry_armed = false;  // a pending timer no-ops on the gen mismatch
   ++m.gen;  // recycled slot yields fresh MsgIds
   m.next_free = msg_free_head_;
   msg_free_head_ = slot;
@@ -386,6 +391,10 @@ MsgId Network::send_message(topo::NodeId src, topo::NodeId dst,
     return id;
   }
   m.remaining_bytes = bytes;
+  // Endpoints and mode are kept for fault-path retries (msg_retry).
+  m.src = src;
+  m.dst = dst;
+  m.mode = static_cast<std::uint8_t>(mode);
   ensure_throttle_tick();
   if (se_ != nullptr) {
     // Host-side call (an application event or a barrier-time completion
@@ -469,7 +478,17 @@ void Network::inject_busy_done(topo::NodeId node) {
 
 void Network::inject_arrive(PacketId pid, topo::RouterId r0, topo::PortId q0,
                             int q0_vc) {
-  const std::size_t vq = PortGrid::vq_index(grid_.port_index(r0, q0), q0_vc);
+  const std::size_t pt = grid_.port_index(r0, q0);
+  const std::size_t vq = PortGrid::vq_index(pt, q0_vc);
+  if (router_dead(r0) || port_dead(pt)) {
+    // Router or port died after the NIC committed: release the occupancy
+    // reserved at commit and discard the packet.
+    const int sh = sh_r(r0);
+    grid_.occupancy_flits[vq] -= pkt(pid).flits;
+    notify_waiters(vq, sh);
+    fault_drop_packet(pid, sh, eng_r(r0).now());
+    return;
+  }
   fifo_push(grid_.q[vq].head, grid_.q[vq].tail, pid);
   try_start_port(r0, q0);
 }
@@ -481,15 +500,45 @@ void Network::nic_try_inject(topo::NodeId node) {
   sim::Engine& eng = eng_n(node);
   const int sh = sh_n(node);
   const Tick now = eng.now();
-  const PacketId pid = nic.inject_head;
-  Packet& p = pkt(pid);
   const topo::RouterId r0 = nic.router;
 
+  if (router_dead(r0)) {
+    // The attached router failed: injection is impossible. Discard the
+    // queue; message-level retries re-inject elsewhere in time (and
+    // eventually abandon), so senders never hang on a dead endpoint.
+    if (nic.stall_since >= 0) {
+      nic.ctr.inj_stall_ns[pkt(nic.inject_head).vc] += now - nic.stall_since;
+      nic.stall_since = -1;
+    }
+    while (nic.inject_head >= 0)
+      fault_drop_packet(fifo_pop(nic.inject_head, nic.inject_tail), sh, now,
+                        /*injected=*/false);
+    return;
+  }
+
+  PacketId pid = nic.inject_head;
   // Fresh adaptive decision each attempt (load view may have changed).
   routing::RouteState rs{};
-  rs.mode = p.route.mode;
-  if (p.vc == kVcRequest) planner_.decide_injection(r0, p.dst, rs);
-  const topo::PortId q0 = planner_.next_port(r0, p.dst, rs);
+  topo::PortId q0 = -1;
+  for (;;) {
+    Packet& hp = pkt(pid);
+    rs = routing::RouteState{};
+    rs.mode = hp.route.mode;
+    if (hp.vc == kVcRequest) planner_.decide_injection(r0, hp.dst, rs);
+    q0 = planner_.next_port(r0, hp.dst, rs);
+    if (q0 >= 0) break;
+    // Faults only: no route from this router toward the destination.
+    // Drop the head and consider the next queued packet.
+    if (nic.stall_since >= 0) {
+      nic.ctr.inj_stall_ns[hp.vc] += now - nic.stall_since;
+      nic.stall_since = -1;
+    }
+    fifo_pop(nic.inject_head, nic.inject_tail);
+    fault_drop_packet(pid, sh, now, /*injected=*/false);
+    pid = nic.inject_head;
+    if (pid < 0) return;
+  }
+  Packet& p = pkt(pid);
   const int q0_vc = vc_queue_index(p.vc, rs.level);
   const std::size_t vq = PortGrid::vq_index(grid_.port_index(r0, q0), q0_vc);
 
@@ -586,6 +635,10 @@ void Network::nic_try_inject(topo::NodeId node) {
 void Network::try_start_port(topo::RouterId r, topo::PortId p) {
   const std::size_t pt = grid_.port_index(r, p);
   if (grid_.busy[pt]) return;
+  // A dead port never transmits — this single gate is what keeps the
+  // dead_link_transmissions invariant at zero (every transmit goes through
+  // here first).
+  if (port_dead(pt)) return;
   const std::size_t base = PortGrid::vq_index(pt, 0);
   const int last = grid_.last_served[pt];
   for (int pass = 0; pass < kNumVcs; ++pass) {
@@ -626,12 +679,23 @@ void Network::hop_ser_done(topo::RouterId r, topo::PortId p, int vc,
 void Network::hop_arrive(PacketId pid, topo::RouterId rb, topo::PortId qn,
                          int qn_vc) {
   Packet& pp = pkt(pid);
+  const std::size_t pt = grid_.port_index(rb, qn);
+  if (router_dead(rb) || port_dead(pt)) {
+    // The next hop died while the packet was on the wire: release the
+    // occupancy the sender reserved at commit and discard the packet.
+    const std::size_t vq = PortGrid::vq_index(pt, qn_vc);
+    const int sh = sh_r(rb);
+    grid_.occupancy_flits[vq] -= pp.flits;
+    notify_waiters(vq, sh);
+    fault_drop_packet(pid, sh, eng_r(rb).now());
+    return;
+  }
   ++pp.hops;
   ++st(sh_r(rb)).total_hops;
   if (tracer_ != nullptr)
     tracer_->record({engine_.now(), monitor::TraceEvent::kHop, pid, pp.src,
                      pp.dst, rb, pp.vc, pp.route.level, pp.route.nonminimal});
-  const std::size_t vq = PortGrid::vq_index(grid_.port_index(rb, qn), qn_vc);
+  const std::size_t vq = PortGrid::vq_index(pt, qn_vc);
   fifo_push(grid_.q[vq].head, grid_.q[vq].tail, pid);
   try_start_port(rb, qn);
 }
@@ -685,6 +749,7 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
     grid_.last_served[pt] = static_cast<std::uint8_t>(vc);
     fifo_pop(grid_.q[vq].head, grid_.q[vq].tail);
     grid_.busy[pt] = 1;
+    if (port_dead(pt)) ++fault_sh_[static_cast<std::size_t>(sh_r(r))].dead_tx;
     grid_.flits_ctr[vq] += pk.flits;
     const Tick ser = sim::serialization_ns(pk.bytes, ph.bw_gbps);
     const std::int32_t flits = pk.flits;
@@ -728,6 +793,7 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
     grid_.last_served[pt] = static_cast<std::uint8_t>(vc);
     fifo_pop(grid_.q[vq].head, grid_.q[vq].tail);
     grid_.busy[pt] = 1;
+    if (port_dead(pt)) ++fault_sh_[static_cast<std::size_t>(sh)].dead_tx;
     grid_.flits_ctr[vq] += pk.flits;
     r3_credits_[pt] -= pk.flits;
     const Tick ser = sim::serialization_ns(pk.bytes, ph.bw_gbps);
@@ -746,14 +812,35 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
   // the deadlock-avoidance VC ladder (next_port() handles the intra-group
   // Valiant bump itself). In sharded mode this path only ever runs for
   // rank-1/rank-2 links, whose peer is always on this shard.
-  routing::RouteState rs = pk.route;
-  if (cls == TileClass::kRank3 && rs.level + 1 < kNumVcLevels) ++rs.level;
-  const topo::PortId qn = planner_.next_port(rb, pk.dst, rs);
+  PacketId hpid = pid;
+  routing::RouteState rs{};
+  topo::PortId qn = -1;
+  for (;;) {
+    Packet& hpk = pkt(hpid);
+    rs = hpk.route;
+    if (cls == TileClass::kRank3 && rs.level + 1 < kNumVcLevels) ++rs.level;
+    qn = planner_.next_port(rb, hpk.dst, rs);
+    if (qn >= 0) break;
+    // Faults only: the queue head has no route onward from the peer (the
+    // peer router died, or its group lost every usable exit). Discard it in
+    // place of transmitting and consider the next queued packet.
+    if (grid_.stall_since[vq] >= 0) {
+      grid_.stall_ns_ctr[vq] += now - grid_.stall_since[vq];
+      grid_.stall_since[vq] = -1;
+    }
+    fifo_pop(grid_.q[vq].head, grid_.q[vq].tail);
+    grid_.occupancy_flits[vq] -= hpk.flits;
+    notify_waiters(vq, sh_r(r));
+    fault_drop_packet(hpid, sh_r(r), now);
+    hpid = grid_.q[vq].head;
+    if (hpid < 0) return false;
+  }
+  Packet& hpk = pkt(hpid);
   const int qn_vc = vc_queue_index(vc_plane(vc), rs.level);
   const std::size_t vqn = PortGrid::vq_index(grid_.port_index(rb, qn), qn_vc);
   const bool escape_due = grid_.stall_since[vq] >= 0 &&
                           now - grid_.stall_since[vq] >= escape_timeout_;
-  if (!has_space(vqn, pk.flits)) {
+  if (!has_space(vqn, hpk.flits)) {
     if (!escape_due) {
       if (grid_.stall_since[vq] < 0) grid_.stall_since[vq] = now;
       grid_.add_waiter(vqn, router::WaiterRef{r, p}, sh_r(r));
@@ -777,17 +864,18 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
   grid_.last_served[pt] = static_cast<std::uint8_t>(vc);
   fifo_pop(grid_.q[vq].head, grid_.q[vq].tail);
   grid_.busy[pt] = 1;
-  grid_.flits_ctr[vq] += pk.flits;
-  pk.route = rs;  // commit the next-hop decision made above
-  grid_.occupancy_flits[vqn] += pk.flits;
-  const Tick ser = sim::serialization_ns(pk.bytes, ph.bw_gbps);
-  const std::int32_t flits = pk.flits;
+  if (port_dead(pt)) ++fault_sh_[static_cast<std::size_t>(sh_r(r))].dead_tx;
+  grid_.flits_ctr[vq] += hpk.flits;
+  hpk.route = rs;  // commit the next-hop decision made above
+  grid_.occupancy_flits[vqn] += hpk.flits;
+  const Tick ser = sim::serialization_ns(hpk.bytes, ph.bw_gbps);
+  const std::int32_t flits = hpk.flits;
   const Tick delta = ph.hop_delta;
   if (coalesce_) {
     // One pooled event per hop: phase 0 releases the port when serialization
     // finishes, then rearms itself (same slot, same insertion seq) to land
     // the packet at the peer after the link+router latency.
-    auto ev = [this, delta, r, rb, pid, flits, p, qn,
+    auto ev = [this, delta, r, rb, pid = hpid, flits, p, qn,
                vc8 = static_cast<std::int8_t>(vc),
                qn_vc8 = static_cast<std::int8_t>(qn_vc),
                phase = std::int8_t{0}]() mutable {
@@ -803,11 +891,11 @@ bool Network::try_transmit(topo::RouterId r, topo::PortId p, int vc) {
     static_assert(sizeof(ev) <= sim::EventQueue::kInlineBytes);
     eng_r(r).schedule(ser, std::move(ev));
   } else {
-    eng_r(r).schedule(ser, [this, r, p, vc, flits, pid] {
+    eng_r(r).schedule(ser, [this, r, p, vc, flits, pid = hpid] {
       ProfScope ps(profile_, kEvHop);
       hop_ser_done(r, p, vc, flits, pid);
     });
-    eng_r(r).schedule(ser + delta, [this, pid, rb, qn, qn_vc] {
+    eng_r(r).schedule(ser + delta, [this, pid = hpid, rb, qn, qn_vc] {
       ProfScope ps(profile_, kEvHop);
       hop_arrive(pid, rb, qn, qn_vc);
     });
@@ -844,9 +932,22 @@ void Network::r3_ser_done(topo::RouterId r, topo::PortId p, int vc,
 void Network::r3_arrive(PacketId pid, topo::RouterId rb,
                         std::int32_t ingress_pt) {
   Packet& pp = pkt(pid);
+  if (router_dead(rb)) {
+    // Destination-side router died while the packet crossed the cable.
+    // Record the ingress first so the sender's credit pool is refilled.
+    ingress_of(pid) = ingress_pt;
+    fault_drop_packet(pid, sh_r(rb), eng_r(rb).now());
+    return;
+  }
   routing::RouteState rs = pp.route;
   if (rs.level + 1 < kNumVcLevels) ++rs.level;  // crossed into a new group
   const topo::PortId qn = planner_.next_port(rb, pp.dst, rs);
+  if (qn < 0) {
+    // Faults only: no route onward from the landing router.
+    ingress_of(pid) = ingress_pt;
+    fault_drop_packet(pid, sh_r(rb), eng_r(rb).now());
+    return;
+  }
   const int qn_vc = vc_queue_index(pp.vc, rs.level);
   pp.route = rs;
   const std::size_t vqn = PortGrid::vq_index(grid_.port_index(rb, qn), qn_vc);
@@ -990,6 +1091,14 @@ void Network::apply_mail(int dst, std::span<sim::MailRecord> records) {
                      static_cast<MsgId>(rec.c),
                      static_cast<routing::Mode>(rec.d));
         break;
+      case kMailMsgLost:
+        // Ordered after kMailMsgProgress at the same barrier (enum order),
+        // so a message that also completed here has already been recycled
+        // and the gen check below makes this a no-op. Loss accumulation is
+        // commutative, so seq-order ties across shards cannot matter.
+        note_msg_loss(static_cast<std::int32_t>(rec.key),
+                      static_cast<std::uint32_t>(rec.b), rec.a);
+        break;
       case kMailArrive: {
         const auto pid = static_cast<PacketId>(rec.a);
         const auto pt = static_cast<std::int32_t>(rec.b);
@@ -1005,6 +1114,341 @@ void Network::apply_mail(int dst, std::span<sim::MailRecord> records) {
         break;
     }
   }
+}
+
+void Network::ensure_fault_state() {
+  if (fault_on_) return;
+  const std::size_t np = grid_.num_ports();
+  const auto nr = static_cast<std::size_t>(topo_.config().num_routers());
+  health_.port_dead.assign(np, 0);
+  health_.router_dead.assign(nr, 0);
+  health_.penalty_q8.assign(np, fault::kPenaltyUnit);
+  bw_pristine_.resize(np);
+  for (std::size_t pt = 0; pt < np; ++pt)
+    bw_pristine_[pt] = port_hot_[pt].bw_gbps;
+  fault_sh_.assign(pools_.size(), FaultShardCounters{});
+  degr_last_ = engine_.now();
+  planner_.set_fault_tables(routing::FaultTables{
+      health_.port_dead.data(), health_.router_dead.data(),
+      health_.penalty_q8.data()});
+  fault_on_ = true;  // set last: port_dead()/router_dead() gate on it
+}
+
+void Network::apply_fault_plan(const fault::FaultPlan& plan) {
+  if (plan.empty()) return;
+  ensure_fault_state();
+  const Tick base = engine_.now();
+  // Canonical order + a fixed barrier grid (sharded lookahead windows are
+  // partition-independent) keep fault application deterministic for any
+  // shard count. Past times clamp to "now".
+  for (const fault::FaultEvent& ev : plan.canonical()) {
+    const Tick at = std::max(ev.at, base);
+    if (se_ != nullptr)
+      se_->schedule_global(at, [this, ev] { apply_fault_event(ev); });
+    else
+      engine_.schedule_at(at, [this, ev] { apply_fault_event(ev); });
+  }
+}
+
+void Network::apply_fault_event(const fault::FaultEvent& ev) {
+  const Tick now = engine_.now();
+  switch (ev.kind) {
+    case fault::FaultKind::kLinkFail:
+      fault_fail_link(ev.router, ev.port, now);
+      break;
+    case fault::FaultKind::kLinkDegrade:
+      fault_degrade_link(ev.router, ev.port, ev.factor, now);
+      break;
+    case fault::FaultKind::kRouterFail:
+      fault_fail_router(ev.router, now);
+      break;
+    case fault::FaultKind::kRepair:
+      fault_repair(ev.router, ev.port, now);
+      break;
+  }
+}
+
+void Network::fault_fail_link(topo::RouterId r, topo::PortId p, Tick now) {
+  const topo::PortInfo& pi = topo_.port(r, p);
+  fault_fail_port_one_way(r, p, now);
+  if (pi.peer_router >= 0 && pi.peer_port >= 0)
+    fault_fail_port_one_way(pi.peer_router, pi.peer_port, now);
+  ++fault_ctr_.faults_applied;
+  fault_recompute_for(r, p);
+}
+
+void Network::fault_fail_port_one_way(topo::RouterId r, topo::PortId p,
+                                      Tick now) {
+  const std::size_t pt = grid_.port_index(r, p);
+  if (health_.port_dead[pt] != 0) return;
+  // A degraded port that subsequently fails stops accruing the degraded
+  // integral (failure is accounted through drops, not bandwidth-seconds).
+  if (health_.penalty_q8[pt] != fault::kPenaltyUnit) {
+    accrue_degraded(now);
+    degr_rate_sum_ -= bw_pristine_[pt] - port_hot_[pt].bw_gbps;
+    port_hot_[pt].bw_gbps = bw_pristine_[pt];
+    health_.penalty_q8[pt] = fault::kPenaltyUnit;
+  }
+  health_.port_dead[pt] = 1;
+  drop_port_queues(r, p, now);
+}
+
+void Network::fault_restore_port_one_way(topo::RouterId r, topo::PortId p,
+                                         Tick now) {
+  // Ports of a dead router stay down until the router itself repairs.
+  if (health_.router_dead[static_cast<std::size_t>(r)] != 0) return;
+  const std::size_t pt = grid_.port_index(r, p);
+  if (health_.penalty_q8[pt] != fault::kPenaltyUnit) {
+    accrue_degraded(now);
+    degr_rate_sum_ -= bw_pristine_[pt] - port_hot_[pt].bw_gbps;
+    health_.penalty_q8[pt] = fault::kPenaltyUnit;
+  }
+  port_hot_[pt].bw_gbps = bw_pristine_[pt];
+  if (health_.port_dead[pt] != 0) {
+    health_.port_dead[pt] = 0;
+    // Rank-3 credits conserve across drops (every consumed credit is
+    // returned exactly once, including on the drop paths), so no reset is
+    // needed; just offer the port to any requeued traffic.
+    try_start_port(r, p);
+  }
+}
+
+void Network::fault_set_degrade_one_way(topo::RouterId r, topo::PortId p,
+                                        double factor, Tick now) {
+  const std::size_t pt = grid_.port_index(r, p);
+  if (health_.port_dead[pt] != 0) return;  // dead dominates degraded
+  accrue_degraded(now);
+  degr_rate_sum_ -= bw_pristine_[pt] - port_hot_[pt].bw_gbps;
+  port_hot_[pt].bw_gbps = bw_pristine_[pt] * factor;
+  degr_rate_sum_ += bw_pristine_[pt] * (1.0 - factor);
+  // Bias divisor: a link at 1/4 bandwidth looks 4x as loaded to AD0-AD3.
+  health_.penalty_q8[pt] = static_cast<std::uint16_t>(
+      std::min<long>(65535, std::lround(256.0 / factor)));
+}
+
+void Network::fault_degrade_link(topo::RouterId r, topo::PortId p,
+                                 double factor, Tick now) {
+  factor = std::clamp(factor, 0.05, 1.0);
+  const topo::PortInfo& pi = topo_.port(r, p);
+  fault_set_degrade_one_way(r, p, factor, now);
+  if (pi.peer_router >= 0 && pi.peer_port >= 0)
+    fault_set_degrade_one_way(pi.peer_router, pi.peer_port, factor, now);
+  ++fault_ctr_.faults_applied;
+  // No reachability change: degraded links still forward, only the planner's
+  // load scoring shifts (via penalty_q8), so no table recompute is needed.
+}
+
+void Network::fault_fail_router(topo::RouterId r, Tick now) {
+  if (health_.router_dead[static_cast<std::size_t>(r)] != 0) return;
+  health_.router_dead[static_cast<std::size_t>(r)] = 1;
+  const int np = topo_.num_ports(r);
+  for (topo::PortId p = 0; p < np; ++p) {
+    const topo::PortInfo& pi = topo_.port(r, p);
+    fault_fail_port_one_way(r, p, now);
+    if (pi.peer_router >= 0 && pi.peer_port >= 0)
+      fault_fail_port_one_way(pi.peer_router, pi.peer_port, now);
+  }
+  // The attached NICs can never drain their injection queues; discard them
+  // so message retries (and eventual abandonment) keep senders live.
+  const int npr = topo_.config().nodes_per_router;
+  for (int k = 0; k < npr; ++k) {
+    const auto n = static_cast<topo::NodeId>(r * npr + k);
+    Nic& nic = nics_[static_cast<std::size_t>(n)];
+    nic.stall_since = -1;
+    const int shn = sh_n(n);
+    while (nic.inject_head >= 0)
+      fault_drop_packet(fifo_pop(nic.inject_head, nic.inject_tail), shn, now,
+                        /*injected=*/false);
+  }
+  ++fault_ctr_.faults_applied;
+  const topo::GroupId g = topo_.group_of_router(r);
+  planner_.recompute_local(g);
+  ++fault_ctr_.recomputes;
+  for (topo::PortId p = 0; p < np; ++p) {
+    const topo::PortInfo& pi = topo_.port(r, p);
+    if (pi.cls == TileClass::kRank3) {
+      planner_.recompute_gateway_pair(g, pi.target_group);
+      planner_.recompute_gateway_pair(pi.target_group, g);
+      fault_ctr_.recomputes += 2;
+    }
+  }
+}
+
+void Network::fault_repair(topo::RouterId r, topo::PortId p, Tick now) {
+  if (p >= 0) {
+    const topo::PortInfo& pi = topo_.port(r, p);
+    fault_restore_port_one_way(r, p, now);
+    if (pi.peer_router >= 0 && pi.peer_port >= 0)
+      fault_restore_port_one_way(pi.peer_router, pi.peer_port, now);
+    ++fault_ctr_.repairs_applied;
+    fault_recompute_for(r, p);
+    return;
+  }
+  // Router repair: the router and all of its links come back pristine.
+  health_.router_dead[static_cast<std::size_t>(r)] = 0;
+  const int np = topo_.num_ports(r);
+  for (topo::PortId q = 0; q < np; ++q) {
+    const topo::PortInfo& pi = topo_.port(r, q);
+    fault_restore_port_one_way(r, q, now);
+    if (pi.peer_router >= 0 && pi.peer_port >= 0)
+      fault_restore_port_one_way(pi.peer_router, pi.peer_port, now);
+  }
+  ++fault_ctr_.repairs_applied;
+  const topo::GroupId g = topo_.group_of_router(r);
+  planner_.recompute_local(g);
+  ++fault_ctr_.recomputes;
+  for (topo::PortId q = 0; q < np; ++q) {
+    const topo::PortInfo& pi = topo_.port(r, q);
+    if (pi.cls == TileClass::kRank3) {
+      planner_.recompute_gateway_pair(g, pi.target_group);
+      planner_.recompute_gateway_pair(pi.target_group, g);
+      fault_ctr_.recomputes += 2;
+    }
+  }
+  // Wake the attached NICs: queued sends may now inject.
+  const int npr = topo_.config().nodes_per_router;
+  for (int k = 0; k < npr; ++k)
+    nic_try_inject(static_cast<topo::NodeId>(r * npr + k));
+}
+
+void Network::fault_recompute_for(topo::RouterId r, topo::PortId p) {
+  const topo::PortInfo& pi = topo_.port(r, p);
+  const topo::GroupId g = topo_.group_of_router(r);
+  if (pi.cls == TileClass::kRank3) {
+    planner_.recompute_gateway_pair(g, pi.target_group);
+    planner_.recompute_gateway_pair(pi.target_group, g);
+    fault_ctr_.recomputes += 2;
+  } else {
+    planner_.recompute_local(g);
+    ++fault_ctr_.recomputes;
+  }
+}
+
+void Network::drop_port_queues(topo::RouterId r, topo::PortId p, Tick now) {
+  const std::size_t pt = grid_.port_index(r, p);
+  const int sh = sh_r(r);
+  for (int vc = 0; vc < kNumVcs; ++vc) {
+    const std::size_t vq = PortGrid::vq_index(pt, vc);
+    if (grid_.stall_since[vq] >= 0) {
+      grid_.stall_ns_ctr[vq] += now - grid_.stall_since[vq];
+      grid_.stall_since[vq] = -1;
+    }
+    while (grid_.q[vq].head >= 0) {
+      const PacketId pid = fifo_pop(grid_.q[vq].head, grid_.q[vq].tail);
+      grid_.occupancy_flits[vq] -= pkt(pid).flits;
+      fault_drop_packet(pid, sh, now);
+    }
+    notify_waiters(vq, sh);
+  }
+}
+
+void Network::fault_drop_packet(PacketId pid, int sh, Tick now, bool injected) {
+  Packet& p = pkt(pid);
+  FaultShardCounters& fc = fault_sh_[static_cast<std::size_t>(sh)];
+  ++fc.dropped;
+  if (!injected) ++fc.dropped_preinject;
+  post_ingress_credit(pid, p.flits, now, sh);
+  if (p.msg >= 0) {
+    const std::int64_t lost = p.bytes - header_bytes_;
+    const std::int32_t slot = msg_slot(p.msg);
+    const auto gen = static_cast<std::uint32_t>(p.msg >> 32);
+    if (se_ == nullptr) {
+      note_msg_loss(slot, gen, lost);
+    } else {
+      sim::MailRecord rec;
+      rec.due = now;
+      rec.kind = kMailMsgLost;
+      rec.key = slot;
+      rec.a = lost;
+      rec.b = static_cast<std::int64_t>(gen);
+      se_->post_mail(sh, 0, rec);
+    }
+  }
+  // Response packets (msg < 0) vanish silently: the requester's ORB latency
+  // tracking simply never counts them, and no liveness hangs on them.
+  free_packet_from(pid, sh);
+}
+
+void Network::note_msg_loss(std::int32_t slot, std::uint32_t gen,
+                            std::int64_t bytes) {
+  MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];
+  if ((m.gen & 0x7fffffffu) != gen) return;  // message already completed
+  m.lost_bytes += bytes;
+  if (!m.retry_armed) {
+    m.retry_armed = true;
+    // One timer batches every loss within the timeout window into a single
+    // re-injection. Host-owned slab: the timer runs in globally-ordered
+    // context (plain event serially, barrier callback sharded).
+    const std::uint32_t g32 = m.gen;
+    auto fire = [this, slot, g32] { msg_retry(slot, g32); };
+    if (se_ != nullptr)
+      se_->schedule_global(engine_.now() + retry_timeout_, std::move(fire));
+    else
+      engine_.schedule(retry_timeout_, std::move(fire));
+  }
+}
+
+void Network::msg_retry(std::int32_t slot, std::uint32_t gen) {
+  MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];
+  if (m.gen != gen) return;  // completed and recycled since the timer armed
+  m.retry_armed = false;
+  const std::int64_t lost = m.lost_bytes;
+  if (lost <= 0) return;
+  m.lost_bytes = 0;
+  if (m.retries >= max_retries_) {
+    // Graceful degradation: write the lost payload off so the message (and
+    // the rank coroutine blocked on it) completes rather than hangs.
+    ++fault_ctr_.messages_abandoned;
+    fault_ctr_.bytes_abandoned += lost;
+    m.remaining_bytes -= lost;
+    if (m.remaining_bytes <= 0) {
+      DeliveryCallback cb = std::move(m.on_delivered);
+      free_msg(slot);
+      if (cb) cb();
+    }
+    return;
+  }
+  ++m.retries;
+  ++fault_ctr_.messages_retried;
+  const MsgId id = (static_cast<MsgId>(m.gen & 0x7fffffffu) << 32) |
+                   static_cast<MsgId>(slot);
+  if (se_ != nullptr) {
+    sim::MailRecord rec;
+    rec.due = engine_.now();
+    rec.kind = kMailInject;
+    rec.key = static_cast<std::int64_t>(inject_seq_++);
+    rec.a = (static_cast<std::int64_t>(m.src) << 32) |
+            static_cast<std::uint32_t>(m.dst);
+    rec.b = lost;
+    rec.c = static_cast<std::int64_t>(id);
+    rec.d = static_cast<std::int64_t>(m.mode);
+    se_->post_mail(0, sh_n(m.src), rec);
+  } else {
+    apply_inject(m.src, m.dst, lost, id, static_cast<routing::Mode>(m.mode));
+  }
+}
+
+void Network::accrue_degraded(Tick now) {
+  if (now > degr_last_)
+    fault_ctr_.degraded_bw_gbs +=
+        degr_rate_sum_ * static_cast<double>(now - degr_last_) * 1e-9;
+  degr_last_ = now;
+}
+
+fault::FaultStats Network::fault_stats() const {
+  fault::FaultStats s = fault_ctr_;
+  if (fault_on_) {
+    const Tick now = engine_.now();
+    if (now > degr_last_)
+      s.degraded_bw_gbs +=
+          degr_rate_sum_ * static_cast<double>(now - degr_last_) * 1e-9;
+    for (const FaultShardCounters& f : fault_sh_) {
+      s.packets_dropped += f.dropped;
+      s.dead_link_transmissions += f.dead_tx;
+    }
+    s.packets_rerouted = planner_.rerouted_count();
+  }
+  return s;
 }
 
 CounterSnapshot Network::snapshot_all() const {

@@ -37,6 +37,7 @@
 #include <functional>
 #include <memory>
 
+#include "fault/fault.hpp"
 #include "monitor/trace.hpp"
 #include "net/nic.hpp"
 #include "net/packet.hpp"
@@ -216,10 +217,14 @@ class Network final : public routing::LoadOracle {
   }
 
   /// Number of in-flight (allocated) packets; 0 when fully drained.
+  /// Fault drops end a packet's flight without a delivery, so they are
+  /// subtracted (pre-injection discards were never counted as injected).
   [[nodiscard]] std::int64_t packets_in_flight() const {
     std::int64_t n = 0;
     for (const NetworkStats& s : stats_sh_)
       n += s.packets_injected - s.packets_delivered;
+    for (const FaultShardCounters& f : fault_sh_)
+      n -= f.dropped - f.dropped_preinject;
     return n;
   }
 
@@ -255,6 +260,17 @@ class Network final : public routing::LoadOracle {
   void set_event_coalescing(bool on) { coalesce_ = on; }
   [[nodiscard]] bool event_coalescing() const { return coalesce_; }
 
+  // --- Fault injection (see docs/MODEL.md section 10) ---
+  /// Schedule the plan's events at their simulated times (clamped to now).
+  /// In sharded mode they apply at window barriers via schedule_global, so
+  /// results stay byte-identical for every shard count; an empty plan is a
+  /// no-op and leaves every hot path byte-identical to a fault-free build.
+  /// May be called more than once (plans accumulate).
+  void apply_fault_plan(const fault::FaultPlan& plan);
+  /// Aggregated fault statistics; call at a quiesced point in sharded mode.
+  [[nodiscard]] fault::FaultStats fault_stats() const;
+  [[nodiscard]] bool faults_enabled() const { return fault_on_; }
+
  private:
   /// Message completion slab. MsgId = (generation << 32) | slot; the
   /// generation tag keeps recycled slots producing fresh ids. Host-shard
@@ -262,9 +278,18 @@ class Network final : public routing::LoadOracle {
   /// barrier-applied kMailMsgProgress records).
   struct MsgRec {
     std::int64_t remaining_bytes = 0;
+    /// Payload dropped on a failing path, awaiting the retry timer. Never
+    /// counted into remaining_bytes until re-injected or abandoned, so a
+    /// message with losses cannot complete prematurely.
+    std::int64_t lost_bytes = 0;
     DeliveryCallback on_delivered;
+    topo::NodeId src = -1;  ///< endpoints + mode, for retry re-injection
+    topo::NodeId dst = -1;
     std::uint32_t gen = 0;
     std::int32_t next_free = -1;
+    std::int16_t retries = 0;
+    std::uint8_t mode = 0;  ///< routing::Mode of the original send
+    bool retry_armed = false;
   };
 
   [[nodiscard]] std::int32_t alloc_msg();
@@ -353,6 +378,11 @@ class Network final : public routing::LoadOracle {
                        ///<   c = MsgId, d = routing mode
     kMailArrive,       ///< key = sender port; a = pid, b = sender port,
                        ///<   c = dst router (becomes a dst-shard event)
+    kMailMsgLost,      ///< key = msg slot; a = payload bytes lost, b = gen.
+                       ///< Applied after kMailMsgProgress at a barrier, so a
+                       ///< message's delivered bytes land before its losses
+                       ///< and the slot is provably still live (its payload
+                       ///< cannot have fully delivered AND been lost).
   };
   void apply_mail(int dst, std::span<sim::MailRecord> records);
   void apply_inject(topo::NodeId src, topo::NodeId dst, std::int64_t bytes,
@@ -390,6 +420,49 @@ class Network final : public routing::LoadOracle {
   [[nodiscard]] bool has_space(std::size_t vq, std::int32_t flits) const {
     return grid_.occupancy_flits[vq] + flits <= capacity_flits_;
   }
+
+  // --- Fault machinery (dormant until apply_fault_plan) ---
+  // All health mutation happens in globally-ordered context (serial events /
+  // shard barriers); shard threads only read health between barriers.
+  void ensure_fault_state();
+  void apply_fault_event(const fault::FaultEvent& ev);
+  void fault_fail_link(topo::RouterId r, topo::PortId p, sim::Tick now);
+  void fault_fail_router(topo::RouterId r, sim::Tick now);
+  void fault_degrade_link(topo::RouterId r, topo::PortId p, double factor,
+                          sim::Tick now);
+  void fault_repair(topo::RouterId r, topo::PortId p, sim::Tick now);
+  /// Mark one direction dead and discard its queued packets (in-flight
+  /// transmissions complete: the head was already committed to the wire).
+  void fault_fail_port_one_way(topo::RouterId r, topo::PortId p, sim::Tick now);
+  void fault_restore_port_one_way(topo::RouterId r, topo::PortId p,
+                                  sim::Tick now);
+  void fault_set_degrade_one_way(topo::RouterId r, topo::PortId p,
+                                 double factor, sim::Tick now);
+  /// Planner recompute for one end of a changed link (+ recompute counter).
+  void fault_recompute_for(topo::RouterId r, topo::PortId p);
+  void drop_port_queues(topo::RouterId r, topo::PortId p, sim::Tick now);
+  /// Discard a packet that cannot be forwarded: counters, ingress credit,
+  /// message-loss note (-> retry), pool free. `pid` must be detached from
+  /// every queue and have no pending events.
+  void fault_drop_packet(PacketId pid, int sh, sim::Tick now,
+                         bool injected = true);
+  void note_msg_loss(std::int32_t slot, std::uint32_t gen, std::int64_t bytes);
+  /// Retry timer: re-inject the lost payload, or abandon after max retries.
+  void msg_retry(std::int32_t slot, std::uint32_t gen);
+  void accrue_degraded(sim::Tick now);
+  [[nodiscard]] bool port_dead(std::size_t pt) const {
+    return fault_on_ && health_.port_dead[pt] != 0;
+  }
+  [[nodiscard]] bool router_dead(topo::RouterId r) const {
+    return fault_on_ && health_.router_dead[static_cast<std::size_t>(r)] != 0;
+  }
+
+  struct FaultShardCounters {
+    std::int64_t dropped = 0;
+    std::int64_t dropped_preinject = 0;  ///< of `dropped`: never injected
+                                         ///< (discarded from a NIC queue)
+    std::int64_t dead_tx = 0;  ///< invariant counter; must stay 0
+  };
 
   /// Per-port constants a forwarding step needs, flattened by global port
   /// index (same indexing as PortGrid) so try_transmit reads one contiguous
@@ -439,6 +512,18 @@ class Network final : public routing::LoadOracle {
   void ensure_throttle_tick();
   /// True when no packet is in flight and no NIC has queued injections.
   [[nodiscard]] bool network_idle() const;
+
+  // --- Fault state (empty until the first apply_fault_plan) ---
+  bool fault_on_ = false;
+  fault::LinkHealth health_;          ///< arrays sized once; pointers shared
+                                      ///< with the planner's FaultTables
+  fault::FaultStats fault_ctr_;       ///< host-context counters
+  std::vector<FaultShardCounters> fault_sh_;  ///< [shard] forwarding-path
+  std::vector<double> bw_pristine_;   ///< [port_index] pre-degrade bandwidth
+  double degr_rate_sum_ = 0.0;        ///< GB/s currently out of service
+  sim::Tick degr_last_ = 0;           ///< last degraded-integral accrual
+  sim::Tick retry_timeout_ = 0;       ///< cached config().msg_retry_timeout
+  int max_retries_ = 0;               ///< cached config().msg_max_retries
 
   std::int32_t header_bytes_ = 16;
   sim::Tick rx_overhead_ = 100;  ///< ns per packet of NIC rx processing

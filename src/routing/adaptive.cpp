@@ -82,12 +82,29 @@ void RoutePlanner::build_tables() {
 
 std::int64_t RoutePlanner::local_first_load(topo::RouterId r,
                                             topo::RouterId t) const {
-  return load_units(r, local_first_port(r, t));
+  const topo::PortId p = local_first_port(r, t);
+  // Under faults the BFS table marks unreachable targets with -1.
+  if (faults_on_ && p < 0) return std::numeric_limits<std::int64_t>::max();
+  return load_units(r, p);
 }
 
 topo::PortId RoutePlanner::best_global_port(topo::RouterId r,
                                             topo::GroupId tg) const {
   const auto ports = global_ports(r, tg);
+  if (faults_on_) {
+    // Fault-aware scalar pass: skip dead cables; -1 when none are left.
+    topo::PortId best = -1;
+    std::int64_t best_load = std::numeric_limits<std::int64_t>::max();
+    for (const topo::PortId p : ports) {
+      if (!port_ok(r, p)) continue;
+      const std::int64_t l = load_units(r, p);
+      if (l < best_load) {
+        best_load = l;
+        best = p;
+      }
+    }
+    return best;
+  }
   // Branchless strict-< first-wins argmin: the loads are independent array
   // reads, so the loop body is straight-line selects the compiler can
   // pipeline instead of a compare-and-branch per port.
@@ -102,8 +119,159 @@ topo::PortId RoutePlanner::best_global_port(topo::RouterId r,
   return ports[best];
 }
 
+bool RoutePlanner::has_alive_global_port(topo::RouterId r,
+                                         topo::GroupId tg) const {
+  for (const topo::PortId p : global_ports(r, tg))
+    if (port_ok(r, p)) return true;
+  return false;
+}
+
+topo::GroupId RoutePlanner::fallback_via(topo::GroupId g,
+                                         topo::GroupId gd) const {
+  for (topo::GroupId cand = 0; cand < groups_; ++cand) {
+    if (cand == g || cand == gd) continue;
+    if (groups_connected(g, cand) && groups_connected(cand, gd)) return cand;
+  }
+  return -1;
+}
+
+std::int64_t RoutePlanner::rerouted_count() const {
+  std::int64_t n = 0;
+  for (const std::int64_t v : rerouted_) n += v;
+  return n;
+}
+
+void RoutePlanner::set_fault_tables(const FaultTables& t) {
+  assert(view_.occupancy != nullptr && view_.port_base != nullptr);
+  assert(t.port_dead != nullptr && t.router_dead != nullptr &&
+         t.penalty_q8 != nullptr);
+  fault_ = t;
+  faults_on_ = true;
+  local_first_pristine_ = local_first_;
+  rerouted_.assign(static_cast<std::size_t>(groups_), 0);
+  gw_alive_.assign(static_cast<std::size_t>(groups_) * groups_, 0);
+  for (topo::GroupId g = 0; g < groups_; ++g)
+    for (topo::GroupId tg = 0; tg < groups_; ++tg)
+      if (g != tg) recompute_gateway_pair(g, tg);
+}
+
+void RoutePlanner::recompute_gateway_pair(topo::GroupId g, topo::GroupId tg) {
+  if (g == tg) return;
+  std::int32_t alive = 0;
+  for (const auto& gw : gateways(g, tg))
+    if (router_ok(gw.router) && has_alive_global_port(gw.router, tg)) ++alive;
+  gw_alive_[static_cast<std::size_t>(g) * groups_ +
+            static_cast<std::size_t>(tg)] = alive;
+}
+
+void RoutePlanner::recompute_local(topo::GroupId g) {
+  const auto base_r = static_cast<topo::RouterId>(g * rpg_);
+  const int gpb = topo_.global_port_base();  // local ports are [0, gpb)
+  const std::size_t row0 =
+      static_cast<std::size_t>(base_r) * static_cast<std::size_t>(rpg_);
+  const std::size_t cells =
+      static_cast<std::size_t>(rpg_) * static_cast<std::size_t>(rpg_);
+
+  bool any_fault = false;
+  for (int i = 0; i < rpg_ && !any_fault; ++i) {
+    const topo::RouterId r = base_r + i;
+    if (!router_ok(r)) {
+      any_fault = true;
+      break;
+    }
+    for (topo::PortId p = 0; p < gpb; ++p)
+      if (!port_ok(r, p)) {
+        any_fault = true;
+        break;
+      }
+  }
+  if (!any_fault) {
+    // Group fully healthy (e.g. after repair): restore the pristine rows.
+    std::copy_n(local_first_pristine_.begin() +
+                    static_cast<std::ptrdiff_t>(row0),
+                cells, local_first_.begin() + static_cast<std::ptrdiff_t>(row0));
+    return;
+  }
+
+  // Per-source BFS over healthy intra-group links. Neighbor iteration in
+  // port order gives a deterministic tie-break that reproduces the pristine
+  // rank-1-first two-hop choice on healthy paths.
+  const auto n = static_cast<std::size_t>(rpg_);
+  for (int si = 0; si < rpg_; ++si) {
+    const topo::RouterId s = base_r + si;
+    topo::PortId* row = local_first_.data() + row0 +
+                        static_cast<std::size_t>(si) * n;
+    std::fill(row, row + n, static_cast<topo::PortId>(-1));
+    if (!router_ok(s)) continue;
+    bfs_dist_.assign(n, -1);
+    bfs_first_.assign(n, static_cast<topo::PortId>(-1));
+    bfs_queue_.clear();
+    bfs_queue_.push_back(si);
+    bfs_dist_[static_cast<std::size_t>(si)] = 0;
+    for (std::size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
+      const int ui = bfs_queue_[qi];
+      const topo::RouterId u = base_r + ui;
+      for (topo::PortId p = 0; p < gpb; ++p) {
+        if (!port_ok(u, p)) continue;
+        const topo::RouterId v = topo_.port(u, p).peer_router;
+        if (!router_ok(v)) continue;
+        const auto vi = static_cast<std::size_t>(v - base_r);
+        if (bfs_dist_[vi] >= 0) continue;
+        bfs_dist_[vi] = bfs_dist_[static_cast<std::size_t>(ui)] + 1;
+        bfs_first_[vi] = ui == si ? p : bfs_first_[static_cast<std::size_t>(ui)];
+        bfs_queue_.push_back(static_cast<std::int32_t>(vi));
+      }
+    }
+    for (std::size_t ti = 0; ti < n; ++ti)
+      if (ti != static_cast<std::size_t>(si)) row[ti] = bfs_first_[ti];
+  }
+}
+
+topo::RouterId RoutePlanner::pick_gateway_fault(topo::RouterId r,
+                                                topo::GroupId tg,
+                                                std::int64_t* score_out) {
+  // Fault-aware twin of pick_gateway: same candidate structure (self first,
+  // then kGatewaySample random draws — the RNG draw count per decision is
+  // fixed, keeping the stream partition-independent), but dead routers,
+  // dead cables, and locally-unreachable gateways are skipped. Returns -1
+  // when no usable gateway remains (caller drops or falls back).
+  const topo::GroupId g = group_of(r);
+  const auto gws = gateways(g, tg);
+  sim::Rng& rng = rng_for(g);
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+  topo::RouterId best = -1;
+  std::int64_t best_score = kInf;
+  if (router_ok(r) && has_alive_global_port(r, tg)) {
+    best = r;
+    best_score = load_units(r, best_global_port(r, tg));
+  }
+  const int samples =
+      std::min<int>(kGatewaySample, static_cast<int>(gws.size()));
+  for (int i = 0; i < samples; ++i) {
+    const auto& gw = gws[rng.uniform_u64(gws.size())];
+    const topo::RouterId gr = gw.router;
+    if (gr == r) continue;  // self is candidate 0
+    if (!router_ok(gr)) continue;
+    const topo::PortId p0 = local_first_port(r, gr);
+    if (p0 < 0) continue;  // group partition: gateway unreachable locally
+    if (!has_alive_global_port(gr, tg)) continue;
+    // Score with the listed cable when alive, else the gateway's best one.
+    const topo::PortId gp =
+        port_ok(gr, gw.port) ? gw.port : best_global_port(gr, tg);
+    const std::int64_t s = load_units(r, p0) + load_units(gr, gp);
+    if (s < best_score) {
+      best_score = s;
+      best = gr;
+    }
+  }
+  if (score_out != nullptr) *score_out = best_score;
+  return best;
+}
+
 topo::RouterId RoutePlanner::pick_gateway(topo::RouterId r, topo::GroupId tg,
                                           std::int64_t* score_out) {
+  if (faults_on_) return pick_gateway_fault(r, tg, score_out);
   const topo::GroupId g = group_of(r);
   const auto gws = gateways(g, tg);
   sim::Rng& rng = rng_for(g);
@@ -180,6 +348,8 @@ void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
   const topo::GroupId gs = group_of(src_router);
   const topo::GroupId gd = group_of(dst_router);
 
+  constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
   if (gs == gd) {
     // Intra-group: non-minimal = Valiant via a random intermediate router.
     const std::int64_t load_min = local_first_load(src_router, dst_router);
@@ -190,10 +360,28 @@ void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
       if (cand != src_router && cand != dst_router) via = cand;
     }
     if (via < 0) return;  // tiny group, no intermediate available
+    // Under faults a dead/unreachable intermediate makes the detour useless
+    // (and an unreachable destination is dropped at next_port regardless).
+    if (faults_on_ && (!router_ok(via) || load_min == kInf)) return;
     const std::int64_t load_nonmin = local_first_load(src_router, via);
+    if (faults_on_ && load_nonmin == kInf) return;
     if (!choose_minimal(load_min, load_nonmin, 0, params)) {
       state.nonminimal = true;
       state.via_router = via;
+    }
+    return;
+  }
+
+  if (faults_on_ && !groups_connected(gs, gd)) {
+    // No alive gateway toward the destination group: force a Valiant detour
+    // through the first group that still connects both sides (no RNG draws —
+    // the choice must not depend on sampling luck). next_port drops the
+    // packet if even that fails.
+    const topo::GroupId fb = fallback_via(gs, gd);
+    if (fb >= 0) {
+      state.nonminimal = true;
+      state.via_group = fb;
+      ++rerouted_[static_cast<std::size_t>(gs)];
     }
     return;
   }
@@ -202,11 +390,14 @@ void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
   std::int64_t load_min = 0;
   (void)pick_gateway(src_router, gd, &load_min);
   topo::GroupId best_via = -1;
-  std::int64_t load_nonmin = std::numeric_limits<std::int64_t>::max();
+  std::int64_t load_nonmin = kInf;
   for (int i = 0; i < kViaGroupSample; ++i) {
     const auto cand = static_cast<topo::GroupId>(
         rng_for(gs).uniform_u64(static_cast<std::uint64_t>(groups_)));
     if (cand == gs || cand == gd) continue;
+    if (faults_on_ &&
+        (!groups_connected(gs, cand) || !groups_connected(cand, gd)))
+      continue;
     std::int64_t score = 0;
     (void)pick_gateway(src_router, cand, &score);
     if (score < load_nonmin) {
@@ -215,6 +406,16 @@ void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
     }
   }
   if (best_via < 0) return;  // two-group system: minimal only
+  if (faults_on_) {
+    if (load_nonmin == kInf) return;
+    if (load_min == kInf) {
+      // Minimal path unusable from here (e.g. local partition): detour.
+      state.nonminimal = true;
+      state.via_group = best_via;
+      ++rerouted_[static_cast<std::size_t>(gs)];
+      return;
+    }
+  }
   if (!choose_minimal(load_min, load_nonmin, 0, params)) {
     state.nonminimal = true;
     state.via_group = best_via;
@@ -224,18 +425,24 @@ void RoutePlanner::decide_injection(topo::RouterId src_router, topo::NodeId dst,
 topo::PortId RoutePlanner::next_port(topo::RouterId r, topo::NodeId dst,
                                      RouteState& state) {
   const topo::RouterId dst_router = topo_.router_of_node(dst);
+  // A dead destination router makes the packet undeliverable from anywhere.
+  if (faults_on_ && !router_ok(dst_router)) return kNoRoute;
   // Intra-group Valiant: reach the intermediate router first, even if the
   // detour happens to pass through the destination router.
   if (state.nonminimal && state.via_router >= 0 && !state.via_done) {
-    if (r == state.via_router) {
-      state.via_done = true;
-      // Leaving the Valiant intermediate: bump the VC ladder level so the
-      // second (via -> destination) local leg cannot form a cycle with the
-      // first.
-      if (state.level + 1 < kVcLadderLevels) ++state.level;
-    } else {
-      return local_first_port(r, state.via_router);
+    if (r != state.via_router) {
+      const topo::PortId via_p = local_first_port(r, state.via_router);
+      if (!faults_on_ || (router_ok(state.via_router) && via_p >= 0))
+        return counted_local(r, state.via_router, via_p);
+      // The intermediate died or became unreachable: abandon the detour
+      // and head straight for the destination.
+      ++rerouted_[static_cast<std::size_t>(group_of(r))];
     }
+    state.via_done = true;
+    // Leaving the Valiant intermediate: bump the VC ladder level so the
+    // second (via -> destination) local leg cannot form a cycle with the
+    // first.
+    if (state.level + 1 < kVcLadderLevels) ++state.level;
   }
   if (r == dst_router) {
     state.gateway = -1;
@@ -255,21 +462,56 @@ topo::PortId RoutePlanner::next_port(topo::RouterId r, topo::NodeId dst,
   }
 
   // Local leg: in the destination group and not detouring elsewhere.
-  if (g == gd && target_group == gd) return local_first_port(r, dst_router);
+  if (g == gd && target_group == gd)
+    return counted_local(r, dst_router, local_first_port(r, dst_router));
   // A packet may pass *through* its destination group while still heading to
   // a Valiant intermediate group (the target_group != gd case above), but it
   // can never already be *in* the intermediate group here: via_done is set
   // the moment it arrives.
   assert(g != target_group);
 
+  if (faults_on_ && !groups_connected(g, target_group)) {
+    if (target_group != gd) {
+      // The Valiant intermediate became unreachable: abandon the detour.
+      state.via_done = true;
+      target_group = gd;
+      ++rerouted_[static_cast<std::size_t>(g)];
+      if (!groups_connected(g, gd)) return kNoRoute;
+    } else if (state.via_group < 0 && !state.via_done) {
+      // Minimal packet, destination group cut off: one forced detour.
+      const topo::GroupId fb = fallback_via(g, gd);
+      if (fb < 0) return kNoRoute;
+      state.nonminimal = true;
+      state.via_group = fb;
+      target_group = fb;
+      ++rerouted_[static_cast<std::size_t>(g)];
+    } else {
+      // Already spent the detour budget (VC ladder bounds one intermediate).
+      return kNoRoute;
+    }
+  }
+
   // Need a global hop toward target_group.
   if (state.gateway >= 0 && group_of(state.gateway) != g)
     state.gateway = -1;  // stale: left the group where it was chosen
+  if (faults_on_ && state.gateway >= 0) {
+    // The sticky gateway may have died or lost its cables since chosen.
+    if (!router_ok(state.gateway) ||
+        !has_alive_global_port(state.gateway, target_group) ||
+        (state.gateway != r && local_first_port(r, state.gateway) < 0)) {
+      state.gateway = -1;
+      ++rerouted_[static_cast<std::size_t>(g)];
+    }
+  }
   if (state.gateway < 0) {
-    if (!global_ports(r, target_group).empty()) {
+    const bool own_cable = faults_on_
+                               ? has_alive_global_port(r, target_group)
+                               : !global_ports(r, target_group).empty();
+    if (own_cable) {
       state.gateway = r;
     } else {
       state.gateway = pick_gateway(r, target_group, nullptr);
+      if (state.gateway < 0) return kNoRoute;  // faults only: no gateway left
     }
   }
   if (state.gateway == r) {
@@ -277,7 +519,7 @@ topo::PortId RoutePlanner::next_port(topo::RouterId r, topo::NodeId dst,
     state.gateway = -1;  // crossing into a new group resets the choice
     return p;
   }
-  return local_first_port(r, state.gateway);
+  return counted_local(r, state.gateway, local_first_port(r, state.gateway));
 }
 
 }  // namespace dfsim::routing

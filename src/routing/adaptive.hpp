@@ -56,6 +56,23 @@ struct LoadView {
 /// intermediate, destination group).
 inline constexpr int kVcLadderLevels = 3;
 
+/// next_port() result when fault state leaves no usable route toward the
+/// destination (only possible after set_fault_tables; the network drops the
+/// packet and the message-level retry recovers it).
+inline constexpr topo::PortId kNoRoute = -1;
+
+/// Raw views of the owner's live health arrays (net::Network owns a
+/// fault::LinkHealth; routing/ stays independent of fault/ by taking
+/// pointers). Indexed like LoadView: port arrays by port_base[r] + p.
+/// The pointers must stay valid and stable for the planner's lifetime;
+/// writes happen only in globally-ordered event context (serial events or
+/// shard barriers), never concurrently with decisions.
+struct FaultTables {
+  const std::uint8_t* port_dead = nullptr;    ///< [port_index] 1 = dead
+  const std::uint8_t* router_dead = nullptr;  ///< [router] 1 = dead
+  const std::uint16_t* penalty_q8 = nullptr;  ///< [port_index] q8 load mult
+};
+
 /// Mutable routing state carried by each packet. Field order packs the
 /// struct into 20 bytes so the whole net::Packet stays within one cache
 /// line (see the static_assert in net/packet.hpp).
@@ -105,6 +122,32 @@ class RoutePlanner {
   /// Optional: without one, loads go through the LoadOracle virtual call.
   void set_load_view(LoadView v) { view_ = v; }
 
+  // --- Fault awareness (see docs/MODEL.md section 10) ---
+  // With tables installed, decisions skip dead ports/routers/gateways, the
+  // load scoring multiplies in the degraded-link penalty, and next_port()
+  // may return kNoRoute when the destination is unreachable. Without them
+  // (the default) every fault branch is compiled around a single flag test
+  // and the decision stream is byte-identical to the pristine planner.
+
+  /// Install health views. Requires a LoadView (for port indexing).
+  /// Tables start pristine; call the recompute entry points after mutating.
+  void set_fault_tables(const FaultTables& t);
+  [[nodiscard]] bool faults_active() const { return faults_on_; }
+  /// Rebuild group `g`'s intra-group first-hop table: per-source BFS over
+  /// healthy links (deterministic port-order tie-break; reproduces the
+  /// pristine table when the group is healthy). Unreachable targets get -1.
+  void recompute_local(topo::GroupId g);
+  /// Recount alive gateways of `g` toward `tg` (one direction).
+  void recompute_gateway_pair(topo::GroupId g, topo::GroupId tg);
+  /// Any alive gateway left from g toward tg? (true when faults inactive).
+  [[nodiscard]] bool groups_connected(topo::GroupId g, topo::GroupId tg) const {
+    return !faults_on_ || g == tg ||
+           gw_alive_[static_cast<std::size_t>(g) * groups_ +
+                     static_cast<std::size_t>(tg)] > 0;
+  }
+  /// Decisions diverted by fault state so far (summed over groups).
+  [[nodiscard]] std::int64_t rerouted_count() const;
+
   /// Switch from the single RNG stream to one independent stream per group,
   /// derived from `seed`. Every adaptive draw for a decision at router `r`
   /// then comes from group(r)'s stream, making the draw sequence a function
@@ -131,15 +174,41 @@ class RoutePlanner {
   [[nodiscard]] std::int64_t load_units(topo::RouterId r,
                                         topo::PortId p) const {
     if (view_.occupancy == nullptr) return loads_.load_units(r, p);
-    const std::size_t base =
-        (static_cast<std::size_t>(view_.port_base[static_cast<std::size_t>(r)]) +
-         static_cast<std::size_t>(p)) *
-        view_.vc_stride;
+    const std::size_t pt =
+        static_cast<std::size_t>(view_.port_base[static_cast<std::size_t>(r)]) +
+        static_cast<std::size_t>(p);
+    const std::size_t base = pt * view_.vc_stride;
     std::int64_t occ = 0;
     for (std::size_t vc = 0; vc < view_.vc_stride; ++vc)
       occ += view_.occupancy[base + vc];
-    return occ * kLoadScale / view_.capacity;
+    std::int64_t lu = occ * kLoadScale / view_.capacity;
+    // Degraded links look proportionally busier to the bias scoring
+    // (penalty is 256/bw_factor in q8; 256 — pristine — is exact identity).
+    if (faults_on_) lu = (lu * fault_.penalty_q8[pt]) >> 8;
+    return lu;
   }
+
+  /// Flat port index (LoadView layout). Only valid with a view installed.
+  [[nodiscard]] std::size_t pt_index(topo::RouterId r, topo::PortId p) const {
+    return static_cast<std::size_t>(view_.port_base[static_cast<std::size_t>(r)]) +
+           static_cast<std::size_t>(p);
+  }
+  // The *_ok helpers assume faults_on_ (callers gate on it).
+  [[nodiscard]] bool port_ok(topo::RouterId r, topo::PortId p) const {
+    return fault_.port_dead[pt_index(r, p)] == 0;
+  }
+  [[nodiscard]] bool router_ok(topo::RouterId r) const {
+    return fault_.router_dead[static_cast<std::size_t>(r)] == 0;
+  }
+  [[nodiscard]] bool has_alive_global_port(topo::RouterId r,
+                                           topo::GroupId tg) const;
+  /// First group g' (ascending) with alive gateways g -> g' and g' -> gd,
+  /// or -1. Deterministic fallback Valiant hop for disconnected pairs.
+  [[nodiscard]] topo::GroupId fallback_via(topo::GroupId g,
+                                           topo::GroupId gd) const;
+  [[nodiscard]] topo::RouterId pick_gateway_fault(topo::RouterId r,
+                                                  topo::GroupId tg,
+                                                  std::int64_t* score_out);
 
   /// Load of the first hop from `r` toward local router `t`.
   [[nodiscard]] std::int64_t local_first_load(topo::RouterId r, topo::RouterId t) const;
@@ -194,6 +263,33 @@ class RoutePlanner {
   std::vector<topo::PortId> gp_ports_;      ///< rank-3 ports, (r, tg)-major
   std::vector<std::uint32_t> gw_off_;       ///< CSR offsets into gw_list_
   std::vector<topo::Dragonfly::Gateway> gw_list_;  ///< gateways, (g, tg)-major
+
+  /// Returns `p` unchanged; under faults, counts the decision as rerouted
+  /// when the BFS-recomputed local table diverted it from the pristine
+  /// first-hop choice. Call only at next_port return points.
+  topo::PortId counted_local(topo::RouterId r, topo::RouterId t,
+                             topo::PortId p) {
+    if (faults_on_ && p >= 0) {
+      const std::size_t idx = static_cast<std::size_t>(r) *
+                                  static_cast<std::size_t>(rpg_) +
+                              static_cast<std::size_t>(t % rpg_);
+      if (p != local_first_pristine_[idx])
+        ++rerouted_[static_cast<std::size_t>(group_of(r))];
+    }
+    return p;
+  }
+
+  // --- fault state (inactive and empty until set_fault_tables) ---
+  bool faults_on_ = false;
+  FaultTables fault_;
+  std::vector<topo::PortId> local_first_pristine_;  ///< snapshot for repairs
+  std::vector<std::int32_t> gw_alive_;  ///< [g][tg] alive gateway count
+  /// [group] fault-diverted decisions. Decisions at a router run on the
+  /// shard owning its group, so per-group counters need no atomics.
+  std::vector<std::int64_t> rerouted_;
+  std::vector<std::int32_t> bfs_dist_;   ///< recompute_local scratch
+  std::vector<topo::PortId> bfs_first_;
+  std::vector<std::int32_t> bfs_queue_;
 };
 
 }  // namespace dfsim::routing

@@ -51,6 +51,14 @@ struct Config {
   double nic_msg_rate_mps = 20.0;  ///< message-rate limit, millions msgs/s
   bool generate_responses = true;  ///< per-packet Put responses (ORB tracking)
 
+  // --- Fault recovery (net layer; only exercised under a FaultPlan) ---
+  sim::Tick msg_retry_timeout = 50 * sim::kMicrosecond;
+  ///< Delay between a packet loss being noted on a message and the lost
+  ///< payload being re-injected (losses within one window batch into a
+  ///< single retry).
+  int msg_max_retries = 3;  ///< after this many retries the payload is
+                            ///< written off and the message completes
+
   // --- Congestion throttling (paper Section II-B: Aries' second congestion
   // mechanism; "only occurs under extreme persistent congestion") ---
   bool throttle_enabled = false;

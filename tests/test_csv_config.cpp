@@ -1,10 +1,13 @@
-// Tests: CSV writer and the additional topology presets.
+// Tests: CSV writer, ScenarioConfig CSV persistence, and the additional
+// topology presets.
 #include <gtest/gtest.h>
 
 #include <cstdio>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
 
+#include "core/experiment.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 #include "stats/csv.hpp"
@@ -55,6 +58,84 @@ TEST(Csv, NumFormatting) {
   EXPECT_EQ(stats::CsvWriter::num(1.5), "1.5");
   EXPECT_EQ(stats::CsvWriter::num(0.0), "0");
   EXPECT_EQ(stats::CsvWriter::num(1e9), "1e+09");
+}
+
+TEST(ScenarioCsv, RoundTripsEveryField) {
+  core::ScenarioConfig cfg = core::ScenarioConfig::controlled();
+  cfg.system = topo::Config::cori_scaled();
+  cfg.app = "HACC";
+  cfg.nnodes = 128;
+  cfg.njobs = 5;
+  cfg.mode = routing::Mode::kAd2;
+  cfg.placement = sched::Placement::kGroups;
+  cfg.target_groups = 3;
+  cfg.bg_utilization = 0.45;
+  cfg.bg_mode = routing::Mode::kAd1;
+  cfg.warmup = 123 * sim::kMicrosecond;
+  cfg.ldms_period = 77 * sim::kMicrosecond;
+  cfg.seed = 0xdeadbeefULL;
+  cfg.event_budget = 12345678;
+  cfg.shards = 4;
+  cfg.faults.fail_link(100, 3, 1)
+      .degrade_link(200, 5, 0, 0.5)
+      .fail_router(300, 7)
+      .repair(400, 3, 1);
+
+  const auto cols = core::scenario_csv_columns();
+  const auto row = core::scenario_csv_row(cfg);
+  ASSERT_EQ(cols.size(), row.size());
+  const core::ScenarioConfig back = core::scenario_from_csv(row);
+
+  EXPECT_EQ(back.kind, cfg.kind);
+  EXPECT_EQ(back.system.name, cfg.system.name);
+  EXPECT_EQ(back.app, cfg.app);
+  EXPECT_EQ(back.nnodes, cfg.nnodes);
+  EXPECT_EQ(back.njobs, cfg.njobs);
+  EXPECT_EQ(back.mode, cfg.mode);
+  EXPECT_EQ(back.placement, cfg.placement);
+  EXPECT_EQ(back.target_groups, cfg.target_groups);
+  EXPECT_EQ(back.bg_utilization, cfg.bg_utilization);
+  EXPECT_EQ(back.bg_mode, cfg.bg_mode);
+  EXPECT_EQ(back.warmup, cfg.warmup);
+  EXPECT_EQ(back.ldms_period, cfg.ldms_period);
+  EXPECT_EQ(back.seed, cfg.seed);
+  EXPECT_EQ(back.event_budget, cfg.event_budget);
+  EXPECT_EQ(back.shards, cfg.shards);
+  ASSERT_EQ(back.faults.size(), cfg.faults.size());
+  const auto a = cfg.faults.canonical();
+  const auto b = back.faults.canonical();
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(b[i].at, a[i].at);
+    EXPECT_EQ(b[i].kind, a[i].kind);
+    EXPECT_EQ(b[i].router, a[i].router);
+    EXPECT_EQ(b[i].port, a[i].port);
+    EXPECT_EQ(b[i].factor, a[i].factor);
+  }
+}
+
+TEST(ScenarioCsv, ProductionDefaultsRoundTrip) {
+  const core::ScenarioConfig cfg = core::ScenarioConfig::production();
+  const core::ScenarioConfig back =
+      core::scenario_from_csv(core::scenario_csv_row(cfg));
+  EXPECT_EQ(back.kind, core::ScenarioKind::kProduction);
+  EXPECT_EQ(back.system.name, "theta");
+  EXPECT_EQ(back.app, cfg.app);
+  EXPECT_EQ(back.shards, cfg.shards);
+  EXPECT_TRUE(back.faults.empty());
+}
+
+TEST(ScenarioCsv, RejectsMalformedRows) {
+  const auto row = core::scenario_csv_row(core::ScenarioConfig::production());
+  EXPECT_THROW(core::scenario_from_csv({}), std::invalid_argument);
+  auto bad_system = row;
+  bad_system[1] = "not_a_preset";
+  EXPECT_THROW(core::scenario_from_csv(bad_system), std::invalid_argument);
+  auto bad_mode = row;
+  bad_mode[5] = "AD9";
+  EXPECT_THROW(core::scenario_from_csv(bad_mode), std::invalid_argument);
+  auto bad_faults = row;
+  bad_faults.back() = "garbage";
+  EXPECT_THROW(core::scenario_from_csv(bad_faults), std::invalid_argument);
 }
 
 TEST(SlingshotPreset, ConstructsAndRoutes) {

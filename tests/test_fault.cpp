@@ -1,0 +1,350 @@
+// Fault-injection & graceful-degradation contracts (dfsim::fault +
+// net::Network fault machinery):
+//
+//  * FaultPlan::random is a pure function of (system, spec) — same inputs,
+//    same plan; canonical() ordering is insertion-order independent.
+//  * Reroute correctness: with links/routers failed, NO packet is ever
+//    committed onto a dead link (FaultStats::dead_link_transmissions is the
+//    invariant counter), yet traffic still delivers around the damage.
+//  * Retry-with-timeout: payload lost to a mid-run failure is re-injected
+//    and the message completes; when no route ever comes back the payload is
+//    written off after msg_max_retries and the completion callback STILL
+//    fires (graceful degradation: senders never hang).
+//  * Degraded-bandwidth accounting: the degraded_bw_gbs integral matches
+//    bandwidth x factor x time, both directions.
+//  * Determinism: under a fault plan, results are byte-identical run-to-run,
+//    across --jobs worker counts, and across every shard count N >= 1.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "fault/fault.hpp"
+#include "net/network.hpp"
+#include "sim/engine.hpp"
+#include "sim/rng.hpp"
+#include "topo/config.hpp"
+#include "topo/dragonfly.hpp"
+
+namespace dfsim {
+namespace {
+
+// --- plan generation --------------------------------------------------------
+
+fault::RandomFaultSpec sample_spec() {
+  fault::RandomFaultSpec spec;
+  spec.seed = 99;
+  spec.link_fail_fraction = 0.05;
+  spec.link_degrade_fraction = 0.05;
+  spec.router_failures = 1;
+  spec.window_begin = 350 * sim::kMicrosecond;
+  spec.window_end = 450 * sim::kMicrosecond;
+  spec.repair_after = 200 * sim::kMicrosecond;
+  return spec;
+}
+
+TEST(FaultPlan, RandomIsDeterministic) {
+  const topo::Config sys = topo::Config::mini(4);
+  const fault::RandomFaultSpec spec = sample_spec();
+  const fault::FaultPlan a = fault::FaultPlan::random(sys, spec);
+  const fault::FaultPlan b = fault::FaultPlan::random(sys, spec);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].at, b.events()[i].at);
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_EQ(a.events()[i].router, b.events()[i].router);
+    EXPECT_EQ(a.events()[i].port, b.events()[i].port);
+    EXPECT_EQ(a.events()[i].factor, b.events()[i].factor);
+  }
+  // A different seed must move at least one fault somewhere else.
+  fault::RandomFaultSpec spec2 = spec;
+  spec2.seed = 100;
+  const fault::FaultPlan c = fault::FaultPlan::random(sys, spec2);
+  bool any_diff = c.size() != a.size();
+  for (std::size_t i = 0; !any_diff && i < a.size(); ++i)
+    any_diff = a.events()[i].router != c.events()[i].router ||
+               a.events()[i].port != c.events()[i].port;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(FaultPlan, CanonicalOrderIsInsertionIndependent) {
+  fault::FaultPlan p1, p2;
+  p1.fail_link(200, 3, 1).degrade_link(100, 5, 0, 0.5).repair(300, 3, 1);
+  p2.repair(300, 3, 1).fail_link(200, 3, 1).degrade_link(100, 5, 0, 0.5);
+  const auto a = p1.canonical();
+  const auto b = p2.canonical();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+  }
+  EXPECT_LE(a[0].at, a[1].at);
+  EXPECT_LE(a[1].at, a[2].at);
+}
+
+// --- reroute correctness ----------------------------------------------------
+
+struct Fixture {
+  explicit Fixture(topo::Config cfg = topo::Config::mini(4))
+      : topo(std::move(cfg)), net(engine, topo, 42) {}
+  sim::Engine engine;
+  topo::Dragonfly topo;
+  net::Network net;
+};
+
+TEST(FaultReroute, RoutesAroundFailedRank1Link) {
+  Fixture f;
+  // Kill the direct rank-1 link between routers 0 and 1 before any traffic.
+  const topo::PortId p01 = f.topo.local_port_to(0, 1);
+  ASSERT_GE(p01, 0);
+  fault::FaultPlan plan;
+  plan.fail_link(0, 0, p01);
+  f.net.apply_fault_plan(plan);
+
+  // Node 0 lives on router 0, node 2 on router 1 (2 nodes per router).
+  int done = 0;
+  for (int i = 0; i < 8; ++i) {
+    f.net.send_message(0, 2, 8192, routing::Mode::kAd0, [&] { ++done; });
+    f.net.send_message(3, 1, 8192, routing::Mode::kAd3, [&] { ++done; });
+  }
+  f.engine.run();
+
+  const fault::FaultStats st = f.net.fault_stats();
+  EXPECT_EQ(done, 16) << "all messages must deliver around the dead link";
+  EXPECT_EQ(st.dead_link_transmissions, 0);
+  EXPECT_EQ(st.faults_applied, 1);
+  EXPECT_GT(st.recomputes, 0);
+  EXPECT_GT(st.packets_rerouted, 0)
+      << "the minimal path was the failed link; deliveries must have been "
+         "diverted";
+  EXPECT_EQ(f.net.packets_in_flight(), 0);
+}
+
+TEST(FaultReroute, NoDeadLinkTraversalUnderRandomDamage) {
+  Fixture f;
+  fault::RandomFaultSpec spec;
+  spec.seed = 7;
+  spec.link_fail_fraction = 0.05;
+  spec.router_failures = 1;
+  const fault::FaultPlan plan = fault::FaultPlan::random(f.topo.config(), spec);
+  ASSERT_FALSE(plan.empty());
+  f.net.apply_fault_plan(plan);
+
+  // Random all-to-all traffic over the damaged fabric. Every message must
+  // terminate — delivered around the damage, or written off by the retry
+  // cap — and nothing may ever be committed onto a dead link.
+  int done = 0;
+  constexpr int kMsgs = 300;
+  sim::Rng rng(11);
+  const auto nodes = static_cast<std::uint64_t>(f.topo.config().num_nodes());
+  for (int i = 0; i < kMsgs; ++i) {
+    const auto a = static_cast<topo::NodeId>(rng.uniform_u64(nodes));
+    const auto b = static_cast<topo::NodeId>(rng.uniform_u64(nodes));
+    f.net.send_message(a, b, 2048 + static_cast<std::int64_t>(rng.uniform_u64(4096)),
+                       i % 2 ? routing::Mode::kAd3 : routing::Mode::kAd0,
+                       [&] { ++done; });
+  }
+  f.engine.run();
+
+  const fault::FaultStats st = f.net.fault_stats();
+  EXPECT_EQ(done, kMsgs);
+  EXPECT_EQ(st.dead_link_transmissions, 0);
+  EXPECT_EQ(f.net.packets_in_flight(), 0);
+}
+
+// --- retry / graceful degradation -------------------------------------------
+
+TEST(FaultRetry, LostPayloadIsRetriedAndDelivered) {
+  topo::Config cfg = topo::Config::mini(4);
+  cfg.msg_retry_timeout = 10 * sim::kMicrosecond;
+  Fixture f(cfg);
+  // Fail the direct link mid-transfer: packets queued on (or in flight
+  // over) it are dropped, the loss is noted on the message, and one retry
+  // re-injects the lost payload, which then routes around the damage.
+  const topo::PortId p01 = f.topo.local_port_to(0, 1);
+  fault::FaultPlan plan;
+  plan.fail_link(5 * sim::kMicrosecond, 0, p01);
+  f.net.apply_fault_plan(plan);
+
+  bool delivered = false;
+  f.net.send_message(0, 2, 256 * 1024, routing::Mode::kAd0,
+                     [&] { delivered = true; });
+  f.engine.run();
+
+  const fault::FaultStats st = f.net.fault_stats();
+  EXPECT_TRUE(delivered);
+  EXPECT_GT(st.packets_dropped, 0) << "the failure must have cost packets";
+  EXPECT_GE(st.messages_retried, 1);
+  EXPECT_EQ(st.messages_abandoned, 0);
+  EXPECT_EQ(st.dead_link_transmissions, 0);
+  EXPECT_EQ(f.net.packets_in_flight(), 0);
+}
+
+TEST(FaultRetry, AbandonsAfterMaxRetriesButStillCompletes) {
+  topo::Config cfg = topo::Config::mini(4);
+  cfg.msg_retry_timeout = 10 * sim::kMicrosecond;
+  cfg.msg_max_retries = 2;
+  Fixture f(cfg);
+  // Destination router dead before the send: every injection attempt and
+  // every retry loses the payload again. After msg_max_retries the payload
+  // is written off — and the completion callback must STILL fire, so the
+  // sender (an app-layer coroutine in real runs) never hangs.
+  const topo::RouterId dst_router = f.topo.router_of_node(2);
+  fault::FaultPlan plan;
+  plan.fail_router(0, dst_router);
+  f.net.apply_fault_plan(plan);
+
+  bool completed = false;
+  const std::int64_t payload = 64 * 1024;
+  f.net.send_message(0, 2, payload, routing::Mode::kAd0,
+                     [&] { completed = true; });
+  f.engine.run();
+
+  const fault::FaultStats st = f.net.fault_stats();
+  EXPECT_TRUE(completed) << "abandoned messages must still complete";
+  EXPECT_EQ(st.messages_abandoned, 1);
+  EXPECT_GT(st.bytes_abandoned, 0);
+  EXPECT_LE(st.messages_retried, 2);
+  EXPECT_EQ(st.dead_link_transmissions, 0);
+  EXPECT_EQ(f.net.packets_in_flight(), 0);
+}
+
+// --- degraded-bandwidth accounting ------------------------------------------
+
+TEST(FaultDegrade, BandwidthSecondsIntegralMatches) {
+  Fixture f;
+  const topo::PortId p01 = f.topo.local_port_to(0, 1);
+  const double bw = f.topo.port(0, p01).bw_gbps;
+  fault::FaultPlan plan;
+  plan.degrade_link(0, 0, p01, 0.5);
+  plan.repair(sim::kMillisecond, 0, p01);
+  f.net.apply_fault_plan(plan);
+  f.engine.run();
+
+  const fault::FaultStats st = f.net.fault_stats();
+  // Both directions lose half their bandwidth for 1 ms.
+  EXPECT_NEAR(st.degraded_bw_gbs, 2.0 * bw * 0.5 * 1e-3, 1e-9);
+  EXPECT_EQ(st.faults_applied, 1);
+  EXPECT_EQ(st.repairs_applied, 1);
+}
+
+TEST(FaultDegrade, RepairRestoresPristineThroughput) {
+  // A degraded-then-repaired network must finish a transfer exactly as fast
+  // as a never-touched one once the repair has landed.
+  topo::Config cfg = topo::Config::mini(2);
+  sim::Tick t_clean = 0, t_repaired = 0;
+  {
+    Fixture f(cfg);
+    f.net.send_message(0, 2, 64 * 1024, routing::Mode::kAd0,
+                       [&] { t_clean = f.engine.now(); });
+    f.engine.run();
+  }
+  {
+    Fixture f(cfg);
+    const topo::PortId p01 = f.topo.local_port_to(0, 1);
+    fault::FaultPlan plan;
+    plan.degrade_link(0, 0, p01, 0.25);
+    plan.repair(10 * sim::kMicrosecond, 0, p01);
+    f.net.apply_fault_plan(plan);
+    // Run past the repair, then send the same transfer.
+    f.engine.run();
+    ASSERT_GE(f.engine.now(), 10 * sim::kMicrosecond);
+    const sim::Tick start = f.engine.now();
+    f.net.send_message(0, 2, 64 * 1024, routing::Mode::kAd0,
+                       [&] { t_repaired = f.engine.now() - start; });
+    f.engine.run();
+  }
+  EXPECT_EQ(t_clean, t_repaired);
+}
+
+// --- determinism under faults -----------------------------------------------
+
+bool same_bytes(const net::CounterSnapshot& a, const net::CounterSnapshot& b) {
+  return std::memcmp(&a, &b, sizeof(net::CounterSnapshot)) == 0;
+}
+
+void expect_same_faults(const fault::FaultStats& a, const fault::FaultStats& b) {
+  EXPECT_EQ(a.faults_applied, b.faults_applied);
+  EXPECT_EQ(a.repairs_applied, b.repairs_applied);
+  EXPECT_EQ(a.recomputes, b.recomputes);
+  EXPECT_EQ(a.packets_dropped, b.packets_dropped);
+  EXPECT_EQ(a.packets_rerouted, b.packets_rerouted);
+  EXPECT_EQ(a.messages_retried, b.messages_retried);
+  EXPECT_EQ(a.messages_abandoned, b.messages_abandoned);
+  EXPECT_EQ(a.bytes_abandoned, b.bytes_abandoned);
+  EXPECT_EQ(a.dead_link_transmissions, b.dead_link_transmissions);
+  EXPECT_EQ(a.degraded_bw_gbs, b.degraded_bw_gbs);
+}
+
+void expect_identical(const core::RunResult& a, const core::RunResult& b) {
+  ASSERT_TRUE(a.ok) << a.fail_reason;
+  ASSERT_TRUE(b.ok) << b.fail_reason;
+  EXPECT_TRUE(same_bytes(a.global, b.global));
+  EXPECT_EQ(a.netstats.packets_injected, b.netstats.packets_injected);
+  EXPECT_EQ(a.netstats.packets_delivered, b.netstats.packets_delivered);
+  EXPECT_EQ(a.netstats.total_hops, b.netstats.total_hops);
+  EXPECT_EQ(a.runtime_ms, b.runtime_ms);
+  expect_same_faults(a.faults, b.faults);
+}
+
+core::ScenarioConfig faulty_mini(std::uint64_t seed) {
+  core::ScenarioConfig cfg = core::ScenarioConfig::production();
+  cfg.system = topo::Config::mini(4);
+  cfg.app = "MILC";
+  cfg.nnodes = 16;
+  cfg.params.iterations = 1;
+  cfg.params.msg_scale = 0.05;
+  cfg.params.compute_scale = 0.1;
+  cfg.params.seed = seed;
+  cfg.bg_utilization = 0.2;
+  cfg.seed = seed;
+  cfg.faults = fault::FaultPlan::random(cfg.system, sample_spec());
+  return cfg;
+}
+
+TEST(FaultDeterminism, SerialRepeatIsByteIdentical) {
+  core::ScenarioConfig cfg = faulty_mini(2021);
+  cfg.shards = 0;
+  const core::RunResult a = core::run_production(cfg);
+  const core::RunResult b = core::run_production(cfg);
+  expect_identical(a, b);
+  ASSERT_TRUE(a.ok);
+  EXPECT_GT(a.faults.faults_applied, 0) << "the plan must have taken effect";
+  EXPECT_EQ(a.faults.dead_link_transmissions, 0);
+}
+
+TEST(FaultDeterminism, IdenticalForEveryShardCount) {
+  core::ScenarioConfig cfg = faulty_mini(2021);
+  cfg.shards = 1;
+  const core::RunResult one = core::run_production(cfg);
+  ASSERT_TRUE(one.ok) << one.fail_reason;
+  EXPECT_GT(one.faults.faults_applied, 0);
+  EXPECT_EQ(one.faults.dead_link_transmissions, 0);
+  for (const int n : {2, 8}) {
+    SCOPED_TRACE(n);
+    cfg.shards = n;
+    expect_identical(one, core::run_production(cfg));
+  }
+}
+
+TEST(FaultDeterminism, EnsembleIdenticalAcrossWorkerCounts) {
+  core::ScenarioConfig cfg = faulty_mini(2021);
+  cfg.shards = 2;
+  constexpr int kSamples = 2;
+  const core::BatchResult serial =
+      core::run_production_ensemble(cfg, kSamples, core::BatchOptions{.jobs = 1});
+  const core::BatchResult parallel =
+      core::run_production_ensemble(cfg, kSamples, core::BatchOptions{.jobs = 4});
+  ASSERT_EQ(serial.results.size(), static_cast<std::size_t>(kSamples));
+  ASSERT_EQ(parallel.results.size(), static_cast<std::size_t>(kSamples));
+  for (int i = 0; i < kSamples; ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(serial.results[static_cast<std::size_t>(i)],
+                     parallel.results[static_cast<std::size_t>(i)]);
+  }
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -32,6 +32,26 @@ TEST(Report, NormalizedSplitDegenerateInputs) {
   EXPECT_NE(os2.str().find("AD3"), std::string::npos);
 }
 
+TEST(Report, FaultSummarySilentOnHealthyRun) {
+  std::ostringstream os;
+  core::print_fault_summary(os, fault::FaultStats{});
+  EXPECT_TRUE(os.str().empty());
+}
+
+TEST(Report, FaultSummaryPrintsRecoveryCounters) {
+  fault::FaultStats st;
+  st.faults_applied = 3;
+  st.repairs_applied = 1;
+  st.recomputes = 5;
+  st.packets_rerouted = 42;
+  st.messages_retried = 2;
+  std::ostringstream os;
+  core::print_fault_summary(os, st);
+  EXPECT_NE(os.str().find("3 applied"), std::string::npos);
+  EXPECT_NE(os.str().find("42 packets rerouted"), std::string::npos);
+  EXPECT_EQ(os.str().find("INVARIANT"), std::string::npos);
+}
+
 TEST(AutoPerf, SharedRouterCountersAreContaminatedButBounded) {
   // Two jobs sharing routers: each job's local view includes the other's
   // traffic on shared routers (as on the real system), but never exceeds
