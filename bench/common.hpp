@@ -129,6 +129,9 @@ struct Options {
   int shards = -1;      ///< intra-trial shards; -1 = DFSIM_TEST_SHARDS env,
                         ///< 0 = serial engine, N>=1 = sharded (results are
                         ///< byte-identical for every N >= 1)
+  int workers = 0;      ///< executor threads per sharded trial; 0 = auto
+                        ///< (DFSIM_SHARD_WORKERS env, else hardware threads);
+                        ///< wall-clock only, results identical for any N
   std::string csv_dir;  ///< when set (--csv=DIR), also write raw CSV series
 
   // Fault injection (all zero by default: pristine hardware, every fault
@@ -157,6 +160,10 @@ struct Options {
               "intra-trial event-execution shards (default: DFSIM_TEST_SHARDS "
               "env, else 0 = serial engine; results are byte-identical for "
               "every N >= 1; total threads ~= jobs * shards)")
+        .flag("workers", &workers,
+              "executor threads per sharded trial (default: "
+              "DFSIM_SHARD_WORKERS env, else hardware concurrency; clamped "
+              "to the shard count; wall-clock only, results identical)")
         .flag("full", &full, "full-size Theta/Cori")
         .flag("csv", &csv_dir, "also write raw CSV series into this directory")
         .flag("fault-links", &fault_links,
@@ -252,10 +259,30 @@ struct Options {
     cfg.bg_utilization = bg;
     cfg.seed = seed;
     cfg.shards = shards;
+    cfg.shard_workers = workers;
     cfg.faults = fault_plan(cfg.system);
     return cfg;
   }
 };
+
+/// Min/max over a sequence of per-shard event counts, seeded from the first
+/// element — a legitimate 0 minimum (a shard that executed no events) must
+/// survive later nonzero counts. Returns {0, 0} for an empty sequence.
+struct EventRange {
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+};
+inline EventRange event_range(const std::vector<std::uint64_t>& counts) {
+  EventRange r;
+  if (counts.empty()) return r;
+  r.min = counts.front();
+  r.max = counts.front();
+  for (const std::uint64_t e : counts) {
+    if (e < r.min) r.min = e;
+    if (e > r.max) r.max = e;
+  }
+  return r;
+}
 
 /// Optional CSV artifact: returns a writer only when --csv=DIR was given.
 inline std::unique_ptr<stats::CsvWriter> csv(const Options& o,

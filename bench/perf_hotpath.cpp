@@ -41,6 +41,7 @@
 #include <new>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "common.hpp"
@@ -187,9 +188,10 @@ core::ProductionConfig sim_config(bool quick, std::uint64_t seed) {
 }
 
 SimResult run_sim(bool quick, std::uint64_t seed, int shards = 0,
-                  net::EventProfile* profile = nullptr) {
+                  int workers = 0, net::EventProfile* profile = nullptr) {
   core::ProductionConfig cfg = sim_config(quick, seed);
   cfg.shards = shards;
+  cfg.shard_workers = workers;
   cfg.event_profile = profile;
   std::uint64_t steady_a0 = 0;
   std::uint64_t steady_e0 = 0;
@@ -339,6 +341,8 @@ int main(int argc, char** argv) {
   bool allocs_strict = false;
   bool no_shard_scaling = false;
   int shards = 0;  // headline sim run substrate (0 = serial engine)
+  int workers = 0;  // executor threads for the headline sharded run
+  double min_speedup = 0.0;  // sharded-speedup gate (0 = report only)
   std::uint64_t micro_events = 0;  // 0 = pick from --quick below
   std::uint64_t seed = 2021;
   int repeats = 5;
@@ -349,11 +353,18 @@ int main(int argc, char** argv) {
             "closed-loop forwarding-plane run; FAIL on any steady-state "
             "allocation")
       .flag("no-shard-scaling", &no_shard_scaling,
-            "skip the shard-count scaling sweep")
+            "skip the shard/worker scaling sweep")
       .flag("shards", &shards,
             "substrate for the headline sim trial (0 = serial engine; N >= 1 "
             "= lookahead-windowed sharded execution, results byte-identical "
             "for every N)")
+      .flag("workers", &workers,
+            "executor threads for the headline sharded trial (0 = auto; "
+            "wall-clock only, results identical for any N)")
+      .flag("min-speedup", &min_speedup,
+            "FAIL unless the widest sweep row reaches this speedup vs serial "
+            "(gate self-skips, with a note, when the host has fewer hardware "
+            "threads than that row has workers)")
       .flag("micro-events", &micro_events, "micro-benchmark event count")
       .flag("seed", &seed, "trial seed")
       .flag("repeats", &repeats, "identical sim trials; fastest is reported")
@@ -361,6 +372,7 @@ int main(int argc, char** argv) {
   cli.parse(argc, argv);
   const bool shard_scaling = !no_shard_scaling;
   shards = std::max(0, shards);
+  workers = std::max(0, workers);
   repeats = std::max(1, repeats);
   if (micro_events == 0) micro_events = quick ? 2'000'000 : 20'000'000;
 
@@ -389,7 +401,7 @@ int main(int argc, char** argv) {
   // deterministic, so the fastest repetition carries the least machine noise.
   SimResult sim;
   for (int rep = 0; rep < repeats; ++rep) {
-    const SimResult one = run_sim(quick, seed, shards);
+    const SimResult one = run_sim(quick, seed, shards, workers);
     if (!one.ok) return 1;
     if (rep > 0 && (one.events != sim.events || one.packets != sim.packets)) {
       std::fprintf(stderr,
@@ -416,7 +428,7 @@ int main(int argc, char** argv) {
   // profiled rerun is always serial: EventProfile attachment is unsupported
   // under sharded execution (it would need cross-thread aggregation).
   net::EventProfile prof;
-  const SimResult profiled = run_sim(quick, seed, 0, &prof);
+  const SimResult profiled = run_sim(quick, seed, 0, 0, &prof);
   if (!profiled.ok) return 1;
   const auto total_wall = static_cast<double>(prof.total_wall_ns());
   std::printf("  breakdown (event kinds, profiled re-run):\n");
@@ -429,70 +441,122 @@ int main(int argc, char** argv) {
                     : 0.0);
   }
 
-  // Shard-scaling sweep: the same trial on the serial engine (row 0) and on
-  // the sharded substrate at 1/2/4/8 shards. Rows 1..8 must agree with each
-  // other exactly (the sharded family's determinism contract); row 0 follows
-  // the serial schedule, a different but equally valid event order, so its
-  // event/packet totals may differ slightly. Wall-clock gains require as many
-  // hardware cores as shards — hw_threads is recorded so a 1-core CI runner's
-  // flat curve reads as what it is.
+  // Shard/worker scaling sweep: the same trial on the serial engine (first
+  // row) and on the sharded substrate over a (shards x workers) grid. Every
+  // sharded row must agree with every other exactly — byte-identity across
+  // BOTH shard counts and worker counts is the substrate's determinism
+  // contract; the serial row follows a different but equally valid event
+  // order, so its totals may differ slightly. Wall-clock gains require as
+  // many hardware cores as workers — hw_threads plus requested AND effective
+  // workers are recorded per row, so an oversubscribed 1-core runner's flat
+  // curve reads as what it is.
   const unsigned hw_threads = std::thread::hardware_concurrency();
   struct ScaleRow {
     int shards = 0;
+    int workers_req = 0;  ///< 0 only for the serial row
     SimResult r;
   };
   std::vector<ScaleRow> scaling;
   if (shard_scaling) {
     const int scale_reps = quick ? 1 : 2;
-    std::printf("  shard scaling (%u hardware threads, best of %d):\n",
+    std::printf("  shard/worker scaling (%u hardware threads, best of %d):\n",
                 hw_threads, scale_reps);
-    for (const int s : {0, 1, 2, 4, 8}) {
+    constexpr std::pair<int, int> kGrid[] = {
+        {0, 0}, {1, 1}, {2, 1}, {2, 2}, {4, 1}, {4, 2},
+        {4, 4}, {8, 1}, {8, 2}, {8, 4}, {8, 8}};
+    for (const auto& [s, w] : kGrid) {
       SimResult best;
       for (int rep = 0; rep < scale_reps; ++rep) {
-        const SimResult one = run_sim(quick, seed, s);
+        const SimResult one = run_sim(quick, seed, s, w);
         if (!one.ok) return 1;
         if (rep == 0 || one.wall_ms < best.wall_ms) best = one;
       }
-      scaling.push_back(ScaleRow{s, best});
+      scaling.push_back(ScaleRow{s, w, best});
       const auto& se = best.shard_exec;
-      std::uint64_t ev_min = 0, ev_max = 0;
-      for (const std::uint64_t e : se.shard_events) {
-        ev_min = ev_min == 0 ? e : std::min(ev_min, e);
-        ev_max = std::max(ev_max, e);
-      }
+      const bench::EventRange ev = bench::event_range(se.shard_events);
       if (s == 0) {
-        std::printf("    serial    %7.1f ms  %.2f M events/sec\n",
+        std::printf("    serial         %7.1f ms  %.2f M events/sec\n",
                     best.wall_ms, best.events_per_sec / 1e6);
       } else {
         std::printf(
-            "    %d shard%s  %7.1f ms  %.2f M events/sec  (%.2fx vs serial, "
-            "%d worker%s, %llu windows, %llu mail, barrier %.1f ms, "
+            "    %dsh x %dw%s  %7.1f ms  %.2f M events/sec  (%.2fx vs "
+            "serial, %d worker%s effective, %llu windows / %llu merges, "
+            "%llu mail (%llu folded), barrier %.1f ms, coord %.1f ms, "
             "shard events %llu..%llu)\n",
-            s, s == 1 ? " " : "s", best.wall_ms, best.events_per_sec / 1e6,
+            s, w, s < 10 && w < 10 ? "     " : "    ", best.wall_ms,
+            best.events_per_sec / 1e6,
             scaling.front().r.wall_ms > 0.0
                 ? scaling.front().r.wall_ms / best.wall_ms
                 : 0.0,
             se.workers, se.workers == 1 ? "" : "s",
             static_cast<unsigned long long>(se.windows),
+            static_cast<unsigned long long>(se.merges),
             static_cast<unsigned long long>(se.mail_records),
+            static_cast<unsigned long long>(se.mail_compacted),
             static_cast<double>(se.barrier_wait_ns) / 1e6,
-            static_cast<unsigned long long>(ev_min),
-            static_cast<unsigned long long>(ev_max));
+            static_cast<double>(se.coord_ns) / 1e6,
+            static_cast<unsigned long long>(ev.min),
+            static_cast<unsigned long long>(ev.max));
       }
     }
-    // Cross-row determinism gate: every sharded row is the same simulation.
+    // Worker-honesty gate: an explicit worker request is clamped by the
+    // shard count only, never silently by the host — a row that ran with
+    // fewer effective workers than min(requested, shards) is a bug.
+    for (const ScaleRow& row : scaling) {
+      if (row.shards == 0) continue;
+      const int expect = std::min(row.workers_req, row.shards);
+      if (row.r.shard_exec.workers != expect) {
+        std::fprintf(stderr,
+                     "perf_hotpath: worker dishonesty (%d shards: requested "
+                     "%d workers, expected %d effective, got %d)\n",
+                     row.shards, row.workers_req, expect,
+                     row.r.shard_exec.workers);
+        return 1;
+      }
+    }
+    // Cross-row determinism gate: every sharded row — any shard count, any
+    // worker count — is the same simulation.
     for (std::size_t i = 2; i < scaling.size(); ++i) {
       if (scaling[i].r.events != scaling[1].r.events ||
           scaling[i].r.packets != scaling[1].r.packets) {
-        std::fprintf(stderr,
-                     "perf_hotpath: shard-count nondeterminism (%d shards: "
-                     "%llu events, %lld packets vs %llu, %lld at 1 shard)\n",
-                     scaling[i].shards,
-                     static_cast<unsigned long long>(scaling[i].r.events),
-                     static_cast<long long>(scaling[i].r.packets),
-                     static_cast<unsigned long long>(scaling[1].r.events),
-                     static_cast<long long>(scaling[1].r.packets));
+        std::fprintf(
+            stderr,
+            "perf_hotpath: shard/worker nondeterminism (%d shards x %d "
+            "workers: %llu events, %lld packets vs %llu, %lld at 1 shard)\n",
+            scaling[i].shards, scaling[i].workers_req,
+            static_cast<unsigned long long>(scaling[i].r.events),
+            static_cast<long long>(scaling[i].r.packets),
+            static_cast<unsigned long long>(scaling[1].r.events),
+            static_cast<long long>(scaling[1].r.packets));
         return 1;
+      }
+    }
+    // Speedup gate (--min-speedup): judged on the widest row of the sweep.
+    if (min_speedup > 0.0) {
+      const ScaleRow& widest = scaling.back();
+      const double sp = widest.r.wall_ms > 0.0
+                            ? scaling.front().r.wall_ms / widest.r.wall_ms
+                            : 0.0;
+      if (hw_threads < static_cast<unsigned>(widest.workers_req)) {
+        std::printf(
+            "  speedup gate SKIPPED: host has %u hardware threads, the %d "
+            "shards x %d workers row needs %d to be meaningful (measured "
+            "%.2fx, threshold %.2fx not enforced)\n",
+            hw_threads, widest.shards, widest.workers_req, widest.workers_req,
+            sp, min_speedup);
+      } else if (sp < min_speedup) {
+        std::fprintf(stderr,
+                     "perf_hotpath: speedup gate FAILED: %d shards x %d "
+                     "workers reached %.2fx vs serial, threshold %.2fx "
+                     "(%u hardware threads)\n",
+                     widest.shards, widest.workers_req, sp, min_speedup,
+                     hw_threads);
+        return 1;
+      } else {
+        std::printf(
+            "  speedup gate OK: %d shards x %d workers at %.2fx vs serial "
+            "(threshold %.2fx)\n",
+            widest.shards, widest.workers_req, sp, min_speedup);
       }
     }
   }
@@ -570,22 +634,36 @@ int main(int argc, char** argv) {
     const auto& se = row.r.shard_exec;
     std::fprintf(
         f,
-        "    {\"shards\": %d, \"workers\": %d, \"wall_ms\": %.3f, "
+        "    {\"shards\": %d, \"workers_requested\": %d, \"workers\": %d, "
+        "\"wall_ms\": %.3f, "
         "\"events\": %llu, \"packets\": %lld, \"events_per_sec\": %.1f, "
         "\"speedup_vs_serial\": %.3f, \"lookahead_ns\": %lld, "
-        "\"windows\": %llu, \"mail_records\": %llu, "
-        "\"barrier_wait_ms\": %.3f, \"shard_events\": [",
-        row.shards, se.workers, row.r.wall_ms,
+        "\"windows\": %llu, \"merges\": %llu, \"mail_posted\": %llu, "
+        "\"mail_records\": %llu, \"mail_compacted\": %llu, "
+        "\"barrier_wait_ms\": %.3f, \"coord_ms\": %.3f, \"shard_events\": [",
+        row.shards, row.workers_req, se.workers, row.r.wall_ms,
         static_cast<unsigned long long>(row.r.events),
         static_cast<long long>(row.r.packets), row.r.events_per_sec,
         row.r.wall_ms > 0.0 ? scaling.front().r.wall_ms / row.r.wall_ms : 0.0,
         static_cast<long long>(se.lookahead),
         static_cast<unsigned long long>(se.windows),
+        static_cast<unsigned long long>(se.merges),
+        static_cast<unsigned long long>(se.mail_posted),
         static_cast<unsigned long long>(se.mail_records),
-        static_cast<double>(se.barrier_wait_ns) / 1e6);
+        static_cast<unsigned long long>(se.mail_compacted),
+        static_cast<double>(se.barrier_wait_ns) / 1e6,
+        static_cast<double>(se.coord_ns) / 1e6);
     for (std::size_t s = 0; s < se.shard_events.size(); ++s)
       std::fprintf(f, "%s%llu", s == 0 ? "" : ", ",
                    static_cast<unsigned long long>(se.shard_events[s]));
+    std::fprintf(f, "], \"executor_busy_ms\": [");
+    for (std::size_t e = 0; e < se.executor_busy_ns.size(); ++e)
+      std::fprintf(f, "%s%.3f", e == 0 ? "" : ", ",
+                   static_cast<double>(se.executor_busy_ns[e]) / 1e6);
+    std::fprintf(f, "], \"executor_wait_ms\": [");
+    for (std::size_t e = 0; e < se.executor_wait_ns.size(); ++e)
+      std::fprintf(f, "%s%.3f", e == 0 ? "" : ", ",
+                   static_cast<double>(se.executor_wait_ns[e]) / 1e6);
     std::fprintf(f, "]}%s\n", i + 1 < scaling.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");

@@ -53,7 +53,7 @@ std::array<double, 5> RunResult::local_stall_ratios() const {
 RunResult run_production(const ScenarioConfig& raw) {
   const ScenarioConfig cfg = raw.resolve();
   RunResult res;
-  sched::Scheduler sched(cfg.system, cfg.seed, cfg.shards);
+  sched::Scheduler sched(cfg.system, cfg.seed, cfg.shards, cfg.shard_workers);
   auto& machine = sched.machine();
   auto& engine = machine.engine();
   machine.set_event_budget(cfg.event_budget);
@@ -92,12 +92,21 @@ RunResult run_production(const ScenarioConfig& raw) {
   if (auto* se = machine.sharded_engine()) {
     res.shard_exec.shards = se->num_shards();
     res.shard_exec.workers = se->num_workers();
+    res.shard_exec.workers_requested = cfg.shard_workers;
     res.shard_exec.lookahead = se->lookahead();
     res.shard_exec.windows = se->stats().windows;
+    res.shard_exec.merges = se->stats().merges;
     res.shard_exec.mail_records = se->stats().mail_records;
+    res.shard_exec.mail_posted = se->stats().mail_posted;
+    res.shard_exec.mail_compacted = se->stats().mail_compacted;
     res.shard_exec.barrier_wait_ns = se->stats().barrier_wait_ns;
+    res.shard_exec.coord_ns = se->stats().coord_ns;
     for (int s = 0; s < se->num_shards(); ++s)
       res.shard_exec.shard_events.push_back(se->shard(s).events_executed());
+    for (const auto& ex : se->executor_stats()) {
+      res.shard_exec.executor_busy_ns.push_back(ex.busy_ns);
+      res.shard_exec.executor_wait_ns.push_back(ex.wait_ns);
+    }
   }
   if (!completed) {
     res.fail_reason = res.budget_exhausted
@@ -172,7 +181,7 @@ std::vector<RunResult> run_production_batch(const ScenarioConfig& cfg,
 EnsembleResult run_controlled(const ScenarioConfig& raw) {
   const ScenarioConfig cfg = raw.resolve();
   EnsembleResult res;
-  sched::Scheduler sched(cfg.system, cfg.seed, cfg.shards);
+  sched::Scheduler sched(cfg.system, cfg.seed, cfg.shards, cfg.shard_workers);
   auto& machine = sched.machine();
   machine.set_event_budget(cfg.event_budget);
   machine.network().apply_fault_plan(cfg.faults);  // empty plan: no-op
@@ -307,10 +316,11 @@ std::int64_t cell_i64(const std::string& c, const char* field) {
 }  // namespace
 
 std::vector<std::string> scenario_csv_columns() {
-  return {"kind",       "system",      "app",       "nnodes",
-          "njobs",      "mode",        "placement", "target_groups",
-          "bg_util",    "bg_mode",     "warmup_ns", "ldms_period_ns",
-          "seed",       "event_budget", "shards",   "faults"};
+  return {"kind",       "system",       "app",       "nnodes",
+          "njobs",      "mode",         "placement", "target_groups",
+          "bg_util",    "bg_mode",      "warmup_ns", "ldms_period_ns",
+          "seed",       "event_budget", "shards",    "shard_workers",
+          "faults"};
 }
 
 std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg) {
@@ -334,6 +344,7 @@ std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg) {
           std::to_string(cfg.seed),
           std::to_string(cfg.event_budget),
           std::to_string(cfg.shards),
+          std::to_string(cfg.shard_workers),
           fault_plan_encode(cfg.faults)};
 }
 
@@ -373,7 +384,8 @@ ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells) {
   cfg.event_budget =
       static_cast<std::uint64_t>(cell_i64(cells[13], "event_budget"));
   cfg.shards = static_cast<int>(cell_i64(cells[14], "shards"));
-  cfg.faults = fault_plan_decode(cells[15]);
+  cfg.shard_workers = static_cast<int>(cell_i64(cells[15], "shard_workers"));
+  cfg.faults = fault_plan_decode(cells[16]);
   return cfg;
 }
 

@@ -72,6 +72,11 @@ struct ScenarioConfig {
   /// runs the whole suite sharded without touching every harness; the
   /// sniffing happens exactly once, in resolve().
   int shards = -1;
+  /// Executor threads for the sharded substrate (ignored when shards == 0):
+  /// 0 = auto (DFSIM_SHARD_WORKERS env, else one per hardware thread),
+  /// N >= 1 = exactly min(N, shards) executors. Wall-clock only — results
+  /// are byte-identical for every worker count.
+  int shard_workers = 0;
   /// Scripted fault injection (failures / degradations / repairs applied at
   /// simulated times). Empty (the default) leaves every fault path dormant
   /// and the run byte-identical to a fault-free build.
@@ -135,6 +140,7 @@ class Scenario {
   Scenario& seed(std::uint64_t s) { cfg_.seed = s; return *this; }
   Scenario& event_budget(std::uint64_t n) { cfg_.event_budget = n; return *this; }
   Scenario& shards(int n) { cfg_.shards = n; return *this; }
+  Scenario& shard_workers(int n) { cfg_.shard_workers = n; return *this; }
   Scenario& faults(fault::FaultPlan plan) {
     cfg_.faults = std::move(plan);
     return *this;
@@ -162,13 +168,23 @@ struct ProductionConfig : ScenarioConfig {
 /// time, barrier overhead, load balance — and none of it feeds back into
 /// results, which are byte-identical for every shard count.
 struct ShardExecStats {
-  int shards = 0;           ///< 0 = legacy serial engine ran the trial
-  int workers = 0;          ///< executor threads actually used
+  int shards = 0;             ///< 0 = legacy serial engine ran the trial
+  int workers = 0;            ///< executor threads actually used
+  int workers_requested = 0;  ///< executor threads the scenario asked for
   sim::Tick lookahead = 0;  ///< window width (min cross-shard latency)
   std::uint64_t windows = 0;
-  std::uint64_t mail_records = 0;   ///< cross-shard records merged
-  std::int64_t barrier_wait_ns = 0; ///< coordinator wall time parked
+  std::uint64_t merges = 0;  ///< barriers that returned to the coordinator
+  std::uint64_t mail_records = 0;    ///< cross-shard records merged
+  std::uint64_t mail_posted = 0;     ///< records posted (pre-compaction)
+  std::uint64_t mail_compacted = 0;  ///< increments folded by accumulation
+  std::int64_t barrier_wait_ns = 0;  ///< coordinator wall time parked
+  /// Window-coordination time on the coordinating thread (merges, barrier
+  /// decisions, planning) — nonzero on the single-worker path too, where it
+  /// is the honest window-overhead figure barrier_wait_ns cannot show.
+  std::int64_t coord_ns = 0;
   std::vector<std::uint64_t> shard_events;  ///< events executed per shard
+  std::vector<std::int64_t> executor_busy_ns;  ///< per executor, event time
+  std::vector<std::int64_t> executor_wait_ns;  ///< per executor, barrier wait
 };
 
 struct RunResult {

@@ -5,14 +5,15 @@
 
 namespace dfsim::mpi {
 
-Machine::Machine(topo::Config cfg, std::uint64_t seed, int shards)
+Machine::Machine(topo::Config cfg, std::uint64_t seed, int shards,
+                 int shard_workers)
     : topo_(std::move(cfg)),
       plan_(shards >= 1 ? std::make_unique<topo::ShardPlan>(
                               topo::ShardPlan::build(topo_, shards))
                         : nullptr),
       sharded_(plan_ != nullptr
-                   ? std::make_unique<sim::ShardedEngine>(plan_->shards,
-                                                          plan_->lookahead)
+                   ? std::make_unique<sim::ShardedEngine>(
+                         plan_->shards, plan_->lookahead, shard_workers)
                    : nullptr),
       engine_(sharded_ != nullptr ? sharded_->host() : serial_engine_),
       net_(sharded_ != nullptr

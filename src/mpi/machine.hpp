@@ -78,7 +78,10 @@ class Machine {
   /// legacy serial engine; any N >= 1 runs the lookahead-windowed sharded
   /// engine (results byte-identical for every N >= 1, but a different —
   /// equally valid — schedule than serial; see docs/MODEL.md section 9).
-  explicit Machine(topo::Config cfg, std::uint64_t seed, int shards = 0);
+  /// `shard_workers` caps the sharded engine's executor threads (0 = auto;
+  /// wall-clock only, never affects results; ignored in serial mode).
+  explicit Machine(topo::Config cfg, std::uint64_t seed, int shards = 0,
+                   int shard_workers = 0);
 
   Machine(const Machine&) = delete;
   Machine& operator=(const Machine&) = delete;

@@ -1015,13 +1015,18 @@ void Network::deliver(PacketId id) {
       // applied — running the completion callback at exhaustion — at the
       // next barrier, in canonical order. remaining_bytes only crosses zero
       // on the message's final payload record, so the slot is freed exactly
-      // once no matter how deliveries interleave across shards.
+      // once no matter how deliveries interleave across shards. Progress is
+      // a pure accumulation (only the final increment has a side effect),
+      // so per-slot records within a window are folded into one: a
+      // message's packets all land on the destination node's shard, making
+      // the fold single-source, and the merged record keeps the final
+      // increment's due — the canonical position of the zero crossing.
       sim::MailRecord rec;
       rec.due = eng.now();
       rec.kind = kMailMsgProgress;
       rec.key = msg_slot(snap.msg);
       rec.a = snap.bytes - header_bytes_;
-      se_->post_mail(sh, 0, rec);
+      se_->post_mail_accum(sh, 0, rec);
     } else {
       const std::int32_t slot = msg_slot(snap.msg);
       MsgRec& m = msg_pool_[static_cast<std::size_t>(slot)];

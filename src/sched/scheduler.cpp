@@ -8,8 +8,9 @@ ModePair modes_for(routing::Mode requested) {
   return {requested, requested};
 }
 
-Scheduler::Scheduler(topo::Config cfg, std::uint64_t seed, int shards)
-    : machine_(cfg, seed, shards),
+Scheduler::Scheduler(topo::Config cfg, std::uint64_t seed, int shards,
+                     int shard_workers)
+    : machine_(cfg, seed, shards, shard_workers),
       alloc_(machine_.topology()),
       model_(static_cast<double>(machine_.topology().config().num_nodes()) /
              static_cast<double>(topo::Config::theta().num_nodes())),

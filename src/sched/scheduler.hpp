@@ -18,8 +18,10 @@ namespace dfsim::sched {
 class Scheduler {
  public:
   /// `shards` selects the machine's execution substrate (0 = legacy serial
-  /// engine; N >= 1 = sharded, see mpi::Machine).
-  Scheduler(topo::Config cfg, std::uint64_t seed, int shards = 0);
+  /// engine; N >= 1 = sharded, see mpi::Machine); `shard_workers` caps its
+  /// executor threads (0 = auto; wall-clock only).
+  Scheduler(topo::Config cfg, std::uint64_t seed, int shards = 0,
+            int shard_workers = 0);
 
   [[nodiscard]] mpi::Machine& machine() { return machine_; }
   [[nodiscard]] NodeAllocator& allocator() { return alloc_; }

@@ -19,6 +19,9 @@ int resolve_workers(int shards, int requested) {
     const unsigned hw = std::thread::hardware_concurrency();
     requested = hw > 0 ? static_cast<int>(hw) : 1;
   }
+  // Explicit requests are honoured even past the hardware thread count
+  // (oversubscription is a wall-clock choice, never a correctness one);
+  // only the shard count bounds the useful executor count.
   return std::clamp(requested, 1, shards);
 }
 
@@ -26,6 +29,16 @@ std::int64_t steady_ns() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield");
+#else
+  std::this_thread::yield();
+#endif
 }
 
 bool mail_less(const MailRecord& x, const MailRecord& y) {
@@ -37,6 +50,34 @@ bool mail_less(const MailRecord& x, const MailRecord& y) {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Gate: centralized spin-then-park rendezvous.
+//
+// A waiter spins briefly on `gen` (windows are short — ~100 µs of events —
+// so the partner is usually microseconds away) and only then parks in the
+// futex-backed atomic wait. The bumper pays the wake syscall only when
+// someone actually parked. atomic::wait re-checks the value before
+// blocking, so the park/bump race cannot lose a wakeup: if the bump lands
+// between a waiter's last spin probe and its park, the wait call returns
+// immediately.
+
+void ShardedEngine::Gate::bump_and_release() {
+  gen.fetch_add(1, std::memory_order_release);
+  if (parked.load(std::memory_order_seq_cst) > 0) gen.notify_all();
+}
+
+void ShardedEngine::Gate::await(std::uint32_t old, int spin) {
+  for (int i = 0; i < spin; ++i) {
+    if (gen.load(std::memory_order_acquire) != old) return;
+    cpu_relax();
+  }
+  if (gen.load(std::memory_order_acquire) != old) return;
+  parked.fetch_add(1, std::memory_order_seq_cst);
+  while (gen.load(std::memory_order_acquire) == old)
+    gen.wait(old, std::memory_order_acquire);
+  parked.fetch_sub(1, std::memory_order_relaxed);
+}
+
 ShardedEngine::ShardedEngine(int shards, Tick lookahead, int workers)
     : lookahead_(lookahead > 0 ? lookahead : 1) {
   if (shards < 1) shards = 1;
@@ -45,30 +86,50 @@ ShardedEngine::ShardedEngine(int shards, Tick lookahead, int workers)
     engines_.push_back(std::make_unique<Engine>());
   mail_.resize(static_cast<std::size_t>(shards) *
                static_cast<std::size_t>(shards));
+  accum_.resize(mail_.size());
 
   workers_total_ = resolve_workers(shards, workers);
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (hw != 0 && static_cast<unsigned>(workers_total_) > hw) spin_ = 0;
+  exec_.resize(static_cast<std::size_t>(workers_total_));
+
+  // Contiguous shard blocks: executor e runs [shard_lo_[e], shard_lo_[e+1]).
+  // Contiguity keeps each executor's engines (and their event-queue slabs)
+  // adjacent, and pins shard 0 — the host shard — to executor 0, the
+  // coordinating thread.
+  shard_lo_.resize(static_cast<std::size_t>(workers_total_) + 1, 0);
+  const int base = shards / workers_total_;
+  const int rem = shards % workers_total_;
+  for (int e = 0; e < workers_total_; ++e)
+    shard_lo_[static_cast<std::size_t>(e) + 1] =
+        shard_lo_[static_cast<std::size_t>(e)] + base + (e < rem ? 1 : 0);
+
   threads_.reserve(static_cast<std::size_t>(workers_total_ - 1));
   for (int w = 1; w < workers_total_; ++w)
     threads_.emplace_back([this, w] { worker_loop(w); });
 }
 
 ShardedEngine::~ShardedEngine() {
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    shutdown_ = true;
-  }
-  cv_go_.notify_all();
+  shutdown_.store(true, std::memory_order_release);
+  run_.bump_and_release();
   for (auto& t : threads_) t.join();
 }
 
 void ShardedEngine::schedule_global(Tick t, std::function<void()> fn) {
-  GlobalEvent ev{t, global_seq_++, std::move(fn)};
-  auto it = std::upper_bound(
-      globals_.begin(), globals_.end(), ev,
-      [](const GlobalEvent& x, const GlobalEvent& y) {
-        return x.t != y.t ? x.t < y.t : x.seq < y.seq;
-      });
-  globals_.insert(it, std::move(ev));
+  globals_.push_back(GlobalEvent{t, global_seq_++, std::move(fn)});
+  std::push_heap(globals_.begin(), globals_.end(),
+                 [](const GlobalEvent& x, const GlobalEvent& y) {
+                   return x.t != y.t ? x.t > y.t : x.seq > y.seq;
+                 });
+}
+
+void ShardedEngine::pop_global_min(GlobalEvent& out) {
+  std::pop_heap(globals_.begin(), globals_.end(),
+                [](const GlobalEvent& x, const GlobalEvent& y) {
+                  return x.t != y.t ? x.t > y.t : x.seq > y.seq;
+                });
+  out = std::move(globals_.back());
+  globals_.pop_back();
 }
 
 void ShardedEngine::set_event_budget(std::uint64_t total) {
@@ -78,58 +139,133 @@ void ShardedEngine::set_event_budget(std::uint64_t total) {
   for (auto& e : engines_) e->set_event_budget(total);
 }
 
-void ShardedEngine::run_shards_of(int executor, Tick end, bool inclusive) {
-  for (int s = executor; s < num_shards(); s += workers_total_)
-    engines_[static_cast<std::size_t>(s)]->run_window(end, inclusive);
+void ShardedEngine::post_mail_accum(int src, int dst, const MailRecord& rec) {
+  const std::size_t box_ix = static_cast<std::size_t>(src) * engines_.size() +
+                             static_cast<std::size_t>(dst);
+  auto& box = mail_[box_ix];
+  auto& index = accum_[box_ix];
+  for (const auto& [key, pos] : index) {
+    if (key != rec.key) continue;
+    MailRecord& m = box[pos];
+    if (m.kind != rec.kind) continue;
+    // Fold: sum the accumulating payload, keep everything else from the
+    // newer record so the merged record sorts at the canonical position of
+    // the final increment (the one whose threshold crossing matters).
+    const std::int64_t sum = m.a + rec.a;
+    m = rec;
+    m.a = sum;
+    mail_posted_.fetch_add(1, std::memory_order_relaxed);
+    mail_compacted_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Cap the linear index; past it, extra keys fall back to plain posts
+  // (correct, just uncompacted).
+  constexpr std::size_t kAccumIndexCap = 64;
+  if (index.size() < kAccumIndexCap)
+    index.emplace_back(rec.key, static_cast<std::uint32_t>(box.size()));
+  post_mail(src, dst, rec);
+}
+
+void ShardedEngine::exec_window(int executor) {
+  const Tick end = win_end_;
+  const bool incl = win_incl_;
+  auto& st = exec_[static_cast<std::size_t>(executor)];
+  const std::int64_t t0 = steady_ns();
+  for (int s = shard_lo_[static_cast<std::size_t>(executor)];
+       s < shard_lo_[static_cast<std::size_t>(executor) + 1]; ++s)
+    engines_[static_cast<std::size_t>(s)]->run_window(end, incl);
+  st.busy_ns += steady_ns() - t0;
+  ++st.windows;
+}
+
+bool ShardedEngine::decide() {
+  ++stats_.windows;
+  const Tick bar = win_end_;
+  // Reasons the run must return to the coordinator, checked from model
+  // state only (every executor is quiesced at this barrier, and the
+  // acq_rel arrival chain made all their writes visible here).
+  if (win_incl_) return true;  // final bounded window: limit reached
+  if (mail_count_.load(std::memory_order_relaxed) != 0) return true;
+  if (!globals_.empty() && globals_.front().t <= bar) return true;
+  if (host().stopped()) return true;
+  if (budget_exhausted()) return true;
+
+  Tick nt = Engine::kNoEvent;
+  for (const auto& e : engines_) nt = std::min(nt, e->next_event_time());
+  if (nt == Engine::kNoEvent) return true;  // idle: nothing anywhere
+  if (bounded_ && nt > limit_) return true;
+
+  // No mail, no due globals, no stop: the merge here would be a no-op, so
+  // fuse straight into the next grid window. Same formula as the
+  // coordinator's, from the same quiesced state — the window sequence is
+  // exactly what the unfused loop would have produced.
+  Tick end = (nt / lookahead_ + 1) * lookahead_;
+  bool inclusive = false;
+  if (bounded_ && end >= limit_) {
+    end = limit_;
+    inclusive = true;
+  }
+  win_end_ = end;
+  win_incl_ = inclusive;
+  return false;
+}
+
+void ShardedEngine::executor_run(int executor) {
+  auto& st = exec_[static_cast<std::size_t>(executor)];
+  for (;;) {
+    exec_window(executor);
+    // Centralized barrier; the last arriver decides whether the run fuses
+    // into another window or ends. Capturing the generation BEFORE
+    // arriving is what makes the await race-free: the bump for this
+    // barrier cannot happen until after our own arrival.
+    const std::uint32_t gen = barrier_.gen.load(std::memory_order_relaxed);
+    if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        static_cast<std::uint32_t>(workers_total_)) {
+      run_done_ = decide();
+      arrived_.store(0, std::memory_order_relaxed);
+      barrier_.bump_and_release();
+    } else {
+      const std::int64_t t0 = steady_ns();
+      barrier_.await(gen, spin_);
+      st.wait_ns += steady_ns() - t0;
+    }
+    if (run_done_) return;
+  }
 }
 
 void ShardedEngine::worker_loop(int executor) {
-  std::uint64_t seen = 0;
+  std::uint32_t seen = 0;
   for (;;) {
-    Tick end;
-    bool incl;
-    {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_go_.wait(lk, [&] { return shutdown_ || window_gen_ != seen; });
-      if (shutdown_) return;
-      seen = window_gen_;
-      end = win_end_;
-      incl = win_incl_;
-    }
-    run_shards_of(executor, end, incl);
-    {
-      std::lock_guard<std::mutex> lk(mu_);
-      if (--running_ == 0) cv_done_.notify_one();
-    }
+    run_.await(seen, spin_);
+    ++seen;
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    executor_run(executor);
+    checked_in_.fetch_sub(1, std::memory_order_release);
   }
 }
 
-void ShardedEngine::run_window_parallel(Tick end, bool inclusive) {
-  if (threads_.empty()) {
-    run_shards_of(0, end, inclusive);
+void ShardedEngine::run_fused(Tick end, bool inclusive) {
+  win_end_ = end;
+  win_incl_ = inclusive;
+  run_done_ = false;
+  if (workers_total_ == 1) {
+    executor_run(0);
     return;
   }
-  {
-    std::lock_guard<std::mutex> lk(mu_);
-    win_end_ = end;
-    win_incl_ = inclusive;
-    running_ = static_cast<int>(threads_.size());
-    ++window_gen_;
+  checked_in_.store(static_cast<std::uint32_t>(workers_total_ - 1),
+                    std::memory_order_relaxed);
+  run_.bump_and_release();
+  executor_run(0);
+  // The final barrier released everyone, but a straggler may still be
+  // between that release and its check-in; drain before the coordinator
+  // touches plan fields or reads executor stats. Spin briefly, then yield —
+  // on an oversubscribed host the straggler needs this core to get there.
+  for (int i = 0; checked_in_.load(std::memory_order_acquire) != 0; ++i) {
+    if (i < spin_)
+      cpu_relax();
+    else
+      std::this_thread::yield();
   }
-  cv_go_.notify_all();
-  run_shards_of(0, end, inclusive);
-  const std::int64_t t0 = steady_ns();
-  {
-    std::unique_lock<std::mutex> lk(mu_);
-    cv_done_.wait(lk, [&] { return running_ == 0; });
-  }
-  stats_.barrier_wait_ns += steady_ns() - t0;
-}
-
-bool ShardedEngine::mail_pending() const {
-  for (const auto& box : mail_)
-    if (!box.empty()) return true;
-  return false;
 }
 
 void ShardedEngine::merge_and_apply(Tick barrier) {
@@ -146,13 +282,17 @@ void ShardedEngine::merge_and_apply(Tick barrier) {
     auto& stage = staged_[static_cast<std::size_t>(dst)];
     stage.clear();
     for (int src = 0; src < S; ++src) {
-      auto& box = mail_[static_cast<std::size_t>(src) *
-                            static_cast<std::size_t>(S) +
-                        static_cast<std::size_t>(dst)];
+      const std::size_t box_ix = static_cast<std::size_t>(src) *
+                                     static_cast<std::size_t>(S) +
+                                 static_cast<std::size_t>(dst);
+      auto& box = mail_[box_ix];
       stage.insert(stage.end(), box.begin(), box.end());
       box.clear();
+      accum_[box_ix].clear();
     }
   }
+  // All pending mail is now staged; handler-posted mail re-increments.
+  mail_count_.store(0, std::memory_order_relaxed);
   // Phase 2: canonical order, then deliver. stable_sort, so records equal
   // under (due, kind, key, seq) keep concatenation order; by the owner's
   // contract such ties are either single-source (their relative order is
@@ -168,15 +308,20 @@ void ShardedEngine::merge_and_apply(Tick barrier) {
   // Then globals due at or before this barrier, in (t, seq) order. A global
   // may register further globals; those run this barrier too if already due.
   while (!globals_.empty() && globals_.front().t <= barrier) {
-    auto fn = std::move(globals_.front().fn);
-    globals_.erase(globals_.begin());
-    fn();
+    GlobalEvent ev;
+    pop_global_min(ev);
+    ev.fn();
   }
 }
 
 void ShardedEngine::drive(Tick limit, bool bounded) {
+  limit_ = limit;
+  bounded_ = bounded;
+  const std::int64_t wall0 = steady_ns();
+  const std::int64_t busy0 = exec_[0].busy_ns;
+  const std::int64_t wait0 = exec_[0].wait_ns;
   for (;;) {
-    if (budget_exhausted() || host().stopped()) return;
+    if (budget_exhausted() || host().stopped()) break;
 
     Tick nt = Engine::kNoEvent;
     for (const auto& e : engines_) nt = std::min(nt, e->next_event_time());
@@ -190,7 +335,7 @@ void ShardedEngine::drive(Tick limit, bool bounded) {
       if (bounded)
         for (auto& e : engines_)
           e->run_window(limit, false);  // no events; just advance clocks
-      return;
+      break;
     }
 
     // Next barrier on the lookahead grid strictly after nt; events exactly
@@ -203,10 +348,21 @@ void ShardedEngine::drive(Tick limit, bool bounded) {
       inclusive = true;
     }
 
-    run_window_parallel(end, inclusive);
-    merge_and_apply(end);
-    ++stats_.windows;
+    // Fused run: executes one or more consecutive grid windows and returns
+    // with every shard quiesced at win_end_, the barrier that needs a merge.
+    run_fused(end, inclusive);
+    merge_and_apply(win_end_);
+    ++stats_.merges;
   }
+  stats_.barrier_wait_ns = exec_[0].wait_ns;
+  stats_.mail_posted = mail_posted_.load(std::memory_order_relaxed);
+  stats_.mail_compacted = mail_compacted_.load(std::memory_order_relaxed);
+  // Coordination time = everything on this thread that was neither shard
+  // execution nor barrier waiting: merges, globals, window planning. This
+  // is the serial fraction of a sharded run, and it is just as real on the
+  // single-worker path (where barrier_wait_ns is legitimately ~0).
+  stats_.coord_ns += (steady_ns() - wall0) - (exec_[0].busy_ns - busy0) -
+                     (exec_[0].wait_ns - wait0);
 }
 
 void ShardedEngine::run() { drive(0, /*bounded=*/false); }

@@ -17,30 +17,45 @@
 //    the lookahead partition-independent),
 //  * each shard's window execution is a serial (time, seq) run over state
 //    only that shard touches,
-//  * mail is merged at every barrier under a total order computed from
-//    model quantities (due time, record kind, a model-assigned key),
+//  * mail is merged at every barrier that carries mail, under a total
+//    order computed from model quantities (due time, record kind, a
+//    model-assigned key),
 //  * stop requests and event budgets are only evaluated at barriers.
 // The owner (net::Network) must uphold its side: all cross-shard state
 // transfer goes through mail, and records that could collide at equal due
 // carry distinguishing keys.
 //
+// Adaptive coordination (the multi-worker fast path): the lookahead grid —
+// and with it every event's execution window — is fixed, but the expensive
+// part of a window barrier (waking the coordinator, merging mail, running
+// globals) is only needed when there is something to coordinate. Executors
+// therefore run *fused window runs*: after finishing a window they meet at
+// a spin-then-park barrier, and the last arriver decides, from model state
+// alone (the O(1) pending-mail count, the global-event heap, the host stop
+// flag, the event budget), whether everyone proceeds directly into the
+// next grid window or the run ends and the coordinator merges. The
+// effective synchronization window thus widens automatically while no
+// cross-shard mail is in flight and snaps back to a single lookahead the
+// moment mail appears — without ever moving an event to a different
+// window, which is what keeps both determinism families intact.
+//
 // Threading: shards are distributed over min(S, workers) executor threads
-// (the calling thread is executor 0). The worker count affects wall-clock
-// only — results depend on the shard count, never on the worker count.
-// schedule_global() and post_mail() during the apply phase must only be
-// used from the coordinating thread; post_mail(src, ...) during a window
-// only from the thread executing shard `src`. Shard 0 (the "host" shard,
-// which owns the MPI/application layer) always runs on executor 0.
+// in contiguous blocks (the calling thread is executor 0 and always owns
+// shard 0, the "host" shard with the MPI/application layer). The worker
+// count affects wall-clock only — results depend on the shard count, never
+// on the worker count. schedule_global() and post_mail() during the apply
+// phase must only be used from the coordinating thread; post_mail(src, ...)
+// during a window only from the thread executing shard `src`.
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hpp"
@@ -65,7 +80,8 @@ struct MailRecord {
 class ShardedEngine {
  public:
   /// `workers` = executor thread cap (0 = DFSIM_SHARD_WORKERS env, else
-  /// min(shards, hardware threads)). Never affects results.
+  /// min(shards, hardware threads); explicit values are clamped to the
+  /// shard count only). Never affects results.
   ShardedEngine(int shards, Tick lookahead, int workers = 0);
   ~ShardedEngine();
   ShardedEngine(const ShardedEngine&) = delete;
@@ -81,10 +97,21 @@ class ShardedEngine {
   /// Post a cross-shard effect; delivered to the mail handler at the next
   /// window barrier. Single-writer per `src` (see file comment).
   void post_mail(int src, int dst, const MailRecord& rec) {
-    mail_[static_cast<std::size_t>(src) * engines_.size() +
-          static_cast<std::size_t>(dst)]
-        .push_back(rec);
+    outbox(src, dst).push_back(rec);
+    mail_posted_.fetch_add(1, std::memory_order_relaxed);
+    mail_count_.fetch_add(1, std::memory_order_relaxed);
   }
+
+  /// Post a record whose payload `a` accumulates: if a record with the same
+  /// (kind, key) is already pending in the (src, dst) outbox, the new
+  /// increment is folded into it (a summed; due/seq/b/c/d taken from the
+  /// newer record, i.e. the merged record sorts at the canonical position
+  /// of the *final* increment). Only valid for kinds whose application is
+  /// a pure accumulation with at most one threshold-crossing side effect
+  /// that fires on the final increment (see net::Network's
+  /// kMailMsgProgress); for such kinds the handler observes a single summed
+  /// record — same end state, same callback position, fewer records.
+  void post_mail_accum(int src, int dst, const MailRecord& rec);
 
   /// Barrier mail delivery: called once per destination shard with that
   /// shard's records sorted canonically. Runs on the coordinating thread
@@ -115,19 +142,48 @@ class ShardedEngine {
   void run_until(Tick t);
 
   struct Stats {
-    std::uint64_t windows = 0;          ///< barriers executed
-    std::uint64_t mail_records = 0;     ///< records merged over the run
-    std::int64_t barrier_wait_ns = 0;   ///< coordinator time parked waiting
+    std::uint64_t windows = 0;        ///< lookahead-grid windows executed
+    std::uint64_t merges = 0;         ///< barriers that actually merged mail
+    std::uint64_t mail_records = 0;   ///< records delivered (post-compaction)
+    std::uint64_t mail_posted = 0;    ///< records posted (pre-compaction)
+    std::uint64_t mail_compacted = 0; ///< increments folded by post_mail_accum
+    std::int64_t barrier_wait_ns = 0; ///< executor-0 time parked at barriers
+    /// Window-coordination time on the coordinating thread — merges,
+    /// barrier decisions, window bookkeeping — accumulated on the threaded
+    /// AND the single-worker path (it is the serial fraction of a sharded
+    /// run either way).
+    std::int64_t coord_ns = 0;
   };
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Per-executor wall-clock accounting (sized num_workers()). busy_ns is
+  /// time spent executing shard events; wait_ns is time parked at window
+  /// barriers waiting for slower executors — the load-imbalance signal.
+  struct alignas(64) ExecutorStat {
+    std::int64_t busy_ns = 0;
+    std::int64_t wait_ns = 0;
+    std::uint64_t windows = 0;
+  };
+  [[nodiscard]] const std::vector<ExecutorStat>& executor_stats() const {
+    return exec_;
+  }
+
+  /// True while undelivered mail sits in any outbox. O(1): a counter
+  /// maintained by post_mail / the barrier merge, not an outbox scan.
+  [[nodiscard]] bool mail_pending() const {
+    return mail_count_.load(std::memory_order_relaxed) != 0;
+  }
+
  private:
-  void drive(Tick limit, bool bounded);
-  void run_window_parallel(Tick end, bool inclusive);
-  void run_shards_of(int executor, Tick end, bool inclusive);
-  void merge_and_apply(Tick barrier);
-  void worker_loop(int executor);
-  [[nodiscard]] bool mail_pending() const;
+  /// Spin-then-park gate: waiters spin briefly on `gen` (`spin`
+  /// iterations), then park in atomic wait; bumping wakes them only when
+  /// someone is actually parked.
+  struct Gate {
+    std::atomic<std::uint32_t> gen{0};
+    std::atomic<std::uint32_t> parked{0};
+    void bump_and_release();
+    void await(std::uint32_t old, int spin);
+  };
 
   struct GlobalEvent {
     Tick t = 0;
@@ -135,27 +191,59 @@ class ShardedEngine {
     std::function<void()> fn;
   };
 
+  std::vector<MailRecord>& outbox(int src, int dst) {
+    return mail_[static_cast<std::size_t>(src) * engines_.size() +
+                 static_cast<std::size_t>(dst)];
+  }
+
+  void drive(Tick limit, bool bounded);
+  void run_fused(Tick end, bool inclusive);
+  void executor_run(int executor);
+  void exec_window(int executor);
+  bool decide();
+  void merge_and_apply(Tick barrier);
+  void worker_loop(int executor);
+  void pop_global_min(GlobalEvent& out);
+
   std::vector<std::unique_ptr<Engine>> engines_;
   Tick lookahead_ = 1;
   std::vector<std::vector<MailRecord>> mail_;  ///< [src * S + dst] outboxes
+  /// Per-outbox (key, record position) index for post_mail_accum; cleared
+  /// when the outbox drains at a merge.
+  std::vector<std::vector<std::pair<std::int64_t, std::uint32_t>>> accum_;
   std::vector<std::vector<MailRecord>> staged_;  ///< [dst] barrier staging
   MailHandler handler_;
-  std::vector<GlobalEvent> globals_;  ///< kept sorted by (t, seq)
+  std::vector<GlobalEvent> globals_;  ///< min-heap on (t, seq)
   std::uint64_t global_seq_ = 0;
   std::uint64_t total_budget_ = std::numeric_limits<std::uint64_t>::max();
   Stats stats_;
+  std::vector<ExecutorStat> exec_;
 
-  // Window barrier (mutex + condvar; windows are coarse enough that the
-  // wakeup cost is noise next to the events they contain).
+  // --- executor coordination (see the adaptive-coordination file comment).
+  // Plan fields (win_end_, win_incl_, run_done_, limit_, bounded_) are
+  // plain: they are written by the coordinator before a Gate release-bump
+  // or by the deciding executor before the barrier release-bump, and read
+  // only after the matching acquire.
   int workers_total_ = 1;  ///< executors incl. the coordinating thread
+  /// Barrier spin depth before parking. 0 when the executor count exceeds
+  /// the hardware thread count: an oversubscribed spinner only steals the
+  /// core its partner needs, so parking immediately is strictly better.
+  int spin_ = 2048;
+  std::vector<int> shard_lo_;  ///< executor e runs shards [lo[e], lo[e+1])
   std::vector<std::thread> threads_;
-  std::mutex mu_;
-  std::condition_variable cv_go_, cv_done_;
-  std::uint64_t window_gen_ = 0;
-  int running_ = 0;
+  Gate run_;                ///< launches a fused run on the workers
+  Gate barrier_;            ///< per-window rendezvous within a run
+  std::atomic<std::uint32_t> arrived_{0};
+  std::atomic<std::uint32_t> checked_in_{0};  ///< workers still in the run
+  std::atomic<bool> shutdown_{false};
+  std::atomic<std::uint64_t> mail_count_{0};  ///< records pending delivery
+  std::atomic<std::uint64_t> mail_posted_{0};
+  std::atomic<std::uint64_t> mail_compacted_{0};
   Tick win_end_ = 0;
   bool win_incl_ = false;
-  bool shutdown_ = false;
+  bool run_done_ = false;
+  Tick limit_ = 0;
+  bool bounded_ = false;
 };
 
 }  // namespace dfsim::sim

@@ -1,0 +1,53 @@
+// Units for the shared bench helpers (bench/common.hpp) — in particular the
+// per-shard event-range reporting, whose previous open-coded min computation
+// treated 0 as "unseeded" and so misreported the minimum whenever a shard
+// legitimately executed zero events.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "bench/common.hpp"
+
+namespace dfsim {
+namespace {
+
+TEST(EventRange, EmptyIsZeroZero) {
+  const bench::EventRange r = bench::event_range({});
+  EXPECT_EQ(r.min, 0u);
+  EXPECT_EQ(r.max, 0u);
+}
+
+TEST(EventRange, SingleElement) {
+  const bench::EventRange r = bench::event_range({42});
+  EXPECT_EQ(r.min, 42u);
+  EXPECT_EQ(r.max, 42u);
+}
+
+TEST(EventRange, ZeroMinimumSurvivesLaterNonzeroCounts) {
+  // The regression: a shard with 0 events followed by busy shards must
+  // report min == 0, not the smallest nonzero count.
+  const bench::EventRange r = bench::event_range({0, 190000, 5, 88000});
+  EXPECT_EQ(r.min, 0u);
+  EXPECT_EQ(r.max, 190000u);
+}
+
+TEST(EventRange, ZeroInTheMiddleAndEnd) {
+  EXPECT_EQ(bench::event_range({7, 0, 9}).min, 0u);
+  EXPECT_EQ(bench::event_range({7, 9, 0}).min, 0u);
+  EXPECT_EQ(bench::event_range({3, 2, 8}).min, 2u);
+  EXPECT_EQ(bench::event_range({3, 2, 8}).max, 8u);
+}
+
+TEST(BenchOptions, WorkersFlagFlowsIntoScenario) {
+  bench::Options o;
+  o.workers = 6;
+  o.shards = 8;
+  const core::ScenarioConfig cfg =
+      o.production("MILC", 32, routing::Mode::kAd0);
+  EXPECT_EQ(cfg.shards, 8);
+  EXPECT_EQ(cfg.shard_workers, 6);
+}
+
+}  // namespace
+}  // namespace dfsim

@@ -76,6 +76,7 @@ TEST(ScenarioCsv, RoundTripsEveryField) {
   cfg.seed = 0xdeadbeefULL;
   cfg.event_budget = 12345678;
   cfg.shards = 4;
+  cfg.shard_workers = 3;
   cfg.faults.fail_link(100, 3, 1)
       .degrade_link(200, 5, 0, 0.5)
       .fail_router(300, 7)
@@ -101,6 +102,7 @@ TEST(ScenarioCsv, RoundTripsEveryField) {
   EXPECT_EQ(back.seed, cfg.seed);
   EXPECT_EQ(back.event_budget, cfg.event_budget);
   EXPECT_EQ(back.shards, cfg.shards);
+  EXPECT_EQ(back.shard_workers, cfg.shard_workers);
   ASSERT_EQ(back.faults.size(), cfg.faults.size());
   const auto a = cfg.faults.canonical();
   const auto b = back.faults.canonical();
@@ -121,6 +123,7 @@ TEST(ScenarioCsv, ProductionDefaultsRoundTrip) {
   EXPECT_EQ(back.system.name, "theta");
   EXPECT_EQ(back.app, cfg.app);
   EXPECT_EQ(back.shards, cfg.shards);
+  EXPECT_EQ(back.shard_workers, cfg.shard_workers);
   EXPECT_TRUE(back.faults.empty());
 }
 

@@ -228,6 +228,67 @@ TEST(ShardedDeterminism, WorkerCountNeverAffectsResults) {
   expect_identical(two_workers, one_worker);
 }
 
+TEST(ShardedDeterminism, WorkerMatrixByteIdenticalUnderActiveFaults) {
+  // workers {1, 2, 4, 8} x shards {4, 8} with a live fault plan (a failed
+  // link, a degraded link, and a repair all inside the run window): fault
+  // application rides the global-event path, so this pins that the fused
+  // barrier protocol and the executor count never shift where faults land.
+  fault::FaultPlan plan;
+  plan.fail_link(40 * sim::kMicrosecond, 3, 1)
+      .degrade_link(60 * sim::kMicrosecond, 5, 0, 0.5)
+      .repair(120 * sim::kMicrosecond, 3, 1);
+  auto scenario = [&](int shards, int workers) {
+    core::ProductionConfig cfg = small_theta(77, routing::Mode::kAd3, shards);
+    cfg.shard_workers = workers;
+    cfg.faults = plan;
+    return cfg;
+  };
+  for (const int shards : {4, 8}) {
+    SCOPED_TRACE(shards);
+    const core::RunResult base = core::run_production(scenario(shards, 1));
+    ASSERT_TRUE(base.ok) << base.fail_reason;
+    EXPECT_GT(base.faults.faults_applied, 0);
+    for (const int workers : {2, 4, 8}) {
+      SCOPED_TRACE(workers);
+      const core::RunResult r = core::run_production(scenario(shards, workers));
+      // The request is honoured (clamped by shards alone, never the host).
+      EXPECT_EQ(r.shard_exec.workers, std::min(workers, shards));
+      EXPECT_EQ(r.shard_exec.workers_requested, workers);
+      expect_identical(base, r);
+    }
+  }
+}
+
+TEST(ShardedDeterminism, ExecStatsAreHonestOnEveryPath) {
+  // Single-worker run: barrier_wait is legitimately ~0 (the sole executor
+  // is always the barrier's decider), but coordination time — merges,
+  // window planning — must still be accounted, not hidden.
+  core::ProductionConfig cfg = small_theta(13, routing::Mode::kAd0, 4);
+  cfg.shard_workers = 1;
+  const core::RunResult one = core::run_production(cfg);
+  ASSERT_TRUE(one.ok) << one.fail_reason;
+  EXPECT_EQ(one.shard_exec.workers, 1);
+  EXPECT_GT(one.shard_exec.coord_ns, 0);
+  EXPECT_GT(one.shard_exec.merges, 0u);
+  EXPECT_GE(one.shard_exec.windows, one.shard_exec.merges);
+  ASSERT_EQ(one.shard_exec.executor_busy_ns.size(), 1u);
+  EXPECT_GT(one.shard_exec.executor_busy_ns[0], 0);
+  // Compaction is live on the production path: fewer records merged than
+  // posted, with the difference fully accounted.
+  EXPECT_GT(one.shard_exec.mail_posted, one.shard_exec.mail_records);
+  EXPECT_EQ(one.shard_exec.mail_posted - one.shard_exec.mail_compacted,
+            one.shard_exec.mail_records);
+
+  // Threaded run: per-executor stats sized to the effective worker count.
+  cfg.shard_workers = 3;
+  const core::RunResult three = core::run_production(cfg);
+  ASSERT_TRUE(three.ok) << three.fail_reason;
+  EXPECT_EQ(three.shard_exec.workers, 3);
+  ASSERT_EQ(three.shard_exec.executor_busy_ns.size(), 3u);
+  ASSERT_EQ(three.shard_exec.executor_wait_ns.size(), 3u);
+  expect_identical(one, three);
+}
+
 TEST(ShardedDeterminism, ControlledEnsembleWithLdmsIsShardCountInvariant) {
   core::EnsembleConfig cfg;
   cfg.system = topo::Config::theta_scaled();
@@ -257,6 +318,100 @@ TEST(ShardedDeterminism, ControlledEnsembleWithLdmsIsShardCountInvariant) {
     EXPECT_TRUE(same_bytes(a.ldms[i].cumulative, b.ldms[i].cumulative));
   }
   EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+// --- Adaptive coordination (fused windows) ----------------------------------
+
+TEST(ShardedEngine, MailFreeBarriersFuseWithoutMerging) {
+  sim::ShardedEngine se(2, /*lookahead=*/100);
+  int fired = 0;
+  // Four consecutive windows' worth of events, no mail anywhere: the
+  // executors fuse straight through and the coordinator merges exactly once
+  // (at the final, idle barrier).
+  for (const sim::Tick t : {10, 110, 210, 310})
+    se.shard(t % 200 == 10 ? 0 : 1).schedule_at(t, [&] { ++fired; });
+  se.run();
+  EXPECT_EQ(fired, 4);
+  EXPECT_EQ(se.stats().windows, 4u);
+  EXPECT_EQ(se.stats().merges, 1u);
+}
+
+TEST(ShardedEngine, MailSnapsTheFusedRunBackToTheCoordinator) {
+  sim::ShardedEngine se(2, /*lookahead=*/100);
+  std::vector<sim::Tick> delivered;
+  se.set_mail_handler([&](int, std::span<sim::MailRecord> recs) {
+    for (const auto& r : recs) delivered.push_back(r.due);
+  });
+  // Window [0,100) posts mail — the run must end at that barrier so the
+  // mail is delivered there, not fused past.
+  se.shard(0).schedule_at(10, [&] {
+    sim::MailRecord rec;
+    rec.due = 110;
+    rec.key = 1;
+    se.post_mail(0, 1, rec);
+  });
+  se.shard(1).schedule_at(310, [] {});
+  se.run();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], 110);
+  // At least two merges: the mail-bearing barrier plus the final idle one —
+  // and never more merges than windows.
+  EXPECT_GE(se.stats().merges, 2u);
+  EXPECT_LE(se.stats().merges, se.stats().windows);
+}
+
+TEST(ShardedEngine, PostMailAccumFoldsSameKeyRecords) {
+  sim::ShardedEngine se(2, /*lookahead=*/100);
+  std::vector<sim::MailRecord> got;
+  se.set_mail_handler([&](int, std::span<sim::MailRecord> recs) {
+    got.insert(got.end(), recs.begin(), recs.end());
+  });
+  se.shard(0).schedule_at(10, [&] {
+    sim::MailRecord rec;
+    rec.kind = 3;
+    rec.key = 42;
+    rec.due = 10;
+    rec.a = 100;
+    se.post_mail_accum(0, 1, rec);
+    rec.due = 20;
+    rec.a = 50;
+    se.post_mail_accum(0, 1, rec);  // folds into the first
+    rec.key = 43;
+    rec.a = 7;
+    se.post_mail_accum(0, 1, rec);  // distinct key: own record
+    rec.key = 42;
+    rec.due = 30;
+    rec.a = 25;
+    se.post_mail_accum(0, 1, rec);  // folds again
+  });
+  se.run();
+  ASSERT_EQ(got.size(), 2u);
+  // Delivery is due-ordered: the unfolded key-43 record (due 20) sorts
+  // before the folded key-42 record, which carries the summed payload and
+  // the due/seq of its final increment (due 30).
+  EXPECT_EQ(got[0].key, 43);
+  EXPECT_EQ(got[0].a, 7);
+  EXPECT_EQ(got[0].due, 20);
+  EXPECT_EQ(got[1].key, 42);
+  EXPECT_EQ(got[1].a, 100 + 50 + 25);
+  EXPECT_EQ(got[1].due, 30);
+  EXPECT_EQ(se.stats().mail_posted, 4u);
+  EXPECT_EQ(se.stats().mail_compacted, 2u);
+  EXPECT_EQ(se.stats().mail_records, 2u);
+}
+
+TEST(ShardedEngine, GlobalsRunInTimeThenRegistrationOrder) {
+  sim::ShardedEngine se(2, /*lookahead=*/100);
+  std::vector<int> order;
+  // Registered out of time order, including a same-time pair whose
+  // registration order must break the tie — the heap replacement for the
+  // sorted vector must preserve the exact (t, seq) pop order.
+  se.schedule_global(250, [&] { order.push_back(4); });
+  se.schedule_global(50, [&] { order.push_back(1); });
+  se.schedule_global(150, [&] { order.push_back(2); });
+  se.schedule_global(150, [&] { order.push_back(3); });
+  se.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
 }
 
 TEST(ShardedDeterminism, SerialModeIsDefaultAndDistinct) {
