@@ -343,6 +343,7 @@ int main(int argc, char** argv) {
   int shards = 0;  // headline sim run substrate (0 = serial engine)
   int workers = 0;  // executor threads for the headline sharded run
   double min_speedup = 0.0;  // sharded-speedup gate (0 = report only)
+  bool strict_gate = false;  // skip-is-failure mode for the speedup gate
   std::uint64_t micro_events = 0;  // 0 = pick from --quick below
   std::uint64_t seed = 2021;
   int repeats = 5;
@@ -365,6 +366,10 @@ int main(int argc, char** argv) {
             "FAIL unless the widest sweep row reaches this speedup vs serial "
             "(gate self-skips, with a note, when the host has fewer hardware "
             "threads than that row has workers)")
+      .flag("strict-gate", &strict_gate,
+            "with --min-speedup: a skipped gate is a FAILURE, not a pass — "
+            "use in CI so an undersized runner cannot silently waive the "
+            "speedup check")
       .flag("micro-events", &micro_events, "micro-benchmark event count")
       .flag("seed", &seed, "trial seed")
       .flag("repeats", &repeats, "identical sim trials; fastest is reported")
@@ -451,6 +456,12 @@ int main(int argc, char** argv) {
   // workers are recorded per row, so an oversubscribed 1-core runner's flat
   // curve reads as what it is.
   const unsigned hw_threads = std::thread::hardware_concurrency();
+  // Speedup-gate outcome, recorded explicitly in the JSON: the gate "skips"
+  // (rather than passing) when it was requested but could not be judged —
+  // no sweep, or too few hardware threads for the widest row. --strict-gate
+  // turns a skip into a failure, deferred until after the JSON is written
+  // so the artifact still records gate_skipped for the run that failed.
+  bool gate_skipped = min_speedup > 0.0 && !shard_scaling;
   struct ScaleRow {
     int shards = 0;
     int workers_req = 0;  ///< 0 only for the serial row
@@ -538,6 +549,7 @@ int main(int argc, char** argv) {
                             ? scaling.front().r.wall_ms / widest.r.wall_ms
                             : 0.0;
       if (hw_threads < static_cast<unsigned>(widest.workers_req)) {
+        gate_skipped = true;
         std::printf(
             "  speedup gate SKIPPED: host has %u hardware threads, the %d "
             "shards x %d workers row needs %d to be meaningful (measured "
@@ -628,6 +640,8 @@ int main(int argc, char** argv) {
   }
   std::fprintf(f, "\n  ],\n");
   std::fprintf(f, "  \"hw_threads\": %u,\n", hw_threads);
+  std::fprintf(f, "  \"min_speedup\": %.3f,\n", min_speedup);
+  std::fprintf(f, "  \"gate_skipped\": %s,\n", gate_skipped ? "true" : "false");
   std::fprintf(f, "  \"shard_scaling\": [\n");
   for (std::size_t i = 0; i < scaling.size(); ++i) {
     const auto& row = scaling[i];
@@ -701,5 +715,13 @@ int main(int argc, char** argv) {
                sim_speedup_pr2);
   std::fclose(f);
   std::printf("  wrote %s\n", out_path.c_str());
+  if (gate_skipped && strict_gate) {
+    std::fprintf(stderr,
+                 "perf_hotpath: --strict-gate: the speedup gate was skipped "
+                 "(%u hardware threads cannot exercise the widest sweep row) "
+                 "— failing instead of silently passing\n",
+                 hw_threads);
+    return 1;
+  }
   return 0;
 }

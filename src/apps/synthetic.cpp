@@ -86,6 +86,13 @@ mpi::CoTask bisection_traffic(mpi::RankCtx& ctx, SyntheticParams p) {
   const int me = ctx.rank();
   const int half = n / 2;
   if (half == 0) co_return;
+  // With odd n the last rank has no symmetric partner (its me - n/2 peer
+  // is already paired with me - 2*(n/2)), so its lone receive never matches
+  // and the rank blocks. A finite job must terminate, so the odd rank sits
+  // out. Open-ended (stop-driven) jobs keep the legacy one-shot exchange —
+  // they never complete by design, background never awaits them, and the
+  // production-condition calibration pins depend on that exact traffic.
+  if (p.iterations > 0 && me >= 2 * half) co_return;
   const int partner = me < half ? me + half : me - half;
   if (partner == me || partner >= n) co_return;
   for (int it = 0; keep_going(ctx, p, it); ++it) {

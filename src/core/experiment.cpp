@@ -21,6 +21,13 @@ ScenarioConfig ScenarioConfig::controlled() {
   return c;
 }
 
+ScenarioConfig ScenarioConfig::system_mode() {
+  ScenarioConfig c;
+  c.kind = ScenarioKind::kSystem;
+  c.bg_utilization = 0.0;  // the stream itself is the load
+  return c;
+}
+
 ScenarioConfig ScenarioConfig::resolve() const {
   ScenarioConfig c = *this;
   if (c.shards < 0) {
@@ -75,6 +82,12 @@ RunResult run_production(const ScenarioConfig& raw) {
   sched::BackgroundSet bg;
   if (cfg.bg_utilization > 0.0)
     bg = sched.add_background(cfg.bg_utilization, cfg.bg_mode);
+  res.background.jobs = static_cast<int>(bg.jobs.size());
+  res.background.total_nodes = bg.total_nodes;
+  res.background.target_utilization = bg.target_utilization;
+  res.background.achieved_utilization = bg.achieved_utilization;
+  res.background.allocation_attempts = bg.allocation_attempts;
+  res.background.allocation_failures = bg.allocation_failures;
 
   // Let the background ramp up, then start the app under test.
   machine.run_for(cfg.warmup);
@@ -227,6 +240,41 @@ EnsembleResult run_controlled(const ScenarioConfig& raw) {
   return res;
 }
 
+SystemRunResult run_system(const ScenarioConfig& raw) {
+  const ScenarioConfig cfg = raw.resolve();
+  SystemRunResult res;
+  sched::Scheduler sched(cfg.system, cfg.seed, cfg.shards, cfg.shard_workers);
+  auto& machine = sched.machine();
+  machine.set_event_budget(cfg.event_budget);
+  machine.network().set_event_coalescing(cfg.coalesce_events);
+  machine.network().apply_fault_plan(cfg.faults);  // empty plan: no-op
+
+  sched::SystemConfig sc;
+  sc.num_jobs = cfg.sys_jobs;
+  sc.mean_interarrival = cfg.sys_interarrival;
+  sc.backfill = cfg.sys_backfill;
+  sc.ad3_fraction = cfg.sys_ad3_fraction;
+  sched::SystemScheduler system(sched, sc, cfg.seed);
+
+  const bool completed = system.run();
+  res.events_executed = machine.events_executed();
+  res.budget_exhausted = machine.budget_exhausted();
+  res.faults = machine.network().fault_stats();
+  res.stats = system.stats();
+  res.jobs = system.records();
+  if (!completed) {
+    res.fail_reason =
+        res.budget_exhausted
+            ? "event budget exhausted (" + std::to_string(cfg.event_budget) +
+                  " events)"
+            : "stream stalled: " + std::to_string(res.stats.completed) + "/" +
+                  std::to_string(res.stats.total) + " jobs completed";
+    return res;
+  }
+  res.ok = true;
+  return res;
+}
+
 EnsembleBatchResult run_controlled_ensemble(const ScenarioConfig& cfg,
                                             int samples,
                                             const BatchOptions& opts) {
@@ -320,8 +368,30 @@ std::vector<std::string> scenario_csv_columns() {
           "njobs",      "mode",         "placement", "target_groups",
           "bg_util",    "bg_mode",      "warmup_ns", "ldms_period_ns",
           "seed",       "event_budget", "shards",    "shard_workers",
-          "faults"};
+          "faults",     "sys_jobs",     "sys_interarrival_ns",
+          "sys_backfill", "sys_ad3_fraction"};
 }
+
+namespace {
+
+const char* kind_name(ScenarioKind k) {
+  switch (k) {
+    case ScenarioKind::kControlled: return "controlled";
+    case ScenarioKind::kSystem: return "system";
+    case ScenarioKind::kProduction: break;
+  }
+  return "production";
+}
+
+ScenarioConfig config_for_kind(const std::string& kind) {
+  if (kind == "controlled") return ScenarioConfig::controlled();
+  if (kind == "system") return ScenarioConfig::system_mode();
+  if (kind == "production") return ScenarioConfig::production();
+  throw std::invalid_argument("scenario_from_csv: unknown kind \"" + kind +
+                              "\"");
+}
+
+}  // namespace
 
 std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg) {
   char buf[64];
@@ -329,7 +399,7 @@ std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg) {
     std::snprintf(buf, sizeof buf, "%.17g", v);
     return std::string(buf);
   };
-  return {cfg.kind == ScenarioKind::kControlled ? "controlled" : "production",
+  return {kind_name(cfg.kind),
           cfg.system.name,
           cfg.app,
           std::to_string(cfg.nnodes),
@@ -345,7 +415,11 @@ std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg) {
           std::to_string(cfg.event_budget),
           std::to_string(cfg.shards),
           std::to_string(cfg.shard_workers),
-          fault_plan_encode(cfg.faults)};
+          fault_plan_encode(cfg.faults),
+          std::to_string(cfg.sys_jobs),
+          std::to_string(cfg.sys_interarrival),
+          cfg.sys_backfill ? "1" : "0",
+          num(cfg.sys_ad3_fraction)};
 }
 
 ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells) {
@@ -353,8 +427,7 @@ ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells) {
     throw std::invalid_argument("scenario_from_csv: expected " +
                                 std::to_string(scenario_csv_columns().size()) +
                                 " cells, got " + std::to_string(cells.size()));
-  ScenarioConfig cfg = cells[0] == "controlled" ? ScenarioConfig::controlled()
-                                                : ScenarioConfig::production();
+  ScenarioConfig cfg = config_for_kind(cells[0]);
   cfg.system = system_by_name(cells[1]);
   cfg.app = cells[2];
   cfg.nnodes = static_cast<int>(cell_i64(cells[3], "nnodes"));
@@ -386,6 +459,10 @@ ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells) {
   cfg.shards = static_cast<int>(cell_i64(cells[14], "shards"));
   cfg.shard_workers = static_cast<int>(cell_i64(cells[15], "shard_workers"));
   cfg.faults = fault_plan_decode(cells[16]);
+  cfg.sys_jobs = static_cast<int>(cell_i64(cells[17], "sys_jobs"));
+  cfg.sys_interarrival = cell_i64(cells[18], "sys_interarrival_ns");
+  cfg.sys_backfill = cell_i64(cells[19], "sys_backfill") != 0;
+  cfg.sys_ad3_fraction = std::atof(cells[20].c_str());
   return cfg;
 }
 

@@ -30,6 +30,7 @@
 #include "net/network.hpp"
 #include "routing/bias.hpp"
 #include "sched/placement.hpp"
+#include "sched/system.hpp"
 #include "topo/config.hpp"
 
 namespace dfsim::core {
@@ -41,6 +42,7 @@ inline constexpr std::uint64_t kEventBudget = 600'000'000ULL;
 enum class ScenarioKind {
   kProduction,  ///< app under test + synthetic background (bg 0 => isolated)
   kControlled,  ///< full-system reservation: njobs identical jobs + LDMS
+  kSystem,      ///< long-horizon job stream through the queueing scheduler
 };
 
 /// One unified run description for every measurement condition. Construct
@@ -93,10 +95,18 @@ struct ScenarioConfig {
   /// perf harness counts allocations from here).
   std::function<void(const sim::Engine&)> on_measurement_start;
 
+  // --- System-mode (kSystem) knobs, ignored by the other conditions ---
+  int sys_jobs = 50;  ///< length of the arrival stream
+  sim::Tick sys_interarrival = 40 * sim::kMicrosecond;  ///< mean (exponential)
+  bool sys_backfill = true;       ///< liberal backfill vs strict FCFS
+  double sys_ad3_fraction = 0.25; ///< share of jobs opting into AD3
+
   /// Production-condition defaults (random placement, 75% background).
   [[nodiscard]] static ScenarioConfig production();
   /// Controlled-reservation defaults (compact placement, no background).
   [[nodiscard]] static ScenarioConfig controlled();
+  /// System-mode defaults (50-job stream, backfill on).
+  [[nodiscard]] static ScenarioConfig system_mode();
 
   /// Returns a copy with every deferred field made concrete — currently
   /// `shards == -1`, resolved through DFSIM_TEST_SHARDS (absent or invalid:
@@ -116,6 +126,9 @@ class Scenario {
   }
   [[nodiscard]] static Scenario controlled() {
     return Scenario(ScenarioConfig::controlled());
+  }
+  [[nodiscard]] static Scenario system_mode() {
+    return Scenario(ScenarioConfig::system_mode());
   }
 
   Scenario& system(topo::Config s) { cfg_.system = std::move(s); return *this; }
@@ -146,6 +159,10 @@ class Scenario {
     return *this;
   }
   Scenario& coalesce_events(bool on) { cfg_.coalesce_events = on; return *this; }
+  Scenario& sys_jobs(int n) { cfg_.sys_jobs = n; return *this; }
+  Scenario& sys_interarrival(sim::Tick t) { cfg_.sys_interarrival = t; return *this; }
+  Scenario& sys_backfill(bool on) { cfg_.sys_backfill = on; return *this; }
+  Scenario& sys_ad3_fraction(double f) { cfg_.sys_ad3_fraction = f; return *this; }
 
   [[nodiscard]] const ScenarioConfig& config() const { return cfg_; }
   operator const ScenarioConfig&() const { return cfg_; }  // NOLINT(google-explicit-constructor)
@@ -187,11 +204,28 @@ struct ShardExecStats {
   std::vector<std::int64_t> executor_wait_ns;  ///< per executor, barrier wait
 };
 
+/// What the background fill actually achieved (production runs). The fill
+/// can undershoot its target on a fragmented or nearly full machine; these
+/// numbers let reports state the achieved load instead of the requested one.
+struct BackgroundFill {
+  int jobs = 0;
+  int total_nodes = 0;
+  double target_utilization = 0.0;
+  double achieved_utilization = 0.0;
+  int allocation_attempts = 0;
+  int allocation_failures = 0;
+
+  [[nodiscard]] bool undershot() const {
+    return achieved_utilization < target_utilization - 1e-9;
+  }
+};
+
 struct RunResult {
   bool ok = false;
   std::string fail_reason;  ///< why the run failed (empty when ok)
   double runtime_ms = 0.0;
   int groups_spanned = 0;
+  BackgroundFill background;  ///< achieved background load (production)
   monitor::AutoPerfReport autoperf;
   net::CounterSnapshot global;  ///< whole-system delta over the run window
   net::NetworkStats netstats;
@@ -267,6 +301,22 @@ struct EnsembleResult {
 };
 
 EnsembleResult run_controlled(const ScenarioConfig& cfg);
+
+/// Result of one system-mode run: the full per-job records of the arrival
+/// stream plus queueing aggregates.
+struct SystemRunResult {
+  bool ok = false;
+  std::string fail_reason;  ///< why the run failed (empty when ok)
+  sched::SystemStats stats;
+  std::vector<sched::SystemJobRecord> jobs;  ///< arrival order
+  std::uint64_t events_executed = 0;
+  bool budget_exhausted = false;
+  fault::FaultStats faults;  ///< all-zero unless the scenario had a plan
+};
+
+/// Drive a kSystem scenario: sample an arrival stream from the sys_* knobs
+/// and run it through the queueing scheduler until every job completes.
+SystemRunResult run_system(const ScenarioConfig& cfg);
 
 /// One batch of controlled-ensemble runs (each sample is a full-system
 /// reservation simulation with its own derived seed).

@@ -1,0 +1,166 @@
+#include "core/interference.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/registry.hpp"
+#include "sched/scheduler.hpp"
+#include "stats/table.hpp"
+
+namespace dfsim::core {
+
+namespace {
+
+struct CellRun {
+  bool ok = false;
+  std::string fail_reason;
+  double victim_ms = 0.0;
+};
+
+/// One machine, victim A (allocated and submitted first, so its node set
+/// and rank seeds match the baseline run with the same seed), optionally
+/// aggressor B with extra iterations so it outlives A. Measures A only.
+CellRun run_cell(const InterferenceConfig& cfg, const std::string& app_a,
+                 const std::string& app_b, routing::Mode mode,
+                 std::uint64_t seed, int shards) {
+  CellRun out;
+  sched::Scheduler sched(cfg.system, seed, shards, cfg.shard_workers);
+  auto& machine = sched.machine();
+  machine.set_event_budget(cfg.event_budget);
+  machine.network().apply_fault_plan(cfg.faults);  // empty plan: no-op
+
+  auto nodes_a =
+      sched.allocator().allocate(cfg.nnodes, cfg.placement, sched.rng());
+  if (nodes_a.empty()) {
+    out.fail_reason = "allocation failed for victim " + app_a;
+    return out;
+  }
+  std::vector<topo::NodeId> nodes_b;
+  if (!app_b.empty()) {
+    nodes_b =
+        sched.allocator().allocate(cfg.nnodes, cfg.placement, sched.rng());
+    if (nodes_b.empty()) {
+      out.fail_reason = "pair does not fit: 2x" + std::to_string(cfg.nnodes) +
+                        " nodes on " + cfg.system.name;
+      return out;
+    }
+  }
+
+  const mpi::JobId id_a =
+      sched.submit_app_on(app_a, std::move(nodes_a), mode, cfg.params);
+  if (!app_b.empty()) {
+    apps::AppParams pb = cfg.params;
+    pb.iterations = std::max(1, pb.iterations * 3);
+    sched.submit_app_on(app_b, std::move(nodes_b), mode, pb);
+  }
+
+  const mpi::JobId watch[] = {id_a};
+  if (!machine.run_to_completion(watch)) {
+    out.fail_reason = machine.budget_exhausted()
+                          ? "event budget exhausted"
+                          : "run stopped before victim completion";
+    return out;
+  }
+  out.ok = true;
+  out.victim_ms = sim::to_ms(machine.job(id_a).runtime());
+  return out;
+}
+
+}  // namespace
+
+InterferenceMatrix run_interference_matrix(const InterferenceConfig& cfg,
+                                           int jobs) {
+  InterferenceMatrix m;
+  m.modes = cfg.modes;
+  m.apps = cfg.apps.empty() ? apps::paper_app_names() : cfg.apps;
+  const int nm = static_cast<int>(m.modes.size());
+  const int na = static_cast<int>(m.apps.size());
+  if (nm == 0 || na == 0) return m;
+
+  // One seed per (mode, victim): the baseline and every pair run sharing a
+  // victim must draw the victim's allocation identically.
+  const auto seeds = derive_trial_seeds(cfg.seed, nm * na);
+  ScenarioConfig probe;
+  probe.shards = cfg.shards;
+  const int shards = probe.resolve().shards;
+
+  TrialRunner base_runner(jobs);
+  const auto baselines = base_runner.map(nm * na, [&](int i) {
+    const int mi = i / na, ai = i % na;
+    return run_cell(cfg, m.apps[static_cast<std::size_t>(ai)], "",
+                    m.modes[static_cast<std::size_t>(mi)],
+                    seeds[static_cast<std::size_t>(i)], shards);
+  });
+  TrialRunner pair_runner(jobs);
+  const auto pairs = pair_runner.map(nm * na * na, [&](int i) {
+    const int mi = i / (na * na), ai = (i / na) % na, bi = i % na;
+    return run_cell(cfg, m.apps[static_cast<std::size_t>(ai)],
+                    m.apps[static_cast<std::size_t>(bi)],
+                    m.modes[static_cast<std::size_t>(mi)],
+                    seeds[static_cast<std::size_t>(mi * na + ai)], shards);
+  });
+
+  m.cells.resize(static_cast<std::size_t>(nm * na * na));
+  for (int mi = 0; mi < nm; ++mi)
+    for (int ai = 0; ai < na; ++ai) {
+      const auto& alone = baselines[static_cast<std::size_t>(mi * na + ai)];
+      for (int bi = 0; bi < na; ++bi) {
+        const auto idx = static_cast<std::size_t>((mi * na + ai) * na + bi);
+        const auto& with = pairs[idx];
+        InterferenceCell& c = m.cells[idx];
+        c.app_a = m.apps[static_cast<std::size_t>(ai)];
+        c.app_b = m.apps[static_cast<std::size_t>(bi)];
+        c.mode = m.modes[static_cast<std::size_t>(mi)];
+        c.alone_ms = alone.victim_ms;
+        c.with_ms = with.victim_ms;
+        if (!alone.ok)
+          c.fail_reason = "baseline: " + alone.fail_reason;
+        else if (!with.ok)
+          c.fail_reason = with.fail_reason;
+        else if (alone.victim_ms <= 0.0)
+          c.fail_reason = "degenerate baseline runtime";
+        else {
+          c.ok = true;
+          c.slowdown = with.victim_ms / alone.victim_ms;
+        }
+      }
+    }
+  return m;
+}
+
+void print_interference_matrix(std::ostream& os,
+                               const InterferenceMatrix& m) {
+  const int na = static_cast<int>(m.apps.size());
+  for (int mi = 0; mi < static_cast<int>(m.modes.size()); ++mi) {
+    os << "  mode " << routing::mode_name(m.modes[static_cast<std::size_t>(mi)])
+       << " — slowdown of A (rows) when colocated with B (columns)\n";
+    std::vector<std::string> header = {"A \\ B", "alone ms"};
+    for (const auto& b : m.apps) header.push_back(b);
+    stats::Table t(header);
+    for (int ai = 0; ai < na; ++ai) {
+      const auto& first = m.cell(mi, ai, 0);
+      std::vector<std::string> row = {m.apps[static_cast<std::size_t>(ai)],
+                                      stats::fmt(first.alone_ms, 2)};
+      for (int bi = 0; bi < na; ++bi) {
+        const auto& c = m.cell(mi, ai, bi);
+        row.push_back(c.ok ? stats::fmt(c.slowdown, 3) : "fail");
+      }
+      t.add_row(row);
+    }
+    t.print(os);
+  }
+}
+
+void write_interference_csv(std::ostream& os, const InterferenceMatrix& m) {
+  os << "mode,app_a,app_b,ok,alone_ms,with_ms,slowdown\n";
+  char buf[160];
+  for (const auto& c : m.cells) {
+    std::snprintf(buf, sizeof buf, "%s,%s,%s,%d,%.17g,%.17g,%.17g\n",
+                  std::string(routing::mode_name(c.mode)).c_str(),
+                  c.app_a.c_str(), c.app_b.c_str(), c.ok ? 1 : 0, c.alone_ms,
+                  c.with_ms, c.slowdown);
+    os << buf;
+  }
+}
+
+}  // namespace dfsim::core

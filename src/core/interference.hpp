@@ -1,0 +1,90 @@
+// App-by-app interference matrix (paper Sections II-E, IV).
+//
+// The paper argues that whether a job suffers under a neighbor depends on
+// the *pair* of communication characters: a bisection-heavy victim next to
+// an alltoall-heavy aggressor behaves nothing like the reverse. This
+// module quantifies that directly: for each routing mode, colocate every
+// ordered registry-app pair (A, B) on an otherwise idle machine and report
+// A's runtime slowdown relative to A running alone. The diagonal (A, A) is
+// self-interference; asymmetry between (A, B) and (B, A) is the paper's
+// aggressor/victim distinction.
+//
+// Methodology: the baseline and every pair run that shares a victim use
+// the same seed, and the victim is allocated first in both — so A sits on
+// the *identical* node set with and without the aggressor, and the
+// slowdown isolates network interference from placement luck. The
+// aggressor runs with extra iterations so it outlives the victim. Fault
+// plans compose: inject the same plan into every cell to measure
+// interference on a degraded fabric.
+//
+// Determinism: cells fan out across a TrialRunner (bit-identical for every
+// jobs count), and each cell's machine inherits the configured shard
+// count (byte-identical for every shard count within a family).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dfsim::core {
+
+struct InterferenceConfig {
+  topo::Config system = topo::Config::mini(8);
+  std::vector<std::string> apps;  ///< empty = all registry apps (Table I)
+  std::vector<routing::Mode> modes = {routing::Mode::kAd0,
+                                      routing::Mode::kAd3};
+  int nnodes = 16;  ///< per app; a pair occupies 2*nnodes
+  apps::AppParams params;
+  sched::Placement placement = sched::Placement::kRandom;
+  std::uint64_t seed = 1;
+  std::uint64_t event_budget = kEventBudget;
+  int shards = -1;  ///< as ScenarioConfig::shards (resolved per cell)
+  int shard_workers = 0;
+  fault::FaultPlan faults;  ///< injected into every cell's network
+};
+
+/// One (mode, victim A, aggressor B) measurement. `slowdown` is
+/// with_ms / alone_ms (1.0 = no interference).
+struct InterferenceCell {
+  std::string app_a;  ///< victim (measured)
+  std::string app_b;  ///< aggressor (colocated; empty in baselines)
+  routing::Mode mode = routing::Mode::kAd0;
+  bool ok = false;
+  std::string fail_reason;
+  double alone_ms = 0.0;
+  double with_ms = 0.0;
+  double slowdown = 0.0;
+};
+
+struct InterferenceMatrix {
+  std::vector<routing::Mode> modes;
+  std::vector<std::string> apps;
+  /// Mode-major, then victim-major: cells[(m*A + a)*A + b].
+  std::vector<InterferenceCell> cells;
+
+  [[nodiscard]] const InterferenceCell& cell(int mode_idx, int a,
+                                             int b) const {
+    const auto n = apps.size();
+    return cells[(static_cast<std::size_t>(mode_idx) * n +
+                  static_cast<std::size_t>(a)) *
+                     n +
+                 static_cast<std::size_t>(b)];
+  }
+};
+
+/// Run the full matrix: one baseline per (mode, victim) plus one pair run
+/// per (mode, victim, aggressor), fanned out over `jobs` worker threads.
+InterferenceMatrix run_interference_matrix(const InterferenceConfig& cfg,
+                                           int jobs = 0);
+
+/// One slowdown table per mode (rows = victim A, columns = aggressor B).
+void print_interference_matrix(std::ostream& os,
+                               const InterferenceMatrix& m);
+
+/// CSV rows: mode,app_a,app_b,ok,alone_ms,with_ms,slowdown.
+void write_interference_csv(std::ostream& os, const InterferenceMatrix& m);
+
+}  // namespace dfsim::core

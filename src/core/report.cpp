@@ -122,4 +122,28 @@ void print_fault_summary(std::ostream& os, const fault::FaultStats& st) {
   os << "\n";
 }
 
+void print_background_summary(std::ostream& os, const BackgroundFill& bg) {
+  if (bg.allocation_attempts == 0) return;  // isolated run: no fill attempted
+  os << "  background: " << bg.jobs << " jobs / " << bg.total_nodes
+     << " nodes, utilization " << stats::fmt(bg.achieved_utilization, 3)
+     << " (target " << stats::fmt(bg.target_utilization, 3) << ", "
+     << bg.allocation_attempts << " attempts, " << bg.allocation_failures
+     << " failed)";
+  if (bg.undershot()) os << "  [UNDERSHOT]";
+  os << "\n";
+}
+
+void print_system_summary(std::ostream& os, const SystemRunResult& res) {
+  const auto& st = res.stats;
+  os << "  stream: " << st.completed << "/" << st.total << " jobs completed"
+     << (res.ok ? "" : " [INCOMPLETE: " + res.fail_reason + "]") << "\n";
+  os << "  queueing: mean wait " << stats::fmt(st.mean_wait_us, 1)
+     << " us, max wait " << stats::fmt(st.max_wait_us, 1) << " us, "
+     << st.backfilled << " backfilled\n";
+  os << "  makespan " << stats::fmt(sim::to_ms(st.makespan), 3)
+     << " ms, peak utilization " << stats::fmt(st.peak_utilization, 3)
+     << "\n";
+  print_fault_summary(os, res.faults);
+}
+
 }  // namespace dfsim::core

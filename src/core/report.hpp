@@ -51,4 +51,13 @@ void print_normalized_split(std::ostream& os, const std::string& title,
 /// run had no fault plan — every counter zero).
 void print_fault_summary(std::ostream& os, const fault::FaultStats& st);
 
+/// One-line background-fill summary (prints nothing for isolated runs —
+/// no fill was attempted). Flags undershoot explicitly so production
+/// results never silently claim a load the fill did not reach.
+void print_background_summary(std::ostream& os, const BackgroundFill& bg);
+
+/// Queueing summary of a system-mode run (completion counts, waits,
+/// backfill share, peak utilization).
+void print_system_summary(std::ostream& os, const SystemRunResult& res);
+
 }  // namespace dfsim::core

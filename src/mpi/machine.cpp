@@ -83,6 +83,9 @@ void Machine::on_rank_done(JobId id) {
       watched_[static_cast<std::size_t>(id)] = 0;
       if (--watch_remaining_ == 0) engine_.stop();
     }
+    // After the watch bookkeeping, so a listener that submits follow-on jobs
+    // cannot disturb an in-progress run_to_completion() decision.
+    if (on_job_complete_) on_job_complete_(id, j.end_time);
   }
 }
 
@@ -104,6 +107,15 @@ bool Machine::run_to_completion(std::span<const JobId> watch) {
   const bool ok = watch_remaining_ == 0;
   engine_.clear_stop();
   return ok;
+}
+
+void Machine::run_until_stopped() {
+  engine_.clear_stop();
+  if (sharded_ != nullptr)
+    sharded_->run();
+  else
+    engine_.run();
+  engine_.clear_stop();
 }
 
 void Machine::run_for(sim::Tick duration) {

@@ -93,6 +93,17 @@ class Machine {
   /// RankCtx::stop_requested().
   void request_stop(JobId id);
 
+  /// Fired (from inside engine execution, at the completing event's simulated
+  /// time) when the last rank of a job finishes. This is how allocations get
+  /// back to a scheduler: sched::Scheduler registers itself here so nodes are
+  /// released the moment a job completes, and sched::SystemScheduler chains
+  /// off it to start queued jobs on the freed nodes. The listener may submit
+  /// new jobs and schedule events; it must not destroy the machine.
+  using JobCompletionListener = std::function<void(JobId, sim::Tick end_time)>;
+  void set_job_completion_listener(JobCompletionListener fn) {
+    on_job_complete_ = std::move(fn);
+  }
+
   /// Change a running job's routing modes (takes effect on the next message;
   /// Aries allows per-message mode selection). Used by the AWR runtime.
   void set_job_modes(JobId id, routing::Mode p2p, routing::Mode a2a) {
@@ -106,6 +117,12 @@ class Machine {
   bool run_to_completion(std::span<const JobId> watch);
   /// Run for a fixed window of simulated time.
   void run_for(sim::Tick duration);
+  /// Run until a listener stops the engine (engine().stop()), the event
+  /// queue drains on every shard, or the budget is exhausted. This is the
+  /// drive loop for open-ended schedulers (sched::SystemScheduler) whose
+  /// watch set is not known up front: jobs submit themselves from arrival
+  /// events and the completion listener decides when the system is done.
+  void run_until_stopped();
 
   [[nodiscard]] const JobState& job(JobId id) const {
     return jobs_[static_cast<std::size_t>(id)];
@@ -154,6 +171,7 @@ class Machine {
   std::deque<JobState> jobs_;
   std::vector<char> watched_;
   int watch_remaining_ = 0;
+  JobCompletionListener on_job_complete_;
 };
 
 }  // namespace dfsim::mpi

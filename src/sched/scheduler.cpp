@@ -14,7 +14,12 @@ Scheduler::Scheduler(topo::Config cfg, std::uint64_t seed, int shards,
       alloc_(machine_.topology()),
       model_(static_cast<double>(machine_.topology().config().num_nodes()) /
              static_cast<double>(topo::Config::theta().num_nodes())),
-      rng_(seed ^ 0x5EED5EEDULL) {}
+      rng_(seed ^ 0x5EED5EEDULL) {
+  machine_.set_job_completion_listener(
+      [this](mpi::JobId id, sim::Tick end_time) {
+        handle_completion(id, end_time);
+      });
+}
 
 mpi::JobId Scheduler::submit_app(std::string_view app, int nnodes,
                                  Placement placement, routing::Mode mode,
@@ -22,7 +27,9 @@ mpi::JobId Scheduler::submit_app(std::string_view app, int nnodes,
                                  int target_groups) {
   auto nodes = alloc_.allocate(nnodes, placement, rng_, target_groups);
   if (nodes.empty()) return -1;
-  return submit_app_on(app, std::move(nodes), mode, params);
+  const mpi::JobId id = submit_app_on(app, std::move(nodes), mode, params);
+  adopt_allocation(id);
+  return id;
 }
 
 mpi::JobId Scheduler::submit_app_on(std::string_view app,
@@ -44,14 +51,38 @@ int Scheduler::job_groups_spanned(mpi::JobId id) const {
   return machine_.topology().groups_spanned(nodes);
 }
 
+void Scheduler::adopt_allocation(mpi::JobId id) {
+  if (id < 0) return;
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx >= owns_.size()) owns_.resize(idx + 1, 0);
+  owns_[idx] = 1;
+}
+
+void Scheduler::handle_completion(mpi::JobId id, sim::Tick end_time) {
+  const auto idx = static_cast<std::size_t>(id);
+  if (idx < owns_.size() && owns_[idx] != 0) {
+    owns_[idx] = 0;
+    alloc_.release(machine_.job(id).spec.nodes);
+  }
+  if (completion_hook_) completion_hook_(id, end_time);
+}
+
 BackgroundSet Scheduler::add_background(double utilization,
                                         routing::Mode default_mode) {
   return populate_background(machine_, alloc_, model_, utilization,
                              default_mode, rng_);
 }
 
-void Scheduler::stop_background(const BackgroundSet& set) {
+void Scheduler::stop_background(BackgroundSet& set) {
   sched::stop_background(machine_, set);
+  // Background jobs are open-ended streamers: a stop request frees their
+  // capacity for scheduling purposes immediately, even though the ranks
+  // wind down cooperatively. Guarded so a second stop on the same set
+  // cannot free nodes that were since reallocated to someone else.
+  if (!set.released) {
+    set.released = true;
+    for (const auto& nodes : set.nodes) alloc_.release(nodes);
+  }
 }
 
 }  // namespace dfsim::sched

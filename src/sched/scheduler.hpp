@@ -20,6 +20,12 @@ class Scheduler {
   /// `shards` selects the machine's execution substrate (0 = legacy serial
   /// engine; N >= 1 = sharded, see mpi::Machine); `shard_workers` caps its
   /// executor threads (0 = auto; wall-clock only).
+  ///
+  /// The scheduler registers itself as the machine's job-completion
+  /// listener: allocations it owns (submit_app, or adopted via
+  /// adopt_allocation) are released the moment their job completes, so
+  /// utilization falls back as jobs drain — a real scheduler, not a
+  /// one-way ratchet. Chain further completion work with on_job_complete().
   Scheduler(topo::Config cfg, std::uint64_t seed, int shards = 0,
             int shard_workers = 0);
 
@@ -47,15 +53,40 @@ class Scheduler {
   /// Groups spanned by a job's allocation.
   [[nodiscard]] int job_groups_spanned(mpi::JobId id) const;
 
+  /// Take ownership of a job's node allocation: when the job completes, the
+  /// scheduler releases `machine().job(id).spec.nodes` back to the
+  /// allocator. submit_app() adopts automatically; submit_app_on() callers
+  /// that allocated through allocator() call this to hand the lease over.
+  void adopt_allocation(mpi::JobId id);
+  /// True if the scheduler will release this job's nodes on completion.
+  [[nodiscard]] bool owns_allocation(mpi::JobId id) const {
+    return id >= 0 && static_cast<std::size_t>(id) < owns_.size() &&
+           owns_[static_cast<std::size_t>(id)] != 0;
+  }
+
+  /// Completion hook, fired after the scheduler's own release bookkeeping
+  /// (so the hook observes the freed capacity). At most one hook;
+  /// SystemScheduler uses it to start queued jobs on the freed nodes.
+  void on_job_complete(std::function<void(mpi::JobId, sim::Tick)> hook) {
+    completion_hook_ = std::move(hook);
+  }
+
   /// Populate background noise at `utilization` using the workload model.
   BackgroundSet add_background(double utilization, routing::Mode default_mode);
-  void stop_background(const BackgroundSet& set);
+  /// Request cooperative stop of every background job and release their
+  /// node allocations (idempotent per set: `set.released` guards the
+  /// double-release that would free someone else's reallocation).
+  void stop_background(BackgroundSet& set);
 
  private:
+  void handle_completion(mpi::JobId id, sim::Tick end_time);
+
   mpi::Machine machine_;
   NodeAllocator alloc_;
   WorkloadModel model_;
   sim::Rng rng_;
+  std::vector<char> owns_;  ///< by JobId: release spec.nodes on completion
+  std::function<void(mpi::JobId, sim::Tick)> completion_hook_;
 };
 
 /// Mode pair the paper's methodology implies for a requested mode.

@@ -1,0 +1,193 @@
+#include "sched/system.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dfsim::sched {
+
+SystemScheduler::SystemScheduler(Scheduler& sched,
+                                 std::vector<SystemJobSpec> stream,
+                                 bool backfill)
+    : sched_(sched), backfill_(backfill), place_rng_(sched.rng().fork()) {
+  records_.reserve(stream.size());
+  int idx = 0;
+  for (auto& spec : stream) {
+    SystemJobRecord rec;
+    rec.index = idx++;
+    rec.spec = std::move(spec);
+    records_.push_back(std::move(rec));
+  }
+  sched_.on_job_complete([this](mpi::JobId id, sim::Tick end_time) {
+    on_complete(id, end_time);
+  });
+}
+
+SystemScheduler::SystemScheduler(Scheduler& sched, const SystemConfig& cfg,
+                                 std::uint64_t seed)
+    : SystemScheduler(
+          sched,
+          [&] {
+            sim::Rng rng(seed ^ 0x5157E375ULL);
+            return make_stream(cfg, sched.allocator().total_count(), rng);
+          }(),
+          cfg.backfill) {}
+
+std::vector<SystemJobSpec> SystemScheduler::make_stream(
+    const SystemConfig& cfg, int total_nodes, sim::Rng& rng) {
+  const WorkloadModel model(
+      static_cast<double>(total_nodes) /
+      static_cast<double>(topo::Config::theta().num_nodes()));
+  // Cap any single job at a quarter machine: the queue must always be able
+  // to drain, and the production mix is many jobs, not one monolith.
+  const int cap = std::max(2, total_nodes / 4);
+  const double rate =
+      1.0 / static_cast<double>(std::max<sim::Tick>(1, cfg.mean_interarrival));
+  std::vector<SystemJobSpec> stream;
+  stream.reserve(static_cast<std::size_t>(std::max(0, cfg.num_jobs)));
+  sim::Tick arrival = 0;
+  for (int i = 0; i < cfg.num_jobs; ++i) {
+    arrival += static_cast<sim::Tick>(rng.exponential(rate));
+    SystemJobSpec spec;
+    spec.arrival = arrival;
+    spec.nnodes = std::min(model.sample_job_size(rng), cap);
+    spec.placement = model.sample_placement(rng);
+    spec.mode = rng.uniform() < cfg.ad3_fraction ? routing::Mode::kAd3
+                                                 : routing::Mode::kAd0;
+    if (rng.uniform() < cfg.registry_fraction) {
+      const auto& names = apps::paper_app_names();
+      spec.app = names[rng.uniform_u64(names.size())];
+      spec.app_params.iterations = cfg.app_iterations;
+      spec.app_params.msg_scale = cfg.app_scale;
+      spec.app_params.compute_scale = cfg.app_scale;
+      spec.app_params.seed = rng.next();
+    } else {
+      spec.pattern = model.sample_pattern(rng);
+      spec.traffic = model.sample_traffic(rng);
+      // System-mode synthetic jobs are finite: they hold their allocation
+      // for a bounded burst, then complete and release.
+      spec.traffic.iterations =
+          static_cast<int>(rng.uniform_int(4, 16));
+    }
+    stream.push_back(std::move(spec));
+  }
+  return stream;
+}
+
+bool SystemScheduler::run() {
+  auto& engine = sched_.machine().engine();
+  for (const auto& rec : records_) {
+    const int idx = rec.index;
+    engine.schedule_at(rec.spec.arrival, [this, idx] { on_arrival(idx); });
+  }
+  if (records_.empty()) return true;
+  sched_.machine().run_until_stopped();
+  return completed_ == static_cast<int>(records_.size());
+}
+
+void SystemScheduler::on_arrival(int idx) {
+  queue_.push_back(idx);
+  try_start();
+}
+
+void SystemScheduler::on_complete(mpi::JobId id, sim::Tick end_time) {
+  const auto jid = static_cast<std::size_t>(id);
+  if (jid >= job_to_record_.size() || job_to_record_[jid] < 0) return;
+  SystemJobRecord& rec = records_[static_cast<std::size_t>(job_to_record_[jid])];
+  rec.end_time = end_time;
+  --running_;
+  ++completed_;
+  if (completed_ == static_cast<int>(records_.size())) {
+    // Stream drained: stop the engine (the sharded driver observes the stop
+    // at its next window barrier; final state is identical either way).
+    sched_.machine().engine().stop();
+    return;
+  }
+  // The scheduler released this job's nodes before forwarding the
+  // completion here, so waiting jobs can start on the freed capacity now.
+  try_start();
+}
+
+void SystemScheduler::try_start() {
+  while (!queue_.empty() && start_job(queue_.front(), /*backfilled=*/false))
+    queue_.pop_front();
+  if (!backfill_ || queue_.size() < 2) return;
+  // The head doesn't fit. Liberal backfill: start anything later in the
+  // queue that does, in arrival order. Starting a job only consumes nodes,
+  // so one scan per wakeup is exhaustive.
+  for (auto it = std::next(queue_.begin()); it != queue_.end();) {
+    if (start_job(*it, /*backfilled=*/true))
+      it = queue_.erase(it);
+    else
+      ++it;
+  }
+}
+
+bool SystemScheduler::start_job(int idx, bool backfilled) {
+  SystemJobRecord& rec = records_[static_cast<std::size_t>(idx)];
+  auto& alloc = sched_.allocator();
+  auto nodes = alloc.allocate(rec.spec.nnodes, rec.spec.placement, place_rng_);
+  if (nodes.empty()) return false;
+  mpi::JobId id = -1;
+  if (!rec.spec.app.empty()) {
+    id = sched_.submit_app_on(rec.spec.app, std::move(nodes), rec.spec.mode,
+                              rec.spec.app_params);
+  } else {
+    const ModePair mp = modes_for(rec.spec.mode);
+    mpi::JobSpec spec;
+    spec.name = "sys:" + rec.spec.pattern;
+    spec.nodes = std::move(nodes);
+    spec.mode_p2p = mp.p2p;
+    spec.mode_a2a = mp.a2a;
+    const auto traffic = rec.spec.traffic;
+    if (rec.spec.pattern == "stencil3d")
+      spec.app = [traffic](mpi::RankCtx& c) {
+        return apps::stencil3d_traffic(c, traffic);
+      };
+    else if (rec.spec.pattern == "uniform")
+      spec.app = [traffic](mpi::RankCtx& c) {
+        return apps::uniform_traffic(c, traffic);
+      };
+    else if (rec.spec.pattern == "bisection")
+      spec.app = [traffic](mpi::RankCtx& c) {
+        return apps::bisection_traffic(c, traffic);
+      };
+    else
+      spec.app = [traffic](mpi::RankCtx& c) {
+        return apps::compute_only(c, traffic);
+      };
+    id = sched_.machine().submit(std::move(spec));
+  }
+  sched_.adopt_allocation(id);
+  const auto jid = static_cast<std::size_t>(id);
+  if (jid >= job_to_record_.size()) job_to_record_.resize(jid + 1, -1);
+  job_to_record_[jid] = idx;
+  rec.job = id;
+  rec.start_time = sched_.machine().engine().now();
+  rec.backfilled = backfilled;
+  ++running_;
+  peak_util_ = std::max(peak_util_, alloc.utilization());
+  return true;
+}
+
+SystemStats SystemScheduler::stats() const {
+  SystemStats st;
+  st.total = static_cast<int>(records_.size());
+  st.completed = completed_;
+  st.peak_utilization = peak_util_;
+  double wait_sum = 0.0;
+  int started = 0;
+  for (const auto& rec : records_) {
+    if (!rec.started()) continue;
+    ++started;
+    if (rec.backfilled) ++st.backfilled;
+    const double wait_us =
+        static_cast<double>(rec.wait()) / static_cast<double>(sim::kMicrosecond);
+    wait_sum += wait_us;
+    st.max_wait_us = std::max(st.max_wait_us, wait_us);
+    if (rec.completed()) st.makespan = std::max(st.makespan, rec.end_time);
+  }
+  if (started > 0) st.mean_wait_us = wait_sum / started;
+  return st;
+}
+
+}  // namespace dfsim::sched

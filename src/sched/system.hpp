@@ -1,0 +1,136 @@
+// Long-horizon system mode (paper Section III-A's production condition,
+// driven end to end).
+//
+// The controlled experiments elsewhere in this repo hold the machine state
+// fixed around one foreground job. A production system is the opposite: a
+// stream of jobs arrives over hours, each waits in a queue, gets an
+// allocation, runs, and releases its nodes for whoever is waiting. This
+// module closes that loop: a deterministic job arrival stream sampled from
+// the WorkloadModel (exponential interarrivals, the Fig. 1 size mix,
+// per-job routing modes mirroring the paper's observation that most users
+// keep the system default while some opt into AD3), an FCFS queue with
+// liberal backfill on top of NodeAllocator, and per-job wait/runtime
+// records. It relies on the Scheduler's completion-driven release: a
+// finished job's nodes are back in the allocator before the queue is
+// re-scanned, so waiting jobs start on freed capacity.
+//
+// Determinism: every scheduling decision (arrival, queue scan, allocation
+// draw, completion) executes as a host-engine event, so the decision
+// sequence is a pure function of the seed and the simulated schedule. Runs
+// are byte-identical across shard counts within an execution family and
+// across TrialRunner jobs counts.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "sched/workload.hpp"
+
+namespace dfsim::sched {
+
+/// One job in an arrival stream. Either a registry (paper) application
+/// (`app` non-empty) or a finite synthetic traffic job (`pattern` +
+/// `traffic`, traffic.iterations > 0).
+struct SystemJobSpec {
+  sim::Tick arrival = 0;  ///< submission time (queue entry)
+  int nnodes = 2;
+  Placement placement = Placement::kRandom;
+  routing::Mode mode = routing::Mode::kAd0;  ///< expanded via modes_for()
+  std::string app;      ///< registry app name; "" = synthetic
+  std::string pattern;  ///< synthetic pattern (stencil3d/uniform/bisection/compute)
+  apps::AppParams app_params;     ///< registry apps only
+  apps::SyntheticParams traffic;  ///< synthetic jobs only; iterations > 0
+};
+
+/// Knobs for stream generation (make_stream) and queueing policy.
+struct SystemConfig {
+  int num_jobs = 50;
+  sim::Tick mean_interarrival = 40 * sim::kMicrosecond;
+  double ad3_fraction = 0.25;      ///< jobs opting into AD3 (rest run AD0)
+  double registry_fraction = 0.2;  ///< jobs running paper apps vs synthetic
+  bool backfill = true;            ///< liberal (no-reservation) backfill
+  int app_iterations = 1;          ///< registry app iterations
+  double app_scale = 0.05;         ///< registry app msg/compute scale
+};
+
+/// Outcome of one stream job.
+struct SystemJobRecord {
+  int index = -1;  ///< position in the arrival stream
+  SystemJobSpec spec;
+  mpi::JobId job = -1;        ///< machine job id once started
+  sim::Tick start_time = -1;  ///< dispatch time (-1 = never started)
+  sim::Tick end_time = -1;    ///< completion time (-1 = unfinished)
+  bool backfilled = false;    ///< started ahead of an earlier queued job
+
+  [[nodiscard]] bool started() const { return start_time >= 0; }
+  [[nodiscard]] bool completed() const { return end_time >= 0; }
+  [[nodiscard]] sim::Tick wait() const {
+    return started() ? start_time - spec.arrival : -1;
+  }
+};
+
+/// Aggregates over a finished (or stalled) run.
+struct SystemStats {
+  int total = 0;
+  int completed = 0;
+  int backfilled = 0;          ///< completed or running jobs started out of order
+  sim::Tick makespan = 0;      ///< last completion time
+  double mean_wait_us = 0.0;   ///< over started jobs
+  double max_wait_us = 0.0;
+  double peak_utilization = 0.0;  ///< allocator high-water mark
+};
+
+class SystemScheduler {
+ public:
+  /// Drive `stream` through `sched`'s machine. The system scheduler takes
+  /// over the scheduler's completion hook for its lifetime. Jobs whose
+  /// nnodes exceed the machine can never start; make_stream clamps sizes.
+  SystemScheduler(Scheduler& sched, std::vector<SystemJobSpec> stream,
+                  bool backfill = true);
+  /// Convenience: generate the stream from `cfg` with `seed`, then drive it.
+  SystemScheduler(Scheduler& sched, const SystemConfig& cfg,
+                  std::uint64_t seed);
+
+  /// Sample a deterministic arrival stream: exponential interarrivals at
+  /// cfg.mean_interarrival, sizes from the Fig. 1 mix rescaled to
+  /// `total_nodes` and clamped to total_nodes/4 (min 2) so the queue always
+  /// drains, placement/pattern/traffic from the workload model, AD3 for an
+  /// ad3_fraction minority, registry apps for a registry_fraction share.
+  static std::vector<SystemJobSpec> make_stream(const SystemConfig& cfg,
+                                                int total_nodes,
+                                                sim::Rng& rng);
+
+  /// Schedule the arrivals and run until every stream job completes (true)
+  /// or the engine gives up first — budget exhausted or event queue drained
+  /// with jobs still waiting (false). Call once.
+  bool run();
+
+  [[nodiscard]] const std::vector<SystemJobRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] SystemStats stats() const;
+  [[nodiscard]] int queue_depth() const { return static_cast<int>(queue_.size()); }
+
+ private:
+  void on_arrival(int idx);
+  void on_complete(mpi::JobId id, sim::Tick end_time);
+  /// FCFS head first; then, if enabled, one liberal-backfill scan of the
+  /// rest of the queue in arrival order.
+  void try_start();
+  bool start_job(int idx, bool backfilled);
+
+  Scheduler& sched_;
+  bool backfill_;
+  std::vector<SystemJobRecord> records_;
+  std::deque<int> queue_;           ///< waiting stream indices, arrival order
+  std::vector<int> job_to_record_;  ///< machine JobId -> stream index (-1 none)
+  int completed_ = 0;
+  int running_ = 0;
+  double peak_util_ = 0.0;
+  sim::Rng place_rng_;  ///< allocation draws (forked from scheduler rng)
+};
+
+}  // namespace dfsim::sched

@@ -68,18 +68,20 @@ BackgroundSet populate_background(mpi::Machine& machine, NodeAllocator& alloc,
                                   double target_utilization,
                                   routing::Mode default_mode, sim::Rng& rng) {
   BackgroundSet set;
-  int failures = 0;
+  set.target_utilization = target_utilization;
   // Cap individual background jobs at 1/6 of the machine: the production
   // mix is many jobs, and a single near-machine-size streamer would make
   // run-to-run variability depend on one coin flip.
   const int cap = std::max(4, alloc.total_count() / 6);
-  while (alloc.utilization() < target_utilization && failures < 8) {
+  while (alloc.utilization() < target_utilization &&
+         set.allocation_failures < 8) {
     int size = std::min(model.sample_job_size(rng), cap);
     size = std::min(size, alloc.free_count());
     if (size < 2) break;
+    ++set.allocation_attempts;
     auto nodes = alloc.allocate(size, model.sample_placement(rng), rng);
     if (nodes.empty()) {
-      ++failures;
+      ++set.allocation_failures;
       continue;
     }
     const auto pattern = model.sample_pattern(rng);
@@ -101,6 +103,7 @@ BackgroundSet populate_background(mpi::Machine& machine, NodeAllocator& alloc,
     set.total_nodes += size;
     set.nodes.push_back(std::move(nodes));
   }
+  set.achieved_utilization = alloc.utilization();
   return set;
 }
 

@@ -54,15 +54,28 @@ class WorkloadModel {
 };
 
 /// Background jobs running on a machine (owns their node allocations).
+///
+/// populate_background() can undershoot its target (fragmentation, repeated
+/// allocation failures, a nearly full machine) — the fill accounting below
+/// records what actually happened so reports never have to pretend the
+/// target was met. `achieved_utilization` is the allocator utilization at
+/// the moment population finished (background plus anything already
+/// resident, e.g. an earlier foreground allocation).
 struct BackgroundSet {
   std::vector<mpi::JobId> jobs;
   std::vector<std::vector<topo::NodeId>> nodes;
   int total_nodes = 0;
+  double target_utilization = 0.0;    ///< what the caller asked for
+  double achieved_utilization = 0.0;  ///< allocator utilization after filling
+  int allocation_attempts = 0;        ///< allocate() calls made
+  int allocation_failures = 0;        ///< allocate() calls that found no fit
+  bool released = false;  ///< nodes returned to the allocator (stop path)
 };
 
 /// Fill `machine` with background jobs until allocator utilization reaches
-/// `target_utilization` (or no further job fits). All background jobs use
-/// `default_mode` for p2p (and AD1 for alltoall), like the paper's
+/// `target_utilization` (or no further job fits — check the fill accounting
+/// on the returned set for the achieved utilization). All background jobs
+/// use `default_mode` for p2p (and AD1 for alltoall), like the paper's
 /// production test period where everyone ran the system default.
 BackgroundSet populate_background(mpi::Machine& machine, NodeAllocator& alloc,
                                   const WorkloadModel& model,

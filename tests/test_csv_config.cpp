@@ -81,6 +81,10 @@ TEST(ScenarioCsv, RoundTripsEveryField) {
       .degrade_link(200, 5, 0, 0.5)
       .fail_router(300, 7)
       .repair(400, 3, 1);
+  cfg.sys_jobs = 17;
+  cfg.sys_interarrival = 55 * sim::kMicrosecond;
+  cfg.sys_backfill = false;
+  cfg.sys_ad3_fraction = 0.375;
 
   const auto cols = core::scenario_csv_columns();
   const auto row = core::scenario_csv_row(cfg);
@@ -103,6 +107,10 @@ TEST(ScenarioCsv, RoundTripsEveryField) {
   EXPECT_EQ(back.event_budget, cfg.event_budget);
   EXPECT_EQ(back.shards, cfg.shards);
   EXPECT_EQ(back.shard_workers, cfg.shard_workers);
+  EXPECT_EQ(back.sys_jobs, cfg.sys_jobs);
+  EXPECT_EQ(back.sys_interarrival, cfg.sys_interarrival);
+  EXPECT_EQ(back.sys_backfill, cfg.sys_backfill);
+  EXPECT_EQ(back.sys_ad3_fraction, cfg.sys_ad3_fraction);
   ASSERT_EQ(back.faults.size(), cfg.faults.size());
   const auto a = cfg.faults.canonical();
   const auto b = back.faults.canonical();
@@ -127,18 +135,43 @@ TEST(ScenarioCsv, ProductionDefaultsRoundTrip) {
   EXPECT_TRUE(back.faults.empty());
 }
 
+TEST(ScenarioCsv, SystemModeRoundTrips) {
+  core::ScenarioConfig cfg = core::ScenarioConfig::system_mode();
+  cfg.sys_jobs = 25;
+  cfg.sys_backfill = false;
+  const core::ScenarioConfig back =
+      core::scenario_from_csv(core::scenario_csv_row(cfg));
+  EXPECT_EQ(back.kind, core::ScenarioKind::kSystem);
+  EXPECT_EQ(back.sys_jobs, 25);
+  EXPECT_FALSE(back.sys_backfill);
+}
+
 TEST(ScenarioCsv, RejectsMalformedRows) {
+  const auto cols = core::scenario_csv_columns();
   const auto row = core::scenario_csv_row(core::ScenarioConfig::production());
+  ASSERT_EQ(cols.size(), row.size());
+  auto cell = [&](const char* name) {
+    for (std::size_t i = 0; i < cols.size(); ++i)
+      if (cols[i] == name) return i;
+    ADD_FAILURE() << "no column " << name;
+    return std::size_t{0};
+  };
   EXPECT_THROW(core::scenario_from_csv({}), std::invalid_argument);
+  auto bad_kind = row;
+  bad_kind[cell("kind")] = "interactive";
+  EXPECT_THROW(core::scenario_from_csv(bad_kind), std::invalid_argument);
   auto bad_system = row;
-  bad_system[1] = "not_a_preset";
+  bad_system[cell("system")] = "not_a_preset";
   EXPECT_THROW(core::scenario_from_csv(bad_system), std::invalid_argument);
   auto bad_mode = row;
-  bad_mode[5] = "AD9";
+  bad_mode[cell("mode")] = "AD9";
   EXPECT_THROW(core::scenario_from_csv(bad_mode), std::invalid_argument);
   auto bad_faults = row;
-  bad_faults.back() = "garbage";
+  bad_faults[cell("faults")] = "garbage";
   EXPECT_THROW(core::scenario_from_csv(bad_faults), std::invalid_argument);
+  auto bad_sys_jobs = row;
+  bad_sys_jobs[cell("sys_jobs")] = "many";
+  EXPECT_THROW(core::scenario_from_csv(bad_sys_jobs), std::invalid_argument);
 }
 
 TEST(SlingshotPreset, ConstructsAndRoutes) {

@@ -151,18 +151,61 @@ TEST(Scheduler, ModePairConventions) {
 
 TEST(Scheduler, BackgroundPopulationReachesUtilization) {
   Scheduler s(topo::Config::mini(8), 13);
-  const auto bg = s.add_background(0.5, routing::Mode::kAd0);
+  auto bg = s.add_background(0.5, routing::Mode::kAd0);
   EXPECT_GT(bg.jobs.size(), 0u);
   EXPECT_GE(s.allocator().utilization(), 0.4);
+  // The fill accounting reflects what actually happened.
+  EXPECT_DOUBLE_EQ(bg.target_utilization, 0.5);
+  EXPECT_GE(bg.achieved_utilization, 0.4);
+  EXPECT_DOUBLE_EQ(bg.achieved_utilization, s.allocator().utilization());
+  EXPECT_GE(bg.allocation_attempts, static_cast<int>(bg.jobs.size()));
+  EXPECT_GE(bg.allocation_failures, 0);
+  EXPECT_FALSE(bg.released);
   // Background jobs run open-ended until stopped.
   s.machine().run_for(200 * sim::kMicrosecond);
   for (const auto id : bg.jobs) EXPECT_FALSE(s.machine().job(id).complete());
   // Stop is best-effort: traffic winds down (ranks blocked on receives from
   // already-stopped peers may never complete -- see workload.hpp), but the
-  // network fully drains.
+  // network fully drains. The node allocations come back immediately.
   s.stop_background(bg);
+  EXPECT_TRUE(bg.released);
+  EXPECT_DOUBLE_EQ(s.allocator().utilization(), 0.0);
   s.machine().run_for(5 * sim::kMillisecond);
   EXPECT_EQ(s.machine().network().packets_in_flight(), 0);
+  // Stopping the same set again must not free anyone else's reallocation.
+  sim::Rng rng(99);
+  const auto taken = s.allocator().allocate(8, Placement::kCompact, rng);
+  ASSERT_EQ(taken.size(), 8u);
+  s.stop_background(bg);
+  EXPECT_DOUBLE_EQ(
+      s.allocator().utilization(),
+      8.0 / static_cast<double>(s.allocator().total_count()));
+}
+
+TEST(Scheduler, ForegroundAllocationReleasedOnCompletion) {
+  Scheduler s(topo::Config::mini(4), 21);
+  apps::AppParams p;
+  p.iterations = 2;
+  p.msg_scale = 0.1;
+  const double before = s.allocator().utilization();
+  const mpi::JobId id =
+      s.submit_app("MILC", 16, Placement::kCompact, routing::Mode::kAd0, p);
+  ASSERT_GE(id, 0);
+  EXPECT_TRUE(s.owns_allocation(id));
+  EXPECT_GT(s.allocator().utilization(), before);
+  const mpi::JobId w[] = {id};
+  ASSERT_TRUE(s.machine().run_to_completion(w));
+  // Completion released the nodes: utilization is back to pre-submit,
+  // ownership is cleared, and a same-size resubmit fits on the freed nodes.
+  EXPECT_DOUBLE_EQ(s.allocator().utilization(), before);
+  EXPECT_FALSE(s.owns_allocation(id));
+  const mpi::JobId id2 =
+      s.submit_app("MILC", 16, Placement::kCompact, routing::Mode::kAd0, p);
+  ASSERT_GE(id2, 0);
+  EXPECT_EQ(s.job_nodes(id2), s.job_nodes(id));
+  const mpi::JobId w2[] = {id2};
+  EXPECT_TRUE(s.machine().run_to_completion(w2));
+  EXPECT_DOUBLE_EQ(s.allocator().utilization(), before);
 }
 
 TEST(Scheduler, AllocationFailureReturnsMinusOne) {

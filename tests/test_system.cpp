@@ -1,0 +1,184 @@
+// System mode: arrival streams through the queueing scheduler
+// (FCFS + liberal backfill, completion-driven release) and the
+// app-by-app interference matrix.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/interference.hpp"
+#include "core/report.hpp"
+#include "sched/system.hpp"
+
+namespace dfsim {
+namespace {
+
+sched::SystemJobSpec compute_job(sim::Tick arrival, int nnodes, int iters) {
+  sched::SystemJobSpec s;
+  s.arrival = arrival;
+  s.nnodes = nnodes;
+  s.placement = sched::Placement::kCompact;
+  s.pattern = "compute";
+  s.traffic.iterations = iters;
+  s.traffic.compute_ns = 1000;
+  return s;
+}
+
+// Acceptance: a 50-job arrival stream runs to completion and the allocator
+// returns to its pre-stream state — every job's nodes came back.
+TEST(SystemStream, FiftyJobStreamCompletesAndReleasesEverything) {
+  sched::Scheduler s(topo::Config::mini(4), 31);
+  const double before = s.allocator().utilization();
+  const int free_before = s.allocator().free_count();
+  sched::SystemConfig cfg;
+  cfg.num_jobs = 50;
+  cfg.mean_interarrival = 20 * sim::kMicrosecond;
+  sched::SystemScheduler sys(s, cfg, 7);
+  ASSERT_EQ(static_cast<int>(sys.records().size()), 50);
+  ASSERT_TRUE(sys.run());
+  EXPECT_EQ(sys.queue_depth(), 0);
+  const auto st = sys.stats();
+  EXPECT_EQ(st.total, 50);
+  EXPECT_EQ(st.completed, 50);
+  EXPECT_GT(st.peak_utilization, 0.0);
+  EXPECT_GT(st.makespan, 0);
+  for (const auto& rec : sys.records()) {
+    ASSERT_TRUE(rec.started()) << "job " << rec.index;
+    ASSERT_TRUE(rec.completed()) << "job " << rec.index;
+    EXPECT_GE(rec.start_time, rec.spec.arrival);
+    EXPECT_GE(rec.end_time, rec.start_time);
+    EXPECT_GE(rec.wait(), 0);
+    // Completion released the allocation: the scheduler no longer owns it.
+    EXPECT_FALSE(s.owns_allocation(rec.job));
+  }
+  EXPECT_DOUBLE_EQ(s.allocator().utilization(), before);
+  EXPECT_EQ(s.allocator().free_count(), free_before);
+}
+
+// A head job that cannot fit must not block later jobs that can (liberal
+// backfill); strict FCFS must keep them queued behind it.
+TEST(SystemStream, BackfillStartsFittingJobsEarly) {
+  const topo::Config topo = topo::Config::mini(2);
+  const int total = topo.num_nodes();
+  // job 0 occupies all but two nodes for a long burst; job 1 (same size)
+  // must queue; job 2 fits in the two leftover nodes.
+  std::vector<sched::SystemJobSpec> stream;
+  stream.push_back(compute_job(0, total - 2, 50));
+  stream.push_back(compute_job(1 * sim::kMicrosecond, total - 2, 2));
+  stream.push_back(compute_job(2 * sim::kMicrosecond, 2, 2));
+
+  sched::Scheduler with_bf(topo, 41);
+  sched::SystemScheduler a(with_bf, stream, /*backfill=*/true);
+  ASSERT_TRUE(a.run());
+  EXPECT_EQ(a.stats().backfilled, 1);
+  EXPECT_TRUE(a.records()[2].backfilled);
+  EXPECT_EQ(a.records()[2].start_time, a.records()[2].spec.arrival);
+  EXPECT_LT(a.records()[2].start_time, a.records()[1].start_time);
+
+  sched::Scheduler fcfs(topo, 41);
+  sched::SystemScheduler b(fcfs, stream, /*backfill=*/false);
+  ASSERT_TRUE(b.run());
+  EXPECT_EQ(b.stats().backfilled, 0);
+  EXPECT_FALSE(b.records()[2].backfilled);
+  // Under FCFS job 2 waits for the head to start first.
+  EXPECT_GE(b.records()[2].start_time, b.records()[1].start_time);
+  EXPECT_GT(b.records()[1].wait(), 0);
+}
+
+// The scheduling decision sequence is a pure function of the seed within
+// the sharded execution family: identical per-job timelines for every
+// shard and worker count.
+TEST(SystemMode, RunSystemByteIdenticalAcrossShardAndWorkerCounts) {
+  core::ScenarioConfig cfg = core::ScenarioConfig::system_mode();
+  cfg.system = topo::Config::mini(4);
+  cfg.seed = 5;
+  cfg.sys_jobs = 12;
+  cfg.sys_interarrival = 10 * sim::kMicrosecond;
+  cfg.shards = 1;
+  const auto base = core::run_system(cfg);
+  ASSERT_TRUE(base.ok) << base.fail_reason;
+  ASSERT_EQ(base.jobs.size(), 12u);
+
+  auto expect_same = [&](const core::SystemRunResult& r) {
+    ASSERT_TRUE(r.ok) << r.fail_reason;
+    ASSERT_EQ(r.jobs.size(), base.jobs.size());
+    for (std::size_t i = 0; i < base.jobs.size(); ++i) {
+      EXPECT_EQ(r.jobs[i].job, base.jobs[i].job) << i;
+      EXPECT_EQ(r.jobs[i].start_time, base.jobs[i].start_time) << i;
+      EXPECT_EQ(r.jobs[i].end_time, base.jobs[i].end_time) << i;
+      EXPECT_EQ(r.jobs[i].backfilled, base.jobs[i].backfilled) << i;
+    }
+    EXPECT_EQ(r.stats.makespan, base.stats.makespan);
+    EXPECT_DOUBLE_EQ(r.stats.peak_utilization, base.stats.peak_utilization);
+  };
+  cfg.shards = 4;
+  expect_same(core::run_system(cfg));
+  cfg.shard_workers = 2;
+  expect_same(core::run_system(cfg));
+}
+
+// Serial (shards == 0) is its own deterministic family: repeat runs agree.
+TEST(SystemMode, SerialRunSystemIsRepeatable) {
+  core::ScenarioConfig cfg = core::ScenarioConfig::system_mode();
+  cfg.system = topo::Config::mini(4);
+  cfg.seed = 9;
+  cfg.sys_jobs = 8;
+  cfg.sys_interarrival = 10 * sim::kMicrosecond;
+  cfg.shards = 0;
+  const auto a = core::run_system(cfg);
+  const auto b = core::run_system(cfg);
+  ASSERT_TRUE(a.ok) << a.fail_reason;
+  ASSERT_TRUE(b.ok) << b.fail_reason;
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_EQ(a.jobs[i].start_time, b.jobs[i].start_time) << i;
+    EXPECT_EQ(a.jobs[i].end_time, b.jobs[i].end_time) << i;
+  }
+  // The summary printer handles a completed run.
+  std::ostringstream os;
+  core::print_system_summary(os, a);
+  EXPECT_NE(os.str().find("stream: 8/8 jobs completed"), std::string::npos);
+  EXPECT_EQ(os.str().find("INCOMPLETE"), std::string::npos);
+}
+
+// The interference matrix is byte-identical across TrialRunner jobs counts
+// and across shard counts within the sharded family.
+TEST(InterferenceMatrix, ByteIdenticalAcrossJobsAndShards) {
+  core::InterferenceConfig cfg;
+  cfg.system = topo::Config::mini(4);
+  cfg.apps = {"MILC", "HACC"};
+  cfg.modes = {routing::Mode::kAd0};
+  cfg.nnodes = 16;
+  cfg.params.iterations = 1;
+  cfg.params.msg_scale = 0.05;
+  cfg.params.compute_scale = 0.05;
+  cfg.seed = 3;
+  cfg.shards = 1;
+  const auto j1 = core::run_interference_matrix(cfg, /*jobs=*/1);
+  const auto j4 = core::run_interference_matrix(cfg, /*jobs=*/4);
+  cfg.shards = 4;
+  const auto s4 = core::run_interference_matrix(cfg, /*jobs=*/2);
+
+  ASSERT_EQ(j1.cells.size(), 4u);  // 1 mode x 2 victims x 2 aggressors
+  for (const auto& c : j1.cells) {
+    ASSERT_TRUE(c.ok) << c.app_a << " vs " << c.app_b << ": " << c.fail_reason;
+    EXPECT_GT(c.alone_ms, 0.0);
+    EXPECT_GT(c.slowdown, 0.0);
+  }
+  // Self-interference: a colocated twin can only slow its victim down.
+  const auto& self = j1.cell(0, 0, 0);
+  EXPECT_GE(self.slowdown, 1.0);
+
+  auto csv_of = [](const core::InterferenceMatrix& m) {
+    std::ostringstream os;
+    core::write_interference_csv(os, m);
+    return os.str();
+  };
+  const std::string base = csv_of(j1);
+  EXPECT_EQ(csv_of(j4), base);
+  EXPECT_EQ(csv_of(s4), base);
+}
+
+}  // namespace
+}  // namespace dfsim
