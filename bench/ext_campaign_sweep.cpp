@@ -1,0 +1,298 @@
+// Extension — resumable campaign sweep over the content-addressed cache.
+//
+// Sweeps the bias x fault-rate x placement x app grid through
+// campaign::Runner: every cell is fingerprinted, answered from the result
+// cache when a valid entry exists, executed (optionally with verified
+// checkpoint slicing) otherwise, and journaled as one JSONL record. The
+// journal doubles as the resume marker: kill this binary at any point and
+// re-run it with --resume to continue from the first missing cell with
+// byte-identical output.
+//
+// --bench mode is the perf harness for the campaign service: it wipes the
+// cache directory, times a cold pass (every cell simulated) and a warm pass
+// (every cell served from cache), checks the two journals byte-for-byte,
+// and gates warm/cold speedup >= --min-warm-speedup (default 10x). The
+// measured section is emitted to --bench-json for BENCH_hotpath.json.
+//
+// Determinism: the journal holds only deterministic fields, results are
+// byte-identical for every --shards value >= 1 (shards <= 0 is normalized
+// to 1 here, as in the other ext_ benches), and cache entries are keyed by
+// the determinism FAMILY, so --shards=1 and --shards=4 share entries.
+#include <cstdio>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/runner.hpp"
+#include "common.hpp"
+#include "core/report.hpp"
+#include "fault/fault.hpp"
+#include "sched/placement.hpp"
+#include "stats/summary.hpp"
+#include "stats/table.hpp"
+
+namespace {
+
+using namespace dfsim;
+
+// One fault plan per fraction, shared across modes/placements/apps so the
+// grid is paired: the same links die at the same simulated time.
+fault::FaultPlan plan_for(const bench::Options& opt, const topo::Config& sys,
+                          double frac) {
+  if (frac <= 0.0) return {};
+  fault::RandomFaultSpec spec;
+  spec.seed = opt.fault_seed;
+  spec.link_fail_fraction = frac;
+  const double at_us = opt.fault_at_us > 0.0 ? opt.fault_at_us : 400.0;
+  spec.window_begin = static_cast<sim::Tick>(at_us * sim::kMicrosecond);
+  spec.window_end = spec.window_begin;
+  spec.repair_after =
+      static_cast<sim::Tick>(opt.fault_repair_us * sim::kMicrosecond);
+  return fault::FaultPlan::random(sys, spec);
+}
+
+std::vector<campaign::SweepCell> build_grid(const bench::Options& opt,
+                                            bool quick) {
+  const topo::Config sys = opt.theta();
+  const int shards = opt.shards <= 0 ? 1 : opt.shards;
+  const int nnodes = quick ? 128 : 256;
+  const std::vector<std::string> apps =
+      quick ? std::vector<std::string>{"MILC"}
+            : std::vector<std::string>{"MILC", "HACC"};
+  const double fracs[] = {0.0, 0.02};
+  const sched::Placement placements[] = {sched::Placement::kRandom,
+                                         sched::Placement::kCompact};
+  const routing::Mode modes[] = {routing::Mode::kAd0, routing::Mode::kAd3};
+
+  std::vector<campaign::SweepCell> cells;
+  for (const std::string& app : apps) {
+    for (const double frac : fracs) {
+      const fault::FaultPlan plan = plan_for(opt, sys, frac);
+      for (const sched::Placement pl : placements) {
+        for (const routing::Mode mode : modes) {
+          campaign::SweepCell cell;
+          cell.cfg = core::Scenario::production()
+                         .system(sys)
+                         .app(app)
+                         .nnodes(nnodes)
+                         .mode(mode)
+                         .params(opt.params_for(app))
+                         .background(opt.bg)
+                         .seed(opt.seed)
+                         .shards(shards)
+                         .faults(plan)
+                         .config();
+          cell.cfg.shard_workers = opt.workers;
+          cell.cfg.placement = pl;
+          char frac_label[16];
+          std::snprintf(frac_label, sizeof frac_label, "%g%%", frac * 100.0);
+          cell.label = app + "/" + std::string(routing::mode_name(mode)) +
+                       "/fault=" + frac_label + "/" +
+                       sched::placement_name(pl);
+          cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  return cells;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out.assign(std::istreambuf_iterator<char>(in),
+             std::istreambuf_iterator<char>());
+  return true;
+}
+
+struct TimedPass {
+  campaign::Runner::Outcome oc;
+  double wall_ms = 0.0;
+};
+
+TimedPass run_pass(const std::vector<campaign::SweepCell>& cells,
+                   campaign::ResultCache& cache,
+                   const campaign::RunnerOptions& ropt) {
+  TimedPass p;
+  const auto t0 = std::chrono::steady_clock::now();
+  campaign::Runner runner(cells, cache, ropt);
+  p.oc = runner.run();
+  p.wall_ms = std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return p;
+}
+
+void print_outcome(const char* what, const campaign::Runner::Outcome& oc,
+                   double wall_ms) {
+  std::printf(
+      "%s: %d cells (%d journaled, %d executed, %d cached, %d failed, "
+      "%llu snapshots) in %.1f ms\n",
+      what, oc.total, oc.skipped, oc.executed, oc.served, oc.failed,
+      static_cast<unsigned long long>(oc.snapshots), wall_ms);
+}
+
+std::string f64_json(double v) {
+  char buf[64];
+  const int n = std::snprintf(buf, sizeof buf, "%.3f", v);
+  return std::string(buf, static_cast<std::size_t>(n > 0 ? n : 0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace dfsim;
+  namespace fs = std::filesystem;
+
+  bench::Options opt;
+  std::string cache_dir = ".dfsim-cache";
+  std::string out_path = "campaign_sweep.jsonl";
+  std::string bench_json;
+  double checkpoint_ms = 0.0;
+  double min_warm_speedup = 10.0;
+  bool resume = false;
+  bool bench_mode = false;
+  bool quick = false;
+
+  bench::Cli cli(argc > 0 ? argv[0] : "ext_campaign_sweep");
+  opt.register_flags(cli);
+  cli.flag("cache-dir", &cache_dir,
+           "result cache root (empty value = in-memory cache only)")
+      .flag("out", &out_path, "JSONL journal path (doubles as resume marker)")
+      .flag("resume", &resume,
+            "continue a previous run of the same grid into --out")
+      .flag("checkpoint-ms", &checkpoint_ms,
+            "take a verified engine snapshot every X simulated ms (0 = off)")
+      .flag("bench", &bench_mode,
+            "perf mode: WIPES --cache-dir, times cold vs warm pass, gates "
+            "warm speedup")
+      .flag("min-warm-speedup", &min_warm_speedup,
+            "gate: warm pass must be at least this much faster (--bench)")
+      .flag("bench-json", &bench_json,
+            "write the measured campaign perf section to this JSON file")
+      .flag("quick", &quick, "small grid (MILC only, 128 nodes)");
+  cli.parse(argc, argv);
+
+  bench::header("Extension", "resumable campaign sweep (cache + snapshots)");
+
+  campaign::ResultCache::Options copt;
+  copt.dir = cache_dir;
+  const sim::Tick interval =
+      static_cast<sim::Tick>(checkpoint_ms * sim::kMillisecond);
+  const std::vector<campaign::SweepCell> cells = build_grid(opt, quick);
+  std::printf("grid: %zu cells, cache %s, journal %s%s%s\n\n", cells.size(),
+              cache_dir.empty() ? "(memory only)" : cache_dir.c_str(),
+              out_path.c_str(), resume ? ", resuming" : "",
+              interval > 0 ? ", checkpointing" : "");
+
+  if (!bench_mode) {
+    campaign::ResultCache cache(copt);
+    campaign::RunnerOptions ropt;
+    ropt.out_path = out_path;
+    ropt.resume = resume;
+    ropt.checkpoint_interval = interval;
+    const TimedPass p = run_pass(cells, cache, ropt);
+    if (!p.oc.ok) {
+      std::fprintf(stderr, "error: %s\n", p.oc.error.c_str());
+      return 1;
+    }
+    print_outcome("sweep", p.oc, p.wall_ms);
+    core::print_cache_summary(std::cout, cache.stats());
+    return p.oc.failed > 0 ? 1 : 0;
+  }
+
+  // --bench: cold pass against an empty cache, warm pass against the
+  // entries the cold pass committed, byte-compare the journals, gate.
+  if (!cache_dir.empty()) {
+    std::error_code ec;
+    fs::remove_all(cache_dir, ec);
+  }
+  campaign::ResultCache cache(copt);
+
+  campaign::RunnerOptions cold_opt;
+  cold_opt.out_path = out_path;
+  cold_opt.checkpoint_interval = interval;
+  const TimedPass cold = run_pass(cells, cache, cold_opt);
+  if (!cold.oc.ok || cold.oc.failed > 0) {
+    std::fprintf(stderr, "error: cold pass failed (%s)\n",
+                 cold.oc.error.c_str());
+    return 1;
+  }
+  print_outcome("cold", cold.oc, cold.wall_ms);
+  const campaign::CacheStats after_cold = cache.stats();
+
+  campaign::RunnerOptions warm_opt;
+  warm_opt.out_path = out_path + ".warm";
+  warm_opt.checkpoint_interval = interval;
+  const TimedPass warm = run_pass(cells, cache, warm_opt);
+  if (!warm.oc.ok || warm.oc.failed > 0) {
+    std::fprintf(stderr, "error: warm pass failed (%s)\n",
+                 warm.oc.error.c_str());
+    return 1;
+  }
+  print_outcome("warm", warm.oc, warm.wall_ms);
+  core::print_cache_summary(std::cout, cache.stats());
+
+  const campaign::CacheStats after_warm = cache.stats();
+  const std::uint64_t warm_hits = after_warm.hits - after_cold.hits;
+  const std::uint64_t warm_misses = after_warm.misses - after_cold.misses;
+  const double hit_rate =
+      warm_hits + warm_misses > 0
+          ? static_cast<double>(warm_hits) /
+                static_cast<double>(warm_hits + warm_misses)
+          : 0.0;
+  const double speedup =
+      warm.wall_ms > 0.0 ? cold.wall_ms / warm.wall_ms : 0.0;
+
+  std::string cold_bytes, warm_bytes;
+  const bool identical = read_file(out_path, cold_bytes) &&
+                         read_file(out_path + ".warm", warm_bytes) &&
+                         cold_bytes == warm_bytes;
+  std::printf(
+      "\nwarm vs cold: %.1f ms -> %.1f ms (%.1fx), hit rate %.0f%%, "
+      "journals %s\n",
+      cold.wall_ms, warm.wall_ms, speedup, hit_rate * 100.0,
+      identical ? "byte-identical" : "DIFFER");
+
+  if (!bench_json.empty()) {
+    std::FILE* f = std::fopen(bench_json.c_str(), "wb");
+    if (f != nullptr) {
+      std::fprintf(f,
+                   "{\n  \"campaign\": {\n    \"cells\": %zu,\n"
+                   "    \"cold_wall_ms\": %s,\n    \"warm_wall_ms\": %s,\n"
+                   "    \"hit_rate\": %s,\n"
+                   "    \"speedup_warm_vs_cold\": %s\n  }\n}\n",
+                   cells.size(), f64_json(cold.wall_ms).c_str(),
+                   f64_json(warm.wall_ms).c_str(), f64_json(hit_rate).c_str(),
+                   f64_json(speedup).c_str());
+      std::fclose(f);
+      std::printf("wrote %s\n", bench_json.c_str());
+    } else {
+      std::fprintf(stderr, "warning: cannot write %s\n", bench_json.c_str());
+    }
+  }
+
+  bool ok = true;
+  if (!identical) {
+    std::fprintf(stderr, "GATE FAIL: warm journal differs from cold\n");
+    ok = false;
+  }
+  if (warm.oc.executed != 0) {
+    std::fprintf(stderr, "GATE FAIL: warm pass executed %d cells (want 0)\n",
+                 warm.oc.executed);
+    ok = false;
+  }
+  if (min_warm_speedup > 0.0 && speedup < min_warm_speedup) {
+    std::fprintf(stderr, "GATE FAIL: warm speedup %.1fx < %.1fx\n", speedup,
+                 min_warm_speedup);
+    ok = false;
+  }
+  if (ok)
+    std::printf("GATE PASS: warm >= %.1fx and journals byte-identical\n",
+                min_warm_speedup);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,205 @@
+#include "campaign/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace dfsim::campaign {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kCacheMagic = 0x44463143;  // "DF1C"
+constexpr std::uint32_t kCacheVersion = 1;
+
+void put_u32(std::FILE* f, std::uint32_t v) {
+  unsigned char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  std::fwrite(b, 1, 4, f);
+}
+void put_u64(std::FILE* f, std::uint64_t v) {
+  unsigned char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<unsigned char>(v >> (8 * i));
+  std::fwrite(b, 1, 8, f);
+}
+bool get_u32(std::FILE* f, std::uint32_t& v) {
+  unsigned char b[4];
+  if (std::fread(b, 1, 4, f) != 4) return false;
+  v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+bool get_u64(std::FILE* f, std::uint64_t& v) {
+  unsigned char b[8];
+  if (std::fread(b, 1, 8, f) != 8) return false;
+  v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return true;
+}
+
+sim::Hash128 payload_checksum(std::span<const std::uint8_t> payload) {
+  sim::Hasher128 h;
+  h.update(payload.data(), payload.size());
+  return h.finalize();
+}
+
+int this_pid() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<int>(::getpid());
+#endif
+}
+
+}  // namespace
+
+ResultCache::ResultCache() : ResultCache(Options{}) {}
+
+ResultCache::ResultCache(Options opt) : opt_(std::move(opt)) {
+  if (opt_.mem_entries == 0) opt_.mem_entries = 1;
+}
+
+std::string ResultCache::entry_path(const Fingerprint& fp) const {
+  const std::string hex = fp.hex();
+  return opt_.dir + "/" + hex.substr(0, 2) + "/" + hex.substr(2) + ".res";
+}
+
+std::optional<std::vector<std::uint8_t>> ResultCache::lru_get(
+    const std::string& key) {
+  const auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+  return it->second->second;
+}
+
+void ResultCache::lru_put(const std::string& key,
+                          std::vector<std::uint8_t> bytes) {
+  if (const auto it = index_.find(key); it != index_.end()) {
+    lru_bytes_ -= it->second->second.size();
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_bytes_ += bytes.size();
+  lru_.emplace_front(key, std::move(bytes));
+  index_[key] = lru_.begin();
+  while (!lru_.empty() && (lru_.size() > opt_.mem_entries ||
+                           lru_bytes_ > opt_.mem_bytes)) {
+    lru_bytes_ -= lru_.back().second.size();
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::optional<std::vector<std::uint8_t>> ResultCache::disk_load(
+    const Fingerprint& fp) {
+  std::FILE* f = std::fopen(entry_path(fp).c_str(), "rb");
+  if (f == nullptr) return std::nullopt;  // plain miss
+  std::optional<std::vector<std::uint8_t>> out;
+  std::uint32_t magic = 0, version = 0;
+  std::uint64_t hi = 0, lo = 0, len = 0, chk_hi = 0, chk_lo = 0;
+  bool valid = get_u32(f, magic) && magic == kCacheMagic &&
+               get_u32(f, version) && version == kCacheVersion &&
+               get_u64(f, hi) && get_u64(f, lo) && hi == fp.hi &&
+               lo == fp.lo && get_u64(f, chk_hi) && get_u64(f, chk_lo) &&
+               get_u64(f, len);
+  if (valid) {
+    // Bound the read by the actual file size minus the header we already
+    // consumed, so a corrupt length field cannot drive a huge allocation.
+    const long header_end = std::ftell(f);
+    std::fseek(f, 0, SEEK_END);
+    const long file_end = std::ftell(f);
+    std::fseek(f, header_end, SEEK_SET);
+    if (header_end < 0 || file_end < header_end ||
+        len != static_cast<std::uint64_t>(file_end - header_end)) {
+      valid = false;
+    } else {
+      std::vector<std::uint8_t> payload(static_cast<std::size_t>(len));
+      valid = std::fread(payload.data(), 1, payload.size(), f) ==
+              payload.size();
+      if (valid) {
+        const sim::Hash128 chk = payload_checksum(payload);
+        valid = chk.hi == chk_hi && chk.lo == chk_lo;
+      }
+      if (valid) out = std::move(payload);
+    }
+  }
+  std::fclose(f);
+  if (!out.has_value() && magic != 0) ++stats_.corrupt;
+  return out;
+}
+
+bool ResultCache::disk_store(const Fingerprint& fp,
+                             std::span<const std::uint8_t> payload) {
+  const std::string path = entry_path(fp);
+  std::error_code ec;
+  fs::create_directories(fs::path(path).parent_path(), ec);
+  if (ec) return false;
+  const std::string tmp =
+      opt_.dir + "/tmp-" + fp.hex() + "-" + std::to_string(this_pid());
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  const sim::Hash128 chk = payload_checksum(payload);
+  put_u32(f, kCacheMagic);
+  put_u32(f, kCacheVersion);
+  put_u64(f, fp.hi);
+  put_u64(f, fp.lo);
+  put_u64(f, chk.hi);
+  put_u64(f, chk.lo);
+  put_u64(f, payload.size());
+  const bool wrote =
+      std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  bool ok = wrote && std::fflush(f) == 0;
+#ifndef _WIN32
+  if (ok) ok = ::fsync(::fileno(f)) == 0;
+#endif
+  ok = (std::fclose(f) == 0) && ok;
+  if (ok) {
+    fs::rename(tmp, path, ec);  // atomic replace on POSIX
+    ok = !ec;
+  }
+  if (!ok) fs::remove(tmp, ec);
+  return ok;
+}
+
+std::optional<std::vector<std::uint8_t>> ResultCache::load(
+    const Fingerprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string key = fp.hex();
+  if (auto hit = lru_get(key); hit.has_value()) {
+    ++stats_.hits;
+    ++stats_.mem_hits;
+    return hit;
+  }
+  if (persistent()) {
+    if (auto hit = disk_load(fp); hit.has_value()) {
+      ++stats_.hits;
+      stats_.bytes_read += hit->size();
+      lru_put(key, *hit);
+      return hit;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::store(const Fingerprint& fp,
+                        std::span<const std::uint8_t> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (persistent() && disk_store(fp, payload))
+    stats_.bytes_written += payload.size();
+  ++stats_.stores;
+  lru_put(fp.hex(), std::vector<std::uint8_t>(payload.begin(), payload.end()));
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace dfsim::campaign

@@ -1,0 +1,107 @@
+// Content-addressed result cache: fingerprint -> serialized result bytes.
+//
+// Layout on disk (root = options.dir, default ".dfsim-cache"):
+//
+//   <dir>/<hex[0:2]>/<hex[2:32]>.res      committed entries
+//   <dir>/tmp-<hex>-<pid>                 in-flight writes (never read)
+//
+// Every entry file is self-validating: a magic/version header, the full
+// fingerprint it claims to answer for, the payload length, and a 128-bit
+// payload checksum. load() re-verifies all of it; any mismatch — torn
+// write, bit rot, a deliberately poisoned file, a foreign format — counts
+// as `corrupt` and reads as a MISS, never as a wrong answer. Commits are
+// write-to-temp + fsync + atomic rename, so a SIGKILL mid-store leaves
+// either the old entry or none, never a half entry.
+//
+// An in-memory LRU (bounded by entries and bytes) fronts the directory so
+// a sweep that revisits a cell pays the disk read once. All methods are
+// thread-safe (one mutex; entries are KB-scale and trials are seconds-
+// scale, so lock width is irrelevant here).
+//
+// The cache stores bytes, not results: callers pair it with
+// campaign::serialize / deserialize_* and treat deserialization failures
+// as misses too (see run_cached_* in campaign/runner.hpp).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "campaign/fingerprint.hpp"
+
+namespace dfsim::campaign {
+
+/// Hit/miss/byte accounting, surfaced through core::print_cache_summary.
+struct CacheStats {
+  std::uint64_t hits = 0;        ///< served (memory or disk)
+  std::uint64_t mem_hits = 0;    ///< subset of hits served from the LRU
+  std::uint64_t misses = 0;      ///< no entry (or invalidated entry)
+  std::uint64_t corrupt = 0;     ///< entries rejected by validation
+  std::uint64_t stores = 0;      ///< entries committed
+  std::uint64_t bytes_read = 0;  ///< payload bytes served from disk
+  std::uint64_t bytes_written = 0;
+
+  [[nodiscard]] double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total > 0 ? static_cast<double>(hits) / static_cast<double>(total)
+                     : 0.0;
+  }
+};
+
+class ResultCache {
+ public:
+  struct Options {
+    /// Cache root. Empty = memory-only (LRU works, nothing persists).
+    std::string dir = ".dfsim-cache";
+    std::size_t mem_entries = 256;
+    std::size_t mem_bytes = std::size_t{64} << 20;
+  };
+
+  ResultCache();  ///< default Options
+  explicit ResultCache(Options opt);
+
+  /// Memory-only cache (tests, or --cache-dir= with an empty value).
+  [[nodiscard]] static ResultCache memory_only() {
+    Options o;
+    o.dir.clear();
+    return ResultCache(o);
+  }
+
+  /// Payload bytes for `fp`, or nullopt (miss — including corrupt/foreign
+  /// entries, which are counted separately in stats().corrupt).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> load(
+      const Fingerprint& fp);
+
+  /// Commit `payload` for `fp` (atomic replace; also refreshes the LRU).
+  void store(const Fingerprint& fp, std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] CacheStats stats() const;
+  [[nodiscard]] const std::string& dir() const { return opt_.dir; }
+  [[nodiscard]] bool persistent() const { return !opt_.dir.empty(); }
+
+  /// Committed entry path for a fingerprint (for tests that corrupt
+  /// entries on purpose).
+  [[nodiscard]] std::string entry_path(const Fingerprint& fp) const;
+
+ private:
+  void lru_put(const std::string& key, std::vector<std::uint8_t> bytes);
+  std::optional<std::vector<std::uint8_t>> lru_get(const std::string& key);
+  std::optional<std::vector<std::uint8_t>> disk_load(const Fingerprint& fp);
+  bool disk_store(const Fingerprint& fp,
+                  std::span<const std::uint8_t> payload);
+
+  Options opt_;
+  mutable std::mutex mu_;
+  CacheStats stats_;
+  /// LRU: most-recent at front; map values point into the list.
+  std::list<std::pair<std::string, std::vector<std::uint8_t>>> lru_;
+  std::unordered_map<std::string, decltype(lru_)::iterator> index_;
+  std::size_t lru_bytes_ = 0;
+};
+
+}  // namespace dfsim::campaign

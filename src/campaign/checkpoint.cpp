@@ -1,0 +1,110 @@
+#include "campaign/checkpoint.hpp"
+
+#include <utility>
+
+#include "mpi/machine.hpp"
+#include "net/network.hpp"
+#include "sim/hash.hpp"
+
+namespace dfsim::campaign {
+
+sim::EngineSnapshot capture_snapshot(mpi::Machine& machine,
+                                     const Fingerprint& fp) {
+  sim::EngineSnapshot s;
+  s.scenario_hi = fp.hi;
+  s.scenario_lo = fp.lo;
+  s.salt = kEngineVersionSalt;
+  s.checkpoint_time = machine.engine().now();
+  if (auto* se = machine.sharded_engine()) {
+    for (int i = 0; i < se->num_shards(); ++i)
+      s.shards.push_back(
+          {se->shard(i).now(), se->shard(i).events_executed()});
+  } else {
+    s.shards.push_back(
+        {machine.engine().now(), machine.engine().events_executed()});
+  }
+  sim::Hasher128 h;
+  h.update_field(s.salt);
+  h.update_u64(fp.hi);
+  h.update_u64(fp.lo);
+  h.update_i64(s.checkpoint_time);
+  h.update_u64(s.shards.size());
+  for (const auto& c : s.shards) {
+    h.update_i64(c.now);
+    h.update_u64(c.events);
+  }
+  machine.network().digest_state(h);
+  const sim::Hash128 d = h.finalize();
+  s.digest_hi = d.hi;
+  s.digest_lo = d.lo;
+  return s;
+}
+
+core::RunResult run_production_checkpointed(const core::ScenarioConfig& raw,
+                                            const CheckpointOptions& opt) {
+  core::ScenarioConfig cfg = raw.resolve();
+  const Fingerprint fp = scenario_fingerprint(cfg);
+  const sim::Tick interval = opt.interval > 0 ? opt.interval : 1;
+  const SnapshotSink& sink = opt.sink;
+  cfg.completion_driver = [&fp, interval, &sink](
+                              mpi::Machine& m,
+                              std::span<const mpi::JobId> watch) -> bool {
+    sim::Tick next = m.checkpoint_time(m.engine().now() + interval);
+    for (;;) {
+      if (m.run_to_completion_until(watch, next)) return true;
+      if (m.budget_exhausted()) return false;
+      // Idle with the watch incomplete: an unbounded run would return
+      // false here too (the system is dead, not merely between events).
+      if (m.next_event_time() == sim::Engine::kNoEvent) return false;
+      if (sink) sink(capture_snapshot(m, fp));
+      next = m.checkpoint_time(next + interval);
+    }
+  };
+  return core::run_production(cfg);
+}
+
+core::RunResult restore_production(const core::ScenarioConfig& raw,
+                                   const sim::EngineSnapshot& snap) {
+  core::ScenarioConfig cfg = raw.resolve();
+  const Fingerprint fp = scenario_fingerprint(cfg);
+  core::RunResult rejected;
+  if (snap.salt != kEngineVersionSalt) {
+    rejected.fail_reason = "restore rejected: snapshot salt \"" + snap.salt +
+                           "\" != engine salt \"" + kEngineVersionSalt + "\"";
+    return rejected;
+  }
+  if (snap.scenario_hi != fp.hi || snap.scenario_lo != fp.lo) {
+    rejected.fail_reason =
+        "restore rejected: snapshot fingerprint " +
+        sim::Hash128{snap.scenario_hi, snap.scenario_lo}.hex() +
+        " does not match scenario " + fp.hex();
+    return rejected;
+  }
+  std::string mismatch;
+  cfg.completion_driver = [&fp, &snap, &mismatch](
+                              mpi::Machine& m,
+                              std::span<const mpi::JobId> watch) -> bool {
+    // Deterministic replay: one slice straight to the checkpoint boundary.
+    // Slicing is schedule-neutral, so taking it in one hop reproduces the
+    // exact state of the original run's (possibly many) slices.
+    if (m.run_to_completion_until(watch, snap.checkpoint_time)) {
+      mismatch = "run completed before the snapshot's checkpoint time";
+      return true;
+    }
+    const sim::EngineSnapshot here = capture_snapshot(m, fp);
+    if (!(here == snap)) {
+      mismatch = "state digest/clock mismatch at checkpoint time " +
+                 std::to_string(snap.checkpoint_time);
+      return false;
+    }
+    return m.run_to_completion(watch);
+  };
+  core::RunResult res = core::run_production(cfg);
+  if (!mismatch.empty()) {
+    res.ok = false;
+    res.fail_reason = "restore rejected: " + mismatch;
+  }
+  return res;
+}
+
+}  // namespace dfsim::campaign

@@ -1,0 +1,58 @@
+// Checkpointed production runs: capture, periodic checkpointing, restore.
+//
+// Built on two guarantees from the layers below:
+//  * Machine::run_to_completion_until slices a run at checkpoint
+//    boundaries without changing its schedule (grid-aligned exclusive
+//    windows in sharded mode; see ShardedEngine::run_until_exclusive), so
+//    a checkpointed run's RunResult is byte-identical to an uninterrupted
+//    core::run_production of the same config — in BOTH determinism
+//    families.
+//  * Every run is a pure function of (resolved config, seed), so restoring
+//    a sim::EngineSnapshot is deterministic replay: rebuild the machine,
+//    run to the checkpoint time in one slice, and verify that the state
+//    digest matches the capture. Mismatch (wrong scenario, wrong engine
+//    version, corrupted snapshot) rejects the restore with ok=false —
+//    never a silently wrong answer.
+#pragma once
+
+#include <functional>
+
+#include "campaign/fingerprint.hpp"
+#include "core/experiment.hpp"
+#include "sim/snapshot.hpp"
+
+namespace dfsim::campaign {
+
+/// Capture a verified logical checkpoint of `machine` at its current
+/// simulated time. The machine must be quiesced (between runs). `fp` is
+/// the scenario fingerprint the snapshot will answer for.
+[[nodiscard]] sim::EngineSnapshot capture_snapshot(mpi::Machine& machine,
+                                                   const Fingerprint& fp);
+
+/// Called with each snapshot as it is taken (typically: serialize it to
+/// the campaign journal or a checkpoint file).
+using SnapshotSink = std::function<void(const sim::EngineSnapshot&)>;
+
+struct CheckpointOptions {
+  /// Desired simulated time between checkpoints; each boundary is aligned
+  /// via Machine::checkpoint_time. Values <= 0 are treated as 1 ns.
+  sim::Tick interval = 0;
+  SnapshotSink sink;
+};
+
+/// core::run_production with the measurement phase sliced at checkpoint
+/// boundaries, invoking `opt.sink` at each one. Byte-identical result to
+/// the unsliced run (the determinism tests pin this for serial and
+/// sharded substrates).
+[[nodiscard]] core::RunResult run_production_checkpointed(
+    const core::ScenarioConfig& cfg, const CheckpointOptions& opt);
+
+/// Replay `cfg` to `snap.checkpoint_time`, verify the snapshot (salt,
+/// scenario fingerprint, per-shard clocks, state digest), then continue to
+/// completion. On success the result is byte-identical to an uninterrupted
+/// run; any verification failure returns ok=false with a fail_reason
+/// starting with "restore rejected:".
+[[nodiscard]] core::RunResult restore_production(
+    const core::ScenarioConfig& cfg, const sim::EngineSnapshot& snap);
+
+}  // namespace dfsim::campaign

@@ -1,0 +1,44 @@
+#include "campaign/fingerprint.hpp"
+
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace dfsim::campaign {
+
+Fingerprint scenario_fingerprint(const core::ScenarioConfig& cfg,
+                                 const std::string& salt) {
+  core::ScenarioConfig canon = cfg.resolve();
+  // Wall-clock-only substrate knobs collapse to their determinism class:
+  // results are byte-identical for every shard count >= 1 and for every
+  // worker count, so distinct widths must share a content address.
+  canon.shards = canon.shards >= 1 ? 1 : 0;
+  canon.shard_workers = 0;
+
+  sim::Hasher128 h;
+  h.update_field(salt);
+  const std::vector<std::string> row = core::scenario_csv_row(canon);
+  h.update_u64(row.size());
+  for (const std::string& cell : row) h.update_field(cell);
+  // Result-affecting fields that are not CSV columns ride behind the row.
+  // coalesce_events is pinned result-neutral by tests, but it is still a
+  // distinct configuration — the acceptance contract is "any config field
+  // change changes the fingerprint", and a false cache miss is harmless
+  // where a false hit would not be.
+  h.update_field("coalesce_events");
+  h.update_u64(cfg.coalesce_events ? 1 : 0);
+  // AppParams is not a CSV column either, and every field of it shapes the
+  // workload (message sizes, compute blocks, iteration count, app seed).
+  h.update_field("params");
+  h.update_i64(cfg.params.iterations);
+  h.update_f64(cfg.params.msg_scale);
+  h.update_f64(cfg.params.compute_scale);
+  h.update_u64(cfg.params.seed);
+  return h.finalize();
+}
+
+Fingerprint scenario_fingerprint(const core::ScenarioConfig& cfg) {
+  return scenario_fingerprint(cfg, kEngineVersionSalt);
+}
+
+}  // namespace dfsim::campaign

@@ -1,0 +1,56 @@
+// Canonical scenario fingerprint: the content address of one trial.
+//
+// A fingerprint is a 128-bit hash over the canonical text form of a
+// ScenarioConfig (core::scenario_csv_row, whose float cells are shortest
+// round-trip std::to_chars — locale- and platform-independent), the trial
+// seed (already a row cell), and an engine-version salt. Two runs with
+// equal fingerprints are guaranteed byte-identical results, because
+//
+//  * every result-affecting ScenarioConfig field is a row cell, and the
+//    two execution-substrate cells that are wall-clock-only are
+//    canonicalized before hashing: `shards` collapses to its determinism
+//    family (0 = serial, 1 = sharded — results are byte-identical for
+//    every shard count >= 1) and `shard_workers` collapses to 0 (worker
+//    count never affects results). A cached result therefore hits across
+//    equivalent substrate widths but never across the serial/sharded
+//    family boundary;
+//  * the salt names the engine version: any model change that alters
+//    simulation results must bump kEngineVersionSalt (see docs/MODEL.md
+//    section 12 for the policy), which invalidates every cached entry at
+//    the fingerprint level — stale caches read as misses, never as wrong
+//    answers.
+//
+// The fingerprint is computed on the *resolved* config (ScenarioConfig::
+// resolve()), so environment sniffing (DFSIM_TEST_SHARDS) is folded in
+// exactly once and a scenario fingerprints identically however the shard
+// request was spelled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/hash.hpp"
+
+namespace dfsim::core {
+struct ScenarioConfig;
+}
+
+namespace dfsim::campaign {
+
+using Fingerprint = sim::Hash128;
+
+/// Engine-version salt. Bump whenever a change alters simulation results
+/// (event order, model behaviour, result fields) so pre-change cache
+/// entries and snapshots stop resolving. Pure perf / observability changes
+/// keep the salt.
+inline constexpr const char* kEngineVersionSalt = "dfsim-engine/v8";
+
+/// Fingerprint of one trial: resolved config + seed + engine salt.
+[[nodiscard]] Fingerprint scenario_fingerprint(const core::ScenarioConfig& cfg);
+
+/// Fingerprint with an explicit salt (the salt test hooks this; production
+/// code always uses the kEngineVersionSalt overload above).
+[[nodiscard]] Fingerprint scenario_fingerprint(const core::ScenarioConfig& cfg,
+                                               const std::string& salt);
+
+}  // namespace dfsim::campaign

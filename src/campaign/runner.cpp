@@ -1,0 +1,254 @@
+#include "campaign/runner.hpp"
+
+#include <charconv>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "campaign/checkpoint.hpp"
+#include "campaign/serialize.hpp"
+#include "core/runner.hpp"
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace dfsim::campaign {
+
+namespace {
+
+std::string f64_json(double v) {
+  char buf[64];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{}) return "0";
+  return std::string(buf, p);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Core of every cached run: cache lookup, else execute (optionally with
+/// checkpoint slicing) and commit.
+CachedRun run_one(const core::ScenarioConfig& raw, ResultCache& cache,
+                  sim::Tick checkpoint_interval, std::uint64_t* snapshots) {
+  CachedRun out;
+  const core::ScenarioConfig cfg = raw.resolve();
+  out.fp = scenario_fingerprint(cfg);
+  if (auto bytes = cache.load(out.fp)) {
+    try {
+      out.result = deserialize_run_result(*bytes);
+      out.from_cache = true;
+      return out;
+    } catch (const SerializeError&) {
+      // Stale or foreign payload (e.g. a format-version bump): fall
+      // through and recompute; the fresh store replaces the entry.
+    }
+  }
+  if (checkpoint_interval > 0) {
+    CheckpointOptions co;
+    co.interval = checkpoint_interval;
+    if (snapshots != nullptr)
+      co.sink = [snapshots](const sim::EngineSnapshot&) { ++*snapshots; };
+    out.result = run_production_checkpointed(cfg, co);
+  } else {
+    out.result = core::run_production(cfg);
+  }
+  cache.store(out.fp, serialize(out.result));
+  return out;
+}
+
+/// Parse the cell index and fingerprint out of one journal line; returns
+/// false on anything that is not a well-formed line of our own format.
+bool parse_journal_line(const std::string& line, int& index,
+                        std::string& fp_hex) {
+  constexpr const char* kHead = "{\"i\":";
+  if (line.rfind(kHead, 0) != 0) return false;
+  const char* first = line.c_str() + 5;
+  const char* last = line.c_str() + line.size();
+  const auto [p, ec] = std::from_chars(first, last, index);
+  if (ec != std::errc{} || p == last || *p != ',') return false;
+  const std::size_t at = line.find("\"fp\":\"");
+  if (at == std::string::npos || at + 6 + 32 > line.size()) return false;
+  fp_hex = line.substr(at + 6, 32);
+  return line.back() == '}';
+}
+
+}  // namespace
+
+CachedRun run_cached_production(const core::ScenarioConfig& cfg,
+                                ResultCache& cache) {
+  return run_one(cfg, cache, 0, nullptr);
+}
+
+core::BatchResult run_cached_production_ensemble(
+    const core::ScenarioConfig& cfg, int samples,
+    const core::BatchOptions& opts, ResultCache& cache) {
+  core::BatchResult b;
+  const auto seeds = core::derive_trial_seeds(cfg.seed, samples);
+  std::vector<double> wall(static_cast<std::size_t>(samples > 0 ? samples : 0));
+  std::vector<Fingerprint> fps(wall.size());
+  core::TrialRunner runner(opts.jobs);
+  b.results = runner.map(samples, [&](int i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    core::ScenarioConfig c = cfg;
+    c.seed = seeds[static_cast<std::size_t>(i)];
+    CachedRun cr = run_one(c, cache, 0, nullptr);
+    fps[static_cast<std::size_t>(i)] = cr.fp;
+    wall[static_cast<std::size_t>(i)] =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+    return std::move(cr.result);
+  });
+  b.stats = runner.stats();
+  b.trials.reserve(b.results.size());
+  for (std::size_t i = 0; i < b.results.size(); ++i) {
+    const auto& r = b.results[i];
+    core::TrialReport t;
+    t.index = static_cast<int>(i);
+    t.ok = r.ok;
+    // Same failure tag core::run_production_ensemble attaches: trial index
+    // plus the fingerprint prefix of the exact scenario that failed.
+    t.fail_reason = r.ok ? r.fail_reason
+                         : "[trial " + std::to_string(i) +
+                               " fp=" + fps[i].hex_prefix(16) + "] " +
+                               r.fail_reason;
+    t.wall_ms = wall[i];
+    t.events = r.events_executed;
+    t.budget_exhausted = r.budget_exhausted;
+    b.trials.push_back(std::move(t));
+  }
+  return b;
+}
+
+Runner::Runner(std::vector<SweepCell> cells, ResultCache& cache,
+               RunnerOptions opt)
+    : cells_(std::move(cells)), cache_(cache), opt_(std::move(opt)) {}
+
+std::string Runner::journal_line(int index, const std::string& label,
+                                 const Fingerprint& fp,
+                                 const core::RunResult& r) {
+  std::string s = "{\"i\":" + std::to_string(index) + ",\"label\":\"" +
+                  json_escape(label) + "\",\"fp\":\"" + fp.hex() +
+                  "\",\"ok\":" + (r.ok ? "true" : "false") +
+                  ",\"runtime_ms\":" + f64_json(r.runtime_ms) +
+                  ",\"events\":" + std::to_string(r.events_executed) +
+                  ",\"groups\":" + std::to_string(r.groups_spanned) +
+                  ",\"digest\":\"" + result_digest(r).hex() + "\"";
+  if (!r.ok) s += ",\"fail_reason\":\"" + json_escape(r.fail_reason) + "\"";
+  s += "}";
+  return s;
+}
+
+Runner::Outcome Runner::run() {
+  namespace fs = std::filesystem;
+  Outcome oc;
+  oc.total = static_cast<int>(cells_.size());
+
+  std::size_t start = 0;
+  std::FILE* f = nullptr;
+  if (!opt_.out_path.empty()) {
+    if (opt_.resume) {
+      // Validate the existing journal as a strict (index, fingerprint)
+      // prefix of this grid; keep exactly the valid bytes and re-run the
+      // rest. A torn final line (no trailing newline — the SIGKILL case)
+      // and any divergent tail are truncated away.
+      std::string content;
+      if (std::ifstream in(opt_.out_path, std::ios::binary); in)
+        content.assign(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+      std::size_t keep = 0;  // byte offset of the validated prefix end
+      std::size_t pos = 0;
+      while (start < cells_.size()) {
+        const std::size_t nl = content.find('\n', pos);
+        if (nl == std::string::npos) break;  // torn or absent line
+        int index = -1;
+        std::string fp_hex;
+        if (!parse_journal_line(content.substr(pos, nl - pos), index,
+                                fp_hex) ||
+            index != static_cast<int>(start) ||
+            fp_hex != scenario_fingerprint(cells_[start].cfg).hex())
+          break;  // grid changed under us: re-run from here
+        pos = nl + 1;
+        keep = pos;
+        ++start;
+      }
+      if (keep != content.size()) {
+        std::error_code ec;
+        if (!content.empty()) fs::resize_file(opt_.out_path, keep, ec);
+        if (ec) {
+          oc.error = "cannot truncate journal " + opt_.out_path + ": " +
+                     ec.message();
+          return oc;
+        }
+      }
+      f = std::fopen(opt_.out_path.c_str(), "ab");
+    } else {
+      f = std::fopen(opt_.out_path.c_str(), "wb");
+    }
+    if (f == nullptr) {
+      oc.error = "cannot open journal " + opt_.out_path;
+      return oc;
+    }
+  }
+  oc.skipped = static_cast<int>(start);
+
+  for (std::size_t i = start; i < cells_.size(); ++i) {
+    CachedRun cr = run_one(cells_[i].cfg, cache_, opt_.checkpoint_interval,
+                           &oc.snapshots);
+    if (cr.from_cache)
+      ++oc.served;
+    else
+      ++oc.executed;
+    if (!cr.result.ok) ++oc.failed;
+    if (f != nullptr) {
+      const std::string line =
+          journal_line(static_cast<int>(i), cells_[i].label, cr.fp,
+                       cr.result) +
+          "\n";
+      const bool wrote =
+          std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+          std::fflush(f) == 0;
+#ifndef _WIN32
+      // The durable line is the progress marker: until it hits the disk,
+      // the cell is not "done" and a resume will redo it (cheaply — the
+      // cache entry it committed above survives the kill).
+      const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+#else
+      const bool synced = wrote;
+#endif
+      if (!synced) {
+        oc.error = "journal write failed at cell " + std::to_string(i);
+        std::fclose(f);
+        return oc;
+      }
+    }
+  }
+  if (f != nullptr) std::fclose(f);
+  oc.ok = true;
+  return oc;
+}
+
+}  // namespace dfsim::campaign

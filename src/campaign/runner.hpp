@@ -1,0 +1,109 @@
+// Cached runs and the resumable sweep runner.
+//
+// run_cached_production / run_cached_production_ensemble put a
+// content-addressed ResultCache in front of the core entry points: a
+// scenario whose fingerprint has a valid cache entry is answered from
+// bytes, everything else runs and is committed back. Ensembles cache at
+// per-TRIAL granularity (each trial's fingerprint uses its derived seed),
+// so adding samples to a swept cell only pays for the new trials.
+//
+// campaign::Runner executes a list of sweep cells and emits one JSONL
+// record per cell into an output file that doubles as the resume journal:
+//
+//   * every record holds only DETERMINISTIC fields (cell index, label,
+//     fingerprint, ok/fail_reason, simulated runtime, event count, and the
+//     canonical result digest) — never wall-clock or cache provenance —
+//     so a resumed run's output is byte-identical to an uninterrupted one;
+//   * each line is flushed + fsync'd before the next cell starts: the
+//     last durable line IS the progress marker;
+//   * --resume validates the existing file as a strict prefix of the
+//     expected (index, fingerprint) sequence, truncates a torn final line
+//     (the SIGKILL case) or any divergent tail (a changed grid), and
+//     continues from the first missing cell. Completed cells are not even
+//     looked up again; interrupted cells usually hit the cache entries the
+//     killed run already committed (entry commits are atomic, so a torn
+//     store is invisible).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/fingerprint.hpp"
+#include "core/experiment.hpp"
+#include "sim/time.hpp"
+
+namespace dfsim::campaign {
+
+/// A cached single production run.
+struct CachedRun {
+  core::RunResult result;
+  Fingerprint fp;
+  bool from_cache = false;
+};
+
+/// Serve `cfg` from `cache` if possible, else run it and commit the result.
+/// Invalid/corrupt cached bytes are treated as a miss, never returned.
+[[nodiscard]] CachedRun run_cached_production(const core::ScenarioConfig& cfg,
+                                              ResultCache& cache);
+
+/// core::run_production_ensemble with per-trial caching. Trial i's cache
+/// key is the fingerprint of (cfg with seed = derived seed i); results are
+/// byte-identical to the uncached ensemble for every worker count.
+/// TrialReport::wall_ms reflects cache-hit cost for served trials.
+[[nodiscard]] core::BatchResult run_cached_production_ensemble(
+    const core::ScenarioConfig& cfg, int samples,
+    const core::BatchOptions& opts, ResultCache& cache);
+
+/// One cell of a sweep grid.
+struct SweepCell {
+  core::ScenarioConfig cfg;
+  std::string label;  ///< human-readable cell id, stored in the journal
+};
+
+struct RunnerOptions {
+  /// JSONL output path; also the resume journal. Empty = stdout-less dry
+  /// run (cells still execute and populate the cache).
+  std::string out_path;
+  /// Continue a previous run of the SAME grid into out_path.
+  bool resume = false;
+  /// > 0: run cache misses through run_production_checkpointed with this
+  /// simulated-time interval (snapshots are taken and verified-capturable;
+  /// results stay byte-identical to unsliced runs).
+  sim::Tick checkpoint_interval = 0;
+};
+
+/// Executes the cells in order. Not a TrialRunner fan-out: the journal is
+/// strictly ordered, and cross-cell parallelism would buy little on top of
+/// the sharded engine each cell already uses.
+class Runner {
+ public:
+  Runner(std::vector<SweepCell> cells, ResultCache& cache, RunnerOptions opt);
+
+  struct Outcome {
+    bool ok = false;
+    std::string error;       ///< empty when ok
+    int total = 0;           ///< grid size
+    int skipped = 0;         ///< cells already in the journal (resume)
+    int served = 0;          ///< cells answered from the cache
+    int executed = 0;        ///< cells actually simulated
+    int failed = 0;          ///< cells with result.ok == false
+    std::uint64_t snapshots = 0;  ///< checkpoints taken (checkpoint mode)
+  };
+  [[nodiscard]] Outcome run();
+
+  /// The journal line for a cell result (exposed for tests that assert
+  /// byte-identity without going through files).
+  [[nodiscard]] static std::string journal_line(int index,
+                                                const std::string& label,
+                                                const Fingerprint& fp,
+                                                const core::RunResult& r);
+
+ private:
+  std::vector<SweepCell> cells_;
+  ResultCache& cache_;
+  RunnerOptions opt_;
+};
+
+}  // namespace dfsim::campaign

@@ -1,0 +1,443 @@
+#include "campaign/serialize.hpp"
+
+#include <cstring>
+
+namespace dfsim::campaign {
+
+namespace {
+
+constexpr std::uint8_t kTagRunResult = 0x52;       // 'R'
+constexpr std::uint8_t kTagEnsembleResult = 0x45;  // 'E'
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void boolean(bool v) { u8(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+  template <class T, class Fn>
+  void vec(const std::vector<T>& v, Fn&& one) {
+    u32(static_cast<std::uint32_t>(v.size()));
+    for (const T& x : v) one(x);
+  }
+
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> bytes) : b_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return b_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i)
+      v = (v << 8) | b_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i)
+      v = (v << 8) | b_[pos_ + static_cast<std::size_t>(i)];
+    pos_ += 8;
+    return v;
+  }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+  bool boolean() { return u8() != 0; }
+  std::string str() {
+    const std::uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(b_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+  /// Element count for a vector about to be read; bounded by the remaining
+  /// bytes so a corrupt length cannot drive a huge allocation.
+  std::uint32_t count(std::size_t min_elem_bytes) {
+    const std::uint32_t n = u32();
+    if (min_elem_bytes > 0 && n > (b_.size() - pos_) / min_elem_bytes)
+      throw SerializeError("corrupt vector length");
+    return n;
+  }
+  void expect_end() const {
+    if (pos_ != b_.size()) throw SerializeError("trailing bytes");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (b_.size() - pos_ < n) throw SerializeError("truncated stream");
+  }
+  std::span<const std::uint8_t> b_;
+  std::size_t pos_ = 0;
+};
+
+// --- nested blocks ------------------------------------------------------
+
+void put(ByteWriter& w, const net::ClassCounters& c) {
+  w.i64(c.flits);
+  w.i64(c.stall_ns);
+}
+void get(ByteReader& r, net::ClassCounters& c) {
+  c.flits = r.i64();
+  c.stall_ns = r.i64();
+}
+
+void put(ByteWriter& w, const net::CounterSnapshot& s) {
+  put(w, s.rank1);
+  put(w, s.rank2);
+  put(w, s.rank3);
+  put(w, s.proc_req);
+  put(w, s.proc_rsp);
+  w.i64(s.nic_rsp_time_sum_ns);
+  w.i64(s.nic_rsp_track_count);
+}
+void get(ByteReader& r, net::CounterSnapshot& s) {
+  get(r, s.rank1);
+  get(r, s.rank2);
+  get(r, s.rank3);
+  get(r, s.proc_req);
+  get(r, s.proc_rsp);
+  s.nic_rsp_time_sum_ns = r.i64();
+  s.nic_rsp_track_count = r.i64();
+}
+
+void put(ByteWriter& w, const net::NetworkStats& s) {
+  w.i64(s.packets_injected);
+  w.i64(s.packets_delivered);
+  w.i64(s.minimal_decisions);
+  w.i64(s.nonminimal_decisions);
+  w.i64(s.total_hops);
+  w.i64(s.escapes);
+  w.i64(s.throttle_activations);
+  for (int m = 0; m < routing::kNumModes; ++m)
+    for (int d = 0; d < 2; ++d) w.i64(s.decisions_by_mode[m][d]);
+}
+void get(ByteReader& r, net::NetworkStats& s) {
+  s.packets_injected = r.i64();
+  s.packets_delivered = r.i64();
+  s.minimal_decisions = r.i64();
+  s.nonminimal_decisions = r.i64();
+  s.total_hops = r.i64();
+  s.escapes = r.i64();
+  s.throttle_activations = r.i64();
+  for (int m = 0; m < routing::kNumModes; ++m)
+    for (int d = 0; d < 2; ++d) s.decisions_by_mode[m][d] = r.i64();
+}
+
+void put(ByteWriter& w, const net::FlitTimes& f) {
+  w.f64(f.rank1);
+  w.f64(f.rank2);
+  w.f64(f.rank3);
+  w.f64(f.proc);
+}
+void get(ByteReader& r, net::FlitTimes& f) {
+  f.rank1 = r.f64();
+  f.rank2 = r.f64();
+  f.rank3 = r.f64();
+  f.proc = r.f64();
+}
+
+void put(ByteWriter& w, const fault::FaultStats& s) {
+  w.i64(s.faults_applied);
+  w.i64(s.repairs_applied);
+  w.i64(s.recomputes);
+  w.i64(s.packets_dropped);
+  w.i64(s.packets_rerouted);
+  w.i64(s.messages_retried);
+  w.i64(s.messages_abandoned);
+  w.i64(s.bytes_abandoned);
+  w.i64(s.dead_link_transmissions);
+  w.f64(s.degraded_bw_gbs);
+}
+void get(ByteReader& r, fault::FaultStats& s) {
+  s.faults_applied = r.i64();
+  s.repairs_applied = r.i64();
+  s.recomputes = r.i64();
+  s.packets_dropped = r.i64();
+  s.packets_rerouted = r.i64();
+  s.messages_retried = r.i64();
+  s.messages_abandoned = r.i64();
+  s.bytes_abandoned = r.i64();
+  s.dead_link_transmissions = r.i64();
+  s.degraded_bw_gbs = r.f64();
+}
+
+void put(ByteWriter& w, const mpi::Profile& p) {
+  for (int op = 0; op < mpi::kNumOps; ++op) {
+    const auto& s = p.stats(static_cast<mpi::Op>(op));
+    w.i64(s.calls);
+    w.i64(s.bytes);
+    w.i64(s.time_ns);
+  }
+}
+void get(ByteReader& r, mpi::Profile& p) {
+  for (int op = 0; op < mpi::kNumOps; ++op) {
+    mpi::OpStats s;
+    s.calls = r.i64();
+    s.bytes = r.i64();
+    s.time_ns = r.i64();
+    p.set_stats(static_cast<mpi::Op>(op), s);
+  }
+}
+
+void put(ByteWriter& w, const monitor::AutoPerfReport& a) {
+  w.str(a.app);
+  w.i32(a.nranks);
+  w.f64(a.runtime_ms);
+  put(w, a.profile);
+  put(w, a.local);
+  w.f64(a.mpi_fraction);
+}
+void get(ByteReader& r, monitor::AutoPerfReport& a) {
+  a.app = r.str();
+  a.nranks = r.i32();
+  a.runtime_ms = r.f64();
+  get(r, a.profile);
+  get(r, a.local);
+  a.mpi_fraction = r.f64();
+}
+
+void put(ByteWriter& w, const core::BackgroundFill& b) {
+  w.i32(b.jobs);
+  w.i32(b.total_nodes);
+  w.f64(b.target_utilization);
+  w.f64(b.achieved_utilization);
+  w.i32(b.allocation_attempts);
+  w.i32(b.allocation_failures);
+}
+void get(ByteReader& r, core::BackgroundFill& b) {
+  b.jobs = r.i32();
+  b.total_nodes = r.i32();
+  b.target_utilization = r.f64();
+  b.achieved_utilization = r.f64();
+  b.allocation_attempts = r.i32();
+  b.allocation_failures = r.i32();
+}
+
+void put(ByteWriter& w, const core::ShardExecStats& s) {
+  w.i32(s.shards);
+  w.i32(s.workers);
+  w.i32(s.workers_requested);
+  w.i64(s.lookahead);
+  w.u64(s.windows);
+  w.u64(s.merges);
+  w.u64(s.mail_records);
+  w.u64(s.mail_posted);
+  w.u64(s.mail_compacted);
+  w.i64(s.barrier_wait_ns);
+  w.i64(s.coord_ns);
+  w.vec(s.shard_events, [&](std::uint64_t e) { w.u64(e); });
+  w.vec(s.executor_busy_ns, [&](std::int64_t e) { w.i64(e); });
+  w.vec(s.executor_wait_ns, [&](std::int64_t e) { w.i64(e); });
+}
+void get(ByteReader& r, core::ShardExecStats& s) {
+  s.shards = r.i32();
+  s.workers = r.i32();
+  s.workers_requested = r.i32();
+  s.lookahead = r.i64();
+  s.windows = r.u64();
+  s.merges = r.u64();
+  s.mail_records = r.u64();
+  s.mail_posted = r.u64();
+  s.mail_compacted = r.u64();
+  s.barrier_wait_ns = r.i64();
+  s.coord_ns = r.i64();
+  for (std::uint32_t i = 0, n = r.count(8); i < n; ++i)
+    s.shard_events.push_back(r.u64());
+  for (std::uint32_t i = 0, n = r.count(8); i < n; ++i)
+    s.executor_busy_ns.push_back(r.i64());
+  for (std::uint32_t i = 0, n = r.count(8); i < n; ++i)
+    s.executor_wait_ns.push_back(r.i64());
+}
+
+void put(ByteWriter& w, const monitor::LdmsSample& s) {
+  w.i64(s.t);
+  put(w, s.cumulative);
+  put(w, s.faults);
+}
+void get(ByteReader& r, monitor::LdmsSample& s) {
+  s.t = r.i64();
+  get(r, s.cumulative);
+  get(r, s.faults);
+}
+
+void put(ByteWriter& w, const monitor::TileCounters& t) {
+  w.i32(t.router);
+  w.i32(t.port);
+  w.i32(static_cast<std::int32_t>(t.cls));
+  w.i64(t.flits);
+  w.i64(t.stall_ns);
+}
+void get(ByteReader& r, monitor::TileCounters& t) {
+  t.router = r.i32();
+  t.port = r.i32();
+  t.cls = static_cast<topo::TileClass>(r.i32());
+  t.flits = r.i64();
+  t.stall_ns = r.i64();
+}
+
+void header(ByteWriter& w, std::uint8_t tag) {
+  w.u8(tag);
+  w.u32(kResultFormatVersion);
+}
+
+void check_header(ByteReader& r, std::uint8_t tag) {
+  if (r.u8() != tag) throw SerializeError("result kind mismatch");
+  if (r.u32() != kResultFormatVersion)
+    throw SerializeError("result format version mismatch");
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize(const core::RunResult& res,
+                                    Canonical canon) {
+  ByteWriter w;
+  header(w, kTagRunResult);
+  w.boolean(res.ok);
+  w.str(res.fail_reason);
+  w.f64(res.runtime_ms);
+  w.i32(res.groups_spanned);
+  put(w, res.background);
+  put(w, res.autoperf);
+  put(w, res.global);
+  put(w, res.netstats);
+  put(w, res.flit_times);
+  w.u64(res.events_executed);
+  w.boolean(res.budget_exhausted);
+  put(w, res.faults);
+  // Substrate observability last, behind a presence flag: canonical form
+  // (determinism comparisons) drops it, full form (cache) keeps it.
+  if (canon == Canonical::kYes) {
+    w.u8(0);
+  } else {
+    w.u8(1);
+    put(w, res.shard_exec);
+  }
+  return w.take();
+}
+
+core::RunResult deserialize_run_result(std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_header(r, kTagRunResult);
+  core::RunResult res;
+  res.ok = r.boolean();
+  res.fail_reason = r.str();
+  res.runtime_ms = r.f64();
+  res.groups_spanned = r.i32();
+  get(r, res.background);
+  get(r, res.autoperf);
+  get(r, res.global);
+  get(r, res.netstats);
+  get(r, res.flit_times);
+  res.events_executed = r.u64();
+  res.budget_exhausted = r.boolean();
+  get(r, res.faults);
+  if (r.u8() != 0) get(r, res.shard_exec);
+  r.expect_end();
+  return res;
+}
+
+std::vector<std::uint8_t> serialize(const core::EnsembleResult& res,
+                                    Canonical canon) {
+  (void)canon;  // nothing wall-clock-dependent in an EnsembleResult
+  ByteWriter w;
+  header(w, kTagEnsembleResult);
+  w.boolean(res.ok);
+  w.str(res.fail_reason);
+  w.vec(res.runtimes_ms, [&](double v) { w.f64(v); });
+  put(w, res.total);
+  w.vec(res.ldms, [&](const monitor::LdmsSample& s) { put(w, s); });
+  w.vec(res.tiles, [&](const monitor::TileCounters& t) { put(w, t); });
+  put(w, res.netstats);
+  put(w, res.flit_times);
+  w.u64(res.events_executed);
+  w.boolean(res.budget_exhausted);
+  put(w, res.faults);
+  return w.take();
+}
+
+core::EnsembleResult deserialize_ensemble_result(
+    std::span<const std::uint8_t> bytes) {
+  ByteReader r(bytes);
+  check_header(r, kTagEnsembleResult);
+  core::EnsembleResult res;
+  res.ok = r.boolean();
+  res.fail_reason = r.str();
+  for (std::uint32_t i = 0, n = r.count(8); i < n; ++i)
+    res.runtimes_ms.push_back(r.f64());
+  get(r, res.total);
+  for (std::uint32_t i = 0, n = r.count(8); i < n; ++i) {
+    monitor::LdmsSample s;
+    get(r, s);
+    res.ldms.push_back(s);
+  }
+  for (std::uint32_t i = 0, n = r.count(8); i < n; ++i) {
+    monitor::TileCounters t;
+    get(r, t);
+    res.tiles.push_back(t);
+  }
+  get(r, res.netstats);
+  get(r, res.flit_times);
+  res.events_executed = r.u64();
+  res.budget_exhausted = r.boolean();
+  get(r, res.faults);
+  r.expect_end();
+  return res;
+}
+
+bool is_run_result(std::span<const std::uint8_t> bytes) {
+  return !bytes.empty() && bytes[0] == kTagRunResult;
+}
+bool is_ensemble_result(std::span<const std::uint8_t> bytes) {
+  return !bytes.empty() && bytes[0] == kTagEnsembleResult;
+}
+
+namespace {
+sim::Hash128 digest_bytes(const std::vector<std::uint8_t>& b) {
+  sim::Hasher128 h;
+  h.update(b.data(), b.size());
+  return h.finalize();
+}
+}  // namespace
+
+sim::Hash128 result_digest(const core::RunResult& r) {
+  return digest_bytes(serialize(r, Canonical::kYes));
+}
+sim::Hash128 result_digest(const core::EnsembleResult& r) {
+  return digest_bytes(serialize(r, Canonical::kYes));
+}
+
+}  // namespace dfsim::campaign

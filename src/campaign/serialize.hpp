@@ -1,0 +1,63 @@
+// Versioned binary serialization of run results.
+//
+// The result cache stores RunResult / EnsembleResult as flat little-endian
+// byte streams (fixed-width fields, length-prefixed strings and vectors).
+// Two forms:
+//
+//  * full (Canonical::kNo) — every field, including the ShardExecStats
+//    substrate-observability block (wall-clock times, worker counts). This
+//    is what the cache persists: a hit reproduces the original result
+//    object exactly, execution telemetry included.
+//  * canonical (Canonical::kYes) — drops the ShardExecStats block, which
+//    is the only part of a result that is NOT a deterministic function of
+//    the scenario (barrier waits are wall clock; worker counts are host
+//    properties; window/mail counts depend on the shard width within a
+//    determinism family). Canonical bytes of two runs are equal iff the
+//    runs are model-identical, so tests and the campaign journal compare
+//    and digest this form.
+//
+// Deserialization is strict: a truncated, over-long, or version-mismatched
+// stream throws SerializeError, which the cache layer treats as a miss.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "sim/hash.hpp"
+
+namespace dfsim::campaign {
+
+/// Bump on any layout change; readers reject other versions (cache misses).
+inline constexpr std::uint32_t kResultFormatVersion = 1;
+
+struct SerializeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class Canonical : std::uint8_t { kNo = 0, kYes = 1 };
+
+std::vector<std::uint8_t> serialize(const core::RunResult& r,
+                                    Canonical canon = Canonical::kNo);
+std::vector<std::uint8_t> serialize(const core::EnsembleResult& r,
+                                    Canonical canon = Canonical::kNo);
+
+/// Throws SerializeError unless `bytes` is a well-formed stream of the
+/// matching result kind and current format version.
+core::RunResult deserialize_run_result(std::span<const std::uint8_t> bytes);
+core::EnsembleResult deserialize_ensemble_result(
+    std::span<const std::uint8_t> bytes);
+
+/// True if `bytes` starts with the given result kind's tag (cheap sniff;
+/// full validation still happens in deserialize_*).
+[[nodiscard]] bool is_run_result(std::span<const std::uint8_t> bytes);
+[[nodiscard]] bool is_ensemble_result(std::span<const std::uint8_t> bytes);
+
+/// 128-bit digest of a result's canonical bytes: equal digests <=> model-
+/// identical results. What the campaign journal records per cell.
+[[nodiscard]] sim::Hash128 result_digest(const core::RunResult& r);
+[[nodiscard]] sim::Hash128 result_digest(const core::EnsembleResult& r);
+
+}  // namespace dfsim::campaign

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "campaign/fingerprint.hpp"
 #include "sched/scheduler.hpp"
 
 namespace dfsim::core {
@@ -98,7 +99,9 @@ RunResult run_production(const ScenarioConfig& raw) {
   const auto local_base = monitor::local_baseline(machine, id);
 
   const mpi::JobId watch[] = {id};
-  const bool completed = machine.run_to_completion(watch);
+  const bool completed = cfg.completion_driver
+                             ? cfg.completion_driver(machine, watch)
+                             : machine.run_to_completion(watch);
   res.events_executed = machine.events_executed();
   res.budget_exhausted = machine.budget_exhausted();
   res.faults = machine.network().fault_stats();
@@ -159,6 +162,18 @@ double ms_since(std::chrono::steady_clock::time_point t0) {
       .count();
 }
 
+// Failure prefix for ensemble trial reports: which trial failed and the
+// fingerprint of the exact scenario it ran (root config + derived seed),
+// so a failing cell can be re-run in isolation — or looked up in a
+// campaign cache — straight from the report text.
+std::string trial_tag(const ScenarioConfig& cfg, std::uint64_t trial_seed,
+                      int index) {
+  ScenarioConfig c = cfg;
+  c.seed = trial_seed;
+  return "[trial " + std::to_string(index) + " fp=" +
+         campaign::scenario_fingerprint(c).hex_prefix(16) + "] ";
+}
+
 }  // namespace
 
 BatchResult run_production_ensemble(const ScenarioConfig& cfg, int samples,
@@ -179,9 +194,11 @@ BatchResult run_production_ensemble(const ScenarioConfig& cfg, int samples,
   b.trials.reserve(b.results.size());
   for (std::size_t i = 0; i < b.results.size(); ++i) {
     const auto& r = b.results[i];
-    b.trials.push_back(report_for(static_cast<int>(i), r.ok, r.fail_reason,
-                                  wall[i], r.events_executed,
-                                  r.budget_exhausted));
+    const std::string reason =
+        r.ok ? r.fail_reason
+             : trial_tag(cfg, seeds[i], static_cast<int>(i)) + r.fail_reason;
+    b.trials.push_back(report_for(static_cast<int>(i), r.ok, reason, wall[i],
+                                  r.events_executed, r.budget_exhausted));
   }
   return b;
 }
@@ -294,24 +311,48 @@ EnsembleBatchResult run_controlled_ensemble(const ScenarioConfig& cfg,
   b.trials.reserve(b.results.size());
   for (std::size_t i = 0; i < b.results.size(); ++i) {
     const auto& r = b.results[i];
-    b.trials.push_back(report_for(static_cast<int>(i), r.ok, r.fail_reason,
-                                  wall[i], r.events_executed,
-                                  r.budget_exhausted));
+    const std::string reason =
+        r.ok ? r.fail_reason
+             : trial_tag(cfg, seeds[i], static_cast<int>(i)) + r.fail_reason;
+    b.trials.push_back(report_for(static_cast<int>(i), r.ok, reason, wall[i],
+                                  r.events_executed, r.budget_exhausted));
   }
   return b;
 }
 
 namespace {
 
+// Float cells use std::to_chars shortest round-trip form: the fewest digits
+// that parse back (via std::from_chars) to the exact same double, with no
+// locale involvement. This makes scenario CSV round-trips bit-exact and
+// gives campaign::scenario_fingerprint() a platform-stable text to hash —
+// "%.17g" printed trailing noise digits and, worse, went through the
+// C locale machinery.
+std::string f64_cell(double v) {
+  char buf[64];
+  const auto [p, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  if (ec != std::errc{})
+    throw std::invalid_argument("scenario_csv_row: unencodable double");
+  return std::string(buf, p);
+}
+
+double cell_f64(const std::string& c, const char* field) {
+  double v = 0.0;
+  const auto [p, ec] = std::from_chars(c.data(), c.data() + c.size(), v);
+  if (ec != std::errc{} || p != c.data() + c.size())
+    throw std::invalid_argument(std::string("scenario_from_csv: bad ") +
+                                field + " \"" + c + "\"");
+  return v;
+}
+
 std::string fault_plan_encode(const fault::FaultPlan& plan) {
   std::string s;
-  char buf[128];
   for (const fault::FaultEvent& ev : plan.events()) {
     if (!s.empty()) s += '|';
-    std::snprintf(buf, sizeof buf, "%lld:%d:%d:%d:%.17g",
-                  static_cast<long long>(ev.at), static_cast<int>(ev.kind),
-                  ev.router, ev.port, ev.factor);
-    s += buf;
+    s += std::to_string(static_cast<long long>(ev.at)) + ':' +
+         std::to_string(static_cast<int>(ev.kind)) + ':' +
+         std::to_string(ev.router) + ':' + std::to_string(ev.port) + ':' +
+         f64_cell(ev.factor);
   }
   return s;
 }
@@ -322,18 +363,32 @@ fault::FaultPlan fault_plan_decode(const std::string& s) {
   while (pos < s.size()) {
     std::size_t end = s.find('|', pos);
     if (end == std::string::npos) end = s.size();
-    long long at = 0;
-    int kind = 0, router = 0, port = 0;
-    double factor = 1.0;
-    if (std::sscanf(s.c_str() + pos, "%lld:%d:%d:%d:%lg", &at, &kind, &router,
-                    &port, &factor) != 5)
+    const char* first = s.data() + pos;
+    const char* last = s.data() + end;
+    const auto bad = [&] {
       throw std::invalid_argument("scenario_from_csv: bad fault event \"" +
                                   s.substr(pos, end - pos) + "\"");
+    };
+    // at:kind:router:port:factor — integers then a shortest-round-trip
+    // double, all parsed with from_chars (exact, locale-free).
+    auto parse_i64 = [&](std::int64_t& out) {
+      const auto [p, ec] = std::from_chars(first, last, out);
+      if (ec != std::errc{} || p == last || *p != ':') bad();
+      first = p + 1;
+    };
+    std::int64_t at = 0, kind = 0, router = 0, port = 0;
+    parse_i64(at);
+    parse_i64(kind);
+    parse_i64(router);
+    parse_i64(port);
+    double factor = 1.0;
+    const auto [p, ec] = std::from_chars(first, last, factor);
+    if (ec != std::errc{} || p != last) bad();
     fault::FaultEvent ev;
     ev.at = at;
     ev.kind = static_cast<fault::FaultKind>(kind);
-    ev.router = router;
-    ev.port = port;
+    ev.router = static_cast<int>(router);
+    ev.port = static_cast<int>(port);
     ev.factor = factor;
     plan.add(ev);
     pos = end + 1;
@@ -394,11 +449,7 @@ ScenarioConfig config_for_kind(const std::string& kind) {
 }  // namespace
 
 std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg) {
-  char buf[64];
-  auto num = [&buf](double v) {
-    std::snprintf(buf, sizeof buf, "%.17g", v);
-    return std::string(buf);
-  };
+  const auto num = [](double v) { return f64_cell(v); };
   return {kind_name(cfg.kind),
           cfg.system.name,
           cfg.app,
@@ -447,7 +498,7 @@ ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells) {
     throw std::invalid_argument("scenario_from_csv: bad placement \"" +
                                 cells[6] + "\"");
   cfg.target_groups = static_cast<int>(cell_i64(cells[7], "target_groups"));
-  cfg.bg_utilization = std::atof(cells[8].c_str());
+  cfg.bg_utilization = cell_f64(cells[8], "bg_util");
   if (!routing::parse_mode(cells[9], cfg.bg_mode))
     throw std::invalid_argument("scenario_from_csv: bad bg_mode \"" +
                                 cells[9] + "\"");
@@ -462,7 +513,7 @@ ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells) {
   cfg.sys_jobs = static_cast<int>(cell_i64(cells[17], "sys_jobs"));
   cfg.sys_interarrival = cell_i64(cells[18], "sys_interarrival_ns");
   cfg.sys_backfill = cell_i64(cells[19], "sys_backfill") != 0;
-  cfg.sys_ad3_fraction = std::atof(cells[20].c_str());
+  cfg.sys_ad3_fraction = cell_f64(cells[20], "sys_ad3_fraction");
   return cfg;
 }
 

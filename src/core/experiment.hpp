@@ -19,6 +19,7 @@
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,14 @@ struct ScenarioConfig {
   /// under test is submitted — marks the steady-state boundary (the
   /// perf harness counts allocations from here).
   std::function<void(const sim::Engine&)> on_measurement_start;
+  /// Optional: replaces the measurement phase's run_to_completion(watch)
+  /// call. The driver must leave the machine in the state an unbounded
+  /// run_to_completion would have (campaign checkpointing slices the run
+  /// with Machine::run_to_completion_until, which guarantees exactly that)
+  /// and return its completion flag. Runtime-only, like the callbacks
+  /// above: never serialized, never part of the scenario fingerprint.
+  std::function<bool(mpi::Machine&, std::span<const mpi::JobId>)>
+      completion_driver;
 
   // --- System-mode (kSystem) knobs, ignored by the other conditions ---
   int sys_jobs = 50;  ///< length of the arrival stream

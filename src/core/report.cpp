@@ -146,4 +146,17 @@ void print_system_summary(std::ostream& os, const SystemRunResult& res) {
   print_fault_summary(os, res.faults);
 }
 
+void print_cache_summary(std::ostream& os, const campaign::CacheStats& st) {
+  if (st.hits + st.misses + st.stores == 0) return;
+  os << "  cache: " << st.hits << " hits (" << st.mem_hits << " memory) / "
+     << st.misses << " misses, hit rate "
+     << stats::fmt(100.0 * st.hit_rate(), 1) << "%";
+  if (st.corrupt > 0) os << ", " << st.corrupt << " corrupt entries rejected";
+  os << ", " << st.stores << " stored, "
+     << stats::fmt(static_cast<double>(st.bytes_read) / 1024.0, 1)
+     << " KiB read / "
+     << stats::fmt(static_cast<double>(st.bytes_written) / 1024.0, 1)
+     << " KiB written\n";
+}
+
 }  // namespace dfsim::core

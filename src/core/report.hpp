@@ -5,6 +5,7 @@
 #include <span>
 #include <string>
 
+#include "campaign/cache.hpp"
 #include "core/experiment.hpp"
 #include "mpi/profile.hpp"
 #include "stats/summary.hpp"
@@ -59,5 +60,9 @@ void print_background_summary(std::ostream& os, const BackgroundFill& bg);
 /// Queueing summary of a system-mode run (completion counts, waits,
 /// backfill share, peak utilization).
 void print_system_summary(std::ostream& os, const SystemRunResult& res);
+
+/// One-line result-cache summary (hits/misses/hit rate, corrupt entries,
+/// bytes moved). Prints nothing when the cache was never consulted.
+void print_cache_summary(std::ostream& os, const campaign::CacheStats& st);
 
 }  // namespace dfsim::core

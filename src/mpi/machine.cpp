@@ -109,6 +109,38 @@ bool Machine::run_to_completion(std::span<const JobId> watch) {
   return ok;
 }
 
+bool Machine::run_to_completion_until(std::span<const JobId> watch,
+                                      sim::Tick deadline) {
+  // Clear every flag before recomputing: a job watched by an earlier slice
+  // that never completed must not keep decrementing a later slice's count.
+  std::fill(watched_.begin(), watched_.end(), char{0});
+  watch_remaining_ = 0;
+  for (const JobId id : watch) {
+    if (jobs_[static_cast<std::size_t>(id)].complete()) continue;
+    watched_[static_cast<std::size_t>(id)] = 1;
+    ++watch_remaining_;
+  }
+  if (watch_remaining_ == 0) return true;
+  engine_.clear_stop();
+  // Completion stops the host engine exactly as in run_to_completion; the
+  // deadline bounds the slice otherwise. Sharded mode uses the exclusive
+  // variant so the slice boundary reproduces the unsliced window sequence.
+  if (sharded_ != nullptr)
+    sharded_->run_until_exclusive(deadline);
+  else
+    engine_.run_until(deadline);
+  const bool ok = watch_remaining_ == 0;
+  engine_.clear_stop();
+  return ok;
+}
+
+sim::Tick Machine::checkpoint_time(sim::Tick desired) const {
+  const sim::Tick t = std::max(desired, engine_.now() + 1);
+  if (sharded_ == nullptr) return t;
+  const sim::Tick g = sharded_->lookahead();
+  return ((t + g - 1) / g) * g;
+}
+
 void Machine::run_until_stopped() {
   engine_.clear_stop();
   if (sharded_ != nullptr)

@@ -115,6 +115,26 @@ class Machine {
   /// Run until every job in `watch` completes. Returns false if the engine's
   /// event budget was exhausted first.
   bool run_to_completion(std::span<const JobId> watch);
+  /// Bounded slice of run_to_completion: run until every watched job
+  /// completes OR simulated time reaches `deadline`, whichever is first.
+  /// Returns true when the watch set completed within the slice. Watch
+  /// flags are recomputed on every call, so a sequence of slices followed
+  /// by run_to_completion() executes exactly the schedule one unbounded
+  /// call would have — PROVIDED each deadline comes from checkpoint_time()
+  /// (in sharded mode an off-grid deadline would insert a barrier the
+  /// unsliced run does not have; see ShardedEngine::run_until_exclusive).
+  /// This is the primitive campaign checkpointing is built on.
+  bool run_to_completion_until(std::span<const JobId> watch,
+                               sim::Tick deadline);
+  /// Smallest valid checkpoint boundary at or after `desired`: strictly in
+  /// the future and, in sharded mode, aligned up to the lookahead grid.
+  [[nodiscard]] sim::Tick checkpoint_time(sim::Tick desired) const;
+  /// Earliest pending work across the whole substrate (sim::Engine::kNoEvent
+  /// when idle — i.e. when an unbounded run would return immediately).
+  [[nodiscard]] sim::Tick next_event_time() const {
+    return sharded_ != nullptr ? sharded_->next_event_time()
+                               : engine_.next_event_time();
+  }
   /// Run for a fixed window of simulated time.
   void run_for(sim::Tick duration);
   /// Run until a listener stops the engine (engine().stop()), the event

@@ -64,6 +64,12 @@ class Profile {
   [[nodiscard]] const OpStats& stats(Op op) const {
     return ops_[static_cast<std::size_t>(op)];
   }
+  /// Replace one op's aggregate wholesale. For deserialization (the
+  /// campaign result cache rebuilds profiles from stored bytes) — model
+  /// code records through record() only.
+  void set_stats(Op op, const OpStats& s) {
+    ops_[static_cast<std::size_t>(op)] = s;
+  }
   [[nodiscard]] sim::Tick total_mpi_ns() const;
 
   /// Ops sorted by descending time (for "MPI Call1/2/3" in Table I).

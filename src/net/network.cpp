@@ -220,6 +220,110 @@ NetworkStats Network::stats() const {
   return total;
 }
 
+void Network::digest_state(sim::Hasher128& h) const {
+  // Port/VC structure-of-arrays state. Queue contents are captured by the
+  // intrusive FIFO head/tail packet ids (packet id assignment is itself
+  // deterministic: per-shard LIFO free lists refilled in model order), so
+  // two runs whose digests match here hold identical queues.
+  const auto vec_i32 = [&h](const std::vector<std::int32_t>& v) {
+    h.update_u64(v.size());
+    for (const std::int32_t x : v) h.update_u32(static_cast<std::uint32_t>(x));
+  };
+  const auto vec_i64 = [&h](const std::vector<std::int64_t>& v) {
+    h.update_u64(v.size());
+    for (const std::int64_t x : v) h.update_i64(x);
+  };
+  const auto vec_u8 = [&h](const std::vector<std::uint8_t>& v) {
+    h.update_u64(v.size());
+    h.update(v.data(), v.size());
+  };
+  vec_i32(grid_.occupancy_flits);
+  h.update_u64(grid_.q.size());
+  for (const PortGrid::VcFifo& f : grid_.q) {
+    h.update_u32(static_cast<std::uint32_t>(f.head));
+    h.update_u32(static_cast<std::uint32_t>(f.tail));
+  }
+  h.update_u64(grid_.stall_since.size());
+  for (const sim::Tick t : grid_.stall_since) h.update_i64(t);
+  vec_u8(grid_.escape_scheduled);
+  vec_i32(grid_.waiter_head);
+  vec_i32(grid_.waiter_tail);
+  vec_i64(grid_.flits_ctr);
+  vec_i64(grid_.stall_ns_ctr);
+  vec_u8(grid_.busy);
+  vec_u8(grid_.last_served);
+
+  h.update_u64(nics_.size());
+  for (const Nic& n : nics_) {
+    h.update_u32(static_cast<std::uint32_t>(n.inject_head));
+    h.update_u32(static_cast<std::uint32_t>(n.inject_tail));
+    h.update_u32(static_cast<std::uint32_t>((n.tx_busy ? 1 : 0) |
+                                            (n.rx_busy ? 2 : 0) |
+                                            (n.escape_scheduled ? 4 : 0)));
+    h.update_u32(static_cast<std::uint32_t>(n.rx_pending));
+    h.update_u32(n.rx_pending_vc);
+    h.update_i64(n.rx_pending_since);
+    h.update_i64(n.stall_since);
+    h.update_i64(n.ctr.inj_flits[0]);
+    h.update_i64(n.ctr.inj_flits[1]);
+    h.update_i64(n.ctr.inj_stall_ns[0]);
+    h.update_i64(n.ctr.inj_stall_ns[1]);
+    h.update_i64(n.ctr.rsp_time_sum_ns);
+    h.update_i64(n.ctr.rsp_track_count);
+  }
+
+  h.update_u64(pools_.size());
+  for (const PktPool& pool : pools_) {
+    h.update_u32(pool.count);
+    h.update_u32(static_cast<std::uint32_t>(pool.free_head));
+  }
+
+  h.update_u64(msg_pool_.size());
+  h.update_u32(static_cast<std::uint32_t>(msg_free_head_));
+  for (const MsgRec& m : msg_pool_) {
+    h.update_i64(m.remaining_bytes);
+    h.update_i64(m.lost_bytes);
+    h.update_u32(static_cast<std::uint32_t>(m.src));
+    h.update_u32(static_cast<std::uint32_t>(m.dst));
+    h.update_u32(m.gen);
+    h.update_u32(static_cast<std::uint32_t>(m.next_free));
+    h.update_u32(static_cast<std::uint32_t>(
+        (static_cast<std::uint32_t>(m.retries) << 16) |
+        (static_cast<std::uint32_t>(m.mode) << 8) |
+        (m.retry_armed ? 1u : 0u)));
+  }
+
+  for (const NetworkStats& s : stats_sh_) {
+    h.update_i64(s.packets_injected);
+    h.update_i64(s.packets_delivered);
+    h.update_i64(s.minimal_decisions);
+    h.update_i64(s.nonminimal_decisions);
+    h.update_i64(s.total_hops);
+    h.update_i64(s.escapes);
+    h.update_i64(s.throttle_activations);
+    for (const auto& row : s.decisions_by_mode) {
+      h.update_i64(row[0]);
+      h.update_i64(row[1]);
+    }
+  }
+
+  vec_i64(r3_credits_);
+  h.update_u64(inject_seq_);
+  h.update_f64(throttle_factor_);
+  h.update_u32(throttle_scheduled_ ? 1u : 0u);
+
+  h.update_u32(fault_on_ ? 1u : 0u);
+  if (fault_on_) {
+    const fault::FaultStats fs = fault_stats();
+    h.update_i64(fs.packets_dropped);
+    h.update_i64(fs.packets_rerouted);
+    h.update_i64(fs.dead_link_transmissions);
+    h.update_f64(fs.degraded_bw_gbs);
+    vec_u8(health_.port_dead);
+    vec_u8(health_.router_dead);
+  }
+}
+
 void Network::schedule_quiesced(sim::Tick delay, std::function<void()> fn) {
   if (se_ != nullptr)
     se_->schedule_global(engine_.now() + delay, std::move(fn));

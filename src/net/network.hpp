@@ -44,6 +44,7 @@
 #include "router/router.hpp"
 #include "routing/adaptive.hpp"
 #include "sim/engine.hpp"
+#include "sim/hash.hpp"
 #include "sim/rng.hpp"
 #include "sim/sharded.hpp"
 #include "sim/small_fn.hpp"
@@ -270,6 +271,16 @@ class Network final : public routing::LoadOracle {
   /// Aggregated fault statistics; call at a quiesced point in sharded mode.
   [[nodiscard]] fault::FaultStats fault_stats() const;
   [[nodiscard]] bool faults_enabled() const { return fault_on_; }
+
+  /// Fold the observable forwarding-plane state into `h`: port/VC SoA
+  /// arrays (occupancy, FIFOs, counters, stall state), NIC state, packet-
+  /// pool high-water/free-list heads, the message slab, per-shard stats,
+  /// credits, throttle and fault state. Two runs of the same scenario that
+  /// reach the same quiesced simulated time MUST produce the same digest;
+  /// sim::EngineSnapshot uses this to prove a restored run re-reached the
+  /// checkpoint state. Call only at a quiesced point (between runs, or
+  /// from a schedule_quiesced callback).
+  void digest_state(sim::Hasher128& h) const;
 
  private:
   /// Message completion slab. MsgId = (generation << 32) | slot; the

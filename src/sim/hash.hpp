@@ -1,0 +1,139 @@
+// Deterministic 128-bit streaming hash.
+//
+// The campaign layer keys its content-addressed result cache by a hash of
+// the canonical scenario description, and the snapshot machinery digests
+// engine/network state to verify that a restored run re-reached the exact
+// checkpointed state. Both need a hash that is a pure function of the fed
+// bytes: no seeding from wall clock or ASLR, no dependence on host
+// endianness (multi-byte integers are absorbed in explicit little-endian
+// order), and no dependence on the chunking of update() calls beyond the
+// byte stream itself (an internal word buffer re-aligns arbitrary update
+// boundaries). Not cryptographic — collision resistance is that of two
+// independent 64-bit multiply-xor lanes, which is ample for cache keying
+// and divergence detection.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace dfsim::sim {
+
+struct Hash128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Hash128&, const Hash128&) = default;
+
+  /// 32 lowercase hex digits, hi half first.
+  [[nodiscard]] std::string hex() const {
+    static const char* d = "0123456789abcdef";
+    std::string s(32, '0');
+    for (int i = 0; i < 16; ++i)
+      s[static_cast<std::size_t>(i)] = d[(hi >> (60 - 4 * i)) & 0xF];
+    for (int i = 0; i < 16; ++i)
+      s[static_cast<std::size_t>(16 + i)] = d[(lo >> (60 - 4 * i)) & 0xF];
+    return s;
+  }
+  /// First `n` hex digits (handy for log-friendly prefixes).
+  [[nodiscard]] std::string hex_prefix(int n) const {
+    return hex().substr(0, static_cast<std::size_t>(n));
+  }
+};
+
+class Hasher128 {
+ public:
+  Hasher128() = default;
+
+  void update(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    total_ += static_cast<std::uint64_t>(n);
+    while (n > 0) {
+      buf_[fill_++] = *p++;
+      --n;
+      if (fill_ == 8) {
+        absorb(load_le(buf_));
+        fill_ = 0;
+      }
+    }
+  }
+  void update(std::string_view s) { update(s.data(), s.size()); }
+  void update_u64(std::uint64_t v) {
+    unsigned char b[8];
+    store_le(b, v);
+    update(b, 8);
+  }
+  void update_i64(std::int64_t v) {
+    update_u64(static_cast<std::uint64_t>(v));
+  }
+  void update_u32(std::uint32_t v) { update_u64(v); }
+  /// Bit-pattern hash: distinguishes -0.0 from 0.0 and every NaN payload,
+  /// which is exactly right for "did the state diverge" digests.
+  void update_f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    update_u64(bits);
+  }
+  /// Length-prefixed string absorb, so ("ab","c") != ("a","bc") when
+  /// hashing a sequence of fields.
+  void update_field(std::string_view s) {
+    update_u64(s.size());
+    update(s);
+  }
+
+  [[nodiscard]] Hash128 finalize() const {
+    // Flush the tail word (zero-padded; the absorbed length disambiguates)
+    // without disturbing the live state.
+    std::uint64_t a = a_;
+    std::uint64_t b = b_;
+    if (fill_ > 0) {
+      unsigned char tail[8] = {};
+      std::memcpy(tail, buf_, fill_);
+      absorb_into(a, b, load_le(tail));
+    }
+    absorb_into(a, b, total_ ^ 0x9e3779b97f4a7c15ULL);
+    Hash128 h;
+    h.hi = avalanche(a ^ rotl(b, 32));
+    h.lo = avalanche(b ^ rotl(a, 17) ^ 0x94d049bb133111ebULL);
+    return h;
+  }
+
+ private:
+  static constexpr std::uint64_t kP1 = 0x9e3779b185ebca87ULL;
+  static constexpr std::uint64_t kP2 = 0xc2b2ae3d27d4eb4fULL;
+
+  static std::uint64_t rotl(std::uint64_t v, int s) {
+    return (v << s) | (v >> (64 - s));
+  }
+  static std::uint64_t avalanche(std::uint64_t v) {
+    v ^= v >> 30;
+    v *= 0xbf58476d1ce4e5b9ULL;
+    v ^= v >> 27;
+    v *= 0x94d049bb133111ebULL;
+    v ^= v >> 31;
+    return v;
+  }
+  static std::uint64_t load_le(const unsigned char* p) {
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+    return v;
+  }
+  static void store_le(unsigned char* p, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) p[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  static void absorb_into(std::uint64_t& a, std::uint64_t& b,
+                          std::uint64_t w) {
+    a = rotl((a ^ w) * kP1, 27);
+    b = rotl((b ^ rotl(w, 31)) * kP2, 29) + a;
+  }
+  void absorb(std::uint64_t w) { absorb_into(a_, b_, w); }
+
+  std::uint64_t a_ = 0x243f6a8885a308d3ULL;  // pi digits: nothing up sleeves
+  std::uint64_t b_ = 0x13198a2e03707344ULL;
+  std::uint64_t total_ = 0;
+  unsigned char buf_[8] = {};
+  std::size_t fill_ = 0;
+};
+
+}  // namespace dfsim::sim

@@ -185,6 +185,7 @@ bool ShardedEngine::decide() {
   // state only (every executor is quiesced at this barrier, and the
   // acq_rel arrival chain made all their writes visible here).
   if (win_incl_) return true;  // final bounded window: limit reached
+  if (excl_ && bar >= limit_) return true;  // final exclusive window
   if (mail_count_.load(std::memory_order_relaxed) != 0) return true;
   if (!globals_.empty() && globals_.front().t <= bar) return true;
   if (host().stopped()) return true;
@@ -193,7 +194,7 @@ bool ShardedEngine::decide() {
   Tick nt = Engine::kNoEvent;
   for (const auto& e : engines_) nt = std::min(nt, e->next_event_time());
   if (nt == Engine::kNoEvent) return true;  // idle: nothing anywhere
-  if (bounded_ && nt > limit_) return true;
+  if (bounded_ && (excl_ ? nt >= limit_ : nt > limit_)) return true;
 
   // No mail, no due globals, no stop: the merge here would be a no-op, so
   // fuse straight into the next grid window. Same formula as the
@@ -203,7 +204,7 @@ bool ShardedEngine::decide() {
   bool inclusive = false;
   if (bounded_ && end >= limit_) {
     end = limit_;
-    inclusive = true;
+    inclusive = !excl_;
   }
   win_end_ = end;
   win_incl_ = inclusive;
@@ -307,7 +308,12 @@ void ShardedEngine::merge_and_apply(Tick barrier) {
   }
   // Then globals due at or before this barrier, in (t, seq) order. A global
   // may register further globals; those run this barrier too if already due.
-  while (!globals_.empty() && globals_.front().t <= barrier) {
+  // At an exclusive limit the comparison is strict: a global due exactly at
+  // the limit belongs to the continuation's first barrier (the unbounded
+  // loop would only reach it with a window ending at limit + lookahead, so
+  // running it here would fire it one barrier early vs an unsliced run).
+  const Tick due_bound = (excl_ && barrier >= limit_) ? barrier - 1 : barrier;
+  while (!globals_.empty() && globals_.front().t <= due_bound) {
     GlobalEvent ev;
     pop_global_min(ev);
     ev.fn();
@@ -331,7 +337,8 @@ void ShardedEngine::drive(Tick limit, bool bounded) {
     // so the next barrier delivers it.
     if (mail_pending()) nt = std::min(nt, host().now());
 
-    if (nt == Engine::kNoEvent || (bounded && nt > limit)) {
+    if (nt == Engine::kNoEvent ||
+        (bounded && (excl_ ? nt >= limit : nt > limit))) {
       if (bounded)
         for (auto& e : engines_)
           e->run_window(limit, false);  // no events; just advance clocks
@@ -344,8 +351,11 @@ void ShardedEngine::drive(Tick limit, bool bounded) {
     Tick end = (nt / lookahead_ + 1) * lookahead_;
     bool inclusive = false;
     if (bounded && end >= limit) {
-      end = limit;  // final partial window, closed at the limit itself
-      inclusive = true;
+      // Final partial window. run_until closes it at the limit itself;
+      // run_until_exclusive keeps it exclusive so time-limit events stay
+      // queued for the continuation's first window.
+      end = limit;
+      inclusive = !excl_;
     }
 
     // Fused run: executes one or more consecutive grid windows and returns
@@ -368,5 +378,11 @@ void ShardedEngine::drive(Tick limit, bool bounded) {
 void ShardedEngine::run() { drive(0, /*bounded=*/false); }
 
 void ShardedEngine::run_until(Tick t) { drive(t, /*bounded=*/true); }
+
+void ShardedEngine::run_until_exclusive(Tick t) {
+  excl_ = true;
+  drive(t, /*bounded=*/true);
+  excl_ = false;
+}
 
 }  // namespace dfsim::sim

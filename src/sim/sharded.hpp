@@ -48,6 +48,7 @@
 // during a window only from the thread executing shard `src`.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -140,6 +141,17 @@ class ShardedEngine {
   /// Run windows covering events with time <= t; every shard's clock ends
   /// at exactly t (the final partial window is barriered at t itself).
   void run_until(Tick t);
+  /// Checkpoint-boundary variant: run events with time strictly < t and
+  /// leave every shard quiesced at exactly t. When t lies ON the lookahead
+  /// grid, the executed window/merge sequence is exactly the prefix a
+  /// single unbounded run() would produce — events at t stay queued for
+  /// the window (t, t+lookahead], and a global due exactly at t fires at
+  /// the next barrier, as the grid rule ("events on a barrier belong to
+  /// the following window") demands. run_until(t) cannot provide this: its
+  /// final window is inclusive, which pulls time-t events and globals one
+  /// barrier early. sim::EngineSnapshot captures here, so a restored run's
+  /// continuation is byte-identical to never having stopped.
+  void run_until_exclusive(Tick t);
 
   struct Stats {
     std::uint64_t windows = 0;        ///< lookahead-grid windows executed
@@ -172,6 +184,19 @@ class ShardedEngine {
   /// maintained by post_mail / the barrier merge, not an outbox scan.
   [[nodiscard]] bool mail_pending() const {
     return mail_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Earliest pending work across the whole substrate: shard events,
+  /// scheduled globals, or undelivered mail (which counts as due "now").
+  /// Engine::kNoEvent means a run() would return immediately — the idle
+  /// test bounded drivers (campaign checkpoint slicing) use to tell an
+  /// idle gap from a dead system. Call only between runs.
+  [[nodiscard]] Tick next_event_time() const {
+    Tick nt = Engine::kNoEvent;
+    for (const auto& e : engines_) nt = std::min(nt, e->next_event_time());
+    if (!globals_.empty()) nt = std::min(nt, globals_.front().t);
+    if (mail_pending()) nt = std::min(nt, engines_.front()->now());
+    return nt;
   }
 
  private:
@@ -244,6 +269,11 @@ class ShardedEngine {
   bool run_done_ = false;
   Tick limit_ = 0;
   bool bounded_ = false;
+  /// Exclusive bound (run_until_exclusive): the final window ends AT the
+  /// limit but stays exclusive, and globals due exactly at the limit are
+  /// left for the continuation — both required for checkpoint slicing to
+  /// reproduce the unsliced window/merge sequence.
+  bool excl_ = false;
 };
 
 }  // namespace dfsim::sim

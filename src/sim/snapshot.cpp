@@ -1,0 +1,108 @@
+#include "sim/snapshot.hpp"
+
+namespace dfsim::sim {
+
+namespace {
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+struct Reader {
+  std::span<const std::uint8_t> b;
+  std::size_t at = 0;
+
+  void need(std::size_t n) const {
+    if (b.size() - at < n) throw SnapshotError("snapshot: truncated stream");
+  }
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+    at += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | b[at + static_cast<std::size_t>(i)];
+    at += 8;
+    return v;
+  }
+};
+
+constexpr std::uint32_t kMagic = 0x44465053;  // "DFPS"
+
+}  // namespace
+
+std::vector<std::uint8_t> EngineSnapshot::to_bytes() const {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kMagic);
+  put_u32(out, kFormatVersion);
+  put_u64(out, scenario_hi);
+  put_u64(out, scenario_lo);
+  put_u64(out, salt.size());
+  out.insert(out.end(), salt.begin(), salt.end());
+  put_u64(out, static_cast<std::uint64_t>(checkpoint_time));
+  put_u64(out, shards.size());
+  for (const ShardClock& s : shards) {
+    put_u64(out, static_cast<std::uint64_t>(s.now));
+    put_u64(out, s.events);
+  }
+  put_u64(out, digest_hi);
+  put_u64(out, digest_lo);
+  return out;
+}
+
+EngineSnapshot EngineSnapshot::from_bytes(std::span<const std::uint8_t> bytes) {
+  Reader r{bytes};
+  if (r.u32() != kMagic) throw SnapshotError("snapshot: bad magic");
+  if (r.u32() != kFormatVersion)
+    throw SnapshotError("snapshot: unsupported format version");
+  EngineSnapshot s;
+  s.scenario_hi = r.u64();
+  s.scenario_lo = r.u64();
+  const std::uint64_t salt_len = r.u64();
+  r.need(salt_len);
+  s.salt.assign(reinterpret_cast<const char*>(r.b.data() + r.at),
+                static_cast<std::size_t>(salt_len));
+  r.at += static_cast<std::size_t>(salt_len);
+  s.checkpoint_time = static_cast<Tick>(r.u64());
+  const std::uint64_t n = r.u64();
+  // Bound by the remaining bytes so a corrupt count cannot drive a huge
+  // allocation (each entry needs 16 bytes).
+  if (n > (r.b.size() - r.at) / 16)
+    throw SnapshotError("snapshot: shard count exceeds stream");
+  s.shards.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    ShardClock c;
+    c.now = static_cast<Tick>(r.u64());
+    c.events = r.u64();
+    s.shards.push_back(c);
+  }
+  s.digest_hi = r.u64();
+  s.digest_lo = r.u64();
+  if (r.at != r.b.size()) throw SnapshotError("snapshot: trailing bytes");
+  return s;
+}
+
+bool EngineSnapshot::operator==(const EngineSnapshot& o) const {
+  if (scenario_hi != o.scenario_hi || scenario_lo != o.scenario_lo ||
+      salt != o.salt || checkpoint_time != o.checkpoint_time ||
+      digest_hi != o.digest_hi || digest_lo != o.digest_lo ||
+      shards.size() != o.shards.size())
+    return false;
+  for (std::size_t i = 0; i < shards.size(); ++i)
+    if (shards[i].now != o.shards[i].now ||
+        shards[i].events != o.shards[i].events)
+      return false;
+  return true;
+}
+
+}  // namespace dfsim::sim

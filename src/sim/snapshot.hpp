@@ -1,0 +1,67 @@
+// Verified logical checkpoints of a running simulation.
+//
+// An EngineSnapshot does NOT serialize raw engine memory — event queues
+// hold pooled callbacks (SmallFn closures capturing model pointers) and
+// suspended coroutine frames, neither of which has a stable byte
+// representation. Instead it captures what the determinism contract makes
+// sufficient: WHERE the run is (the quiesced checkpoint time, per-shard
+// clocks and event counts) and a 128-bit digest of the observable model
+// state there (net::Network::digest_state). Because every run of a
+// scenario is a pure function of its resolved config + seed, restoring is
+// deterministic re-execution: rebuild the machine, run to the checkpoint
+// time with the same slicing primitive, and verify the digest — from that
+// point the continuation is byte-identical to a run that never stopped
+// (see ShardedEngine::run_until_exclusive for why the slice boundary is
+// exact). A digest mismatch means the snapshot does not belong to this
+// scenario/engine version and the restore must be rejected, never trusted.
+//
+// Snapshots embed the campaign scenario fingerprint (as two opaque words —
+// sim does not depend on campaign) and the engine-version salt string, so
+// a snapshot taken by a different build or for a different scenario is
+// rejected before any replay work happens.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace dfsim::sim {
+
+struct SnapshotError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+struct EngineSnapshot {
+  /// Bump on any layout change; parse() rejects other versions.
+  static constexpr std::uint32_t kFormatVersion = 1;
+
+  std::uint64_t scenario_hi = 0;  ///< campaign scenario fingerprint words
+  std::uint64_t scenario_lo = 0;
+  std::string salt;               ///< engine-version salt of the writer
+  Tick checkpoint_time = 0;       ///< quiesced simulated time of capture
+
+  struct ShardClock {
+    Tick now = 0;
+    std::uint64_t events = 0;  ///< events executed by this shard so far
+  };
+  std::vector<ShardClock> shards;  ///< one entry in serial mode
+
+  std::uint64_t digest_hi = 0;  ///< model-state digest at checkpoint_time
+  std::uint64_t digest_lo = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> to_bytes() const;
+  /// Throws SnapshotError on any malformed, truncated, or
+  /// version-mismatched stream.
+  [[nodiscard]] static EngineSnapshot from_bytes(
+      std::span<const std::uint8_t> bytes);
+
+  /// Full value equality — what "the restored run re-reached the same
+  /// state" means.
+  [[nodiscard]] bool operator==(const EngineSnapshot& o) const;
+};
+
+}  // namespace dfsim::sim

@@ -1,0 +1,601 @@
+// Tests: campaign service — scenario fingerprints, result serialization,
+// the content-addressed cache, verified snapshots/restore, and the
+// resumable sweep runner. Everything here must hold in BOTH determinism
+// families: the suite runs serial by default and sharded under
+// DFSIM_TEST_SHARDS=4 (ScenarioConfig::resolve() folds the env in).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/cache.hpp"
+#include "campaign/checkpoint.hpp"
+#include "campaign/fingerprint.hpp"
+#include "campaign/runner.hpp"
+#include "campaign/serialize.hpp"
+#include "core/report.hpp"
+#include "core/runner.hpp"
+#include "sim/snapshot.hpp"
+
+namespace dfsim::campaign {
+namespace {
+
+namespace fs = std::filesystem;
+
+core::ScenarioConfig small_cfg() {
+  core::ScenarioConfig cfg;
+  cfg.system = topo::Config::mini(4);
+  cfg.app = "MILC";
+  cfg.nnodes = 16;
+  cfg.params.iterations = 2;
+  cfg.params.msg_scale = 0.1;
+  cfg.params.compute_scale = 0.1;
+  cfg.bg_utilization = 0.0;
+  cfg.warmup = 10 * sim::kMicrosecond;
+  cfg.seed = 5;
+  return cfg;
+}
+
+std::vector<std::uint8_t> canon(const core::RunResult& r) {
+  return serialize(r, Canonical::kYes);
+}
+
+/// Fresh per-test scratch directory under the gtest temp root.
+std::string scratch_dir(const char* name) {
+  const std::string dir = ::testing::TempDir() + "dfsim_campaign_" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------- fingerprint
+
+TEST(Fingerprint, StableAcrossCalls) {
+  const core::ScenarioConfig cfg = small_cfg();
+  EXPECT_EQ(scenario_fingerprint(cfg).hex(), scenario_fingerprint(cfg).hex());
+  EXPECT_EQ(scenario_fingerprint(cfg).hex().size(), 32u);
+}
+
+TEST(Fingerprint, EveryFieldChangeChangesIt) {
+  const core::ScenarioConfig base = small_cfg();
+  const std::string fp0 = scenario_fingerprint(base).hex();
+
+  auto differs = [&](auto mutate) {
+    core::ScenarioConfig c = base;
+    mutate(c);
+    return scenario_fingerprint(c).hex() != fp0;
+  };
+  EXPECT_TRUE(differs([](auto& c) { c.seed = 6; }));
+  EXPECT_TRUE(differs([](auto& c) { c.app = "HACC"; }));
+  EXPECT_TRUE(differs([](auto& c) { c.nnodes = 32; }));
+  EXPECT_TRUE(differs([](auto& c) { c.mode = routing::Mode::kAd3; }));
+  EXPECT_TRUE(differs([](auto& c) { c.bg_utilization = 0.5; }));
+  EXPECT_TRUE(differs([](auto& c) { c.placement = sched::Placement::kCompact; }));
+  EXPECT_TRUE(differs([](auto& c) { c.warmup += 1; }));
+  EXPECT_TRUE(differs([](auto& c) { c.event_budget -= 1; }));
+  EXPECT_TRUE(differs([](auto& c) { c.coalesce_events = false; }));
+  EXPECT_TRUE(differs([](auto& c) { c.faults.fail_link(100, 0, 1); }));
+  // AppParams is not a CSV column but absolutely shapes results.
+  EXPECT_TRUE(differs([](auto& c) { c.params.iterations = 3; }));
+  EXPECT_TRUE(differs([](auto& c) { c.params.msg_scale = 0.2; }));
+  EXPECT_TRUE(differs([](auto& c) { c.params.compute_scale = 0.2; }));
+  EXPECT_TRUE(differs([](auto& c) { c.params.seed = 9; }));
+}
+
+TEST(Fingerprint, SaltChangesIt) {
+  const core::ScenarioConfig cfg = small_cfg();
+  EXPECT_NE(scenario_fingerprint(cfg).hex(),
+            scenario_fingerprint(cfg, "dfsim-engine/next").hex());
+  EXPECT_EQ(scenario_fingerprint(cfg).hex(),
+            scenario_fingerprint(cfg, kEngineVersionSalt).hex());
+}
+
+TEST(Fingerprint, SubstrateWidthCollapsesToFamily) {
+  core::ScenarioConfig a = small_cfg();
+  core::ScenarioConfig b = small_cfg();
+  a.shards = 1;
+  b.shards = 4;
+  b.shard_workers = 8;
+  // Same family, same results, same content address.
+  EXPECT_EQ(scenario_fingerprint(a).hex(), scenario_fingerprint(b).hex());
+  // The serial engine is a distinct deterministic family: never shared.
+  core::ScenarioConfig s = small_cfg();
+  s.shards = 0;
+  EXPECT_NE(scenario_fingerprint(s).hex(), scenario_fingerprint(a).hex());
+}
+
+// -------------------------------------------------------------- serialization
+
+TEST(Serialize, RunResultRoundTrips) {
+  const core::RunResult r = core::run_production(small_cfg());
+  ASSERT_TRUE(r.ok);
+  const auto bytes = serialize(r);
+  EXPECT_TRUE(is_run_result(bytes));
+  EXPECT_FALSE(is_ensemble_result(bytes));
+  const core::RunResult back = deserialize_run_result(bytes);
+  // Full round trip: the re-serialized form is byte-identical, and the
+  // canonical (model-only) forms agree too.
+  EXPECT_EQ(serialize(back), bytes);
+  EXPECT_EQ(canon(back), canon(r));
+  EXPECT_EQ(result_digest(back).hex(), result_digest(r).hex());
+  EXPECT_DOUBLE_EQ(back.runtime_ms, r.runtime_ms);
+  EXPECT_EQ(back.events_executed, r.events_executed);
+}
+
+TEST(Serialize, EnsembleResultRoundTrips) {
+  core::ScenarioConfig cfg = small_cfg();
+  cfg.kind = core::ScenarioKind::kControlled;
+  cfg.njobs = 2;
+  const core::EnsembleResult r = core::run_controlled(cfg);
+  ASSERT_TRUE(r.ok);
+  const auto bytes = serialize(r);
+  EXPECT_TRUE(is_ensemble_result(bytes));
+  const core::EnsembleResult back = deserialize_ensemble_result(bytes);
+  EXPECT_EQ(serialize(back), bytes);
+  EXPECT_EQ(result_digest(back).hex(), result_digest(r).hex());
+  EXPECT_EQ(back.runtimes_ms, r.runtimes_ms);
+}
+
+TEST(Serialize, StrictRejection) {
+  const core::RunResult r = core::run_production(small_cfg());
+  auto bytes = serialize(r);
+  auto truncated = bytes;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW((void)deserialize_run_result(truncated), SerializeError);
+  auto overlong = bytes;
+  overlong.push_back(0);
+  EXPECT_THROW((void)deserialize_run_result(overlong), SerializeError);
+  EXPECT_THROW((void)deserialize_ensemble_result(bytes), SerializeError);
+  EXPECT_THROW((void)deserialize_run_result({}), SerializeError);
+}
+
+// ---------------------------------------------------------------------- cache
+
+TEST(ResultCache, MemoryHitMissStore) {
+  ResultCache cache = ResultCache::memory_only();
+  const Fingerprint fp = scenario_fingerprint(small_cfg());
+  EXPECT_FALSE(cache.load(fp).has_value());
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4};
+  cache.store(fp, payload);
+  const auto hit = cache.load(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload);
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1u);
+  EXPECT_EQ(st.mem_hits, 1u);
+  EXPECT_EQ(st.misses, 1u);
+  EXPECT_EQ(st.stores, 1u);
+  EXPECT_DOUBLE_EQ(st.hit_rate(), 0.5);
+}
+
+TEST(ResultCache, PersistsAcrossInstances) {
+  const std::string dir = scratch_dir("persist");
+  const Fingerprint fp = scenario_fingerprint(small_cfg());
+  const std::vector<std::uint8_t> payload = {9, 8, 7};
+  {
+    ResultCache::Options o;
+    o.dir = dir;
+    ResultCache cache(o);
+    cache.store(fp, payload);
+  }
+  ResultCache::Options o;
+  o.dir = dir;
+  ResultCache cache(o);
+  const auto hit = cache.load(fp);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, payload);
+  EXPECT_EQ(cache.stats().bytes_read, payload.size());
+}
+
+TEST(ResultCache, PoisonedEntryIsAMissNeverAWrongAnswer) {
+  const std::string dir = scratch_dir("poison");
+  const Fingerprint fp = scenario_fingerprint(small_cfg());
+  ResultCache::Options o;
+  o.dir = dir;
+  {
+    ResultCache cache(o);
+    cache.store(fp, std::vector<std::uint8_t>{5, 5, 5, 5, 5, 5, 5, 5});
+  }
+  // Flip one payload byte behind the checksum's back.
+  ResultCache probe(o);
+  const std::string path = probe.entry_path(fp);
+  std::string bytes = read_file(path);
+  ASSERT_FALSE(bytes.empty());
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x01);
+  write_file(path, bytes);
+  {
+    ResultCache cache(o);  // fresh instance: no LRU shortcut past the disk
+    EXPECT_FALSE(cache.load(fp).has_value());
+    EXPECT_EQ(cache.stats().corrupt, 1u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+  }
+  // A truncated entry and foreign bytes are also misses.
+  write_file(path, bytes.substr(0, 10));
+  {
+    ResultCache cache(o);
+    EXPECT_FALSE(cache.load(fp).has_value());
+  }
+  write_file(path, "not a cache entry at all");
+  {
+    ResultCache cache(o);
+    EXPECT_FALSE(cache.load(fp).has_value());
+    // A fresh store repairs the slot.
+    cache.store(fp, std::vector<std::uint8_t>{1});
+    ResultCache again(o);
+    const auto hit = again.load(fp);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->size(), 1u);
+  }
+}
+
+TEST(ResultCache, CachedProductionRunIsByteIdentical) {
+  ResultCache cache = ResultCache::memory_only();
+  const core::ScenarioConfig cfg = small_cfg();
+  const CachedRun first = run_cached_production(cfg, cache);
+  ASSERT_TRUE(first.result.ok);
+  EXPECT_FALSE(first.from_cache);
+  const CachedRun second = run_cached_production(cfg, cache);
+  EXPECT_TRUE(second.from_cache);
+  // A hit reproduces the stored result exactly, telemetry included.
+  EXPECT_EQ(serialize(second.result), serialize(first.result));
+  // Across independent runs only the canonical (model-only) form is
+  // comparable: ShardExecStats is wall clock.
+  EXPECT_EQ(canon(first.result), canon(core::run_production(cfg)));
+}
+
+// ------------------------------------------------------------------ snapshots
+
+TEST(EngineSnapshot, BytesRoundTrip) {
+  sim::EngineSnapshot s;
+  s.scenario_hi = 0x1111222233334444ULL;
+  s.scenario_lo = 0x5555666677778888ULL;
+  s.salt = kEngineVersionSalt;
+  s.checkpoint_time = 123456;
+  s.shards = {{123456, 42}, {123456, 7}};
+  s.digest_hi = 1;
+  s.digest_lo = 2;
+  const auto bytes = s.to_bytes();
+  const sim::EngineSnapshot back = sim::EngineSnapshot::from_bytes(bytes);
+  EXPECT_TRUE(back == s);
+
+  auto truncated = bytes;
+  truncated.resize(truncated.size() - 1);
+  EXPECT_THROW((void)sim::EngineSnapshot::from_bytes(truncated),
+               sim::SnapshotError);
+  auto overlong = bytes;
+  overlong.push_back(0);
+  EXPECT_THROW((void)sim::EngineSnapshot::from_bytes(overlong),
+               sim::SnapshotError);
+  auto bad_magic = bytes;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW((void)sim::EngineSnapshot::from_bytes(bad_magic),
+               sim::SnapshotError);
+  EXPECT_THROW((void)sim::EngineSnapshot::from_bytes({}), sim::SnapshotError);
+}
+
+/// Checkpoint interval that lands a handful of snapshots inside the
+/// measurement phase of `cfg`.
+sim::Tick interval_for(const core::ScenarioConfig& cfg, int pieces) {
+  const core::RunResult plain = core::run_production(cfg);
+  EXPECT_TRUE(plain.ok);
+  const auto ticks =
+      static_cast<sim::Tick>(plain.runtime_ms * sim::kMillisecond);
+  return std::max<sim::Tick>(ticks / pieces, 1);
+}
+
+TEST(Checkpoint, SlicedRunIsByteIdenticalAndTakesSnapshots) {
+  const core::ScenarioConfig cfg = small_cfg();
+  const core::RunResult plain = core::run_production(cfg);
+  ASSERT_TRUE(plain.ok);
+
+  CheckpointOptions opt;
+  opt.interval = interval_for(cfg, 5);
+  std::vector<sim::EngineSnapshot> snaps;
+  opt.sink = [&](const sim::EngineSnapshot& s) { snaps.push_back(s); };
+  const core::RunResult sliced = run_production_checkpointed(cfg, opt);
+  ASSERT_TRUE(sliced.ok);
+
+  // Checkpointing at >= 3 distinct sim times must not perturb the model.
+  EXPECT_GE(snaps.size(), 3u);
+  for (std::size_t i = 1; i < snaps.size(); ++i)
+    EXPECT_GT(snaps[i].checkpoint_time, snaps[i - 1].checkpoint_time);
+  EXPECT_EQ(canon(sliced), canon(plain));
+  EXPECT_EQ(result_digest(sliced).hex(), result_digest(plain).hex());
+}
+
+TEST(Checkpoint, SlicedRunByteIdenticalInBothFamilies) {
+  for (const int shards : {0, 2}) {
+    core::ScenarioConfig cfg = small_cfg();
+    cfg.shards = shards;
+    const core::RunResult plain = core::run_production(cfg);
+    ASSERT_TRUE(plain.ok);
+    CheckpointOptions opt;
+    opt.interval = interval_for(cfg, 4);
+    const core::RunResult sliced = run_production_checkpointed(cfg, opt);
+    ASSERT_TRUE(sliced.ok);
+    EXPECT_EQ(canon(sliced), canon(plain)) << "shards=" << shards;
+  }
+}
+
+TEST(Checkpoint, RestoreFromMidRunSnapshotIsByteIdentical) {
+  const core::ScenarioConfig cfg = small_cfg();
+  const core::RunResult plain = core::run_production(cfg);
+  ASSERT_TRUE(plain.ok);
+
+  CheckpointOptions opt;
+  opt.interval = interval_for(cfg, 4);
+  std::vector<sim::EngineSnapshot> snaps;
+  opt.sink = [&](const sim::EngineSnapshot& s) { snaps.push_back(s); };
+  (void)run_production_checkpointed(cfg, opt);
+  ASSERT_GE(snaps.size(), 2u);
+
+  // Restore from an early and a late snapshot: both must verify and finish
+  // byte-identical to the run that never stopped.
+  for (const auto& snap : {snaps.front(), snaps.back()}) {
+    const core::RunResult restored = restore_production(cfg, snap);
+    ASSERT_TRUE(restored.ok) << restored.fail_reason;
+    EXPECT_EQ(canon(restored), canon(plain));
+  }
+}
+
+TEST(Checkpoint, RestoreRejectsForeignSnapshots) {
+  const core::ScenarioConfig cfg = small_cfg();
+  CheckpointOptions opt;
+  opt.interval = interval_for(cfg, 3);
+  std::vector<sim::EngineSnapshot> snaps;
+  opt.sink = [&](const sim::EngineSnapshot& s) { snaps.push_back(s); };
+  (void)run_production_checkpointed(cfg, opt);
+  ASSERT_FALSE(snaps.empty());
+  const sim::EngineSnapshot good = snaps.front();
+
+  auto expect_rejected = [&](sim::EngineSnapshot bad, const char* what) {
+    const core::RunResult r = restore_production(cfg, bad);
+    EXPECT_FALSE(r.ok) << what;
+    EXPECT_EQ(r.fail_reason.rfind("restore rejected:", 0), 0u)
+        << what << ": " << r.fail_reason;
+  };
+  sim::EngineSnapshot wrong_salt = good;
+  wrong_salt.salt = "dfsim-engine/v0";
+  expect_rejected(wrong_salt, "salt mismatch");
+
+  sim::EngineSnapshot wrong_scenario = good;
+  wrong_scenario.scenario_lo ^= 1;
+  expect_rejected(wrong_scenario, "fingerprint mismatch");
+
+  sim::EngineSnapshot wrong_digest = good;
+  wrong_digest.digest_lo ^= 1;
+  expect_rejected(wrong_digest, "digest mismatch");
+
+  // A snapshot for a DIFFERENT scenario of the same engine: fingerprint
+  // check catches it before any replay happens.
+  core::ScenarioConfig other = cfg;
+  other.seed = 77;
+  const core::RunResult r = restore_production(other, good);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.fail_reason.find("does not match scenario"), std::string::npos);
+}
+
+// --------------------------------------------------------------------- runner
+
+std::vector<SweepCell> grid3() {
+  std::vector<SweepCell> cells;
+  for (const std::uint64_t seed : {5ULL, 6ULL, 7ULL}) {
+    SweepCell c;
+    c.cfg = small_cfg();
+    c.cfg.seed = seed;
+    c.label = "seed=" + std::to_string(seed);
+    cells.push_back(std::move(c));
+  }
+  return cells;
+}
+
+TEST(Runner, JournalsEveryCellAndReportsOutcome) {
+  const std::string dir = scratch_dir("runner_clean");
+  ResultCache cache = ResultCache::memory_only();
+  RunnerOptions opt;
+  opt.out_path = dir + "/sweep.jsonl";
+  Runner runner(grid3(), cache, opt);
+  const Runner::Outcome oc = runner.run();
+  ASSERT_TRUE(oc.ok) << oc.error;
+  EXPECT_EQ(oc.total, 3);
+  EXPECT_EQ(oc.executed, 3);
+  EXPECT_EQ(oc.served, 0);
+  EXPECT_EQ(oc.skipped, 0);
+  EXPECT_EQ(oc.failed, 0);
+
+  const std::string bytes = read_file(opt.out_path);
+  EXPECT_EQ(std::count(bytes.begin(), bytes.end(), '\n'), 3);
+  EXPECT_NE(bytes.find("\"label\":\"seed=6\""), std::string::npos);
+  EXPECT_NE(bytes.find("\"ok\":true"), std::string::npos);
+  // Deterministic fields only: no wall clock, no cache provenance.
+  EXPECT_EQ(bytes.find("wall"), std::string::npos);
+  EXPECT_EQ(bytes.find("cached"), std::string::npos);
+}
+
+TEST(Runner, ResumeAfterTornJournalIsByteIdentical) {
+  const std::string dir = scratch_dir("runner_resume");
+  const std::string clean_path = dir + "/clean.jsonl";
+  {
+    ResultCache cache = ResultCache::memory_only();
+    RunnerOptions opt;
+    opt.out_path = clean_path;
+    ASSERT_TRUE(Runner(grid3(), cache, opt).run().ok);
+  }
+  const std::string clean = read_file(clean_path);
+  const std::size_t first_nl = clean.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+
+  // The SIGKILL shape: one durable line plus a torn fragment of the next.
+  const std::string resumed_path = dir + "/resumed.jsonl";
+  write_file(resumed_path,
+             clean.substr(0, first_nl + 1) + "{\"i\":1,\"label\":\"se");
+  ResultCache cache = ResultCache::memory_only();
+  RunnerOptions opt;
+  opt.out_path = resumed_path;
+  opt.resume = true;
+  const Runner::Outcome oc = Runner(grid3(), cache, opt).run();
+  ASSERT_TRUE(oc.ok) << oc.error;
+  EXPECT_EQ(oc.skipped, 1);
+  EXPECT_EQ(oc.executed, 2);
+  EXPECT_EQ(read_file(resumed_path), clean);
+}
+
+TEST(Runner, ResumeDiscardsDivergentTail) {
+  const std::string dir = scratch_dir("runner_diverge");
+  const std::string clean_path = dir + "/clean.jsonl";
+  {
+    ResultCache cache = ResultCache::memory_only();
+    RunnerOptions opt;
+    opt.out_path = clean_path;
+    ASSERT_TRUE(Runner(grid3(), cache, opt).run().ok);
+  }
+  const std::string clean = read_file(clean_path);
+  const std::size_t first_nl = clean.find('\n');
+
+  // A journal whose second line belongs to some OTHER grid (wrong
+  // fingerprint): resume must re-run from cell 1, not trust it.
+  std::string second = clean.substr(first_nl + 1,
+                                    clean.find('\n', first_nl + 1) - first_nl);
+  const std::size_t at = second.find("\"fp\":\"");
+  ASSERT_NE(at, std::string::npos);
+  second[at + 6] = second[at + 6] == '0' ? '1' : '0';
+  const std::string path = dir + "/diverged.jsonl";
+  write_file(path, clean.substr(0, first_nl + 1) + second);
+
+  ResultCache cache = ResultCache::memory_only();
+  RunnerOptions opt;
+  opt.out_path = path;
+  opt.resume = true;
+  const Runner::Outcome oc = Runner(grid3(), cache, opt).run();
+  ASSERT_TRUE(oc.ok) << oc.error;
+  EXPECT_EQ(oc.skipped, 1);
+  EXPECT_EQ(oc.executed, 2);
+  EXPECT_EQ(read_file(path), clean);
+}
+
+TEST(Runner, SecondPassServesEverythingFromCache) {
+  const std::string dir = scratch_dir("runner_warm");
+  ResultCache::Options o;
+  o.dir = dir + "/cache";
+  ResultCache cache(o);
+  RunnerOptions opt;
+  opt.out_path = dir + "/a.jsonl";
+  ASSERT_TRUE(Runner(grid3(), cache, opt).run().ok);
+
+  // New cache instance on the same directory: hits must come from disk.
+  ResultCache warm(o);
+  RunnerOptions opt2;
+  opt2.out_path = dir + "/b.jsonl";
+  const Runner::Outcome oc = Runner(grid3(), warm, opt2).run();
+  ASSERT_TRUE(oc.ok);
+  EXPECT_EQ(oc.served, 3);
+  EXPECT_EQ(oc.executed, 0);
+  EXPECT_EQ(warm.stats().hits, 3u);
+  EXPECT_EQ(read_file(dir + "/b.jsonl"), read_file(dir + "/a.jsonl"));
+}
+
+TEST(Runner, CheckpointedCellsMatchPlainCells) {
+  const std::string dir = scratch_dir("runner_ckpt");
+  const std::string plain_path = dir + "/plain.jsonl";
+  {
+    ResultCache cache = ResultCache::memory_only();
+    RunnerOptions opt;
+    opt.out_path = plain_path;
+    ASSERT_TRUE(Runner(grid3(), cache, opt).run().ok);
+  }
+  ResultCache cache = ResultCache::memory_only();
+  RunnerOptions opt;
+  opt.out_path = dir + "/ckpt.jsonl";
+  opt.checkpoint_interval = interval_for(small_cfg(), 4);
+  const Runner::Outcome oc = Runner(grid3(), cache, opt).run();
+  ASSERT_TRUE(oc.ok);
+  EXPECT_GE(oc.snapshots, 3u);
+  EXPECT_EQ(read_file(dir + "/ckpt.jsonl"), read_file(plain_path));
+}
+
+// ------------------------------------------------------------------ ensembles
+
+TEST(CachedEnsemble, MatchesUncachedAndThenHits) {
+  core::ScenarioConfig cfg = small_cfg();
+  cfg.bg_utilization = 0.4;  // distinct per-seed outcomes
+  const int samples = 3;
+  core::BatchOptions bopt;
+  bopt.jobs = 2;
+  const core::BatchResult plain =
+      core::run_production_ensemble(cfg, samples, bopt);
+  ASSERT_EQ(plain.failures(), 0);
+
+  ResultCache cache = ResultCache::memory_only();
+  const core::BatchResult cached =
+      run_cached_production_ensemble(cfg, samples, bopt, cache);
+  ASSERT_EQ(cached.failures(), 0);
+  ASSERT_EQ(cached.results.size(), plain.results.size());
+  for (std::size_t i = 0; i < plain.results.size(); ++i)
+    EXPECT_EQ(canon(cached.results[i]), canon(plain.results[i])) << i;
+  EXPECT_EQ(cache.stats().misses, static_cast<std::uint64_t>(samples));
+
+  // Second pass: every trial served, results still byte-identical.
+  const core::BatchResult warm =
+      run_cached_production_ensemble(cfg, samples, bopt, cache);
+  EXPECT_EQ(cache.stats().hits, static_cast<std::uint64_t>(samples));
+  for (std::size_t i = 0; i < plain.results.size(); ++i)
+    EXPECT_EQ(canon(warm.results[i]), canon(plain.results[i])) << i;
+}
+
+TEST(CachedEnsemble, FailedTrialsCarryIndexAndFingerprint) {
+  core::ScenarioConfig cfg = small_cfg();
+  cfg.event_budget = 1000;  // guaranteed budget exhaustion
+  ResultCache cache = ResultCache::memory_only();
+  core::BatchOptions bopt;
+  bopt.jobs = 1;
+  const core::BatchResult b =
+      run_cached_production_ensemble(cfg, 2, bopt, cache);
+  ASSERT_EQ(b.trials.size(), 2u);
+  for (const auto& t : b.trials) {
+    ASSERT_FALSE(t.ok);
+    EXPECT_NE(t.fail_reason.find("[trial " + std::to_string(t.index) + " fp="),
+              std::string::npos)
+        << t.fail_reason;
+  }
+  // Same tag as the uncached ensemble produces.
+  const core::BatchResult plain = core::run_production_ensemble(cfg, 2, bopt);
+  for (std::size_t i = 0; i < 2; ++i)
+    EXPECT_EQ(b.trials[i].fail_reason, plain.trials[i].fail_reason);
+}
+
+// ------------------------------------------------------------------ reporting
+
+TEST(Report, CacheSummaryLine) {
+  std::ostringstream quiet;
+  core::print_cache_summary(quiet, CacheStats{});
+  EXPECT_TRUE(quiet.str().empty());
+
+  CacheStats st;
+  st.hits = 3;
+  st.mem_hits = 2;
+  st.misses = 1;
+  st.stores = 1;
+  st.corrupt = 1;
+  std::ostringstream os;
+  core::print_cache_summary(os, st);
+  EXPECT_NE(os.str().find("hit rate"), std::string::npos);
+  EXPECT_NE(os.str().find("corrupt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dfsim::campaign

@@ -2,8 +2,10 @@
 // topology presets.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <random>
 #include <sstream>
 #include <stdexcept>
 
@@ -144,6 +146,45 @@ TEST(ScenarioCsv, SystemModeRoundTrips) {
   EXPECT_EQ(back.kind, core::ScenarioKind::kSystem);
   EXPECT_EQ(back.sys_jobs, 25);
   EXPECT_FALSE(back.sys_backfill);
+}
+
+// Property test for the shortest-round-trip float cells: any double that
+// can legally appear in a config must survive row -> parse BIT-exactly,
+// including values whose shortest decimal form is long (0.1 + 1e-17),
+// subnormal-adjacent magnitudes, and exact integers. This is what makes
+// the campaign fingerprint (a hash over these cells) a faithful content
+// address across platforms and locales.
+TEST(ScenarioCsv, FloatCellsRoundTripBitExactly) {
+  std::mt19937_64 rng(0xC5Fu);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> exp10(-12, 6);
+  for (int trial = 0; trial < 200; ++trial) {
+    core::ScenarioConfig cfg = core::ScenarioConfig::production();
+    // Awkward-by-construction doubles: random mantissas scaled across 18
+    // decades, plus a few adversarial specials on fixed trials.
+    const double mant = unit(rng);
+    double v = mant * std::pow(10.0, exp10(rng));
+    if (trial == 0) v = 0.1 + 1e-17;
+    if (trial == 1) v = 1.0 / 3.0;
+    if (trial == 2) v = 0.0;
+    if (trial == 3) v = 1.0;
+    cfg.bg_utilization = v;
+    cfg.sys_ad3_fraction = mant;
+    cfg.faults.degrade_link(100, 1, 0, unit(rng));
+    const core::ScenarioConfig back =
+        core::scenario_from_csv(core::scenario_csv_row(cfg));
+    // Bit-exact, not approximately-equal: the cells are the hash input.
+    EXPECT_EQ(back.bg_utilization, cfg.bg_utilization) << "trial " << trial;
+    EXPECT_EQ(back.sys_ad3_fraction, cfg.sys_ad3_fraction)
+        << "trial " << trial;
+    EXPECT_EQ(back.faults.canonical()[0].factor,
+              cfg.faults.canonical()[0].factor)
+        << "trial " << trial;
+    // And the text form is stable: re-encoding the parsed config yields
+    // the identical row (fixed point of the round trip).
+    EXPECT_EQ(core::scenario_csv_row(back), core::scenario_csv_row(cfg))
+        << "trial " << trial;
+  }
 }
 
 TEST(ScenarioCsv, RejectsMalformedRows) {

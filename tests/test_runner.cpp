@@ -195,7 +195,14 @@ TEST(Runner, TinyEventBudgetSurfacesAsFailedTrials) {
     EXPECT_EQ(t.index, static_cast<int>(i));
     EXPECT_FALSE(t.ok);
     EXPECT_TRUE(t.budget_exhausted);
-    EXPECT_EQ(t.fail_reason, r.fail_reason);
+    // The trial report prefixes the raw failure with the trial index and
+    // the scenario fingerprint of the exact (config, derived-seed) that
+    // failed, so a failed cell in a big campaign is attributable without
+    // re-running it.
+    const std::string tag = "[trial " + std::to_string(i) + " fp=";
+    EXPECT_EQ(t.fail_reason.rfind(tag, 0), 0u) << t.fail_reason;
+    EXPECT_NE(t.fail_reason.find("] " + r.fail_reason), std::string::npos)
+        << t.fail_reason;
     EXPECT_EQ(t.events, r.events_executed);
     EXPECT_GE(t.wall_ms, 0.0);
   }

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Summarize (or diff) campaign sweep journals.
+
+Usage:
+    python3 tools/campaign_journal.py sweep.jsonl
+    python3 tools/campaign_journal.py a.jsonl b.jsonl   # diff by cell
+
+A journal is the JSONL file `bench/ext_campaign_sweep` (campaign::Runner)
+writes: one record per cell with only deterministic fields, so two
+journals of the same grid are comparable line by line. With one argument
+this prints a per-cell table and totals; with two it reports which cells
+diverge (by fingerprint or result digest) — useful when a resumed or
+re-sharded run is NOT byte-identical and you want the first bad cell
+rather than a wall of diff.
+
+Stdlib only; a torn final line (killed run) is reported, not fatal.
+"""
+import json
+import sys
+
+
+def load(path):
+    cells, torn = [], None
+    with open(path, "rb") as f:
+        data = f.read().decode("utf-8", errors="replace")
+    for i, line in enumerate(data.split("\n")):
+        if not line:
+            continue
+        try:
+            cells.append(json.loads(line))
+        except json.JSONDecodeError:
+            torn = i
+    return cells, torn
+
+
+def summarize(path):
+    cells, torn = load(path)
+    print(f"{path}: {len(cells)} cells" +
+          (f" (+ 1 torn line — killed mid-write)" if torn is not None else ""))
+    if not cells:
+        return 0
+    width = max(len(c.get("label", "")) for c in cells)
+    for c in cells:
+        status = "ok" if c.get("ok") else "FAIL"
+        print(f"  [{c['i']:3d}] {c.get('label', ''):{width}s}  {status}  "
+              f"runtime {c.get('runtime_ms', 0):9.3f} ms  "
+              f"events {c.get('events', 0):>12,}  "
+              f"digest {c.get('digest', '')[:16]}")
+        if not c.get("ok"):
+            print(f"        reason: {c.get('fail_reason', '?')}")
+    failed = sum(1 for c in cells if not c.get("ok"))
+    print(f"  total: {len(cells)} cells, {failed} failed")
+    return 1 if failed else 0
+
+
+def diff(a_path, b_path):
+    a, a_torn = load(a_path)
+    b, b_torn = load(b_path)
+    a_by_i = {c["i"]: c for c in a}
+    b_by_i = {c["i"]: c for c in b}
+    bad = 0
+    for i in sorted(set(a_by_i) | set(b_by_i)):
+        ca, cb = a_by_i.get(i), b_by_i.get(i)
+        if ca is None or cb is None:
+            print(f"cell {i}: only in {b_path if ca is None else a_path}")
+            bad += 1
+            continue
+        for key in ("fp", "digest", "ok", "events", "runtime_ms"):
+            if ca.get(key) != cb.get(key):
+                print(f"cell {i} ({ca.get('label', '')}): {key} differs — "
+                      f"{ca.get(key)} vs {cb.get(key)}")
+                bad += 1
+                break
+    if a_torn is not None or b_torn is not None:
+        print("note: torn final line in " +
+              ", ".join(p for p, t in ((a_path, a_torn), (b_path, b_torn))
+                        if t is not None))
+    print("journals agree on every cell" if bad == 0
+          else f"{bad} divergent cells")
+    return 1 if bad else 0
+
+
+def main(argv):
+    if len(argv) == 2:
+        return summarize(argv[1])
+    if len(argv) == 3:
+        return diff(argv[1], argv[2])
+    print(__doc__.strip(), file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
