@@ -154,6 +154,8 @@ int main(int argc, char** argv) {
   std::string bench_json;
   double checkpoint_ms = 0.0;
   double min_warm_speedup = 10.0;
+  std::uint64_t cache_gc_bytes = 0;
+  int cell_jobs = 1;
   bool resume = false;
   bool bench_mode = false;
   bool quick = false;
@@ -174,6 +176,12 @@ int main(int argc, char** argv) {
             "gate: warm pass must be at least this much faster (--bench)")
       .flag("bench-json", &bench_json,
             "write the measured campaign perf section to this JSON file")
+      .flag("cell-jobs", &cell_jobs,
+            "cells executed concurrently (0 = one per hardware thread); "
+            "journal bytes are identical to --cell-jobs=1 at any width")
+      .flag("cache-gc-bytes", &cache_gc_bytes,
+            "after the sweep, prune coldest cache entries until the cache "
+            "directory fits this byte budget (0 = no gc)")
       .flag("quick", &quick, "small grid (MILC only, 128 nodes)");
   cli.parse(argc, argv);
 
@@ -195,12 +203,14 @@ int main(int argc, char** argv) {
     ropt.out_path = out_path;
     ropt.resume = resume;
     ropt.checkpoint_interval = interval;
+    ropt.cell_jobs = cell_jobs;
     const TimedPass p = run_pass(cells, cache, ropt);
     if (!p.oc.ok) {
       std::fprintf(stderr, "error: %s\n", p.oc.error.c_str());
       return 1;
     }
     print_outcome("sweep", p.oc, p.wall_ms);
+    if (cache_gc_bytes > 0) cache.gc(cache_gc_bytes);
     core::print_cache_summary(std::cout, cache.stats());
     return p.oc.failed > 0 ? 1 : 0;
   }
@@ -216,6 +226,7 @@ int main(int argc, char** argv) {
   campaign::RunnerOptions cold_opt;
   cold_opt.out_path = out_path;
   cold_opt.checkpoint_interval = interval;
+  cold_opt.cell_jobs = cell_jobs;
   const TimedPass cold = run_pass(cells, cache, cold_opt);
   if (!cold.oc.ok || cold.oc.failed > 0) {
     std::fprintf(stderr, "error: cold pass failed (%s)\n",
@@ -228,6 +239,7 @@ int main(int argc, char** argv) {
   campaign::RunnerOptions warm_opt;
   warm_opt.out_path = out_path + ".warm";
   warm_opt.checkpoint_interval = interval;
+  warm_opt.cell_jobs = cell_jobs;
   const TimedPass warm = run_pass(cells, cache, warm_opt);
   if (!warm.oc.ok || warm.oc.failed > 0) {
     std::fprintf(stderr, "error: warm pass failed (%s)\n",

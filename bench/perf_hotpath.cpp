@@ -183,6 +183,12 @@ core::ProductionConfig sim_config(bool quick, std::uint64_t seed) {
   cfg.params.compute_scale = 0.1;
   cfg.params.seed = seed;
   cfg.bg_utilization = quick ? 0.1 : 0.3;
+  // Spread background: the legacy mixed fill lands its compact jobs on the
+  // lowest free node ids, concentrating ~2/3 of all traffic in group 0 — a
+  // hotspot no group-granular partition can split (groups cannot straddle
+  // shards). Random placement keeps per-group load balanceable, which is
+  // what the shard_imbalance gate measures the planner against.
+  cfg.bg_placement = sched::BgPlacement::kRandom;
   cfg.seed = seed;
   return cfg;
 }
@@ -343,6 +349,7 @@ int main(int argc, char** argv) {
   int shards = 0;  // headline sim run substrate (0 = serial engine)
   int workers = 0;  // executor threads for the headline sharded run
   double min_speedup = 0.0;  // sharded-speedup gate (0 = report only)
+  double max_imbalance = 1.5;  // shard_events max/mean gate (strict only)
   bool strict_gate = false;  // skip-is-failure mode for the speedup gate
   std::uint64_t micro_events = 0;  // 0 = pick from --quick below
   std::uint64_t seed = 2021;
@@ -366,6 +373,11 @@ int main(int argc, char** argv) {
             "FAIL unless the widest sweep row reaches this speedup vs serial "
             "(gate self-skips, with a note, when the host has fewer hardware "
             "threads than that row has workers)")
+      .flag("max-imbalance", &max_imbalance,
+            "with --strict-gate: FAIL if the widest sweep row's shard-event "
+            "imbalance (max/mean) exceeds this (0 = report only); unlike the "
+            "speedup gate this never self-skips — the load-aware partition "
+            "is deterministic, so any host can judge it")
       .flag("strict-gate", &strict_gate,
             "with --min-speedup: a skipped gate is a FAILURE, not a pass — "
             "use in CI so an undersized runner cannot silently waive the "
@@ -491,9 +503,9 @@ int main(int argc, char** argv) {
       } else {
         std::printf(
             "    %dsh x %dw%s  %7.1f ms  %.2f M events/sec  (%.2fx vs "
-            "serial, %d worker%s effective, %llu windows / %llu merges, "
-            "%llu mail (%llu folded), barrier %.1f ms, coord %.1f ms, "
-            "shard events %llu..%llu)\n",
+            "serial, %d worker%s effective, %llu windows / %llu merges / "
+            "%llu fused, %llu mail (%llu folded), barrier %.1f ms, coord "
+            "%.1f ms, shard events %llu..%llu, imbalance %.2fx)\n",
             s, w, s < 10 && w < 10 ? "     " : "    ", best.wall_ms,
             best.events_per_sec / 1e6,
             scaling.front().r.wall_ms > 0.0
@@ -502,12 +514,13 @@ int main(int argc, char** argv) {
             se.workers, se.workers == 1 ? "" : "s",
             static_cast<unsigned long long>(se.windows),
             static_cast<unsigned long long>(se.merges),
+            static_cast<unsigned long long>(se.windows_fused),
             static_cast<unsigned long long>(se.mail_records),
             static_cast<unsigned long long>(se.mail_compacted),
             static_cast<double>(se.barrier_wait_ns) / 1e6,
             static_cast<double>(se.coord_ns) / 1e6,
             static_cast<unsigned long long>(ev.min),
-            static_cast<unsigned long long>(ev.max));
+            static_cast<unsigned long long>(ev.max), se.shard_imbalance());
       }
     }
     // Worker-honesty gate: an explicit worker request is clamped by the
@@ -570,6 +583,23 @@ int main(int argc, char** argv) {
             "(threshold %.2fx)\n",
             widest.shards, widest.workers_req, sp, min_speedup);
       }
+    }
+    // Imbalance gate (--strict-gate): the widest row's shard-event spread
+    // is a pure function of the scenario and the load-aware partition —
+    // no hardware-thread dependence, so it never self-skips.
+    if (strict_gate && max_imbalance > 0.0) {
+      const double imb = scaling.back().r.shard_exec.shard_imbalance();
+      if (imb > max_imbalance) {
+        std::fprintf(stderr,
+                     "perf_hotpath: imbalance gate FAILED: %d-shard row at "
+                     "%.2fx max/mean shard events, threshold %.2fx — the "
+                     "load-aware partition is not balancing this scenario\n",
+                     scaling.back().shards, imb, max_imbalance);
+        return 1;
+      }
+      std::printf("  imbalance gate OK: %d-shard row at %.2fx max/mean "
+                  "(threshold %.2fx)\n",
+                  scaling.back().shards, imb, max_imbalance);
     }
   }
 
@@ -641,6 +671,7 @@ int main(int argc, char** argv) {
   std::fprintf(f, "\n  ],\n");
   std::fprintf(f, "  \"hw_threads\": %u,\n", hw_threads);
   std::fprintf(f, "  \"min_speedup\": %.3f,\n", min_speedup);
+  std::fprintf(f, "  \"max_imbalance\": %.3f,\n", max_imbalance);
   std::fprintf(f, "  \"gate_skipped\": %s,\n", gate_skipped ? "true" : "false");
   std::fprintf(f, "  \"shard_scaling\": [\n");
   for (std::size_t i = 0; i < scaling.size(); ++i) {
@@ -652,9 +683,11 @@ int main(int argc, char** argv) {
         "\"wall_ms\": %.3f, "
         "\"events\": %llu, \"packets\": %lld, \"events_per_sec\": %.1f, "
         "\"speedup_vs_serial\": %.3f, \"lookahead_ns\": %lld, "
-        "\"windows\": %llu, \"merges\": %llu, \"mail_posted\": %llu, "
+        "\"windows\": %llu, \"merges\": %llu, \"windows_fused\": %llu, "
+        "\"mail_posted\": %llu, "
         "\"mail_records\": %llu, \"mail_compacted\": %llu, "
-        "\"barrier_wait_ms\": %.3f, \"coord_ms\": %.3f, \"shard_events\": [",
+        "\"barrier_wait_ms\": %.3f, \"coord_ms\": %.3f, "
+        "\"shard_imbalance\": %.4f, \"shard_events\": [",
         row.shards, row.workers_req, se.workers, row.r.wall_ms,
         static_cast<unsigned long long>(row.r.events),
         static_cast<long long>(row.r.packets), row.r.events_per_sec,
@@ -662,11 +695,12 @@ int main(int argc, char** argv) {
         static_cast<long long>(se.lookahead),
         static_cast<unsigned long long>(se.windows),
         static_cast<unsigned long long>(se.merges),
+        static_cast<unsigned long long>(se.windows_fused),
         static_cast<unsigned long long>(se.mail_posted),
         static_cast<unsigned long long>(se.mail_records),
         static_cast<unsigned long long>(se.mail_compacted),
         static_cast<double>(se.barrier_wait_ns) / 1e6,
-        static_cast<double>(se.coord_ns) / 1e6);
+        static_cast<double>(se.coord_ns) / 1e6, se.shard_imbalance());
     for (std::size_t s = 0; s < se.shard_events.size(); ++s)
       std::fprintf(f, "%s%llu", s == 0 ? "" : ", ",
                    static_cast<unsigned long long>(se.shard_events[s]));

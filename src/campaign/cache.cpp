@@ -1,5 +1,6 @@
 #include "campaign/cache.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 
@@ -180,6 +181,11 @@ std::optional<std::vector<std::uint8_t>> ResultCache::load(
     if (auto hit = disk_load(fp); hit.has_value()) {
       ++stats_.hits;
       stats_.bytes_read += hit->size();
+      // Refresh the entry's last-write time: gc() prunes coldest-first by
+      // this stamp, and a disk hit is exactly the "still in use" signal.
+      std::error_code ec;
+      fs::last_write_time(entry_path(fp), fs::file_time_type::clock::now(),
+                          ec);  // best effort; gc tolerates stale stamps
       lru_put(key, *hit);
       return hit;
     }
@@ -195,6 +201,85 @@ void ResultCache::store(const Fingerprint& fp,
     stats_.bytes_written += payload.size();
   ++stats_.stores;
   lru_put(fp.hex(), std::vector<std::uint8_t>(payload.begin(), payload.end()));
+}
+
+std::uint64_t ResultCache::gc(std::uint64_t byte_budget) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!persistent()) return 0;
+  stats_.gc_removed = stats_.gc_removed_bytes = 0;
+  stats_.gc_kept = stats_.gc_kept_bytes = 0;
+
+  struct Entry {
+    fs::file_time_type mtime;
+    std::uint64_t size = 0;
+    std::string path;
+  };
+  std::vector<Entry> entries;
+  std::uint64_t total = 0;
+  std::error_code ec;
+  for (fs::directory_iterator top(opt_.dir, ec);
+       !ec && top != fs::directory_iterator(); top.increment(ec)) {
+    const fs::path p = top->path();
+    // Orphaned in-flight writes (a killed writer's tmp- files) are garbage
+    // whatever the budget; committed entries live one shard-dir down.
+    if (top->is_regular_file(ec) &&
+        p.filename().string().rfind("tmp-", 0) == 0) {
+      std::error_code rec;
+      const std::uint64_t sz = static_cast<std::uint64_t>(fs::file_size(p, rec));
+      if (fs::remove(p, rec) && !rec) {
+        ++stats_.gc_removed;
+        stats_.gc_removed_bytes += sz;
+      }
+      continue;
+    }
+    if (!top->is_directory(ec)) continue;
+    std::error_code sub_ec;
+    for (fs::directory_iterator it(p, sub_ec);
+         !sub_ec && it != fs::directory_iterator(); it.increment(sub_ec)) {
+      std::error_code fec;
+      if (!it->is_regular_file(fec) ||
+          it->path().extension() != ".res")
+        continue;
+      Entry e;
+      e.path = it->path().string();
+      e.size = static_cast<std::uint64_t>(fs::file_size(it->path(), fec));
+      if (fec) continue;
+      e.mtime = fs::last_write_time(it->path(), fec);
+      if (fec) e.mtime = fs::file_time_type::min();  // unreadable: coldest
+      total += e.size;
+      entries.push_back(std::move(e));
+    }
+  }
+
+  // Coldest first; path breaks mtime ties so a pass is deterministic.
+  std::sort(entries.begin(), entries.end(), [](const Entry& x, const Entry& y) {
+    if (x.mtime != y.mtime) return x.mtime < y.mtime;
+    return x.path < y.path;
+  });
+  std::uint64_t removed = 0;
+  for (const Entry& e : entries) {
+    if (total <= byte_budget) break;
+    std::error_code rec;
+    if (!fs::remove(e.path, rec) || rec) continue;  // raced away: fine
+    total -= e.size;
+    ++removed;
+    ++stats_.gc_removed;
+    stats_.gc_removed_bytes += e.size;
+    // Drop the memory copy too: a pruned entry must read as a miss, not
+    // linger in the LRU answering for bytes the disk no longer holds (the
+    // semantics would be right but the budget accounting would lie).
+    const fs::path p(e.path);
+    const std::string key =
+        p.parent_path().filename().string() + p.stem().string();
+    if (const auto it = index_.find(key); it != index_.end()) {
+      lru_bytes_ -= it->second->second.size();
+      lru_.erase(it->second);
+      index_.erase(it);
+    }
+  }
+  stats_.gc_kept = entries.size() - removed;
+  stats_.gc_kept_bytes = total;
+  return removed;
 }
 
 CacheStats ResultCache::stats() const {

@@ -45,6 +45,11 @@ struct CacheStats {
   std::uint64_t stores = 0;      ///< entries committed
   std::uint64_t bytes_read = 0;  ///< payload bytes served from disk
   std::uint64_t bytes_written = 0;
+  // Last gc() pass (all zero when gc never ran).
+  std::uint64_t gc_removed = 0;        ///< entry files pruned
+  std::uint64_t gc_removed_bytes = 0;  ///< file bytes reclaimed
+  std::uint64_t gc_kept = 0;           ///< entry files surviving
+  std::uint64_t gc_kept_bytes = 0;     ///< file bytes retained
 
   [[nodiscard]] double hit_rate() const {
     const std::uint64_t total = hits + misses;
@@ -79,6 +84,18 @@ class ResultCache {
 
   /// Commit `payload` for `fp` (atomic replace; also refreshes the LRU).
   void store(const Fingerprint& fp, std::span<const std::uint8_t> payload);
+
+  /// Prune committed entries, coldest first, until the directory's total
+  /// entry-file size fits `byte_budget`. Coldness is the file's last-write
+  /// time: stores stamp it and disk hits refresh it, so recently-used
+  /// entries survive. (An entry hot purely in the memory LRU can look cold
+  /// on disk — it ages out of the LRU, gets re-read, and is warm again, so
+  /// at worst it is pruned and recomputed once.) Orphaned tmp- files from
+  /// killed writers are removed unconditionally. Removal order among
+  /// equal-mtime entries is by path, so a pass is deterministic for a
+  /// given directory state. Returns files removed; per-pass detail lands
+  /// in stats().gc_*. No-op (returns 0) on a memory-only cache.
+  std::uint64_t gc(std::uint64_t byte_budget);
 
   [[nodiscard]] CacheStats stats() const;
   [[nodiscard]] const std::string& dir() const { return opt_.dir; }

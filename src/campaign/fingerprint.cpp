@@ -14,6 +14,7 @@ Fingerprint scenario_fingerprint(const core::ScenarioConfig& cfg,
   // worker count, so distinct widths must share a content address.
   canon.shards = canon.shards >= 1 ? 1 : 0;
   canon.shard_workers = 0;
+  canon.shard_balance = true;  // partition choice never affects results
 
   sim::Hasher128 h;
   h.update_field(salt);

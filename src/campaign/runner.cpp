@@ -215,36 +215,65 @@ Runner::Outcome Runner::run() {
   }
   oc.skipped = static_cast<int>(start);
 
-  for (std::size_t i = start; i < cells_.size(); ++i) {
-    CachedRun cr = run_one(cells_[i].cfg, cache_, opt_.checkpoint_interval,
-                           &oc.snapshots);
-    if (cr.from_cache)
-      ++oc.served;
-    else
-      ++oc.executed;
-    if (!cr.result.ok) ++oc.failed;
-    if (f != nullptr) {
-      const std::string line =
-          journal_line(static_cast<int>(i), cells_[i].label, cr.fp,
-                       cr.result) +
-          "\n";
-      const bool wrote =
-          std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
-          std::fflush(f) == 0;
+  // Remaining cells fan out over a TrialRunner; the commit stream runs in
+  // strict index order (map_streamed), so journal bytes and all Outcome
+  // counters are independent of cell_jobs and completion order. Each cell
+  // counts its own snapshots locally — the shared counter is only bumped
+  // inside the serialized commit, never concurrently.
+  struct CellDone {
+    CachedRun cr;
+    std::uint64_t snapshots = 0;
+  };
+  struct JournalWriteError {
+    std::size_t cell;
+  };
+  const int n = static_cast<int>(cells_.size() - start);
+  core::TrialRunner runner(opt_.cell_jobs);
+  try {
+    runner.map_streamed(
+        n,
+        [&](int k) {
+          CellDone d;
+          d.cr = run_one(cells_[start + static_cast<std::size_t>(k)].cfg,
+                         cache_, opt_.checkpoint_interval, &d.snapshots);
+          return d;
+        },
+        [&](int k, CellDone& d) {
+          const std::size_t i = start + static_cast<std::size_t>(k);
+          oc.snapshots += d.snapshots;
+          if (d.cr.from_cache)
+            ++oc.served;
+          else
+            ++oc.executed;
+          if (!d.cr.result.ok) ++oc.failed;
+          if (f != nullptr) {
+            const std::string line =
+                journal_line(static_cast<int>(i), cells_[i].label, d.cr.fp,
+                             d.cr.result) +
+                "\n";
+            const bool wrote =
+                std::fwrite(line.data(), 1, line.size(), f) == line.size() &&
+                std::fflush(f) == 0;
 #ifndef _WIN32
-      // The durable line is the progress marker: until it hits the disk,
-      // the cell is not "done" and a resume will redo it (cheaply — the
-      // cache entry it committed above survives the kill).
-      const bool synced = wrote && ::fsync(::fileno(f)) == 0;
+            // The durable line is the progress marker: until it hits the
+            // disk, the cell is not "done" and a resume will redo it
+            // (cheaply — the cache entry it committed above survives the
+            // kill).
+            const bool synced = wrote && ::fsync(::fileno(f)) == 0;
 #else
-      const bool synced = wrote;
+            const bool synced = wrote;
 #endif
-      if (!synced) {
-        oc.error = "journal write failed at cell " + std::to_string(i);
-        std::fclose(f);
-        return oc;
-      }
-    }
+            if (!synced) throw JournalWriteError{i};
+          }
+          // Committed: the payload is durable (journal) and cached, so
+          // release the in-memory copy rather than holding every result of
+          // the batch until the fan-out drains.
+          d.cr.result = core::RunResult{};
+        });
+  } catch (const JournalWriteError& e) {
+    oc.error = "journal write failed at cell " + std::to_string(e.cell);
+    std::fclose(f);
+    return oc;
   }
   if (f != nullptr) std::fclose(f);
   oc.ok = true;

@@ -14,8 +14,10 @@
 //     fingerprint, ok/fail_reason, simulated runtime, event count, and the
 //     canonical result digest) — never wall-clock or cache provenance —
 //     so a resumed run's output is byte-identical to an uninterrupted one;
-//   * each line is flushed + fsync'd before the next cell starts: the
-//     last durable line IS the progress marker;
+//   * each line is flushed + fsync'd before the next cell's line is
+//     written (cells may EXECUTE concurrently, see RunnerOptions::
+//     cell_jobs, but records commit in strict index order): the last
+//     durable line IS the progress marker;
 //   * --resume validates the existing file as a strict prefix of the
 //     expected (index, fingerprint) sequence, truncates a torn final line
 //     (the SIGKILL case) or any divergent tail (a changed grid), and
@@ -72,11 +74,20 @@ struct RunnerOptions {
   /// simulated-time interval (snapshots are taken and verified-capturable;
   /// results stay byte-identical to unsliced runs).
   sim::Tick checkpoint_interval = 0;
+  /// Cells executed concurrently (core::resolve_jobs semantics: >= 1 taken
+  /// as-is, 0 = one per hardware thread). Wall-clock only: journal records
+  /// are committed in strict cell-index order whatever finishes first, so
+  /// the output — and every --resume prefix of it — is byte-identical to
+  /// cell_jobs = 1.
+  int cell_jobs = 1;
 };
 
-/// Executes the cells in order. Not a TrialRunner fan-out: the journal is
-/// strictly ordered, and cross-cell parallelism would buy little on top of
-/// the sharded engine each cell already uses.
+/// Executes the cells of a sweep grid, fanned out cell_jobs wide over a
+/// core::TrialRunner (each cell owns its full simulation stack; the shared
+/// ResultCache is internally locked and commits entries atomically). The
+/// journal stays strictly ordered via TrialRunner::map_streamed: a cell's
+/// record is written + fsync'd only after every earlier cell's record is
+/// durable, so resume semantics are identical at any width.
 class Runner {
  public:
   Runner(std::vector<SweepCell> cells, ResultCache& cache, RunnerOptions opt);

@@ -68,6 +68,8 @@ RunResult run_production(const ScenarioConfig& raw) {
   machine.network().set_event_profile(cfg.event_profile);
   machine.network().set_event_coalescing(cfg.coalesce_events);
   machine.network().apply_fault_plan(cfg.faults);  // empty plan: no-op
+  if (auto* se = machine.sharded_engine())
+    se->set_inline_merge(cfg.shard_inline_merge);
 
   // Foreground allocation first (so requested placement is honored), then
   // fill with background load.
@@ -82,13 +84,32 @@ RunResult run_production(const ScenarioConfig& raw) {
 
   sched::BackgroundSet bg;
   if (cfg.bg_utilization > 0.0)
-    bg = sched.add_background(cfg.bg_utilization, cfg.bg_mode);
+    bg = sched.add_background(cfg.bg_utilization, cfg.bg_mode,
+                              cfg.bg_placement);
   res.background.jobs = static_cast<int>(bg.jobs.size());
   res.background.total_nodes = bg.total_nodes;
   res.background.target_utilization = bg.target_utilization;
   res.background.achieved_utilization = bg.achieved_utilization;
   res.background.allocation_attempts = bg.allocation_attempts;
   res.background.allocation_failures = bg.allocation_failures;
+
+  // Rebalance shard block boundaries against the placement we just
+  // committed to: weight each group by its busy nodes (foreground app +
+  // background jobs) so the contiguous-group blocks equalize expected
+  // traffic instead of group count. Wall-clock-only — no event has
+  // executed yet, so rebinding ownership is pure policy (see
+  // Machine::rebalance_shards), and the lookahead grid is
+  // partition-independent.
+  if (cfg.shard_balance && machine.sharded_engine() != nullptr) {
+    const auto& topo = machine.topology();
+    std::vector<std::uint64_t> weight(
+        static_cast<std::size_t>(topo.config().groups), 0);
+    for (topo::NodeId n = 0; n < topo.config().num_nodes(); ++n) {
+      if (sched.allocator().is_busy(n))
+        ++weight[static_cast<std::size_t>(topo.group_of_node(n))];
+    }
+    machine.rebalance_shards(weight);
+  }
 
   // Let the background ramp up, then start the app under test.
   machine.run_for(cfg.warmup);
@@ -112,6 +133,7 @@ RunResult run_production(const ScenarioConfig& raw) {
     res.shard_exec.lookahead = se->lookahead();
     res.shard_exec.windows = se->stats().windows;
     res.shard_exec.merges = se->stats().merges;
+    res.shard_exec.windows_fused = se->stats().fused;
     res.shard_exec.mail_records = se->stats().mail_records;
     res.shard_exec.mail_posted = se->stats().mail_posted;
     res.shard_exec.mail_compacted = se->stats().mail_compacted;
@@ -421,8 +443,10 @@ std::int64_t cell_i64(const std::string& c, const char* field) {
 std::vector<std::string> scenario_csv_columns() {
   return {"kind",       "system",       "app",       "nnodes",
           "njobs",      "mode",         "placement", "target_groups",
-          "bg_util",    "bg_mode",      "warmup_ns", "ldms_period_ns",
+          "bg_util",    "bg_mode",      "bg_placement",
+          "warmup_ns",  "ldms_period_ns",
           "seed",       "event_budget", "shards",    "shard_workers",
+          "shard_balance",
           "faults",     "sys_jobs",     "sys_interarrival_ns",
           "sys_backfill", "sys_ad3_fraction"};
 }
@@ -460,12 +484,14 @@ std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg) {
           std::to_string(cfg.target_groups),
           num(cfg.bg_utilization),
           std::string(routing::mode_name(cfg.bg_mode)),
+          sched::bg_placement_name(cfg.bg_placement),
           std::to_string(cfg.warmup),
           std::to_string(cfg.ldms_period),
           std::to_string(cfg.seed),
           std::to_string(cfg.event_budget),
           std::to_string(cfg.shards),
           std::to_string(cfg.shard_workers),
+          cfg.shard_balance ? "1" : "0",
           fault_plan_encode(cfg.faults),
           std::to_string(cfg.sys_jobs),
           std::to_string(cfg.sys_interarrival),
@@ -502,18 +528,22 @@ ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells) {
   if (!routing::parse_mode(cells[9], cfg.bg_mode))
     throw std::invalid_argument("scenario_from_csv: bad bg_mode \"" +
                                 cells[9] + "\"");
-  cfg.warmup = cell_i64(cells[10], "warmup_ns");
-  cfg.ldms_period = cell_i64(cells[11], "ldms_period_ns");
-  cfg.seed = static_cast<std::uint64_t>(cell_i64(cells[12], "seed"));
+  if (!sched::parse_bg_placement(cells[10], cfg.bg_placement))
+    throw std::invalid_argument("scenario_from_csv: bad bg_placement \"" +
+                                cells[10] + "\"");
+  cfg.warmup = cell_i64(cells[11], "warmup_ns");
+  cfg.ldms_period = cell_i64(cells[12], "ldms_period_ns");
+  cfg.seed = static_cast<std::uint64_t>(cell_i64(cells[13], "seed"));
   cfg.event_budget =
-      static_cast<std::uint64_t>(cell_i64(cells[13], "event_budget"));
-  cfg.shards = static_cast<int>(cell_i64(cells[14], "shards"));
-  cfg.shard_workers = static_cast<int>(cell_i64(cells[15], "shard_workers"));
-  cfg.faults = fault_plan_decode(cells[16]);
-  cfg.sys_jobs = static_cast<int>(cell_i64(cells[17], "sys_jobs"));
-  cfg.sys_interarrival = cell_i64(cells[18], "sys_interarrival_ns");
-  cfg.sys_backfill = cell_i64(cells[19], "sys_backfill") != 0;
-  cfg.sys_ad3_fraction = cell_f64(cells[20], "sys_ad3_fraction");
+      static_cast<std::uint64_t>(cell_i64(cells[14], "event_budget"));
+  cfg.shards = static_cast<int>(cell_i64(cells[15], "shards"));
+  cfg.shard_workers = static_cast<int>(cell_i64(cells[16], "shard_workers"));
+  cfg.shard_balance = cell_i64(cells[17], "shard_balance") != 0;
+  cfg.faults = fault_plan_decode(cells[18]);
+  cfg.sys_jobs = static_cast<int>(cell_i64(cells[19], "sys_jobs"));
+  cfg.sys_interarrival = cell_i64(cells[20], "sys_interarrival_ns");
+  cfg.sys_backfill = cell_i64(cells[21], "sys_backfill") != 0;
+  cfg.sys_ad3_fraction = cell_f64(cells[22], "sys_ad3_fraction");
   return cfg;
 }
 

@@ -65,6 +65,11 @@ struct ScenarioConfig {
   int target_groups = 0;  ///< for Placement::kGroups
   double bg_utilization = 0.75;  ///< production only; 0 => isolated run
   routing::Mode bg_mode = routing::Mode::kAd0;  ///< system default mode
+  /// Placement mix of the synthetic background jobs (production only):
+  /// kMixed = the legacy 70% random / 30% compact sampling, kRandom /
+  /// kCompact force one policy for every background job. Changes traffic,
+  /// so it is part of the scenario (CSV column, fingerprint input).
+  sched::BgPlacement bg_placement = sched::BgPlacement::kMixed;
   sim::Tick warmup = 300 * sim::kMicrosecond;   ///< background ramp-up
   sim::Tick ldms_period = 200 * sim::kMicrosecond;  ///< controlled only
   std::uint64_t seed = 1;
@@ -80,6 +85,20 @@ struct ScenarioConfig {
   /// N >= 1 = exactly min(N, shards) executors. Wall-clock only — results
   /// are byte-identical for every worker count.
   int shard_workers = 0;
+  /// Load-aware shard partitioning (ignored when shards == 0): after
+  /// placement and background fill, re-partition the shard plan so each
+  /// shard's blocks carry roughly equal busy-node weight instead of equal
+  /// group counts (topo::ShardPlan::build_weighted via
+  /// mpi::Machine::rebalance_shards). Wall-clock only — the window grid is
+  /// partition-independent, so results are byte-identical either way; the
+  /// switch exists for A/B tests and bench comparisons.
+  bool shard_balance = true;
+  /// A/B switch for the sharded engine's in-run merges (the last barrier
+  /// arriver merges mail inline and continues the fused run; see
+  /// sim::ShardedEngine). Wall-clock only — windows, merges, and results
+  /// are byte-identical either way — so it is neither a CSV column nor a
+  /// fingerprint input.
+  bool shard_inline_merge = true;
   /// Scripted fault injection (failures / degradations / repairs applied at
   /// simulated times). Empty (the default) leaves every fault path dormant
   /// and the run byte-identical to a fault-free build.
@@ -157,12 +176,21 @@ class Scenario {
     cfg_.bg_mode = m;
     return *this;
   }
+  Scenario& bg_placement(sched::BgPlacement p) {
+    cfg_.bg_placement = p;
+    return *this;
+  }
   Scenario& warmup(sim::Tick t) { cfg_.warmup = t; return *this; }
   Scenario& ldms_period(sim::Tick t) { cfg_.ldms_period = t; return *this; }
   Scenario& seed(std::uint64_t s) { cfg_.seed = s; return *this; }
   Scenario& event_budget(std::uint64_t n) { cfg_.event_budget = n; return *this; }
   Scenario& shards(int n) { cfg_.shards = n; return *this; }
   Scenario& shard_workers(int n) { cfg_.shard_workers = n; return *this; }
+  Scenario& shard_balance(bool on) { cfg_.shard_balance = on; return *this; }
+  Scenario& shard_inline_merge(bool on) {
+    cfg_.shard_inline_merge = on;
+    return *this;
+  }
   Scenario& faults(fault::FaultPlan plan) {
     cfg_.faults = std::move(plan);
     return *this;
@@ -199,7 +227,11 @@ struct ShardExecStats {
   int workers_requested = 0;  ///< executor threads the scenario asked for
   sim::Tick lookahead = 0;  ///< window width (min cross-shard latency)
   std::uint64_t windows = 0;
-  std::uint64_t merges = 0;  ///< barriers that returned to the coordinator
+  std::uint64_t merges = 0;  ///< barriers whose mailboxes were merged
+  /// Windows the executors entered straight from the barrier path (inline
+  /// merge or no-op barrier) without a coordinator round-trip; the
+  /// remaining `windows - windows_fused` runs paid a full pool relaunch.
+  std::uint64_t windows_fused = 0;
   std::uint64_t mail_records = 0;    ///< cross-shard records merged
   std::uint64_t mail_posted = 0;     ///< records posted (pre-compaction)
   std::uint64_t mail_compacted = 0;  ///< increments folded by accumulation
@@ -211,6 +243,22 @@ struct ShardExecStats {
   std::vector<std::uint64_t> shard_events;  ///< events executed per shard
   std::vector<std::int64_t> executor_busy_ns;  ///< per executor, event time
   std::vector<std::int64_t> executor_wait_ns;  ///< per executor, barrier wait
+
+  /// Load-balance figure of merit: max(shard_events) / mean(shard_events).
+  /// 1.0 is a perfectly even split; the speedup ceiling at W >= shards
+  /// workers is roughly shards / imbalance. Returns 1.0 for serial runs.
+  [[nodiscard]] double shard_imbalance() const {
+    if (shard_events.empty()) return 1.0;
+    std::uint64_t total = 0, mx = 0;
+    for (const std::uint64_t e : shard_events) {
+      total += e;
+      if (e > mx) mx = e;
+    }
+    if (total == 0) return 1.0;
+    const double mean = static_cast<double>(total) /
+                        static_cast<double>(shard_events.size());
+    return static_cast<double>(mx) / mean;
+  }
 };
 
 /// What the background fill actually achieved (production runs). The fill

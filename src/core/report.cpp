@@ -157,6 +157,13 @@ void print_cache_summary(std::ostream& os, const campaign::CacheStats& st) {
      << " KiB read / "
      << stats::fmt(static_cast<double>(st.bytes_written) / 1024.0, 1)
      << " KiB written\n";
+  if (st.gc_removed + st.gc_kept > 0) {
+    os << "  cache gc: pruned " << st.gc_removed << " entries ("
+       << stats::fmt(static_cast<double>(st.gc_removed_bytes) / 1024.0, 1)
+       << " KiB), kept " << st.gc_kept << " ("
+       << stats::fmt(static_cast<double>(st.gc_kept_bytes) / 1024.0, 1)
+       << " KiB)\n";
+  }
 }
 
 }  // namespace dfsim::core

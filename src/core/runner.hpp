@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -75,6 +76,46 @@ class TrialRunner {
     std::vector<R> out(static_cast<std::size_t>(n > 0 ? n : 0));
     std::function<void(int)> body = [&out, &fn](int i) {
       out[static_cast<std::size_t>(i)] = fn(i);
+    };
+    dispatch(n, body);
+    return out;
+  }
+
+  /// map() plus an in-order commit stream: `commit(i, r)` is invoked for
+  /// every index in STRICT submission order (0, 1, 2, ...) as soon as all
+  /// earlier indices have committed — regardless of which worker finished
+  /// which trial first. Commits are serialized under an internal lock and
+  /// run on whichever worker completed the unblocking trial; `r` is a
+  /// mutable reference into the result vector, so a commit that has
+  /// persisted the result may shrink it in place to bound batch memory.
+  /// An exception from fn or commit aborts the batch like map() — the
+  /// commit stream then ends as a valid prefix (no index is ever skipped),
+  /// which is exactly the journal invariant resumable sweeps need.
+  template <class Fn, class Commit>
+  auto map_streamed(int n, Fn&& fn, Commit&& commit)
+      -> std::vector<std::invoke_result_t<Fn&, int>> {
+    using R = std::invoke_result_t<Fn&, int>;
+    static_assert(std::is_default_constructible_v<R> &&
+                  std::is_move_assignable_v<R>);
+    std::vector<R> out(static_cast<std::size_t>(n > 0 ? n : 0));
+    std::vector<char> ready(out.size(), 0);
+    std::mutex mu;
+    int next = 0;          // first index not yet committed
+    bool dead = false;     // a commit threw: no worker may commit again
+    std::function<void(int)> body = [&](int i) {
+      R r = fn(i);
+      const std::lock_guard<std::mutex> lock(mu);
+      out[static_cast<std::size_t>(i)] = std::move(r);
+      ready[static_cast<std::size_t>(i)] = 1;
+      while (!dead && next < n && ready[static_cast<std::size_t>(next)] != 0) {
+        try {
+          commit(next, out[static_cast<std::size_t>(next)]);
+        } catch (...) {
+          dead = true;  // later workers must not retry this index
+          throw;
+        }
+        ++next;
+      }
     };
     dispatch(n, body);
     return out;

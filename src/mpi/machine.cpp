@@ -23,6 +23,22 @@ Machine::Machine(topo::Config cfg, std::uint64_t seed, int shards,
                                                 seed ^ 0xA5A5A5A5ULL)),
       rng_(seed) {}
 
+bool Machine::rebalance_shards(const std::vector<std::uint64_t>& group_weight) {
+  // Only meaningful on the sharded substrate, and only while the schedule
+  // is still partition-independent: no event executed, clock at zero. Jobs
+  // may already be submitted — their start events live on the host engine,
+  // which is shard 0 under every plan.
+  if (sharded_ == nullptr || plan_ == nullptr) return false;
+  if (events_executed() != 0 || engine_.now() != 0) return false;
+  topo::ShardPlan next =
+      topo::ShardPlan::build_weighted(topo_, plan_->shards, group_weight);
+  if (next.shards != plan_->shards || next.lookahead != plan_->lookahead)
+    throw std::logic_error("Machine::rebalance_shards: grid changed");
+  *plan_ = std::move(next);
+  net_->rebind_shards();
+  return true;
+}
+
 void Machine::set_event_budget(std::uint64_t budget) {
   if (sharded_ != nullptr)
     sharded_->set_event_budget(budget);

@@ -89,6 +89,19 @@ class Machine {
   /// Submit a job; its ranks start at simulated time `start_at`.
   JobId submit(JobSpec spec, sim::Tick start_at = 0);
 
+  /// Re-partition the sharded substrate with load-aware contiguous blocks:
+  /// `group_weight[g]` is a deterministic traffic estimate for group g
+  /// (e.g. busy nodes after placement) and the new plan minimizes the
+  /// maximum block weight (topo::ShardPlan::build_weighted). Legal only
+  /// BEFORE the first event executes: at that point the only scheduled
+  /// work is host-shard job starts and shard-agnostic globals, so moving
+  /// group ownership cannot move any event between shards. The lookahead
+  /// grid and the shard count are untouched, so results stay byte-
+  /// identical to any other partition (including the count-balanced
+  /// default). Returns false (and changes nothing) in serial mode or
+  /// after execution has started.
+  bool rebalance_shards(const std::vector<std::uint64_t>& group_weight);
+
   /// Cooperative stop for open-ended (background) jobs: their app loops poll
   /// RankCtx::stop_requested().
   void request_stop(JobId id);

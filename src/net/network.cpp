@@ -147,16 +147,7 @@ Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
   eng_by_router_.assign(static_cast<std::size_t>(cfg.num_routers()), &engine_);
   eng_by_node_.assign(static_cast<std::size_t>(cfg.num_nodes()), &engine_);
   if (se_ != nullptr) {
-    for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
-      const int sh = plan_->shard_of_router[static_cast<std::size_t>(r)];
-      shard_of_router_[static_cast<std::size_t>(r)] = sh;
-      eng_by_router_[static_cast<std::size_t>(r)] = &se_->shard(sh);
-    }
-    for (topo::NodeId n = 0; n < cfg.num_nodes(); ++n) {
-      const int sh = plan_->shard_of_node[static_cast<std::size_t>(n)];
-      shard_of_node_[static_cast<std::size_t>(n)] = sh;
-      eng_by_node_[static_cast<std::size_t>(n)] = &se_->shard(sh);
-    }
+    rebind_shards();
     pt_router_.resize(grid_.num_ports());
     pt_port_.resize(grid_.num_ports());
     for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
@@ -186,6 +177,23 @@ Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
   reserve(nn * 8 / static_cast<std::size_t>(shards) + kChunkPkts, nn * 8,
           grid_.num_ports() + nn);
   ensure_throttle_tick();
+}
+
+void Network::rebind_shards() {
+  if (se_ == nullptr) return;
+  const auto& cfg = topo_.config();
+  if (plan_->shards != se_->num_shards())
+    throw std::invalid_argument("Network: rebind changes the shard count");
+  for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
+    const int sh = plan_->shard_of_router[static_cast<std::size_t>(r)];
+    shard_of_router_[static_cast<std::size_t>(r)] = sh;
+    eng_by_router_[static_cast<std::size_t>(r)] = &se_->shard(sh);
+  }
+  for (topo::NodeId n = 0; n < cfg.num_nodes(); ++n) {
+    const int sh = plan_->shard_of_node[static_cast<std::size_t>(n)];
+    shard_of_node_[static_cast<std::size_t>(n)] = sh;
+    eng_by_node_[static_cast<std::size_t>(n)] = &se_->shard(sh);
+  }
 }
 
 void Network::set_tracer(monitor::PacketTracer* tracer) {

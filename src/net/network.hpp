@@ -196,6 +196,12 @@ class Network final : public routing::LoadOracle {
 
   [[nodiscard]] bool sharded() const { return se_ != nullptr; }
   [[nodiscard]] const topo::ShardPlan* shard_plan() const { return plan_; }
+  /// Refresh the router/node -> shard routing tables from the current
+  /// contents of the plan this network was constructed with. The caller
+  /// (mpi::Machine::rebalance_shards) may rewrite the plan's block
+  /// boundaries BEFORE any event has executed; the shard count and the
+  /// lookahead grid must not change. No-op in serial mode.
+  void rebind_shards();
 
   /// Run `fn` after `delay` ns at a point where the whole network state is
   /// consistent: a plain event in serial mode, a window barrier (the first

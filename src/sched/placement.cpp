@@ -14,6 +14,23 @@ const char* placement_name(Placement p) {
   return "?";
 }
 
+const char* bg_placement_name(BgPlacement p) {
+  switch (p) {
+    case BgPlacement::kMixed: return "mixed";
+    case BgPlacement::kRandom: return "random";
+    case BgPlacement::kCompact: return "compact";
+  }
+  return "?";
+}
+
+bool parse_bg_placement(const std::string& name, BgPlacement& out) {
+  if (name == "mixed") out = BgPlacement::kMixed;
+  else if (name == "random") out = BgPlacement::kRandom;
+  else if (name == "compact") out = BgPlacement::kCompact;
+  else return false;
+  return true;
+}
+
 NodeAllocator::NodeAllocator(const topo::Dragonfly& topo) : topo_(topo) {
   busy_.assign(static_cast<std::size_t>(topo.config().num_nodes()), 0);
   free_ = topo.config().num_nodes();

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <span>
+#include <string>
 #include <vector>
 
 #include "sim/rng.hpp"
@@ -22,6 +23,22 @@ enum class Placement {
 };
 
 const char* placement_name(Placement p);
+
+/// Placement mix for synthetic background jobs. The legacy production mix
+/// (kMixed) samples 70% random / 30% compact per job — compact background
+/// jobs first-fit into the lowest free node ids, which concentrates them
+/// (realistically) in the lowest-numbered groups. Scenarios that need
+/// spread or worst-case-hotspot background force one policy instead. Part
+/// of the scenario (it changes traffic), so it is a CSV column and a
+/// fingerprint input.
+enum class BgPlacement {
+  kMixed,    ///< legacy sampling: 70% random / 30% compact per job
+  kRandom,   ///< every background job randomly scattered
+  kCompact,  ///< every background job first-fit compact (maximal hotspot)
+};
+
+const char* bg_placement_name(BgPlacement p);
+bool parse_bg_placement(const std::string& name, BgPlacement& out);
 
 class NodeAllocator {
  public:

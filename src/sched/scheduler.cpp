@@ -68,9 +68,10 @@ void Scheduler::handle_completion(mpi::JobId id, sim::Tick end_time) {
 }
 
 BackgroundSet Scheduler::add_background(double utilization,
-                                        routing::Mode default_mode) {
+                                        routing::Mode default_mode,
+                                        BgPlacement bg_placement) {
   return populate_background(machine_, alloc_, model_, utilization,
-                             default_mode, rng_);
+                             default_mode, rng_, bg_placement);
 }
 
 void Scheduler::stop_background(BackgroundSet& set) {

@@ -72,7 +72,10 @@ class Scheduler {
   }
 
   /// Populate background noise at `utilization` using the workload model.
-  BackgroundSet add_background(double utilization, routing::Mode default_mode);
+  /// `bg_placement` selects the per-job placement policy (kMixed = the
+  /// legacy 70/30 random/compact sampling).
+  BackgroundSet add_background(double utilization, routing::Mode default_mode,
+                               BgPlacement bg_placement = BgPlacement::kMixed);
   /// Request cooperative stop of every background job and release their
   /// node allocations (idempotent per set: `set.released` guards the
   /// double-release that would free someone else's reallocation).

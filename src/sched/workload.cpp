@@ -66,7 +66,8 @@ Placement WorkloadModel::sample_placement(sim::Rng& rng) const {
 BackgroundSet populate_background(mpi::Machine& machine, NodeAllocator& alloc,
                                   const WorkloadModel& model,
                                   double target_utilization,
-                                  routing::Mode default_mode, sim::Rng& rng) {
+                                  routing::Mode default_mode, sim::Rng& rng,
+                                  BgPlacement bg_placement) {
   BackgroundSet set;
   set.target_utilization = target_utilization;
   // Cap individual background jobs at 1/6 of the machine: the production
@@ -79,7 +80,12 @@ BackgroundSet populate_background(mpi::Machine& machine, NodeAllocator& alloc,
     size = std::min(size, alloc.free_count());
     if (size < 2) break;
     ++set.allocation_attempts;
-    auto nodes = alloc.allocate(size, model.sample_placement(rng), rng);
+    const Placement pl = bg_placement == BgPlacement::kMixed
+                             ? model.sample_placement(rng)
+                             : (bg_placement == BgPlacement::kRandom
+                                    ? Placement::kRandom
+                                    : Placement::kCompact);
+    auto nodes = alloc.allocate(size, pl, rng);
     if (nodes.empty()) {
       ++set.allocation_failures;
       continue;

@@ -77,10 +77,14 @@ struct BackgroundSet {
 /// on the returned set for the achieved utilization). All background jobs
 /// use `default_mode` for p2p (and AD1 for alltoall), like the paper's
 /// production test period where everyone ran the system default.
+/// `bg_placement` selects the per-job placement policy; the kMixed default
+/// is the legacy 70/30 random/compact sampling and draws exactly the rng
+/// sequence it always has, so existing scenarios stay byte-identical.
 BackgroundSet populate_background(mpi::Machine& machine, NodeAllocator& alloc,
                                   const WorkloadModel& model,
                                   double target_utilization,
-                                  routing::Mode default_mode, sim::Rng& rng);
+                                  routing::Mode default_mode, sim::Rng& rng,
+                                  BgPlacement bg_placement = BgPlacement::kMixed);
 
 /// Request cooperative stop of every job in the set. Best-effort: ranks
 /// check the flag at their next iteration boundary, so a rank whose peer

@@ -181,15 +181,56 @@ void ShardedEngine::exec_window(int executor) {
 bool ShardedEngine::decide() {
   ++stats_.windows;
   const Tick bar = win_end_;
+  final_merged_ = false;
   // Reasons the run must return to the coordinator, checked from model
   // state only (every executor is quiesced at this barrier, and the
   // acq_rel arrival chain made all their writes visible here).
   if (win_incl_) return true;  // final bounded window: limit reached
   if (excl_ && bar >= limit_) return true;  // final exclusive window
-  if (mail_count_.load(std::memory_order_relaxed) != 0) return true;
-  if (!globals_.empty() && globals_.front().t <= bar) return true;
   if (host().stopped()) return true;
   if (budget_exhausted()) return true;
+
+  const bool due_mail = mail_count_.load(std::memory_order_relaxed) != 0;
+  const bool due_global = !globals_.empty() && globals_.front().t <= bar;
+  if (due_mail || due_global) {
+    if (!inline_merge_) return true;
+    // In-run merge: every other executor is parked at this barrier, so the
+    // deciding thread has the same exclusive quiesced access the
+    // coordinator would — merge here and release everyone straight into
+    // the next window. Exactly the merge drive() would have performed at
+    // this barrier, so the merge sequence is mode-independent.
+    merge_and_apply(bar);
+    ++stats_.merges;
+    final_merged_ = true;
+    // A merge can flip the stop conditions (a threshold-crossing delivery
+    // completing the watched job, the budget check absorbing merge-
+    // scheduled work); drive() re-checks these at its loop top, so the
+    // post-merge continuation must too — without merging again.
+    if (host().stopped()) return true;
+    if (budget_exhausted()) return true;
+    // Post-merge continuation: mirror drive()'s next-window formula
+    // EXACTLY — future globals keep the system live, and handler-posted
+    // mail (due "now", i.e. at this barrier) forces one more window so the
+    // next barrier delivers it. Any divergence here would give the A/B
+    // modes different window sequences.
+    Tick nt = Engine::kNoEvent;
+    for (const auto& e : engines_) nt = std::min(nt, e->next_event_time());
+    if (!globals_.empty()) nt = std::min(nt, globals_.front().t);
+    if (mail_pending()) nt = std::min(nt, bar);
+    if (nt == Engine::kNoEvent) return true;  // idle: drive() confirms
+    if (bounded_ && (excl_ ? nt >= limit_ : nt > limit_)) return true;
+    Tick end = (nt / lookahead_ + 1) * lookahead_;
+    bool inclusive = false;
+    if (bounded_ && end >= limit_) {
+      end = limit_;
+      inclusive = !excl_;
+    }
+    win_end_ = end;
+    win_incl_ = inclusive;
+    final_merged_ = false;  // the merged barrier is behind us now
+    ++stats_.fused;
+    return false;
+  }
 
   Tick nt = Engine::kNoEvent;
   for (const auto& e : engines_) nt = std::min(nt, e->next_event_time());
@@ -199,7 +240,10 @@ bool ShardedEngine::decide() {
   // No mail, no due globals, no stop: the merge here would be a no-op, so
   // fuse straight into the next grid window. Same formula as the
   // coordinator's, from the same quiesced state — the window sequence is
-  // exactly what the unfused loop would have produced.
+  // exactly what the unfused loop would have produced. (Engines-only nt,
+  // deliberately: this is the legacy fused path and both A/B modes take it
+  // when the barrier is empty, so it must stay formula-identical to
+  // itself, not to drive().)
   Tick end = (nt / lookahead_ + 1) * lookahead_;
   bool inclusive = false;
   if (bounded_ && end >= limit_) {
@@ -208,6 +252,7 @@ bool ShardedEngine::decide() {
   }
   win_end_ = end;
   win_incl_ = inclusive;
+  ++stats_.fused;
   return false;
 }
 
@@ -359,10 +404,14 @@ void ShardedEngine::drive(Tick limit, bool bounded) {
     }
 
     // Fused run: executes one or more consecutive grid windows and returns
-    // with every shard quiesced at win_end_, the barrier that needs a merge.
+    // with every shard quiesced at win_end_. With inline merges on, the
+    // deciding executor may already have merged this final barrier (and
+    // every earlier one) in-run — merge here only when it did not.
     run_fused(end, inclusive);
-    merge_and_apply(win_end_);
-    ++stats_.merges;
+    if (!final_merged_) {
+      merge_and_apply(win_end_);
+      ++stats_.merges;
+    }
   }
   stats_.barrier_wait_ns = exec_[0].wait_ns;
   stats_.mail_posted = mail_posted_.load(std::memory_order_relaxed);

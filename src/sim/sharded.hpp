@@ -39,13 +39,28 @@
 // moment mail appears — without ever moving an event to a different
 // window, which is what keeps both determinism families intact.
 //
+// In-run merges extend the same idea to barriers that DO carry mail: the
+// last arriver performs the merge itself, inline, while every other
+// executor is parked at the barrier (exclusive access to all shard state —
+// the same quiescence the coordinator would have), then releases everyone
+// straight into the next grid window. A run then returns to the calling
+// thread only on stop, idle, budget, or a bounded limit — the coordinator
+// round-trip (run-gate wake + check-in drain) drops from once per merge to
+// once per run. The merge content, the window/merge sequence, and every
+// event's execution window are identical with the optimization on or off
+// (set_inline_merge is the A/B switch); only which thread performs the
+// merge and how often the run gate cycles change, so both determinism
+// families are preserved bit for bit.
+//
 // Threading: shards are distributed over min(S, workers) executor threads
 // in contiguous blocks (the calling thread is executor 0 and always owns
 // shard 0, the "host" shard with the MPI/application layer). The worker
 // count affects wall-clock only — results depend on the shard count, never
 // on the worker count. schedule_global() and post_mail() during the apply
-// phase must only be used from the coordinating thread; post_mail(src, ...)
-// during a window only from the thread executing shard `src`.
+// phase must only be used from the merging thread — the coordinator, or
+// with inline merges the deciding executor, either way a single thread
+// with every shard quiesced; post_mail(src, ...) during a window only from
+// the thread executing shard `src`.
 #pragma once
 
 #include <algorithm>
@@ -121,7 +136,9 @@ class ShardedEngine {
   void set_mail_handler(MailHandler h) { handler_ = std::move(h); }
 
   /// Run `fn` at the first barrier with time >= t (ties in registration
-  /// order), with all shards quiesced. Host-thread only.
+  /// order), with all shards quiesced. Call from the host thread between
+  /// runs, or from within a global/mail handler during the apply phase
+  /// (re-registering periodic globals) — never from a window.
   void schedule_global(Tick t, std::function<void()> fn);
 
   /// Total event budget across all shards, evaluated at barriers.
@@ -153,9 +170,20 @@ class ShardedEngine {
   /// continuation is byte-identical to never having stopped.
   void run_until_exclusive(Tick t);
 
+  /// A/B switch for in-run merges (see the file comment). Wall-clock only:
+  /// results, windows, and merges are byte-identical either way. Call
+  /// between runs.
+  void set_inline_merge(bool on) { inline_merge_ = on; }
+  [[nodiscard]] bool inline_merge() const { return inline_merge_; }
+
   struct Stats {
     std::uint64_t windows = 0;        ///< lookahead-grid windows executed
     std::uint64_t merges = 0;         ///< barriers that actually merged mail
+    /// Windows entered straight from a barrier decision — no coordinator
+    /// round-trip. With inline merges on this includes post-merge
+    /// continuations; the remainder (windows - fused) is the number of
+    /// run-gate cycles the run cost.
+    std::uint64_t fused = 0;
     std::uint64_t mail_records = 0;   ///< records delivered (post-compaction)
     std::uint64_t mail_posted = 0;    ///< records posted (pre-compaction)
     std::uint64_t mail_compacted = 0; ///< increments folded by post_mail_accum
@@ -269,6 +297,12 @@ class ShardedEngine {
   bool run_done_ = false;
   Tick limit_ = 0;
   bool bounded_ = false;
+  bool inline_merge_ = true;  ///< last arriver merges in-run (wall-clock only)
+  /// Set by decide() when it ends a run at a barrier it already merged
+  /// inline, so drive() must not merge that barrier a second time (the
+  /// double merge would be a state no-op but would skew stats_.merges off
+  /// the fixed-coordination count, breaking A/B comparability).
+  bool final_merged_ = false;
   /// Exclusive bound (run_until_exclusive): the final window ends AT the
   /// limit but stays exclusive, and globals due exactly at the limit are
   /// left for the continuation — both required for checkpoint slicing to

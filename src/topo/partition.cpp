@@ -1,26 +1,17 @@
 #include "topo/partition.hpp"
 
 #include <algorithm>
+#include <limits>
 
 namespace dfsim::topo {
 
-ShardPlan ShardPlan::build(const Dragonfly& topo, int requested) {
+namespace {
+
+/// Fill shard_of_router / shard_of_node from shard_of_group and compute the
+/// lookahead. Shared by both builders: everything here depends on the
+/// topology and the group map only, never on how the blocks were chosen.
+void finish_plan(ShardPlan& plan, const Dragonfly& topo) {
   const Config& cfg = topo.config();
-  const int groups = cfg.groups;
-  ShardPlan plan;
-  plan.shards = std::clamp(requested, 1, groups);
-
-  // Contiguous group ranges: shard s owns [floor(s*G/S), floor((s+1)*G/S)).
-  plan.shard_of_group.resize(static_cast<std::size_t>(groups));
-  for (int s = 0; s < plan.shards; ++s) {
-    const int lo = static_cast<int>(
-        static_cast<long long>(s) * groups / plan.shards);
-    const int hi = static_cast<int>(
-        static_cast<long long>(s + 1) * groups / plan.shards);
-    for (int g = lo; g < hi; ++g)
-      plan.shard_of_group[static_cast<std::size_t>(g)] = s;
-  }
-
   plan.shard_of_router.resize(static_cast<std::size_t>(cfg.num_routers()));
   for (RouterId r = 0; r < cfg.num_routers(); ++r)
     plan.shard_of_router[static_cast<std::size_t>(r)] =
@@ -51,7 +42,124 @@ ShardPlan ShardPlan::build(const Dragonfly& topo, int requested) {
   plan.lookahead =
       min_hop > 0 ? min_hop : cfg.link_latency_global + cfg.router_latency;
   if (plan.lookahead <= 0) plan.lookahead = 1;
+}
+
+}  // namespace
+
+ShardPlan ShardPlan::build(const Dragonfly& topo, int requested) {
+  const Config& cfg = topo.config();
+  const int groups = cfg.groups;
+  ShardPlan plan;
+  plan.shards = std::clamp(requested, 1, groups);
+
+  // Contiguous group ranges: shard s owns [floor(s*G/S), floor((s+1)*G/S)).
+  plan.shard_of_group.resize(static_cast<std::size_t>(groups));
+  for (int s = 0; s < plan.shards; ++s) {
+    const int lo = static_cast<int>(
+        static_cast<long long>(s) * groups / plan.shards);
+    const int hi = static_cast<int>(
+        static_cast<long long>(s + 1) * groups / plan.shards);
+    for (int g = lo; g < hi; ++g)
+      plan.shard_of_group[static_cast<std::size_t>(g)] = s;
+  }
+
+  finish_plan(plan, topo);
   return plan;
+}
+
+ShardPlan ShardPlan::build_weighted(
+    const Dragonfly& topo, int requested,
+    const std::vector<std::uint64_t>& group_weight) {
+  const int groups = topo.config().groups;
+  const int shards = std::clamp(requested, 1, groups);
+  const std::size_t G = static_cast<std::size_t>(groups);
+  const std::size_t S = static_cast<std::size_t>(shards);
+
+  // Effective weights: the caller's estimate, or uniform when it supplies
+  // nothing usable (wrong length, all zero). Every group also carries an
+  // implicit +1 so transit-only groups still cost something and ties among
+  // zero-weight groups stay size-balanced rather than degenerate.
+  std::vector<std::uint64_t> w(G, 1);
+  if (group_weight.size() == G)
+    for (std::size_t g = 0; g < G; ++g) w[g] += group_weight[g];
+
+  std::vector<std::uint64_t> prefix(G + 1, 0);
+  for (std::size_t g = 0; g < G; ++g) prefix[g + 1] = prefix[g] + w[g];
+  const auto cost = [&](std::size_t i, std::size_t j) {
+    return prefix[j] - prefix[i];
+  };
+
+  // Exact min-max contiguous partition into S non-empty blocks. Suffix DP:
+  // best[r][j] = minimal achievable max block weight splitting groups
+  // [j, G) into r non-empty blocks. G is the group count of a dragonfly
+  // (double digits), so the O(S*G^2) table is trivial, and the suffix form
+  // doubles as the feasibility oracle for the front-to-back reconstruction.
+  constexpr std::uint64_t kInf = std::numeric_limits<std::uint64_t>::max();
+  std::vector<std::vector<std::uint64_t>> best(
+      S + 1, std::vector<std::uint64_t>(G + 1, kInf));
+  for (std::size_t j = 0; j < G; ++j) best[1][j] = cost(j, G);
+  best[0][G] = 0;
+  for (std::size_t r = 2; r <= S; ++r) {
+    // r non-empty blocks need at least r groups left.
+    for (std::size_t j = 0; j + r <= G; ++j) {
+      std::uint64_t b = kInf;
+      for (std::size_t k = j + 1; k + (r - 1) <= G; ++k) {
+        const std::uint64_t m = std::max(cost(j, k), best[r - 1][k]);
+        if (m < b) b = m;
+        // cost(j,k) grows with k; once it alone exceeds the best, stop.
+        if (cost(j, k) >= b) break;
+      }
+      best[r][j] = b;
+    }
+  }
+  const std::uint64_t M = best[S][0];
+
+  // Reconstruct front to back: each shard takes the lightest block that
+  // keeps the remainder feasible at the optimum. Deterministic, and it
+  // front-loads the slack so equal weights give near-equal block sizes.
+  ShardPlan plan;
+  plan.shards = shards;
+  plan.shard_of_group.resize(G);
+  std::size_t at = 0;
+  for (std::size_t s = 0; s < S; ++s) {
+    std::size_t end = G - (S - 1 - s);  // leave one group per later shard
+    if (s + 1 < S) {
+      for (std::size_t k = at + 1; k + (S - 1 - s) <= G; ++k) {
+        if (cost(at, k) <= M && best[S - 1 - s][k] <= M) {
+          end = k;
+          break;
+        }
+      }
+    } else {
+      end = G;
+    }
+    for (std::size_t g = at; g < end; ++g)
+      plan.shard_of_group[g] = static_cast<int>(s);
+    at = end;
+  }
+
+  finish_plan(plan, topo);
+  return plan;
+}
+
+double ShardPlan::imbalance(
+    const std::vector<std::uint64_t>& group_weight) const {
+  if (shard_of_group.empty() || shards <= 0) return 1.0;
+  std::vector<std::uint64_t> per_shard(static_cast<std::size_t>(shards), 0);
+  for (std::size_t g = 0; g < shard_of_group.size(); ++g) {
+    const std::uint64_t wg =
+        1 + (g < group_weight.size() ? group_weight[g] : 0);
+    per_shard[static_cast<std::size_t>(shard_of_group[g])] += wg;
+  }
+  std::uint64_t total = 0, mx = 0;
+  for (const std::uint64_t v : per_shard) {
+    total += v;
+    mx = std::max(mx, v);
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shards);
+  return mean > 0.0 ? static_cast<double>(mx) / mean : 1.0;
 }
 
 }  // namespace dfsim::topo

@@ -1,8 +1,8 @@
 // Shard partitioning of a dragonfly for conservatively synchronized
 // parallel execution (sim::ShardedEngine).
 //
-// The partition is group-granular and contiguous: shard `s` owns groups
-// [floor(s*G/S), floor((s+1)*G/S)). Group granularity is what makes the
+// The partition is group-granular and contiguous: shard `s` owns a
+// contiguous block of groups. Group granularity is what makes the
 // partition safe: every rank-1/rank-2 link, every ejection port, and every
 // load the adaptive planner reads during a decision at router `r` is
 // confined to group(r), so the only cross-shard interaction is a rank-3
@@ -10,12 +10,23 @@
 // the *lookahead*, that bounds how far one shard's present can reach into
 // another shard's future.
 //
-// The lookahead (and the partition itself) is a function of the topology
-// only — never of the shard count — so the window grid of the sharded
-// engine is identical for every S, which is what makes results byte-
-// identical across shard counts.
+// The lookahead is a function of the topology only — never of the shard
+// count or the block boundaries — so the window grid of the sharded engine
+// is identical for every S *and every partition*, which is what makes
+// results byte-identical across shard counts and across plan choices.
+// Where the boundaries fall is therefore pure wall-clock policy:
+//
+//   * build() places them by group count (shard s owns
+//     [floor(s*G/S), floor((s+1)*G/S))) — the right default before
+//     anything is known about the workload;
+//   * build_weighted() places them by a caller-supplied per-group weight
+//     (a deterministic traffic estimate, e.g. busy nodes per group after
+//     placement) and minimizes the maximum block weight over all
+//     contiguous partitions, so one hot group no longer drags its whole
+//     count-balanced block onto a single executor.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -30,8 +41,24 @@ struct ShardPlan {
   std::vector<int> shard_of_router;  ///< [router]
   std::vector<int> shard_of_node;    ///< [node]
 
-  /// Build a plan for `requested` shards (clamped to [1, groups]).
+  /// Build a plan for `requested` shards (clamped to [1, groups]) with
+  /// count-balanced contiguous blocks.
   [[nodiscard]] static ShardPlan build(const Dragonfly& topo, int requested);
+
+  /// Build a plan whose contiguous blocks minimize the maximum total
+  /// `group_weight` per shard (exact DP; every shard gets at least one
+  /// group). `group_weight` must have one entry per group; an all-zero
+  /// vector degrades to uniform weights. Ties resolve deterministically
+  /// (lightest feasible block first), so the plan is a pure function of
+  /// (topology, requested, weights).
+  [[nodiscard]] static ShardPlan build_weighted(
+      const Dragonfly& topo, int requested,
+      const std::vector<std::uint64_t>& group_weight);
+
+  /// Largest / mean block weight under this plan (1.0 = perfectly even;
+  /// diagnostic only, never feeds back into simulation state).
+  [[nodiscard]] double imbalance(
+      const std::vector<std::uint64_t>& group_weight) const;
 };
 
 }  // namespace dfsim::topo

@@ -5,6 +5,8 @@
 // DFSIM_TEST_SHARDS=4 (ScenarioConfig::resolve() folds the env in).
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -241,6 +243,93 @@ TEST(ResultCache, PoisonedEntryIsAMissNeverAWrongAnswer) {
     ASSERT_TRUE(hit.has_value());
     EXPECT_EQ(hit->size(), 1u);
   }
+}
+
+TEST(ResultCache, GcPrunesColdestEntriesToFitTheBudget) {
+  const std::string dir = scratch_dir("gc");
+  ResultCache::Options o;
+  o.dir = dir;
+  ResultCache cache(o);
+
+  // Three committed entries with controlled coldness, plus an orphaned
+  // in-flight write from a "killed" process.
+  auto fp_for = [](std::uint64_t seed) {
+    core::ScenarioConfig cfg = small_cfg();
+    cfg.seed = seed;
+    return scenario_fingerprint(cfg);
+  };
+  const Fingerprint cold = fp_for(101), warm = fp_for(102), hot = fp_for(103);
+  const std::vector<std::uint8_t> payload(100, 0x5a);
+  cache.store(cold, payload);
+  cache.store(warm, payload);
+  cache.store(hot, payload);
+  write_file(dir + "/tmp-deadbeef-123", "torn in-flight write");
+
+  const auto entry_bytes =
+      static_cast<std::uint64_t>(fs::file_size(cache.entry_path(hot)));
+  using namespace std::chrono_literals;
+  const auto now = fs::file_time_type::clock::now();
+  fs::last_write_time(cache.entry_path(cold), now - 3h);
+  fs::last_write_time(cache.entry_path(warm), now - 2h);
+  fs::last_write_time(cache.entry_path(hot), now - 1h);
+
+  // Budget fits exactly two entries: the coldest goes, plus the orphan.
+  const std::uint64_t removed = cache.gc(2 * entry_bytes);
+  EXPECT_EQ(removed, 1u);
+  const CacheStats st = cache.stats();
+  EXPECT_EQ(st.gc_removed, 2u);  // cold entry + orphaned tmp file
+  EXPECT_EQ(st.gc_kept, 2u);
+  EXPECT_EQ(st.gc_kept_bytes, 2 * entry_bytes);
+  EXPECT_FALSE(fs::exists(cache.entry_path(cold)));
+  EXPECT_TRUE(fs::exists(cache.entry_path(warm)));
+  EXPECT_TRUE(fs::exists(cache.entry_path(hot)));
+  EXPECT_FALSE(fs::exists(dir + "/tmp-deadbeef-123"));
+
+  // A pruned entry reads as a miss even though this instance stored it:
+  // gc evicts the memory copy too, so the budget accounting stays honest.
+  EXPECT_FALSE(cache.load(cold).has_value());
+  EXPECT_TRUE(cache.load(warm).has_value());
+  EXPECT_TRUE(cache.load(hot).has_value());
+
+  // A budget the directory already fits is a no-op pass.
+  EXPECT_EQ(cache.gc(std::uint64_t{1} << 40), 0u);
+  EXPECT_EQ(cache.stats().gc_removed, 0u);
+  EXPECT_EQ(cache.stats().gc_kept, 2u);
+}
+
+TEST(ResultCache, GcDiskHitRefreshesColdness) {
+  const std::string dir = scratch_dir("gc_refresh");
+  ResultCache::Options o;
+  o.dir = dir;
+  const Fingerprint a = scenario_fingerprint(small_cfg());
+  core::ScenarioConfig cfg_b = small_cfg();
+  cfg_b.seed = 999;
+  const Fingerprint b = scenario_fingerprint(cfg_b);
+  {
+    ResultCache cache(o);
+    cache.store(a, std::vector<std::uint8_t>(50, 1));
+    cache.store(b, std::vector<std::uint8_t>(50, 2));
+  }
+  ResultCache cache(o);  // fresh instance: loads go to disk
+  using namespace std::chrono_literals;
+  const auto now = fs::file_time_type::clock::now();
+  // `a` starts colder than `b` — then a disk hit rewarms it.
+  fs::last_write_time(cache.entry_path(a), now - 3h);
+  fs::last_write_time(cache.entry_path(b), now - 1h);
+  ASSERT_TRUE(cache.load(a).has_value());
+  const auto entry_bytes =
+      static_cast<std::uint64_t>(fs::file_size(cache.entry_path(a)));
+  ASSERT_EQ(cache.gc(entry_bytes), 1u);  // room for one survivor
+  EXPECT_TRUE(fs::exists(cache.entry_path(a)));   // recently used: kept
+  EXPECT_FALSE(fs::exists(cache.entry_path(b)));  // now the coldest: pruned
+}
+
+TEST(ResultCache, GcIsANoOpOnMemoryOnlyCaches) {
+  ResultCache cache = ResultCache::memory_only();
+  cache.store(scenario_fingerprint(small_cfg()), std::vector<std::uint8_t>{1});
+  EXPECT_EQ(cache.gc(0), 0u);
+  EXPECT_EQ(cache.stats().gc_removed, 0u);
+  EXPECT_TRUE(cache.load(scenario_fingerprint(small_cfg())).has_value());
 }
 
 TEST(ResultCache, CachedProductionRunIsByteIdentical) {
@@ -509,6 +598,61 @@ TEST(Runner, SecondPassServesEverythingFromCache) {
   EXPECT_EQ(read_file(dir + "/b.jsonl"), read_file(dir + "/a.jsonl"));
 }
 
+TEST(Runner, ParallelCellsWriteAByteIdenticalJournal) {
+  // --cell-jobs is wall-clock only: a grid fanned out over many workers
+  // must commit its journal records in strict cell order and produce the
+  // exact bytes of the serial sweep, so resume semantics are width-blind.
+  const std::string dir = scratch_dir("runner_parallel");
+  const std::string serial_path = dir + "/serial.jsonl";
+  {
+    ResultCache cache = ResultCache::memory_only();
+    RunnerOptions opt;
+    opt.out_path = serial_path;
+    opt.cell_jobs = 1;
+    ASSERT_TRUE(Runner(grid3(), cache, opt).run().ok);
+  }
+  const std::string serial = read_file(serial_path);
+  for (const int jobs : {2, 4}) {
+    SCOPED_TRACE(jobs);
+    ResultCache cache = ResultCache::memory_only();
+    RunnerOptions opt;
+    opt.out_path = dir + "/par" + std::to_string(jobs) + ".jsonl";
+    opt.cell_jobs = jobs;
+    const Runner::Outcome oc = Runner(grid3(), cache, opt).run();
+    ASSERT_TRUE(oc.ok) << oc.error;
+    EXPECT_EQ(oc.executed, 3);
+    EXPECT_EQ(oc.failed, 0);
+    EXPECT_EQ(read_file(opt.out_path), serial);
+  }
+}
+
+TEST(Runner, ParallelSweepResumesFromASerialJournal) {
+  // A journal prefix written at one width must be resumable at another.
+  const std::string dir = scratch_dir("runner_parallel_resume");
+  const std::string path = dir + "/sweep.jsonl";
+  {
+    ResultCache cache = ResultCache::memory_only();
+    RunnerOptions opt;
+    opt.out_path = path;
+    ASSERT_TRUE(Runner(grid3(), cache, opt).run().ok);
+  }
+  const std::string clean = read_file(path);
+  const std::size_t first_nl = clean.find('\n');
+  ASSERT_NE(first_nl, std::string::npos);
+  write_file(path, clean.substr(0, first_nl + 1));
+
+  ResultCache cache = ResultCache::memory_only();
+  RunnerOptions opt;
+  opt.out_path = path;
+  opt.resume = true;
+  opt.cell_jobs = 4;
+  const Runner::Outcome oc = Runner(grid3(), cache, opt).run();
+  ASSERT_TRUE(oc.ok) << oc.error;
+  EXPECT_EQ(oc.skipped, 1);
+  EXPECT_EQ(oc.executed, 2);
+  EXPECT_EQ(read_file(path), clean);
+}
+
 TEST(Runner, CheckpointedCellsMatchPlainCells) {
   const std::string dir = scratch_dir("runner_ckpt");
   const std::string plain_path = dir + "/plain.jsonl";
@@ -595,6 +739,17 @@ TEST(Report, CacheSummaryLine) {
   core::print_cache_summary(os, st);
   EXPECT_NE(os.str().find("hit rate"), std::string::npos);
   EXPECT_NE(os.str().find("corrupt"), std::string::npos);
+  // No gc pass ran: no gc line.
+  EXPECT_EQ(os.str().find("cache gc"), std::string::npos);
+
+  st.gc_removed = 2;
+  st.gc_removed_bytes = 4096;
+  st.gc_kept = 5;
+  st.gc_kept_bytes = 10240;
+  std::ostringstream gc;
+  core::print_cache_summary(gc, st);
+  EXPECT_NE(gc.str().find("cache gc: pruned 2 entries"), std::string::npos);
+  EXPECT_NE(gc.str().find("kept 5"), std::string::npos);
 }
 
 }  // namespace

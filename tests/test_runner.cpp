@@ -6,7 +6,9 @@
 
 #include <atomic>
 #include <stdexcept>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/runner.hpp"
@@ -94,6 +96,64 @@ TEST(Runner, MapRethrowsFirstTrialException) {
                             return i;
                           }),
                std::runtime_error);
+}
+
+// --- map_streamed: parallel execution, strictly ordered commits ---
+
+TEST(Runner, MapStreamedCommitsEveryIndexInOrder) {
+  TrialRunner runner(4);
+  std::vector<int> order;
+  const auto out = runner.map_streamed(
+      33, [](int i) { return i * 2; },
+      [&](int i, int& r) {
+        EXPECT_EQ(r, i * 2);  // the commit sees its own trial's result
+        order.push_back(i);
+      });
+  ASSERT_EQ(out.size(), 33u);
+  for (int i = 0; i < 33; ++i) EXPECT_EQ(out[static_cast<std::size_t>(i)], i * 2);
+  // Commits ran in strict submission order regardless of worker timing.
+  ASSERT_EQ(order.size(), 33u);
+  for (int i = 0; i < 33; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Runner, MapStreamedCommitMayShrinkItsSlot) {
+  // The documented memory-bounding idiom: a commit that persisted its
+  // result drops the heavy payload in place.
+  TrialRunner runner(3);
+  const auto out = runner.map_streamed(
+      8, [](int i) { return std::vector<int>(100, i); },
+      [](int, std::vector<int>& r) { r.clear(); });
+  for (const auto& v : out) EXPECT_TRUE(v.empty());
+}
+
+TEST(Runner, MapStreamedCommitStreamEndsAsPrefixOnThrow) {
+  // A throwing commit aborts the batch; no later index may ever commit
+  // (a retry would double-write a journal line). The committed set must
+  // be exactly the prefix before the throw.
+  TrialRunner runner(4);
+  std::vector<int> committed;
+  EXPECT_THROW(runner.map_streamed(
+                   16, [](int i) { return i; },
+                   [&](int i, int&) {
+                     if (i == 3) throw std::runtime_error("commit 3");
+                     committed.push_back(i);
+                   }),
+               std::runtime_error);
+  EXPECT_EQ(committed, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Runner, MapStreamedSerialFallbackInterleavesCommitAfterEachTrial) {
+  TrialRunner runner(1);
+  std::vector<std::string> events;
+  (void)runner.map_streamed(
+      3,
+      [&](int i) {
+        events.push_back("run" + std::to_string(i));
+        return i;
+      },
+      [&](int i, int&) { events.push_back("commit" + std::to_string(i)); });
+  EXPECT_EQ(events, (std::vector<std::string>{"run0", "commit0", "run1",
+                                              "commit1", "run2", "commit2"}));
 }
 
 TEST(Runner, StatsReportThroughput) {

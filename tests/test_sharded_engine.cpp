@@ -14,6 +14,7 @@
 // grid partition-independent.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -75,6 +76,78 @@ TEST(ShardPlan, LookaheadIsMinRank3HopAndShardCountIndependent) {
   EXPECT_EQ(p1.lookahead, cfg.link_latency_global + cfg.router_latency);
   // The window grid must be identical for every shard count.
   EXPECT_EQ(p1.lookahead, p8.lookahead);
+}
+
+TEST(ShardPlan, BuildWeightedKeepsInvariantsAndNeverLosesToCountSplit) {
+  const topo::Dragonfly topo(topo::Config::theta_scaled());
+  const int groups = topo.config().groups;
+  // A skewed estimate: two hot groups, a warm one, and a cold tail — the
+  // shape a compact background fill actually produces.
+  std::vector<std::uint64_t> w(static_cast<std::size_t>(groups), 0);
+  w[0] = 60;
+  w[1] = 25;
+  w[static_cast<std::size_t>(groups / 2)] = 10;
+  for (const int req : {1, 2, 3, 8, groups, groups + 5}) {
+    SCOPED_TRACE(req);
+    const auto plan = topo::ShardPlan::build_weighted(topo, req, w);
+    const auto count = topo::ShardPlan::build(topo, req);
+    EXPECT_EQ(plan.shards, count.shards);
+    // Same structural invariants as the count split: contiguous,
+    // covering, every shard non-empty, routers/nodes inherit the group.
+    std::vector<int> owned(static_cast<std::size_t>(plan.shards), 0);
+    int prev = 0;
+    for (int g = 0; g < groups; ++g) {
+      const int s = plan.shard_of_group[static_cast<std::size_t>(g)];
+      EXPECT_GE(s, prev);
+      EXPECT_LT(s, plan.shards);
+      ++owned[static_cast<std::size_t>(s)];
+      prev = s;
+    }
+    for (const int c : owned) EXPECT_GE(c, 1);
+    for (topo::RouterId r = 0; r < topo.config().num_routers(); ++r)
+      EXPECT_EQ(plan.shard_of_router[static_cast<std::size_t>(r)],
+                plan.shard_of_group[static_cast<std::size_t>(
+                    topo.group_of_router(r))]);
+    // The window grid never depends on where the boundaries fall.
+    EXPECT_EQ(plan.lookahead, count.lookahead);
+    // The exact min-max DP can never do worse than the count-balanced
+    // boundaries on the weights it optimized for.
+    EXPECT_LE(plan.imbalance(w), count.imbalance(w) + 1e-12);
+  }
+}
+
+TEST(ShardPlan, BuildWeightedIsolatesADominantGroup) {
+  const topo::Dragonfly topo(topo::Config::theta_scaled());
+  const int groups = topo.config().groups;
+  ASSERT_GE(groups, 4);
+  // One group carries (nearly) all the traffic: the optimal contiguous
+  // min-max split gives it a shard of its own instead of dragging its
+  // whole count-balanced block onto one executor.
+  std::vector<std::uint64_t> w(static_cast<std::size_t>(groups), 0);
+  w[0] = 10'000;
+  const auto plan = topo::ShardPlan::build_weighted(topo, 4, w);
+  int in_shard0 = 0;
+  for (int g = 0; g < groups; ++g)
+    if (plan.shard_of_group[static_cast<std::size_t>(g)] == 0) ++in_shard0;
+  EXPECT_EQ(in_shard0, 1);
+}
+
+TEST(ShardPlan, BuildWeightedDegradesToEvenBlocksWithoutSignal) {
+  const topo::Dragonfly topo(topo::Config::theta_scaled());
+  const int groups = topo.config().groups;
+  // All-zero (and wrong-length) weight vectors mean "no estimate": blocks
+  // must stay size-balanced, not collapse into degenerate splits.
+  for (const auto& w : {std::vector<std::uint64_t>{},
+                        std::vector<std::uint64_t>(
+                            static_cast<std::size_t>(groups), 0)}) {
+    const auto plan = topo::ShardPlan::build_weighted(topo, 3, w);
+    std::vector<int> owned(3, 0);
+    for (int g = 0; g < groups; ++g)
+      ++owned[static_cast<std::size_t>(
+          plan.shard_of_group[static_cast<std::size_t>(g)])];
+    const auto [mn, mx] = std::minmax_element(owned.begin(), owned.end());
+    EXPECT_LE(*mx - *mn, 1);
+  }
 }
 
 // --- Window grid edge cases -------------------------------------------------
@@ -259,6 +332,85 @@ TEST(ShardedDeterminism, WorkerMatrixByteIdenticalUnderActiveFaults) {
   }
 }
 
+TEST(ShardedDeterminism, BalancedPlanNeverAffectsResultsOnSkewedPlacements) {
+  // The load-aware partition moves shard boundaries, never results: for
+  // background placements that concentrate load (compact) and spread it
+  // (random), every (shards, balance) point must reproduce the 1-shard
+  // run byte for byte. This is the guarantee that lets the balancer be
+  // pure wall-clock policy.
+  for (const auto placement :
+       {sched::BgPlacement::kCompact, sched::BgPlacement::kRandom}) {
+    SCOPED_TRACE(static_cast<int>(placement));
+    for (const auto mode : {routing::Mode::kAd0, routing::Mode::kAd1,
+                            routing::Mode::kAd2, routing::Mode::kAd3}) {
+      SCOPED_TRACE(static_cast<int>(mode));
+      auto scenario = [&](int shards, bool balance) {
+        core::ProductionConfig cfg = small_theta(311, mode, shards);
+        cfg.bg_utilization = 0.3;  // enough fill for real skew
+        cfg.bg_placement = placement;
+        cfg.shard_balance = balance;
+        return cfg;
+      };
+      const core::RunResult base = core::run_production(scenario(1, true));
+      ASSERT_TRUE(base.ok) << base.fail_reason;
+      EXPECT_GT(base.netstats.packets_delivered, 0);
+      for (const int shards : {2, 8}) {
+        for (const bool balance : {true, false}) {
+          SCOPED_TRACE(shards * 10 + (balance ? 1 : 0));
+          expect_identical(base, core::run_production(scenario(shards, balance)));
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedDeterminism, BalancedPlanSurvivesFaultsAndWorkerWidths) {
+  // Balance on/off x workers {1, 4} with a live fault plan: boundary
+  // placement must not shift where global fault events land.
+  fault::FaultPlan plan;
+  plan.fail_link(40 * sim::kMicrosecond, 3, 1)
+      .degrade_link(60 * sim::kMicrosecond, 5, 0, 0.5)
+      .repair(120 * sim::kMicrosecond, 3, 1);
+  auto scenario = [&](bool balance, int workers) {
+    core::ProductionConfig cfg = small_theta(77, routing::Mode::kAd3, 8);
+    cfg.bg_placement = sched::BgPlacement::kCompact;
+    cfg.shard_balance = balance;
+    cfg.shard_workers = workers;
+    cfg.faults = plan;
+    return cfg;
+  };
+  const core::RunResult base = core::run_production(scenario(true, 1));
+  ASSERT_TRUE(base.ok) << base.fail_reason;
+  EXPECT_GT(base.faults.faults_applied, 0);
+  for (const bool balance : {true, false})
+    for (const int workers : {1, 4}) {
+      SCOPED_TRACE((balance ? 10 : 0) + workers);
+      expect_identical(base, core::run_production(scenario(balance, workers)));
+    }
+}
+
+TEST(ShardedDeterminism, InlineMergeIsWallClockOnly) {
+  // In-run merges (the deciding executor merging a mail-bearing barrier
+  // inline instead of round-tripping to the coordinator) are a pure
+  // scheduling change: results, the window sequence, and the merge count
+  // are all byte-identical; only the fused-window counter may move.
+  core::ProductionConfig cfg = small_theta(2027, routing::Mode::kAd2, 4);
+  cfg.bg_utilization = 0.3;
+  cfg.shard_workers = 2;
+  const core::RunResult on = core::run_production(cfg);
+  cfg.shard_inline_merge = false;
+  const core::RunResult off = core::run_production(cfg);
+  expect_identical(on, off);
+  EXPECT_EQ(on.shard_exec.windows, off.shard_exec.windows);
+  EXPECT_EQ(on.shard_exec.merges, off.shard_exec.merges);
+  EXPECT_EQ(on.shard_exec.mail_records, off.shard_exec.mail_records);
+  EXPECT_EQ(on.shard_exec.shard_events, off.shard_exec.shard_events);
+  // Inline merges fuse mail-bearing barriers the legacy path cannot.
+  EXPECT_GT(on.shard_exec.merges, 0u);
+  EXPECT_GT(on.shard_exec.windows_fused, off.shard_exec.windows_fused);
+  EXPECT_LE(on.shard_exec.windows_fused, on.shard_exec.windows);
+}
+
 TEST(ShardedDeterminism, ExecStatsAreHonestOnEveryPath) {
   // Single-worker run: barrier_wait is legitimately ~0 (the sole executor
   // is always the barrier's decider), but coordination time — merges,
@@ -398,6 +550,52 @@ TEST(ShardedEngine, PostMailAccumFoldsSameKeyRecords) {
   EXPECT_EQ(se.stats().mail_posted, 4u);
   EXPECT_EQ(se.stats().mail_compacted, 2u);
   EXPECT_EQ(se.stats().mail_records, 2u);
+}
+
+TEST(ShardedEngine, InlineMergeABKeepsDeliveryWindowsAndMergesIdentical) {
+  // Raw-engine A/B of the in-run merge path: a mail-bearing barrier, a
+  // second round of mail, and a long idle stretch. Both settings must
+  // deliver the same records and count the same windows and merges; the
+  // inline run fuses at least as many windows (it can fuse through the
+  // mail-bearing barriers, the legacy path only through empty ones).
+  struct Obs {
+    std::vector<sim::Tick> delivered;
+    std::uint64_t windows = 0, merges = 0, fused = 0;
+  };
+  auto run_one = [&](bool inline_on) {
+    sim::ShardedEngine se(2, /*lookahead=*/100);
+    se.set_inline_merge(inline_on);
+    Obs obs;
+    se.set_mail_handler([&](int, std::span<sim::MailRecord> recs) {
+      for (const auto& r : recs) obs.delivered.push_back(r.due);
+    });
+    se.shard(0).schedule_at(10, [&] {
+      sim::MailRecord rec;
+      rec.due = 110;
+      rec.key = 1;
+      se.post_mail(0, 1, rec);
+    });
+    se.shard(1).schedule_at(230, [&] {
+      sim::MailRecord rec;
+      rec.due = 340;
+      rec.key = 2;
+      se.post_mail(1, 0, rec);
+    });
+    se.shard(0).schedule_at(710, [] {});
+    se.run();
+    obs.windows = se.stats().windows;
+    obs.merges = se.stats().merges;
+    obs.fused = se.stats().fused;
+    return obs;
+  };
+  const Obs on = run_one(true);
+  const Obs off = run_one(false);
+  EXPECT_EQ(on.delivered, (std::vector<sim::Tick>{110, 340}));
+  EXPECT_EQ(off.delivered, on.delivered);
+  EXPECT_EQ(on.windows, off.windows);
+  EXPECT_EQ(on.merges, off.merges);
+  EXPECT_GE(on.fused, off.fused);
+  EXPECT_GT(on.fused, 0u);
 }
 
 TEST(ShardedEngine, GlobalsRunInTimeThenRegistrationOrder) {
