@@ -13,6 +13,7 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -132,6 +133,8 @@ struct Options {
   int workers = 0;      ///< executor threads per sharded trial; 0 = auto
                         ///< (DFSIM_SHARD_WORKERS env, else hardware threads);
                         ///< wall-clock only, results identical for any N
+  std::string topology; ///< topology kind for the bench system ("" = config
+                        ///< default: DFSIM_TEST_TOPO env, else dragonfly)
   std::string csv_dir;  ///< when set (--csv=DIR), also write raw CSV series
 
   // Fault injection (all zero by default: pristine hardware, every fault
@@ -164,6 +167,9 @@ struct Options {
               "executor threads per sharded trial (default: "
               "DFSIM_SHARD_WORKERS env, else hardware concurrency; clamped "
               "to the shard count; wall-clock only, results identical)")
+        .flag("topology", &topology,
+              "topology kind: dragonfly | dragonfly_plus | slingshot "
+              "(default: DFSIM_TEST_TOPO env, else dragonfly)")
         .flag("full", &full, "full-size Theta/Cori")
         .flag("csv", &csv_dir, "also write raw CSV series into this directory")
         .flag("fault-links", &fault_links,
@@ -215,10 +221,21 @@ struct Options {
   }
 
   [[nodiscard]] topo::Config theta() const {
-    return tune(full ? topo::Config::theta() : topo::Config::theta_scaled());
+    return with_topology(
+        tune(full ? topo::Config::theta() : topo::Config::theta_scaled()));
   }
   [[nodiscard]] topo::Config cori() const {
-    return tune(full ? topo::Config::cori() : topo::Config::cori_scaled());
+    return with_topology(
+        tune(full ? topo::Config::cori() : topo::Config::cori_scaled()));
+  }
+  /// Apply the --topology flag to a system config. Empty flag leaves the
+  /// config default (kDefault => DFSIM_TEST_TOPO at resolve time), so an
+  /// unset flag cannot mask the CI environment knob.
+  [[nodiscard]] topo::Config with_topology(topo::Config c) const {
+    if (!topology.empty() && !topo::parse_topology_kind(topology, c.kind))
+      throw std::invalid_argument("--topology: unknown kind \"" + topology +
+                                  "\"");
+    return c;
   }
   /// Bench runs use coarser 4KB simulation packets (4x fewer events) with
   /// Aries-like buffer depth (8 packets per port per VC).

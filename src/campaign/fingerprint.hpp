@@ -43,7 +43,7 @@ using Fingerprint = sim::Hash128;
 /// (event order, model behaviour, result fields) so pre-change cache
 /// entries and snapshots stop resolving. Pure perf / observability changes
 /// keep the salt.
-inline constexpr const char* kEngineVersionSalt = "dfsim-engine/v9";
+inline constexpr const char* kEngineVersionSalt = "dfsim-engine/v10";
 
 /// Fingerprint of one trial: resolved config + seed + engine salt.
 [[nodiscard]] Fingerprint scenario_fingerprint(const core::ScenarioConfig& cfg);

@@ -38,6 +38,14 @@ ScenarioConfig ScenarioConfig::resolve() const {
       if (v >= 1) c.shards = v;
     }
   }
+  if (c.system.kind == topo::TopologyKind::kDefault) {
+    c.system.kind = topo::TopologyKind::kDragonfly;
+    if (const char* env = std::getenv("DFSIM_TEST_TOPO")) {
+      topo::TopologyKind k{};
+      if (topo::parse_topology_kind(env, k) && k != topo::TopologyKind::kDefault)
+        c.system.kind = k;
+    }
+  }
   return c;
 }
 
@@ -103,8 +111,8 @@ RunResult run_production(const ScenarioConfig& raw) {
   if (cfg.shard_balance && machine.sharded_engine() != nullptr) {
     const auto& topo = machine.topology();
     std::vector<std::uint64_t> weight(
-        static_cast<std::size_t>(topo.config().groups), 0);
-    for (topo::NodeId n = 0; n < topo.config().num_nodes(); ++n) {
+        static_cast<std::size_t>(topo.groups()), 0);
+    for (topo::NodeId n = 0; n < topo.num_nodes(); ++n) {
       if (sched.allocator().is_busy(n))
         ++weight[static_cast<std::size_t>(topo.group_of_node(n))];
     }
@@ -441,7 +449,8 @@ std::int64_t cell_i64(const std::string& c, const char* field) {
 }  // namespace
 
 std::vector<std::string> scenario_csv_columns() {
-  return {"kind",       "system",       "app",       "nnodes",
+  return {"kind",       "system",       "topology",  "app",
+          "nnodes",
           "njobs",      "mode",         "placement", "target_groups",
           "bg_util",    "bg_mode",      "bg_placement",
           "warmup_ns",  "ldms_period_ns",
@@ -476,6 +485,7 @@ std::vector<std::string> scenario_csv_row(const ScenarioConfig& cfg) {
   const auto num = [](double v) { return f64_cell(v); };
   return {kind_name(cfg.kind),
           cfg.system.name,
+          std::string(topo::topology_kind_name(cfg.system.kind)),
           cfg.app,
           std::to_string(cfg.nnodes),
           std::to_string(cfg.njobs),
@@ -506,44 +516,47 @@ ScenarioConfig scenario_from_csv(const std::vector<std::string>& cells) {
                                 " cells, got " + std::to_string(cells.size()));
   ScenarioConfig cfg = config_for_kind(cells[0]);
   cfg.system = system_by_name(cells[1]);
-  cfg.app = cells[2];
-  cfg.nnodes = static_cast<int>(cell_i64(cells[3], "nnodes"));
-  cfg.njobs = static_cast<int>(cell_i64(cells[4], "njobs"));
-  if (!routing::parse_mode(cells[5], cfg.mode))
-    throw std::invalid_argument("scenario_from_csv: bad mode \"" + cells[5] +
+  if (!topo::parse_topology_kind(cells[2], cfg.system.kind))
+    throw std::invalid_argument("scenario_from_csv: bad topology \"" +
+                                cells[2] + "\"");
+  cfg.app = cells[3];
+  cfg.nnodes = static_cast<int>(cell_i64(cells[4], "nnodes"));
+  cfg.njobs = static_cast<int>(cell_i64(cells[5], "njobs"));
+  if (!routing::parse_mode(cells[6], cfg.mode))
+    throw std::invalid_argument("scenario_from_csv: bad mode \"" + cells[6] +
                                 "\"");
   bool placed = false;
   for (const auto p : {sched::Placement::kCompact, sched::Placement::kRandom,
                        sched::Placement::kGroups}) {
-    if (cells[6] == sched::placement_name(p)) {
+    if (cells[7] == sched::placement_name(p)) {
       cfg.placement = p;
       placed = true;
     }
   }
   if (!placed)
     throw std::invalid_argument("scenario_from_csv: bad placement \"" +
-                                cells[6] + "\"");
-  cfg.target_groups = static_cast<int>(cell_i64(cells[7], "target_groups"));
-  cfg.bg_utilization = cell_f64(cells[8], "bg_util");
-  if (!routing::parse_mode(cells[9], cfg.bg_mode))
+                                cells[7] + "\"");
+  cfg.target_groups = static_cast<int>(cell_i64(cells[8], "target_groups"));
+  cfg.bg_utilization = cell_f64(cells[9], "bg_util");
+  if (!routing::parse_mode(cells[10], cfg.bg_mode))
     throw std::invalid_argument("scenario_from_csv: bad bg_mode \"" +
-                                cells[9] + "\"");
-  if (!sched::parse_bg_placement(cells[10], cfg.bg_placement))
-    throw std::invalid_argument("scenario_from_csv: bad bg_placement \"" +
                                 cells[10] + "\"");
-  cfg.warmup = cell_i64(cells[11], "warmup_ns");
-  cfg.ldms_period = cell_i64(cells[12], "ldms_period_ns");
-  cfg.seed = static_cast<std::uint64_t>(cell_i64(cells[13], "seed"));
+  if (!sched::parse_bg_placement(cells[11], cfg.bg_placement))
+    throw std::invalid_argument("scenario_from_csv: bad bg_placement \"" +
+                                cells[11] + "\"");
+  cfg.warmup = cell_i64(cells[12], "warmup_ns");
+  cfg.ldms_period = cell_i64(cells[13], "ldms_period_ns");
+  cfg.seed = static_cast<std::uint64_t>(cell_i64(cells[14], "seed"));
   cfg.event_budget =
-      static_cast<std::uint64_t>(cell_i64(cells[14], "event_budget"));
-  cfg.shards = static_cast<int>(cell_i64(cells[15], "shards"));
-  cfg.shard_workers = static_cast<int>(cell_i64(cells[16], "shard_workers"));
-  cfg.shard_balance = cell_i64(cells[17], "shard_balance") != 0;
-  cfg.faults = fault_plan_decode(cells[18]);
-  cfg.sys_jobs = static_cast<int>(cell_i64(cells[19], "sys_jobs"));
-  cfg.sys_interarrival = cell_i64(cells[20], "sys_interarrival_ns");
-  cfg.sys_backfill = cell_i64(cells[21], "sys_backfill") != 0;
-  cfg.sys_ad3_fraction = cell_f64(cells[22], "sys_ad3_fraction");
+      static_cast<std::uint64_t>(cell_i64(cells[15], "event_budget"));
+  cfg.shards = static_cast<int>(cell_i64(cells[16], "shards"));
+  cfg.shard_workers = static_cast<int>(cell_i64(cells[17], "shard_workers"));
+  cfg.shard_balance = cell_i64(cells[18], "shard_balance") != 0;
+  cfg.faults = fault_plan_decode(cells[19]);
+  cfg.sys_jobs = static_cast<int>(cell_i64(cells[20], "sys_jobs"));
+  cfg.sys_interarrival = cell_i64(cells[21], "sys_interarrival_ns");
+  cfg.sys_backfill = cell_i64(cells[22], "sys_backfill") != 0;
+  cfg.sys_ad3_fraction = cell_f64(cells[23], "sys_ad3_fraction");
   return cfg;
 }
 

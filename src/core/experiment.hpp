@@ -136,10 +136,14 @@ struct ScenarioConfig {
   /// System-mode defaults (50-job stream, backfill on).
   [[nodiscard]] static ScenarioConfig system_mode();
 
-  /// Returns a copy with every deferred field made concrete — currently
-  /// `shards == -1`, resolved through DFSIM_TEST_SHARDS (absent or invalid:
-  /// 0 = serial). The run entry points call this once; nothing downstream
-  /// ever re-sniffs the environment.
+  /// Returns a copy with every deferred field made concrete —
+  /// `shards == -1` resolved through DFSIM_TEST_SHARDS (absent or invalid:
+  /// 0 = serial) and `system.kind == kDefault` resolved through
+  /// DFSIM_TEST_TOPO (absent or invalid: dragonfly), which is how CI runs
+  /// the whole suite on an alternate topology without touching every
+  /// harness. The run entry points call this once; nothing downstream ever
+  /// re-sniffs the environment. An explicitly-set topology kind always
+  /// wins over the environment.
   [[nodiscard]] ScenarioConfig resolve() const;
 };
 

@@ -43,7 +43,8 @@ sim::Tick draw_time(sim::Rng& rng, const RandomFaultSpec& spec) {
 FaultPlan FaultPlan::random(const topo::Config& system,
                             const RandomFaultSpec& spec) {
   FaultPlan plan;
-  const topo::Dragonfly topo(system);
+  const auto topo_ptr = topo::make_topology(system);
+  const topo::Topology& topo = *topo_ptr;
   sim::Rng rng(spec.seed);
 
   // Canonical link list: each bidirectional link once, from its lower-id
@@ -53,7 +54,7 @@ FaultPlan FaultPlan::random(const topo::Config& system,
     topo::PortId p;
   };
   std::vector<Link> links;
-  const int nrouters = system.num_routers();
+  const int nrouters = topo.num_routers();
   for (topo::RouterId r = 0; r < nrouters; ++r) {
     for (topo::PortId p = 0; p < topo.num_ports(r); ++p) {
       const topo::PortInfo& pi = topo.port(r, p);

@@ -18,7 +18,7 @@
 
 #include "sim/time.hpp"
 #include "topo/config.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::fault {
 

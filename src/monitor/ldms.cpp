@@ -41,7 +41,7 @@ std::vector<LdmsSample> LdmsSampler::interval_deltas() const {
 std::vector<TileCounters> per_tile_counters(const net::Network& net) {
   std::vector<TileCounters> out;
   const auto& topo = net.topology();
-  for (topo::RouterId r = 0; r < topo.config().num_routers(); ++r) {
+  for (topo::RouterId r = 0; r < topo.num_routers(); ++r) {
     const int nports = net.grid().ports_of_router(r);
     for (topo::PortId p = 0; p < nports; ++p) {
       const router::PortCounters ctr = net.port_counters(r, p);
@@ -61,7 +61,7 @@ std::vector<TileCounters> per_tile_counters(const net::Network& net) {
 
 std::vector<double> nic_mean_latencies(const net::Network& net) {
   std::vector<double> out;
-  const int n = net.topology().config().num_nodes();
+  const int n = net.topology().num_nodes();
   for (topo::NodeId i = 0; i < n; ++i) {
     const auto& nic = net.nic(i);
     if (nic.ctr.rsp_track_count > 0) out.push_back(nic.ctr.mean_latency_ns());

@@ -12,7 +12,7 @@
 #include "fault/fault.hpp"
 #include "net/network.hpp"
 #include "sim/time.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::monitor {
 

@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::monitor {
 

@@ -7,9 +7,9 @@ namespace dfsim::mpi {
 
 Machine::Machine(topo::Config cfg, std::uint64_t seed, int shards,
                  int shard_workers)
-    : topo_(std::move(cfg)),
+    : topo_(topo::make_topology(std::move(cfg))),
       plan_(shards >= 1 ? std::make_unique<topo::ShardPlan>(
-                              topo::ShardPlan::build(topo_, shards))
+                              topo::ShardPlan::build(*topo_, shards))
                         : nullptr),
       sharded_(plan_ != nullptr
                    ? std::make_unique<sim::ShardedEngine>(
@@ -17,9 +17,9 @@ Machine::Machine(topo::Config cfg, std::uint64_t seed, int shards,
                    : nullptr),
       engine_(sharded_ != nullptr ? sharded_->host() : serial_engine_),
       net_(sharded_ != nullptr
-               ? std::make_unique<net::Network>(*sharded_, topo_,
+               ? std::make_unique<net::Network>(*sharded_, *topo_,
                                                 seed ^ 0xA5A5A5A5ULL, *plan_)
-               : std::make_unique<net::Network>(engine_, topo_,
+               : std::make_unique<net::Network>(engine_, *topo_,
                                                 seed ^ 0xA5A5A5A5ULL)),
       rng_(seed) {}
 
@@ -31,7 +31,7 @@ bool Machine::rebalance_shards(const std::vector<std::uint64_t>& group_weight) {
   if (sharded_ == nullptr || plan_ == nullptr) return false;
   if (events_executed() != 0 || engine_.now() != 0) return false;
   topo::ShardPlan next =
-      topo::ShardPlan::build_weighted(topo_, plan_->shards, group_weight);
+      topo::ShardPlan::build_weighted(*topo_, plan_->shards, group_weight);
   if (next.shards != plan_->shards || next.lookahead != plan_->lookahead)
     throw std::logic_error("Machine::rebalance_shards: grid changed");
   *plan_ = std::move(next);
@@ -61,7 +61,7 @@ JobId Machine::submit(JobSpec spec, sim::Tick start_at) {
     throw std::invalid_argument("Machine::submit: job has no nodes");
   if (!spec.app) throw std::invalid_argument("Machine::submit: no app");
   for (const topo::NodeId n : spec.nodes)
-    if (n < 0 || n >= topo_.config().num_nodes())
+    if (n < 0 || n >= topo_->num_nodes())
       throw std::invalid_argument("Machine::submit: node out of range");
 
   const JobId id = static_cast<JobId>(jobs_.size());
@@ -184,7 +184,7 @@ Profile Machine::job_profile(JobId id) const {
 std::vector<topo::RouterId> Machine::job_routers(JobId id) const {
   std::vector<topo::RouterId> rs;
   for (const topo::NodeId n : jobs_[static_cast<std::size_t>(id)].spec.nodes)
-    rs.push_back(topo_.router_of_node(n));
+    rs.push_back(topo_->router_of_node(n));
   std::sort(rs.begin(), rs.end());
   rs.erase(std::unique(rs.begin(), rs.end()), rs.end());
   return rs;

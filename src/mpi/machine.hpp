@@ -22,7 +22,7 @@
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/sharded.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 #include "topo/partition.hpp"
 
 namespace dfsim::mpi {
@@ -169,7 +169,7 @@ class Machine {
   /// Host engine: the single engine in serial mode, shard 0's in sharded
   /// mode. Its clock is the machine clock either way.
   [[nodiscard]] sim::Engine& engine() { return engine_; }
-  [[nodiscard]] const topo::Dragonfly& topology() const { return topo_; }
+  [[nodiscard]] const topo::Topology& topology() const { return *topo_; }
   [[nodiscard]] net::Network& network() { return *net_; }
   [[nodiscard]] const net::Network& network() const { return *net_; }
   [[nodiscard]] bool sharded() const { return sharded_ != nullptr; }
@@ -194,7 +194,7 @@ class Machine {
                     std::int64_t bytes, const Request& send_req);
   void on_rank_done(JobId job);
 
-  topo::Dragonfly topo_;
+  std::unique_ptr<const topo::Topology> topo_;
   std::unique_ptr<topo::ShardPlan> plan_;        ///< sharded mode only
   std::unique_ptr<sim::ShardedEngine> sharded_;  ///< sharded mode only
   sim::Engine serial_engine_;  ///< the engine when running serially

@@ -26,7 +26,7 @@
 #include "sim/engine.hpp"
 #include "sim/rng.hpp"
 #include "sim/time.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::mpi {
 

@@ -84,7 +84,7 @@ FlitTimes FlitTimes::from_config(const topo::Config& cfg) {
   const auto fb = static_cast<double>(cfg.flit_bytes);
   FlitTimes ft;
   ft.rank1 = fb / cfg.rank1_bw_gbps;
-  // Rank-2 ports fold the parallel links into one port (topo::Dragonfly
+  // Rank-2 ports fold the parallel links into one port (topo::Topology
   // does the same for PortInfo::bw_gbps), so a flit serializes that much
   // faster across the folded port.
   ft.rank2 = fb / (cfg.rank2_bw_gbps * cfg.rank2_parallel);
@@ -93,18 +93,18 @@ FlitTimes FlitTimes::from_config(const topo::Config& cfg) {
   return ft;
 }
 
-Network::Network(sim::Engine& engine, const topo::Dragonfly& topo,
+Network::Network(sim::Engine& engine, const topo::Topology& topo,
                  std::uint64_t seed)
     : Network(engine, topo, seed, nullptr, nullptr) {}
 
-Network::Network(sim::ShardedEngine& se, const topo::Dragonfly& topo,
+Network::Network(sim::ShardedEngine& se, const topo::Topology& topo,
                  std::uint64_t seed, const topo::ShardPlan& plan)
     : Network(se.host(), topo, seed, &se, &plan) {
   if (se.num_shards() != plan.shards)
     throw std::invalid_argument("Network: engine/plan shard count mismatch");
 }
 
-Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
+Network::Network(sim::Engine& host, const topo::Topology& topo,
                  std::uint64_t seed, sim::ShardedEngine* se,
                  const topo::ShardPlan* plan)
     : engine_(host), topo_(topo), se_(se), plan_(plan),
@@ -116,7 +116,7 @@ Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
   retry_timeout_ = cfg.msg_retry_timeout;
   max_retries_ = cfg.msg_max_retries;
   port_hot_.resize(grid_.num_ports());
-  for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
+  for (topo::RouterId r = 0; r < topo_.num_routers(); ++r) {
     for (topo::PortId p = 0; p < topo_.num_ports(r); ++p) {
       const topo::PortInfo& pi = topo_.port(r, p);
       PortHot& h = port_hot_[grid_.port_index(r, p)];
@@ -126,8 +126,8 @@ Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
       h.eject_node = pi.eject_node;
     }
   }
-  nics_.resize(static_cast<std::size_t>(cfg.num_nodes()));
-  for (topo::NodeId n = 0; n < cfg.num_nodes(); ++n) {
+  nics_.resize(static_cast<std::size_t>(topo_.num_nodes()));
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
     Nic& nic = nics_[static_cast<std::size_t>(n)];
     nic.node = n;
     nic.router = topo_.router_of_node(n);
@@ -142,15 +142,16 @@ Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
   for (PktPool& pool : pools_)
     pool.chunks.reserve((kPktIdxMask + 1) >> kChunkShift);
   stats_sh_.resize(static_cast<std::size_t>(shards));
-  shard_of_router_.assign(static_cast<std::size_t>(cfg.num_routers()), 0);
-  shard_of_node_.assign(static_cast<std::size_t>(cfg.num_nodes()), 0);
-  eng_by_router_.assign(static_cast<std::size_t>(cfg.num_routers()), &engine_);
-  eng_by_node_.assign(static_cast<std::size_t>(cfg.num_nodes()), &engine_);
+  shard_of_router_.assign(static_cast<std::size_t>(topo_.num_routers()), 0);
+  shard_of_node_.assign(static_cast<std::size_t>(topo_.num_nodes()), 0);
+  eng_by_router_.assign(static_cast<std::size_t>(topo_.num_routers()),
+                        &engine_);
+  eng_by_node_.assign(static_cast<std::size_t>(topo_.num_nodes()), &engine_);
   if (se_ != nullptr) {
     rebind_shards();
     pt_router_.resize(grid_.num_ports());
     pt_port_.resize(grid_.num_ports());
-    for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
+    for (topo::RouterId r = 0; r < topo_.num_routers(); ++r) {
       for (topo::PortId p = 0; p < topo_.num_ports(r); ++p) {
         pt_router_[grid_.port_index(r, p)] = r;
         pt_port_[grid_.port_index(r, p)] = p;
@@ -173,7 +174,7 @@ Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
   // performs no pool growth: a few packets per node in flight, one message
   // slab entry per node burst, and a waiter bound of every port plus every
   // NIC blocking at once (capacity only; behavior is unaffected).
-  const auto nn = static_cast<std::size_t>(cfg.num_nodes());
+  const auto nn = static_cast<std::size_t>(topo_.num_nodes());
   reserve(nn * 8 / static_cast<std::size_t>(shards) + kChunkPkts, nn * 8,
           grid_.num_ports() + nn);
   ensure_throttle_tick();
@@ -181,15 +182,14 @@ Network::Network(sim::Engine& host, const topo::Dragonfly& topo,
 
 void Network::rebind_shards() {
   if (se_ == nullptr) return;
-  const auto& cfg = topo_.config();
   if (plan_->shards != se_->num_shards())
     throw std::invalid_argument("Network: rebind changes the shard count");
-  for (topo::RouterId r = 0; r < cfg.num_routers(); ++r) {
+  for (topo::RouterId r = 0; r < topo_.num_routers(); ++r) {
     const int sh = plan_->shard_of_router[static_cast<std::size_t>(r)];
     shard_of_router_[static_cast<std::size_t>(r)] = sh;
     eng_by_router_[static_cast<std::size_t>(r)] = &se_->shard(sh);
   }
-  for (topo::NodeId n = 0; n < cfg.num_nodes(); ++n) {
+  for (topo::NodeId n = 0; n < topo_.num_nodes(); ++n) {
     const int sh = plan_->shard_of_node[static_cast<std::size_t>(n)];
     shard_of_node_[static_cast<std::size_t>(n)] = sh;
     eng_by_node_[static_cast<std::size_t>(n)] = &se_->shard(sh);
@@ -483,8 +483,8 @@ void Network::free_msg(std::int32_t slot) {
 MsgId Network::send_message(topo::NodeId src, topo::NodeId dst,
                             std::int64_t bytes, routing::Mode mode,
                             DeliveryCallback on_delivered) {
-  if (src < 0 || src >= topo_.config().num_nodes() || dst < 0 ||
-      dst >= topo_.config().num_nodes())
+  if (src < 0 || src >= topo_.num_nodes() || dst < 0 ||
+      dst >= topo_.num_nodes())
     throw std::invalid_argument("Network::send_message: bad endpoint");
   if (bytes <= 0) bytes = 1;
   const std::int32_t slot = alloc_msg();
@@ -1236,7 +1236,7 @@ void Network::apply_mail(int dst, std::span<sim::MailRecord> records) {
 void Network::ensure_fault_state() {
   if (fault_on_) return;
   const std::size_t np = grid_.num_ports();
-  const auto nr = static_cast<std::size_t>(topo_.config().num_routers());
+  const auto nr = static_cast<std::size_t>(topo_.num_routers());
   health_.port_dead.assign(np, 0);
   health_.router_dead.assign(nr, 0);
   health_.penalty_q8.assign(np, fault::kPenaltyUnit);
@@ -1367,9 +1367,9 @@ void Network::fault_fail_router(topo::RouterId r, Tick now) {
   }
   // The attached NICs can never drain their injection queues; discard them
   // so message retries (and eventual abandonment) keep senders live.
-  const int npr = topo_.config().nodes_per_router;
-  for (int k = 0; k < npr; ++k) {
-    const auto n = static_cast<topo::NodeId>(r * npr + k);
+  const topo::NodeId nf = topo_.node_first(r);
+  for (int k = 0; k < topo_.node_count(r); ++k) {
+    const auto n = static_cast<topo::NodeId>(nf + k);
     Nic& nic = nics_[static_cast<std::size_t>(n)];
     nic.stall_since = -1;
     const int shn = sh_n(n);
@@ -1423,9 +1423,9 @@ void Network::fault_repair(topo::RouterId r, topo::PortId p, Tick now) {
     }
   }
   // Wake the attached NICs: queued sends may now inject.
-  const int npr = topo_.config().nodes_per_router;
-  for (int k = 0; k < npr; ++k)
-    nic_try_inject(static_cast<topo::NodeId>(r * npr + k));
+  const topo::NodeId nf = topo_.node_first(r);
+  for (int k = 0; k < topo_.node_count(r); ++k)
+    nic_try_inject(static_cast<topo::NodeId>(nf + k));
 }
 
 void Network::fault_recompute_for(topo::RouterId r, topo::PortId p) {
@@ -1624,9 +1624,8 @@ CounterSnapshot Network::snapshot_routers(
         c->stall_ns += grid_.stall_ns_ctr[q];
       }
     }
-    for (int k = 0; k < topo_.config().nodes_per_router; ++k) {
-      const auto n = static_cast<std::size_t>(
-          r * topo_.config().nodes_per_router + k);
+    for (int k = 0; k < topo_.node_count(r); ++k) {
+      const auto n = static_cast<std::size_t>(topo_.node_first(r) + k);
       const auto& nic = nics_[n];
       s.proc_req.flits += nic.ctr.inj_flits[0];
       s.proc_req.stall_ns += nic.ctr.inj_stall_ns[0];

@@ -48,7 +48,7 @@
 #include "sim/rng.hpp"
 #include "sim/sharded.hpp"
 #include "sim/small_fn.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 #include "topo/partition.hpp"
 
 namespace dfsim::net {
@@ -146,7 +146,7 @@ class Network final : public routing::LoadOracle {
  public:
   /// Serial mode: the forwarding plane runs on one engine, bit-identical to
   /// the historical single-threaded formulation.
-  Network(sim::Engine& engine, const topo::Dragonfly& topo, std::uint64_t seed);
+  Network(sim::Engine& engine, const topo::Topology& topo, std::uint64_t seed);
 
   /// Sharded mode: routers/NICs are partitioned per `plan` and every
   /// component schedules on its owner shard's engine. Cross-shard effects
@@ -157,7 +157,7 @@ class Network final : public routing::LoadOracle {
   /// sender-side per-port credits with arrival-time occupancy (zero-lookahead
   /// remote reads cannot be conservatively parallelized), and adaptive RNG
   /// draws come from per-group streams (see docs/MODEL.md section 9).
-  Network(sim::ShardedEngine& se, const topo::Dragonfly& topo,
+  Network(sim::ShardedEngine& se, const topo::Topology& topo,
           std::uint64_t seed, const topo::ShardPlan& plan);
 
   Network(const Network&) = delete;
@@ -179,7 +179,7 @@ class Network final : public routing::LoadOracle {
                                         topo::PortId p) const override;
 
   // --- Introspection / monitoring ---
-  [[nodiscard]] const topo::Dragonfly& topology() const { return topo_; }
+  [[nodiscard]] const topo::Topology& topology() const { return topo_; }
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] const router::PortGrid& grid() const { return grid_; }
   [[nodiscard]] router::PortCounters port_counters(topo::RouterId r,
@@ -493,11 +493,11 @@ class Network final : public routing::LoadOracle {
   };
 
   /// Master constructor; the public ones delegate (se/plan null in serial).
-  Network(sim::Engine& host, const topo::Dragonfly& topo, std::uint64_t seed,
+  Network(sim::Engine& host, const topo::Topology& topo, std::uint64_t seed,
           sim::ShardedEngine* se, const topo::ShardPlan* plan);
 
   sim::Engine& engine_;  ///< host engine (shard 0's in sharded mode)
-  const topo::Dragonfly& topo_;
+  const topo::Topology& topo_;
   sim::ShardedEngine* se_ = nullptr;        ///< null in serial mode
   const topo::ShardPlan* plan_ = nullptr;   ///< null in serial mode
   routing::RoutePlanner planner_;

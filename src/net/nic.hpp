@@ -7,7 +7,7 @@
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::net {
 

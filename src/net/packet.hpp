@@ -11,7 +11,7 @@
 
 #include "routing/adaptive.hpp"
 #include "sim/time.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::net {
 

@@ -6,8 +6,8 @@
 
 namespace dfsim::router {
 
-void PortGrid::build(const topo::Dragonfly& topo) {
-  const auto n_routers = static_cast<std::size_t>(topo.config().num_routers());
+void PortGrid::build(const topo::Topology& topo) {
+  const auto n_routers = static_cast<std::size_t>(topo.num_routers());
   port_base_.assign(n_routers + 1, 0);
   for (std::size_t r = 0; r < n_routers; ++r)
     port_base_[r + 1] =
@@ -29,7 +29,7 @@ void PortGrid::build(const topo::Dragonfly& topo) {
   // Round-robin state starts at the last VC so queue 0 is served first.
   last_served.assign(n_ports_, static_cast<std::uint8_t>(net::kNumVcs - 1));
   tile_cls.resize(n_ports_);
-  for (topo::RouterId r = 0; r < topo.config().num_routers(); ++r)
+  for (topo::RouterId r = 0; r < topo.num_routers(); ++r)
     for (topo::PortId p = 0; p < topo.num_ports(r); ++p)
       tile_cls[port_index(r, p)] =
           static_cast<std::uint8_t>(topo.port(r, p).cls);

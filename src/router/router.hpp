@@ -24,7 +24,7 @@
 
 #include "net/packet.hpp"
 #include "sim/time.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::router {
 
@@ -51,7 +51,7 @@ struct PortCounters {
 class PortGrid {
  public:
   /// Size and initialize every array for `topo`'s routers and ports.
-  void build(const topo::Dragonfly& topo);
+  void build(const topo::Topology& topo);
 
   // --- Indexing ---
   [[nodiscard]] std::size_t num_ports() const { return n_ports_; }

@@ -7,7 +7,7 @@
 
 namespace dfsim::routing {
 
-RoutePlanner::RoutePlanner(const topo::Dragonfly& topo, const LoadOracle& loads,
+RoutePlanner::RoutePlanner(const topo::Topology& topo, const LoadOracle& loads,
                            sim::Rng rng)
     : topo_(topo), loads_(loads), rng_(std::move(rng)) {
   build_tables();
@@ -22,10 +22,9 @@ void RoutePlanner::enable_group_rngs(std::uint64_t seed) {
 }
 
 void RoutePlanner::build_tables() {
-  const topo::Config& cfg = topo_.config();
-  rpg_ = cfg.routers_per_group();
-  groups_ = cfg.groups;
-  const int nr = groups_ * rpg_;
+  rpg_ = topo_.routers_per_group();
+  groups_ = topo_.groups();
+  const int nr = topo_.num_routers();
 
   group_of_.resize(static_cast<std::size_t>(nr));
   eject_base_.resize(static_cast<std::size_t>(nr));
@@ -35,10 +34,12 @@ void RoutePlanner::build_tables() {
         static_cast<topo::PortId>(topo_.proc_port_base(r));
   }
 
-  // First-hop port toward every router of the same group: row-first (rank-1
-  // then rank-2) dimension order. Deterministic order keeps the within-level
-  // channel dependency graph acyclic, which the VC ladder's deadlock-freedom
-  // argument relies on. -1 on the diagonal (t == r).
+  // First-hop port toward every router of the same group, as chosen by the
+  // topology's deterministic pristine rule (the dragonfly picks rank-1
+  // first). A deterministic order keeps the within-level channel dependency
+  // graph acyclic, which the VC ladder's deadlock-freedom argument relies
+  // on. -1 on the diagonal (t == r). This is the only place the planner
+  // touches a topology virtual — construction time, never per packet.
   local_first_.resize(static_cast<std::size_t>(nr) *
                       static_cast<std::size_t>(rpg_));
   for (topo::RouterId r = 0; r < nr; ++r) {
@@ -46,14 +47,8 @@ void RoutePlanner::build_tables() {
     const topo::RouterId base = static_cast<topo::RouterId>(g * rpg_);
     for (int s = 0; s < rpg_; ++s) {
       const topo::RouterId t = base + s;
-      topo::PortId p = topo_.local_port_to(r, t);
-      if (p < 0 && t != r) {
-        const topo::RouterId via_r1 =
-            topo_.router_at(g, topo_.chassis_of(r), topo_.slot_of(t));
-        p = topo_.local_port_to(r, via_r1);
-      }
       local_first_[static_cast<std::size_t>(r) * static_cast<std::size_t>(rpg_) +
-                   static_cast<std::size_t>(s)] = p;
+                   static_cast<std::size_t>(s)] = topo_.local_first_hop(r, t);
     }
   }
 
@@ -166,7 +161,8 @@ void RoutePlanner::recompute_gateway_pair(topo::GroupId g, topo::GroupId tg) {
 
 void RoutePlanner::recompute_local(topo::GroupId g) {
   const auto base_r = static_cast<topo::RouterId>(g * rpg_);
-  const int gpb = topo_.global_port_base();  // local ports are [0, gpb)
+  // Local ports of router r are [0, topo_.local_end(r)) — per router, not
+  // uniform: Dragonfly+ leaves and spines have different local degrees.
   const std::size_t row0 =
       static_cast<std::size_t>(base_r) * static_cast<std::size_t>(rpg_);
   const std::size_t cells =
@@ -179,7 +175,8 @@ void RoutePlanner::recompute_local(topo::GroupId g) {
       any_fault = true;
       break;
     }
-    for (topo::PortId p = 0; p < gpb; ++p)
+    const topo::PortId lend = topo_.local_end(r);
+    for (topo::PortId p = 0; p < lend; ++p)
       if (!port_ok(r, p)) {
         any_fault = true;
         break;
@@ -211,7 +208,8 @@ void RoutePlanner::recompute_local(topo::GroupId g) {
     for (std::size_t qi = 0; qi < bfs_queue_.size(); ++qi) {
       const int ui = bfs_queue_[qi];
       const topo::RouterId u = base_r + ui;
-      for (topo::PortId p = 0; p < gpb; ++p) {
+      const topo::PortId lend = topo_.local_end(u);
+      for (topo::PortId p = 0; p < lend; ++p) {
         if (!port_ok(u, p)) continue;
         const topo::RouterId v = topo_.port(u, p).peer_router;
         if (!router_ok(v)) continue;

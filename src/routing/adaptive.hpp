@@ -24,7 +24,7 @@
 
 #include "routing/bias.hpp"
 #include "sim/rng.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::routing {
 
@@ -94,7 +94,7 @@ static_assert(sizeof(RouteState) <= 20);
 
 class RoutePlanner {
  public:
-  RoutePlanner(const topo::Dragonfly& topo, const LoadOracle& loads,
+  RoutePlanner(const topo::Topology& topo, const LoadOracle& loads,
                sim::Rng rng);
 
   /// Number of gateway / via-group candidates sampled per decision.
@@ -237,7 +237,7 @@ class RoutePlanner {
     return {gp_ports_.data() + gp_off_[i], gp_off_[i + 1] - gp_off_[i]};
   }
   /// Cached gateways of group `g` toward `tg` (CSR slice).
-  [[nodiscard]] std::span<const topo::Dragonfly::Gateway> gateways(
+  [[nodiscard]] std::span<const topo::Gateway> gateways(
       topo::GroupId g, topo::GroupId tg) const {
     const auto i = static_cast<std::size_t>(g) *
                        static_cast<std::size_t>(groups_) +
@@ -247,7 +247,7 @@ class RoutePlanner {
 
   void build_tables();
 
-  const topo::Dragonfly& topo_;
+  const topo::Topology& topo_;
   const LoadOracle& loads_;
   LoadView view_;  ///< optional direct load tables (empty: use loads_)
   sim::Rng rng_;
@@ -262,7 +262,7 @@ class RoutePlanner {
   std::vector<std::uint32_t> gp_off_;       ///< CSR offsets into gp_ports_
   std::vector<topo::PortId> gp_ports_;      ///< rank-3 ports, (r, tg)-major
   std::vector<std::uint32_t> gw_off_;       ///< CSR offsets into gw_list_
-  std::vector<topo::Dragonfly::Gateway> gw_list_;  ///< gateways, (g, tg)-major
+  std::vector<topo::Gateway> gw_list_;         ///< gateways, (g, tg)-major
 
   /// Returns `p` unchanged; under faults, counts the decision as rerouted
   /// when the BFS-recomputed local table diverted it from the pristine

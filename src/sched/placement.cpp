@@ -31,9 +31,9 @@ bool parse_bg_placement(const std::string& name, BgPlacement& out) {
   return true;
 }
 
-NodeAllocator::NodeAllocator(const topo::Dragonfly& topo) : topo_(topo) {
-  busy_.assign(static_cast<std::size_t>(topo.config().num_nodes()), 0);
-  free_ = topo.config().num_nodes();
+NodeAllocator::NodeAllocator(const topo::Topology& topo) : topo_(topo) {
+  busy_.assign(static_cast<std::size_t>(topo.num_nodes()), 0);
+  free_ = topo.num_nodes();
 }
 
 void NodeAllocator::mark(std::span<const topo::NodeId> nodes) {
@@ -97,8 +97,7 @@ std::vector<topo::NodeId> NodeAllocator::allocate_random(int n, sim::Rng& rng) {
 std::vector<topo::NodeId> NodeAllocator::allocate_groups(int n,
                                                          int target_groups,
                                                          sim::Rng& rng) {
-  const int groups = topo_.config().groups;
-  const int npg = topo_.config().nodes_per_group();
+  const int groups = topo_.groups();
   if (target_groups <= 0) target_groups = 1;
   target_groups = std::min(target_groups, groups);
   // Free nodes per group.
@@ -106,7 +105,7 @@ std::vector<topo::NodeId> NodeAllocator::allocate_groups(int n,
       static_cast<std::size_t>(groups));
   for (topo::NodeId i = 0; i < static_cast<topo::NodeId>(busy_.size()); ++i)
     if (busy_[static_cast<std::size_t>(i)] == 0)
-      free_by_group[static_cast<std::size_t>(i / npg)].push_back(i);
+      free_by_group[static_cast<std::size_t>(topo_.group_of_node(i))].push_back(i);
   // Candidate groups with any capacity, shuffled.
   std::vector<int> cand;
   for (int g = 0; g < groups; ++g)

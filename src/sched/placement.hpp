@@ -12,7 +12,7 @@
 #include <vector>
 
 #include "sim/rng.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::sched {
 
@@ -42,7 +42,7 @@ bool parse_bg_placement(const std::string& name, BgPlacement& out);
 
 class NodeAllocator {
  public:
-  explicit NodeAllocator(const topo::Dragonfly& topo);
+  explicit NodeAllocator(const topo::Topology& topo);
 
   /// Allocate `n` nodes with the given policy. For kGroups, `target_groups`
   /// picks how many distinct groups to span (clamped to what fits).
@@ -68,7 +68,7 @@ class NodeAllocator {
                                             sim::Rng& rng);
   void mark(std::span<const topo::NodeId> nodes);
 
-  const topo::Dragonfly& topo_;
+  const topo::Topology& topo_;
   std::vector<char> busy_;
   int free_ = 0;
 };

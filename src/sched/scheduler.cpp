@@ -12,7 +12,7 @@ Scheduler::Scheduler(topo::Config cfg, std::uint64_t seed, int shards,
                      int shard_workers)
     : machine_(cfg, seed, shards, shard_workers),
       alloc_(machine_.topology()),
-      model_(static_cast<double>(machine_.topology().config().num_nodes()) /
+      model_(static_cast<double>(machine_.topology().num_nodes()) /
              static_cast<double>(topo::Config::theta().num_nodes())),
       rng_(seed ^ 0x5EED5EEDULL) {
   machine_.set_job_completion_listener(

@@ -4,6 +4,25 @@
 
 namespace dfsim::topo {
 
+const char* topology_kind_name(TopologyKind k) {
+  switch (k) {
+    case TopologyKind::kDefault: return "default";
+    case TopologyKind::kDragonfly: return "dragonfly";
+    case TopologyKind::kDragonflyPlus: return "dragonfly_plus";
+    case TopologyKind::kSlingshot: return "slingshot";
+  }
+  return "?";
+}
+
+bool parse_topology_kind(const std::string& name, TopologyKind& out) {
+  if (name == "default") out = TopologyKind::kDefault;
+  else if (name == "dragonfly") out = TopologyKind::kDragonfly;
+  else if (name == "dragonfly_plus") out = TopologyKind::kDragonflyPlus;
+  else if (name == "slingshot") out = TopologyKind::kSlingshot;
+  else return false;
+  return true;
+}
+
 void Config::validate() const {
   auto fail = [](const char* msg) { throw std::invalid_argument(msg); };
   if (groups < 2) fail("Config: need at least 2 groups");

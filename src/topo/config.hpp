@@ -8,14 +8,39 @@
 // for tests.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
 #include "sim/time.hpp"
 
 namespace dfsim::topo {
 
+/// Which fabric to instantiate over the Config's shape parameters.
+/// kDefault is a sentinel meaning "not explicitly chosen": it resolves to
+/// kDragonfly at make_topology, and core::ScenarioConfig::resolve() lets
+/// the DFSIM_TEST_TOPO environment knob substitute another kind for it
+/// (an explicit kind always wins, like DFSIM_TEST_SHARDS vs --shards).
+enum class TopologyKind : std::uint8_t {
+  kDefault = 0,
+  kDragonfly,      ///< Aries 3-level: chassis x slot groups, rank-1/2/3
+  kDragonflyPlus,  ///< two-tier groups (leaf/spine), global cables on spines
+  kSlingshot,      ///< flat all-to-all groups, 200 Gb/s-class links
+};
+
+/// Canonical spelling ("dragonfly", "dragonfly_plus", "slingshot";
+/// kDefault prints as "default").
+[[nodiscard]] const char* topology_kind_name(TopologyKind k);
+/// Parse a canonical spelling (incl. "default"); false on unknown input.
+[[nodiscard]] bool parse_topology_kind(const std::string& name,
+                                       TopologyKind& out);
+
 struct Config {
   std::string name = "custom";
+
+  /// Fabric selector (see TopologyKind). Not part of the shape arithmetic
+  /// below; presets leave it kDefault so existing call sites keep building
+  /// the Aries dragonfly.
+  TopologyKind kind = TopologyKind::kDefault;
 
   // --- Shape ---
   int groups = 12;

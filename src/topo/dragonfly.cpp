@@ -1,46 +1,33 @@
 #include "topo/dragonfly.hpp"
 
-#include <algorithm>
-#include <stdexcept>
-#include <unordered_set>
-
 namespace dfsim::topo {
 
-const char* tile_class_name(TileClass c) {
-  switch (c) {
-    case TileClass::kRank1: return "Rank1";
-    case TileClass::kRank2: return "Rank2";
-    case TileClass::kRank3: return "Rank3";
-    case TileClass::kProc: return "Proc";
+Dragonfly::Dragonfly(Config cfg) : Topology(cfg, cfg.routers_per_group()) {
+  const int nr = num_routers();
+  chassis_.resize(static_cast<std::size_t>(nr));
+  slot_.resize(static_cast<std::size_t>(nr));
+  for (RouterId r = 0; r < nr; ++r) {
+    chassis_[static_cast<std::size_t>(r)] = (r % rpg_) / cfg_.slots_per_chassis;
+    slot_[static_cast<std::size_t>(r)] = r % cfg_.slots_per_chassis;
   }
-  return "?";
-}
-
-Dragonfly::Dragonfly(Config cfg) : cfg_(std::move(cfg)) {
-  cfg_.validate();
-  const auto nr = static_cast<std::size_t>(cfg_.num_routers());
-  // Coordinate tables first: the port builders below use group_of_router().
-  router_group_.resize(nr);
-  for (RouterId r = 0; r < cfg_.num_routers(); ++r)
-    router_group_[static_cast<std::size_t>(r)] = r / cfg_.routers_per_group();
-  node_router_.resize(static_cast<std::size_t>(cfg_.num_nodes()));
-  for (NodeId n = 0; n < cfg_.num_nodes(); ++n)
-    node_router_[static_cast<std::size_t>(n)] = n / cfg_.nodes_per_router;
-  ports_.resize(nr);
-  global_target_.resize(nr);
-  global_ports_by_group_.resize(nr);
-  gateways_.assign(static_cast<std::size_t>(cfg_.groups),
-                   std::vector<std::vector<Gateway>>(
-                       static_cast<std::size_t>(cfg_.groups)));
+  assign_nodes([&](RouterId) { return cfg_.nodes_per_router; });
   build_local_ports();
-  build_global_ports();
+  // Spread the cables of each group pair round-robin over the group's
+  // routers: cable k of pair (ga, gb) lands on in-group router index
+  // ((gb<ga ? gb : gb-1)*cables + k) % routers_per_group.
+  const int R = rpg_;
+  const int cables = cfg_.cables_per_group_pair;
+  build_global_ports([R, cables](GroupId gs, GroupId gr, int k) {
+    return ((gr < gs ? gr : gr - 1) * cables + k) % R;
+  });
   build_proc_ports();
+  finalize_tables();
 }
 
 void Dragonfly::build_local_ports() {
   const int S = cfg_.slots_per_chassis;
   const int C = cfg_.chassis_per_group;
-  for (RouterId r = 0; r < cfg_.num_routers(); ++r) {
+  for (RouterId r = 0; r < num_routers(); ++r) {
     auto& pv = ports_[static_cast<std::size_t>(r)];
     const GroupId g = group_of_router(r);
     const int c = chassis_of(r);
@@ -71,86 +58,6 @@ void Dragonfly::build_local_ports() {
   }
 }
 
-void Dragonfly::build_global_ports() {
-  const int R = cfg_.routers_per_group();
-  const int cables = cfg_.cables_per_group_pair;
-  // Record the per-router list of (peer_router, target_group) first, then
-  // materialize ports so that peer_port indices can be resolved.
-  std::vector<std::vector<std::pair<RouterId, GroupId>>> pending(
-      static_cast<std::size_t>(cfg_.num_routers()));
-  for (GroupId ga = 0; ga < cfg_.groups; ++ga) {
-    for (GroupId gb = ga + 1; gb < cfg_.groups; ++gb) {
-      for (int k = 0; k < cables; ++k) {
-        // Spread cables of each pair round-robin over the group's routers.
-        const int ia = ((gb < ga ? gb : gb - 1) * cables + k) % R;
-        const int ib = ((ga < gb ? ga : ga - 1) * cables + k) % R;
-        const RouterId ra = static_cast<RouterId>(ga * R + ia);
-        const RouterId rb = static_cast<RouterId>(gb * R + ib);
-        pending[static_cast<std::size_t>(ra)].emplace_back(rb, gb);
-        pending[static_cast<std::size_t>(rb)].emplace_back(ra, ga);
-      }
-    }
-  }
-  // Materialize rank-3 ports (in pending order) and per-group indices.
-  for (RouterId r = 0; r < cfg_.num_routers(); ++r) {
-    auto& pv = ports_[static_cast<std::size_t>(r)];
-    auto& tgt = global_target_[static_cast<std::size_t>(r)];
-    auto& by_group = global_ports_by_group_[static_cast<std::size_t>(r)];
-    by_group.assign(static_cast<std::size_t>(cfg_.groups), {});
-    const GroupId g = group_of_router(r);
-    for (const auto& [peer, tg] : pending[static_cast<std::size_t>(r)]) {
-      PortInfo pi;
-      pi.cls = TileClass::kRank3;
-      pi.peer_router = peer;
-      pi.target_group = tg;
-      pi.bw_gbps = cfg_.rank3_bw_gbps;
-      pi.latency = cfg_.link_latency_global;
-      const auto pid = static_cast<PortId>(pv.size());
-      pv.push_back(pi);
-      tgt.push_back(tg);
-      by_group[static_cast<std::size_t>(tg)].push_back(pid);
-      gateways_[static_cast<std::size_t>(g)][static_cast<std::size_t>(tg)]
-          .push_back(Gateway{r, pid});
-    }
-  }
-  // Resolve peer_port for rank-3 ports: the matching cable at the peer.
-  // Cables between a router pair are matched in creation order on both
-  // sides (pending lists were appended symmetrically).
-  for (RouterId r = 0; r < cfg_.num_routers(); ++r) {
-    auto& pv = ports_[static_cast<std::size_t>(r)];
-    for (PortId p = global_port_base(); p < static_cast<PortId>(pv.size()); ++p) {
-      auto& pi = pv[static_cast<std::size_t>(p)];
-      if (pi.cls != TileClass::kRank3 || pi.peer_port >= 0) continue;
-      // Find the first unresolved port at the peer pointing back at us.
-      auto& peer_pv = ports_[static_cast<std::size_t>(pi.peer_router)];
-      for (PortId q = global_port_base();
-           q < static_cast<PortId>(peer_pv.size()); ++q) {
-        auto& qi = peer_pv[static_cast<std::size_t>(q)];
-        if (qi.cls == TileClass::kRank3 && qi.peer_router == r &&
-            qi.peer_port < 0) {
-          pi.peer_port = q;
-          qi.peer_port = p;
-          break;
-        }
-      }
-    }
-  }
-}
-
-void Dragonfly::build_proc_ports() {
-  for (RouterId r = 0; r < cfg_.num_routers(); ++r) {
-    auto& pv = ports_[static_cast<std::size_t>(r)];
-    for (int k = 0; k < cfg_.nodes_per_router; ++k) {
-      PortInfo pi;
-      pi.cls = TileClass::kProc;
-      pi.eject_node = static_cast<NodeId>(r * cfg_.nodes_per_router + k);
-      pi.bw_gbps = cfg_.inject_bw_gbps;
-      pi.latency = cfg_.nic_latency;
-      pv.push_back(pi);
-    }
-  }
-}
-
 PortId Dragonfly::local_port_to(RouterId from, RouterId to) const {
   if (from == to || group_of_router(from) != group_of_router(to)) return -1;
   const int c1 = chassis_of(from), s1 = slot_of(from);
@@ -162,45 +69,16 @@ PortId Dragonfly::local_port_to(RouterId from, RouterId to) const {
   return -1;
 }
 
-PortId Dragonfly::eject_port(RouterId r, NodeId n) const {
-  if (router_of_node(n) != r)
-    throw std::invalid_argument("Dragonfly::eject_port: node not on router");
-  return static_cast<PortId>(proc_port_base(r) + node_slot(n));
-}
-
-std::span<const PortId> Dragonfly::global_ports_to(RouterId r, GroupId tg) const {
-  return global_ports_by_group_[static_cast<std::size_t>(r)]
-                               [static_cast<std::size_t>(tg)];
-}
-
-std::span<const Dragonfly::Gateway> Dragonfly::gateways(GroupId g,
-                                                        GroupId tg) const {
-  return gateways_[static_cast<std::size_t>(g)][static_cast<std::size_t>(tg)];
-}
-
-int Dragonfly::minimal_hops(RouterId src, RouterId dst) const {
-  if (src == dst) return 0;
-  const GroupId gs = group_of_router(src), gd = group_of_router(dst);
-  if (gs == gd) {
-    // 1 hop if directly connected, else 2 (rank-1 then rank-2 or vice versa).
-    return local_port_to(src, dst) >= 0 ? 1 : 2;
+PortId Dragonfly::local_first_hop(RouterId from, RouterId to) const {
+  PortId p = local_port_to(from, to);
+  if (p < 0 && to != from) {
+    // Two-hop path, rank-1 first: hop within our chassis to the target's
+    // slot, then rank-2 to the target's chassis.
+    const RouterId via_r1 =
+        router_at(group_of_router(from), chassis_of(from), slot_of(to));
+    p = local_port_to(from, via_r1);
   }
-  int best = 1000;
-  for (const auto& gw : gateways(gs, gd)) {
-    const auto& pi = port(gw.router, gw.port);
-    int hops = 1;  // the global hop
-    if (gw.router != src) hops += (local_port_to(src, gw.router) >= 0) ? 1 : 2;
-    const RouterId entry = pi.peer_router;
-    if (entry != dst) hops += (local_port_to(entry, dst) >= 0) ? 1 : 2;
-    best = std::min(best, hops);
-  }
-  return best;
-}
-
-int Dragonfly::groups_spanned(std::span<const NodeId> nodes) const {
-  std::unordered_set<GroupId> gs;
-  for (NodeId n : nodes) gs.insert(group_of_node(n));
-  return static_cast<int>(gs.size());
+  return p;
 }
 
 }  // namespace dfsim::topo

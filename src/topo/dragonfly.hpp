@@ -16,137 +16,58 @@
 // the paper's 48 Aries router tiles split into 40 network + 8 processor tiles.
 #pragma once
 
-#include <cstdint>
-#include <span>
-#include <vector>
-
-#include "sim/time.hpp"
-#include "topo/config.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::topo {
 
-using RouterId = std::int32_t;
-using NodeId = std::int32_t;
-using GroupId = std::int32_t;
-using PortId = std::int32_t;
-
-/// Counter classes matching the paper's tile breakdown (Fig. 6, 10, 12).
-enum class TileClass : std::uint8_t {
-  kRank1 = 0,
-  kRank2 = 1,
-  kRank3 = 2,
-  kProc = 3,  ///< processor/ejection ports; req vs rsp split happens per-VC
-};
-inline constexpr int kNumTileClasses = 4;
-const char* tile_class_name(TileClass c);
-
-struct PortInfo {
-  TileClass cls = TileClass::kRank1;
-  RouterId peer_router = -1;  ///< -1 for processor (ejection) ports
-  PortId peer_port = -1;      ///< ingress port id at peer (informational)
-  NodeId eject_node = -1;     ///< node served, for processor ports
-  GroupId target_group = -1;  ///< remote group, for rank-3 ports
-  double bw_gbps = 0.0;
-  sim::Tick latency = 0;
-};
-
-class Dragonfly {
+class Dragonfly : public Topology {
  public:
   explicit Dragonfly(Config cfg);
 
-  [[nodiscard]] const Config& config() const { return cfg_; }
-
-  // --- Coordinates ---
-  // group_of_router / router_of_node / node_slot are forwarding hot-path
-  // lookups (every routing step divides ids into coordinates), so they read
-  // tables precomputed by the constructor instead of performing runtime
-  // integer divisions by the (runtime-valued) topology dimensions.
-  [[nodiscard]] GroupId group_of_router(RouterId r) const {
-    return router_group_[static_cast<std::size_t>(r)];
+  [[nodiscard]] TopologyKind kind() const override {
+    return TopologyKind::kDragonfly;
   }
+
+  // --- Aries coordinates ---
+  // chassis_of / slot_of read tables precomputed by the constructor, like
+  // group_of_router: they feed local_first_hop at planner-build time and
+  // tests iterate them densely, so no runtime division by the
+  // (runtime-valued) topology dimensions.
   [[nodiscard]] int chassis_of(RouterId r) const {
-    return (r % cfg_.routers_per_group()) / cfg_.slots_per_chassis;
+    return chassis_[static_cast<std::size_t>(r)];
   }
   [[nodiscard]] int slot_of(RouterId r) const {
-    return r % cfg_.slots_per_chassis;
+    return slot_[static_cast<std::size_t>(r)];
   }
   [[nodiscard]] RouterId router_at(GroupId g, int chassis, int slot) const {
-    return static_cast<RouterId>(g * cfg_.routers_per_group() +
-                                 chassis * cfg_.slots_per_chassis + slot);
-  }
-  [[nodiscard]] RouterId router_of_node(NodeId n) const {
-    return node_router_[static_cast<std::size_t>(n)];
-  }
-  [[nodiscard]] GroupId group_of_node(NodeId n) const {
-    return group_of_router(router_of_node(n));
-  }
-  [[nodiscard]] int node_slot(NodeId n) const {
-    return n - node_router_[static_cast<std::size_t>(n)] * cfg_.nodes_per_router;
-  }
-
-  // --- Ports ---
-  [[nodiscard]] int num_ports(RouterId r) const {
-    return static_cast<int>(ports_[r].size());
-  }
-  [[nodiscard]] const PortInfo& port(RouterId r, PortId p) const {
-    return ports_[r][static_cast<std::size_t>(p)];
-  }
-  [[nodiscard]] std::span<const PortInfo> ports(RouterId r) const {
-    return ports_[r];
+    return static_cast<RouterId>(g * rpg_ + chassis * cfg_.slots_per_chassis +
+                                 slot);
   }
 
   /// Direct local port from `from` to `to` (same chassis -> rank-1, same
   /// slot -> rank-2). Returns -1 if the routers are not directly connected.
-  [[nodiscard]] PortId local_port_to(RouterId from, RouterId to) const;
+  [[nodiscard]] PortId local_port_to(RouterId from, RouterId to) const override;
 
-  /// Ejection (processor) port on `r` serving node `n`.
-  /// Precondition: router_of_node(n) == r.
-  [[nodiscard]] PortId eject_port(RouterId r, NodeId n) const;
+  /// Pristine first hop toward a same-group router: the direct port when
+  /// one exists, else rank-1 first (toward the router at our chassis and
+  /// the target's slot). Row-first order keeps the within-level channel
+  /// dependency graph acyclic (VC ladder deadlock-freedom argument).
+  [[nodiscard]] PortId local_first_hop(RouterId from,
+                                       RouterId to) const override;
 
-  /// rank-3 ports on `r` leading to group `tg` (possibly empty).
-  [[nodiscard]] std::span<const PortId> global_ports_to(RouterId r, GroupId tg) const;
-
-  /// Routers in group `g` owning at least one cable to group `tg`,
-  /// paired with one such port each.
-  struct Gateway {
-    RouterId router;
-    PortId port;
-  };
-  [[nodiscard]] std::span<const Gateway> gateways(GroupId g, GroupId tg) const;
-
-  /// Minimal router-to-router hop count (0 if same router; includes the
-  /// global hop). Used by tests and the non-minimal path-length accounting.
-  [[nodiscard]] int minimal_hops(RouterId src, RouterId dst) const;
-
-  /// Number of distinct groups covered by a set of nodes.
-  [[nodiscard]] int groups_spanned(std::span<const NodeId> nodes) const;
-
-  // Port-layout bases (useful for iteration and tests).
+  // Aries port-layout bases (uniform across routers; generic consumers use
+  // Topology::local_end / proc_port_base instead).
   [[nodiscard]] int rank1_ports() const { return cfg_.slots_per_chassis - 1; }
   [[nodiscard]] int rank2_ports() const { return cfg_.chassis_per_group - 1; }
-  [[nodiscard]] int global_port_base() const { return rank1_ports() + rank2_ports(); }
-  [[nodiscard]] int num_global_ports(RouterId r) const {
-    return static_cast<int>(global_target_.at(static_cast<std::size_t>(r)).size());
-  }
-  [[nodiscard]] int proc_port_base(RouterId r) const {
-    return global_port_base() + num_global_ports(r);
+  [[nodiscard]] int global_port_base() const {
+    return rank1_ports() + rank2_ports();
   }
 
  private:
   void build_local_ports();
-  void build_global_ports();
-  void build_proc_ports();
 
-  Config cfg_;
-  std::vector<GroupId> router_group_;  // [router] -> group (hot-path table)
-  std::vector<RouterId> node_router_;  // [node] -> router (hot-path table)
-  std::vector<std::vector<PortInfo>> ports_;  // [router][port]
-  // Per router: target group of each rank-3 port (parallel to port order).
-  std::vector<std::vector<GroupId>> global_target_;
-  // [router][target group] -> list of rank-3 port ids (flattened map).
-  std::vector<std::vector<std::vector<PortId>>> global_ports_by_group_;
-  // [group][target group] -> gateways.
-  std::vector<std::vector<std::vector<Gateway>>> gateways_;
+  std::vector<std::int32_t> chassis_;  // [router] (hot-path table)
+  std::vector<std::int32_t> slot_;     // [router] (hot-path table)
 };
 
 }  // namespace dfsim::topo

@@ -1,0 +1,79 @@
+#include "topo/dragonfly_plus.hpp"
+
+namespace dfsim::topo {
+
+DragonflyPlus::DragonflyPlus(Config cfg)
+    : Topology(cfg, cfg.routers_per_group() + cfg.slots_per_chassis) {
+  leaves_ = cfg_.routers_per_group();
+  spines_ = cfg_.slots_per_chassis;
+  // Nodes live on leaves only; spines are transit.
+  assign_nodes([&](RouterId r) {
+    return is_leaf(r) ? cfg_.nodes_per_router : 0;
+  });
+  build_local_ports();
+  // Cables of pair (ga, gb) round-robin over the group's spines (the same
+  // spread rule the dragonfly uses over its whole group).
+  const int L = leaves_, S = spines_;
+  const int cables = cfg_.cables_per_group_pair;
+  build_global_ports([L, S, cables](GroupId gs, GroupId gr, int k) {
+    return L + ((gr < gs ? gr : gr - 1) * cables + k) % S;
+  });
+  build_proc_ports();
+  finalize_tables();
+}
+
+void DragonflyPlus::build_local_ports() {
+  // Complete bipartite leaf x spine. Leaf port s <-> spine port l: the
+  // peer port of each direction is the sender's own in-tier index.
+  for (RouterId r = 0; r < num_routers(); ++r) {
+    auto& pv = ports_[static_cast<std::size_t>(r)];
+    const GroupId g = group_of_router(r);
+    const RouterId base = static_cast<RouterId>(g * rpg_);
+    const int i = r % rpg_;
+    if (i < leaves_) {
+      for (int s = 0; s < spines_; ++s) {
+        PortInfo pi;
+        pi.cls = TileClass::kRank1;
+        pi.peer_router = base + leaves_ + s;
+        pi.peer_port = static_cast<PortId>(i);
+        pi.bw_gbps = cfg_.rank1_bw_gbps;
+        pi.latency = cfg_.link_latency_local;
+        pv.push_back(pi);
+      }
+    } else {
+      const int s = i - leaves_;
+      for (int l = 0; l < leaves_; ++l) {
+        PortInfo pi;
+        pi.cls = TileClass::kRank1;
+        pi.peer_router = base + l;
+        pi.peer_port = static_cast<PortId>(s);
+        pi.bw_gbps = cfg_.rank1_bw_gbps;
+        pi.latency = cfg_.link_latency_local;
+        pv.push_back(pi);
+      }
+    }
+  }
+}
+
+PortId DragonflyPlus::local_port_to(RouterId from, RouterId to) const {
+  if (from == to || group_of_router(from) != group_of_router(to)) return -1;
+  const int i = from % rpg_, j = to % rpg_;
+  const bool from_leaf = i < leaves_, to_leaf = j < leaves_;
+  if (from_leaf == to_leaf) return -1;  // same tier: no direct link
+  // Leaf's port s is its up-link to spine s; spine's port l its down-link.
+  return from_leaf ? static_cast<PortId>(j - leaves_) : static_cast<PortId>(j);
+}
+
+PortId DragonflyPlus::local_first_hop(RouterId from, RouterId to) const {
+  const PortId p = local_port_to(from, to);
+  if (p >= 0 || to == from) return p;
+  const int i = from % rpg_, j = to % rpg_;
+  if (i < leaves_) {
+    // leaf -> leaf via spine (i + j) % S.
+    return static_cast<PortId>((i + j) % spines_);
+  }
+  // spine -> spine via leaf (s_i + s_j) % L.
+  return static_cast<PortId>(((i - leaves_) + (j - leaves_)) % leaves_);
+}
+
+}  // namespace dfsim::topo

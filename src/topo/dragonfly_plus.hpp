@@ -1,0 +1,65 @@
+// Dragonfly+ topology: two-tier groups, fully-connected core.
+//
+// Structure (Shpiner et al., HOTI'17; arXiv 2406.15097 uses the same model):
+//  * A group is a complete bipartite graph between L leaf routers (which
+//    host the compute nodes) and S spine routers (which own the global
+//    cables). There is no leaf-leaf or spine-spine link; every intra-group
+//    route is leaf->spine, spine->leaf, or two hops via the opposite tier.
+//  * Groups are connected all-to-all: `cables_per_group_pair` optical
+//    cables per pair, spread round-robin over each group's spines.
+//
+// Shape mapping from topo::Config (so every preset and scenario keeps its
+// node count when re-run on Dragonfly+):
+//    L = chassis_per_group * slots_per_chassis   (= the dragonfly group)
+//    S = slots_per_chassis
+//    nodes: `nodes_per_router` on every leaf, none on spines
+// -> num_nodes == Config::num_nodes(), but num_routers() is larger than
+//    the Config arithmetic by groups*S spine routers (consumers must size
+//    by Topology::num_routers()).
+//
+// Port numbering: leaf = [S up-links][proc ports]; spine = [L down-links]
+// [global ports]. Up/down links are class kRank1 (there is no second local
+// level, so kRank2 counters stay zero); global cables are kRank3.
+//
+// Deadlock freedom rides the existing 3-level VC ladder: within one level
+// the only intra-group dependencies are up->down turns at a spine and
+// down->eject at a leaf, both acyclic because the bipartite graph has no
+// same-tier links; every group crossing and Valiant-intermediate passage
+// bumps the level exactly as on the dragonfly (docs/MODEL.md section 13).
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace dfsim::topo {
+
+class DragonflyPlus : public Topology {
+ public:
+  explicit DragonflyPlus(Config cfg);
+
+  [[nodiscard]] TopologyKind kind() const override {
+    return TopologyKind::kDragonflyPlus;
+  }
+
+  [[nodiscard]] int num_leaves() const { return leaves_; }
+  [[nodiscard]] int num_spines() const { return spines_; }
+  /// Tier of a router: true when `r` is a leaf (hosts nodes).
+  [[nodiscard]] bool is_leaf(RouterId r) const {
+    return r % rpg_ < leaves_;
+  }
+
+  [[nodiscard]] PortId local_port_to(RouterId from, RouterId to) const override;
+  /// Direct port when the tiers differ; same-tier pairs spread their
+  /// two-hop routes deterministically over the opposite tier by
+  /// (i + j) % tier_size, so no single intermediate becomes a table-build
+  /// hotspot.
+  [[nodiscard]] PortId local_first_hop(RouterId from,
+                                       RouterId to) const override;
+
+ private:
+  void build_local_ports();
+
+  int leaves_ = 0;  ///< leaf routers per group (in-group indices [0, L))
+  int spines_ = 0;  ///< spine routers per group (in-group indices [L, L+S))
+};
+
+}  // namespace dfsim::topo

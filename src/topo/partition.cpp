@@ -10,15 +10,15 @@ namespace {
 /// Fill shard_of_router / shard_of_node from shard_of_group and compute the
 /// lookahead. Shared by both builders: everything here depends on the
 /// topology and the group map only, never on how the blocks were chosen.
-void finish_plan(ShardPlan& plan, const Dragonfly& topo) {
+void finish_plan(ShardPlan& plan, const Topology& topo) {
   const Config& cfg = topo.config();
-  plan.shard_of_router.resize(static_cast<std::size_t>(cfg.num_routers()));
-  for (RouterId r = 0; r < cfg.num_routers(); ++r)
+  plan.shard_of_router.resize(static_cast<std::size_t>(topo.num_routers()));
+  for (RouterId r = 0; r < topo.num_routers(); ++r)
     plan.shard_of_router[static_cast<std::size_t>(r)] =
         plan.shard_of_group[static_cast<std::size_t>(topo.group_of_router(r))];
 
-  plan.shard_of_node.resize(static_cast<std::size_t>(cfg.num_nodes()));
-  for (NodeId n = 0; n < cfg.num_nodes(); ++n)
+  plan.shard_of_node.resize(static_cast<std::size_t>(topo.num_nodes()));
+  for (NodeId n = 0; n < topo.num_nodes(); ++n)
     plan.shard_of_node[static_cast<std::size_t>(n)] =
         plan.shard_of_router[static_cast<std::size_t>(topo.router_of_node(n))];
 
@@ -28,7 +28,7 @@ void finish_plan(ShardPlan& plan, const Dragonfly& topo) {
   // t + serialization + lookahead > t + lookahead, so windows of this width
   // never let a cross-shard effect land inside its own window.
   sim::Tick min_hop = 0;
-  for (RouterId r = 0; r < cfg.num_routers(); ++r) {
+  for (RouterId r = 0; r < topo.num_routers(); ++r) {
     for (PortId p = 0; p < topo.num_ports(r); ++p) {
       const PortInfo& pi = topo.port(r, p);
       if (pi.cls != TileClass::kRank3) continue;
@@ -46,9 +46,8 @@ void finish_plan(ShardPlan& plan, const Dragonfly& topo) {
 
 }  // namespace
 
-ShardPlan ShardPlan::build(const Dragonfly& topo, int requested) {
-  const Config& cfg = topo.config();
-  const int groups = cfg.groups;
+ShardPlan ShardPlan::build(const Topology& topo, int requested) {
+  const int groups = topo.groups();
   ShardPlan plan;
   plan.shards = std::clamp(requested, 1, groups);
 
@@ -68,9 +67,9 @@ ShardPlan ShardPlan::build(const Dragonfly& topo, int requested) {
 }
 
 ShardPlan ShardPlan::build_weighted(
-    const Dragonfly& topo, int requested,
+    const Topology& topo, int requested,
     const std::vector<std::uint64_t>& group_weight) {
-  const int groups = topo.config().groups;
+  const int groups = topo.groups();
   const int shards = std::clamp(requested, 1, groups);
   const std::size_t G = static_cast<std::size_t>(groups);
   const std::size_t S = static_cast<std::size_t>(shards);

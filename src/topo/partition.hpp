@@ -1,4 +1,4 @@
-// Shard partitioning of a dragonfly for conservatively synchronized
+// Shard partitioning of a topology for conservatively synchronized
 // parallel execution (sim::ShardedEngine).
 //
 // The partition is group-granular and contiguous: shard `s` owns a
@@ -8,7 +8,9 @@
 // confined to group(r), so the only cross-shard interaction is a rank-3
 // (global-cable) traversal — and those have a guaranteed minimum latency,
 // the *lookahead*, that bounds how far one shard's present can reach into
-// another shard's future.
+// another shard's future. Every topo::Topology guarantees group-major
+// contiguous router/node ids and uniform group size, so the plan logic is
+// topology-agnostic.
 //
 // The lookahead is a function of the topology only — never of the shard
 // count or the block boundaries — so the window grid of the sharded engine
@@ -30,7 +32,7 @@
 #include <vector>
 
 #include "sim/time.hpp"
-#include "topo/dragonfly.hpp"
+#include "topo/topology.hpp"
 
 namespace dfsim::topo {
 
@@ -43,7 +45,7 @@ struct ShardPlan {
 
   /// Build a plan for `requested` shards (clamped to [1, groups]) with
   /// count-balanced contiguous blocks.
-  [[nodiscard]] static ShardPlan build(const Dragonfly& topo, int requested);
+  [[nodiscard]] static ShardPlan build(const Topology& topo, int requested);
 
   /// Build a plan whose contiguous blocks minimize the maximum total
   /// `group_weight` per shard (exact DP; every shard gets at least one
@@ -52,7 +54,7 @@ struct ShardPlan {
   /// (lightest feasible block first), so the plan is a pure function of
   /// (topology, requested, weights).
   [[nodiscard]] static ShardPlan build_weighted(
-      const Dragonfly& topo, int requested,
+      const Topology& topo, int requested,
       const std::vector<std::uint64_t>& group_weight);
 
   /// Largest / mean block weight under this plan (1.0 = perfectly even;

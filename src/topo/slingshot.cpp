@@ -1,0 +1,45 @@
+#include "topo/slingshot.hpp"
+
+namespace dfsim::topo {
+
+Slingshot::Slingshot(Config cfg) : Topology(cfg, cfg.routers_per_group()) {
+  assign_nodes([&](RouterId) { return cfg_.nodes_per_router; });
+  build_local_ports();
+  const int R = rpg_;
+  const int cables = cfg_.cables_per_group_pair;
+  build_global_ports([R, cables](GroupId gs, GroupId gr, int k) {
+    return ((gr < gs ? gr : gr - 1) * cables + k) % R;
+  });
+  build_proc_ports();
+  finalize_tables();
+}
+
+void Slingshot::build_local_ports() {
+  // One clique per group: router (in-group index i) owns rpg-1 local ports,
+  // port p leading to in-group index (p < i ? p : p + 1) — the same
+  // skip-self numbering the dragonfly uses within a chassis.
+  for (RouterId r = 0; r < num_routers(); ++r) {
+    auto& pv = ports_[static_cast<std::size_t>(r)];
+    const GroupId g = group_of_router(r);
+    const RouterId base = static_cast<RouterId>(g * rpg_);
+    const int i = r % rpg_;
+    for (int j = 0; j < rpg_; ++j) {
+      if (j == i) continue;
+      PortInfo pi;
+      pi.cls = TileClass::kRank1;
+      pi.peer_router = base + j;
+      pi.peer_port = static_cast<PortId>(i < j ? i : i - 1);
+      pi.bw_gbps = cfg_.rank1_bw_gbps;
+      pi.latency = cfg_.link_latency_local;
+      pv.push_back(pi);
+    }
+  }
+}
+
+PortId Slingshot::local_port_to(RouterId from, RouterId to) const {
+  if (from == to || group_of_router(from) != group_of_router(to)) return -1;
+  const int i = from % rpg_, j = to % rpg_;
+  return static_cast<PortId>(j < i ? j : j - 1);
+}
+
+}  // namespace dfsim::topo

@@ -1,0 +1,43 @@
+// Slingshot-style low-diameter dragonfly: flat all-to-all groups.
+//
+// Models an HPE Slingshot fabric (Rosetta switches; Perlmutter, Frontier,
+// El Capitan class — see arXiv 1907.05312): every group is a single flat
+// clique of routers (no chassis/slot structure at all), so the network
+// diameter is 3 hops (local, global, local) and every intra-group route is
+// one hop. The Config shape maps as:
+//    routers per group = chassis_per_group * slots_per_chassis (flat)
+//    nodes: `nodes_per_router` on every router
+//    global cables round-robin over the whole group, as on the dragonfly.
+//
+// This differs from modeling "slingshot_like" on the Aries Dragonfly class
+// (the pre-abstraction extrapolation): there a flat group was only
+// expressible as one chassis of <= slots_per_chassis routers, while real
+// Slingshot groups are 32+ switches — here any chassis x slots product
+// forms one clique. Local links are class kRank1 (kRank2 stays zero);
+// link rates come from the Config (use a 200 Gb/s-class preset).
+#pragma once
+
+#include "topo/topology.hpp"
+
+namespace dfsim::topo {
+
+class Slingshot : public Topology {
+ public:
+  explicit Slingshot(Config cfg);
+
+  [[nodiscard]] TopologyKind kind() const override {
+    return TopologyKind::kSlingshot;
+  }
+
+  /// Always the direct port for same-group pairs: the group is a clique.
+  [[nodiscard]] PortId local_port_to(RouterId from, RouterId to) const override;
+  [[nodiscard]] PortId local_first_hop(RouterId from,
+                                       RouterId to) const override {
+    return local_port_to(from, to);
+  }
+
+ private:
+  void build_local_ports();
+};
+
+}  // namespace dfsim::topo

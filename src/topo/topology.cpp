@@ -1,0 +1,191 @@
+#include "topo/topology.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "topo/dragonfly.hpp"
+#include "topo/dragonfly_plus.hpp"
+#include "topo/slingshot.hpp"
+
+namespace dfsim::topo {
+
+const char* tile_class_name(TileClass c) {
+  switch (c) {
+    case TileClass::kRank1: return "Rank1";
+    case TileClass::kRank2: return "Rank2";
+    case TileClass::kRank3: return "Rank3";
+    case TileClass::kProc: return "Proc";
+  }
+  return "?";
+}
+
+Topology::Topology(Config cfg, int routers_per_group) : cfg_(std::move(cfg)) {
+  cfg_.validate();
+  groups_ = cfg_.groups;
+  rpg_ = routers_per_group;
+  const auto nr = static_cast<std::size_t>(num_routers());
+  router_group_.resize(nr);
+  for (RouterId r = 0; r < num_routers(); ++r)
+    router_group_[static_cast<std::size_t>(r)] = r / rpg_;
+  ports_.resize(nr);
+  global_target_.resize(nr);
+  global_ports_by_group_.resize(nr);
+  gateways_.assign(
+      static_cast<std::size_t>(groups_),
+      std::vector<std::vector<Gateway>>(static_cast<std::size_t>(groups_)));
+}
+
+void Topology::materialize_global_ports(
+    const std::vector<std::vector<std::pair<RouterId, GroupId>>>& pending) {
+  // Materialize global ports (in pending order) and per-group indices.
+  for (RouterId r = 0; r < num_routers(); ++r) {
+    auto& pv = ports_[static_cast<std::size_t>(r)];
+    auto& tgt = global_target_[static_cast<std::size_t>(r)];
+    auto& by_group = global_ports_by_group_[static_cast<std::size_t>(r)];
+    by_group.assign(static_cast<std::size_t>(groups_), {});
+    const GroupId g = group_of_router(r);
+    for (const auto& [peer, tg] : pending[static_cast<std::size_t>(r)]) {
+      PortInfo pi;
+      pi.cls = TileClass::kRank3;
+      pi.peer_router = peer;
+      pi.target_group = tg;
+      pi.bw_gbps = cfg_.rank3_bw_gbps;
+      pi.latency = cfg_.link_latency_global;
+      const auto pid = static_cast<PortId>(pv.size());
+      pv.push_back(pi);
+      tgt.push_back(tg);
+      by_group[static_cast<std::size_t>(tg)].push_back(pid);
+      gateways_[static_cast<std::size_t>(g)][static_cast<std::size_t>(tg)]
+          .push_back(Gateway{r, pid});
+    }
+  }
+  // Resolve peer_port for global ports: the matching cable at the peer.
+  // Cables between a router pair are matched in creation order on both
+  // sides (pending lists were appended symmetrically). Local ports resolve
+  // their peers in the per-topology builders, so the scan starts at the
+  // first global port of each router.
+  for (RouterId r = 0; r < num_routers(); ++r) {
+    auto& pv = ports_[static_cast<std::size_t>(r)];
+    const auto base = static_cast<PortId>(
+        pv.size() - pending[static_cast<std::size_t>(r)].size());
+    for (PortId p = base; p < static_cast<PortId>(pv.size()); ++p) {
+      auto& pi = pv[static_cast<std::size_t>(p)];
+      if (pi.cls != TileClass::kRank3 || pi.peer_port >= 0) continue;
+      auto& peer_pv = ports_[static_cast<std::size_t>(pi.peer_router)];
+      for (PortId q = 0; q < static_cast<PortId>(peer_pv.size()); ++q) {
+        auto& qi = peer_pv[static_cast<std::size_t>(q)];
+        if (qi.cls == TileClass::kRank3 && qi.peer_router == r &&
+            qi.peer_port < 0) {
+          pi.peer_port = q;
+          qi.peer_port = p;
+          break;
+        }
+      }
+    }
+  }
+}
+
+void Topology::build_proc_ports() {
+  for (RouterId r = 0; r < num_routers(); ++r) {
+    auto& pv = ports_[static_cast<std::size_t>(r)];
+    const NodeId first = node_first_[static_cast<std::size_t>(r)];
+    for (int k = 0; k < node_count_[static_cast<std::size_t>(r)]; ++k) {
+      PortInfo pi;
+      pi.cls = TileClass::kProc;
+      pi.eject_node = first + k;
+      pi.bw_gbps = cfg_.inject_bw_gbps;
+      pi.latency = cfg_.nic_latency;
+      pv.push_back(pi);
+    }
+  }
+}
+
+void Topology::finalize_tables() {
+  const int nr = num_routers();
+  if (static_cast<int>(node_router_.size()) != num_nodes_ ||
+      node_first_.size() != static_cast<std::size_t>(nr))
+    throw std::logic_error("Topology: assign_nodes not run");
+  local_end_.resize(static_cast<std::size_t>(nr));
+  proc_base_.resize(static_cast<std::size_t>(nr));
+  for (RouterId r = 0; r < nr; ++r) {
+    const auto& pv = ports_[static_cast<std::size_t>(r)];
+    // Port-class ordering invariant: [local][global][proc], no interleaving.
+    int stage = 0;  // 0 = local, 1 = global, 2 = proc
+    int lend = 0, pbase = static_cast<int>(pv.size());
+    for (std::size_t p = 0; p < pv.size(); ++p) {
+      const TileClass c = pv[p].cls;
+      const int want = c == TileClass::kRank3 ? 1
+                       : c == TileClass::kProc ? 2
+                                               : 0;
+      if (want < stage)
+        throw std::logic_error("Topology: port classes out of order");
+      if (stage == 0 && want > 0) lend = static_cast<int>(p);
+      if (stage < 2 && want == 2) pbase = static_cast<int>(p);
+      stage = want;
+    }
+    if (stage == 0) lend = static_cast<int>(pv.size());
+    local_end_[static_cast<std::size_t>(r)] = lend;
+    proc_base_[static_cast<std::size_t>(r)] = pbase;
+    if (static_cast<int>(pv.size()) - pbase !=
+        node_count_[static_cast<std::size_t>(r)])
+      throw std::logic_error("Topology: proc ports != hosted nodes");
+  }
+#ifndef NDEBUG
+  // Peer symmetry: port(peer, peer_port) must point straight back.
+  for (RouterId r = 0; r < nr; ++r)
+    for (const PortInfo& pi : ports_[static_cast<std::size_t>(r)]) {
+      if (pi.peer_router < 0) continue;
+      const PortInfo& back = port(pi.peer_router, pi.peer_port);
+      assert(back.peer_router == r);
+    }
+#endif
+}
+
+PortId Topology::eject_port(RouterId r, NodeId n) const {
+  if (router_of_node(n) != r)
+    throw std::invalid_argument("Topology::eject_port: node not on router");
+  return proc_base_[static_cast<std::size_t>(r)] +
+         static_cast<PortId>(node_slot(n));
+}
+
+int Topology::minimal_hops(RouterId src, RouterId dst) const {
+  if (src == dst) return 0;
+  const GroupId gs = group_of_router(src), gd = group_of_router(dst);
+  if (gs == gd) {
+    // 1 hop if directly connected, else 2 (group diameter <= 2 invariant).
+    return local_port_to(src, dst) >= 0 ? 1 : 2;
+  }
+  int best = 1000;
+  for (const auto& gw : gateways(gs, gd)) {
+    const auto& pi = port(gw.router, gw.port);
+    int hops = 1;  // the global hop
+    if (gw.router != src) hops += (local_port_to(src, gw.router) >= 0) ? 1 : 2;
+    const RouterId entry = pi.peer_router;
+    if (entry != dst) hops += (local_port_to(entry, dst) >= 0) ? 1 : 2;
+    best = std::min(best, hops);
+  }
+  return best;
+}
+
+int Topology::groups_spanned(std::span<const NodeId> nodes) const {
+  std::unordered_set<GroupId> gs;
+  for (NodeId n : nodes) gs.insert(group_of_node(n));
+  return static_cast<int>(gs.size());
+}
+
+std::unique_ptr<Topology> make_topology(Config cfg) {
+  switch (cfg.kind) {
+    case TopologyKind::kDefault:
+    case TopologyKind::kDragonfly:
+      return std::make_unique<Dragonfly>(std::move(cfg));
+    case TopologyKind::kDragonflyPlus:
+      return std::make_unique<DragonflyPlus>(std::move(cfg));
+    case TopologyKind::kSlingshot:
+      return std::make_unique<Slingshot>(std::move(cfg));
+  }
+  throw std::invalid_argument("make_topology: unknown kind");
+}
+
+}  // namespace dfsim::topo

@@ -1,0 +1,275 @@
+// Topology abstraction: one table-driven contract for every fabric.
+//
+// A Topology owns, and builds exactly once at construction, every table the
+// forwarding plane and the route planner read per hop: router/node
+// coordinates, the per-router PortInfo vectors (local ports first, then
+// global, then processor — the class-ordering invariant every consumer
+// relies on), the per-(router, target group) global-port lists, and the
+// per-(group, target group) gateway lists. All of those are exposed through
+// NON-virtual accessors reading flat arrays, so a forwarding step never
+// pays a virtual dispatch; the virtual surface (local_port_to,
+// local_first_hop, kind/name) is only touched at table-build and
+// fault-recompute time, plus diagnostics.
+//
+// Invariants every concrete topology must satisfy (asserted by
+// finalize_tables and pinned by tests/test_properties.cpp):
+//  * router ids are contiguous and group-major: group g owns
+//    [g*routers_per_group, (g+1)*routers_per_group) — uniform group size is
+//    what lets ShardPlan partition by group and the planner's BFS index
+//    routers by (id - group base);
+//  * node ids are contiguous and ascend with router id (so nodes of one
+//    group form one contiguous id range of uniform length);
+//  * per router, port order is [local ports][global ports][processor
+//    ports] and peer_port links are symmetric;
+//  * every group's internal diameter is at most 2 via local_port_to (the
+//    minimal-hops accounting and the VC ladder depth both assume it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+#include "topo/config.hpp"
+
+namespace dfsim::topo {
+
+using RouterId = std::int32_t;
+using NodeId = std::int32_t;
+using GroupId = std::int32_t;
+using PortId = std::int32_t;
+
+/// Counter classes matching the paper's tile breakdown (Fig. 6, 10, 12).
+/// Topologies without a second local level (Dragonfly+, Slingshot) simply
+/// have zero kRank2 ports; counter plumbing sizes by class, not by shape.
+enum class TileClass : std::uint8_t {
+  kRank1 = 0,
+  kRank2 = 1,
+  kRank3 = 2,
+  kProc = 3,  ///< processor/ejection ports; req vs rsp split happens per-VC
+};
+inline constexpr int kNumTileClasses = 4;
+const char* tile_class_name(TileClass c);
+
+struct PortInfo {
+  TileClass cls = TileClass::kRank1;
+  RouterId peer_router = -1;  ///< -1 for processor (ejection) ports
+  PortId peer_port = -1;      ///< ingress port id at peer (informational)
+  NodeId eject_node = -1;     ///< node served, for processor ports
+  GroupId target_group = -1;  ///< remote group, for global (rank-3) ports
+  double bw_gbps = 0.0;
+  sim::Tick latency = 0;
+};
+
+/// A router of group `g` owning at least one cable toward some target
+/// group, paired with one such port.
+struct Gateway {
+  RouterId router;
+  PortId port;
+};
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  Topology(const Topology&) = delete;
+  Topology& operator=(const Topology&) = delete;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+  /// Concrete kind (never kDefault) and its canonical spelling.
+  [[nodiscard]] virtual TopologyKind kind() const = 0;
+  [[nodiscard]] const char* name() const { return topology_kind_name(kind()); }
+
+  // --- Shape ---
+  // Actual counts. These may differ from Config's dragonfly-derived
+  // num_routers()/num_nodes() (Dragonfly+ adds node-less spine routers),
+  // so consumers must size by these, never by the Config arithmetic.
+  [[nodiscard]] int groups() const { return groups_; }
+  [[nodiscard]] int routers_per_group() const { return rpg_; }
+  [[nodiscard]] int num_routers() const { return groups_ * rpg_; }
+  [[nodiscard]] int num_nodes() const { return num_nodes_; }
+  [[nodiscard]] int nodes_per_group() const { return num_nodes_ / groups_; }
+
+  // --- Coordinates (hot-path table reads) ---
+  [[nodiscard]] GroupId group_of_router(RouterId r) const {
+    return router_group_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] RouterId router_of_node(NodeId n) const {
+    return node_router_[static_cast<std::size_t>(n)];
+  }
+  [[nodiscard]] GroupId group_of_node(NodeId n) const {
+    return group_of_router(router_of_node(n));
+  }
+  /// Index of `n` among its router's nodes (0-based).
+  [[nodiscard]] int node_slot(NodeId n) const {
+    return node_slot_[static_cast<std::size_t>(n)];
+  }
+  /// Nodes served by `r`: ids [node_first(r), node_first(r) + node_count(r)).
+  /// node_count is 0 for routers without processor ports (Dragonfly+
+  /// spines); node_first is then the id the next hosting router starts at.
+  [[nodiscard]] NodeId node_first(RouterId r) const {
+    return node_first_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int node_count(RouterId r) const {
+    return node_count_[static_cast<std::size_t>(r)];
+  }
+
+  // --- Ports ---
+  [[nodiscard]] int num_ports(RouterId r) const {
+    return static_cast<int>(ports_[static_cast<std::size_t>(r)].size());
+  }
+  [[nodiscard]] const PortInfo& port(RouterId r, PortId p) const {
+    return ports_[static_cast<std::size_t>(r)][static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] std::span<const PortInfo> ports(RouterId r) const {
+    return ports_[static_cast<std::size_t>(r)];
+  }
+  /// Local (intra-group) ports of `r` are exactly [0, local_end(r)).
+  [[nodiscard]] int local_end(RouterId r) const {
+    return local_end_[static_cast<std::size_t>(r)];
+  }
+  [[nodiscard]] int num_global_ports(RouterId r) const {
+    return static_cast<int>(
+        global_target_[static_cast<std::size_t>(r)].size());
+  }
+  /// First processor port of `r` (== num_ports(r) when r hosts no nodes).
+  [[nodiscard]] int proc_port_base(RouterId r) const {
+    return proc_base_[static_cast<std::size_t>(r)];
+  }
+
+  /// Ejection (processor) port on `r` serving node `n`.
+  /// Precondition: router_of_node(n) == r.
+  [[nodiscard]] PortId eject_port(RouterId r, NodeId n) const;
+
+  /// Global ports on `r` leading to group `tg` (possibly empty).
+  [[nodiscard]] std::span<const PortId> global_ports_to(RouterId r,
+                                                        GroupId tg) const {
+    return global_ports_by_group_[static_cast<std::size_t>(r)]
+                                 [static_cast<std::size_t>(tg)];
+  }
+  /// Routers in group `g` owning at least one cable to group `tg`,
+  /// paired with one such port each.
+  [[nodiscard]] std::span<const Gateway> gateways(GroupId g, GroupId tg) const {
+    return gateways_[static_cast<std::size_t>(g)][static_cast<std::size_t>(tg)];
+  }
+
+  /// Minimal router-to-router hop count (0 if same router; includes the
+  /// global hop). Diagnostic / accounting only, never per-hop. Relies on
+  /// the group-diameter-<=2 invariant.
+  [[nodiscard]] int minimal_hops(RouterId src, RouterId dst) const;
+
+  /// Number of distinct groups covered by a set of nodes.
+  [[nodiscard]] int groups_spanned(std::span<const NodeId> nodes) const;
+
+  // --- Build/recompute-time virtuals (never called per hop) ---
+  /// Direct local port from `from` to `to`; -1 if not directly connected
+  /// (or different groups / same router).
+  [[nodiscard]] virtual PortId local_port_to(RouterId from,
+                                             RouterId to) const = 0;
+  /// Pristine first-hop port from `from` toward same-group router `to`
+  /// (-1 when from == to). Direct port when connected, otherwise the port
+  /// toward this topology's deterministic two-hop intermediate. The route
+  /// planner snapshots this into its local_first_ table at construction;
+  /// the choice must keep each VC level's intra-group channel dependency
+  /// graph acyclic (see docs/MODEL.md section 13).
+  [[nodiscard]] virtual PortId local_first_hop(RouterId from,
+                                               RouterId to) const = 0;
+
+ protected:
+  /// Validates cfg, fixes the shape, sizes the coordinate/port containers
+  /// and fills router_group_. Concrete constructors then populate nodes and
+  /// ports and must end with finalize_tables().
+  Topology(Config cfg, int routers_per_group);
+
+  /// Assign `count_of(r)` nodes to every router, ids ascending with router
+  /// id; fills node_router_/node_slot_/node_first_/node_count_/num_nodes_.
+  template <typename CountFn>
+  void assign_nodes(CountFn count_of) {
+    const int nr = num_routers();
+    node_first_.resize(static_cast<std::size_t>(nr));
+    node_count_.resize(static_cast<std::size_t>(nr));
+    NodeId next = 0;
+    for (RouterId r = 0; r < nr; ++r) {
+      const int c = count_of(r);
+      node_first_[static_cast<std::size_t>(r)] = next;
+      node_count_[static_cast<std::size_t>(r)] = c;
+      next += c;
+    }
+    num_nodes_ = next;
+    node_router_.resize(static_cast<std::size_t>(next));
+    node_slot_.resize(static_cast<std::size_t>(next));
+    for (RouterId r = 0; r < nr; ++r)
+      for (int k = 0; k < node_count_[static_cast<std::size_t>(r)]; ++k) {
+        const auto n = static_cast<std::size_t>(
+            node_first_[static_cast<std::size_t>(r)] + k);
+        node_router_[n] = r;
+        node_slot_[n] = k;
+      }
+  }
+
+  /// Build the global (rank-3) ports: `cables_per_group_pair` cables
+  /// between every group pair, each endpoint chosen by
+  /// `endpoint(local_group, remote_group, k)` (an in-group router index).
+  /// Appends ports in the canonical symmetric order, fills global_target_ /
+  /// global_ports_by_group_ / gateways_, and resolves peer_port pairs.
+  /// Identical code path for every topology, so the Dragonfly port tables
+  /// stay byte-for-byte what the pre-abstraction builder produced.
+  template <typename EndpointFn>
+  void build_global_ports(EndpointFn endpoint) {
+    const int R = rpg_;
+    const int cables = cfg_.cables_per_group_pair;
+    std::vector<std::vector<std::pair<RouterId, GroupId>>> pending(
+        static_cast<std::size_t>(num_routers()));
+    for (GroupId ga = 0; ga < cfg_.groups; ++ga) {
+      for (GroupId gb = ga + 1; gb < cfg_.groups; ++gb) {
+        for (int k = 0; k < cables; ++k) {
+          const int ia = endpoint(ga, gb, k);
+          const int ib = endpoint(gb, ga, k);
+          const RouterId ra = static_cast<RouterId>(ga * R + ia);
+          const RouterId rb = static_cast<RouterId>(gb * R + ib);
+          pending[static_cast<std::size_t>(ra)].emplace_back(rb, gb);
+          pending[static_cast<std::size_t>(rb)].emplace_back(ra, ga);
+        }
+      }
+    }
+    materialize_global_ports(pending);
+  }
+
+  /// Append the processor (ejection) ports from node_first_/node_count_
+  /// (call after assign_nodes and the local/global port builders).
+  void build_proc_ports();
+
+  /// Compute local_end_/proc_base_ and assert the port-class ordering and
+  /// peer symmetry invariants. Every concrete constructor ends with this.
+  void finalize_tables();
+
+  Config cfg_;
+  int groups_ = 0;
+  int rpg_ = 0;  ///< routers per group (uniform across groups)
+  int num_nodes_ = 0;
+  std::vector<GroupId> router_group_;   ///< [router] (hot-path table)
+  std::vector<RouterId> node_router_;   ///< [node] (hot-path table)
+  std::vector<std::int32_t> node_slot_; ///< [node] index among router's nodes
+  std::vector<NodeId> node_first_;      ///< [router] first hosted node id
+  std::vector<std::int32_t> node_count_;  ///< [router] hosted node count
+  std::vector<std::int32_t> local_end_;   ///< [router] end of local ports
+  std::vector<PortId> proc_base_;         ///< [router] first processor port
+  std::vector<std::vector<PortInfo>> ports_;  ///< [router][port]
+  /// Per router: target group of each global port (parallel to port order).
+  std::vector<std::vector<GroupId>> global_target_;
+  /// [router][target group] -> list of global port ids (flattened map).
+  std::vector<std::vector<std::vector<PortId>>> global_ports_by_group_;
+  /// [group][target group] -> gateways.
+  std::vector<std::vector<std::vector<Gateway>>> gateways_;
+
+ private:
+  void materialize_global_ports(
+      const std::vector<std::vector<std::pair<RouterId, GroupId>>>& pending);
+};
+
+/// Construct the topology selected by `cfg.kind` (kDefault -> Dragonfly).
+[[nodiscard]] std::unique_ptr<Topology> make_topology(Config cfg);
+
+}  // namespace dfsim::topo

@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -105,6 +106,47 @@ TEST(Fingerprint, SaltChangesIt) {
             scenario_fingerprint(cfg, "dfsim-engine/next").hex());
   EXPECT_EQ(scenario_fingerprint(cfg).hex(),
             scenario_fingerprint(cfg, kEngineVersionSalt).hex());
+}
+
+TEST(Fingerprint, TopologyKindIsSalted) {
+  // The topology is a canonical CSV column, so each resolved kind gets its
+  // own content address — a dragonfly+ run can never hit a dragonfly cache
+  // entry for the same config shape.
+  core::ScenarioConfig df = small_cfg();
+  df.system.kind = topo::TopologyKind::kDragonfly;
+  core::ScenarioConfig dfp = small_cfg();
+  dfp.system.kind = topo::TopologyKind::kDragonflyPlus;
+  core::ScenarioConfig ss = small_cfg();
+  ss.system.kind = topo::TopologyKind::kSlingshot;
+  const std::string a = scenario_fingerprint(df).hex();
+  const std::string b = scenario_fingerprint(dfp).hex();
+  const std::string c = scenario_fingerprint(ss).hex();
+  EXPECT_NE(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(b, c);
+  // kDefault resolves to the same canonical kind as an explicit dragonfly
+  // (with DFSIM_TEST_TOPO unset), so the fingerprints collapse.
+  if (std::getenv("DFSIM_TEST_TOPO") == nullptr) {
+    core::ScenarioConfig dflt = small_cfg();
+    dflt.system.kind = topo::TopologyKind::kDefault;
+    EXPECT_EQ(scenario_fingerprint(dflt).hex(), a);
+  }
+}
+
+TEST(ResultCache, TopologyEntriesNeverCrossResolve) {
+  // A result stored under one topology's fingerprint is a miss — never a
+  // wrong answer — when the same scenario is probed on another topology.
+  ResultCache cache = ResultCache::memory_only();
+  core::ScenarioConfig df = small_cfg();
+  df.system.kind = topo::TopologyKind::kDragonfly;
+  core::RunResult r;
+  r.ok = true;
+  r.runtime_ms = 42.0;
+  cache.store(scenario_fingerprint(df), canon(r));
+  core::ScenarioConfig dfp = small_cfg();
+  dfp.system.kind = topo::TopologyKind::kDragonflyPlus;
+  EXPECT_FALSE(cache.load(scenario_fingerprint(dfp)).has_value());
+  EXPECT_TRUE(cache.load(scenario_fingerprint(df)).has_value());
 }
 
 TEST(Fingerprint, SubstrateWidthCollapsesToFamily) {

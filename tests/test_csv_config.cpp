@@ -65,6 +65,7 @@ TEST(Csv, NumFormatting) {
 TEST(ScenarioCsv, RoundTripsEveryField) {
   core::ScenarioConfig cfg = core::ScenarioConfig::controlled();
   cfg.system = topo::Config::cori_scaled();
+  cfg.system.kind = topo::TopologyKind::kDragonflyPlus;
   cfg.app = "HACC";
   cfg.nnodes = 128;
   cfg.njobs = 5;
@@ -95,6 +96,7 @@ TEST(ScenarioCsv, RoundTripsEveryField) {
 
   EXPECT_EQ(back.kind, cfg.kind);
   EXPECT_EQ(back.system.name, cfg.system.name);
+  EXPECT_EQ(back.system.kind, cfg.system.kind);
   EXPECT_EQ(back.app, cfg.app);
   EXPECT_EQ(back.nnodes, cfg.nnodes);
   EXPECT_EQ(back.njobs, cfg.njobs);
@@ -207,12 +209,27 @@ TEST(ScenarioCsv, RejectsMalformedRows) {
   auto bad_mode = row;
   bad_mode[cell("mode")] = "AD9";
   EXPECT_THROW(core::scenario_from_csv(bad_mode), std::invalid_argument);
+  auto bad_topology = row;
+  bad_topology[cell("topology")] = "torus";
+  EXPECT_THROW(core::scenario_from_csv(bad_topology), std::invalid_argument);
   auto bad_faults = row;
   bad_faults[cell("faults")] = "garbage";
   EXPECT_THROW(core::scenario_from_csv(bad_faults), std::invalid_argument);
   auto bad_sys_jobs = row;
   bad_sys_jobs[cell("sys_jobs")] = "many";
   EXPECT_THROW(core::scenario_from_csv(bad_sys_jobs), std::invalid_argument);
+}
+
+TEST(ScenarioCsv, TopologyColumnRoundTripsEveryKind) {
+  for (const topo::TopologyKind k :
+       {topo::TopologyKind::kDefault, topo::TopologyKind::kDragonfly,
+        topo::TopologyKind::kDragonflyPlus, topo::TopologyKind::kSlingshot}) {
+    core::ScenarioConfig cfg = core::ScenarioConfig::production();
+    cfg.system.kind = k;
+    const core::ScenarioConfig back =
+        core::scenario_from_csv(core::scenario_csv_row(cfg));
+    EXPECT_EQ(back.system.kind, k);
+  }
 }
 
 TEST(SlingshotPreset, ConstructsAndRoutes) {

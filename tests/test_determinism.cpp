@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
@@ -89,6 +90,63 @@ TEST(GoldenDeterminism, EnsembleIdenticalAcrossWorkerCounts) {
                             serial.results[static_cast<std::size_t>(i)].global);
   EXPECT_TRUE(any_diff);
 }
+
+// Both determinism families must hold on every topology behind the
+// Topology interface, not just the Aries dragonfly the contract was pinned
+// on. One parametrized sweep: (repeat, jobs 1 vs 4, serial vs sharded x
+// worker widths) per topology kind.
+class TopologyDeterminism
+    : public ::testing::TestWithParam<topo::TopologyKind> {};
+
+TEST_P(TopologyDeterminism, AllFamiliesByteIdentical) {
+  ProductionConfig cfg = small_theta(2021);
+  cfg.system.kind = GetParam();
+
+  // Run-to-run on the serial engine.
+  cfg.shards = 0;
+  const RunResult serial = run_production(cfg);
+  ASSERT_TRUE(serial.ok) << serial.fail_reason;
+  EXPECT_GT(serial.netstats.packets_delivered, 0);
+  expect_identical(serial, run_production(cfg));
+
+  // Sharded family: every shard count >= 1 and worker width agrees with
+  // shards=1 (and with each other); the serial engine is its own family.
+  cfg.shards = 1;
+  const RunResult sharded = run_production(cfg);
+  for (const int shards : {2, 4}) {
+    for (const int workers : {1, 3}) {
+      SCOPED_TRACE(testing::Message() << "shards=" << shards
+                                      << " workers=" << workers);
+      cfg.shards = shards;
+      cfg.shard_workers = workers;
+      expect_identical(sharded, run_production(cfg));
+    }
+  }
+
+  // Trial-runner jobs never affect results, on either substrate.
+  cfg.shards = 0;
+  cfg.shard_workers = 0;
+  constexpr int kSamples = 2;
+  const BatchResult one =
+      run_production_ensemble(cfg, kSamples, BatchOptions{.jobs = 1});
+  const BatchResult four =
+      run_production_ensemble(cfg, kSamples, BatchOptions{.jobs = 4});
+  ASSERT_EQ(one.results.size(), static_cast<std::size_t>(kSamples));
+  for (int i = 0; i < kSamples; ++i) {
+    SCOPED_TRACE(i);
+    expect_identical(one.results[static_cast<std::size_t>(i)],
+                     four.results[static_cast<std::size_t>(i)]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTopologies, TopologyDeterminism,
+                         ::testing::Values(topo::TopologyKind::kDragonfly,
+                                           topo::TopologyKind::kDragonflyPlus,
+                                           topo::TopologyKind::kSlingshot),
+                         [](const auto& info) {
+                           return std::string(
+                               topo::topology_kind_name(info.param));
+                         });
 
 }  // namespace
 }  // namespace dfsim::core

@@ -7,6 +7,7 @@
 #include "core/awr.hpp"
 #include "core/experiment.hpp"
 #include "sched/scheduler.hpp"
+#include "topo/dragonfly.hpp"
 
 namespace dfsim {
 namespace {

@@ -3,6 +3,7 @@
 // suite stays fast).
 #include <gtest/gtest.h>
 
+#include "topo/dragonfly.hpp"
 #include "core/experiment.hpp"
 #include "sched/scheduler.hpp"
 

@@ -17,6 +17,10 @@ double mean_runtime(const std::string& app, routing::Mode mode, int samples,
                     double bg, std::uint64_t seed) {
   ProductionConfig cfg;
   cfg.system = topo::Config::mini(6);
+  // PaperShape pins reproduce Aries measurements: the congestion regimes
+  // they assert are calibrated on the dragonfly, so the topology is
+  // explicit here instead of following DFSIM_TEST_TOPO.
+  cfg.system.kind = topo::TopologyKind::kDragonfly;
   cfg.app = app;
   cfg.nnodes = 24;
   cfg.mode = mode;
@@ -51,6 +55,7 @@ TEST(PaperShape, Ad3ReducesNonminimalFractionAndHops) {
   auto stats_for = [](routing::Mode mode) {
     ProductionConfig cfg;
     cfg.system = topo::Config::mini(6);
+    cfg.system.kind = topo::TopologyKind::kDragonfly;
     cfg.app = "MILC";
     cfg.nnodes = 24;
     cfg.mode = mode;
@@ -77,6 +82,7 @@ TEST(PaperShape, HaccDoesNotBenefitFromAd3) {
   auto mean_rt = [](routing::Mode mode) {
     ProductionConfig cfg;
     cfg.system = topo::Config::mini(6);
+    cfg.system.kind = topo::TopologyKind::kDragonfly;
     cfg.app = "HACC";
     cfg.nnodes = 48;  // half the machine, compact: ~1.5 groups
     cfg.mode = mode;
@@ -101,6 +107,7 @@ TEST(PaperShape, Ad3ConcentratesRank3StallsForHacc) {
   auto peak_ratio = [](routing::Mode mode) {
     EnsembleConfig cfg;
     cfg.system = topo::Config::mini(6);
+    cfg.system.kind = topo::TopologyKind::kDragonfly;
     cfg.app = "HACC";
     cfg.njobs = 4;
     cfg.nnodes = 24;
@@ -135,6 +142,7 @@ TEST(PaperShape, ControlledEnsembleModesAreOrderedForMilc) {
   for (int m = 0; m < 4; ++m) {
     EnsembleConfig cfg;
     cfg.system = topo::Config::mini(6);
+    cfg.system.kind = topo::TopologyKind::kDragonfly;
     cfg.app = "MILC";
     cfg.njobs = 6;
     cfg.nnodes = 24;
@@ -158,6 +166,7 @@ TEST(PaperShape, OrbLatencyLowerUnderAd3OnLoadedSystem) {
   auto mean_lat = [](routing::Mode mode) {
     EnsembleConfig cfg;
     cfg.system = topo::Config::mini(6);
+    cfg.system.kind = topo::TopologyKind::kDragonfly;
     cfg.app = "MILC";
     cfg.njobs = 6;
     cfg.nnodes = 24;

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "sched/placement.hpp"
+#include "topo/dragonfly.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/workload.hpp"
 

@@ -1,0 +1,281 @@
+// Topology-contract property tests: every concrete topo::Topology must
+// satisfy the same structural invariants the forwarding plane and the
+// route planner rely on (docs/MODEL.md section 13). The suite runs the
+// identical checks over all three models — Aries dragonfly, two-level
+// dragonfly+, flat-group slingshot — so a new topology only has to be
+// added to `kinds()` below to inherit the whole contract.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <queue>
+#include <vector>
+
+#include "topo/dragonfly.hpp"
+#include "topo/dragonfly_plus.hpp"
+#include "topo/slingshot.hpp"
+#include "topo/topology.hpp"
+
+namespace dfsim::topo {
+namespace {
+
+std::vector<TopologyKind> kinds() {
+  return {TopologyKind::kDragonfly, TopologyKind::kDragonflyPlus,
+          TopologyKind::kSlingshot};
+}
+
+std::unique_ptr<const Topology> build(TopologyKind k, Config cfg = Config::mini(4)) {
+  cfg.kind = k;
+  return make_topology(cfg);
+}
+
+// BFS over router links (all port classes), returning hop distance per
+// router, -1 = unreachable.
+std::vector<int> bfs(const Topology& t, RouterId src) {
+  std::vector<int> dist(static_cast<std::size_t>(t.num_routers()), -1);
+  std::queue<RouterId> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    const RouterId u = q.front();
+    q.pop();
+    for (const PortInfo& pi : t.ports(u)) {
+      if (pi.cls == TileClass::kProc) continue;
+      if (dist[static_cast<std::size_t>(pi.peer_router)] < 0) {
+        dist[static_cast<std::size_t>(pi.peer_router)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        q.push(pi.peer_router);
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(TopologyContract, PeerOfPeerIsSelf) {
+  for (const TopologyKind k : kinds()) {
+    const auto t = build(k);
+    SCOPED_TRACE(t->name());
+    for (RouterId r = 0; r < t->num_routers(); ++r) {
+      for (PortId p = 0; p < t->num_ports(r); ++p) {
+        const PortInfo& pi = t->port(r, p);
+        if (pi.cls == TileClass::kProc) {
+          EXPECT_LT(pi.peer_router, 0);
+          continue;
+        }
+        ASSERT_GE(pi.peer_router, 0);
+        ASSERT_LT(pi.peer_router, t->num_routers());
+        const PortInfo& back = t->port(pi.peer_router, pi.peer_port);
+        EXPECT_EQ(back.peer_router, r) << "router " << r << " port " << p;
+        EXPECT_EQ(back.peer_port, p) << "router " << r << " port " << p;
+        EXPECT_EQ(back.cls, pi.cls);
+      }
+    }
+  }
+}
+
+TEST(TopologyContract, FullReachabilityWithinDiameterBound) {
+  for (const TopologyKind k : kinds()) {
+    const auto t = build(k);
+    SCOPED_TRACE(t->name());
+    // Diameter bound: intra-group diameter <= 2 (clique: 1, two-level or
+    // chassis/slot: 2) plus one global hop, plus <= 2 local hops at the
+    // destination group => 5. The dragonfly's own bound is 5 (2+1+2); the
+    // slingshot's is 3 (1+1+1).
+    const int bound = k == TopologyKind::kSlingshot ? 3 : 5;
+    for (const RouterId src : {RouterId{0}, t->num_routers() / 2,
+                               t->num_routers() - 1}) {
+      const auto dist = bfs(*t, src);
+      for (RouterId r = 0; r < t->num_routers(); ++r) {
+        ASSERT_GE(dist[static_cast<std::size_t>(r)], 0)
+            << "router " << r << " unreachable from " << src;
+        EXPECT_LE(dist[static_cast<std::size_t>(r)], bound);
+      }
+    }
+  }
+}
+
+TEST(TopologyContract, MinimalHopsMatchesBfsDistance) {
+  for (const TopologyKind k : kinds()) {
+    const auto t = build(k);
+    SCOPED_TRACE(t->name());
+    for (const RouterId src : {RouterId{0}, t->num_routers() - 1}) {
+      const auto dist = bfs(*t, src);
+      for (RouterId r = 0; r < t->num_routers(); ++r) {
+        // minimal_hops assumes the configured gateway spread; BFS may find
+        // an equal or shorter route but never a longer one.
+        EXPECT_GE(t->minimal_hops(src, r), dist[static_cast<std::size_t>(r)])
+            << src << " -> " << r;
+      }
+    }
+  }
+}
+
+TEST(TopologyContract, TileClassPortAccounting) {
+  for (const TopologyKind k : kinds()) {
+    const auto t = build(k);
+    SCOPED_TRACE(t->name());
+    std::array<long, kNumTileClasses> count{};
+    for (RouterId r = 0; r < t->num_routers(); ++r) {
+      // Class ordering [local][global][proc] per router.
+      PortId p = 0;
+      for (; p < t->local_end(r); ++p)
+        EXPECT_TRUE(t->port(r, p).cls == TileClass::kRank1 ||
+                    t->port(r, p).cls == TileClass::kRank2);
+      for (; p < t->proc_port_base(r); ++p)
+        EXPECT_EQ(t->port(r, p).cls, TileClass::kRank3);
+      for (; p < t->num_ports(r); ++p)
+        EXPECT_EQ(t->port(r, p).cls, TileClass::kProc);
+      for (const PortInfo& pi : t->ports(r))
+        ++count[static_cast<std::size_t>(pi.cls)];
+    }
+    const Config& cfg = t->config();
+    // Every group pair gets cables_per_group_pair cables, two endpoints each.
+    const long pairs =
+        static_cast<long>(cfg.groups) * (cfg.groups - 1) / 2;
+    EXPECT_EQ(count[static_cast<std::size_t>(TileClass::kRank3)],
+              2 * pairs * cfg.cables_per_group_pair);
+    // One proc port per hosted node, and the node count is the config's.
+    EXPECT_EQ(count[static_cast<std::size_t>(TileClass::kProc)],
+              t->num_nodes());
+    EXPECT_EQ(t->num_nodes(), cfg.num_nodes());
+    // Local port total per model.
+    const long local = count[static_cast<std::size_t>(TileClass::kRank1)] +
+                       count[static_cast<std::size_t>(TileClass::kRank2)];
+    if (k == TopologyKind::kDragonflyPlus) {
+      // Complete bipartite: leaves * spines links, two endpoints each.
+      EXPECT_EQ(local, 2L * cfg.groups * cfg.routers_per_group() *
+                           cfg.slots_per_chassis);
+      EXPECT_EQ(count[static_cast<std::size_t>(TileClass::kRank2)], 0);
+    } else if (k == TopologyKind::kSlingshot) {
+      // Clique: rpg * (rpg - 1) directed edges per group.
+      const long rpg = cfg.routers_per_group();
+      EXPECT_EQ(local, static_cast<long>(cfg.groups) * rpg * (rpg - 1));
+      EXPECT_EQ(count[static_cast<std::size_t>(TileClass::kRank2)], 0);
+    }
+  }
+}
+
+TEST(TopologyContract, NodeTablesAreContiguousAndConsistent) {
+  for (const TopologyKind k : kinds()) {
+    const auto t = build(k);
+    SCOPED_TRACE(t->name());
+    NodeId expect = 0;
+    for (RouterId r = 0; r < t->num_routers(); ++r) {
+      if (t->node_count(r) > 0) EXPECT_EQ(t->node_first(r), expect);
+      for (int s = 0; s < t->node_count(r); ++s) {
+        const NodeId n = t->node_first(r) + s;
+        EXPECT_EQ(n, expect);
+        EXPECT_EQ(t->router_of_node(n), r);
+        EXPECT_EQ(t->node_slot(n), s);
+        EXPECT_EQ(t->group_of_node(n), t->group_of_router(r));
+        // Eject port round-trips to the node.
+        const PortId ep = t->eject_port(r, n);
+        EXPECT_EQ(t->port(r, ep).eject_node, n);
+        ++expect;
+      }
+    }
+    EXPECT_EQ(expect, t->num_nodes());
+  }
+}
+
+TEST(TopologyContract, GatewayTablesCoverEveryGroupPair) {
+  for (const TopologyKind k : kinds()) {
+    const auto t = build(k);
+    SCOPED_TRACE(t->name());
+    for (GroupId g = 0; g < t->groups(); ++g) {
+      for (GroupId h = 0; h < t->groups(); ++h) {
+        if (g == h) continue;
+        const auto gws = t->gateways(g, h);
+        ASSERT_EQ(static_cast<int>(gws.size()),
+                  t->config().cables_per_group_pair);
+        for (const Gateway& gw : gws) {
+          EXPECT_EQ(t->group_of_router(gw.router), g);
+          const PortInfo& pi = t->port(gw.router, gw.port);
+          EXPECT_EQ(pi.cls, TileClass::kRank3);
+          EXPECT_EQ(pi.target_group, h);
+          EXPECT_EQ(t->group_of_router(pi.peer_router), h);
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyContract, LocalFirstHopReachesTargetWithinTwoHops) {
+  for (const TopologyKind k : kinds()) {
+    const auto t = build(k);
+    SCOPED_TRACE(t->name());
+    for (GroupId g = 0; g < 2; ++g) {
+      const RouterId base = g * t->routers_per_group();
+      for (int i = 0; i < t->routers_per_group(); ++i) {
+        for (int j = 0; j < t->routers_per_group(); ++j) {
+          RouterId cur = base + i;
+          const RouterId dst = base + j;
+          int hops = 0;
+          while (cur != dst) {
+            const PortId p = t->local_first_hop(cur, dst);
+            ASSERT_GE(p, 0) << cur << " -> " << dst;
+            ASSERT_LT(p, t->local_end(cur));
+            cur = t->port(cur, p).peer_router;
+            ASSERT_LE(++hops, 2) << "local route too long";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(TopologyContract, DragonflyPlusShapeMapping) {
+  Config cfg = Config::mini(4);
+  cfg.kind = TopologyKind::kDragonflyPlus;
+  const auto t = make_topology(cfg);
+  // Same node count as the dragonfly on the same config, more routers
+  // (spines are transit-only).
+  EXPECT_EQ(t->num_nodes(), cfg.num_nodes());
+  EXPECT_EQ(t->routers_per_group(),
+            cfg.routers_per_group() + cfg.slots_per_chassis);
+  EXPECT_GT(t->num_routers(), cfg.num_routers());
+  const DragonflyPlus& dp = dynamic_cast<const DragonflyPlus&>(*t);
+  for (RouterId r = 0; r < t->num_routers(); ++r) {
+    if (dp.is_leaf(r))
+      EXPECT_EQ(t->node_count(r), cfg.nodes_per_router);
+    else
+      EXPECT_EQ(t->node_count(r), 0);
+  }
+}
+
+TEST(TopologyContract, DragonflyChassisSlotTablesMatchArithmetic) {
+  const Dragonfly d(Config::mini(4));
+  const Config& cfg = d.config();
+  for (RouterId r = 0; r < d.num_routers(); ++r) {
+    const int in_group = r % cfg.routers_per_group();
+    EXPECT_EQ(d.chassis_of(r), in_group / cfg.slots_per_chassis);
+    EXPECT_EQ(d.slot_of(r), r % cfg.slots_per_chassis);
+    EXPECT_EQ(d.router_at(d.group_of_router(r), d.chassis_of(r), d.slot_of(r)),
+              r);
+  }
+}
+
+TEST(TopologyContract, MakeTopologyHonorsKind) {
+  Config cfg = Config::mini(2);
+  cfg.kind = TopologyKind::kDefault;
+  EXPECT_EQ(make_topology(cfg)->kind(), TopologyKind::kDragonfly);
+  cfg.kind = TopologyKind::kDragonflyPlus;
+  EXPECT_EQ(make_topology(cfg)->kind(), TopologyKind::kDragonflyPlus);
+  cfg.kind = TopologyKind::kSlingshot;
+  EXPECT_EQ(make_topology(cfg)->kind(), TopologyKind::kSlingshot);
+}
+
+TEST(TopologyContract, KindNamesRoundTrip) {
+  for (const TopologyKind k : kinds()) {
+    TopologyKind parsed{};
+    ASSERT_TRUE(parse_topology_kind(topology_kind_name(k), parsed));
+    EXPECT_EQ(parsed, k);
+  }
+  TopologyKind parsed{};
+  EXPECT_TRUE(parse_topology_kind("default", parsed));
+  EXPECT_EQ(parsed, TopologyKind::kDefault);
+  EXPECT_FALSE(parse_topology_kind("torus", parsed));
+  EXPECT_FALSE(parse_topology_kind("", parsed));
+}
+
+}  // namespace
+}  // namespace dfsim::topo

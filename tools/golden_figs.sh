@@ -1,0 +1,40 @@
+#!/usr/bin/env sh
+# Golden pin for the paper-figure benches (fig01..fig14) on the Aries
+# default topology.
+#
+# Runs every fig bench at a fixed small scale with fixed seeds/jobs and
+# writes its stdout — minus wall-clock-bearing lines, which legitimately
+# vary run to run — into OUT_DIR, one file per bench. Simulated results
+# (runtimes, counters, distributions) are deterministic, so two builds that
+# claim byte-identical Aries behaviour must produce byte-identical files:
+#
+#   tools/golden_figs.sh build/bench /tmp/a      # before a refactor
+#   tools/golden_figs.sh build/bench /tmp/b      # after
+#   diff -r /tmp/a /tmp/b                        # must be empty
+#
+# The repository pins tests/golden/figs/ (captured from the pre-abstraction
+# seed at these settings); CI or a local run can re-capture and diff.
+set -eu
+
+BIN_DIR=${1:?usage: golden_figs.sh BENCH_BIN_DIR OUT_DIR}
+OUT_DIR=${2:?usage: golden_figs.sh BENCH_BIN_DIR OUT_DIR}
+mkdir -p "$OUT_DIR"
+
+# Fixed, small settings: one sample per cell, one iteration, tiny message
+# scale — enough traffic to exercise every code path, minutes for the suite.
+FLAGS="--samples=1 --iterations=1 --scale=0.05 --seed=2021 --jobs=2 --shards=0"
+
+# Wall-clock lines to strip: the report_batch throughput line and any
+# explicit wall/trials-per-second report.
+FILTER='/trials\/sec/d; /wall/d; /trials on [0-9]* worker/d'
+
+for b in fig01_jobsize_ccdf fig02_milc_runtime_pdf fig03_milc_groups_theta \
+         fig04_milc_groups_cori fig05_milc_breakdown fig06_milc_counters \
+         fig07_all_apps_normalized fig08_hacc_breakdown \
+         fig09_controlled_all_modes fig10_milc_ensemble_counters \
+         fig11_stalls_pdf_comparison fig12_hacc_ensemble_counters \
+         fig13_system_default_change fig14_latency_percentiles; do
+  echo "golden: $b" >&2
+  "$BIN_DIR/$b" $FLAGS | sed "$FILTER" > "$OUT_DIR/$b.txt"
+done
+echo "golden: wrote $OUT_DIR" >&2
